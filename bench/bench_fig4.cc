@@ -1,0 +1,38 @@
+// Regenerates Figure 4: the biotop (left) and readahead (right) dependency
+// mismatch matrices across the 21 analysis images.
+//
+//   $ bench_fig4 [--scale=1.0]
+#include <cstdio>
+
+#include "src/study/study.h"
+
+using namespace depsurf;
+
+int main(int argc, char** argv) {
+  Study study(StudyOptions::FromArgs(argc, argv));
+  printf("Figure 4: dependency set analysis of biotop and readahead (scale %.2f)\n",
+         study.options().scale);
+  printf("building the 21-image corpus...\n\n");
+
+  auto dataset = study.BuildDataset(DependencyAnalysisCorpus());
+  if (!dataset.ok()) {
+    fprintf(stderr, "dataset: %s\n", dataset.error().ToString().c_str());
+    return 1;
+  }
+  for (const char* program : {"biotop", "readahead"}) {
+    auto report = study.Analyze(*dataset, program);
+    if (!report.ok()) {
+      fprintf(stderr, "%s: %s\n", program, report.error().ToString().c_str());
+      return 1;
+    }
+    printf("%s\n", report->RenderMatrix().c_str());
+  }
+  printf(
+      "paper reference (shape): biotop's accounting pair reads wrong data from v5.8\n"
+      "(param removed, b5af37a) and fails to attach from v5.19 (static inline,\n"
+      "be6bfe3); the block_io_* tracepoints only help v6.5+. readahead loses\n"
+      "__do_page_cache_readahead to a rename at v5.11 and do_page_cache_ra to full\n"
+      "inline at v5.18; __page_cache_alloc is duplicated + inlined on arm32/riscv\n"
+      "(no CONFIG_NUMA).\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Regenerates Table 4: breakdown of kernel source-code changes between
+// consecutive LTS versions (which mutation kinds each changed construct
+// exhibits; kinds co-occur so percentages exceed 100%).
+//
+//   $ bench_table4 [--scale=1.0]
+#include <cstdio>
+#include <optional>
+
+#include "src/study/study.h"
+#include "src/util/str_util.h"
+#include "src/util/table.h"
+
+using namespace depsurf;
+
+namespace {
+
+struct Breakdown {
+  std::string span;
+  size_t funcs_changed = 0;
+  double param_added = 0, param_removed = 0, param_reordered = 0, param_type = 0, ret_type = 0;
+  size_t structs_changed = 0;
+  double field_added = 0, field_removed = 0, field_type = 0;
+  size_t tracepts_changed = 0;
+  double event_changed = 0, func_changed = 0;
+};
+
+Breakdown Measure(const DependencySurface& older, const DependencySurface& newer) {
+  Breakdown b;
+  b.span = StrFormat("%d.%d - %d.%d", older.meta().version_major, older.meta().version_minor,
+                     newer.meta().version_major, newer.meta().version_minor);
+  SurfaceDiff diff = DiffSurfaces(older, newer);
+
+  b.funcs_changed = diff.funcs.changed.size();
+  for (const auto& [name, kinds] : diff.funcs.changed) {
+    (void)name;
+    for (FuncChangeKind kind : kinds) {
+      switch (kind) {
+        case FuncChangeKind::kParamAdded:
+          b.param_added += 1;
+          break;
+        case FuncChangeKind::kParamRemoved:
+          b.param_removed += 1;
+          break;
+        case FuncChangeKind::kParamReordered:
+          b.param_reordered += 1;
+          break;
+        case FuncChangeKind::kParamTypeChanged:
+          b.param_type += 1;
+          break;
+        case FuncChangeKind::kReturnTypeChanged:
+          b.ret_type += 1;
+          break;
+      }
+    }
+  }
+  b.structs_changed = diff.structs.changed.size();
+  for (const auto& [name, kinds] : diff.structs.changed) {
+    (void)name;
+    for (StructChangeKind kind : kinds) {
+      switch (kind) {
+        case StructChangeKind::kFieldAdded:
+          b.field_added += 1;
+          break;
+        case StructChangeKind::kFieldRemoved:
+          b.field_removed += 1;
+          break;
+        case StructChangeKind::kFieldTypeChanged:
+          b.field_type += 1;
+          break;
+      }
+    }
+  }
+  b.tracepts_changed = diff.tracepoints.changed.size();
+  for (const auto& [name, kinds] : diff.tracepoints.changed) {
+    (void)name;
+    for (TracepointChangeKind kind : kinds) {
+      if (kind == TracepointChangeKind::kEventChanged) {
+        b.event_changed += 1;
+      } else {
+        b.func_changed += 1;
+      }
+    }
+  }
+  return b;
+}
+
+std::string Frac(double count, size_t total) {
+  return total == 0 ? "-" : FormatPercent(count / static_cast<double>(total));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Study study(StudyOptions::FromArgs(argc, argv));
+  printf("Table 4: breakdown of kernel source code changes (scale %.2f)\n",
+         study.options().scale);
+  printf("paper reference: param added 51-60%%, removed 36-48%%, reordered 19-25%%,\n"
+         "type 23-26%%, return 13-21%% | field added 72-75%%, removed 40-42%%, type\n"
+         "32-37%% | tracepoint event 81-95%%, func 32-54%%\n\n");
+
+  std::vector<Breakdown> rows;
+  std::optional<DependencySurface> prev;
+  for (KernelVersion version : kLtsVersions) {
+    auto surface = study.ExtractSurface(MakeBuild(version));
+    if (!surface.ok()) {
+      fprintf(stderr, "extract: %s\n", surface.error().ToString().c_str());
+      return 1;
+    }
+    if (prev.has_value()) {
+      rows.push_back(Measure(*prev, *surface));
+    }
+    prev = surface.TakeValue();
+  }
+
+  TextTable funcs({"span", "no. changed", "param added", "param removed", "param reordered",
+                   "param type", "return type"});
+  TextTable structs({"span", "no. changed", "field added", "field removed", "field type"});
+  TextTable tracepts({"span", "no. changed", "event changed", "func changed"});
+  for (const Breakdown& b : rows) {
+    funcs.AddRow({b.span, FormatCount(b.funcs_changed), Frac(b.param_added, b.funcs_changed),
+                  Frac(b.param_removed, b.funcs_changed),
+                  Frac(b.param_reordered, b.funcs_changed), Frac(b.param_type, b.funcs_changed),
+                  Frac(b.ret_type, b.funcs_changed)});
+    structs.AddRow({b.span, FormatCount(b.structs_changed),
+                    Frac(b.field_added, b.structs_changed),
+                    Frac(b.field_removed, b.structs_changed),
+                    Frac(b.field_type, b.structs_changed)});
+    tracepts.AddRow({b.span, std::to_string(b.tracepts_changed),
+                     Frac(b.event_changed, b.tracepts_changed),
+                     Frac(b.func_changed, b.tracepts_changed)});
+  }
+  printf("-- functions --\n%s\n", funcs.Render().c_str());
+  printf("-- structs --\n%s\n", structs.Render().c_str());
+  printf("-- tracepoints --\n%s", tracepts.Render().c_str());
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Regenerates Table 8: per-construct summary of the 53-program analysis —
+// how many programs depend on each construct kind, how many unique
+// dependencies exist, and how many are affected per mismatch class.
+//
+//   $ bench_table8 [--scale=1.0]
+#include <cstdio>
+#include <set>
+
+#include "src/study/study.h"
+#include "src/util/table.h"
+
+using namespace depsurf;
+
+namespace {
+
+struct KindSummary {
+  std::set<std::string> all;
+  std::set<std::string> absent;
+  std::set<std::string> changed;
+  std::set<std::string> full;
+  std::set<std::string> selective;
+  std::set<std::string> transformed;
+  std::set<std::string> duplicated;
+  int programs = 0;
+  int programs_affected[7] = {};  // per category
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Study study(StudyOptions::FromArgs(argc, argv));
+  printf("Table 8: per-construct mismatch summary over 53 programs (scale %.2f)\n",
+         study.options().scale);
+  printf("paper reference: 126 unique funcs (29 absent, 31 changed, 11 F, 32 S, 28 T, 3 D),\n"
+         "135 structs (31 absent), 342 fields (102 absent, 13 changed), 44 tracepoints\n"
+         "(15 absent, 23 changed), 448 syscalls (204 absent)\n");
+  printf("building the 21-image corpus...\n\n");
+
+  auto dataset = study.BuildDataset(DependencyAnalysisCorpus());
+  if (!dataset.ok()) {
+    fprintf(stderr, "dataset: %s\n", dataset.error().ToString().c_str());
+    return 1;
+  }
+
+  KindSummary funcs, structs, fields, tracepts, syscalls;
+  for (const BpfObject& object : study.programs().objects) {
+    auto report = Study::Analyze(*dataset, object);
+    if (!report.ok()) {
+      fprintf(stderr, "%s\n", report.error().ToString().c_str());
+      return 1;
+    }
+    bool has[5] = {};
+    bool affected[5][7] = {};
+    for (const ReportRow& row : report->rows) {
+      KindSummary* summary = nullptr;
+      int kind_index = 0;
+      switch (row.kind) {
+        case DepKind::kFunc:
+          summary = &funcs;
+          kind_index = 0;
+          break;
+        case DepKind::kStruct:
+          summary = &structs;
+          kind_index = 1;
+          break;
+        case DepKind::kField:
+          summary = &fields;
+          kind_index = 2;
+          break;
+        case DepKind::kTracepoint:
+          summary = &tracepts;
+          kind_index = 3;
+          break;
+        case DepKind::kSyscall:
+          summary = &syscalls;
+          kind_index = 4;
+          break;
+      }
+      has[kind_index] = true;
+      summary->all.insert(row.name);
+      for (const auto& cell : row.cells) {
+        for (MismatchKind kind : cell) {
+          switch (kind) {
+            case MismatchKind::kAbsent:
+              summary->absent.insert(row.name);
+              affected[kind_index][0] = true;
+              break;
+            case MismatchKind::kChanged:
+              summary->changed.insert(row.name);
+              affected[kind_index][1] = true;
+              break;
+            case MismatchKind::kFullInline:
+              summary->full.insert(row.name);
+              affected[kind_index][2] = true;
+              break;
+            case MismatchKind::kSelectiveInline:
+              summary->selective.insert(row.name);
+              affected[kind_index][3] = true;
+              break;
+            case MismatchKind::kTransformed:
+              summary->transformed.insert(row.name);
+              affected[kind_index][4] = true;
+              break;
+            case MismatchKind::kDuplicated:
+              summary->duplicated.insert(row.name);
+              affected[kind_index][5] = true;
+              break;
+            default:
+              break;
+          }
+        }
+      }
+    }
+    KindSummary* summaries[5] = {&funcs, &structs, &fields, &tracepts, &syscalls};
+    for (int k = 0; k < 5; ++k) {
+      summaries[k]->programs += has[k] ? 1 : 0;
+      for (int c = 0; c < 7; ++c) {
+        summaries[k]->programs_affected[c] += affected[k][c] ? 1 : 0;
+      }
+    }
+  }
+
+  TextTable table({"construct", "class", "# programs", "# uniq deps"});
+  auto add = [&](const char* name, const KindSummary& s, bool funcs_only) {
+    table.AddRow({name, "total", std::to_string(s.programs), std::to_string(s.all.size())});
+    table.AddRow({"", "absent (O)", std::to_string(s.programs_affected[0]),
+                  std::to_string(s.absent.size())});
+    table.AddRow({"", "changed (C)", std::to_string(s.programs_affected[1]),
+                  std::to_string(s.changed.size())});
+    if (funcs_only) {
+      table.AddRow({"", "full inline (F)", std::to_string(s.programs_affected[2]),
+                    std::to_string(s.full.size())});
+      table.AddRow({"", "selective (S)", std::to_string(s.programs_affected[3]),
+                    std::to_string(s.selective.size())});
+      table.AddRow({"", "transformed (T)", std::to_string(s.programs_affected[4]),
+                    std::to_string(s.transformed.size())});
+      table.AddRow({"", "duplicated (D)", std::to_string(s.programs_affected[5]),
+                    std::to_string(s.duplicated.size())});
+    }
+    table.AddSeparator();
+  };
+  add("function", funcs, true);
+  add("struct", structs, false);
+  add("field", fields, false);
+  add("tracepoint", tracepts, false);
+  add("syscall", syscalls, false);
+  printf("%s", table.Render().c_str());
+  return 0;
+}

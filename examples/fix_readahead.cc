@@ -1,0 +1,109 @@
+// The readahead fix workflow (paper §3.3): use the mismatch report to pick
+// attachment fallbacks, then verify the fixed program.
+//
+//   $ fix_readahead [--scale=0.05]
+#include <cstdio>
+
+#include "src/bpf/bpf_builder.h"
+#include "src/study/study.h"
+
+using namespace depsurf;
+
+namespace {
+
+void PrintFallbackAdvice(const Dataset& dataset, const std::string& func) {
+  auto cells = dataset.CheckFunc(func);
+  auto labels = dataset.labels();
+  std::string ok_on;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    bool attachable = cells[i].count(MismatchKind::kAbsent) == 0 &&
+                      cells[i].count(MismatchKind::kFullInline) == 0 &&
+                      cells[i].count(MismatchKind::kTransformed) == 0;
+    if (attachable) {
+      if (!ok_on.empty()) {
+        ok_on += ", ";
+      }
+      ok_on += labels[i];
+    }
+  }
+  printf("  %-28s attachable on: %s\n", func.c_str(),
+         ok_on.empty() ? "(nowhere)" : ok_on.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Study study(StudyOptions::FromArgs(argc, argv, /*default_scale=*/0.05));
+  printf("building the x86 version series (scale %.2f)...\n", study.options().scale);
+  auto dataset = study.BuildDataset(X86GenericSeries());
+  if (!dataset.ok()) {
+    fprintf(stderr, "dataset: %s\n", dataset.error().ToString().c_str());
+    return 1;
+  }
+
+  // Step 1: the original readahead and its report.
+  auto report = study.Analyze(*dataset, "readahead");
+  if (!report.ok()) {
+    fprintf(stderr, "analyze: %s\n", report.error().ToString().c_str());
+    return 1;
+  }
+  printf("\n%s\n", report->RenderMatrix().c_str());
+  printf(
+      "Diagnosis (matching the paper's walkthrough):\n"
+      "  * __do_page_cache_readahead: return type changed in v4.18 (c534aa3),\n"
+      "    selectively inlined after the v5.8 refactor (2c68423), renamed to\n"
+      "    do_page_cache_ra in v5.11 (8238287) -- absent afterwards.\n"
+      "  * do_page_cache_ra: made static in v5.18 (56a4d67) -> fully inlined.\n"
+      "  * __page_cache_alloc: became a wrapper of filemap_alloc_folio in v5.16\n"
+      "    (bb3c579) -> fully inlined; transformed (.constprop) on gcc>=8 images.\n\n");
+
+  // Step 2: per-version attachability advice for every candidate hook.
+  printf("attachment fallback chain (newest first):\n");
+  for (const char* func : {"page_cache_ra_order", "do_page_cache_ra",
+                           "__do_page_cache_readahead", "filemap_alloc_folio",
+                           "__page_cache_alloc"}) {
+    PrintFallbackAdvice(*dataset, func);
+  }
+
+  // Step 3: the fixed program attaches to the whole chain and falls back at
+  // load time; field accesses are guarded with bpf_core_field_exists.
+  BpfObjectBuilder fixed("readahead_fixed");
+  fixed.AttachKprobe("page_cache_ra_order")
+      .AttachKprobe("do_page_cache_ra")
+      .AttachKprobe("__do_page_cache_readahead")
+      .AttachKprobe("filemap_alloc_folio")
+      .AttachKprobe("__page_cache_alloc");
+  if (!fixed.CheckFieldExists("folio", "flags", "unsigned long").ok() ||
+      !fixed.TouchStruct("file_ra_state").ok()) {
+    fprintf(stderr, "builder failed\n");
+    return 1;
+  }
+  auto fixed_report = Study::Analyze(*dataset, fixed.Build());
+  if (!fixed_report.ok()) {
+    fprintf(stderr, "analyze fixed: %s\n", fixed_report.error().ToString().c_str());
+    return 1;
+  }
+  printf("\nafter the fix (every kernel has at least one attachable hook, and the\n"
+         "guarded field access no longer faults on pre-folio kernels):\n\n%s\n",
+         fixed_report->RenderMatrix().c_str());
+
+  // Per-image: does at least one hook attach?
+  printf("per-image attachability of the fixed fallback chain:\n");
+  auto labels = fixed_report->image_labels;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    int attachable = 0;
+    for (const ReportRow& row : fixed_report->rows) {
+      if (row.kind != DepKind::kFunc) {
+        continue;
+      }
+      const auto& cell = row.cells[i];
+      if (cell.count(MismatchKind::kAbsent) == 0 && cell.count(MismatchKind::kFullInline) == 0 &&
+          cell.count(MismatchKind::kTransformed) == 0) {
+        ++attachable;
+      }
+    }
+    printf("  %-24s %d/5 hooks attachable %s\n", labels[i].c_str(), attachable,
+           attachable > 0 ? "" : " <-- STILL BROKEN");
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Survey: run all 53 real-world programs (Table 7 corpus) against the
+// 21-image corpus and print the per-program mismatch summary plus a
+// dataset-format function-status record (paper Appendix A.2.4).
+//
+//   $ survey_corpus [--scale=0.05]
+#include <cstdio>
+
+#include "src/study/study.h"
+#include "src/util/table.h"
+
+using namespace depsurf;
+
+int main(int argc, char** argv) {
+  Study study(StudyOptions::FromArgs(argc, argv, /*default_scale=*/0.05));
+  printf("building the 21-image corpus (scale %.2f)...\n", study.options().scale);
+  auto dataset = study.BuildDataset(DependencyAnalysisCorpus());
+  if (!dataset.ok()) {
+    fprintf(stderr, "dataset: %s\n", dataset.error().ToString().c_str());
+    return 1;
+  }
+
+  TextTable table({"program", "funcs", "structs", "fields", "tracepts", "syscalls",
+                   "mismatched", "worst implication"});
+  int affected = 0;
+  for (const BpfObject& object : study.programs().objects) {
+    auto report = Study::Analyze(*dataset, object);
+    if (!report.ok()) {
+      fprintf(stderr, "%s: %s\n", object.name.c_str(), report.error().ToString().c_str());
+      return 1;
+    }
+    bool any = report->AnyMismatch();
+    affected += any ? 1 : 0;
+    table.AddRow({object.name, std::to_string(report->funcs.total),
+                  std::to_string(report->structs.total), std::to_string(report->fields.total),
+                  std::to_string(report->tracepoints.total),
+                  std::to_string(report->syscalls.total), any ? "yes" : "no",
+                  ImplicationName(report->WorstImplication())});
+  }
+  printf("\n%s\n", table.Render().c_str());
+  printf("affected programs: %d / %zu (%.0f%%; the paper reports 83%%)\n", affected,
+         study.programs().objects.size(),
+         100.0 * affected / study.programs().objects.size());
+
+  // Appendix-style artifacts: the vfs_fsync function-status record and its
+  // BTF declaration, straight from an extracted surface.
+  auto surface = study.ExtractSurface(MakeBuild(KernelVersion(5, 4)));
+  if (surface.ok()) {
+    const FunctionEntry* fsync = surface->FindFunction("vfs_fsync");
+    if (fsync != nullptr) {
+      printf("\ndataset record for vfs_fsync on v5.4 (Appendix A.2.4 format):\n%s\n",
+             fsync->StatusJson().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,144 @@
+#include "src/bpf/bpf_builder.h"
+
+#include "src/util/str_util.h"
+
+namespace depsurf {
+
+BpfObjectBuilder::BpfObjectBuilder(std::string name) : lowering_(object_.btf) {
+  object_.name = std::move(name);
+}
+
+BpfObjectBuilder& BpfObjectBuilder::AttachKprobe(const std::string& func) {
+  object_.programs.push_back(BpfProgram{StrFormat("kprobe_%s", func.c_str()),
+                                        Hook{HookKind::kKprobe, func, ""}});
+  return *this;
+}
+
+BpfObjectBuilder& BpfObjectBuilder::AttachKretprobe(const std::string& func) {
+  object_.programs.push_back(BpfProgram{StrFormat("kretprobe_%s", func.c_str()),
+                                        Hook{HookKind::kKretprobe, func, ""}});
+  return *this;
+}
+
+BpfObjectBuilder& BpfObjectBuilder::AttachFentry(const std::string& func) {
+  object_.programs.push_back(
+      BpfProgram{StrFormat("fentry_%s", func.c_str()), Hook{HookKind::kFentry, func, ""}});
+  return *this;
+}
+
+BpfObjectBuilder& BpfObjectBuilder::AttachTracepoint(const std::string& category,
+                                                     const std::string& event) {
+  object_.programs.push_back(BpfProgram{StrFormat("tp_%s", event.c_str()),
+                                        Hook{HookKind::kTracepoint, event, category}});
+  return *this;
+}
+
+BpfObjectBuilder& BpfObjectBuilder::AttachRawTracepoint(const std::string& event) {
+  object_.programs.push_back(BpfProgram{StrFormat("raw_tp_%s", event.c_str()),
+                                        Hook{HookKind::kRawTracepoint, event, ""}});
+  return *this;
+}
+
+BpfObjectBuilder& BpfObjectBuilder::AttachSyscall(const std::string& name, bool exit) {
+  object_.programs.push_back(
+      BpfProgram{StrFormat("%s_%s", exit ? "exit" : "enter", name.c_str()),
+                 Hook{exit ? HookKind::kSyscallExit : HookKind::kSyscallEnter, name, "syscalls"}});
+  return *this;
+}
+
+BpfObjectBuilder& BpfObjectBuilder::AttachLsm(const std::string& hook) {
+  object_.programs.push_back(
+      BpfProgram{StrFormat("lsm_%s", hook.c_str()), Hook{HookKind::kLsm, hook, ""}});
+  return *this;
+}
+
+Result<size_t> BpfObjectBuilder::EnsureField(const std::string& struct_name,
+                                             const std::string& field_name,
+                                             const TypeStr& field_type) {
+  auto& fields = struct_fields_[struct_name];
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].name == field_name) {
+      return i;
+    }
+  }
+  fields.push_back(FieldSpec{field_name, field_type});
+  // Re-lower the struct so the program BTF carries the new field.
+  StructSpec spec;
+  spec.name = struct_name;
+  spec.fields = fields;
+  DEPSURF_ASSIGN_OR_RETURN(ignored, lowering_.DefineStruct(spec));
+  (void)ignored;
+  return fields.size() - 1;
+}
+
+Status BpfObjectBuilder::Access(const std::string& struct_name, const std::string& field_name,
+                                const TypeStr& field_type, CoreRelocKind kind) {
+  DEPSURF_ASSIGN_OR_RETURN(index, EnsureField(struct_name, field_name, field_type));
+  auto root = object_.btf.FindStruct(struct_name);
+  if (!root.has_value()) {
+    return Status(ErrorCode::kInternal, "struct vanished: " + struct_name);
+  }
+  CoreReloc reloc;
+  reloc.root_type_id = *root;
+  reloc.access_str = StrFormat("0:%zu", index);
+  reloc.kind = kind;
+  object_.relocs.push_back(std::move(reloc));
+  return Status::Ok();
+}
+
+Status BpfObjectBuilder::AccessField(const std::string& struct_name,
+                                     const std::string& field_name, const TypeStr& field_type) {
+  return Access(struct_name, field_name, field_type, CoreRelocKind::kFieldByteOffset);
+}
+
+Status BpfObjectBuilder::CheckFieldExists(const std::string& struct_name,
+                                          const std::string& field_name,
+                                          const TypeStr& field_type) {
+  return Access(struct_name, field_name, field_type, CoreRelocKind::kFieldExists);
+}
+
+Status BpfObjectBuilder::TouchStruct(const std::string& struct_name) {
+  if (struct_fields_.find(struct_name) == struct_fields_.end()) {
+    struct_fields_[struct_name] = {};
+    StructSpec spec;
+    spec.name = struct_name;
+    DEPSURF_ASSIGN_OR_RETURN(ignored, lowering_.DefineStruct(spec));
+    (void)ignored;
+  }
+  auto root = object_.btf.FindStruct(struct_name);
+  if (!root.has_value()) {
+    return Status(ErrorCode::kInternal, "struct vanished: " + struct_name);
+  }
+  CoreReloc reloc;
+  reloc.root_type_id = *root;
+  reloc.access_str = "0";
+  reloc.kind = CoreRelocKind::kTypeExists;
+  object_.relocs.push_back(std::move(reloc));
+  return Status::Ok();
+}
+
+Status BpfObjectBuilder::AccessChain(const std::vector<ChainLink>& chain) {
+  if (chain.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "empty access chain");
+  }
+  std::string access = "0";
+  for (const ChainLink& link : chain) {
+    DEPSURF_ASSIGN_OR_RETURN(index, EnsureField(link.struct_name, link.field_name,
+                                                link.field_type));
+    access += StrFormat(":%zu", index);
+  }
+  auto root = object_.btf.FindStruct(chain.front().struct_name);
+  if (!root.has_value()) {
+    return Status(ErrorCode::kInternal, "root struct missing");
+  }
+  CoreReloc reloc;
+  reloc.root_type_id = *root;
+  reloc.access_str = access;
+  reloc.kind = CoreRelocKind::kFieldByteOffset;
+  object_.relocs.push_back(std::move(reloc));
+  return Status::Ok();
+}
+
+BpfObject BpfObjectBuilder::Build() { return std::move(object_); }
+
+}  // namespace depsurf

@@ -1,0 +1,69 @@
+// Convenience builder for eBPF objects: declares hooks and struct/field
+// accesses, materializing the program-side BTF and CO-RE relocation records
+// the way clang's BPF backend would.
+#ifndef DEPSURF_SRC_BPF_BPF_BUILDER_H_
+#define DEPSURF_SRC_BPF_BPF_BUILDER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/bpf/bpf_object.h"
+#include "src/kmodel/type_lang.h"
+
+namespace depsurf {
+
+class BpfObjectBuilder {
+ public:
+  explicit BpfObjectBuilder(std::string name);
+
+  // ---- Hooks. Each attachment creates one program.
+  BpfObjectBuilder& AttachKprobe(const std::string& func);
+  BpfObjectBuilder& AttachKretprobe(const std::string& func);
+  BpfObjectBuilder& AttachFentry(const std::string& func);
+  BpfObjectBuilder& AttachTracepoint(const std::string& category, const std::string& event);
+  BpfObjectBuilder& AttachRawTracepoint(const std::string& event);
+  BpfObjectBuilder& AttachSyscall(const std::string& name, bool exit = false);
+  BpfObjectBuilder& AttachLsm(const std::string& hook);
+
+  // ---- Struct/field accesses (CO-RE).
+  // Declares that the program reads `struct_name.field_name`, expecting
+  // `field_type` (type-language string). Creates the struct in the program
+  // BTF if needed and appends a field-byte-offset relocation.
+  Status AccessField(const std::string& struct_name, const std::string& field_name,
+                     const TypeStr& field_type);
+  // bpf_core_field_exists-style presence check.
+  Status CheckFieldExists(const std::string& struct_name, const std::string& field_name,
+                          const TypeStr& field_type);
+  // References a struct without reading any field (pointer casts,
+  // bpf_core_type_exists): the struct becomes a dependency with no fields.
+  Status TouchStruct(const std::string& struct_name);
+  // Chained access a->b->c: one relocation recording every intermediate
+  // (struct, field). Each element is {struct, field, field_type}; the field
+  // type of non-terminal elements must be a pointer to the next struct.
+  struct ChainLink {
+    std::string struct_name;
+    std::string field_name;
+    TypeStr field_type;
+  };
+  Status AccessChain(const std::vector<ChainLink>& chain);
+
+  BpfObject Build();
+
+ private:
+  Status Access(const std::string& struct_name, const std::string& field_name,
+                const TypeStr& field_type, CoreRelocKind kind);
+  // Index of `field_name` in `struct_name`, adding the field if absent.
+  Result<size_t> EnsureField(const std::string& struct_name, const std::string& field_name,
+                             const TypeStr& field_type);
+
+  BpfObject object_;
+  TypeLowering lowering_;
+  int next_program_ = 0;
+  // struct name -> ordered field specs (program-side expectations).
+  std::map<std::string, std::vector<FieldSpec>> struct_fields_;
+};
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_BPF_BPF_BUILDER_H_

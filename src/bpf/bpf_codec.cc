@@ -1,0 +1,138 @@
+// ELF serialization of BpfObject (WriteBpfObject / ParseBpfObject).
+#include <map>
+
+#include "src/bpf/bpf_object.h"
+#include "src/btf/btf_codec.h"
+#include "src/elf/elf_reader.h"
+#include "src/elf/elf_writer.h"
+#include "src/util/str_util.h"
+
+namespace depsurf {
+
+namespace {
+
+// .BTF.ext layout (simplified but binary): u32 magic, u32 reloc count,
+// u32 string-section length, then per record {u32 type_id, u32 kind,
+// u32 access offset}, then the string section.
+std::vector<uint8_t> EncodeBtfExt(const std::vector<CoreReloc>& relocs) {
+  ByteWriter strings(Endian::kLittle);
+  strings.WriteU8(0);
+  std::map<std::string, uint32_t> offsets;
+  auto intern = [&](const std::string& s) {
+    auto it = offsets.find(s);
+    if (it != offsets.end()) {
+      return it->second;
+    }
+    uint32_t off = static_cast<uint32_t>(strings.size());
+    strings.WriteCString(s);
+    offsets[s] = off;
+    return off;
+  };
+  ByteWriter records(Endian::kLittle);
+  for (const CoreReloc& reloc : relocs) {
+    records.WriteU32(reloc.root_type_id);
+    records.WriteU32(static_cast<uint32_t>(reloc.kind));
+    records.WriteU32(intern(reloc.access_str));
+  }
+  ByteWriter out(Endian::kLittle);
+  out.WriteU32(kBtfExtMagic);
+  out.WriteU32(static_cast<uint32_t>(relocs.size()));
+  out.WriteU32(static_cast<uint32_t>(strings.size()));
+  const auto& rec_bytes = records.bytes();
+  out.WriteBytes(rec_bytes.data(), rec_bytes.size());
+  const auto& str_bytes = strings.bytes();
+  out.WriteBytes(str_bytes.data(), str_bytes.size());
+  return out.TakeBytes();
+}
+
+Result<std::vector<CoreReloc>> DecodeBtfExt(ByteReader reader) {
+  DEPSURF_ASSIGN_OR_RETURN(magic, reader.ReadU32());
+  if (magic != kBtfExtMagic) {
+    return Error(ErrorCode::kMalformedData, "BTF.ext magic mismatch");
+  }
+  DEPSURF_ASSIGN_OR_RETURN(count, reader.ReadU32());
+  DEPSURF_ASSIGN_OR_RETURN(str_len, reader.ReadU32());
+  uint64_t records_size = static_cast<uint64_t>(count) * 12;
+  if (records_size + str_len + 12 > reader.size()) {
+    return Error(ErrorCode::kMalformedData, "BTF.ext truncated");
+  }
+  DEPSURF_ASSIGN_OR_RETURN(strings, reader.Slice(12 + records_size, str_len));
+  std::vector<CoreReloc> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    CoreReloc reloc;
+    DEPSURF_ASSIGN_OR_RETURN(type_id, reader.ReadU32());
+    reloc.root_type_id = type_id;
+    DEPSURF_ASSIGN_OR_RETURN(kind, reader.ReadU32());
+    if (kind != 0 && kind != 1 && kind != 3 && kind != 8) {
+      return Error(ErrorCode::kUnsupported, StrFormat("reloc kind %u", kind));
+    }
+    reloc.kind = static_cast<CoreRelocKind>(kind);
+    DEPSURF_ASSIGN_OR_RETURN(str_off, reader.ReadU32());
+    DEPSURF_ASSIGN_OR_RETURN(access, strings.ReadCStringAt(str_off));
+    reloc.access_str = std::move(access);
+    out.push_back(std::move(reloc));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> WriteBpfObject(const BpfObject& object) {
+  // eBPF objects are always little-endian 64-bit in this corpus (built on
+  // the dev machine; CO-RE is what makes them portable).
+  ElfWriter writer(ElfIdent{ElfClass::k64, Endian::kLittle, ElfMachine::kX86_64});
+  for (const BpfProgram& program : object.programs) {
+    // Eight bytes of placeholder "bytecode" per program.
+    std::vector<uint8_t> insns(8, 0x95);  // BPF_EXIT opcode value, repeated
+    uint32_t section = writer.AddSection(HookSectionName(program.hook), SectionType::kProgbits,
+                                         std::move(insns), 0, kShfAlloc | kShfExecinstr);
+    ElfSymbol sym;
+    sym.name = program.name;
+    sym.bind = SymBind::kGlobal;
+    sym.type = SymType::kFunc;
+    sym.shndx = static_cast<uint16_t>(section);
+    writer.AddSymbol(sym);
+  }
+  writer.AddSection(".rodata.name", SectionType::kProgbits,
+                    std::vector<uint8_t>(object.name.begin(), object.name.end()));
+  writer.AddSection(kBtfSection, SectionType::kProgbits, EncodeBtf(object.btf));
+  writer.AddSection(kBtfExtSection, SectionType::kProgbits, EncodeBtfExt(object.relocs));
+  return writer.Finish();
+}
+
+Result<BpfObject> ParseBpfObject(std::vector<uint8_t> bytes) {
+  DEPSURF_ASSIGN_OR_RETURN(reader, ElfReader::Parse(std::move(bytes)));
+  BpfObject object;
+  // Program sections -> hooks; the section's FUNC symbol names the program.
+  for (size_t i = 0; i < reader.sections().size(); ++i) {
+    const ElfSectionView& section = reader.sections()[i];
+    std::optional<Hook> hook = ParseHookSection(section.name);
+    if (!hook.has_value()) {
+      continue;
+    }
+    BpfProgram program;
+    program.hook = *hook;
+    for (const ElfSymbol& sym : reader.symbols()) {
+      if (sym.shndx == i && sym.type == SymType::kFunc) {
+        program.name = sym.name;
+        break;
+      }
+    }
+    object.programs.push_back(std::move(program));
+  }
+  if (const ElfSectionView* name_sec = reader.SectionByName(".rodata.name")) {
+    DEPSURF_ASSIGN_OR_RETURN(data, reader.SectionData(*name_sec));
+    DEPSURF_ASSIGN_OR_RETURN(raw, data.ReadBytes(data.size()));
+    object.name.assign(raw.begin(), raw.end());
+  }
+  DEPSURF_ASSIGN_OR_RETURN(btf_data, reader.SectionDataByName(kBtfSection));
+  DEPSURF_ASSIGN_OR_RETURN(btf, DecodeBtf(btf_data));
+  object.btf = std::move(btf);
+  DEPSURF_ASSIGN_OR_RETURN(ext_data, reader.SectionDataByName(kBtfExtSection));
+  DEPSURF_ASSIGN_OR_RETURN(relocs, DecodeBtfExt(ext_data));
+  object.relocs = std::move(relocs);
+  return object;
+}
+
+}  // namespace depsurf

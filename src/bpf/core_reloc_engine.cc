@@ -1,0 +1,198 @@
+#include "src/bpf/core_reloc_engine.h"
+
+#include "src/util/str_util.h"
+
+namespace depsurf {
+
+namespace {
+
+// Byte size of a type in the kernel graph (pointers assume LP64; the value
+// only feeds kFieldSize results).
+uint32_t SizeOfKernelType(const TypeGraph& graph, BtfTypeId id) {
+  const BtfType* t = graph.Get(graph.ResolveAliases(id));
+  if (t == nullptr) {
+    return 0;
+  }
+  switch (t->kind) {
+    case BtfKind::kInt:
+    case BtfKind::kFloat:
+    case BtfKind::kStruct:
+    case BtfKind::kUnion:
+    case BtfKind::kEnum:
+      return t->size;
+    case BtfKind::kPtr:
+      return 8;
+    case BtfKind::kArray:
+      return t->nelems * SizeOfKernelType(graph, t->ref_type_id);
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+Result<RelocResult> ResolveCoreReloc(const TypeGraph& local_btf, const CoreReloc& reloc,
+                                     const TypeGraph& kernel_btf) {
+  const BtfType* local_root = local_btf.Get(local_btf.ResolveAliases(reloc.root_type_id));
+  if (local_root == nullptr || local_root->name.empty()) {
+    return Error(ErrorCode::kMalformedData, "relocation root is not a named type");
+  }
+  bool is_guard = reloc.kind == CoreRelocKind::kFieldExists;
+
+  // Step 1: match the root type in the kernel BTF by name.
+  auto kernel_root = kernel_btf.FindByKindAndName(local_root->kind, local_root->name);
+  if (!kernel_root.has_value()) {
+    RelocResult result;
+    if (reloc.kind == CoreRelocKind::kTypeExists || is_guard) {
+      result.outcome = RelocOutcome::kGuardedAbsent;
+      result.value = 0;
+      result.detail = local_root->name + " (absent)";
+      return result;
+    }
+    result.outcome = RelocOutcome::kTypeMissing;
+    result.detail = "no type named " + local_root->name + " in kernel BTF";
+    return result;
+  }
+  if (reloc.kind == CoreRelocKind::kTypeExists) {
+    RelocResult result;
+    result.value = 1;
+    result.detail = local_root->name + " (present)";
+    return result;
+  }
+
+  // Step 2: replay the access chain by *field name*. The local access
+  // string gives member indices into the local type; each step is looked up
+  // by name in the kernel type, accumulating the kernel byte offset.
+  std::vector<std::string> indices = SplitString(reloc.access_str, ':');
+  if (indices.size() < 2) {
+    return Error(ErrorCode::kMalformedData, "field relocation without member steps");
+  }
+  BtfTypeId local_id = local_btf.ResolveAliases(reloc.root_type_id);
+  BtfTypeId kernel_id = *kernel_root;
+  uint64_t bit_offset = 0;
+  std::string trail = local_root->name;
+  const BtfMember* kernel_member = nullptr;
+
+  for (size_t step = 1; step < indices.size(); ++step) {
+    const BtfType* local_type = local_btf.Get(local_id);
+    const BtfType* kernel_type = kernel_btf.Get(kernel_btf.ResolveAliases(kernel_id));
+    if (local_type == nullptr ||
+        (local_type->kind != BtfKind::kStruct && local_type->kind != BtfKind::kUnion)) {
+      return Error(ErrorCode::kMalformedData, "local access chain leaves struct territory");
+    }
+    size_t index = 0;
+    for (char c : indices[step]) {
+      if (c < '0' || c > '9') {
+        return Error(ErrorCode::kMalformedData, "bad access index " + indices[step]);
+      }
+      index = index * 10 + static_cast<size_t>(c - '0');
+    }
+    if (index >= local_type->members.size()) {
+      return Error(ErrorCode::kMalformedData, "local member index out of range");
+    }
+    const BtfMember& local_member = local_type->members[index];
+
+    // Kernel side: the same struct, matched field by name.
+    if (kernel_type == nullptr ||
+        (kernel_type->kind != BtfKind::kStruct && kernel_type->kind != BtfKind::kUnion)) {
+      RelocResult result;
+      result.outcome = is_guard ? RelocOutcome::kGuardedAbsent : RelocOutcome::kTypeMissing;
+      result.detail = trail + " is opaque in kernel BTF";
+      return result;
+    }
+    kernel_member = nullptr;
+    for (const BtfMember& m : kernel_type->members) {
+      if (m.name == local_member.name) {
+        kernel_member = &m;
+        break;
+      }
+    }
+    trail += "::" + local_member.name;
+    if (kernel_member == nullptr) {
+      RelocResult result;
+      if (is_guard) {
+        result.outcome = RelocOutcome::kGuardedAbsent;
+        result.value = 0;
+        result.detail = trail + " (absent)";
+      } else {
+        result.outcome = RelocOutcome::kFieldMissing;
+        result.detail = trail + " missing in kernel";
+      }
+      return result;
+    }
+    bit_offset += kernel_member->bits_offset;
+    if (step + 1 == indices.size()) {
+      break;  // final member: the accumulated offset is the answer
+    }
+
+    // Descend for chained accesses: through the member type, and through
+    // one pointer hop (a->b->c).
+    local_id = local_btf.ResolveAliases(local_member.type_id);
+    const BtfType* local_next = local_btf.Get(local_id);
+    if (local_next != nullptr && local_next->kind == BtfKind::kPtr) {
+      local_id = local_btf.ResolveAliases(local_next->ref_type_id);
+      bit_offset = 0;  // a pointer hop restarts the offset in the new object
+    }
+    kernel_id = kernel_btf.ResolveAliases(kernel_member->type_id);
+    const BtfType* kernel_next = kernel_btf.Get(kernel_id);
+    if (kernel_next != nullptr && kernel_next->kind == BtfKind::kPtr) {
+      kernel_id = kernel_btf.ResolveAliases(kernel_next->ref_type_id);
+    }
+    // Named aggregates on the kernel side may be forward declarations in
+    // this compilation unit; re-resolve by name to the full definition.
+    const BtfType* resolved = kernel_btf.Get(kernel_id);
+    if (resolved != nullptr && resolved->kind == BtfKind::kFwd) {
+      if (auto full = kernel_btf.FindStruct(resolved->name); full.has_value()) {
+        kernel_id = *full;
+      }
+    }
+  }
+
+  RelocResult result;
+  switch (reloc.kind) {
+    case CoreRelocKind::kFieldByteOffset:
+      result.value = bit_offset / 8;
+      result.detail = StrFormat("%s @ +%llu", trail.c_str(),
+                                static_cast<unsigned long long>(result.value));
+      break;
+    case CoreRelocKind::kFieldExists:
+      result.value = 1;
+      result.detail = trail + " (present)";
+      break;
+    case CoreRelocKind::kFieldSize:
+      result.value = SizeOfKernelType(kernel_btf, kernel_member->type_id);
+      result.detail = StrFormat("sizeof(%s) = %llu", trail.c_str(),
+                                static_cast<unsigned long long>(result.value));
+      break;
+    case CoreRelocKind::kTypeExists:
+      result.value = 1;
+      break;
+  }
+  return result;
+}
+
+LoadResult SimulateLoad(const BpfObject& object, const TypeGraph& kernel_btf) {
+  LoadResult load;
+  load.loaded = true;
+  load.relocs.reserve(object.relocs.size());
+  for (const CoreReloc& reloc : object.relocs) {
+    auto result = ResolveCoreReloc(object.btf, reloc, kernel_btf);
+    if (!result.ok()) {
+      load.loaded = false;
+      load.failure = result.error().ToString();
+      load.relocs.push_back(RelocResult{RelocOutcome::kTypeMissing, 0, load.failure});
+      continue;
+    }
+    if (result->outcome == RelocOutcome::kFieldMissing ||
+        result->outcome == RelocOutcome::kTypeMissing) {
+      if (load.loaded) {
+        load.failure = result->detail;
+      }
+      load.loaded = false;
+    }
+    load.relocs.push_back(result.TakeValue());
+  }
+  return load;
+}
+
+}  // namespace depsurf

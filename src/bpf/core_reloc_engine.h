@@ -1,0 +1,59 @@
+// The CO-RE relocation engine: the *loader* side of Compile Once - Run
+// Everywhere (paper §7). At load time, libbpf matches each relocation's
+// local (program-side) type against the target kernel's BTF by name,
+// re-resolves the member access chain by *field name* (not index), and
+// patches the instruction with the target offset. Relocation fails when the
+// kernel lacks the type or field — unless the access is a
+// bpf_core_field_exists query, which resolves to 0/1 instead of failing.
+//
+// This module reproduces that algorithm over our BTF graphs, which lets the
+// test suite and the ablation bench demonstrate the exact failure modes the
+// paper's "relocation error" consequence refers to.
+#ifndef DEPSURF_SRC_BPF_CORE_RELOC_ENGINE_H_
+#define DEPSURF_SRC_BPF_CORE_RELOC_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/bpf/bpf_object.h"
+#include "src/btf/btf.h"
+#include "src/util/error.h"
+
+namespace depsurf {
+
+enum class RelocOutcome : uint8_t {
+  kResolved,       // offset (or size/existence) patched successfully
+  kFieldMissing,   // kernel struct exists but lacks the field -> load fails
+  kTypeMissing,    // kernel lacks the root type entirely -> load fails
+  kGuardedAbsent,  // field_exists query answered "0" -> program handles it
+};
+
+struct RelocResult {
+  RelocOutcome outcome = RelocOutcome::kResolved;
+  // Meaning depends on the relocation kind: byte offset for
+  // kFieldByteOffset, byte size for kFieldSize, 0/1 for kFieldExists and
+  // kTypeExists.
+  uint64_t value = 0;
+  // Human-readable trail, e.g. "request::rq_disk @ +104".
+  std::string detail;
+};
+
+// Resolves one relocation against the target kernel BTF.
+// `local_btf` is the program's own BTF (where root_type_id lives).
+Result<RelocResult> ResolveCoreReloc(const TypeGraph& local_btf, const CoreReloc& reloc,
+                                     const TypeGraph& kernel_btf);
+
+// Simulates loading the whole object against a kernel: resolves every
+// relocation; the load succeeds iff none fails hard.
+struct LoadResult {
+  bool loaded = false;
+  std::vector<RelocResult> relocs;  // parallel to object.relocs
+  std::string failure;              // first hard failure, if any
+};
+
+LoadResult SimulateLoad(const BpfObject& object, const TypeGraph& kernel_btf);
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_BPF_CORE_RELOC_ENGINE_H_

@@ -1,0 +1,123 @@
+#include "src/bpfgen/dep_pools.h"
+
+#include "src/util/str_util.h"
+
+namespace depsurf {
+
+namespace {
+
+constexpr const char* kFuncPool[] = {
+    "vfs_read",          "vfs_write",          "vfs_open",          "vfs_unlink",
+    "vfs_getattr",       "vfs_statx",          "mutex_lock",        "mutex_unlock",
+    "mutex_trylock",     "mutex_lock_interruptible", "mutex_lock_killable",
+    "down_read",         "down_write",         "up_read",           "up_write",
+    "down_read_trylock", "down_write_trylock", "rwsem_down_read_slowpath",
+    "rwsem_down_write_slowpath", "rt_mutex_lock", "do_sys_open",    "do_sys_openat2",
+    "do_filp_open",      "path_openat",        "do_dentry_open",    "generic_file_read_iter",
+    "generic_file_write_iter", "ext4_file_open", "ext4_sync_file",  "new_sync_read",
+    "new_sync_write",    "ksys_read",          "ksys_write",        "sock_sendmsg",
+    "sock_recvmsg",      "tcp_v4_connect",     "tcp_v6_connect",    "tcp_close",
+    "tcp_set_state",     "tcp_sendmsg",        "tcp_cleanup_rbuf",  "tcp_rcv_state_process",
+    "tcp_rcv_established", "tcp_drop",         "inet_csk_accept",   "inet_listen",
+    "udp_sendmsg",       "udp_recvmsg",        "ip_queue_xmit",     "dev_queue_xmit",
+    "netif_receive_skb", "kmem_cache_alloc",   "kmem_cache_free",   "__kmalloc",
+    "kfree",             "__alloc_pages",      "free_pages",        "handle_mm_fault",
+    "do_page_fault",     "shrink_node",        "swap_readpage",     "mark_page_accessed",
+    "add_to_page_cache_lru", "account_page_dirtied", "folio_mark_dirty", "mark_buffer_dirty",
+    "submit_bio",        "bio_endio",          "blk_mq_complete_request", "md_flush_request",
+    "nfs_file_read",     "oom_kill_process",   "cap_capable",       "futex_wait",
+    "futex_wake",        "do_exit",            "kernel_clone",      "wake_up_new_task",
+    "ttwu_do_wakeup",    "migrate_misplaced_page", "migrate_pages_batch", "do_numa_page",
+    "sched_setaffinity", "pick_next_task_fair", "dequeue_task_fair", "enqueue_task_fair",
+    "sock_alloc_file",   "inet_bind",          "inet6_bind",        "sk_stream_write_space",
+    "unix_stream_sendmsg", "napi_gro_receive", "net_rx_action",     "icmp_send",
+};
+constexpr size_t kFuncPoolSize = sizeof(kFuncPool) / sizeof(kFuncPool[0]);
+
+constexpr const char* kStructPool[] = {
+    "sk_buff",        "inet_sock",     "tcp_sock",       "udp_sock",      "socket",
+    "msghdr",         "path",          "dentry",         "inode",         "super_block",
+    "address_space",  "page",          "vm_area_struct", "mm_struct",     "kmem_cache",
+    "bio_vec",        "bvec_iter",     "blk_mq_ctx",     "hd_struct",     "mutex",
+    "rw_semaphore",   "futex_q",       "k_sigaction",    "kernfs_node",   "cgroup",
+    "css_set",        "perf_event",    "irq_desc",       "softirq_action", "workqueue_struct",
+    "work_struct",    "timer_list",    "hrtimer",        "mnt_namespace", "vfsmount",
+    "nsproxy",        "pid_namespace", "files_struct",   "fdtable",       "signal_struct",
+    "sighand_struct", "cred",          "seq_file",       "kiocb",         "iov_iter",
+    "oom_control",    "mem_cgroup",    "zone",           "pglist_data",   "scan_control",
+};
+constexpr size_t kStructPoolSize = sizeof(kStructPool) / sizeof(kStructPool[0]);
+
+constexpr const char* kTracepointPool[] = {
+    "sched_process_exit",  "sched_process_fork",  "sched_process_exec",
+    "sched_wakeup",        "sched_wakeup_new",    "sched_stat_sleep",
+    "sched_stat_blocked",  "sched_migrate_task",  "signal_generate",
+    "signal_deliver",      "mm_page_alloc",       "mm_page_free",
+    "mm_vmscan_direct_reclaim_begin", "mm_vmscan_direct_reclaim_end",
+    "mm_compaction_begin", "kmalloc",             "kfree",
+    "kmem_cache_alloc_node", "block_bio_queue",   "block_bio_complete",
+    "block_getrq",         "block_split",         "block_unplug",
+    "softirq_entry",       "softirq_exit",        "softirq_raise",
+    "irq_handler_entry",   "irq_handler_exit",    "power_cpu_frequency",
+    "power_cpu_idle",      "tcp_retransmit_skb",  "tcp_probe",
+    "tcp_destroy_sock",    "inet_sock_set_state", "net_dev_queue",
+    "net_dev_xmit",        "netif_rx",            "napi_poll",
+    "writeback_dirty_page", "ext4_da_write_begin", "ext4_sync_file_enter",
+    "nfs_initiate_read",   "timer_start",         "timer_expire_entry",
+    "hrtimer_start",       "workqueue_execute_start", "oom_score_adj_update",
+};
+constexpr size_t kTracepointPoolSize = sizeof(kTracepointPool) / sizeof(kTracepointPool[0]);
+
+constexpr const char* kStableSyscalls[] = {
+    "read",        "write",     "close",      "openat",      "fsync",      "fdatasync",
+    "execve",      "futex",     "nanosleep",  "kill",        "tgkill",     "mmap",
+    "munmap",      "mprotect",  "brk",        "ioctl",       "readv",      "writev",
+    "sendmsg",     "recvmsg",   "bind",       "listen",      "accept4",    "connect",
+    "unlinkat",    "mkdirat",   "renameat2",  "sync",        "syncfs",     "msync",
+    "mount",       "umount2",   "rt_sigqueueinfo", "sched_yield", "getpid", "gettid",
+    "exit_group",  "wait4",     "clock_gettime", "statfs",   "fstatfs",    "ftruncate",
+    "fallocate",   "newfstatat",
+};
+constexpr size_t kNumStableSyscalls = sizeof(kStableSyscalls) / sizeof(kStableSyscalls[0]);
+
+constexpr const char* kFlakySyscalls[] = {
+    "open",     "stat",          "lstat",       "fork",        "vfork",       "chmod",
+    "pipe",     "poll",          "select",      "dup2",        "alarm",       "pause",
+    "utime",    "time",          "getdents",    "eventfd",     "signalfd",    "inotify_init",
+    "epoll_create", "epoll_wait", "access",     "creat",       "rename",      "mkdir",
+    "rmdir",    "link",          "unlink",      "symlink",     "readlink",    "openat2",
+    "clone3",   "statx",         "close_range", "faccessat2",  "pidfd_getfd",
+    "landlock_create_ruleset",   "futex_waitv", "memfd_secret", "process_madvise",
+    "epoll_pwait2", "io_uring_setup", "io_uring_enter", "pkey_alloc", "pkey_free",
+    "rseq",     "mount_setattr", "process_mrelease", "cachestat",
+};
+constexpr size_t kNumFlakySyscalls = sizeof(kFlakySyscalls) / sizeof(kFlakySyscalls[0]);
+
+}  // namespace
+
+std::string FuncPoolName(size_t i, const std::string& program) {
+  if (i < kFuncPoolSize) {
+    return kFuncPool[i];
+  }
+  return StrFormat("bpf_target_%s_%zu", program.c_str(), i - kFuncPoolSize);
+}
+
+std::string StructPoolName(size_t i, const std::string& program) {
+  if (i < kStructPoolSize) {
+    return kStructPool[i];
+  }
+  return StrFormat("%s_ctx_%zu", program.c_str(), i - kStructPoolSize);
+}
+
+std::string TracepointPoolName(size_t i, const std::string& program) {
+  if (i < kTracepointPoolSize) {
+    return kTracepointPool[i];
+  }
+  return StrFormat("%s_event_%zu", program.c_str(), i - kTracepointPoolSize);
+}
+
+std::string StableSyscall(size_t i) { return kStableSyscalls[i % kNumStableSyscalls]; }
+
+std::string FlakySyscall(size_t i) { return kFlakySyscalls[i % kNumFlakySyscalls]; }
+
+}  // namespace depsurf

@@ -1,0 +1,27 @@
+// Realistic kernel-name pools for synthesized program dependencies. Pool
+// names are real Linux identifiers; their version histories are synthesized
+// from mismatch profiles (see program_corpus.cc). Names overlapping the
+// curated catalog are deliberately excluded.
+#ifndef DEPSURF_SRC_BPFGEN_DEP_POOLS_H_
+#define DEPSURF_SRC_BPFGEN_DEP_POOLS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace depsurf {
+
+// Draws the i-th pool name; falls back to a generated "<prog>"-scoped name
+// once the pool is exhausted. `i` is a global cursor across all programs.
+std::string FuncPoolName(size_t i, const std::string& program);
+std::string StructPoolName(size_t i, const std::string& program);
+std::string TracepointPoolName(size_t i, const std::string& program);
+
+// Syscall pools: every "stable" name exists on all study images; every
+// "flaky" name is genuinely absent somewhere in the corpus (legacy calls
+// dropped by arm64/riscv, or late additions missing from old kernels).
+std::string StableSyscall(size_t i);
+std::string FlakySyscall(size_t i);
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_BPFGEN_DEP_POOLS_H_

@@ -1,0 +1,253 @@
+#include "src/bpfgen/program_corpus.h"
+
+#include <cassert>
+
+#include "src/bpf/bpf_builder.h"
+#include "src/bpfgen/dep_pools.h"
+#include "src/kernelgen/syscalls.h"
+#include "src/util/str_util.h"
+
+namespace depsurf {
+
+namespace {
+
+constexpr KernelVersion kV44{4, 4};
+constexpr KernelVersion kV58{5, 8};
+constexpr KernelVersion kV515{5, 15};
+constexpr KernelVersion kEnd{999, 0};
+
+// A synthesized struct dependency: `stable`/`changed` fields exist for the
+// struct's whole lifetime (changed ones widen at the change breakpoint);
+// `absent` fields only exist from v5.8. If `struct_absent`, the struct
+// itself only exists from v5.8 (all its fields count as absent).
+struct DepStructPlan {
+  std::string name;
+  int stable = 0;
+  int absent = 0;
+  int changed = 0;
+  bool struct_absent = false;
+};
+
+// Registers the struct lineage and adds the program's field accesses.
+Status RegisterDepStruct(ScriptedCatalog& cat, BpfObjectBuilder& builder,
+                         const DepStructPlan& plan) {
+  KernelVersion born = plan.struct_absent ? kV58 : kV44;
+  KernelVersion change_at = plan.struct_absent ? kV515 : kV58;
+  auto make = [&](bool with_absent, bool post_change) {
+    StructSpec spec;
+    spec.name = plan.name;
+    for (int i = 0; i < plan.stable; ++i) {
+      spec.fields.push_back({StrFormat("val%d", i), "unsigned long"});
+    }
+    for (int i = 0; i < plan.changed; ++i) {
+      spec.fields.push_back({StrFormat("w%d", i), post_change ? "long" : "int"});
+    }
+    if (with_absent) {
+      for (int i = 0; i < plan.absent; ++i) {
+        spec.fields.push_back({StrFormat("new%d", i), "u64"});
+      }
+    }
+    return spec;
+  };
+  ScriptedStruct st;
+  if (plan.changed > 0 || plan.absent > 0) {
+    st.stages.push_back({{born, change_at}, make(false, false)});
+    st.stages.push_back({{change_at, kEnd}, make(true, true)});
+  } else {
+    st.stages.push_back({{born, kEnd}, make(true, false)});
+  }
+  cat.AddStruct(std::move(st));
+
+  if (plan.stable + plan.absent + plan.changed == 0) {
+    return builder.TouchStruct(plan.name);
+  }
+  for (int i = 0; i < plan.stable; ++i) {
+    DEPSURF_RETURN_IF_ERROR(
+        builder.AccessField(plan.name, StrFormat("val%d", i), "unsigned long"));
+  }
+  for (int i = 0; i < plan.changed; ++i) {
+    // The program expects the original (pre-widening) type: stray read.
+    DEPSURF_RETURN_IF_ERROR(builder.AccessField(plan.name, StrFormat("w%d", i), "int"));
+  }
+  for (int i = 0; i < plan.absent; ++i) {
+    DEPSURF_RETURN_IF_ERROR(builder.AccessField(plan.name, StrFormat("new%d", i), "u64"));
+  }
+  return Status::Ok();
+}
+
+// Hand-coded per-program syscall dependency lists (real names).
+std::vector<std::string> SyscallDepsFor(const ProgramSpec& spec) {
+  if (spec.name == "tracee") {
+    std::vector<std::string> all = AllSyscallNames();
+    if (all.size() > static_cast<size_t>(spec.syscalls.total)) {
+      all.resize(static_cast<size_t>(spec.syscalls.total));
+    }
+    return all;
+  }
+  if (spec.name == "mountsnoop") {
+    return {"mount", "umount2"};
+  }
+  if (spec.name == "sigsnoop") {
+    return {"kill", "tgkill", "rt_sigqueueinfo"};
+  }
+  if (spec.name == "execsnoop") {
+    return {"execve"};
+  }
+  if (spec.name == "statsnoop") {
+    return {"newfstatat", "stat", "lstat", "statx", "access"};
+  }
+  if (spec.name == "opensnoop") {
+    return {"openat", "open"};
+  }
+  if (spec.name == "futexctn") {
+    return {"futex"};
+  }
+  if (spec.name == "syncsnoop") {
+    // sync_file_range2 exists only on ARM OABI targets: absent everywhere
+    // in this corpus.
+    return {"sync", "fsync", "fdatasync", "syncfs", "msync", "sync_file_range2"};
+  }
+  // Generic fallback (unused by the current table).
+  std::vector<std::string> out;
+  for (int i = 0; i < spec.syscalls.absent; ++i) {
+    out.push_back(FlakySyscall(static_cast<size_t>(i)));
+  }
+  for (int i = spec.syscalls.absent; i < spec.syscalls.total; ++i) {
+    out.push_back(StableSyscall(static_cast<size_t>(i)));
+  }
+  return out;
+}
+
+// The two curated case-study programs (Figure 4).
+BpfObject BuildBiotop() {
+  BpfObjectBuilder builder("biotop");
+  builder.AttachKprobe("blk_mq_start_request")
+      .AttachKprobe("blk_account_io_start")
+      .AttachKprobe("blk_account_io_done")
+      .AttachKprobe("__blk_account_io_start")
+      .AttachKprobe("__blk_account_io_done")
+      .AttachTracepoint("block", "block_io_start")
+      .AttachTracepoint("block", "block_io_done");
+  Status ok = builder.AccessField("request", "rq_disk", "struct gendisk *");
+  ok = builder.AccessField("request", "cmd_flags", "unsigned int");
+  ok = builder.AccessField("request", "__sector", "sector_t");
+  ok = builder.AccessField("request", "__data_len", "unsigned int");
+  ok = builder.AccessField("request", "start_time_ns", "u64");
+  ok = builder.AccessField("request_queue", "disk", "struct gendisk *");
+  ok = builder.AccessField("gendisk", "disk_name", "char[32]");
+  (void)ok;
+  return builder.Build();
+}
+
+BpfObject BuildReadahead() {
+  BpfObjectBuilder builder("readahead");
+  builder.AttachKprobe("__do_page_cache_readahead")
+      .AttachKprobe("do_page_cache_ra")
+      .AttachKprobe("__page_cache_alloc")
+      .AttachKprobe("filemap_alloc_folio");
+  Status ok = builder.TouchStruct("file_ra_state");
+  ok = builder.AccessField("folio", "flags", "unsigned long");
+  (void)ok;
+  return builder.Build();
+}
+
+}  // namespace
+
+ProgramCorpus BuildProgramCorpus() {
+  ProgramCorpus corpus;
+  size_t func_cursor = 0;
+  size_t struct_cursor = 0;
+  size_t tp_cursor = 0;
+
+  for (const ProgramSpec& spec : Table7Programs()) {
+    if (spec.name == "biotop") {
+      corpus.objects.push_back(BuildBiotop());
+      continue;
+    }
+    if (spec.name == "readahead") {
+      corpus.objects.push_back(BuildReadahead());
+      continue;
+    }
+
+    BpfObjectBuilder builder(spec.name);
+
+    // ---- Functions: greedy profile assignment (dep i carries every
+    // category whose target count exceeds i), maximizing overlap so the
+    // per-category unique-dependency counts match exactly.
+    for (int i = 0; i < spec.funcs.total; ++i) {
+      MismatchProfile profile;
+      profile.absent = i < spec.funcs.absent;
+      profile.changed = i < spec.funcs.changed;
+      profile.full_inline = i < spec.funcs.full_inline;
+      profile.selective = i < spec.funcs.selective;
+      profile.transformed = i < spec.funcs.transformed;
+      profile.duplicated = i < spec.funcs.duplicated;
+      std::string name = FuncPoolName(func_cursor++, spec.name);
+      corpus.additions.AddProfileFunc(name, profile);
+      builder.AttachKprobe(name);
+    }
+
+    // ---- Structs and fields. Absent structs host the absent-field budget
+    // (every field of an absent struct is absent on pre-v5.8 images);
+    // changed fields prefer present structs; overlap (changed fields that
+    // must also be absent) lands in absent structs.
+    int n_abs = spec.structs.absent;
+    int n_present = spec.structs.total - n_abs;
+    int f_abs = spec.fields.absent;
+    int f_chg = spec.fields.changed;
+    int overlap = std::max(0, f_abs + f_chg - spec.fields.total);
+    int chg_in_present = n_present > 0 ? f_chg - overlap : 0;
+    int chg_in_absent = f_chg - chg_in_present;
+    int fields_in_absent = n_abs > 0 ? f_abs : 0;
+    int abs_profile_fields = f_abs - fields_in_absent;  // extra, in present structs
+    int stable_fields =
+        spec.fields.total - fields_in_absent - chg_in_present - abs_profile_fields;
+
+    for (int i = 0; i < n_abs; ++i) {
+      DepStructPlan plan;
+      plan.name = StructPoolName(struct_cursor++, spec.name);
+      plan.struct_absent = true;
+      int share = fields_in_absent / n_abs + (i < fields_in_absent % n_abs ? 1 : 0);
+      int chg_share = chg_in_absent / n_abs + (i < chg_in_absent % n_abs ? 1 : 0);
+      plan.changed = std::min(chg_share, share);
+      plan.stable = share - plan.changed;
+      Status ok = RegisterDepStruct(corpus.additions, builder, plan);
+      (void)ok;
+    }
+    for (int i = 0; i < n_present; ++i) {
+      DepStructPlan plan;
+      plan.name = StructPoolName(struct_cursor++, spec.name);
+      plan.stable = stable_fields / n_present + (i < stable_fields % n_present ? 1 : 0);
+      plan.changed = chg_in_present / n_present + (i < chg_in_present % n_present ? 1 : 0);
+      plan.absent =
+          abs_profile_fields / n_present + (i < abs_profile_fields % n_present ? 1 : 0);
+      Status ok = RegisterDepStruct(corpus.additions, builder, plan);
+      (void)ok;
+    }
+
+    // ---- Tracepoints.
+    for (int i = 0; i < spec.tracepoints.total; ++i) {
+      bool absent = i < spec.tracepoints.absent;
+      bool changed = i < spec.tracepoints.changed;
+      std::string name = TracepointPoolName(tp_cursor++, spec.name);
+      corpus.additions.AddProfileTracepoint(name, absent, changed);
+      builder.AttachTracepoint(spec.subsystem, name);
+    }
+
+    // ---- System calls (real names; see SyscallDepsFor).
+    for (const std::string& syscall : SyscallDepsFor(spec)) {
+      builder.AttachSyscall(syscall);
+    }
+
+    corpus.objects.push_back(builder.Build());
+  }
+  return corpus;
+}
+
+ScriptedCatalog BuildStudyCatalog() {
+  ScriptedCatalog catalog = BuildCuratedCatalog();
+  catalog.Merge(BuildProgramCorpus().additions);
+  return catalog;
+}
+
+}  // namespace depsurf

@@ -1,0 +1,36 @@
+// Builds the 53-program eBPF corpus (Table 7) and the scripted kernel
+// constructs its synthesized dependencies require.
+//
+// biotop and readahead use the curated real-kernel lineages (Figure 4);
+// every other program's dependencies are constraint-synthesized: each
+// dependency gets a mismatch profile such that the per-category counts of
+// Table 7 are reproduced exactly against the 21-image corpus. Pool names
+// are real kernel identifiers; histories are synthetic.
+#ifndef DEPSURF_SRC_BPFGEN_PROGRAM_CORPUS_H_
+#define DEPSURF_SRC_BPFGEN_PROGRAM_CORPUS_H_
+
+#include <vector>
+
+#include "src/bpf/bpf_object.h"
+#include "src/bpfgen/table7.h"
+#include "src/kernelgen/scripted.h"
+
+namespace depsurf {
+
+struct ProgramCorpus {
+  // One object per Table 7 row, in order.
+  std::vector<BpfObject> objects;
+  // Scripted constructs the synthesized dependencies need; merge into the
+  // kernel catalog before generating images.
+  ScriptedCatalog additions;
+};
+
+// Deterministic; safe to call repeatedly.
+ProgramCorpus BuildProgramCorpus();
+
+// Curated catalog + corpus additions: the catalog the study images use.
+ScriptedCatalog BuildStudyCatalog();
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_BPFGEN_PROGRAM_CORPUS_H_

@@ -1,0 +1,69 @@
+#include "src/bpfgen/table7.h"
+
+namespace depsurf {
+
+// Row encoding: {name, subsystem,
+//   funcs{Σ, Ø, Δ, F, S, T, D}, structs{Σ, Ø}, fields{Σ, Ø, Δ},
+//   tracepoints{Σ, Ø, Δ}, syscalls{Σ, Ø}}.
+// Values follow Table 7 of the paper.
+const std::vector<ProgramSpec>& Table7Programs() {
+  static const std::vector<ProgramSpec> kPrograms = {
+      {"tracee", "security", {67, 14, 16, 5, 14, 14, 2}, {98, 14}, {250, 53, 9},
+       {13, 3, 4}, {446, 202}},
+      {"klockstat", "cpu", {14, 3, 0, 0, 4, 0, 0}, {}, {}, {}, {}},
+      {"vfsstat", "storage", {8, 0, 5, 0, 6, 1, 0}, {}, {}, {}, {}},
+      {"biotop", "storage", {5, 2, 2, 3, 2, 0, 0}, {3, 0}, {7, 2, 1}, {2, 2, 0}, {}},
+      {"cachestat", "memory", {5, 2, 2, 0, 1, 0, 0}, {}, {}, {2, 2, 1}, {}},
+      {"fsdist", "storage", {5, 2, 1, 0, 2, 2, 0}, {}, {}, {}, {}},
+      {"tcptracer", "network", {5, 0, 1, 0, 0, 3, 0}, {6, 0}, {14, 0, 0}, {}, {}},
+      {"readahead", "memory", {4, 3, 1, 2, 3, 1, 1}, {2, 1}, {1, 1, 0}, {}, {}},
+      {"fsslower", "storage", {4, 1, 0, 0, 2, 1, 0}, {5, 0}, {6, 0, 0}, {}, {}},
+      {"filelife", "storage", {4, 0, 3, 0, 2, 0, 0}, {5, 1}, {6, 2, 0}, {}, {}},
+      {"biostacks", "storage", {3, 1, 2, 2, 3, 0, 0}, {3, 0}, {5, 2, 0}, {2, 2, 0}, {}},
+      {"tcpconnlat", "network", {3, 0, 0, 0, 0, 2, 0}, {4, 1}, {11, 1, 0}, {1, 1, 1}, {}},
+      {"numamove", "memory", {2, 2, 0, 1, 0, 0, 0}, {}, {}, {}, {}},
+      {"biosnoop", "storage", {2, 1, 1, 1, 2, 0, 0}, {3, 0}, {9, 2, 1}, {4, 1, 3}, {}},
+      {"filetop", "storage", {2, 0, 0, 0, 2, 0, 0}, {6, 0}, {10, 0, 0}, {}, {}},
+      {"tcpsynbl", "network", {2, 0, 0, 0, 0, 2, 0}, {1, 0}, {2, 0, 0}, {}, {}},
+      {"tcpconnect", "network", {2, 0, 0, 0, 0, 1, 0}, {3, 0}, {8, 0, 0}, {}, {}},
+      {"bindsnoop", "network", {2, 0, 0, 0, 0, 0, 0}, {5, 0}, {14, 4, 1}, {}, {}},
+      {"tcptop", "network", {2, 0, 0, 0, 0, 0, 0}, {3, 0}, {9, 0, 0}, {}, {}},
+      {"oomkill", "memory", {1, 0, 1, 0, 1, 1, 0}, {3, 1}, {4, 2, 0}, {}, {}},
+      {"capable", "security", {1, 0, 1, 0, 1, 1, 0}, {}, {}, {}, {}},
+      {"tcprtt", "network", {1, 0, 1, 0, 0, 1, 0}, {6, 0}, {12, 0, 0}, {}, {}},
+      {"mdflush", "storage", {1, 0, 1, 0, 0, 1, 0}, {3, 0}, {4, 2, 0}, {}, {}},
+      {"solisten", "network", {1, 0, 0, 0, 1, 0, 0}, {7, 0}, {8, 0, 0}, {}, {}},
+      {"slabratetop", "memory", {1, 0, 0, 0, 0, 0, 0}, {1, 0}, {2, 0, 1}, {}, {}},
+      {"memleak", "memory", {}, {11, 9}, {17, 14, 0}, {10, 4, 7}, {}},
+      {"tcppktlat", "network", {}, {1, 1}, {12, 12, 0}, {3, 3, 3}, {}},
+      {"mountsnoop", "storage", {}, {17, 1}, {6, 0, 0}, {}, {2, 0}},
+      {"runqlat", "cpu", {}, {5, 0}, {11, 3, 1}, {3, 0, 3}, {}},
+      {"tcpstates", "network", {}, {4, 1}, {13, 7, 1}, {1, 1, 1}, {}},
+      {"runqlen", "cpu", {}, {4, 0}, {5, 0, 0}, {}, {}},
+      {"biolatency", "storage", {}, {3, 0}, {7, 2, 1}, {3, 0, 3}, {}},
+      {"bitesize", "storage", {}, {3, 0}, {6, 2, 0}, {1, 0, 1}, {}},
+      {"sigsnoop", "cpu", {}, {3, 0}, {5, 0, 0}, {1, 0, 1}, {3, 0}},
+      {"execsnoop", "cpu", {}, {3, 0}, {4, 0, 0}, {}, {1, 0}},
+      {"biopattern", "storage", {}, {2, 2}, {6, 6, 0}, {1, 0, 1}, {}},
+      {"tcplife", "network", {}, {2, 1}, {12, 10, 1}, {1, 1, 1}, {}},
+      {"syscount", "cpu", {}, {2, 0}, {4, 0, 0}, {2, 0, 0}, {}},
+      {"statsnoop", "storage", {}, {2, 0}, {2, 0, 0}, {}, {5, 4}},
+      {"opensnoop", "storage", {}, {2, 0}, {2, 0, 0}, {}, {2, 1}},
+      {"futexctn", "cpu", {}, {2, 0}, {2, 0, 0}, {}, {1, 0}},
+      {"profile", "cpu", {}, {1, 1}, {1, 1, 1}, {}, {}},
+      {"llcstat", "cpu", {}, {1, 1}, {1, 1, 0}, {}, {}},
+      {"offcputime", "cpu", {}, {1, 0}, {6, 2, 0}, {1, 0, 1}, {}},
+      {"runqslower", "cpu", {}, {1, 0}, {5, 2, 0}, {3, 0, 3}, {}},
+      {"cpudist", "cpu", {}, {1, 0}, {5, 2, 0}, {1, 0, 1}, {}},
+      {"wakeuptime", "cpu", {}, {1, 0}, {4, 0, 0}, {2, 0, 2}, {}},
+      {"exitsnoop", "cpu", {}, {1, 0}, {4, 0, 0}, {1, 0, 0}, {}},
+      {"hardirqs", "cpu", {}, {1, 0}, {1, 0, 0}, {2, 0, 0}, {}},
+      {"drsnoop", "memory", {}, {}, {}, {2, 0, 1}, {}},
+      {"softirqs", "cpu", {}, {}, {}, {2, 0, 0}, {}},
+      {"cpufreq", "cpu", {}, {}, {}, {1, 0, 0}, {}},
+      {"syncsnoop", "storage", {}, {}, {}, {}, {6, 1}},
+  };
+  return kPrograms;
+}
+
+}  // namespace depsurf

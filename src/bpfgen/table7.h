@@ -1,0 +1,67 @@
+// The 53 analyzed eBPF programs (52 BCC libbpf-tools + Tracee) with their
+// Table 7 dependency/mismatch targets. The corpus builder synthesizes
+// dependency plans that reproduce these counts against the 21-image corpus.
+#ifndef DEPSURF_SRC_BPFGEN_TABLE7_H_
+#define DEPSURF_SRC_BPFGEN_TABLE7_H_
+
+#include <string>
+#include <vector>
+
+namespace depsurf {
+
+struct FuncTargets {
+  int total = 0;
+  int absent = 0;
+  int changed = 0;
+  int full_inline = 0;
+  int selective = 0;
+  int transformed = 0;
+  int duplicated = 0;
+};
+
+struct StructTargets {
+  int total = 0;
+  int absent = 0;
+};
+
+struct FieldTargets {
+  int total = 0;
+  int absent = 0;
+  int changed = 0;
+};
+
+struct TracepointTargets {
+  int total = 0;
+  int absent = 0;
+  int changed = 0;
+};
+
+struct SyscallTargets {
+  int total = 0;
+  int absent = 0;
+};
+
+struct ProgramSpec {
+  std::string name;
+  // "cpu", "memory", "storage", "network", "security".
+  std::string subsystem;
+  FuncTargets funcs;
+  StructTargets structs;
+  FieldTargets fields;
+  TracepointTargets tracepoints;
+  SyscallTargets syscalls;
+
+  bool ExpectClean() const {
+    return funcs.absent + funcs.changed + funcs.full_inline + funcs.selective +
+               funcs.transformed + funcs.duplicated + structs.absent + fields.absent +
+               fields.changed + tracepoints.absent + tracepoints.changed + syscalls.absent ==
+           0;
+  }
+};
+
+// All 53 rows, in the paper's order.
+const std::vector<ProgramSpec>& Table7Programs();
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_BPFGEN_TABLE7_H_

@@ -1,0 +1,251 @@
+#include "src/btf/btf.h"
+
+#include "src/util/prng.h"
+#include "src/util/str_util.h"
+
+namespace depsurf {
+
+const char* BtfKindName(BtfKind kind) {
+  switch (kind) {
+    case BtfKind::kVoid:
+      return "VOID";
+    case BtfKind::kInt:
+      return "INT";
+    case BtfKind::kPtr:
+      return "PTR";
+    case BtfKind::kArray:
+      return "ARRAY";
+    case BtfKind::kStruct:
+      return "STRUCT";
+    case BtfKind::kUnion:
+      return "UNION";
+    case BtfKind::kEnum:
+      return "ENUM";
+    case BtfKind::kFwd:
+      return "FWD";
+    case BtfKind::kTypedef:
+      return "TYPEDEF";
+    case BtfKind::kVolatile:
+      return "VOLATILE";
+    case BtfKind::kConst:
+      return "CONST";
+    case BtfKind::kRestrict:
+      return "RESTRICT";
+    case BtfKind::kFunc:
+      return "FUNC";
+    case BtfKind::kFuncProto:
+      return "FUNC_PROTO";
+    case BtfKind::kFloat:
+      return "FLOAT";
+  }
+  return "UNKNOWN";
+}
+
+BtfTypeId TypeGraph::Add(BtfType type) {
+  types_.push_back(std::move(type));
+  return static_cast<BtfTypeId>(types_.size());
+}
+
+const BtfType* TypeGraph::Get(BtfTypeId id) const {
+  if (id == 0 || id > types_.size()) {
+    return nullptr;
+  }
+  return &types_[id - 1];
+}
+
+BtfType* TypeGraph::GetMutable(BtfTypeId id) {
+  if (id == 0 || id > types_.size()) {
+    return nullptr;
+  }
+  return &types_[id - 1];
+}
+
+BtfTypeId TypeGraph::Dedup(uint64_t key, BtfType type) {
+  auto it = dedup_.find(key);
+  if (it != dedup_.end()) {
+    return it->second;
+  }
+  BtfTypeId id = Add(std::move(type));
+  dedup_[key] = id;
+  return id;
+}
+
+BtfTypeId TypeGraph::Int(std::string_view name, uint32_t byte_size) {
+  BtfType t;
+  t.kind = BtfKind::kInt;
+  t.name = name;
+  t.size = byte_size;
+  t.int_bits = static_cast<uint8_t>(byte_size * 8);
+  return Dedup(HashCombine({1, HashString(name), byte_size}), std::move(t));
+}
+
+BtfTypeId TypeGraph::Float(std::string_view name, uint32_t byte_size) {
+  BtfType t;
+  t.kind = BtfKind::kFloat;
+  t.name = name;
+  t.size = byte_size;
+  return Dedup(HashCombine({16, HashString(name), byte_size}), std::move(t));
+}
+
+BtfTypeId TypeGraph::Ptr(BtfTypeId to) {
+  BtfType t;
+  t.kind = BtfKind::kPtr;
+  t.ref_type_id = to;
+  return Dedup(HashCombine({2, to}), std::move(t));
+}
+
+BtfTypeId TypeGraph::Const(BtfTypeId of) {
+  BtfType t;
+  t.kind = BtfKind::kConst;
+  t.ref_type_id = of;
+  return Dedup(HashCombine({10, of}), std::move(t));
+}
+
+BtfTypeId TypeGraph::Volatile(BtfTypeId of) {
+  BtfType t;
+  t.kind = BtfKind::kVolatile;
+  t.ref_type_id = of;
+  return Dedup(HashCombine({9, of}), std::move(t));
+}
+
+BtfTypeId TypeGraph::Typedef(std::string_view name, BtfTypeId of) {
+  BtfType t;
+  t.kind = BtfKind::kTypedef;
+  t.name = name;
+  t.ref_type_id = of;
+  return Dedup(HashCombine({8, HashString(name), of}), std::move(t));
+}
+
+BtfTypeId TypeGraph::Array(BtfTypeId element, uint32_t nelems) {
+  BtfType t;
+  t.kind = BtfKind::kArray;
+  t.ref_type_id = element;
+  t.nelems = nelems;
+  return Dedup(HashCombine({3, element, nelems}), std::move(t));
+}
+
+BtfTypeId TypeGraph::Fwd(std::string_view name) {
+  BtfType t;
+  t.kind = BtfKind::kFwd;
+  t.name = name;
+  return Dedup(HashCombine({7, HashString(name)}), std::move(t));
+}
+
+BtfTypeId TypeGraph::Struct(std::string_view name, uint32_t byte_size,
+                            std::vector<BtfMember> members) {
+  BtfType t;
+  t.kind = BtfKind::kStruct;
+  t.name = name;
+  t.size = byte_size;
+  t.members = std::move(members);
+  return Add(std::move(t));
+}
+
+BtfTypeId TypeGraph::Union(std::string_view name, uint32_t byte_size,
+                           std::vector<BtfMember> members) {
+  BtfType t;
+  t.kind = BtfKind::kUnion;
+  t.name = name;
+  t.size = byte_size;
+  t.members = std::move(members);
+  return Add(std::move(t));
+}
+
+BtfTypeId TypeGraph::Enum(std::string_view name, std::vector<BtfEnumerator> enumerators) {
+  BtfType t;
+  t.kind = BtfKind::kEnum;
+  t.name = name;
+  t.size = 4;
+  t.enumerators = std::move(enumerators);
+  return Add(std::move(t));
+}
+
+BtfTypeId TypeGraph::FuncProto(BtfTypeId return_type, std::vector<BtfParam> params) {
+  BtfType t;
+  t.kind = BtfKind::kFuncProto;
+  t.ref_type_id = return_type;
+  t.params = std::move(params);
+  return Add(std::move(t));
+}
+
+BtfTypeId TypeGraph::Func(std::string_view name, BtfTypeId proto) {
+  BtfType t;
+  t.kind = BtfKind::kFunc;
+  t.name = name;
+  t.ref_type_id = proto;
+  return Add(std::move(t));
+}
+
+std::optional<BtfTypeId> TypeGraph::FindByKindAndName(BtfKind kind, std::string_view name) const {
+  for (uint32_t i = 0; i < types_.size(); ++i) {
+    if (types_[i].kind == kind && types_[i].name == name) {
+      return i + 1;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<BtfTypeId> TypeGraph::FindStruct(std::string_view name) const {
+  return FindByKindAndName(BtfKind::kStruct, name);
+}
+
+std::optional<BtfTypeId> TypeGraph::FindFunc(std::string_view name) const {
+  return FindByKindAndName(BtfKind::kFunc, name);
+}
+
+BtfTypeId TypeGraph::ResolveAliases(BtfTypeId id) const {
+  // Alias chains are finite in valid graphs; the loop bound guards against
+  // cycles in malformed ones.
+  for (uint32_t depth = 0; depth < 64; ++depth) {
+    const BtfType* t = Get(id);
+    if (t == nullptr) {
+      return id;
+    }
+    switch (t->kind) {
+      case BtfKind::kConst:
+      case BtfKind::kVolatile:
+      case BtfKind::kRestrict:
+      case BtfKind::kTypedef:
+        id = t->ref_type_id;
+        break;
+      default:
+        return id;
+    }
+  }
+  return id;
+}
+
+Status TypeGraph::Validate() const {
+  auto check = [&](uint32_t id, const char* what) -> Status {
+    if (id > types_.size()) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("%s references type %u beyond %zu", what, id, types_.size()));
+    }
+    return Status::Ok();
+  };
+  for (const BtfType& t : types_) {
+    switch (t.kind) {
+      case BtfKind::kPtr:
+      case BtfKind::kTypedef:
+      case BtfKind::kConst:
+      case BtfKind::kVolatile:
+      case BtfKind::kRestrict:
+      case BtfKind::kArray:
+      case BtfKind::kFunc:
+      case BtfKind::kFuncProto:
+        DEPSURF_RETURN_IF_ERROR(check(t.ref_type_id, BtfKindName(t.kind)));
+        break;
+      default:
+        break;
+    }
+    for (const BtfMember& m : t.members) {
+      DEPSURF_RETURN_IF_ERROR(check(m.type_id, "member"));
+    }
+    for (const BtfParam& p : t.params) {
+      DEPSURF_RETURN_IF_ERROR(check(p.type_id, "param"));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace depsurf

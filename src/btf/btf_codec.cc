@@ -1,0 +1,255 @@
+#include "src/btf/btf_codec.h"
+
+#include <unordered_map>
+
+#include "src/util/str_util.h"
+
+namespace depsurf {
+
+namespace {
+
+// Deduplicating BTF string section builder; offset 0 is the empty string.
+class BtfStrtab {
+ public:
+  BtfStrtab() { bytes_.push_back(0); }
+
+  uint32_t Add(const std::string& s) {
+    if (s.empty()) {
+      return 0;
+    }
+    auto it = offsets_.find(s);
+    if (it != offsets_.end()) {
+      return it->second;
+    }
+    uint32_t off = static_cast<uint32_t>(bytes_.size());
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+    bytes_.push_back(0);
+    offsets_[s] = off;
+    return off;
+  }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  std::unordered_map<std::string, uint32_t> offsets_;
+};
+
+constexpr uint32_t MakeInfo(BtfKind kind, uint32_t vlen) {
+  return (static_cast<uint32_t>(kind) << 24) | (vlen & 0xffff);
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeBtf(const TypeGraph& graph, Endian endian) {
+  BtfStrtab strtab;
+  ByteWriter types(endian);
+
+  for (BtfTypeId id = 1; id <= graph.num_types(); ++id) {
+    const BtfType& t = *graph.Get(id);
+    uint32_t vlen = 0;
+    switch (t.kind) {
+      case BtfKind::kStruct:
+      case BtfKind::kUnion:
+        vlen = static_cast<uint32_t>(t.members.size());
+        break;
+      case BtfKind::kEnum:
+        vlen = static_cast<uint32_t>(t.enumerators.size());
+        break;
+      case BtfKind::kFuncProto:
+        vlen = static_cast<uint32_t>(t.params.size());
+        break;
+      default:
+        break;
+    }
+    types.WriteU32(strtab.Add(t.name));
+    types.WriteU32(MakeInfo(t.kind, vlen));
+    // The third word is size for sized kinds, a type reference otherwise.
+    switch (t.kind) {
+      case BtfKind::kInt:
+      case BtfKind::kFloat:
+      case BtfKind::kStruct:
+      case BtfKind::kUnion:
+      case BtfKind::kEnum:
+        types.WriteU32(t.size);
+        break;
+      default:
+        types.WriteU32(t.ref_type_id);
+        break;
+    }
+    // Kind-specific payload.
+    switch (t.kind) {
+      case BtfKind::kInt:
+        types.WriteU32(static_cast<uint32_t>(t.int_bits));
+        break;
+      case BtfKind::kArray:
+        types.WriteU32(t.ref_type_id);  // element type
+        types.WriteU32(0);              // index type (unused by us)
+        types.WriteU32(t.nelems);
+        break;
+      case BtfKind::kStruct:
+      case BtfKind::kUnion:
+        for (const BtfMember& m : t.members) {
+          types.WriteU32(strtab.Add(m.name));
+          types.WriteU32(m.type_id);
+          types.WriteU32(m.bits_offset);
+        }
+        break;
+      case BtfKind::kEnum:
+        for (const BtfEnumerator& e : t.enumerators) {
+          types.WriteU32(strtab.Add(e.name));
+          types.WriteU32(static_cast<uint32_t>(e.value));
+        }
+        break;
+      case BtfKind::kFuncProto:
+        for (const BtfParam& p : t.params) {
+          types.WriteU32(strtab.Add(p.name));
+          types.WriteU32(p.type_id);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::vector<uint8_t> type_bytes = types.TakeBytes();
+  ByteWriter out(endian);
+  out.WriteU16(kBtfMagic);
+  out.WriteU8(kBtfVersion);
+  out.WriteU8(0);  // flags
+  out.WriteU32(kBtfHeaderLen);
+  out.WriteU32(0);  // type_off (relative to end of header)
+  out.WriteU32(static_cast<uint32_t>(type_bytes.size()));
+  out.WriteU32(static_cast<uint32_t>(type_bytes.size()));  // str_off
+  out.WriteU32(static_cast<uint32_t>(strtab.bytes().size()));
+  out.WriteBytes(type_bytes.data(), type_bytes.size());
+  out.WriteBytes(strtab.bytes().data(), strtab.bytes().size());
+  return out.TakeBytes();
+}
+
+Result<TypeGraph> DecodeBtf(const std::vector<uint8_t>& bytes, Endian endian) {
+  return DecodeBtf(ByteReader(bytes, endian));
+}
+
+Result<TypeGraph> DecodeBtf(ByteReader reader) {
+  DEPSURF_ASSIGN_OR_RETURN(magic, reader.ReadU16());
+  if (magic != kBtfMagic) {
+    return Error(ErrorCode::kMalformedData, "BTF magic mismatch");
+  }
+  DEPSURF_ASSIGN_OR_RETURN(version, reader.ReadU8());
+  if (version != kBtfVersion) {
+    return Error(ErrorCode::kUnsupported, "unsupported BTF version");
+  }
+  DEPSURF_RETURN_IF_ERROR(reader.Skip(1));  // flags
+  DEPSURF_ASSIGN_OR_RETURN(hdr_len, reader.ReadU32());
+  if (hdr_len != kBtfHeaderLen) {
+    return Error(ErrorCode::kMalformedData, "unexpected BTF header length");
+  }
+  DEPSURF_ASSIGN_OR_RETURN(type_off, reader.ReadU32());
+  DEPSURF_ASSIGN_OR_RETURN(type_len, reader.ReadU32());
+  DEPSURF_ASSIGN_OR_RETURN(str_off, reader.ReadU32());
+  DEPSURF_ASSIGN_OR_RETURN(str_len, reader.ReadU32());
+
+  DEPSURF_ASSIGN_OR_RETURN(types, reader.Slice(hdr_len + type_off, type_len));
+  DEPSURF_ASSIGN_OR_RETURN(strs, reader.Slice(hdr_len + str_off, str_len));
+
+  auto read_name = [&](uint32_t off) -> Result<std::string> {
+    if (off == 0) {
+      return std::string();
+    }
+    return strs.ReadCStringAt(off);
+  };
+
+  TypeGraph graph;
+  while (!types.AtEnd()) {
+    DEPSURF_ASSIGN_OR_RETURN(name_off, types.ReadU32());
+    DEPSURF_ASSIGN_OR_RETURN(info, types.ReadU32());
+    DEPSURF_ASSIGN_OR_RETURN(size_or_type, types.ReadU32());
+    BtfType t;
+    uint32_t kind_raw = (info >> 24) & 0x1f;
+    uint32_t vlen = info & 0xffff;
+    if (kind_raw > static_cast<uint32_t>(BtfKind::kFloat) ||
+        kind_raw == 14 || kind_raw == 15) {  // VAR/DATASEC not produced by us
+      return Error(ErrorCode::kUnsupported, StrFormat("BTF kind %u", kind_raw));
+    }
+    t.kind = static_cast<BtfKind>(kind_raw);
+    DEPSURF_ASSIGN_OR_RETURN(name, read_name(name_off));
+    t.name = std::move(name);
+    switch (t.kind) {
+      case BtfKind::kInt:
+      case BtfKind::kFloat:
+      case BtfKind::kStruct:
+      case BtfKind::kUnion:
+      case BtfKind::kEnum:
+        t.size = size_or_type;
+        break;
+      default:
+        t.ref_type_id = size_or_type;
+        break;
+    }
+    switch (t.kind) {
+      case BtfKind::kInt: {
+        DEPSURF_ASSIGN_OR_RETURN(int_data, types.ReadU32());
+        t.int_bits = static_cast<uint8_t>(int_data & 0xff);
+        break;
+      }
+      case BtfKind::kArray: {
+        DEPSURF_ASSIGN_OR_RETURN(elem, types.ReadU32());
+        DEPSURF_RETURN_IF_ERROR(types.Skip(4));  // index type
+        DEPSURF_ASSIGN_OR_RETURN(nelems, types.ReadU32());
+        t.ref_type_id = elem;
+        t.nelems = nelems;
+        break;
+      }
+      case BtfKind::kStruct:
+      case BtfKind::kUnion: {
+        t.members.reserve(vlen);
+        for (uint32_t i = 0; i < vlen; ++i) {
+          BtfMember m;
+          DEPSURF_ASSIGN_OR_RETURN(mname_off, types.ReadU32());
+          DEPSURF_ASSIGN_OR_RETURN(mname, read_name(mname_off));
+          m.name = std::move(mname);
+          DEPSURF_ASSIGN_OR_RETURN(mtype, types.ReadU32());
+          m.type_id = mtype;
+          DEPSURF_ASSIGN_OR_RETURN(moff, types.ReadU32());
+          m.bits_offset = moff;
+          t.members.push_back(std::move(m));
+        }
+        break;
+      }
+      case BtfKind::kEnum: {
+        t.enumerators.reserve(vlen);
+        for (uint32_t i = 0; i < vlen; ++i) {
+          BtfEnumerator e;
+          DEPSURF_ASSIGN_OR_RETURN(ename_off, types.ReadU32());
+          DEPSURF_ASSIGN_OR_RETURN(ename, read_name(ename_off));
+          e.name = std::move(ename);
+          DEPSURF_ASSIGN_OR_RETURN(eval, types.ReadU32());
+          e.value = static_cast<int32_t>(eval);
+          t.enumerators.push_back(std::move(e));
+        }
+        break;
+      }
+      case BtfKind::kFuncProto: {
+        t.params.reserve(vlen);
+        for (uint32_t i = 0; i < vlen; ++i) {
+          BtfParam p;
+          DEPSURF_ASSIGN_OR_RETURN(pname_off, types.ReadU32());
+          DEPSURF_ASSIGN_OR_RETURN(pname, read_name(pname_off));
+          p.name = std::move(pname);
+          DEPSURF_ASSIGN_OR_RETURN(ptype, types.ReadU32());
+          p.type_id = ptype;
+          t.params.push_back(std::move(p));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    graph.Add(std::move(t));
+  }
+  DEPSURF_RETURN_IF_ERROR(graph.Validate());
+  return graph;
+}
+
+}  // namespace depsurf

@@ -1,0 +1,29 @@
+// Binary encoder/decoder for the .BTF section, following the kernel wire
+// layout: a fixed header (magic 0xeB9F), an array of btf_type records with
+// kind-specific trailing data, and a NUL-separated string section.
+#ifndef DEPSURF_SRC_BTF_BTF_CODEC_H_
+#define DEPSURF_SRC_BTF_BTF_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/btf/btf.h"
+#include "src/util/byte_buffer.h"
+#include "src/util/error.h"
+
+namespace depsurf {
+
+inline constexpr uint16_t kBtfMagic = 0xeB9F;
+inline constexpr uint8_t kBtfVersion = 1;
+inline constexpr uint32_t kBtfHeaderLen = 24;
+
+// Serializes the graph. Endianness matches the containing kernel image.
+std::vector<uint8_t> EncodeBtf(const TypeGraph& graph, Endian endian = Endian::kLittle);
+
+// Parses and validates a .BTF section.
+Result<TypeGraph> DecodeBtf(const std::vector<uint8_t>& bytes, Endian endian = Endian::kLittle);
+Result<TypeGraph> DecodeBtf(ByteReader reader);
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_BTF_BTF_CODEC_H_

@@ -1,0 +1,23 @@
+// Structural comparison of types across two type graphs (e.g., the BTF of
+// two different kernel images). Named aggregates compare by name, matching
+// how eBPF/CO-RE identifies kernel types across versions.
+#ifndef DEPSURF_SRC_BTF_BTF_COMPARE_H_
+#define DEPSURF_SRC_BTF_BTF_COMPARE_H_
+
+#include "src/btf/btf.h"
+
+namespace depsurf {
+
+// True if the two types denote the same C type. Structs/unions/enums/fwds
+// compare by (kind, name); scalar and derived types compare structurally.
+bool TypeEquals(const TypeGraph& graph_a, BtfTypeId a, const TypeGraph& graph_b, BtfTypeId b);
+
+// True if a read through the old type still "works" against the new type
+// without a compile/relocation error, though possibly misinterpreting data:
+// integer<->integer of any width, pointer<->pointer, enum<->integer. This is
+// the paper's "compatible type change" that produces silent stray reads.
+bool TypeCompatible(const TypeGraph& graph_a, BtfTypeId a, const TypeGraph& graph_b, BtfTypeId b);
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_BTF_BTF_COMPARE_H_

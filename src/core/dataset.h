@@ -1,0 +1,124 @@
+// The dependency-mismatch dataset: compact per-image records distilled from
+// dependency surfaces, queryable per construct. This is the artifact
+// DepSurf publishes (paper §3.1): images are processed once, surfaces are
+// dropped, and dependency-set analysis runs against these records.
+//
+// Records are heavily interned: at paper scale an image contributes ~70k
+// functions and ~8k structs, and the corpus holds 25 images, so names and
+// type strings are stored once in a shared pool and referenced by id.
+// Function declarations are kept as fingerprints (hashes); benches that
+// need change *kinds* (Table 4) diff full surfaces pairwise instead.
+#ifndef DEPSURF_SRC_CORE_DATASET_H_
+#define DEPSURF_SRC_CORE_DATASET_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/dependency_surface.h"
+
+namespace depsurf {
+
+// Everything that can go wrong for one dependency on one image.
+enum class MismatchKind : uint8_t {
+  kAbsent,           // Ø  construct not on the surface
+  kChanged,          // Δ  definition differs (vs baseline or expectation)
+  kFullInline,       // F
+  kSelectiveInline,  // S
+  kTransformed,      // T
+  kDuplicated,       // D
+  kCollision,        // C (the paper's "name collision")
+  kNotTraceable,     // 32-bit syscall blind spot
+};
+
+const char* MismatchKindName(MismatchKind kind);
+// One-letter code used in report matrices (Ø rendered as '-').
+char MismatchKindCode(MismatchKind kind);
+
+using StrId = uint32_t;
+
+struct FuncRecord {
+  FunctionStatus status;
+  uint64_t decl_hash = 0;  // fingerprint of (return type, param names+types)
+  // Rendered declaration ("int vfs_fsync(struct file *file, int datasync)"),
+  // interned — declarations repeat across images, so this is cheap.
+  uint32_t decl = 0xffffffff;
+};
+
+struct StructRecord {
+  // (field name id, field type id), sorted by name id.
+  std::vector<std::pair<StrId, StrId>> fields;
+
+  const StrId* FindField(StrId name) const;
+};
+
+struct TracepointRecord {
+  std::vector<std::pair<StrId, StrId>> func_params;  // ordered
+  std::vector<std::pair<StrId, StrId>> event_fields;  // sorted by name id
+};
+
+struct ImageRecord {
+  std::string label;
+  SurfaceMeta meta;
+  std::map<StrId, FuncRecord> funcs;
+  std::map<StrId, StructRecord> structs;
+  std::map<StrId, TracepointRecord> tracepoints;
+  std::set<StrId> syscalls;
+  bool compat_syscalls_traceable = true;
+  uint64_t pt_regs_hash = 0;
+};
+
+class Dataset {
+ public:
+  // Distills one surface; images are queried in insertion order.
+  void AddImage(const std::string& label, const DependencySurface& surface);
+
+  size_t num_images() const { return images_.size(); }
+  const std::vector<ImageRecord>& images() const { return images_; }
+  std::vector<std::string> labels() const;
+
+  // All queries return one mismatch set per image, in insertion order.
+  // Baselines (for Changed) are the construct's definition on the earliest
+  // image where it is present.
+  std::vector<std::set<MismatchKind>> CheckFunc(const std::string& name) const;
+  std::vector<std::set<MismatchKind>> CheckStruct(const std::string& name) const;
+  // `expected_type` is the program-side expectation (empty: fall back to
+  // the baseline image's type). Guarded accesses never report kAbsent.
+  std::vector<std::set<MismatchKind>> CheckField(const std::string& struct_name,
+                                                 const std::string& field_name,
+                                                 const std::string& expected_type,
+                                                 bool guarded) const;
+  std::vector<std::set<MismatchKind>> CheckTracepoint(const std::string& event) const;
+  std::vector<std::set<MismatchKind>> CheckSyscall(const std::string& name) const;
+  // Register-layout mismatch vs the first image (Table 5's "Register Δ").
+  std::vector<std::set<MismatchKind>> CheckRegisters() const;
+
+  // Rendered function declaration on one image; nullptr when absent there.
+  const std::string* FuncDeclAt(const std::string& name, size_t image_index) const;
+  // Field type string on one image; nullptr when absent.
+  const std::string* FieldTypeAt(const std::string& struct_name, const std::string& field_name,
+                                 size_t image_index) const;
+
+  // Appends a pre-built record (deserialization path; see dataset_io.h).
+  // String ids inside the record must already be interned in this dataset.
+  void RestoreImage(ImageRecord record) { images_.push_back(std::move(record)); }
+
+  // Interning accessors (exposed for benches and serialization).
+  size_t pool_size() const { return pool_.size(); }
+  StrId Intern(const std::string& s);
+  // kNoStr if the string was never interned.
+  static constexpr StrId kNoStr = 0xffffffff;
+  StrId Lookup(const std::string& s) const;
+  const std::string& StringAt(StrId id) const { return pool_[id]; }
+
+ private:
+  std::vector<ImageRecord> images_;
+  std::vector<std::string> pool_;
+  std::unordered_map<std::string, StrId> pool_index_;
+};
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_CORE_DATASET_H_

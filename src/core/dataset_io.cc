@@ -1,0 +1,237 @@
+#include "src/core/dataset_io.h"
+
+#include "src/util/byte_buffer.h"
+#include "src/util/leb128.h"
+
+namespace depsurf {
+
+namespace {
+
+constexpr uint8_t kFlagExactSymbol = 1 << 0;
+constexpr uint8_t kFlagFullInline = 1 << 1;
+constexpr uint8_t kFlagSelective = 1 << 2;
+constexpr uint8_t kFlagTransformed = 1 << 3;
+constexpr uint8_t kFlagDuplicated = 1 << 4;
+constexpr uint8_t kFlagCollided = 1 << 5;
+constexpr uint8_t kFlagExternal = 1 << 6;
+
+uint8_t PackStatus(const FunctionStatus& status) {
+  uint8_t flags = 0;
+  flags |= status.has_exact_symbol ? kFlagExactSymbol : 0;
+  flags |= status.fully_inlined ? kFlagFullInline : 0;
+  flags |= status.selectively_inlined ? kFlagSelective : 0;
+  flags |= status.transformed ? kFlagTransformed : 0;
+  flags |= status.duplicated ? kFlagDuplicated : 0;
+  flags |= status.collided ? kFlagCollided : 0;
+  flags |= status.external ? kFlagExternal : 0;
+  return flags;
+}
+
+FunctionStatus UnpackStatus(uint8_t flags, std::string suffix) {
+  FunctionStatus status;
+  status.has_exact_symbol = (flags & kFlagExactSymbol) != 0;
+  status.fully_inlined = (flags & kFlagFullInline) != 0;
+  status.selectively_inlined = (flags & kFlagSelective) != 0;
+  status.transformed = (flags & kFlagTransformed) != 0;
+  status.duplicated = (flags & kFlagDuplicated) != 0;
+  status.collided = (flags & kFlagCollided) != 0;
+  status.external = (flags & kFlagExternal) != 0;
+  status.transform_suffix = std::move(suffix);
+  return status;
+}
+
+void WritePairs(ByteWriter& w, const std::vector<std::pair<StrId, StrId>>& pairs) {
+  WriteUleb128(w, pairs.size());
+  for (const auto& [a, b] : pairs) {
+    WriteUleb128(w, a);
+    WriteUleb128(w, b);
+  }
+}
+
+Result<std::vector<std::pair<StrId, StrId>>> ReadPairs(ByteReader& r, size_t max_id) {
+  DEPSURF_ASSIGN_OR_RETURN(count, ReadUleb128(r));
+  if (count > r.remaining()) {
+    return Error(ErrorCode::kMalformedData, "pair count beyond buffer");
+  }
+  std::vector<std::pair<StrId, StrId>> out;
+  out.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    DEPSURF_ASSIGN_OR_RETURN(a, ReadUleb128(r));
+    DEPSURF_ASSIGN_OR_RETURN(b, ReadUleb128(r));
+    if (a >= max_id || b >= max_id) {
+      return Error(ErrorCode::kMalformedData, "string id out of range");
+    }
+    out.emplace_back(static_cast<StrId>(a), static_cast<StrId>(b));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<uint8_t> SaveDataset(const Dataset& dataset) {
+  ByteWriter w(Endian::kLittle);
+  w.WriteU32(kDatasetMagic);
+  WriteUleb128(w, dataset.pool_size());
+  WriteUleb128(w, dataset.num_images());
+  for (size_t i = 0; i < dataset.pool_size(); ++i) {
+    w.WriteCString(dataset.StringAt(static_cast<StrId>(i)));
+  }
+  // Suffix strings are interned too; record a suffix id per function. Any
+  // suffix seen must already be in the pool (AddImage interned names/types
+  // only), so serialize suffixes inline as cstrings instead.
+  for (const ImageRecord& image : dataset.images()) {
+    w.WriteCString(image.label);
+    w.WriteU16(static_cast<uint16_t>(image.meta.version_major));
+    w.WriteU16(static_cast<uint16_t>(image.meta.version_minor));
+    w.WriteCString(image.meta.flavor);
+    w.WriteCString(image.meta.arch);
+    w.WriteU8(static_cast<uint8_t>(image.meta.gcc_major));
+    w.WriteU8(static_cast<uint8_t>(image.meta.pointer_size));
+    w.WriteU8(image.meta.endian == Endian::kBig ? 1 : 0);
+    w.WriteU32(image.meta.config_options);
+    w.WriteU8(image.meta.compat_syscalls_traceable ? 1 : 0);
+    w.WriteU64(image.pt_regs_hash);
+
+    WriteUleb128(w, image.funcs.size());
+    for (const auto& [name, record] : image.funcs) {
+      WriteUleb128(w, name);
+      w.WriteU8(PackStatus(record.status));
+      w.WriteCString(record.status.transform_suffix);
+      w.WriteU64(record.decl_hash);
+      // kNoStr sentinel encodes as pool_size (never a valid id).
+      WriteUleb128(w, record.decl == Dataset::kNoStr ? dataset.pool_size() : record.decl);
+    }
+    WriteUleb128(w, image.structs.size());
+    for (const auto& [name, record] : image.structs) {
+      WriteUleb128(w, name);
+      WritePairs(w, record.fields);
+    }
+    WriteUleb128(w, image.tracepoints.size());
+    for (const auto& [name, record] : image.tracepoints) {
+      WriteUleb128(w, name);
+      WritePairs(w, record.func_params);
+      WritePairs(w, record.event_fields);
+    }
+    WriteUleb128(w, image.syscalls.size());
+    for (StrId id : image.syscalls) {
+      WriteUleb128(w, id);
+    }
+  }
+  return w.TakeBytes();
+}
+
+Result<Dataset> LoadDataset(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes, Endian::kLittle);
+  DEPSURF_ASSIGN_OR_RETURN(magic, r.ReadU32());
+  if (magic != kDatasetMagic) {
+    return Error(ErrorCode::kMalformedData, "not a depsurf dataset (bad magic)");
+  }
+  DEPSURF_ASSIGN_OR_RETURN(num_strings, ReadUleb128(r));
+  DEPSURF_ASSIGN_OR_RETURN(num_images, ReadUleb128(r));
+  if (num_strings > bytes.size() || num_images > bytes.size()) {
+    return Error(ErrorCode::kMalformedData, "counts beyond buffer");
+  }
+  Dataset dataset;
+  for (uint64_t i = 0; i < num_strings; ++i) {
+    DEPSURF_ASSIGN_OR_RETURN(s, r.ReadCString());
+    // Fresh interning assigns sequential ids, so saved ids stay valid.
+    StrId id = dataset.Intern(s);
+    if (id != i) {
+      return Error(ErrorCode::kMalformedData, "duplicate string in pool");
+    }
+  }
+  for (uint64_t image_index = 0; image_index < num_images; ++image_index) {
+    ImageRecord image;
+    DEPSURF_ASSIGN_OR_RETURN(label, r.ReadCString());
+    image.label = std::move(label);
+    DEPSURF_ASSIGN_OR_RETURN(major, r.ReadU16());
+    image.meta.version_major = major;
+    DEPSURF_ASSIGN_OR_RETURN(minor, r.ReadU16());
+    image.meta.version_minor = minor;
+    DEPSURF_ASSIGN_OR_RETURN(flavor, r.ReadCString());
+    image.meta.flavor = std::move(flavor);
+    DEPSURF_ASSIGN_OR_RETURN(arch, r.ReadCString());
+    image.meta.arch = std::move(arch);
+    DEPSURF_ASSIGN_OR_RETURN(gcc, r.ReadU8());
+    image.meta.gcc_major = gcc;
+    DEPSURF_ASSIGN_OR_RETURN(pointer_size, r.ReadU8());
+    image.meta.pointer_size = pointer_size;
+    DEPSURF_ASSIGN_OR_RETURN(endian, r.ReadU8());
+    image.meta.endian = endian == 1 ? Endian::kBig : Endian::kLittle;
+    DEPSURF_ASSIGN_OR_RETURN(config, r.ReadU32());
+    image.meta.config_options = config;
+    DEPSURF_ASSIGN_OR_RETURN(compat, r.ReadU8());
+    image.meta.compat_syscalls_traceable = compat != 0;
+    image.compat_syscalls_traceable = image.meta.compat_syscalls_traceable;
+    DEPSURF_ASSIGN_OR_RETURN(pt_regs_hash, r.ReadU64());
+    image.pt_regs_hash = pt_regs_hash;
+
+    DEPSURF_ASSIGN_OR_RETURN(num_funcs, ReadUleb128(r));
+    if (num_funcs > r.remaining()) {
+      return Error(ErrorCode::kMalformedData, "function count beyond buffer");
+    }
+    for (uint64_t i = 0; i < num_funcs; ++i) {
+      DEPSURF_ASSIGN_OR_RETURN(name, ReadUleb128(r));
+      if (name >= num_strings) {
+        return Error(ErrorCode::kMalformedData, "function name id out of range");
+      }
+      DEPSURF_ASSIGN_OR_RETURN(flags, r.ReadU8());
+      DEPSURF_ASSIGN_OR_RETURN(suffix, r.ReadCString());
+      DEPSURF_ASSIGN_OR_RETURN(decl_hash, r.ReadU64());
+      DEPSURF_ASSIGN_OR_RETURN(decl, ReadUleb128(r));
+      if (decl > num_strings) {
+        return Error(ErrorCode::kMalformedData, "decl id out of range");
+      }
+      FuncRecord record;
+      record.status = UnpackStatus(flags, std::move(suffix));
+      record.decl_hash = decl_hash;
+      record.decl = decl == num_strings ? Dataset::kNoStr : static_cast<StrId>(decl);
+      image.funcs.emplace(static_cast<StrId>(name), std::move(record));
+    }
+    DEPSURF_ASSIGN_OR_RETURN(num_structs, ReadUleb128(r));
+    if (num_structs > r.remaining()) {
+      return Error(ErrorCode::kMalformedData, "struct count beyond buffer");
+    }
+    for (uint64_t i = 0; i < num_structs; ++i) {
+      DEPSURF_ASSIGN_OR_RETURN(name, ReadUleb128(r));
+      if (name >= num_strings) {
+        return Error(ErrorCode::kMalformedData, "struct name id out of range");
+      }
+      StructRecord record;
+      DEPSURF_ASSIGN_OR_RETURN(fields, ReadPairs(r, num_strings));
+      record.fields = std::move(fields);
+      image.structs.emplace(static_cast<StrId>(name), std::move(record));
+    }
+    DEPSURF_ASSIGN_OR_RETURN(num_tracepoints, ReadUleb128(r));
+    if (num_tracepoints > r.remaining()) {
+      return Error(ErrorCode::kMalformedData, "tracepoint count beyond buffer");
+    }
+    for (uint64_t i = 0; i < num_tracepoints; ++i) {
+      DEPSURF_ASSIGN_OR_RETURN(name, ReadUleb128(r));
+      if (name >= num_strings) {
+        return Error(ErrorCode::kMalformedData, "tracepoint name id out of range");
+      }
+      TracepointRecord record;
+      DEPSURF_ASSIGN_OR_RETURN(params, ReadPairs(r, num_strings));
+      record.func_params = std::move(params);
+      DEPSURF_ASSIGN_OR_RETURN(fields, ReadPairs(r, num_strings));
+      record.event_fields = std::move(fields);
+      image.tracepoints.emplace(static_cast<StrId>(name), std::move(record));
+    }
+    DEPSURF_ASSIGN_OR_RETURN(num_syscalls, ReadUleb128(r));
+    if (num_syscalls > r.remaining()) {
+      return Error(ErrorCode::kMalformedData, "syscall count beyond buffer");
+    }
+    for (uint64_t i = 0; i < num_syscalls; ++i) {
+      DEPSURF_ASSIGN_OR_RETURN(id, ReadUleb128(r));
+      if (id >= num_strings) {
+        return Error(ErrorCode::kMalformedData, "syscall id out of range");
+      }
+      image.syscalls.insert(static_cast<StrId>(id));
+    }
+    dataset.RestoreImage(std::move(image));
+  }
+  return dataset;
+}
+
+}  // namespace depsurf

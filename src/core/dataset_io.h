@@ -1,0 +1,25 @@
+// Serialization of the mismatch dataset. The paper publishes its dataset
+// as a standalone artifact so dependency-set analysis can run without the
+// (64 GB of) kernel images; this is the equivalent: distill images once
+// with `depsurf dataset build`, query the compact file forever after.
+#ifndef DEPSURF_SRC_CORE_DATASET_IO_H_
+#define DEPSURF_SRC_CORE_DATASET_IO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/dataset.h"
+
+namespace depsurf {
+
+inline constexpr uint32_t kDatasetMagic = 0x31534444;  // "DDS1"
+
+// Compact binary encoding (string pool + per-image records).
+std::vector<uint8_t> SaveDataset(const Dataset& dataset);
+
+// Parses a dataset file; validates the magic, bounds, and string ids.
+Result<Dataset> LoadDataset(const std::vector<uint8_t>& bytes);
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_CORE_DATASET_IO_H_

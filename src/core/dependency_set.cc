@@ -1,0 +1,62 @@
+#include "src/core/dependency_set.h"
+
+namespace depsurf {
+
+size_t DependencySet::NumFields() const {
+  size_t n = 0;
+  for (const auto& [name, field_map] : fields) {
+    n += field_map.size();
+  }
+  return n;
+}
+
+Result<DependencySet> ExtractDependencySet(const BpfObject& object) {
+  DependencySet set;
+  set.program = object.name;
+  for (const BpfProgram& program : object.programs) {
+    switch (program.hook.kind) {
+      case HookKind::kKprobe:
+      case HookKind::kKretprobe:
+      case HookKind::kFentry:
+      case HookKind::kFexit:
+        set.funcs.insert(program.hook.target);
+        break;
+      case HookKind::kTracepoint:
+      case HookKind::kRawTracepoint:
+        set.tracepoints.insert(program.hook.target);
+        break;
+      case HookKind::kSyscallEnter:
+      case HookKind::kSyscallExit:
+        set.syscalls.insert(program.hook.target);
+        break;
+      case HookKind::kLsm:
+        set.lsm_hooks.insert(program.hook.target);
+        break;
+      case HookKind::kPerfEvent:
+        break;
+    }
+  }
+  for (const CoreReloc& reloc : object.relocs) {
+    if (reloc.kind == CoreRelocKind::kTypeExists) {
+      const BtfType* root = object.btf.Get(object.btf.ResolveAliases(reloc.root_type_id));
+      if (root == nullptr || root->name.empty()) {
+        return Error(ErrorCode::kMalformedData, "type-exists reloc without a named root");
+      }
+      set.fields.try_emplace(root->name);  // struct dependency, no fields
+      continue;
+    }
+    DEPSURF_ASSIGN_OR_RETURN(chain, ResolveReloc(object.btf, reloc));
+    for (const FieldAccess& access : chain) {
+      FieldDep dep;
+      dep.expected_type = access.field_type;
+      dep.guarded = access.exists_check;
+      auto [it, inserted] = set.fields[access.struct_name].emplace(access.field_name, dep);
+      if (!inserted && !access.exists_check) {
+        it->second.guarded = false;  // a direct read outweighs a guard
+      }
+    }
+  }
+  return set;
+}
+
+}  // namespace depsurf

@@ -1,0 +1,44 @@
+// DependencySet: the kernel constructs an eBPF program relies on, extracted
+// from its object file (hooks from section names, struct/field accesses
+// from CO-RE relocations) — the second stage of DepSurf (§3.1).
+#ifndef DEPSURF_SRC_CORE_DEPENDENCY_SET_H_
+#define DEPSURF_SRC_CORE_DEPENDENCY_SET_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/bpf/bpf_object.h"
+#include "src/util/error.h"
+
+namespace depsurf {
+
+struct FieldDep {
+  std::string expected_type;  // rendered from the program's BTF
+  bool guarded = false;       // behind a bpf_core_field_exists check
+};
+
+struct DependencySet {
+  std::string program;
+  // kprobe/kretprobe/fentry/fexit targets.
+  std::set<std::string> funcs;
+  // Classic and raw tracepoint events.
+  std::set<std::string> tracepoints;
+  std::set<std::string> syscalls;
+  std::set<std::string> lsm_hooks;
+  // struct -> field -> expectation. Structs with no direct field reads
+  // still appear with an empty field map.
+  std::map<std::string, std::map<std::string, FieldDep>> fields;
+
+  size_t NumFuncs() const { return funcs.size(); }
+  size_t NumStructs() const { return fields.size(); }
+  size_t NumFields() const;
+  size_t NumTracepoints() const { return tracepoints.size(); }
+  size_t NumSyscalls() const { return syscalls.size(); }
+};
+
+Result<DependencySet> ExtractDependencySet(const BpfObject& object);
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_CORE_DEPENDENCY_SET_H_

@@ -1,0 +1,378 @@
+#include "src/core/dependency_surface.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "src/btf/btf_codec.h"
+#include "src/dwarf/dwarf_codec.h"
+#include "src/elf/elf_reader.h"
+#include "src/util/str_util.h"
+
+namespace depsurf {
+
+namespace {
+
+// Section/symbol names shared with the image layout (and real kernels).
+constexpr char kBtfSection[] = ".BTF";
+constexpr char kDwarfAbbrevSection[] = ".sdwarf_abbrev";
+constexpr char kDwarfInfoSection[] = ".sdwarf_info";
+constexpr char kStartFtrace[] = "__start_ftrace_events";
+constexpr char kStopFtrace[] = "__stop_ftrace_events";
+constexpr char kSyscallTable[] = "sys_call_table";
+constexpr char kTraceFuncPrefix[] = "trace_event_raw_event_";
+constexpr char kTraceStructPrefix[] = "trace_event_raw_";
+
+// Known per-architecture syscall entry-point prefixes; tried longest first.
+constexpr const char* kSyscallPrefixes[] = {"__x64_sys_", "__arm64_sys_", "__riscv_sys_",
+                                            "sys_"};
+
+// Known compiler transformation suffix markers.
+constexpr const char* kTransformSuffixes[] = {".isra.", ".constprop.", ".part.", ".cold"};
+
+// Splits "name.isra.0" into base and suffix; base == input when unsuffixed.
+std::pair<std::string, std::string> SplitTransformSuffix(const std::string& symbol) {
+  for (const char* marker : kTransformSuffixes) {
+    size_t pos = symbol.find(marker);
+    if (pos != std::string::npos) {
+      return {symbol.substr(0, pos), symbol.substr(pos)};
+    }
+  }
+  return {symbol, ""};
+}
+
+Result<SurfaceMeta> ParseBanner(const ElfReader& reader) {
+  SurfaceMeta meta;
+  meta.arch = ElfMachineName(reader.ident().machine);
+  meta.pointer_size = reader.pointer_size();
+  meta.endian = reader.endian();
+  auto banner_sym = reader.FindSymbol("linux_banner");
+  if (!banner_sym.has_value()) {
+    return meta;  // tolerated: version/gcc stay unknown
+  }
+  DEPSURF_ASSIGN_OR_RETURN(at, reader.ReadAtAddress(banner_sym->value));
+  DEPSURF_ASSIGN_OR_RETURN(banner, at.ReadCString());
+  // "Linux version 5.4.0-26-generic (...) (gcc (Ubuntu) 9.4.0) ..."
+  int major = 0;
+  int minor = 0;
+  char flavor[64] = {0};
+  int gcc = 0;
+  if (sscanf(banner.c_str(), "Linux version %d.%d.0-26-%63[^ ] (buildd@lcy02) (gcc (Ubuntu) %d",
+             &major, &minor, flavor, &gcc) >= 3) {
+    meta.version_major = major;
+    meta.version_minor = minor;
+    meta.flavor = flavor;
+    meta.gcc_major = gcc;
+  }
+  return meta;
+}
+
+}  // namespace
+
+std::string FunctionStatus::CollisionClass() const {
+  if (collided) {
+    return external ? "Static-Global Collision" : "Static-Static Collision";
+  }
+  if (duplicated) {
+    return "Static Duplication";
+  }
+  return external ? "Unique Global" : "Unique Static";
+}
+
+std::string FunctionEntry::StatusJson() const {
+  std::string inline_type = status.fully_inlined          ? "Fully inlined"
+                            : status.selectively_inlined  ? "Partially inlined"
+                                                          : "Not inlined";
+  std::string out = "{\"name\": \"" + name + "\"";
+  out += ", \"collision_type\": \"" + status.CollisionClass() + "\"";
+  out += ", \"inline_type\": \"" + inline_type + "\"";
+  out += ", \"funcs\": [";
+  for (size_t i = 0; i < instances.size(); ++i) {
+    const FunctionInstance& inst = instances[i];
+    if (i != 0) {
+      out += ", ";
+    }
+    out += StrFormat("{\"name\": \"%s\", \"external\": %s, \"loc\": \"%s:%u\"",
+                     inst.name.c_str(), inst.external ? "true" : "false",
+                     inst.decl_file.c_str(), inst.decl_line);
+    out += ", \"caller_inline\": [";
+    for (size_t k = 0; k < inst.caller_inline.size(); ++k) {
+      out += (k != 0 ? ", \"" : "\"") + inst.caller_inline[k] + "\"";
+    }
+    out += "], \"caller_func\": [";
+    for (size_t k = 0; k < inst.caller_func.size(); ++k) {
+      out += (k != 0 ? ", \"" : "\"") + inst.caller_func[k] + "\"";
+    }
+    out += "]}";
+  }
+  out += "], \"symbols\": [";
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    if (i != 0) {
+      out += ", ";
+    }
+    out += StrFormat("{\"name\": \"%s\", \"addr\": %llu, \"bind\": \"%s\", \"size\": %llu}",
+                     symbols[i].name.c_str(), (unsigned long long)symbols[i].value,
+                     symbols[i].bind == SymBind::kGlobal ? "STB_GLOBAL" : "STB_LOCAL",
+                     (unsigned long long)symbols[i].size);
+  }
+  out += "]}";
+  return out;
+}
+
+Result<DependencySurface> DependencySurface::Extract(std::vector<uint8_t> image_bytes) {
+  DEPSURF_ASSIGN_OR_RETURN(reader, ElfReader::Parse(std::move(image_bytes)));
+  DependencySurface surface;
+  DEPSURF_ASSIGN_OR_RETURN(meta, ParseBanner(reader));
+  surface.meta_ = meta;
+  if (const ElfSectionView* config = reader.SectionByName(".config")) {
+    DEPSURF_ASSIGN_OR_RETURN(data, reader.SectionData(*config));
+    DEPSURF_ASSIGN_OR_RETURN(raw, data.ReadBytes(data.size()));
+    std::string text(raw.begin(), raw.end());
+    unsigned options = 0;
+    char traceable = 'y';
+    if (size_t pos = text.find("CONFIG_OPTIONS="); pos != std::string::npos) {
+      sscanf(text.c_str() + pos, "CONFIG_OPTIONS=%u", &options);
+    }
+    if (size_t pos = text.find("CONFIG_COMPAT_TRACEABLE="); pos != std::string::npos) {
+      sscanf(text.c_str() + pos, "CONFIG_COMPAT_TRACEABLE=%c", &traceable);
+    }
+    surface.meta_.config_options = options;
+    surface.meta_.compat_syscalls_traceable = traceable == 'y';
+  }
+
+  // ---- BTF: declarations of functions and structs.
+  DEPSURF_ASSIGN_OR_RETURN(btf_data, reader.SectionDataByName(kBtfSection));
+  DEPSURF_ASSIGN_OR_RETURN(graph, DecodeBtf(btf_data));
+  surface.btf_ = std::move(graph);
+  std::map<std::string, BtfTypeId> btf_funcs;
+  for (BtfTypeId id = 1; id <= surface.btf_.num_types(); ++id) {
+    const BtfType* t = surface.btf_.Get(id);
+    if (t->kind == BtfKind::kStruct && !t->name.empty()) {
+      if (!StartsWith(t->name, kTraceStructPrefix)) {
+        surface.structs_.emplace(t->name, id);
+      }
+    } else if (t->kind == BtfKind::kFunc) {
+      btf_funcs.emplace(t->name, id);  // first wins (collisions share names)
+    }
+  }
+
+  // ---- DWARF: function instances and inline structure. Absent debug
+  // sections degrade to a BTF+symtab-only surface (distro kernels without
+  // dbgsym packages): declarations remain, compilation status is unknown.
+  std::map<std::string, std::vector<FunctionInstance>> instances;
+  surface.meta_.has_debug_info = reader.SectionByName(kDwarfInfoSection) != nullptr &&
+                                 reader.SectionByName(kDwarfAbbrevSection) != nullptr;
+  if (surface.meta_.has_debug_info) {
+    DEPSURF_ASSIGN_OR_RETURN(abbrev_reader, reader.SectionDataByName(kDwarfAbbrevSection));
+    DEPSURF_ASSIGN_OR_RETURN(info_reader, reader.SectionDataByName(kDwarfInfoSection));
+    DEPSURF_ASSIGN_OR_RETURN(abbrev_bytes, abbrev_reader.ReadBytes(abbrev_reader.size()));
+    DEPSURF_ASSIGN_OR_RETURN(info_bytes, info_reader.ReadBytes(info_reader.size()));
+    DEPSURF_ASSIGN_OR_RETURN(document, DecodeDwarf(abbrev_bytes, info_bytes, reader.endian()));
+    DEPSURF_ASSIGN_OR_RETURN(collected, CollectFunctionInstances(document));
+    instances = std::move(collected);
+  } else {
+    // Seed the function table from BTF FUNC declarations; instances stay
+    // empty and the status classifier sees only the symbol table.
+    for (BtfTypeId id = 1; id <= surface.btf_.num_types(); ++id) {
+      const BtfType* t = surface.btf_.Get(id);
+      if (t->kind == BtfKind::kFunc && !StartsWith(t->name, kTraceFuncPrefix)) {
+        instances.try_emplace(t->name);
+      }
+    }
+  }
+
+  // Symbol indexes: by base name (strips transformation suffixes) and by
+  // address (for tracepoint/syscall reverse lookup).
+  std::map<std::string, std::vector<ElfSymbol>> symbols_by_base;
+  std::map<uint64_t, const ElfSymbol*> func_sym_at;
+  for (const ElfSymbol& sym : reader.symbols()) {
+    if (sym.type != SymType::kFunc) {
+      continue;
+    }
+    auto [base, suffix] = SplitTransformSuffix(sym.name);
+    symbols_by_base[base].push_back(sym);
+    func_sym_at.emplace(sym.value, &sym);
+  }
+
+  for (auto& [name, insts] : instances) {
+    FunctionEntry entry;
+    entry.name = name;
+    entry.instances = std::move(insts);
+    auto bit = btf_funcs.find(name);
+    if (bit != btf_funcs.end()) {
+      entry.btf_id = bit->second;
+    }
+    auto sit = symbols_by_base.find(name);
+    if (sit != symbols_by_base.end()) {
+      entry.symbols = sit->second;
+    }
+
+    FunctionStatus& status = entry.status;
+    bool any_code = false;
+    bool any_inline_site = false;
+    std::set<std::string> decl_locations;
+    for (const FunctionInstance& inst : entry.instances) {
+      any_code |= inst.HasCode();
+      any_inline_site |= !inst.caller_inline.empty();
+      status.external |= inst.external;
+      decl_locations.insert(StrFormat("%s:%u", inst.decl_file.c_str(), inst.decl_line));
+    }
+    for (const ElfSymbol& sym : entry.symbols) {
+      if (sym.name == name) {
+        status.has_exact_symbol = true;
+      } else {
+        status.transform_suffix = SplitTransformSuffix(sym.name).second;
+      }
+    }
+    status.transformed = !status.has_exact_symbol && !status.transform_suffix.empty();
+    if (surface.meta_.has_debug_info) {
+      status.fully_inlined = !any_code;
+      status.selectively_inlined = any_code && any_inline_site;
+      // Duplication counts debug-info instances (a fully-inlined header
+      // static is still duplicated across its including TUs).
+      status.duplicated = entry.instances.size() >= 2 && decl_locations.size() == 1;
+      status.collided = decl_locations.size() >= 2;
+    } else {
+      // Without DWARF only the symbol table speaks: a BTF function with no
+      // symbol at all was compiled away (inlined); selective inlining,
+      // duplication, and collisions are undetectable.
+      status.fully_inlined = !status.has_exact_symbol && !status.transformed;
+      status.external = !entry.symbols.empty() &&
+                        entry.symbols.front().bind == SymBind::kGlobal;
+    }
+    surface.functions_.emplace(name, std::move(entry));
+  }
+
+  // ---- Tracepoints: walk the __start/__stop_ftrace_events pointer array,
+  // dereferencing records and strings through the data sections.
+  auto start_sym = reader.FindSymbol(kStartFtrace);
+  auto stop_sym = reader.FindSymbol(kStopFtrace);
+  if (start_sym.has_value() && stop_sym.has_value()) {
+    int ptr = reader.pointer_size();
+    if (stop_sym->value < start_sym->value ||
+        (stop_sym->value - start_sym->value) % ptr != 0) {
+      return Error(ErrorCode::kMalformedData, "bad ftrace_events bounds");
+    }
+    uint64_t count = (stop_sym->value - start_sym->value) / ptr;
+    DEPSURF_ASSIGN_OR_RETURN(array, reader.ReadAtAddress(start_sym->value));
+    for (uint64_t i = 0; i < count; ++i) {
+      DEPSURF_ASSIGN_OR_RETURN(rec_addr, array.ReadAddr(ptr));
+      DEPSURF_ASSIGN_OR_RETURN(rec, reader.ReadAtAddress(rec_addr));
+      TracepointEntry tp;
+      DEPSURF_ASSIGN_OR_RETURN(event_addr, rec.ReadAddr(ptr));
+      DEPSURF_ASSIGN_OR_RETURN(class_addr, rec.ReadAddr(ptr));
+      DEPSURF_ASSIGN_OR_RETURN(struct_addr, rec.ReadAddr(ptr));
+      DEPSURF_ASSIGN_OR_RETURN(fmt_addr, rec.ReadAddr(ptr));
+      DEPSURF_ASSIGN_OR_RETURN(func_addr, rec.ReadAddr(ptr));
+      DEPSURF_ASSIGN_OR_RETURN(event_reader, reader.ReadAtAddress(event_addr));
+      DEPSURF_ASSIGN_OR_RETURN(event_name, event_reader.ReadCString());
+      tp.event_name = std::move(event_name);
+      DEPSURF_ASSIGN_OR_RETURN(class_reader, reader.ReadAtAddress(class_addr));
+      DEPSURF_ASSIGN_OR_RETURN(class_name, class_reader.ReadCString());
+      tp.class_name = std::move(class_name);
+      DEPSURF_ASSIGN_OR_RETURN(struct_reader, reader.ReadAtAddress(struct_addr));
+      DEPSURF_ASSIGN_OR_RETURN(struct_name, struct_reader.ReadCString());
+      tp.struct_name = std::move(struct_name);
+      DEPSURF_ASSIGN_OR_RETURN(fmt_reader, reader.ReadAtAddress(fmt_addr));
+      DEPSURF_ASSIGN_OR_RETURN(fmt, fmt_reader.ReadCString());
+      tp.fmt = std::move(fmt);
+      if (auto it = func_sym_at.find(func_addr); it != func_sym_at.end()) {
+        tp.func_name = it->second->name;
+      }
+      if (auto id = surface.btf_.FindByKindAndName(BtfKind::kStruct, tp.struct_name)) {
+        tp.struct_btf_id = *id;
+      }
+      if (auto id = surface.btf_.FindFunc(tp.func_name)) {
+        tp.func_btf_id = *id;
+      }
+      surface.tracepoints_.emplace(tp.event_name, std::move(tp));
+    }
+  }
+
+  // ---- System calls: read sys_call_table, reverse-map entry addresses.
+  auto table_sym = reader.FindSymbol(kSyscallTable);
+  if (table_sym.has_value()) {
+    int ptr = reader.pointer_size();
+    uint64_t slots = table_sym->size / ptr;
+    uint64_t ni_addr = 0;
+    if (auto ni = reader.FindSymbol("sys_ni_syscall"); ni.has_value()) {
+      ni_addr = ni->value;
+    }
+    DEPSURF_ASSIGN_OR_RETURN(table, reader.ReadAtAddress(table_sym->value));
+    for (uint64_t nr = 0; nr < slots; ++nr) {
+      DEPSURF_ASSIGN_OR_RETURN(addr, table.ReadAddr(ptr));
+      if (addr == ni_addr || addr == 0) {
+        continue;
+      }
+      auto it = func_sym_at.find(addr);
+      if (it == func_sym_at.end()) {
+        continue;
+      }
+      for (const char* prefix : kSyscallPrefixes) {
+        if (StartsWith(it->second->name, prefix)) {
+          SyscallEntry entry;
+          entry.name = it->second->name.substr(strlen(prefix));
+          entry.nr = static_cast<int>(nr);
+          surface.syscalls_.emplace(entry.name, std::move(entry));
+          break;
+        }
+      }
+    }
+  }
+
+  // ---- kfuncs: registered via BTF id sets in .BTF_ids.
+  if (const ElfSectionView* ids_section = reader.SectionByName(".BTF_ids")) {
+    DEPSURF_ASSIGN_OR_RETURN(ids, reader.SectionData(*ids_section));
+    while (ids.remaining() >= 4) {
+      DEPSURF_ASSIGN_OR_RETURN(id, ids.ReadU32());
+      const BtfType* t = surface.btf_.Get(id);
+      if (t == nullptr || t->kind != BtfKind::kFunc) {
+        return Error(ErrorCode::kMalformedData, "BTF_ids entry is not a FUNC");
+      }
+      surface.kfuncs_.insert(t->name);
+    }
+  }
+
+  // Functions that are really tracepoint machinery or syscall stubs must
+  // not pollute the function surface (they are reachable through their own
+  // tables above). Our DWARF only covers source functions, but scripted
+  // syscall implementations like __x64_sys_fsync legitimately appear in
+  // both; keep them.
+  for (auto it = surface.functions_.begin(); it != surface.functions_.end();) {
+    if (StartsWith(it->first, kTraceFuncPrefix)) {
+      it = surface.functions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  return surface;
+}
+
+bool DependencySurface::IsLsmHook(const std::string& name) {
+  return StartsWith(name, "security_");
+}
+
+const FunctionEntry* DependencySurface::FindFunction(const std::string& name) const {
+  auto it = functions_.find(name);
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+std::optional<BtfTypeId> DependencySurface::FindStruct(const std::string& name) const {
+  auto it = structs_.find(name);
+  if (it == structs_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+const TracepointEntry* DependencySurface::FindTracepoint(const std::string& event) const {
+  auto it = tracepoints_.find(event);
+  return it == tracepoints_.end() ? nullptr : &it->second;
+}
+
+bool DependencySurface::HasSyscall(const std::string& name) const {
+  return syscalls_.count(name) != 0;
+}
+
+}  // namespace depsurf

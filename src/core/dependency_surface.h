@@ -1,0 +1,118 @@
+// DependencySurface: everything an eBPF program can depend on in one kernel
+// image, extracted purely from the image bytes (ELF + DWARF + BTF + data
+// sections) — the first stage of DepSurf (§3.1).
+#ifndef DEPSURF_SRC_CORE_DEPENDENCY_SURFACE_H_
+#define DEPSURF_SRC_CORE_DEPENDENCY_SURFACE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/btf/btf.h"
+#include "src/dwarf/function_view.h"
+#include "src/elf/elf.h"
+#include "src/util/error.h"
+
+namespace depsurf {
+
+// How a source function shows up (or fails to) in the compiled image.
+struct FunctionStatus {
+  bool has_exact_symbol = false;  // attachable by name
+  bool fully_inlined = false;     // exists in debug info, no code anywhere
+  bool selectively_inlined = false;  // out-of-line copy plus inlined sites
+  bool transformed = false;          // only suffixed symbols (.isra.0, ...)
+  std::string transform_suffix;
+  bool duplicated = false;  // several copies of one definition (header static)
+  bool collided = false;    // unrelated definitions sharing the name
+  bool external = false;    // any instance is a global
+
+  // "Unique Global" / "Unique Static" / "Static Duplication" /
+  // "Static-Static Collision" / "Static-Global Collision" (Table 6).
+  std::string CollisionClass() const;
+};
+
+struct FunctionEntry {
+  std::string name;
+  BtfTypeId btf_id = 0;  // FUNC node in the surface's type graph (0: none)
+  std::vector<FunctionInstance> instances;
+  std::vector<ElfSymbol> symbols;  // exact and suffixed
+  FunctionStatus status;
+
+  // Dataset-style JSON (paper Appendix A.2.4 "Function Status").
+  std::string StatusJson() const;
+};
+
+struct TracepointEntry {
+  std::string event_name;
+  std::string class_name;
+  std::string func_name;    // tracing function symbol
+  std::string struct_name;  // event struct in BTF
+  std::string fmt;
+  BtfTypeId func_btf_id = 0;    // FUNC node of the tracing function
+  BtfTypeId struct_btf_id = 0;  // event struct
+};
+
+struct SyscallEntry {
+  std::string name;
+  int nr = -1;
+};
+
+struct SurfaceMeta {
+  // False when the image has no DWARF debug sections: function declarations
+  // still come from BTF and the symbol table, but inline/duplication status
+  // is unavailable (the common case for distro kernels without dbgsym).
+  bool has_debug_info = true;
+  int version_major = 0;
+  int version_minor = 0;
+  std::string flavor;
+  int gcc_major = 0;
+  std::string arch;  // from e_machine
+  int pointer_size = 8;
+  Endian endian = Endian::kLittle;
+  uint32_t config_options = 0;          // from the embedded .config
+  bool compat_syscalls_traceable = true;
+};
+
+class DependencySurface {
+ public:
+  // Full extraction from image bytes. The bytes are released afterwards;
+  // only the surface data is retained.
+  static Result<DependencySurface> Extract(std::vector<uint8_t> image_bytes);
+
+  const SurfaceMeta& meta() const { return meta_; }
+  const TypeGraph& btf() const { return btf_; }
+
+  // Functions keyed by source name; excludes tracepoint machinery and
+  // syscall entry stubs.
+  const std::map<std::string, FunctionEntry>& functions() const { return functions_; }
+  // Named struct name -> BTF id; excludes trace_event_raw_* machinery.
+  const std::map<std::string, BtfTypeId>& structs() const { return structs_; }
+  const std::map<std::string, TracepointEntry>& tracepoints() const { return tracepoints_; }
+  const std::map<std::string, SyscallEntry>& syscalls() const { return syscalls_; }
+
+  // kfunc names (from the image's .BTF_ids registration section).
+  const std::set<std::string>& kfuncs() const { return kfuncs_; }
+  // LSM hooks are identified by the security_ prefix, as in the paper.
+  static bool IsLsmHook(const std::string& name);
+
+  const FunctionEntry* FindFunction(const std::string& name) const;
+  std::optional<BtfTypeId> FindStruct(const std::string& name) const;
+  const TracepointEntry* FindTracepoint(const std::string& event) const;
+  bool HasSyscall(const std::string& name) const;
+
+ private:
+  SurfaceMeta meta_;
+  TypeGraph btf_;
+  std::map<std::string, FunctionEntry> functions_;
+  std::map<std::string, BtfTypeId> structs_;
+  std::map<std::string, TracepointEntry> tracepoints_;
+  std::map<std::string, SyscallEntry> syscalls_;
+  std::set<std::string> kfuncs_;
+};
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_CORE_DEPENDENCY_SURFACE_H_

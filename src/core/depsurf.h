@@ -1,0 +1,19 @@
+// Umbrella header for the DepSurf analysis library.
+//
+// Typical flow:
+//   1. DependencySurface::Extract(image_bytes)  — per kernel image
+//   2. Dataset::AddImage(label, surface)        — distill, drop the surface
+//   3. ParseBpfObject + ExtractDependencySet    — per eBPF program
+//   4. AnalyzeProgram(dataset, deps)            — the mismatch report
+// Pairwise structural comparison (DiffSurfaces) powers the evolution /
+// configuration studies.
+#ifndef DEPSURF_SRC_CORE_DEPSURF_H_
+#define DEPSURF_SRC_CORE_DEPSURF_H_
+
+#include "src/core/dataset.h"
+#include "src/core/dependency_set.h"
+#include "src/core/dependency_surface.h"
+#include "src/core/report.h"
+#include "src/core/surface_diff.h"
+
+#endif  // DEPSURF_SRC_CORE_DEPSURF_H_

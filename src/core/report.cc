@@ -1,0 +1,349 @@
+#include "src/core/report.h"
+
+#include <algorithm>
+
+#include "src/util/str_util.h"
+
+namespace depsurf {
+
+const char* DepKindName(DepKind kind) {
+  switch (kind) {
+    case DepKind::kFunc:
+      return "function";
+    case DepKind::kStruct:
+      return "struct";
+    case DepKind::kField:
+      return "field";
+    case DepKind::kTracepoint:
+      return "tracepoint";
+    case DepKind::kSyscall:
+      return "syscall";
+  }
+  return "?";
+}
+
+const char* ConsequenceName(Consequence consequence) {
+  switch (consequence) {
+    case Consequence::kNone:
+      return "none";
+    case Consequence::kCompilationError:
+      return "compilation error";
+    case Consequence::kRelocationError:
+      return "relocation error";
+    case Consequence::kAttachmentError:
+      return "attachment error";
+    case Consequence::kStrayRead:
+      return "stray read";
+    case Consequence::kMissingInvocation:
+      return "missing invocation";
+  }
+  return "?";
+}
+
+const char* ImplicationName(Implication implication) {
+  switch (implication) {
+    case Implication::kNone:
+      return "none";
+    case Implication::kExplicitError:
+      return "explicit error (before execution)";
+    case Implication::kIncorrectResult:
+      return "incorrect result (might be detectable)";
+    case Implication::kIncompleteResult:
+      return "incomplete result (difficult to detect)";
+  }
+  return "?";
+}
+
+Consequence ConsequenceOf(DepKind kind, MismatchKind mismatch) {
+  switch (kind) {
+    case DepKind::kFunc:
+      switch (mismatch) {
+        case MismatchKind::kAbsent:
+        case MismatchKind::kFullInline:
+        case MismatchKind::kTransformed:
+          return Consequence::kAttachmentError;
+        case MismatchKind::kChanged:
+        case MismatchKind::kCollision:
+          return Consequence::kStrayRead;
+        case MismatchKind::kSelectiveInline:
+        case MismatchKind::kDuplicated:
+          return Consequence::kMissingInvocation;
+        default:
+          return Consequence::kNone;
+      }
+    case DepKind::kStruct:
+    case DepKind::kField:
+      switch (mismatch) {
+        case MismatchKind::kAbsent:
+          return Consequence::kCompilationError;
+        case MismatchKind::kChanged:
+          return Consequence::kStrayRead;
+        default:
+          return Consequence::kNone;
+      }
+    case DepKind::kTracepoint:
+      switch (mismatch) {
+        case MismatchKind::kAbsent:
+          return Consequence::kAttachmentError;
+        case MismatchKind::kChanged:
+          return Consequence::kStrayRead;
+        default:
+          return Consequence::kNone;
+      }
+    case DepKind::kSyscall:
+      switch (mismatch) {
+        case MismatchKind::kAbsent:
+          return Consequence::kAttachmentError;
+        case MismatchKind::kNotTraceable:
+          return Consequence::kMissingInvocation;
+        default:
+          return Consequence::kNone;
+      }
+  }
+  return Consequence::kNone;
+}
+
+Implication ImplicationOf(Consequence consequence) {
+  switch (consequence) {
+    case Consequence::kCompilationError:
+    case Consequence::kRelocationError:
+    case Consequence::kAttachmentError:
+      return Implication::kExplicitError;
+    case Consequence::kStrayRead:
+      return Implication::kIncorrectResult;
+    case Consequence::kMissingInvocation:
+      return Implication::kIncompleteResult;
+    case Consequence::kNone:
+      return Implication::kNone;
+  }
+  return Implication::kNone;
+}
+
+bool ReportRow::AnyMismatch() const {
+  for (const auto& cell : cells) {
+    if (!cell.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ProgramReport::AnyMismatch() const {
+  return funcs.AnyMismatch() || structs.AnyMismatch() || fields.AnyMismatch() ||
+         tracepoints.AnyMismatch() || syscalls.AnyMismatch();
+}
+
+namespace {
+
+void Tally(CategoryCounts& counts, const ReportRow& row) {
+  ++counts.total;
+  bool absent = false;
+  bool changed = false;
+  bool full = false;
+  bool selective = false;
+  bool transformed = false;
+  bool duplicated = false;
+  bool collided = false;
+  for (const auto& cell : row.cells) {
+    absent |= cell.count(MismatchKind::kAbsent) != 0;
+    changed |= cell.count(MismatchKind::kChanged) != 0;
+    full |= cell.count(MismatchKind::kFullInline) != 0;
+    selective |= cell.count(MismatchKind::kSelectiveInline) != 0;
+    transformed |= cell.count(MismatchKind::kTransformed) != 0;
+    duplicated |= cell.count(MismatchKind::kDuplicated) != 0;
+    collided |= cell.count(MismatchKind::kCollision) != 0;
+  }
+  counts.absent += absent ? 1 : 0;
+  counts.changed += changed ? 1 : 0;
+  counts.full_inline += full ? 1 : 0;
+  counts.selective += selective ? 1 : 0;
+  counts.transformed += transformed ? 1 : 0;
+  counts.duplicated += duplicated ? 1 : 0;
+  counts.collided += collided ? 1 : 0;
+}
+
+std::string CellString(const std::set<MismatchKind>& cell) {
+  if (cell.empty()) {
+    return ".";
+  }
+  if (cell.count(MismatchKind::kAbsent) != 0) {
+    return "-";
+  }
+  std::string out;
+  for (MismatchKind kind : cell) {
+    out += MismatchKindCode(kind);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ProgramReport::RenderMatrix() const {
+  // Column headers: version tags when available, else indexes.
+  size_t name_width = 12;
+  for (const ReportRow& row : rows) {
+    name_width = std::max(name_width, row.name.size() + 6);  // "[F] " prefix + padding
+  }
+  std::string out = StrFormat("=== %s: dependency mismatches across %zu images ===\n",
+                              program.c_str(), image_labels.size());
+  out += "legend: '.' ok  '-' absent  C changed  F full-inline  S selective-inline"
+         "  T transformed  D duplicated  N name-collision\n\n";
+  // Header row with column indexes.
+  out += std::string(name_width, ' ');
+  for (size_t i = 0; i < image_labels.size(); ++i) {
+    out += StrFormat("%4zu", i);
+  }
+  out += "\n";
+  for (const ReportRow& row : rows) {
+    std::string label = StrFormat("[%c] %s", toupper(DepKindName(row.kind)[0]), row.name.c_str());
+    label.resize(name_width, ' ');
+    out += label;
+    for (const auto& cell : row.cells) {
+      std::string code = CellString(cell);
+      out += StrFormat("%4s", code.c_str());
+    }
+    out += "\n";
+  }
+  out += "\ncolumns:\n";
+  for (size_t i = 0; i < image_labels.size(); ++i) {
+    out += StrFormat("  %2zu: %s\n", i, image_labels[i].c_str());
+  }
+  return out;
+}
+
+Implication ProgramReport::WorstImplication() const {
+  Implication worst = Implication::kNone;
+  for (const ReportRow& row : rows) {
+    for (const auto& cell : row.cells) {
+      for (MismatchKind kind : cell) {
+        Implication imp = ImplicationOf(ConsequenceOf(row.kind, kind));
+        if (static_cast<int>(imp) > static_cast<int>(worst)) {
+          worst = imp;
+        }
+      }
+    }
+  }
+  return worst;
+}
+
+std::string ExplainReport(const Dataset& dataset, const ProgramReport& report) {
+  std::string out;
+  auto span_note = [&](const ReportRow& row, MismatchKind kind, const char* verb) {
+    // First image where the kind appears.
+    for (size_t i = 0; i < row.cells.size(); ++i) {
+      if (row.cells[i].count(kind) != 0) {
+        Consequence consequence = ConsequenceOf(row.kind, kind);
+        out += StrFormat("    %s from %s -> %s (%s)\n", verb,
+                         report.image_labels[i].c_str(), ConsequenceName(consequence),
+                         ImplicationName(ImplicationOf(consequence)));
+        return;
+      }
+    }
+  };
+  for (const ReportRow& row : report.rows) {
+    if (!row.AnyMismatch()) {
+      continue;
+    }
+    out += StrFormat("  %s %s\n", DepKindName(row.kind), row.name.c_str());
+    // Declaration transitions are reported along the version series of the
+    // first image's arch/flavor; foreign-arch images would read as
+    // spurious back-in-time changes.
+    auto same_series = [&](size_t i) {
+      const SurfaceMeta& a = dataset.images()[i].meta;
+      const SurfaceMeta& b = dataset.images()[0].meta;
+      return a.arch == b.arch && a.flavor == b.flavor;
+    };
+    if (row.kind == DepKind::kFunc) {
+      const std::string* prev = nullptr;
+      for (size_t i = 0; i < row.cells.size(); ++i) {
+        if (!same_series(i)) {
+          continue;
+        }
+        const std::string* decl = dataset.FuncDeclAt(row.name, i);
+        if (decl != nullptr && prev != nullptr && *decl != *prev) {
+          out += StrFormat("    changed at %s:\n      was: %s\n      now: %s\n",
+                           report.image_labels[i].c_str(), prev->c_str(), decl->c_str());
+        }
+        if (decl != nullptr) {
+          prev = decl;
+        }
+      }
+    }
+    if (row.kind == DepKind::kField) {
+      size_t sep = row.name.find("::");
+      if (sep != std::string::npos) {
+        std::string struct_name = row.name.substr(0, sep);
+        std::string field_name = row.name.substr(sep + 2);
+        const std::string* prev = nullptr;
+        for (size_t i = 0; i < row.cells.size(); ++i) {
+          if (!same_series(i)) {
+            continue;
+          }
+          const std::string* type = dataset.FieldTypeAt(struct_name, field_name, i);
+          if (type != nullptr && prev != nullptr && *type != *prev) {
+            out += StrFormat("    type changed at %s: %s -> %s\n",
+                             report.image_labels[i].c_str(), prev->c_str(), type->c_str());
+          }
+          if (type != nullptr) {
+            prev = type;
+          }
+        }
+      }
+    }
+    span_note(row, MismatchKind::kAbsent, "absent");
+    span_note(row, MismatchKind::kFullInline, "fully inlined");
+    span_note(row, MismatchKind::kSelectiveInline, "selectively inlined");
+    span_note(row, MismatchKind::kTransformed, "transformed");
+    span_note(row, MismatchKind::kDuplicated, "duplicated");
+    span_note(row, MismatchKind::kCollision, "name collision");
+  }
+  return out;
+}
+
+ProgramReport AnalyzeProgram(const Dataset& dataset, const DependencySet& deps) {
+  ProgramReport report;
+  report.program = deps.program;
+  report.image_labels = dataset.labels();
+
+  for (const std::string& func : deps.funcs) {
+    ReportRow row{DepKind::kFunc, func, dataset.CheckFunc(func)};
+    Tally(report.funcs, row);
+    report.rows.push_back(std::move(row));
+  }
+  // LSM hooks are functions on the surface.
+  for (const std::string& hook : deps.lsm_hooks) {
+    ReportRow row{DepKind::kFunc, hook, dataset.CheckFunc(hook)};
+    Tally(report.funcs, row);
+    report.rows.push_back(std::move(row));
+  }
+  for (const auto& [struct_name, field_map] : deps.fields) {
+    ReportRow srow{DepKind::kStruct, struct_name, dataset.CheckStruct(struct_name)};
+    // Struct-level cells report only absence; definition changes are
+    // attributed to the specific fields below.
+    for (auto& cell : srow.cells) {
+      cell.erase(MismatchKind::kChanged);
+    }
+    Tally(report.structs, srow);
+    report.rows.push_back(std::move(srow));
+    for (const auto& [field_name, dep] : field_map) {
+      ReportRow frow{DepKind::kField, struct_name + "::" + field_name,
+                     dataset.CheckField(struct_name, field_name, dep.expected_type,
+                                        dep.guarded)};
+      Tally(report.fields, frow);
+      report.rows.push_back(std::move(frow));
+    }
+  }
+  for (const std::string& event : deps.tracepoints) {
+    ReportRow row{DepKind::kTracepoint, event, dataset.CheckTracepoint(event)};
+    Tally(report.tracepoints, row);
+    report.rows.push_back(std::move(row));
+  }
+  for (const std::string& syscall : deps.syscalls) {
+    ReportRow row{DepKind::kSyscall, syscall, dataset.CheckSyscall(syscall)};
+    Tally(report.syscalls, row);
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+}  // namespace depsurf

@@ -1,0 +1,64 @@
+// Pairwise comparison of dependency surfaces: which constructs were added,
+// removed, or changed, with per-construct change-kind classification
+// (Tables 3-4 of the paper).
+#ifndef DEPSURF_SRC_CORE_SURFACE_DIFF_H_
+#define DEPSURF_SRC_CORE_SURFACE_DIFF_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/dependency_surface.h"
+
+namespace depsurf {
+
+enum class FuncChangeKind : uint8_t {
+  kParamAdded,
+  kParamRemoved,
+  kParamReordered,
+  kParamTypeChanged,
+  kReturnTypeChanged,
+};
+
+enum class StructChangeKind : uint8_t {
+  kFieldAdded,
+  kFieldRemoved,
+  kFieldTypeChanged,
+};
+
+enum class TracepointChangeKind : uint8_t {
+  kEventChanged,  // event struct differs
+  kFuncChanged,   // tracing-function signature differs
+};
+
+const char* FuncChangeKindName(FuncChangeKind kind);
+const char* StructChangeKindName(StructChangeKind kind);
+const char* TracepointChangeKindName(TracepointChangeKind kind);
+
+template <typename ChangeKind>
+struct ConstructDiff {
+  std::vector<std::string> added;
+  std::vector<std::string> removed;
+  std::map<std::string, std::vector<ChangeKind>> changed;
+};
+
+struct SurfaceDiff {
+  ConstructDiff<FuncChangeKind> funcs;
+  ConstructDiff<StructChangeKind> structs;
+  ConstructDiff<TracepointChangeKind> tracepoints;
+  ConstructDiff<int> syscalls;  // no change kinds: presence only
+};
+
+// Compares two FUNC declarations (across graphs). Empty result: identical.
+std::vector<FuncChangeKind> CompareFuncDecls(const TypeGraph& old_graph, BtfTypeId old_func,
+                                             const TypeGraph& new_graph, BtfTypeId new_func);
+
+// Compares two struct definitions by id across graphs.
+std::vector<StructChangeKind> CompareStructDecls(const TypeGraph& old_graph, BtfTypeId old_id,
+                                                 const TypeGraph& new_graph, BtfTypeId new_id);
+
+SurfaceDiff DiffSurfaces(const DependencySurface& older, const DependencySurface& newer);
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_CORE_SURFACE_DIFF_H_

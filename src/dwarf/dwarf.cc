@@ -1,0 +1,88 @@
+#include "src/dwarf/dwarf.h"
+
+namespace depsurf {
+
+DwForm FormOf(DwAttr attr) {
+  switch (attr) {
+    case DwAttr::kName:
+    case DwAttr::kDeclFile:
+      return DwForm::kString;
+    case DwAttr::kDeclLine:
+    case DwAttr::kInline:
+      return DwForm::kUdata;
+    case DwAttr::kExternal:
+      return DwForm::kFlag;
+    case DwAttr::kLowPc:
+      return DwForm::kAddr;
+    case DwAttr::kAbstractOrigin:
+    case DwAttr::kCallOrigin:
+      return DwForm::kRef;
+  }
+  return DwForm::kUdata;
+}
+
+DwarfAttrValue DwarfAttrValue::String(DwAttr attr, std::string value) {
+  DwarfAttrValue v;
+  v.attr = attr;
+  v.str = std::move(value);
+  return v;
+}
+
+DwarfAttrValue DwarfAttrValue::Number(DwAttr attr, uint64_t value) {
+  DwarfAttrValue v;
+  v.attr = attr;
+  v.num = value;
+  return v;
+}
+
+const DwarfAttrValue* Die::Find(DwAttr attr) const {
+  for (const DwarfAttrValue& v : attrs) {
+    if (v.attr == attr) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<std::string> Die::GetString(DwAttr attr) const {
+  const DwarfAttrValue* v = Find(attr);
+  if (v == nullptr) {
+    return std::nullopt;
+  }
+  return v->str;
+}
+
+std::optional<uint64_t> Die::GetNumber(DwAttr attr) const {
+  const DwarfAttrValue* v = Find(attr);
+  if (v == nullptr) {
+    return std::nullopt;
+  }
+  return v->num;
+}
+
+bool Die::GetFlag(DwAttr attr) const { return Find(attr) != nullptr; }
+
+uint32_t DwarfDocument::AddDie(DwTag tag, uint32_t parent) {
+  uint32_t index = static_cast<uint32_t>(dies_.size());
+  dies_.push_back(Die{tag, {}, {}});
+  if (parent == 0) {
+    roots_.push_back(index);
+  } else {
+    dies_[parent].children.push_back(index);
+  }
+  return index;
+}
+
+void DwarfDocument::SetString(uint32_t die, DwAttr attr, std::string value) {
+  dies_[die].attrs.push_back(DwarfAttrValue::String(attr, std::move(value)));
+}
+
+void DwarfDocument::SetNumber(uint32_t die, DwAttr attr, uint64_t value) {
+  dies_[die].attrs.push_back(DwarfAttrValue::Number(attr, value));
+}
+
+void DwarfDocument::SetFlag(uint32_t die, DwAttr attr) {
+  dies_[die].attrs.push_back(DwarfAttrValue::Number(attr, 1));
+}
+
+}  // namespace depsurf

@@ -1,0 +1,232 @@
+#include "src/dwarf/dwarf_codec.h"
+
+#include <map>
+
+#include "src/util/leb128.h"
+#include "src/util/str_util.h"
+
+namespace depsurf {
+
+namespace {
+
+// The shape of a DIE for abbreviation purposes.
+struct AbbrevShape {
+  uint16_t tag;
+  bool has_children;
+  std::vector<uint16_t> attrs;
+
+  bool operator<(const AbbrevShape& other) const {
+    if (tag != other.tag) {
+      return tag < other.tag;
+    }
+    if (has_children != other.has_children) {
+      return has_children < other.has_children;
+    }
+    return attrs < other.attrs;
+  }
+};
+
+AbbrevShape ShapeOf(const Die& die) {
+  AbbrevShape shape;
+  shape.tag = static_cast<uint16_t>(die.tag);
+  shape.has_children = !die.children.empty();
+  shape.attrs.reserve(die.attrs.size());
+  for (const DwarfAttrValue& v : die.attrs) {
+    shape.attrs.push_back(static_cast<uint16_t>(v.attr));
+  }
+  return shape;
+}
+
+void WriteAttrValue(ByteWriter& w, const DwarfAttrValue& v, uint64_t ref_remap) {
+  switch (FormOf(v.attr)) {
+    case DwForm::kString:
+      w.WriteCString(v.str);
+      break;
+    case DwForm::kUdata:
+      WriteUleb128(w, v.num);
+      break;
+    case DwForm::kFlag:
+      w.WriteU8(1);
+      break;
+    case DwForm::kAddr:
+      w.WriteU64(v.num);
+      break;
+    case DwForm::kRef:
+      WriteUleb128(w, ref_remap);
+      break;
+  }
+}
+
+}  // namespace
+
+DwarfSections EncodeDwarf(const DwarfDocument& document, Endian endian) {
+  // Pass 1: pre-order numbering so references are decoder-stable.
+  std::vector<uint32_t> arena_to_preorder(document.num_dies() + 1, 0);
+  uint32_t next = 1;
+  document.WalkAll([&](uint32_t index, const Die&) { arena_to_preorder[index] = next++; });
+
+  // Pass 2: collect abbrev shapes.
+  std::map<AbbrevShape, uint64_t> abbrev_codes;
+  document.WalkAll([&](uint32_t, const Die& die) {
+    AbbrevShape shape = ShapeOf(die);
+    if (abbrev_codes.find(shape) == abbrev_codes.end()) {
+      uint64_t code = abbrev_codes.size() + 1;
+      abbrev_codes[shape] = code;
+    }
+  });
+
+  ByteWriter abbrev(endian);
+  // Entries must appear in code order.
+  std::vector<const AbbrevShape*> ordered(abbrev_codes.size());
+  for (const auto& [shape, code] : abbrev_codes) {
+    ordered[code - 1] = &shape;
+  }
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    WriteUleb128(abbrev, i + 1);
+    WriteUleb128(abbrev, ordered[i]->tag);
+    abbrev.WriteU8(ordered[i]->has_children ? 1 : 0);
+    for (uint16_t attr : ordered[i]->attrs) {
+      WriteUleb128(abbrev, attr);
+      WriteUleb128(abbrev, static_cast<uint64_t>(FormOf(static_cast<DwAttr>(attr))));
+    }
+    WriteUleb128(abbrev, 0);
+    WriteUleb128(abbrev, 0);
+  }
+  WriteUleb128(abbrev, 0);  // table terminator
+
+  // Pass 3: emit DIEs pre-order.
+  ByteWriter info(endian);
+  auto emit = [&](auto&& self, uint32_t index) -> void {
+    const Die& die = document.die(index);
+    WriteUleb128(info, abbrev_codes[ShapeOf(die)]);
+    for (const DwarfAttrValue& v : die.attrs) {
+      uint64_t remapped = v.num;
+      if (FormOf(v.attr) == DwForm::kRef && v.num != 0) {
+        remapped = arena_to_preorder[v.num];
+      }
+      WriteAttrValue(info, v, remapped);
+    }
+    if (!die.children.empty()) {
+      for (uint32_t child : die.children) {
+        self(self, child);
+      }
+      WriteUleb128(info, 0);  // end of children
+    }
+  };
+  for (uint32_t root : document.roots()) {
+    emit(emit, root);
+  }
+
+  return DwarfSections{abbrev.TakeBytes(), info.TakeBytes()};
+}
+
+Result<DwarfDocument> DecodeDwarf(const std::vector<uint8_t>& abbrev,
+                                  const std::vector<uint8_t>& info, Endian endian) {
+  struct AbbrevEntry {
+    uint16_t tag = 0;
+    bool has_children = false;
+    std::vector<std::pair<DwAttr, DwForm>> attrs;
+  };
+
+  // Parse the abbreviation table.
+  std::vector<AbbrevEntry> entries;  // index = code - 1
+  {
+    ByteReader r(abbrev, endian);
+    while (true) {
+      DEPSURF_ASSIGN_OR_RETURN(code, ReadUleb128(r));
+      if (code == 0) {
+        break;
+      }
+      if (code != entries.size() + 1) {
+        return Error(ErrorCode::kMalformedData, "abbrev codes not sequential");
+      }
+      AbbrevEntry entry;
+      DEPSURF_ASSIGN_OR_RETURN(tag, ReadUleb128(r));
+      entry.tag = static_cast<uint16_t>(tag);
+      DEPSURF_ASSIGN_OR_RETURN(has_children, r.ReadU8());
+      entry.has_children = has_children != 0;
+      while (true) {
+        DEPSURF_ASSIGN_OR_RETURN(attr, ReadUleb128(r));
+        DEPSURF_ASSIGN_OR_RETURN(form, ReadUleb128(r));
+        if (attr == 0 && form == 0) {
+          break;
+        }
+        DwForm parsed_form = static_cast<DwForm>(form);
+        DwAttr parsed_attr = static_cast<DwAttr>(attr);
+        if (parsed_form != FormOf(parsed_attr)) {
+          return Error(ErrorCode::kMalformedData,
+                       StrFormat("attr 0x%x has unexpected form %u", (unsigned)attr,
+                                 (unsigned)form));
+        }
+        entry.attrs.emplace_back(parsed_attr, parsed_form);
+      }
+      entries.push_back(std::move(entry));
+    }
+  }
+
+  // Parse the info stream.
+  DwarfDocument document;
+  ByteReader r(info, endian);
+  std::vector<uint32_t> stack;  // parent DIE indices
+
+  while (!r.AtEnd()) {
+    DEPSURF_ASSIGN_OR_RETURN(code, ReadUleb128(r));
+    if (code == 0) {
+      if (stack.empty()) {
+        return Error(ErrorCode::kMalformedData, "end-of-children with empty stack");
+      }
+      stack.pop_back();
+      continue;
+    }
+    if (code > entries.size()) {
+      return Error(ErrorCode::kMalformedData, "abbrev code out of range");
+    }
+    const AbbrevEntry& entry = entries[code - 1];
+    uint32_t parent = stack.empty() ? 0 : stack.back();
+    uint32_t die_index = document.AddDie(static_cast<DwTag>(entry.tag), parent);
+    for (const auto& [attr, form] : entry.attrs) {
+      switch (form) {
+        case DwForm::kString: {
+          DEPSURF_ASSIGN_OR_RETURN(s, r.ReadCString());
+          document.SetString(die_index, attr, std::move(s));
+          break;
+        }
+        case DwForm::kUdata:
+        case DwForm::kRef: {
+          DEPSURF_ASSIGN_OR_RETURN(n, ReadUleb128(r));
+          document.SetNumber(die_index, attr, n);
+          break;
+        }
+        case DwForm::kFlag: {
+          DEPSURF_RETURN_IF_ERROR(r.Skip(1));
+          document.SetFlag(die_index, attr);
+          break;
+        }
+        case DwForm::kAddr: {
+          DEPSURF_ASSIGN_OR_RETURN(n, r.ReadU64());
+          document.SetNumber(die_index, attr, n);
+          break;
+        }
+      }
+    }
+    if (entry.has_children) {
+      stack.push_back(die_index);
+    }
+  }
+  if (!stack.empty()) {
+    return Error(ErrorCode::kMalformedData, "unterminated children list");
+  }
+  // Validate references point at real DIEs.
+  Status ref_status = Status::Ok();
+  document.WalkAll([&](uint32_t, const Die& die) {
+    for (const DwarfAttrValue& v : die.attrs) {
+      if (FormOf(v.attr) == DwForm::kRef && v.num > document.num_dies()) {
+        ref_status = Status(ErrorCode::kMalformedData, "DIE reference out of range");
+      }
+    }
+  });
+  DEPSURF_RETURN_IF_ERROR(ref_status);
+  return document;
+}
+
+}  // namespace depsurf

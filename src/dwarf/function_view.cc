@@ -1,0 +1,90 @@
+#include "src/dwarf/function_view.h"
+
+namespace depsurf {
+
+Result<std::map<std::string, std::vector<FunctionInstance>>> CollectFunctionInstances(
+    const DwarfDocument& document) {
+  // Pass 1: map every subprogram DIE index to its slot in the result, and
+  // record the enclosing (CU file, subprogram name) context of each DIE.
+  struct Slot {
+    std::string name;
+    size_t index;  // into instances[name]
+  };
+  std::map<std::string, std::vector<FunctionInstance>> instances;
+  std::map<uint32_t, Slot> subprogram_slots;
+
+  for (uint32_t root : document.roots()) {
+    const Die& cu = document.die(root);
+    if (cu.tag != DwTag::kCompileUnit) {
+      return Error(ErrorCode::kMalformedData, "top-level DIE is not a compile unit");
+    }
+    std::string cu_file = cu.GetString(DwAttr::kName).value_or("");
+    for (uint32_t child : cu.children) {
+      const Die& die = document.die(child);
+      if (die.tag != DwTag::kSubprogram) {
+        continue;
+      }
+      FunctionInstance inst;
+      inst.name = die.GetString(DwAttr::kName).value_or("");
+      if (inst.name.empty()) {
+        return Error(ErrorCode::kMalformedData, "subprogram without a name");
+      }
+      inst.decl_file = die.GetString(DwAttr::kDeclFile).value_or(cu_file);
+      inst.decl_line = static_cast<uint32_t>(die.GetNumber(DwAttr::kDeclLine).value_or(0));
+      inst.external = die.GetFlag(DwAttr::kExternal);
+      inst.inline_attr =
+          static_cast<DwInl>(die.GetNumber(DwAttr::kInline).value_or(0));
+      if (auto pc = die.GetNumber(DwAttr::kLowPc); pc.has_value()) {
+        inst.low_pc = *pc;
+      }
+      auto& list = instances[inst.name];
+      subprogram_slots[child] = Slot{inst.name, list.size()};
+      list.push_back(std::move(inst));
+    }
+  }
+
+  // Pass 2: attribute inlined_subroutine / call_site records to their
+  // origin instances.
+  Status bad = Status::Ok();
+  for (uint32_t root : document.roots()) {
+    const Die& cu = document.die(root);
+    std::string cu_file = cu.GetString(DwAttr::kName).value_or("");
+    for (uint32_t sub_index : cu.children) {
+      const Die& sub = document.die(sub_index);
+      if (sub.tag != DwTag::kSubprogram) {
+        continue;
+      }
+      std::string caller = cu_file + ":" + sub.GetString(DwAttr::kName).value_or("?");
+      document.Walk(sub_index, [&](uint32_t index, const Die& die) {
+        if (index == sub_index) {
+          return;
+        }
+        uint64_t origin = 0;
+        bool is_inline_site = false;
+        if (die.tag == DwTag::kInlinedSubroutine) {
+          origin = die.GetNumber(DwAttr::kAbstractOrigin).value_or(0);
+          is_inline_site = true;
+        } else if (die.tag == DwTag::kCallSite) {
+          origin = die.GetNumber(DwAttr::kCallOrigin).value_or(0);
+        } else {
+          return;
+        }
+        auto it = subprogram_slots.find(static_cast<uint32_t>(origin));
+        if (it == subprogram_slots.end()) {
+          bad = Status(ErrorCode::kMalformedData, "call origin is not a subprogram");
+          return;
+        }
+        FunctionInstance& target = instances[it->second.name][it->second.index];
+        if (is_inline_site) {
+          target.caller_inline.push_back(caller);
+        } else {
+          target.caller_func.push_back(caller);
+        }
+      });
+    }
+  }
+  DEPSURF_RETURN_IF_ERROR(bad);
+  return instances;
+}
+
+}  // namespace depsurf

@@ -1,0 +1,47 @@
+// Extraction of function instances and call-site relations from a DWARF-lite
+// document. Produces the data behind the paper's function-status records
+// (Appendix A.2.4): per-instance name/location/inline attribute, plus the
+// lists of callers that inlined the function and callers that call it
+// out of line.
+#ifndef DEPSURF_SRC_DWARF_FUNCTION_VIEW_H_
+#define DEPSURF_SRC_DWARF_FUNCTION_VIEW_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/dwarf/dwarf.h"
+#include "src/util/error.h"
+
+namespace depsurf {
+
+// One DW_TAG_subprogram instance (a source function compiled into one
+// translation unit; a header-defined static appears once per including TU).
+struct FunctionInstance {
+  std::string name;
+  std::string decl_file;
+  uint32_t decl_line = 0;
+  bool external = false;
+  DwInl inline_attr = DwInl::kNotInlined;
+  // Set when the instance has an out-of-line copy.
+  std::optional<uint64_t> low_pc;
+  // "file:caller" for each caller that inlined this instance.
+  std::vector<std::string> caller_inline;
+  // "file:caller" for each caller with an out-of-line call.
+  std::vector<std::string> caller_func;
+
+  // An instance is "out of line" iff it has code of its own.
+  bool HasCode() const { return low_pc.has_value(); }
+};
+
+// All instances in a document, grouped by function name, in DIE order.
+// Fails on structurally invalid documents (e.g., an inlined_subroutine
+// whose origin is not a subprogram).
+Result<std::map<std::string, std::vector<FunctionInstance>>> CollectFunctionInstances(
+    const DwarfDocument& document);
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_DWARF_FUNCTION_VIEW_H_

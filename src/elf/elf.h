@@ -1,0 +1,74 @@
+// ELF constants and plain structs shared by the writer and reader.
+//
+// This is a from-scratch implementation of the subset of the ELF object
+// format the project needs: section headers, symbol tables, string tables,
+// and data sections addressed by virtual address. Both ELF32/ELF64 and
+// little/big endian layouts are supported because the kernel-image corpus
+// spans x86/arm64/riscv (ELF64 LE), arm32 (ELF32 LE) and ppc (ELF64 BE).
+#ifndef DEPSURF_SRC_ELF_ELF_H_
+#define DEPSURF_SRC_ELF_ELF_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/byte_buffer.h"
+
+namespace depsurf {
+
+enum class ElfClass : uint8_t { k32 = 1, k64 = 2 };
+
+// e_machine values (subset).
+enum class ElfMachine : uint16_t {
+  kX86_64 = 62,
+  kAarch64 = 183,
+  kArm = 40,
+  kPpc64 = 21,
+  kRiscv = 243,
+};
+
+// sh_type values (subset).
+enum class SectionType : uint32_t {
+  kNull = 0,
+  kProgbits = 1,
+  kSymtab = 2,
+  kStrtab = 3,
+  kNobits = 8,
+};
+
+// Symbol binding (upper nibble of st_info).
+enum class SymBind : uint8_t { kLocal = 0, kGlobal = 1, kWeak = 2 };
+
+// Symbol type (lower nibble of st_info).
+enum class SymType : uint8_t { kNoType = 0, kObject = 1, kFunc = 2, kSection = 3 };
+
+// Section flags (subset).
+inline constexpr uint64_t kShfAlloc = 0x2;
+inline constexpr uint64_t kShfExecinstr = 0x4;
+
+// Special section indexes.
+inline constexpr uint16_t kShnUndef = 0;
+inline constexpr uint16_t kShnAbs = 0xfff1;
+
+struct ElfIdent {
+  ElfClass klass = ElfClass::k64;
+  Endian endian = Endian::kLittle;
+  ElfMachine machine = ElfMachine::kX86_64;
+
+  int pointer_size() const { return klass == ElfClass::k64 ? 8 : 4; }
+};
+
+struct ElfSymbol {
+  std::string name;
+  uint64_t value = 0;
+  uint64_t size = 0;
+  SymBind bind = SymBind::kLocal;
+  SymType type = SymType::kNoType;
+  uint16_t shndx = kShnUndef;
+};
+
+// Architecture name used in build specs ("x86", "arm64", ...).
+const char* ElfMachineName(ElfMachine machine);
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_ELF_ELF_H_

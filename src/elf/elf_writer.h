@@ -1,0 +1,61 @@
+// Serializes an ELF object (sections + symbols) to bytes.
+//
+// Layout produced: ELF header, section bodies (in insertion order),
+// .symtab/.strtab (if any symbols), .shstrtab, then the section header
+// table. Virtual addresses are caller-assigned per section; the writer does
+// not relocate anything.
+#ifndef DEPSURF_SRC_ELF_ELF_WRITER_H_
+#define DEPSURF_SRC_ELF_ELF_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/elf/elf.h"
+#include "src/util/byte_buffer.h"
+#include "src/util/error.h"
+
+namespace depsurf {
+
+class ElfWriter {
+ public:
+  explicit ElfWriter(ElfIdent ident) : ident_(ident) {}
+
+  const ElfIdent& ident() const { return ident_; }
+
+  // Adds a PROGBITS (or other) section with raw contents. Returns the
+  // eventual section header index (1-based; index 0 is the null section).
+  // `addr` is the virtual address the section claims to be loaded at.
+  uint32_t AddSection(std::string name, SectionType type, std::vector<uint8_t> data,
+                      uint64_t addr = 0, uint64_t flags = 0, uint64_t entsize = 0);
+
+  // Adds a symbol. `shndx` is a section index previously returned by
+  // AddSection (or kShnAbs/kShnUndef).
+  void AddSymbol(const ElfSymbol& symbol);
+
+  size_t num_sections() const { return sections_.size(); }
+  size_t num_symbols() const { return symbols_.size(); }
+
+  // Serializes the object. The writer can be reused only by rebuilding.
+  Result<std::vector<uint8_t>> Finish() const;
+
+ private:
+  struct Section {
+    std::string name;
+    SectionType type;
+    std::vector<uint8_t> data;
+    uint64_t addr;
+    uint64_t flags;
+    uint64_t entsize;
+    uint32_t link = 0;
+    uint32_t info = 0;
+  };
+
+  ElfIdent ident_;
+  std::vector<Section> sections_;
+  std::vector<ElfSymbol> symbols_;
+};
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_ELF_ELF_WRITER_H_

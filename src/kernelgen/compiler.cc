@@ -1,0 +1,233 @@
+#include "src/kernelgen/compiler.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/util/prng.h"
+#include "src/util/str_util.h"
+
+namespace depsurf {
+
+namespace {
+
+// Effective inline outcome for one function in one build.
+enum class InlineOutcome { kNone, kSelective, kFull };
+
+// Decisions are *sticky*: keyed on the function identity so the same source
+// function gets the same outcome across versions, with a small per-build
+// re-roll modeling the "no guarantee across compiler versions" variation
+// the paper measures at a few percent (Figure 5).
+constexpr double kPerBuildRerollRate = 0.01;
+
+InlineOutcome DecideInline(const FuncSpec& spec, uint64_t sticky_key, uint64_t build_key,
+                           const CompilationRates& rates) {
+  switch (spec.inline_hint) {
+    case InlineHint::kForceFull:
+      return InlineOutcome::kFull;
+    case InlineHint::kForceSelective:
+      return InlineOutcome::kSelective;
+    case InlineHint::kNever:
+      return InlineOutcome::kNone;
+    case InlineHint::kAuto:
+      break;
+  }
+  Prng sticky(sticky_key);
+  Prng per_build(HashCombine({sticky_key, build_key}));
+  Prng& prng = per_build.NextBool(kPerBuildRerollRate) ? per_build : sticky;
+  if (spec.linkage == Linkage::kStatic && !spec.defined_in_header &&
+      prng.NextBool(rates.full_inline_static)) {
+    return InlineOutcome::kFull;
+  }
+  if (prng.NextBool(rates.selective_inline)) {
+    return InlineOutcome::kSelective;
+  }
+  return InlineOutcome::kNone;
+}
+
+// Transformation suffix, if any, for a function that kept a symbol. Sticky
+// per function; the per-compiler factor only gates whether the sticky draw
+// fires (so transformations appear/disappear at toolchain boundaries, not
+// randomly per image).
+std::string DecideTransform(const FuncSpec& spec, const BuildSpec& build, uint64_t sticky_key,
+                            const CompilationRates& rates) {
+  if (!spec.forced_transform.empty()) {
+    if (build.arch == Arch::kArm32 && spec.forced_transform == "isra") {
+      return "";  // ISRA is disabled on arm32 (a077224)
+    }
+    if (build.gcc_major >= spec.forced_transform_min_gcc) {
+      return "." + spec.forced_transform + ".0";
+    }
+    return "";
+  }
+  if (spec.inline_hint != InlineHint::kAuto) {
+    return "";  // scripted lineages opt in via forced_transform only
+  }
+  // Older compilers transform noticeably less (Figure 6); the ramp is
+  // gradual so transform churn spreads across toolchain upgrades instead of
+  // spiking at one version boundary.
+  double factor = 0.55 + 0.075 * (build.gcc_major - 6);
+  factor = std::clamp(factor, 0.55, 1.0);
+  Prng prng(sticky_key);
+  const CompilationRates& r = rates;
+  double u_isra = prng.NextDouble();
+  double u_constprop = prng.NextDouble();
+  double u_part = prng.NextDouble();
+  double u_cold = prng.NextDouble();
+  if (build.arch != Arch::kArm32 && u_isra < r.transform_isra * factor) {
+    return ".isra.0";
+  }
+  if (u_constprop < r.transform_constprop * factor) {
+    return ".constprop.0";
+  }
+  if (u_part < r.transform_part * factor) {
+    return ".part.0";
+  }
+  if (build.gcc_major >= 8 && u_cold < r.transform_cold) {
+    return ".cold";
+  }
+  return "";
+}
+
+}  // namespace
+
+CompiledImage CompileKernel(uint64_t seed, ConfiguredKernel kernel,
+                            const CompilationRates& rates) {
+  CompiledImage image;
+  image.funcs.reserve(kernel.funcs.size());
+  const BuildSpec& build = kernel.build;
+  uint64_t build_key = build.Key();
+  // Inline re-rolls depend on the toolchain, not the flavor: the lowlatency
+  // kernel is built by the same compiler from the same tree and must make
+  // (almost exactly) the same inline decisions as generic.
+  uint64_t toolchain_key = HashCombine({build.version.Key(),
+                                        static_cast<uint64_t>(build.gcc_major),
+                                        static_cast<uint64_t>(build.arch)});
+
+  // TU-mate index for synthesizing callers of inlined background functions.
+  std::map<std::string, std::vector<const FuncSpec*>> by_file;
+  for (const FuncSpec& spec : kernel.funcs) {
+    by_file[spec.decl_file].push_back(&spec);
+  }
+  auto neighbor_callers = [&](const FuncSpec& spec, size_t want) {
+    std::vector<std::string> out;
+    const auto& mates = by_file[spec.decl_file];
+    for (const FuncSpec* mate : mates) {
+      if (mate->name != spec.name && out.size() < want) {
+        out.push_back(spec.decl_file + ":" + mate->name);
+      }
+    }
+    return out;
+  };
+
+  uint64_t cursor = build.arch == Arch::kArm32 ? 0xc0008000ull : 0xffffffff81000000ull;
+  if (ElfIdentFor(build.arch).klass == ElfClass::k32) {
+    cursor = 0xc0008000ull;
+  }
+
+  for (const FuncSpec& spec : kernel.funcs) {
+    CompiledFunction func;
+    func.spec = spec;
+    // Sticky identity (stable across versions/builds) and per-build key.
+    uint64_t sticky = HashCombine({seed, HashString(spec.name), HashString(spec.decl_file)});
+    uint64_t fkey = HashCombine({sticky, build_key});
+
+    InlineOutcome outcome =
+        DecideInline(spec, HashCombine({sticky, 0x111}), toolchain_key, rates);
+
+    // Split declared callers into inlined and out-of-line sets.
+    std::vector<std::string> inline_callers;
+    std::vector<std::string> call_callers;
+    if (!spec.callers.empty()) {
+      for (const std::string& caller : spec.callers) {
+        bool same_tu = StartsWith(caller, spec.decl_file + ":");
+        switch (outcome) {
+          case InlineOutcome::kFull:
+            inline_callers.push_back(caller);
+            break;
+          case InlineOutcome::kSelective:
+            (same_tu ? inline_callers : call_callers).push_back(caller);
+            break;
+          case InlineOutcome::kNone:
+            call_callers.push_back(caller);
+            break;
+        }
+      }
+      if (outcome == InlineOutcome::kSelective && inline_callers.empty() &&
+          !call_callers.empty()) {
+        // Selective inline needs at least one inlined site.
+        inline_callers.push_back(call_callers.back());
+        call_callers.pop_back();
+      }
+    } else if (outcome != InlineOutcome::kNone) {
+      inline_callers = neighbor_callers(spec, outcome == InlineOutcome::kFull ? 2 : 1);
+      if (outcome == InlineOutcome::kSelective) {
+        call_callers = neighbor_callers(spec, 2);
+        if (call_callers.size() > 1) {
+          call_callers.erase(call_callers.begin());  // keep sets distinct-ish
+        }
+      }
+      if (inline_callers.empty()) {
+        // No TU-mates to inline into: the function stays out of line.
+        outcome = InlineOutcome::kNone;
+        call_callers.clear();
+      }
+    }
+
+    size_t num_instances = 1;
+    if (spec.defined_in_header) {
+      Prng prng(HashCombine({sticky, 0x222}));
+      num_instances = 2 + prng.NextBelow(6);
+      if (prng.NextBelow(20) == 0) {
+        num_instances = 10 + prng.NextBelow(30);  // get_order-style heavy use
+      }
+    }
+
+    for (size_t i = 0; i < num_instances; ++i) {
+      CompiledInstance inst;
+      inst.external = spec.linkage == Linkage::kGlobal;
+      if (spec.defined_in_header) {
+        // Each including TU gets its own copy.
+        inst.tu_file =
+            kernel.funcs[HashCombine({sticky, 0x5a, i}) % kernel.funcs.size()].decl_file;
+        if (EndsWith(inst.tu_file, ".h")) {
+          inst.tu_file = "fs/inode.c";  // includers are .c files
+        }
+      } else {
+        inst.tu_file = spec.decl_file;
+      }
+      switch (outcome) {
+        case InlineOutcome::kFull:
+          inst.inline_attr =
+              spec.linkage == Linkage::kStatic ? DwInl::kDeclaredInlined : DwInl::kInlined;
+          inst.inline_callers = inline_callers;
+          break;
+        case InlineOutcome::kSelective:
+          inst.inline_attr = DwInl::kInlined;
+          inst.inline_callers = inline_callers;
+          inst.call_callers = call_callers;
+          break;
+        case InlineOutcome::kNone:
+          inst.inline_attr =
+              spec.defined_in_header ? DwInl::kDeclaredNotInlined : DwInl::kNotInlined;
+          inst.call_callers = call_callers;
+          break;
+      }
+      if (outcome != InlineOutcome::kFull) {
+        // Out-of-line code and a symbol (possibly transformed).
+        Prng addr_prng(HashCombine({fkey, 0x333, i}));
+        cursor += 32 + addr_prng.NextBelow(224);
+        cursor &= ~uint64_t{15};
+        inst.address = cursor;
+        std::string suffix = DecideTransform(spec, build, HashCombine({sticky, 0x444}), rates);
+        inst.symbol_name = spec.name + suffix;
+      }
+      func.instances.push_back(std::move(inst));
+    }
+    image.funcs.push_back(std::move(func));
+  }
+
+  image.kernel = std::move(kernel);
+  return image;
+}
+
+}  // namespace depsurf

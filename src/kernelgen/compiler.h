@@ -1,0 +1,49 @@
+// The compiler simulator: turns a configured source model into compiled
+// function instances with the effects the paper measured (Figures 5-6,
+// Table 6): full/selective inlining, constprop/isra/part/cold symbol
+// transformations, header-static duplication, and name collisions (which
+// arrive from the source model and simply survive compilation).
+#ifndef DEPSURF_SRC_KERNELGEN_COMPILER_H_
+#define DEPSURF_SRC_KERNELGEN_COMPILER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/dwarf/dwarf.h"
+#include "src/kernelgen/configurator.h"
+
+namespace depsurf {
+
+// One compiled copy of a source function (normally one; several for
+// header-defined statics compiled into multiple translation units).
+struct CompiledInstance {
+  std::string tu_file;  // translation unit the copy lives in
+  DwInl inline_attr = DwInl::kNotInlined;
+  bool external = false;
+  uint64_t address = 0;            // 0: no out-of-line code (fully inlined)
+  std::string symbol_name;         // empty: no symbol; may carry ".isra.0" etc.
+  std::vector<std::string> inline_callers;  // "file:func" inlined call sites
+  std::vector<std::string> call_callers;    // "file:func" out-of-line calls
+
+  bool HasCode() const { return address != 0; }
+};
+
+struct CompiledFunction {
+  FuncSpec spec;
+  std::vector<CompiledInstance> instances;
+};
+
+struct CompiledImage {
+  ConfiguredKernel kernel;
+  std::vector<CompiledFunction> funcs;
+};
+
+// Deterministically "compiles" the kernel. Consumes the configured model.
+// `rates` overrides the default compilation-rate parameters (used by the
+// ablation benches, e.g. inline-threshold sweeps).
+CompiledImage CompileKernel(uint64_t seed, ConfiguredKernel kernel,
+                            const CompilationRates& rates = kCompilationRates);
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_KERNELGEN_COMPILER_H_

@@ -1,0 +1,328 @@
+#include "src/kernelgen/configurator.h"
+
+#include <cmath>
+
+#include "src/util/prng.h"
+#include "src/util/str_util.h"
+
+namespace depsurf {
+
+namespace {
+
+// v5.4 x86-generic baselines the Table 5 deltas are expressed against.
+constexpr double kFuncBaseline = 73000;  // source-level functions
+constexpr double kStructBaseline = 8400;
+constexpr double kTraceptBaseline = 752;
+
+StructSpec MakePtRegs(std::vector<FieldSpec> fields) {
+  StructSpec spec;
+  spec.name = "pt_regs";
+  spec.fields = std::move(fields);
+  return spec;
+}
+
+}  // namespace
+
+StructSpec PtRegsFor(Arch arch) {
+  switch (arch) {
+    case Arch::kX86:
+      return MakePtRegs({{"r15", "unsigned long"}, {"r14", "unsigned long"},
+                         {"r13", "unsigned long"}, {"r12", "unsigned long"},
+                         {"bp", "unsigned long"},  {"bx", "unsigned long"},
+                         {"r11", "unsigned long"}, {"r10", "unsigned long"},
+                         {"r9", "unsigned long"},  {"r8", "unsigned long"},
+                         {"ax", "unsigned long"},  {"cx", "unsigned long"},
+                         {"dx", "unsigned long"},  {"si", "unsigned long"},
+                         {"di", "unsigned long"},  {"orig_ax", "unsigned long"},
+                         {"ip", "unsigned long"},  {"cs", "unsigned long"},
+                         {"flags", "unsigned long"}, {"sp", "unsigned long"},
+                         {"ss", "unsigned long"}});
+    case Arch::kArm64:
+      return MakePtRegs({{"regs", "unsigned long[31]"}, {"sp", "unsigned long"},
+                         {"pc", "unsigned long"}, {"pstate", "unsigned long"}});
+    case Arch::kArm32:
+      return MakePtRegs({{"uregs", "unsigned long[18]"}});
+    case Arch::kPpc:
+      return MakePtRegs({{"gpr", "unsigned long[32]"}, {"nip", "unsigned long"},
+                         {"msr", "unsigned long"}, {"orig_gpr3", "unsigned long"},
+                         {"ctr", "unsigned long"}, {"link", "unsigned long"}});
+    case Arch::kRiscv:
+      return MakePtRegs({{"epc", "unsigned long"}, {"ra", "unsigned long"},
+                         {"sp", "unsigned long"},  {"gp", "unsigned long"},
+                         {"tp", "unsigned long"},  {"a0", "unsigned long"},
+                         {"a1", "unsigned long"},  {"a2", "unsigned long"},
+                         {"a3", "unsigned long"},  {"a4", "unsigned long"},
+                         {"a5", "unsigned long"},  {"a6", "unsigned long"},
+                         {"a7", "unsigned long"}});
+  }
+  return MakePtRegs({});
+}
+
+KernelModel::KernelModel(uint64_t seed, double scale, ScriptedCatalog catalog)
+    : seed_(seed), scale_(scale), evolution_(seed, scale), catalog_(std::move(catalog)) {}
+
+bool KernelModel::RemovedByConfig(uint64_t key, uint32_t removed_count, uint32_t baseline,
+                                  bool driver_bias, bool is_driver, uint64_t salt) const {
+  if (removed_count == 0) {
+    return false;
+  }
+  double p = static_cast<double>(removed_count) / static_cast<double>(baseline);
+  if (driver_bias) {
+    // Cloud flavors strip drivers ~3x more aggressively; the weights keep
+    // the expected total constant for a ~27.5% driver share.
+    p *= is_driver ? 2.4 : 0.47;
+  }
+  Prng prng(HashCombine({seed_, 0xcf9, key, salt}));
+  return prng.NextBool(p);
+}
+
+Result<ConfiguredKernel> KernelModel::Configure(const BuildSpec& build) const {
+  int vi = VersionIndex(build.version);
+  if (vi < 0) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "not a study version: " + build.version.ToString());
+  }
+  const ConfigEffect& arch_effect = ConfigEffectFor(build.arch);
+  const ConfigEffect& flavor_effect = ConfigEffectFor(build.flavor);
+  bool flavor_bias = build.flavor == Flavor::kAws || build.flavor == Flavor::kAzure;
+  uint64_t arch_salt = static_cast<uint64_t>(build.arch) + 1;
+  uint64_t flavor_salt = (static_cast<uint64_t>(build.flavor) + 1) << 8;
+
+  ConfiguredKernel out;
+  out.build = build;
+  // Flavor option counts are defined relative to x86; arch counts apply to
+  // the generic flavor of that arch.
+  out.config_options = build.flavor == Flavor::kGeneric
+                           ? ConfigEffectFor(build.arch).config_options
+                           : ConfigEffectFor(build.flavor).config_options;
+
+  const NameCorpus& names = evolution_.names();
+
+  // ---- Functions: background population.
+  evolution_.ForEachFunc(vi, [&](uint64_t ordinal, const FuncSpec& spec) {
+    bool is_driver = names.IsDriverSubsystem(ordinal);
+    if (RemovedByConfig(ordinal, static_cast<uint32_t>(arch_effect.func_removed * scale_),
+                        static_cast<uint32_t>(kFuncBaseline * scale_), false, is_driver,
+                        arch_salt)) {
+      return;
+    }
+    if (RemovedByConfig(ordinal, static_cast<uint32_t>(flavor_effect.func_removed * scale_),
+                        static_cast<uint32_t>(kFuncBaseline * scale_), flavor_bias, is_driver,
+                        flavor_salt)) {
+      return;
+    }
+    FuncSpec configured = spec;
+    // Rare config-driven signature change (Table 5's Δ row).
+    Prng chg(HashCombine({seed_, 0xacf6, ordinal, arch_salt}));
+    if (chg.NextBool(arch_effect.func_changed / kFuncBaseline)) {
+      if (!configured.params.empty()) {
+        configured.params.back().type = "unsigned long";
+      } else {
+        configured.params.push_back({"cfg", "unsigned long"});
+      }
+    }
+    out.funcs.push_back(std::move(configured));
+  });
+  // Arch/flavor-specific additional functions.
+  auto add_extra_funcs = [&](uint32_t count, uint64_t space) {
+    for (uint32_t i = 0; i < count; ++i) {
+      uint64_t ordinal = (space << 32) | i;
+      FuncSpec spec;
+      spec.name = StrFormat("%s_%s", space < 0x100 ? ArchName(build.arch)
+                                                   : FlavorName(build.flavor),
+                            names.Name(NameKind::kFunc, ordinal).c_str());
+      spec.return_type = "int";
+      spec.params = {{"arg", "void *"}};
+      spec.linkage = (ordinal % 3 == 0) ? Linkage::kGlobal : Linkage::kStatic;
+      spec.decl_file = StrFormat("arch/%s/kernel/extra%u.c", ArchName(build.arch), i % 7);
+      spec.decl_line = 10 + i % 400;
+      out.funcs.push_back(std::move(spec));
+    }
+  };
+  if (build.arch != Arch::kX86) {
+    add_extra_funcs(static_cast<uint32_t>(arch_effect.func_added * scale_), arch_salt);
+  }
+  if (build.flavor != Flavor::kGeneric) {
+    add_extra_funcs(static_cast<uint32_t>(flavor_effect.func_added * scale_), 0x100 | flavor_salt);
+  }
+  // LSM hooks and kfuncs: small special populations (unscaled — the real
+  // kernel has ~150 LSM hooks and ~100 kfuncs). LSM hooks churn at ~9%
+  // added / 2% removed per LTS; kfuncs appear from v5.8 and only ever get
+  // removed or renamed, never re-typed (§4.1).
+  {
+    auto alive = [&](uint64_t salt, uint64_t ordinal, int born, double remove_rate) {
+      if (born > vi) {
+        return false;
+      }
+      for (int t = born; t < vi; ++t) {
+        Prng prng(HashCombine({seed_, salt, ordinal, static_cast<uint64_t>(t)}));
+        if (prng.NextBool(remove_rate)) {
+          return false;
+        }
+      }
+      return true;
+    };
+    // 140 base hooks + ~3 per version; names are stable per ordinal.
+    uint32_t lsm_total = 140 + 3 * kNumVersions;
+    for (uint32_t i = 0; i < lsm_total; ++i) {
+      int born = i < 140 ? 0 : static_cast<int>((i - 140) / 3);
+      if (!alive(0x15a, i, born, 0.005)) {
+        continue;
+      }
+      FuncSpec spec;
+      spec.name = StrFormat("security_%s", names.Name(NameKind::kFunc, 0x100000000ull + i).c_str());
+      spec.return_type = "int";
+      spec.params = {{"obj", "void *"}, {"flags", "unsigned int"}};
+      spec.linkage = Linkage::kGlobal;
+      spec.decl_file = "security/security.c";
+      spec.decl_line = 100 + i;
+      spec.is_lsm_hook = true;
+      spec.inline_hint = InlineHint::kNever;
+      out.funcs.push_back(std::move(spec));
+    }
+    // kfuncs ramp from v5.8 (index 9) to ~100 at v6.8.
+    int v58 = 9;
+    if (vi >= v58) {
+      uint32_t kfunc_total = static_cast<uint32_t>(12 * (kNumVersions - v58));
+      for (uint32_t i = 0; i < kfunc_total; ++i) {
+        int born = v58 + static_cast<int>(i / 12);
+        if (!alive(0xbf, i, born, 0.01)) {
+          continue;
+        }
+        FuncSpec spec;
+        spec.name = StrFormat("bpf_%s", names.Name(NameKind::kFunc, 0x200000000ull + i).c_str());
+        spec.return_type = "int";
+        spec.params = {{"p", "struct task_struct *"}};
+        spec.linkage = Linkage::kGlobal;
+        spec.decl_file = "kernel/bpf/helpers.c";
+        spec.decl_line = 2000 + i;
+        spec.is_kfunc = true;
+        spec.inline_hint = InlineHint::kNever;
+        out.funcs.push_back(std::move(spec));
+      }
+    }
+  }
+
+  // Scripted functions.
+  for (const ScriptedFunc& sf : catalog_.funcs) {
+    const FuncSpec* spec = sf.SpecAt(build.version);
+    if (spec == nullptr) {
+      continue;
+    }
+    FuncSpec configured = *spec;
+    if (sf.forced_transform.has_value() && sf.forced_transform_range.Contains(build.version)) {
+      configured.forced_transform = *sf.forced_transform;
+      configured.forced_transform_min_gcc = sf.forced_transform_min_gcc;
+    }
+    auto it = sf.arch_behavior.find(build.arch);
+    if (it != sf.arch_behavior.end()) {
+      if (it->second.absent) {
+        continue;
+      }
+      if (it->second.inline_hint.has_value()) {
+        configured.inline_hint = *it->second.inline_hint;
+      }
+      if (it->second.duplicate_per_tu) {
+        configured.linkage = Linkage::kStatic;
+        configured.defined_in_header = true;
+      }
+    }
+    out.funcs.push_back(std::move(configured));
+  }
+
+  // ---- Structs.
+  evolution_.ForEachStruct(vi, [&](uint64_t ordinal, const StructSpec& spec) {
+    bool is_driver = names.IsDriverSubsystem(ordinal);
+    if (RemovedByConfig(ordinal, static_cast<uint32_t>(arch_effect.struct_removed * scale_),
+                        static_cast<uint32_t>(kStructBaseline * scale_), false, is_driver,
+                        arch_salt) ||
+        RemovedByConfig(ordinal, static_cast<uint32_t>(flavor_effect.struct_removed * scale_),
+                        static_cast<uint32_t>(kStructBaseline * scale_), flavor_bias, is_driver,
+                        flavor_salt)) {
+      return;
+    }
+    StructSpec configured = spec;
+    Prng chg(HashCombine({seed_, 0x5cf, ordinal, arch_salt ^ flavor_salt}));
+    double p_change = (arch_effect.struct_changed + flavor_effect.struct_changed) /
+                      kStructBaseline;
+    if (chg.NextBool(p_change)) {
+      // The task_struct pattern: an #ifdef'd field present only here.
+      configured.fields.push_back({"cfg_extra", "unsigned long"});
+    }
+    out.structs.push_back(std::move(configured));
+  });
+  auto add_extra_structs = [&](uint32_t count, uint64_t space) {
+    for (uint32_t i = 0; i < count; ++i) {
+      uint64_t ordinal = (space << 32) | i;
+      StructSpec spec;
+      spec.name = StrFormat("%s_%s", space < 0x100 ? ArchName(build.arch)
+                                                   : FlavorName(build.flavor),
+                            names.Name(NameKind::kStruct, ordinal).c_str());
+      spec.fields = {{"base", "unsigned long"}, {"len", "unsigned int"}};
+      out.structs.push_back(std::move(spec));
+    }
+  };
+  if (build.arch != Arch::kX86) {
+    add_extra_structs(static_cast<uint32_t>(arch_effect.struct_added * scale_), arch_salt);
+  }
+  if (build.flavor != Flavor::kGeneric) {
+    add_extra_structs(static_cast<uint32_t>(flavor_effect.struct_added * scale_),
+                      0x100 | flavor_salt);
+  }
+  for (const ScriptedStruct& ss : catalog_.structs) {
+    const StructSpec* spec = ss.SpecAt(build.version);
+    if (spec != nullptr) {
+      out.structs.push_back(*spec);
+    }
+  }
+  out.pt_regs = PtRegsFor(build.arch);
+  out.structs.push_back(out.pt_regs);
+
+  // ---- Tracepoints (configuration changes presence, never definitions).
+  evolution_.ForEachTracepoint(vi, [&](uint64_t ordinal, const TracepointSpec& spec) {
+    bool is_driver = names.IsDriverSubsystem(ordinal);
+    if (RemovedByConfig(ordinal, static_cast<uint32_t>(arch_effect.tracept_removed * scale_),
+                        static_cast<uint32_t>(kTraceptBaseline * scale_), false, is_driver,
+                        arch_salt) ||
+        RemovedByConfig(ordinal, static_cast<uint32_t>(flavor_effect.tracept_removed * scale_),
+                        static_cast<uint32_t>(kTraceptBaseline * scale_), flavor_bias, is_driver,
+                        flavor_salt)) {
+      return;
+    }
+    out.tracepoints.push_back(spec);
+  });
+  auto add_extra_tracepoints = [&](uint32_t count, uint64_t space) {
+    for (uint32_t i = 0; i < count; ++i) {
+      uint64_t ordinal = (space << 32) | i;
+      TracepointSpec spec;
+      spec.event_name = StrFormat("%s_%s", space < 0x100 ? ArchName(build.arch)
+                                                         : FlavorName(build.flavor),
+                                  names.TracepointEvent(ordinal).c_str());
+      spec.class_name = spec.event_name;
+      spec.func_params = {{"arg0", "unsigned long"}};
+      spec.event_fields = {{"val", "unsigned long"}};
+      spec.fmt = "\"val=%lu\", REC->val";
+      out.tracepoints.push_back(std::move(spec));
+    }
+  };
+  if (build.arch != Arch::kX86) {
+    add_extra_tracepoints(static_cast<uint32_t>(arch_effect.tracept_added * scale_), arch_salt);
+  }
+  if (build.flavor != Flavor::kGeneric) {
+    add_extra_tracepoints(static_cast<uint32_t>(flavor_effect.tracept_added * scale_),
+                          0x100 | flavor_salt);
+  }
+  for (const ScriptedTracepoint& st : catalog_.tracepoints) {
+    const TracepointSpec* spec = st.SpecAt(build.version);
+    if (spec != nullptr) {
+      out.tracepoints.push_back(*spec);
+    }
+  }
+
+  // ---- Syscalls (unscaled: the table is small and fully real-named).
+  out.syscalls = SyscallTableFor(build.version, build.arch);
+  out.compat_syscalls = CompatSyscallCount(build.version, build.arch);
+  return out;
+}
+
+}  // namespace depsurf

@@ -1,0 +1,58 @@
+// Assembles the complete configured source model for one kernel build:
+// background population (evolution) + scripted constructs, projected through
+// the architecture/flavor configuration (presence changes, rare definition
+// changes, per-arch syscall table, pt_regs layout).
+#ifndef DEPSURF_SRC_KERNELGEN_CONFIGURATOR_H_
+#define DEPSURF_SRC_KERNELGEN_CONFIGURATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/kernelgen/evolution.h"
+#include "src/kernelgen/scripted.h"
+#include "src/kernelgen/syscalls.h"
+#include "src/kmodel/build_spec.h"
+#include "src/util/error.h"
+
+namespace depsurf {
+
+// Everything the compiler simulator needs to "build" one image.
+struct ConfiguredKernel {
+  BuildSpec build;
+  std::vector<FuncSpec> funcs;  // inline hints resolved per arch
+  std::vector<StructSpec> structs;
+  std::vector<TracepointSpec> tracepoints;
+  std::vector<SyscallSpec> syscalls;
+  uint32_t compat_syscalls = 0;
+  uint32_t config_options = 0;
+  StructSpec pt_regs;
+};
+
+// pt_regs definition for an architecture (the register-layout dependency).
+StructSpec PtRegsFor(Arch arch);
+
+class KernelModel {
+ public:
+  // `catalog` is moved in; combine curated + profile constructs before
+  // construction.
+  KernelModel(uint64_t seed, double scale, ScriptedCatalog catalog);
+
+  const EvolutionModel& evolution() const { return evolution_; }
+  const ScriptedCatalog& catalog() const { return catalog_; }
+
+  // Fails if the version is not one of the 17 study versions.
+  Result<ConfiguredKernel> Configure(const BuildSpec& build) const;
+
+ private:
+  bool RemovedByConfig(uint64_t key, uint32_t removed_count, uint32_t baseline, bool driver_bias,
+                       bool is_driver, uint64_t salt) const;
+
+  uint64_t seed_;
+  double scale_;
+  EvolutionModel evolution_;
+  ScriptedCatalog catalog_;
+};
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_KERNELGEN_CONFIGURATOR_H_

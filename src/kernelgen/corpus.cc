@@ -1,0 +1,41 @@
+#include "src/kernelgen/corpus.h"
+
+namespace depsurf {
+
+BuildSpec MakeBuild(KernelVersion version, Arch arch, Flavor flavor) {
+  BuildSpec spec;
+  spec.version = version;
+  spec.arch = arch;
+  spec.flavor = flavor;
+  spec.gcc_major = GccMajorFor(version);
+  return spec;
+}
+
+std::vector<BuildSpec> X86GenericSeries() {
+  std::vector<BuildSpec> out;
+  out.reserve(kNumVersions);
+  for (KernelVersion version : kStudyVersions) {
+    out.push_back(MakeBuild(version));
+  }
+  return out;
+}
+
+std::vector<BuildSpec> DependencyAnalysisCorpus() {
+  std::vector<BuildSpec> out = X86GenericSeries();
+  constexpr KernelVersion kV54{5, 4};
+  for (Arch arch : {Arch::kArm64, Arch::kArm32, Arch::kPpc, Arch::kRiscv}) {
+    out.push_back(MakeBuild(kV54, arch));
+  }
+  return out;
+}
+
+std::vector<BuildSpec> StudyCorpus() {
+  std::vector<BuildSpec> out = DependencyAnalysisCorpus();
+  constexpr KernelVersion kV54{5, 4};
+  for (Flavor flavor : {Flavor::kLowLatency, Flavor::kAws, Flavor::kAzure, Flavor::kGcp}) {
+    out.push_back(MakeBuild(kV54, Arch::kX86, flavor));
+  }
+  return out;
+}
+
+}  // namespace depsurf

@@ -1,0 +1,29 @@
+// The 25-image study corpus (§3.2): 17 x86-generic versions, plus v5.4 on
+// 4 additional architectures and 4 additional flavors.
+#ifndef DEPSURF_SRC_KERNELGEN_CORPUS_H_
+#define DEPSURF_SRC_KERNELGEN_CORPUS_H_
+
+#include <vector>
+
+#include "src/kernelgen/rates.h"
+#include "src/kmodel/build_spec.h"
+
+namespace depsurf {
+
+// x86/generic build for a study version (GCC major from the Ubuntu table).
+BuildSpec MakeBuild(KernelVersion version, Arch arch = Arch::kX86,
+                    Flavor flavor = Flavor::kGeneric);
+
+// All 17 x86-generic builds, chronological.
+std::vector<BuildSpec> X86GenericSeries();
+
+// The 21 images used for dependency-set analysis (Figure 4, Tables 7-8):
+// the x86 series plus v5.4 on arm64/arm32/ppc/riscv.
+std::vector<BuildSpec> DependencyAnalysisCorpus();
+
+// The full 25-image corpus (adds the v5.4 flavor builds).
+std::vector<BuildSpec> StudyCorpus();
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_KERNELGEN_CORPUS_H_

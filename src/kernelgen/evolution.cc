@@ -1,0 +1,414 @@
+#include "src/kernelgen/evolution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/util/prng.h"
+#include "src/util/str_util.h"
+
+namespace depsurf {
+
+namespace {
+
+constexpr const char* kParamTypePool[] = {
+    "int",           "unsigned int",        "unsigned long", "u32",
+    "u64",           "bool",                "size_t",        "void *",
+    "struct task_struct *", "struct file *", "struct page *", "struct inode *",
+    "struct sock *", "struct device *",     "char *",        "const char *",
+    "loff_t",        "gfp_t",
+};
+constexpr size_t kParamTypePoolSize = sizeof(kParamTypePool) / sizeof(kParamTypePool[0]);
+
+constexpr const char* kReturnTypePool[] = {
+    "void", "int", "long", "bool", "unsigned long", "u64", "struct page *", "void *",
+};
+constexpr size_t kReturnTypePoolSize = sizeof(kReturnTypePool) / sizeof(kReturnTypePool[0]);
+
+constexpr const char* kFieldNamePool[] = {
+    "flags", "state", "count", "len",   "mode",  "pid",   "ts",     "ret",
+    "addr",  "size",  "next",  "prev",  "lock",  "refs",  "owner",  "id",
+    "prio",  "mask",  "start", "end",   "index", "order", "weight", "depth",
+};
+constexpr size_t kFieldNamePoolSize = sizeof(kFieldNamePool) / sizeof(kFieldNamePool[0]);
+
+constexpr const char* kParamNamePool[] = {
+    "p",   "arg", "val", "ptr", "ctx", "req", "dev", "obj", "src", "dst",
+};
+
+}  // namespace
+
+EvolutionModel::EvolutionModel(uint64_t seed, double scale)
+    : seed_(seed), scale_(scale), names_(seed) {
+  auto fill = [&](Kind kind, uint32_t base) {
+    auto& starts = gen_start_[static_cast<size_t>(kind)];
+    double count = static_cast<double>(base) * scale_;
+    starts[0] = 0;
+    double alive = count;
+    starts[1] = static_cast<uint64_t>(std::llround(count));
+    for (int t = 0; t < kNumVersions - 1; ++t) {
+      const TransitionRates& rates = TransitionRatesAt(t);
+      double add = kind == Kind::kFunc     ? rates.func_add
+                   : kind == Kind::kStruct ? rates.struct_add
+                                           : rates.tracept_add;
+      double remove = kind == Kind::kFunc     ? rates.func_remove
+                      : kind == Kind::kStruct ? rates.struct_remove
+                                              : rates.tracept_remove;
+      double born = alive * add;
+      starts[t + 2] = starts[t + 1] + static_cast<uint64_t>(std::llround(born));
+      alive = alive * (1.0 - remove) + born;
+    }
+  };
+  fill(Kind::kFunc, kBasePopulation.funcs);
+  fill(Kind::kStruct, kBasePopulation.structs);
+  fill(Kind::kTracepoint, kBasePopulation.tracepoints);
+}
+
+int EvolutionModel::BirthVersion(Kind kind, uint64_t ordinal) const {
+  const auto& starts = gen_start_[static_cast<size_t>(kind)];
+  for (int g = 0; g < kNumVersions; ++g) {
+    if (ordinal < starts[g + 1]) {
+      return g;
+    }
+  }
+  return kNumVersions;  // out of range
+}
+
+double EvolutionModel::RemoveRate(Kind kind, int transition) const {
+  const TransitionRates& rates = TransitionRatesAt(transition);
+  switch (kind) {
+    case Kind::kFunc:
+      return rates.func_remove;
+    case Kind::kStruct:
+      return rates.struct_remove;
+    case Kind::kTracepoint:
+      return rates.tracept_remove;
+  }
+  return 0;
+}
+
+double EvolutionModel::ChangeRate(Kind kind, int transition) const {
+  const TransitionRates& rates = TransitionRatesAt(transition);
+  switch (kind) {
+    case Kind::kFunc:
+      return rates.func_change;
+    case Kind::kStruct:
+      return rates.struct_change;
+    case Kind::kTracepoint:
+      return rates.tracept_change;
+  }
+  return 0;
+}
+
+bool EvolutionModel::Removed(Kind kind, uint64_t ordinal, int transition) const {
+  Prng prng(HashCombine(
+      {seed_, static_cast<uint64_t>(kind), 0xdead, ordinal, static_cast<uint64_t>(transition)}));
+  return prng.NextBool(RemoveRate(kind, transition));
+}
+
+bool EvolutionModel::Changed(Kind kind, uint64_t ordinal, int transition) const {
+  Prng prng(HashCombine(
+      {seed_, static_cast<uint64_t>(kind), 0xc4a9, ordinal, static_cast<uint64_t>(transition)}));
+  return prng.NextBool(ChangeRate(kind, transition));
+}
+
+bool EvolutionModel::Alive(Kind kind, uint64_t ordinal, int version_index) const {
+  int born = BirthVersion(kind, ordinal);
+  if (born > version_index) {
+    return false;
+  }
+  for (int t = born; t < version_index; ++t) {
+    if (Removed(kind, ordinal, t)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void EvolutionModel::ForEach(Kind kind, int version_index,
+                             const std::function<void(uint64_t)>& fn) const {
+  const auto& starts = gen_start_[static_cast<size_t>(kind)];
+  uint64_t limit = starts[version_index + 1];
+  for (uint64_t ordinal = 0; ordinal < limit; ++ordinal) {
+    if (Alive(kind, ordinal, version_index)) {
+      fn(ordinal);
+    }
+  }
+}
+
+uint32_t EvolutionModel::FuncCount(int version_index) const {
+  uint32_t n = 0;
+  ForEach(Kind::kFunc, version_index, [&](uint64_t) { ++n; });
+  return n;
+}
+
+uint32_t EvolutionModel::StructCount(int version_index) const {
+  uint32_t n = 0;
+  ForEach(Kind::kStruct, version_index, [&](uint64_t) { ++n; });
+  return n;
+}
+
+uint32_t EvolutionModel::TracepointCount(int version_index) const {
+  uint32_t n = 0;
+  ForEach(Kind::kTracepoint, version_index, [&](uint64_t) { ++n; });
+  return n;
+}
+
+bool EvolutionModel::FuncAlive(uint64_t ordinal, int version_index) const {
+  return Alive(Kind::kFunc, ordinal, version_index);
+}
+
+// --- Base spec synthesis -------------------------------------------------
+
+namespace {
+
+Linkage LinkageOf(uint64_t seed, uint64_t ordinal) {
+  Prng prng(HashCombine({seed, 0x111c, ordinal}));
+  return prng.NextBool(kCompilationRates.static_fraction) ? Linkage::kStatic : Linkage::kGlobal;
+}
+
+}  // namespace
+
+FuncSpec EvolutionModel::BaseFunc(uint64_t ordinal) const {
+  Prng prng(HashCombine({seed_, 0xf00d, ordinal}));
+  FuncSpec spec;
+  spec.name = names_.Name(NameKind::kFunc, ordinal);
+  spec.return_type = kReturnTypePool[prng.NextBelow(kReturnTypePoolSize)];
+  size_t num_params = prng.NextInRange(0, 5);
+  for (size_t i = 0; i < num_params; ++i) {
+    spec.params.push_back(
+        ParamSpec{StrFormat("%s%zu", kParamNamePool[prng.NextBelow(10)], i),
+                  kParamTypePool[prng.NextBelow(kParamTypePoolSize)]});
+  }
+  spec.linkage = LinkageOf(seed_, ordinal);
+  if (spec.linkage == Linkage::kStatic &&
+      prng.NextBool(kCompilationRates.header_defined_fraction)) {
+    spec.defined_in_header = true;
+    spec.decl_file = names_.HeaderFile(ordinal);
+  } else {
+    spec.decl_file = names_.SourceFile(ordinal);
+  }
+  spec.decl_line = static_cast<uint32_t>(prng.NextInRange(10, 4000));
+
+  // Name collisions: a small fraction of statics deliberately reuse another
+  // construct's name (Table 6). The partner's linkage decides whether this
+  // is a static-static or the much rarer static-global collision.
+  if (spec.linkage == Linkage::kStatic && !spec.defined_in_header && ordinal > 8) {
+    Prng coll(HashCombine({seed_, 0xc011, ordinal}));
+    if (coll.NextBool(kCompilationRates.collision_static_static)) {
+      bool want_global = coll.NextBool(0.04);
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        uint64_t partner = coll.NextBelow(ordinal);
+        if ((LinkageOf(seed_, partner) == Linkage::kGlobal) == want_global) {
+          spec.name = names_.Name(NameKind::kFunc, partner);
+          break;
+        }
+      }
+    }
+  }
+  return spec;
+}
+
+StructSpec EvolutionModel::BaseStruct(uint64_t ordinal) const {
+  Prng prng(HashCombine({seed_, 0x57ab, ordinal}));
+  StructSpec spec;
+  spec.name = names_.Name(NameKind::kStruct, ordinal);
+  size_t num_fields = prng.NextInRange(3, 24);
+  std::set<std::string> used;
+  for (size_t i = 0; i < num_fields; ++i) {
+    std::string name = kFieldNamePool[prng.NextBelow(kFieldNamePoolSize)];
+    if (!used.insert(name).second) {
+      name += StrFormat("%zu", i);
+      used.insert(name);
+    }
+    spec.fields.push_back(FieldSpec{name, kParamTypePool[prng.NextBelow(kParamTypePoolSize)]});
+  }
+  return spec;
+}
+
+TracepointSpec EvolutionModel::BaseTracepoint(uint64_t ordinal) const {
+  Prng prng(HashCombine({seed_, 0x7ace, ordinal}));
+  TracepointSpec spec;
+  spec.event_name = names_.TracepointEvent(ordinal);
+  spec.class_name = names_.TracepointClass(ordinal);
+  size_t num_params = prng.NextInRange(1, 4);
+  for (size_t i = 0; i < num_params; ++i) {
+    spec.func_params.push_back(
+        ParamSpec{StrFormat("arg%zu", i), kParamTypePool[prng.NextBelow(kParamTypePoolSize)]});
+  }
+  size_t num_fields = prng.NextInRange(2, 8);
+  std::set<std::string> used;
+  for (size_t i = 0; i < num_fields; ++i) {
+    std::string name = kFieldNamePool[prng.NextBelow(kFieldNamePoolSize)];
+    if (!used.insert(name).second) {
+      name += StrFormat("%zu", i);
+      used.insert(name);
+    }
+    spec.event_fields.push_back(
+        FieldSpec{name, kParamTypePool[prng.NextBelow(kParamTypePoolSize)]});
+  }
+  spec.fmt = "\"" + spec.event_fields[0].name + "=%lu\", REC->" + spec.event_fields[0].name;
+  return spec;
+}
+
+// --- Mutation replay ------------------------------------------------------
+
+void EvolutionModel::MutateFunc(FuncSpec& spec, uint64_t ordinal, int transition) const {
+  Prng prng(HashCombine({seed_, 0x37ab, 0xfc, ordinal, static_cast<uint64_t>(transition)}));
+  const ChangeBreakdown& b = kChangeBreakdown;
+  bool any = false;
+  if (prng.NextBool(b.param_added)) {
+    spec.params.push_back(ParamSpec{StrFormat("new%d", transition),
+                                    kParamTypePool[prng.NextBelow(kParamTypePoolSize)]});
+    any = true;
+  }
+  if (prng.NextBool(b.param_removed) && !spec.params.empty()) {
+    spec.params.erase(spec.params.begin() +
+                      static_cast<long>(prng.NextBelow(spec.params.size())));
+    any = true;
+  }
+  if (prng.NextBool(b.param_reordered) && spec.params.size() >= 2) {
+    size_t i = prng.NextBelow(spec.params.size());
+    size_t j = prng.NextBelow(spec.params.size());
+    if (i != j) {
+      std::swap(spec.params[i], spec.params[j]);
+      any = true;
+    }
+  }
+  if (prng.NextBool(b.param_type_changed) && !spec.params.empty()) {
+    size_t i = prng.NextBelow(spec.params.size());
+    std::string next = kParamTypePool[prng.NextBelow(kParamTypePoolSize)];
+    if (next != spec.params[i].type) {
+      spec.params[i].type = next;
+      any = true;
+    }
+  }
+  if (prng.NextBool(b.return_type_changed)) {
+    std::string next = kReturnTypePool[prng.NextBelow(kReturnTypePoolSize)];
+    if (next != spec.return_type) {
+      spec.return_type = next;
+      any = true;
+    }
+  }
+  if (!any) {
+    // A "changed" function must actually change; default to param addition.
+    spec.params.push_back(ParamSpec{StrFormat("extra%d", transition), "unsigned long"});
+  }
+}
+
+void EvolutionModel::MutateStruct(StructSpec& spec, uint64_t ordinal, int transition) const {
+  Prng prng(HashCombine({seed_, 0x5c, ordinal, static_cast<uint64_t>(transition)}));
+  const ChangeBreakdown& b = kChangeBreakdown;
+  bool any = false;
+  if (prng.NextBool(b.field_added)) {
+    spec.fields.push_back(FieldSpec{StrFormat("new_%d", transition),
+                                    kParamTypePool[prng.NextBelow(kParamTypePoolSize)]});
+    any = true;
+  }
+  if (prng.NextBool(b.field_removed) && spec.fields.size() > 1) {
+    spec.fields.erase(spec.fields.begin() +
+                      static_cast<long>(prng.NextBelow(spec.fields.size())));
+    any = true;
+  }
+  if (prng.NextBool(b.field_type_changed) && !spec.fields.empty()) {
+    size_t i = prng.NextBelow(spec.fields.size());
+    // 60% silently-compatible widening, 40% breaking change to a pointer.
+    std::string next = prng.NextBool(0.6) ? "long" : "void *";
+    if (spec.fields[i].type != next) {
+      spec.fields[i].type = next;
+      any = true;
+    }
+  }
+  if (!any) {
+    spec.fields.push_back(FieldSpec{StrFormat("pad_%d", transition), "u32"});
+  }
+}
+
+void EvolutionModel::MutateTracepoint(TracepointSpec& spec, uint64_t ordinal,
+                                      int transition) const {
+  Prng prng(HashCombine({seed_, 0x79, ordinal, static_cast<uint64_t>(transition)}));
+  const ChangeBreakdown& b = kChangeBreakdown;
+  bool any = false;
+  if (prng.NextBool(b.tracept_event_changed)) {
+    if (prng.NextBool(0.5) || spec.event_fields.size() <= 1) {
+      spec.event_fields.push_back(FieldSpec{StrFormat("ev_%d", transition), "u64"});
+    } else {
+      spec.event_fields.erase(spec.event_fields.begin() +
+                              static_cast<long>(prng.NextBelow(spec.event_fields.size())));
+    }
+    any = true;
+  }
+  if (prng.NextBool(b.tracept_func_changed)) {
+    if (prng.NextBool(0.5) || spec.func_params.empty()) {
+      spec.func_params.push_back(ParamSpec{StrFormat("fp_%d", transition), "unsigned long"});
+    } else {
+      spec.func_params.erase(spec.func_params.begin() +
+                             static_cast<long>(prng.NextBelow(spec.func_params.size())));
+    }
+    any = true;
+  }
+  if (!any) {
+    spec.event_fields.push_back(FieldSpec{StrFormat("ev_%d", transition), "u64"});
+  }
+}
+
+// --- Spec-at-version ------------------------------------------------------
+
+FuncSpec EvolutionModel::FuncAt(uint64_t ordinal, int version_index) const {
+  FuncSpec spec = BaseFunc(ordinal);
+  int born = BirthVersion(Kind::kFunc, ordinal);
+  for (int t = born; t < version_index; ++t) {
+    if (Changed(Kind::kFunc, ordinal, t)) {
+      MutateFunc(spec, ordinal, t);
+    }
+  }
+  return spec;
+}
+
+StructSpec EvolutionModel::StructAt(uint64_t ordinal, int version_index) const {
+  StructSpec spec = BaseStruct(ordinal);
+  int born = BirthVersion(Kind::kStruct, ordinal);
+  for (int t = born; t < version_index; ++t) {
+    if (Changed(Kind::kStruct, ordinal, t)) {
+      MutateStruct(spec, ordinal, t);
+    }
+  }
+  return spec;
+}
+
+TracepointSpec EvolutionModel::TracepointAt(uint64_t ordinal, int version_index) const {
+  TracepointSpec spec = BaseTracepoint(ordinal);
+  int born = BirthVersion(Kind::kTracepoint, ordinal);
+  for (int t = born; t < version_index; ++t) {
+    if (Changed(Kind::kTracepoint, ordinal, t)) {
+      MutateTracepoint(spec, ordinal, t);
+    }
+  }
+  return spec;
+}
+
+void EvolutionModel::ForEachFunc(
+    int version_index, const std::function<void(uint64_t, const FuncSpec&)>& fn) const {
+  ForEach(Kind::kFunc, version_index, [&](uint64_t ordinal) {
+    FuncSpec spec = FuncAt(ordinal, version_index);
+    fn(ordinal, spec);
+  });
+}
+
+void EvolutionModel::ForEachStruct(
+    int version_index, const std::function<void(uint64_t, const StructSpec&)>& fn) const {
+  ForEach(Kind::kStruct, version_index, [&](uint64_t ordinal) {
+    StructSpec spec = StructAt(ordinal, version_index);
+    fn(ordinal, spec);
+  });
+}
+
+void EvolutionModel::ForEachTracepoint(
+    int version_index, const std::function<void(uint64_t, const TracepointSpec&)>& fn) const {
+  ForEach(Kind::kTracepoint, version_index, [&](uint64_t ordinal) {
+    TracepointSpec spec = TracepointAt(ordinal, version_index);
+    fn(ordinal, spec);
+  });
+}
+
+}  // namespace depsurf

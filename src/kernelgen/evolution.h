@@ -1,0 +1,85 @@
+// The statistical background population: tens of thousands of synthetic
+// kernel constructs whose births, deaths, and mutations across the 17 study
+// versions follow the rates the paper measured (Tables 3-4).
+//
+// Determinism: every decision is a pure function of (seed, construct
+// ordinal, transition), so any subset of versions can be generated in any
+// order and constructs keep stable identities.
+#ifndef DEPSURF_SRC_KERNELGEN_EVOLUTION_H_
+#define DEPSURF_SRC_KERNELGEN_EVOLUTION_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "src/kernelgen/name_corpus.h"
+#include "src/kernelgen/rates.h"
+#include "src/kmodel/spec.h"
+
+namespace depsurf {
+
+class EvolutionModel {
+ public:
+  // `scale` multiplies every population (1.0 = paper scale; tests use small
+  // values). Populations below ~20 constructs stop being statistically
+  // meaningful but remain valid.
+  EvolutionModel(uint64_t seed, double scale);
+
+  const NameCorpus& names() const { return names_; }
+  double scale() const { return scale_; }
+
+  // Expected population sizes at a version (before configuration).
+  uint32_t FuncCount(int version_index) const;
+  uint32_t StructCount(int version_index) const;
+  uint32_t TracepointCount(int version_index) const;
+
+  // Enumerates background constructs alive at kStudyVersions[version_index].
+  // The ordinal passed to the callback is the construct's stable identity.
+  void ForEachFunc(int version_index,
+                   const std::function<void(uint64_t ordinal, const FuncSpec&)>& fn) const;
+  void ForEachStruct(int version_index,
+                     const std::function<void(uint64_t ordinal, const StructSpec&)>& fn) const;
+  void ForEachTracepoint(
+      int version_index,
+      const std::function<void(uint64_t ordinal, const TracepointSpec&)>& fn) const;
+
+  // Direct access for tests and the configurator: is this ordinal alive at
+  // the version, and what does its spec look like there?
+  bool FuncAlive(uint64_t ordinal, int version_index) const;
+  FuncSpec FuncAt(uint64_t ordinal, int version_index) const;
+  StructSpec StructAt(uint64_t ordinal, int version_index) const;
+  TracepointSpec TracepointAt(uint64_t ordinal, int version_index) const;
+
+ private:
+  enum class Kind : uint8_t { kFunc = 1, kStruct = 2, kTracepoint = 3 };
+
+  // Generation bookkeeping: gen_start_[k][g] is the first ordinal born at
+  // version g; ordinals in [gen_start_[k][g], gen_start_[k][g+1]) were born
+  // there.
+  int BirthVersion(Kind kind, uint64_t ordinal) const;
+  bool Alive(Kind kind, uint64_t ordinal, int version_index) const;
+  bool Removed(Kind kind, uint64_t ordinal, int transition) const;
+  bool Changed(Kind kind, uint64_t ordinal, int transition) const;
+  double RemoveRate(Kind kind, int transition) const;
+  double ChangeRate(Kind kind, int transition) const;
+
+  void ForEach(Kind kind, int version_index,
+               const std::function<void(uint64_t ordinal)>& fn) const;
+
+  FuncSpec BaseFunc(uint64_t ordinal) const;
+  StructSpec BaseStruct(uint64_t ordinal) const;
+  TracepointSpec BaseTracepoint(uint64_t ordinal) const;
+  void MutateFunc(FuncSpec& spec, uint64_t ordinal, int transition) const;
+  void MutateStruct(StructSpec& spec, uint64_t ordinal, int transition) const;
+  void MutateTracepoint(TracepointSpec& spec, uint64_t ordinal, int transition) const;
+
+  uint64_t seed_;
+  double scale_;
+  NameCorpus names_;
+  // [kind][version]: first ordinal of that generation; last slot = total.
+  std::array<std::array<uint64_t, kNumVersions + 1>, 4> gen_start_{};
+};
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_KERNELGEN_EVOLUTION_H_

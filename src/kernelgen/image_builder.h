@@ -1,0 +1,36 @@
+// Serializes a CompiledImage into a binary kernel image: an ELF container
+// holding .text symbols, .BTF types, DWARF-lite debug info, the ftrace
+// event records (pointer-chased through data sections, like a real
+// vmlinux), and sys_call_table.
+//
+// The DepSurf analyzer consumes only these bytes; nothing of the semantic
+// model crosses over.
+#ifndef DEPSURF_SRC_KERNELGEN_IMAGE_BUILDER_H_
+#define DEPSURF_SRC_KERNELGEN_IMAGE_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/kernelgen/compiler.h"
+#include "src/util/error.h"
+
+namespace depsurf {
+
+// Section names the analyzer looks for (mirroring real kernel images where
+// one exists).
+inline constexpr char kSectionBtf[] = ".BTF";
+inline constexpr char kSectionDwarfAbbrev[] = ".sdwarf_abbrev";
+inline constexpr char kSectionDwarfInfo[] = ".sdwarf_info";
+inline constexpr char kSectionFtraceEvents[] = "__ftrace_events";
+inline constexpr char kSymStartFtrace[] = "__start_ftrace_events";
+inline constexpr char kSymStopFtrace[] = "__stop_ftrace_events";
+inline constexpr char kSymSyscallTable[] = "sys_call_table";
+// Prefixes of machinery the analyzer must recognize.
+inline constexpr char kTraceFuncPrefix[] = "trace_event_raw_event_";
+inline constexpr char kTraceStructPrefix[] = "trace_event_raw_";
+
+Result<std::vector<uint8_t>> BuildKernelImage(const CompiledImage& image);
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_KERNELGEN_IMAGE_BUILDER_H_

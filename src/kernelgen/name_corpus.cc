@@ -1,0 +1,145 @@
+#include "src/kernelgen/name_corpus.h"
+
+#include <array>
+
+#include "src/util/prng.h"
+#include "src/util/str_util.h"
+
+namespace depsurf {
+
+namespace {
+
+constexpr std::array kSubsystems = {
+    "ext4",  "xfs",   "btrfs", "f2fs",  "nfs",   "vfs",   "blk",    "nvme",  "scsi",
+    "mm",    "sched", "tcp",   "udp",   "net",   "dev",   "pci",    "usb",   "kvm",
+    "proc",  "sysfs", "cgroup", "bpf",  "perf",  "ftrace", "rcu",   "irq",   "timer",
+    "futex", "signal", "ipc",  "snd",   "drm",   "i915",  "amdgpu", "iouring", "crypto",
+    "acpi",  "thermal", "mmc", "rdma",
+};
+
+// Subsystems that cloud flavors (AWS/Azure) strip aggressively.
+constexpr std::array kDriverSubsystems = {
+    "snd", "drm", "i915", "amdgpu", "usb", "mmc", "thermal", "acpi", "rdma", "scsi", "pci",
+};
+
+constexpr std::array kVerbs = {
+    "init",   "alloc", "free",   "read",    "write",    "get",     "put",     "set",
+    "update", "insert", "remove", "lookup",  "find",     "map",     "unmap",   "start",
+    "stop",   "submit", "complete", "queue", "flush",    "sync",    "lock",    "unlock",
+    "enable", "disable", "register", "unregister", "probe", "attach",
+};
+
+constexpr std::array kNouns = {
+    "page",   "folio", "inode", "dentry", "request", "bio",    "skb",    "sock",
+    "task",   "vma",   "cache", "buffer", "entry",   "node",   "ctx",    "state",
+    "info",   "data",  "ops",   "wq",     "ring",    "desc",   "frame",  "packet",
+    "conn",   "session", "group", "policy", "event",  "slot",   "block",  "extent",
+    "segment", "range", "region", "chunk", "pool",    "bucket", "record", "handle",
+};
+
+constexpr std::array kStructSuffixes = {
+    "info", "state", "ctx", "data", "ops", "desc", "params", "attr", "req", "conf",
+};
+
+constexpr std::array kFileNouns = {
+    "core", "main", "inode", "super", "file", "ioctl", "sysfs", "debug", "util", "queue",
+};
+
+// Directory prefix per subsystem group.
+const char* DirFor(std::string_view subsys) {
+  if (subsys == "ext4" || subsys == "xfs" || subsys == "btrfs" || subsys == "f2fs" ||
+      subsys == "nfs" || subsys == "vfs" || subsys == "proc" || subsys == "sysfs" ||
+      subsys == "iouring") {
+    return "fs";
+  }
+  if (subsys == "tcp" || subsys == "udp" || subsys == "net" || subsys == "rdma") {
+    return "net";
+  }
+  if (subsys == "mm") {
+    return "mm";
+  }
+  if (subsys == "sched" || subsys == "rcu" || subsys == "irq" || subsys == "timer" ||
+      subsys == "futex" || subsys == "signal" || subsys == "ipc" || subsys == "cgroup" ||
+      subsys == "bpf" || subsys == "perf" || subsys == "ftrace" || subsys == "kvm") {
+    return "kernel";
+  }
+  if (subsys == "blk" || subsys == "nvme" || subsys == "scsi" || subsys == "mmc") {
+    return "block";
+  }
+  return "drivers";
+}
+
+}  // namespace
+
+std::string NameCorpus::Subsystem(uint64_t ordinal) const {
+  uint64_t h = HashCombine({seed_, 0x5151, ordinal});
+  return kSubsystems[h % kSubsystems.size()];
+}
+
+bool NameCorpus::IsDriverSubsystem(uint64_t ordinal) const {
+  std::string subsys = Subsystem(ordinal);
+  for (const char* d : kDriverSubsystems) {
+    if (subsys == d) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string NameCorpus::Name(NameKind kind, uint64_t ordinal) const {
+  std::string subsys = Subsystem(ordinal);
+  uint64_t h = HashCombine({seed_, static_cast<uint64_t>(kind), 0x2222, ordinal});
+  switch (kind) {
+    case NameKind::kFunc: {
+      const char* verb = kVerbs[h % kVerbs.size()];
+      const char* noun = kNouns[(h >> 16) % kNouns.size()];
+      // The hex ordinal suffix guarantees uniqueness against both pool
+      // wrap-around and scripted real kernel names.
+      return subsys + "_" + verb + "_" + noun +
+             StrFormat("_%llx", static_cast<unsigned long long>(ordinal));
+    }
+    case NameKind::kStruct: {
+      const char* noun = kNouns[ordinal % kNouns.size()];
+      const char* suffix = kStructSuffixes[(ordinal / kNouns.size()) % kStructSuffixes.size()];
+      return subsys + "_" + noun + "_" + suffix +
+             StrFormat("_%llx", static_cast<unsigned long long>(ordinal));
+    }
+    case NameKind::kTracepoint:
+      return TracepointEvent(ordinal);
+    case NameKind::kSyscall: {
+      const char* verb = kVerbs[ordinal % kVerbs.size()];
+      return std::string(verb) + StrFormat("%llu", static_cast<unsigned long long>(ordinal));
+    }
+  }
+  return "unnamed";
+}
+
+std::string NameCorpus::SourceFile(uint64_t ordinal) const {
+  std::string subsys = Subsystem(ordinal);
+  uint64_t h = HashCombine({seed_, 0x3333, ordinal});
+  const char* file = kFileNouns[h % kFileNouns.size()];
+  return std::string(DirFor(subsys)) + "/" + subsys + "/" + file + ".c";
+}
+
+std::string NameCorpus::HeaderFile(uint64_t ordinal) const {
+  return "include/linux/" + Subsystem(ordinal) + ".h";
+}
+
+std::string NameCorpus::TracepointEvent(uint64_t ordinal) const {
+  std::string subsys = Subsystem(ordinal);
+  uint64_t h = HashCombine({seed_, 0x4444, ordinal});
+  const char* verb = kVerbs[h % kVerbs.size()];
+  const char* noun = kNouns[(h >> 16) % kNouns.size()];
+  return subsys + "_" + verb + "_" + noun +
+         StrFormat("_%llx", static_cast<unsigned long long>(ordinal));
+}
+
+std::string NameCorpus::TracepointClass(uint64_t ordinal) const {
+  // Background events get their own class. (Real kernels share classes —
+  // the curated block_rq lineage models that — but shared synthetic classes
+  // would alias event structs across independently-evolving events and
+  // distort the change statistics.)
+  return TracepointEvent(ordinal) + "_cls";
+}
+
+}  // namespace depsurf

@@ -1,0 +1,47 @@
+// Deterministic kernel-flavored identifier generation for the synthetic
+// background population. Names are unique by construction (derived from a
+// dense ordinal) and stable across versions.
+#ifndef DEPSURF_SRC_KERNELGEN_NAME_CORPUS_H_
+#define DEPSURF_SRC_KERNELGEN_NAME_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace depsurf {
+
+// Construct families with independent name spaces.
+enum class NameKind : uint8_t { kFunc, kStruct, kTracepoint, kSyscall };
+
+class NameCorpus {
+ public:
+  explicit NameCorpus(uint64_t seed) : seed_(seed) {}
+
+  // Unique, stable name for the given ordinal, e.g. "ext4_alloc_folio".
+  // Distinct ordinals yield distinct names within a kind.
+  std::string Name(NameKind kind, uint64_t ordinal) const;
+
+  // Subsystem tag of a construct ("ext4", "blk", ...). Drives file paths
+  // and flavor-removal bias (cloud flavors drop driver subsystems).
+  std::string Subsystem(uint64_t ordinal) const;
+
+  // True if the subsystem is device-driver-ish (candidates for removal in
+  // cloud flavors).
+  bool IsDriverSubsystem(uint64_t ordinal) const;
+
+  // Source file for the function with this ordinal, e.g. "fs/ext4/inode.c".
+  std::string SourceFile(uint64_t ordinal) const;
+
+  // Header path for header-defined static functions.
+  std::string HeaderFile(uint64_t ordinal) const;
+
+  // Tracepoint event name ("ext4_alloc_da_blocks") and class name.
+  std::string TracepointEvent(uint64_t ordinal) const;
+  std::string TracepointClass(uint64_t ordinal) const;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_KERNELGEN_NAME_CORPUS_H_

@@ -1,0 +1,109 @@
+#include "src/kernelgen/rates.h"
+
+namespace depsurf {
+
+const std::array<KernelVersion, kNumVersions> kStudyVersions = {{
+    {4, 4},  {4, 8},  {4, 10}, {4, 13}, {4, 15}, {4, 18}, {5, 0},  {5, 3}, {5, 4},
+    {5, 8},  {5, 11}, {5, 13}, {5, 15}, {5, 19}, {6, 2},  {6, 5},  {6, 8},
+}};
+
+const std::array<KernelVersion, 5> kLtsVersions = {{{4, 4}, {4, 15}, {5, 4}, {5, 15}, {6, 8}}};
+
+int VersionIndex(KernelVersion version) {
+  for (int i = 0; i < kNumVersions; ++i) {
+    if (kStudyVersions[i] == version) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+bool IsLts(KernelVersion version) {
+  for (KernelVersion lts : kLtsVersions) {
+    if (lts == version) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int GccMajorFor(KernelVersion version) {
+  // Ubuntu's toolchain progression over the study window.
+  static constexpr std::array<int, kNumVersions> kGcc = {
+      5, 5, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+  int index = VersionIndex(version);
+  return index < 0 ? 9 : kGcc[index];
+}
+
+namespace {
+
+// Per-LTS-span rates distributed uniformly over the span's 4 transitions.
+// Spans: [4.4..4.15], [4.15..5.4], [5.4..5.15], [5.15..6.8].
+constexpr TransitionRates kSpanRates[4] = {
+    // func_add, func_rm, func_chg, st_add, st_rm, st_chg, tp_add, tp_rm, tp_chg, sys_add
+    {0.0560, 0.0180, 0.0140, 0.0550, 0.0100, 0.0520, 0.0860, 0.0130, 0.0210, 0.002},
+    {0.0545, 0.0185, 0.0115, 0.0450, 0.0100, 0.0450, 0.0370, 0.0080, 0.0210, 0.002},
+    {0.0550, 0.0230, 0.0140, 0.0410, 0.0155, 0.0480, 0.0340, 0.0130, 0.0430, 0.002},
+    {0.0590, 0.0200, 0.0165, 0.0390, 0.0100, 0.0480, 0.0430, 0.0105, 0.0370, 0.002},
+};
+
+}  // namespace
+
+const TransitionRates& TransitionRatesAt(int from_version_index) {
+  int span = 0;
+  if (from_version_index >= 12) {
+    span = 3;
+  } else if (from_version_index >= 8) {
+    span = 2;
+  } else if (from_version_index >= 4) {
+    span = 1;
+  }
+  return kSpanRates[span];
+}
+
+namespace {
+
+// Table 5, architecture columns (counts at scale 1.0 against the 48.0k /
+// 8.4k / 752 / 333 generic-x86 v5.4 baseline). Function deltas carry a
+// 1.8x injection factor: the paper's counts are over the attachable
+// surface, while these probabilities apply to all source functions (about
+// 45% of which later vanish into inlining and so never show up in the
+// measured attachable diff).
+constexpr ConfigEffect kArchEffects[] = {
+    // x86 (baseline: no deltas)
+    {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 8800},
+    // arm64
+    {14200, 16500, 216, 1000, 1700, 81, 112, 45, 44, 2, 9600},
+    // arm32
+    {21200, 22700, 190, 1900, 2000, 154, 132, 70, 29, 74, 9600},
+    // ppc
+    {19100, 9700, 246, 1600, 570, 116, 129, 25, 9, 23, 8100},
+    // riscv
+    {24300, 3800, 181, 2000, 157, 98, 127, 0, 55, 2, 7600},
+};
+
+// Table 5, flavor columns (same 1.8x function-delta factor).
+constexpr ConfigEffect kFlavorEffects[] = {
+    // generic (baseline)
+    {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 8800},
+    // lowlatency
+    {74, 103, 0, 1, 4, 5, 0, 0, 0, 0, 8800},
+    // aws
+    {3240, 590, 4, 483, 83, 19, 9, 4, 0, 0, 6400},
+    // azure
+    {6300, 1790, 18, 833, 257, 28, 39, 26, 0, 0, 5300},
+    // gcp
+    {574, 810, 2, 123, 68, 14, 0, 0, 0, 0, 8600},
+};
+
+}  // namespace
+
+const ConfigEffect& ConfigEffectFor(Arch arch) {
+  return kArchEffects[static_cast<size_t>(arch)];
+}
+
+const ConfigEffect& ConfigEffectFor(Flavor flavor) {
+  return kFlavorEffects[static_cast<size_t>(flavor)];
+}
+
+}  // namespace depsurf

@@ -1,0 +1,109 @@
+// The measured evolution/configuration/compilation rates from the paper
+// (Tables 3-6, Figures 5-6) that drive the statistical corpus. The analyzer
+// re-derives these from binary images; the values here are the injection
+// targets.
+#ifndef DEPSURF_SRC_KERNELGEN_RATES_H_
+#define DEPSURF_SRC_KERNELGEN_RATES_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/kmodel/build_spec.h"
+#include "src/kmodel/kernel_version.h"
+
+namespace depsurf {
+
+// The 17 Ubuntu kernel versions of the study (v4.4 .. v6.8); index order is
+// chronological. LTS versions: 4.4, 4.15, 5.4, 5.15, 6.8.
+inline constexpr int kNumVersions = 17;
+extern const std::array<KernelVersion, kNumVersions> kStudyVersions;
+extern const std::array<KernelVersion, 5> kLtsVersions;
+
+// Index of a version in kStudyVersions; -1 if absent.
+int VersionIndex(KernelVersion version);
+bool IsLts(KernelVersion version);
+
+// GCC major used by Ubuntu for each study version (x86 generic).
+int GccMajorFor(KernelVersion version);
+
+// Per-transition source evolution rates (fractions, not percents), derived
+// from Table 3's LTS aggregates distributed over the intra-LTS transitions.
+struct TransitionRates {
+  double func_add;
+  double func_remove;
+  double func_change;
+  double struct_add;
+  double struct_remove;
+  double struct_change;
+  double tracept_add;
+  double tracept_remove;
+  double tracept_change;
+  double syscall_add;
+};
+
+// Rates for transition i -> i+1 (16 entries).
+const TransitionRates& TransitionRatesAt(int from_version_index);
+
+// Probability that a single function/struct/tracepoint change includes each
+// mutation kind (Table 4; kinds can co-occur, so they sum to > 1).
+struct ChangeBreakdown {
+  double param_added = 0.55;
+  double param_removed = 0.42;
+  double param_reordered = 0.20;
+  double param_type_changed = 0.25;
+  double return_type_changed = 0.16;
+  double field_added = 0.74;
+  double field_removed = 0.41;
+  double field_type_changed = 0.34;
+  double tracept_event_changed = 0.89;
+  double tracept_func_changed = 0.46;
+};
+inline constexpr ChangeBreakdown kChangeBreakdown{};
+
+// Base populations at v4.4, x86 generic, scale 1.0 (source level; the
+// visible surface is smaller after full inlining).
+struct BasePopulation {
+  uint32_t funcs = 58500;
+  uint32_t structs = 6200;
+  uint32_t tracepoints = 502;
+  uint32_t syscalls = 326;
+};
+inline constexpr BasePopulation kBasePopulation{};
+
+// Configuration effects at v5.4 relative to x86 generic (Table 5): removal
+// and addition counts at scale 1.0 plus changed-construct counts.
+struct ConfigEffect {
+  uint32_t func_removed;
+  uint32_t func_added;
+  uint32_t func_changed;
+  uint32_t struct_removed;
+  uint32_t struct_added;
+  uint32_t struct_changed;
+  uint32_t tracept_removed;
+  uint32_t tracept_added;
+  uint32_t syscall_removed;
+  uint32_t syscall_added;
+  uint32_t config_options;
+};
+const ConfigEffect& ConfigEffectFor(Arch arch);
+const ConfigEffect& ConfigEffectFor(Flavor flavor);
+
+// Compilation model parameters (Figures 5-6, Table 6).
+struct CompilationRates {
+  double static_fraction = 0.655;          // statics among source functions
+  double header_defined_fraction = 0.115;  // of statics: defined in a header
+  double full_inline_static = 0.58;        // statics fully inlined
+  double selective_inline = 0.14;          // of out-of-line functions
+  // Transformation probabilities for out-of-line functions, per suffix.
+  double transform_constprop = 0.045;
+  double transform_isra = 0.055;           // 0 on arm32 (disabled there)
+  double transform_part = 0.025;
+  double transform_cold = 0.035;           // gcc >= 8 only
+  double collision_static_static = 0.016;  // of statics: share another static's name
+  double collision_static_global = 0.0007; // of statics: share a global's name
+};
+inline constexpr CompilationRates kCompilationRates{};
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_KERNELGEN_RATES_H_

@@ -1,0 +1,834 @@
+#include "src/kernelgen/scripted.h"
+
+#include "src/util/prng.h"
+
+namespace depsurf {
+
+namespace {
+
+constexpr KernelVersion kV44{4, 4};
+constexpr KernelVersion kV415{4, 15};
+constexpr KernelVersion kV418{4, 18};
+constexpr KernelVersion kV50{5, 0};
+constexpr KernelVersion kV58{5, 8};
+constexpr KernelVersion kV511{5, 11};
+constexpr KernelVersion kV513{5, 13};
+constexpr KernelVersion kV515{5, 15};
+constexpr KernelVersion kV516{5, 16};
+constexpr KernelVersion kV518{5, 18};
+constexpr KernelVersion kV62{6, 2};
+constexpr KernelVersion kV65{6, 5};
+constexpr KernelVersion kEnd{999, 0};
+
+FuncSpec MakeFunc(std::string name, TypeStr ret, std::vector<ParamSpec> params, std::string file,
+                  uint32_t line, Linkage linkage = Linkage::kGlobal,
+                  InlineHint hint = InlineHint::kAuto) {
+  FuncSpec f;
+  f.name = std::move(name);
+  f.return_type = std::move(ret);
+  f.params = std::move(params);
+  f.decl_file = std::move(file);
+  f.decl_line = line;
+  f.linkage = linkage;
+  f.inline_hint = hint;
+  return f;
+}
+
+// Field-name vocabulary for synthesized profile structs.
+constexpr const char* kFieldVocab[] = {"flags", "state", "count", "len",  "mode",
+                                       "pid",   "ts",    "ret",   "addr", "size"};
+
+}  // namespace
+
+const FuncSpec* ScriptedFunc::SpecAt(KernelVersion v) const {
+  for (const Stage& stage : stages) {
+    if (stage.range.Contains(v)) {
+      return &stage.spec;
+    }
+  }
+  return nullptr;
+}
+
+const StructSpec* ScriptedStruct::SpecAt(KernelVersion v) const {
+  for (const Stage& stage : stages) {
+    if (stage.range.Contains(v)) {
+      return &stage.spec;
+    }
+  }
+  return nullptr;
+}
+
+const TracepointSpec* ScriptedTracepoint::SpecAt(KernelVersion v) const {
+  for (const Stage& stage : stages) {
+    if (stage.range.Contains(v)) {
+      return &stage.spec;
+    }
+  }
+  return nullptr;
+}
+
+ScriptedFunc& ScriptedCatalog::AddFunc(ScriptedFunc func) {
+  funcs.push_back(std::move(func));
+  return funcs.back();
+}
+
+ScriptedStruct& ScriptedCatalog::AddStruct(ScriptedStruct st) {
+  structs.push_back(std::move(st));
+  return structs.back();
+}
+
+ScriptedTracepoint& ScriptedCatalog::AddTracepoint(ScriptedTracepoint tp) {
+  tracepoints.push_back(std::move(tp));
+  return tracepoints.back();
+}
+
+void ScriptedCatalog::Merge(ScriptedCatalog other) {
+  for (ScriptedFunc& f : other.funcs) {
+    funcs.push_back(std::move(f));
+  }
+  for (ScriptedStruct& s : other.structs) {
+    structs.push_back(std::move(s));
+  }
+  for (ScriptedTracepoint& t : other.tracepoints) {
+    tracepoints.push_back(std::move(t));
+  }
+}
+
+const ScriptedFunc* ScriptedCatalog::FindFunc(const std::string& name, KernelVersion v) const {
+  for (const ScriptedFunc& f : funcs) {
+    const FuncSpec* spec = f.SpecAt(v);
+    if (spec != nullptr && spec->name == name) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+void ScriptedCatalog::AddProfileFunc(const std::string& name, const MismatchProfile& profile) {
+  // Profile functions share one translation unit and name their inline/call
+  // hosts explicitly, so inline outcomes never depend on TU-mate synthesis.
+  constexpr char kProfileTu[] = "kernel/bpf_targets.c";
+  bool hosts_exist = false;
+  for (const ScriptedFunc& f : funcs) {
+    if (!f.stages.empty() && f.stages[0].spec.name == "bpf_probe_host_a") {
+      hosts_exist = true;
+      break;
+    }
+  }
+  if (!hosts_exist) {
+    for (const char* host : {"bpf_probe_host_a", "bpf_probe_host_b"}) {
+      ScriptedFunc hf;
+      FuncSpec spec;
+      spec.name = host;
+      spec.return_type = "void";
+      spec.decl_file = kProfileTu;
+      spec.decl_line = 10;
+      spec.inline_hint = InlineHint::kNever;
+      hf.stages.push_back({{kV44, kEnd}, std::move(spec)});
+      funcs.push_back(std::move(hf));
+    }
+  }
+
+  ScriptedFunc func;
+  KernelVersion born = profile.absent ? kV58 : kV44;
+  KernelVersion change_at = profile.absent ? kV515 : kV58;
+  std::string file = kProfileTu;
+
+  auto hint_for = [&](KernelVersion v) {
+    if (profile.full_inline && v >= kV513) {
+      return InlineHint::kForceFull;
+    }
+    if (profile.selective) {
+      return InlineHint::kForceSelective;
+    }
+    return InlineHint::kNever;
+  };
+
+  std::vector<ParamSpec> base_params = {{"p0", "struct task_struct *"}, {"p1", "int"}};
+  std::vector<ParamSpec> changed_params = base_params;
+  changed_params.push_back({"p2", "unsigned long"});  // parameter added
+
+  std::vector<VersionRange> ranges;
+  if (profile.changed) {
+    ranges.push_back({born, change_at});
+    ranges.push_back({change_at, kEnd});
+  } else {
+    ranges.push_back({born, kEnd});
+  }
+  for (const VersionRange& range : ranges) {
+    // A range may straddle the v5.13 inline breakpoint; split there.
+    std::vector<VersionRange> pieces;
+    if (profile.full_inline && range.from < kV513 && range.until > kV513) {
+      pieces.push_back({range.from, kV513});
+      pieces.push_back({kV513, range.until});
+    } else {
+      pieces.push_back(range);
+    }
+    for (const VersionRange& piece : pieces) {
+      FuncSpec spec = MakeFunc(name, "int",
+                               (profile.changed && piece.from >= change_at) ? changed_params
+                                                                            : base_params,
+                               file, 100);
+      spec.inline_hint = hint_for(piece.from);
+      spec.callers = {std::string(kProfileTu) + ":bpf_probe_host_a",
+                      std::string(kProfileTu) + ":bpf_probe_host_b"};
+      if (profile.duplicated) {
+        spec.linkage = Linkage::kStatic;
+        spec.defined_in_header = true;
+        spec.decl_file = "include/linux/" + name + ".h";
+      }
+      func.stages.push_back({piece, std::move(spec)});
+    }
+  }
+  if (profile.transformed) {
+    func.forced_transform = "isra";
+    func.forced_transform_range = VersionRange{born, kEnd};
+    func.forced_transform_min_gcc = 9;
+  }
+  AddFunc(std::move(func));
+}
+
+void ScriptedCatalog::AddProfileStruct(const std::string& name, int stable_fields,
+                                       int absent_fields, int changed_fields,
+                                       bool struct_absent) {
+  auto make = [&](bool with_absent, bool post_change) {
+    StructSpec spec;
+    spec.name = name;
+    for (int i = 0; i < stable_fields; ++i) {
+      spec.fields.push_back({std::string(kFieldVocab[i % 10]) + (i >= 10 ? std::to_string(i) : ""),
+                             "unsigned long"});
+    }
+    for (int i = 0; i < changed_fields; ++i) {
+      // Widened at v5.8: int -> long is silently compatible (stray read).
+      spec.fields.push_back({"w_" + std::string(kFieldVocab[i % 10]),
+                             post_change ? "long" : "int"});
+    }
+    if (with_absent) {
+      for (int i = 0; i < absent_fields; ++i) {
+        spec.fields.push_back({"new_" + std::string(kFieldVocab[i % 10]), "u64"});
+      }
+    }
+    return spec;
+  };
+  ScriptedStruct st;
+  KernelVersion born = struct_absent ? kV58 : kV44;
+  if (absent_fields > 0 || changed_fields > 0) {
+    KernelVersion change_at = struct_absent ? kV515 : kV58;
+    st.stages.push_back({{born, change_at}, make(false, false)});
+    st.stages.push_back({{change_at, kEnd}, make(true, true)});
+  } else {
+    st.stages.push_back({{born, kEnd}, make(true, false)});
+  }
+  AddStruct(std::move(st));
+}
+
+void ScriptedCatalog::AddProfileTracepoint(const std::string& name, bool absent, bool changed) {
+  auto make = [&](bool post_change) {
+    TracepointSpec spec;
+    spec.event_name = name;
+    spec.class_name = name + "_class";
+    spec.func_params = {{"arg0", "struct task_struct *"}};
+    spec.event_fields = {{"pid", "pid_t"},
+                         {post_change ? "value_nsec" : "value_usec", "u64"}};
+    spec.fmt = "\"pid=%d\", REC->pid";
+    return spec;
+  };
+  ScriptedTracepoint tp;
+  KernelVersion born = absent ? kV58 : kV44;
+  if (changed) {
+    KernelVersion change_at = absent ? kV515 : kV58;
+    tp.stages.push_back({{born, change_at}, make(false)});
+    tp.stages.push_back({{change_at, kEnd}, make(true)});
+  } else {
+    tp.stages.push_back({{born, kEnd}, make(false)});
+  }
+  AddTracepoint(std::move(tp));
+}
+
+namespace {
+
+void AddBlockLayer(ScriptedCatalog& cat) {
+  // blk_mq_start_request: the one biotop dependency with no mismatch.
+  {
+    ScriptedFunc f;
+    FuncSpec spec = MakeFunc("blk_mq_start_request", "void", {{"rq", "struct request *"}},
+                             "block/blk-mq.c", 701, Linkage::kGlobal, InlineHint::kNever);
+    f.stages.push_back({{kV44, kEnd}, spec});
+    cat.AddFunc(std::move(f));
+  }
+  // blk_account_io_start / done: the two-year biotop saga (b5af37a, be6bfe3).
+  for (const char* name : {"blk_account_io_start", "blk_account_io_done"}) {
+    ScriptedFunc f;
+    bool is_start = std::string(name) == "blk_account_io_start";
+    FuncSpec v44 = MakeFunc(name, "void",
+                            is_start ? std::vector<ParamSpec>{{"rq", "struct request *"},
+                                                              {"new_io", "bool"}}
+                                     : std::vector<ParamSpec>{{"rq", "struct request *"},
+                                                              {"now", "u64"}},
+                            "block/blk-core.c", 1201, Linkage::kGlobal, InlineHint::kNever);
+    // v5.8 (b5af37a): parameter removed.
+    FuncSpec v58 = MakeFunc(name, "void", {{"rq", "struct request *"}}, "block/blk-core.c", 1188,
+                            Linkage::kGlobal, InlineHint::kForceSelective);
+    // v5.16 (be6bfe3): static inline wrapper; fully inlined everywhere.
+    FuncSpec v516 = MakeFunc(name, "void", {{"rq", "struct request *"}}, "block/blk.h", 330,
+                             Linkage::kStatic, InlineHint::kForceFull);
+    v516.callers = {"block/blk-mq.c:blk_mq_submit_bio", "block/blk-mq.c:blk_mq_end_request"};
+    f.stages.push_back({{kV44, kV58}, std::move(v44)});
+    f.stages.push_back({{kV58, kV516}, std::move(v58)});
+    f.stages.push_back({{kV516, kEnd}, std::move(v516)});
+    cat.AddFunc(std::move(f));
+  }
+  // __blk_account_io_{start,done}: the v5.16 out-of-line workers. The start
+  // one "happened to be inlined by the compiler" (the failed first fix).
+  {
+    ScriptedFunc f;
+    FuncSpec spec = MakeFunc("__blk_account_io_start", "void", {{"rq", "struct request *"}},
+                             "block/blk-core.c", 1130, Linkage::kGlobal, InlineHint::kForceFull);
+    spec.callers = {"block/blk-mq.c:blk_mq_submit_bio"};
+    f.stages.push_back({{kV516, kEnd}, std::move(spec)});
+    cat.AddFunc(std::move(f));
+  }
+  {
+    ScriptedFunc f;
+    FuncSpec spec = MakeFunc("__blk_account_io_done", "void",
+                             {{"rq", "struct request *"}, {"now", "u64"}}, "block/blk-core.c",
+                             1118, Linkage::kGlobal, InlineHint::kNever);
+    spec.callers = {"block/blk-mq.c:blk_mq_end_request", "block/blk-flush.c:blk_flush_complete"};
+    f.stages.push_back({{kV516, kEnd}, std::move(spec)});
+    cat.AddFunc(std::move(f));
+  }
+  // Callers referenced above must exist as real functions.
+  for (const char* name : {"blk_mq_submit_bio", "blk_mq_end_request", "blk_flush_complete"}) {
+    ScriptedFunc f;
+    std::string file = std::string(name) == "blk_flush_complete" ? "block/blk-flush.c"
+                                                                 : "block/blk-mq.c";
+    f.stages.push_back({{kV44, kEnd}, MakeFunc(name, "void", {{"rq", "struct request *"}}, file,
+                                               50, Linkage::kGlobal, InlineHint::kNever)});
+    cat.AddFunc(std::move(f));
+  }
+
+  // struct request: rq_disk replaced by request_queue::disk around v5.15/16;
+  // cmd_flags became the blk_opf_t typedef in v5.19 (a silently-compatible
+  // integer type change).
+  {
+    ScriptedStruct st;
+    StructSpec old_spec;
+    old_spec.name = "request";
+    old_spec.fields = {{"q", "struct request_queue *"},   {"rq_disk", "struct gendisk *"},
+                       {"bio", "struct bio *"},           {"start_time_ns", "u64"},
+                       {"cmd_flags", "unsigned int"},     {"__sector", "sector_t"},
+                       {"__data_len", "unsigned int"}};
+    StructSpec mid_spec;
+    mid_spec.name = "request";
+    mid_spec.fields = {{"q", "struct request_queue *"},   {"part", "struct block_device *"},
+                       {"bio", "struct bio *"},           {"start_time_ns", "u64"},
+                       {"cmd_flags", "unsigned int"},     {"__sector", "sector_t"},
+                       {"__data_len", "unsigned int"}};
+    StructSpec new_spec = mid_spec;
+    new_spec.fields[4] = {"cmd_flags", "blk_opf_t"};
+    constexpr KernelVersion kV519{5, 19};
+    st.stages.push_back({{kV44, kV516}, std::move(old_spec)});
+    st.stages.push_back({{kV516, kV519}, std::move(mid_spec)});
+    st.stages.push_back({{kV519, kEnd}, std::move(new_spec)});
+    cat.AddStruct(std::move(st));
+  }
+  // struct request_queue: disk field added in v5.15 (coexists with
+  // request::rq_disk in that one version).
+  {
+    ScriptedStruct st;
+    StructSpec old_spec;
+    old_spec.name = "request_queue";
+    old_spec.fields = {{"queue_flags", "unsigned long"}, {"nr_requests", "unsigned long"}};
+    StructSpec new_spec = old_spec;
+    new_spec.fields.insert(new_spec.fields.begin(), {"disk", "struct gendisk *"});
+    st.stages.push_back({{kV44, kV515}, std::move(old_spec)});
+    st.stages.push_back({{kV515, kEnd}, std::move(new_spec)});
+    cat.AddStruct(std::move(st));
+  }
+  {
+    ScriptedStruct st;
+    StructSpec spec;
+    spec.name = "gendisk";
+    spec.fields = {{"major", "int"}, {"first_minor", "int"}, {"minors", "int"},
+                   {"disk_name", "char[32]"}};
+    st.stages.push_back({{kV44, kEnd}, std::move(spec)});
+    cat.AddStruct(std::move(st));
+  }
+  {
+    ScriptedStruct st;
+    StructSpec spec;
+    spec.name = "bio";
+    spec.fields = {{"bi_flags", "unsigned short"}, {"bi_opf", "unsigned int"},
+                   {"bi_size", "unsigned int"}};
+    st.stages.push_back({{kV44, kEnd}, std::move(spec)});
+    cat.AddStruct(std::move(st));
+  }
+
+  // Tracepoints: block_rq_issue/complete lost their request_queue argument
+  // in v5.11 (a54895f); block_io_start/done were added in v6.5 (5a80bd0).
+  for (const char* name : {"block_rq_issue", "block_rq_complete"}) {
+    ScriptedTracepoint tp;
+    TracepointSpec old_spec;
+    old_spec.event_name = name;
+    old_spec.class_name = "block_rq";
+    old_spec.func_params = {{"q", "struct request_queue *"}, {"rq", "struct request *"}};
+    old_spec.event_fields = {{"dev", "dev_t"}, {"sector", "sector_t"},
+                             {"nr_sector", "unsigned int"}, {"rwbs", "char[8]"}};
+    old_spec.fmt = "\"%d,%d %s %u\", MAJOR(REC->dev), MINOR(REC->dev), REC->rwbs, REC->nr_sector";
+    TracepointSpec new_spec = old_spec;
+    new_spec.func_params = {{"rq", "struct request *"}};
+    tp.stages.push_back({{kV44, kV511}, std::move(old_spec)});
+    tp.stages.push_back({{kV511, kEnd}, std::move(new_spec)});
+    cat.AddTracepoint(std::move(tp));
+  }
+  for (const char* name : {"block_io_start", "block_io_done"}) {
+    ScriptedTracepoint tp;
+    TracepointSpec spec;
+    spec.event_name = name;
+    spec.class_name = "block_rq";
+    spec.func_params = {{"rq", "struct request *"}};
+    spec.event_fields = {{"dev", "dev_t"}, {"sector", "sector_t"},
+                         {"nr_sector", "unsigned int"}, {"rwbs", "char[8]"}};
+    spec.fmt = "\"%d,%d %s %u\", MAJOR(REC->dev), MINOR(REC->dev), REC->rwbs, REC->nr_sector";
+    tp.stages.push_back({{kV65, kEnd}, std::move(spec)});
+    cat.AddTracepoint(std::move(tp));
+  }
+}
+
+void AddReadaheadLineage(ScriptedCatalog& cat) {
+  // __do_page_cache_readahead: return type changed in v4.18 (c534aa3),
+  // selectively inlined after the v5.8 refactor (2c68423), renamed to
+  // do_page_cache_ra in v5.11 (8238287).
+  {
+    ScriptedFunc f;
+    std::vector<ParamSpec> params = {{"mapping", "struct address_space *"},
+                                     {"filp", "struct file *"},
+                                     {"offset", "pgoff_t"},
+                                     {"nr_to_read", "unsigned long"},
+                                     {"lookahead_size", "unsigned long"}};
+    f.stages.push_back({{kV44, kV418},
+                        MakeFunc("__do_page_cache_readahead", "unsigned long", params,
+                                 "mm/readahead.c", 152, Linkage::kGlobal, InlineHint::kNever)});
+    f.stages.push_back({{kV418, kV58},
+                        MakeFunc("__do_page_cache_readahead", "unsigned int", params,
+                                 "mm/readahead.c", 156, Linkage::kGlobal, InlineHint::kNever)});
+    FuncSpec selective = MakeFunc("__do_page_cache_readahead", "unsigned int", params,
+                                  "mm/readahead.c", 160, Linkage::kGlobal,
+                                  InlineHint::kForceSelective);
+    selective.callers = {"mm/readahead.c:ondemand_readahead", "mm/filemap.c:do_sync_mmap_readahead"};
+    f.stages.push_back({{kV58, kV511}, std::move(selective)});
+    cat.AddFunc(std::move(f));
+  }
+  // do_page_cache_ra: the rename; made static (fully inlined) in v5.18
+  // (56a4d67), replaced by page_cache_ra_order.
+  {
+    ScriptedFunc f;
+    std::vector<ParamSpec> params = {{"ractl", "struct readahead_control *"},
+                                     {"nr_to_read", "unsigned long"},
+                                     {"lookahead_size", "unsigned long"}};
+    FuncSpec selective = MakeFunc("do_page_cache_ra", "void", params, "mm/readahead.c", 247,
+                                  Linkage::kGlobal, InlineHint::kForceSelective);
+    selective.callers = {"mm/readahead.c:ondemand_readahead", "mm/filemap.c:do_sync_mmap_readahead"};
+    FuncSpec full = MakeFunc("do_page_cache_ra", "void", params, "mm/readahead.c", 251,
+                             Linkage::kStatic, InlineHint::kForceFull);
+    full.callers = {"mm/readahead.c:ondemand_readahead", "mm/readahead.c:page_cache_ra_order"};
+    f.stages.push_back({{kV511, kV518}, std::move(selective)});
+    f.stages.push_back({{kV518, kEnd}, std::move(full)});
+    cat.AddFunc(std::move(f));
+  }
+  {
+    ScriptedFunc f;
+    f.stages.push_back(
+        {{kV518, kEnd},
+         MakeFunc("page_cache_ra_order", "void",
+                  {{"ractl", "struct readahead_control *"}, {"ra", "struct file_ra_state *"},
+                   {"new_order", "unsigned int"}},
+                  "mm/readahead.c", 491, Linkage::kGlobal, InlineHint::kNever)});
+    cat.AddFunc(std::move(f));
+  }
+  // __page_cache_alloc: becomes a trivial wrapper of filemap_alloc_folio in
+  // v5.16 (bb3c579) and is fully inlined; on !CONFIG_NUMA targets
+  // (arm32/riscv) it is a static inline in a header: duplicated + inlined.
+  {
+    ScriptedFunc f;
+    FuncSpec old_spec = MakeFunc("__page_cache_alloc", "struct page *", {{"gfp", "gfp_t"}},
+                                 "mm/filemap.c", 971, Linkage::kGlobal, InlineHint::kNever);
+    FuncSpec new_spec = MakeFunc("__page_cache_alloc", "struct page *", {{"gfp", "gfp_t"}},
+                                 "include/linux/pagemap.h", 286, Linkage::kStatic,
+                                 InlineHint::kForceFull);
+    new_spec.callers = {"mm/readahead.c:ondemand_readahead", "mm/filemap.c:filemap_get_pages"};
+    f.stages.push_back({{kV44, kV516}, std::move(old_spec)});
+    f.stages.push_back({{kV516, kEnd}, std::move(new_spec)});
+    f.arch_behavior[Arch::kArm32] =
+        ArchBehavior{false, InlineHint::kForceFull, /*duplicate_per_tu=*/true};
+    f.arch_behavior[Arch::kRiscv] =
+        ArchBehavior{false, InlineHint::kForceFull, /*duplicate_per_tu=*/true};
+    f.forced_transform = "constprop";
+    f.forced_transform_range = VersionRange{kV50, kV516};
+    f.forced_transform_min_gcc = 8;
+    cat.AddFunc(std::move(f));
+  }
+  {
+    ScriptedFunc f;
+    FuncSpec spec = MakeFunc("filemap_alloc_folio", "struct folio *",
+                             {{"gfp", "gfp_t"}, {"order", "unsigned int"}}, "mm/filemap.c", 958,
+                             Linkage::kGlobal, InlineHint::kForceSelective);
+    spec.callers = {"mm/filemap.c:filemap_get_pages", "mm/readahead.c:ondemand_readahead"};
+    f.stages.push_back({{kV516, kEnd}, std::move(spec)});
+    cat.AddFunc(std::move(f));
+  }
+  // Callers used above.
+  for (const char* name : {"ondemand_readahead", "do_sync_mmap_readahead", "filemap_get_pages"}) {
+    ScriptedFunc f;
+    std::string file = std::string(name) == "ondemand_readahead" ? "mm/readahead.c"
+                                                                 : "mm/filemap.c";
+    f.stages.push_back({{kV44, kEnd}, MakeFunc(name, "void", {{"ractl", "void *"}}, file, 300,
+                                               Linkage::kStatic, InlineHint::kNever)});
+    cat.AddFunc(std::move(f));
+  }
+  // Supporting structs.
+  {
+    ScriptedStruct st;
+    StructSpec spec;
+    spec.name = "readahead_control";
+    spec.fields = {{"file", "struct file *"}, {"mapping", "struct address_space *"},
+                   {"_index", "pgoff_t"}, {"_nr_pages", "unsigned int"}};
+    st.stages.push_back({{kV58, kEnd}, std::move(spec)});
+    cat.AddStruct(std::move(st));
+  }
+  {
+    ScriptedStruct st;
+    StructSpec spec;
+    spec.name = "file_ra_state";
+    spec.fields = {{"start", "pgoff_t"}, {"size", "unsigned int"}, {"async_size", "unsigned int"},
+                   {"ra_pages", "unsigned int"}};
+    st.stages.push_back({{kV44, kEnd}, std::move(spec)});
+    cat.AddStruct(std::move(st));
+  }
+  {
+    ScriptedStruct st;
+    StructSpec spec;
+    spec.name = "folio";
+    spec.fields = {{"flags", "unsigned long"}, {"private", "void *"}, {"_refcount", "int"}};
+    st.stages.push_back({{kV516, kEnd}, std::move(spec)});
+    cat.AddStruct(std::move(st));
+  }
+}
+
+void AddVfsAndMisc(ScriptedCatalog& cat) {
+  // vfs_fsync: the artifact-appendix example of selective inline.
+  {
+    ScriptedFunc f;
+    FuncSpec spec = MakeFunc("vfs_fsync", "int", {{"file", "struct file *"}, {"datasync", "int"}},
+                             "fs/sync.c", 213, Linkage::kGlobal, InlineHint::kForceSelective);
+    spec.callers = {"fs/sync.c:__x64_sys_fsync",      "fs/sync.c:__ia32_sys_fsync",
+                    "fs/sync.c:__x64_sys_fdatasync",  "fs/sync.c:__ia32_sys_fdatasync",
+                    "fs/aio.c:aio_fsync_work",        "fs/iomap/swapfile.c:iomap_swapfile_activate",
+                    "drivers/block/loop.c:do_req_filebacked"};
+    f.stages.push_back({{kV44, kEnd}, std::move(spec)});
+    cat.AddFunc(std::move(f));
+  }
+  for (const char* name : {"__x64_sys_fsync", "__ia32_sys_fsync", "__x64_sys_fdatasync",
+                           "__ia32_sys_fdatasync"}) {
+    ScriptedFunc f;
+    f.stages.push_back({{kV44, kEnd}, MakeFunc(name, "long", {{"fd", "unsigned int"}},
+                                               "fs/sync.c", 230, Linkage::kGlobal,
+                                               InlineHint::kNever)});
+    cat.AddFunc(std::move(f));
+  }
+  for (const char* name : {"aio_fsync_work", "iomap_swapfile_activate", "do_req_filebacked"}) {
+    ScriptedFunc f;
+    std::string file = std::string(name) == "aio_fsync_work" ? "fs/aio.c"
+                       : std::string(name) == "iomap_swapfile_activate" ? "fs/iomap/swapfile.c"
+                                                                        : "drivers/block/loop.c";
+    f.stages.push_back({{kV44, kEnd}, MakeFunc(name, "int", {{"arg", "void *"}}, file, 80,
+                                               Linkage::kStatic, InlineHint::kNever)});
+    cat.AddFunc(std::move(f));
+  }
+  // do_unlinkat: char * became struct filename * in v4.15 (Listing 1).
+  {
+    ScriptedFunc f;
+    f.stages.push_back({{kV44, kV415},
+                        MakeFunc("do_unlinkat", "int",
+                                 {{"dfd", "int"}, {"pathname", "const char *"}}, "fs/namei.c",
+                                 3970, Linkage::kGlobal, InlineHint::kNever)});
+    f.stages.push_back({{kV415, kEnd},
+                        MakeFunc("do_unlinkat", "int",
+                                 {{"dfd", "int"}, {"name", "struct filename *"}}, "fs/namei.c",
+                                 4080, Linkage::kGlobal, InlineHint::kNever)});
+    cat.AddFunc(std::move(f));
+  }
+  // vfs_rename: six parameters folded into struct renamedata (9fe6145).
+  {
+    ScriptedFunc f;
+    f.stages.push_back(
+        {{kV44, kV513},
+         MakeFunc("vfs_rename", "int",
+                  {{"old_dir", "struct inode *"}, {"old_dentry", "struct dentry *"},
+                   {"new_dir", "struct inode *"}, {"new_dentry", "struct dentry *"},
+                   {"delegated_inode", "struct inode **"}, {"flags", "unsigned int"}},
+                  "fs/namei.c", 4500, Linkage::kGlobal, InlineHint::kNever)});
+    f.stages.push_back({{kV513, kEnd},
+                        MakeFunc("vfs_rename", "int", {{"rd", "struct renamedata *"}},
+                                 "fs/namei.c", 4620, Linkage::kGlobal, InlineHint::kNever)});
+    cat.AddFunc(std::move(f));
+  }
+  // vfs_create: argument inserted at the front (6521f89) -> "reordered".
+  {
+    ScriptedFunc f;
+    f.stages.push_back(
+        {{kV44, kV513},
+         MakeFunc("vfs_create", "int",
+                  {{"dir", "struct inode *"}, {"dentry", "struct dentry *"},
+                   {"mode", "umode_t"}, {"want_excl", "bool"}},
+                  "fs/namei.c", 3050, Linkage::kGlobal, InlineHint::kNever)});
+    f.stages.push_back(
+        {{kV513, kEnd},
+         MakeFunc("vfs_create", "int",
+                  {{"mnt_userns", "struct user_namespace *"}, {"dir", "struct inode *"},
+                   {"dentry", "struct dentry *"}, {"mode", "umode_t"}, {"want_excl", "bool"}},
+                  "fs/namei.c", 3102, Linkage::kGlobal, InlineHint::kNever)});
+    cat.AddFunc(std::move(f));
+  }
+  // account_idle_time: cputime_t -> u64 (18b43a9): parameter type change.
+  {
+    ScriptedFunc f;
+    f.stages.push_back({{kV44, kV415},
+                        MakeFunc("account_idle_time", "void", {{"cputime", "cputime_t"}},
+                                 "kernel/sched/cputime.c", 220, Linkage::kGlobal,
+                                 InlineHint::kNever)});
+    f.stages.push_back({{kV415, kEnd},
+                        MakeFunc("account_idle_time", "void", {{"cputime", "u64"}},
+                                 "kernel/sched/cputime.c", 236, Linkage::kGlobal,
+                                 InlineHint::kNever)});
+    cat.AddFunc(std::move(f));
+  }
+  // get_order: the canonical duplicated header-defined static.
+  {
+    ScriptedFunc f;
+    FuncSpec spec = MakeFunc("get_order", "int", {{"size", "unsigned long"}},
+                             "include/asm-generic/getorder.h", 29, Linkage::kStatic,
+                             InlineHint::kAuto);
+    spec.defined_in_header = true;
+    f.stages.push_back({{kV44, kEnd}, std::move(spec)});
+    cat.AddFunc(std::move(f));
+  }
+  // finish_task_switch: stable scheduler probe target.
+  {
+    ScriptedFunc f;
+    f.stages.push_back({{kV44, kEnd},
+                        MakeFunc("finish_task_switch", "struct rq *",
+                                 {{"prev", "struct task_struct *"}}, "kernel/sched/core.c", 4900,
+                                 Linkage::kGlobal, InlineHint::kNever)});
+    cat.AddFunc(std::move(f));
+  }
+  // LSM hooks (unstable despite their security significance).
+  for (const char* name : {"security_file_open", "security_inode_create",
+                           "security_path_unlink", "security_socket_connect",
+                           "security_bprm_check"}) {
+    ScriptedFunc f;
+    FuncSpec spec = MakeFunc(name, "int", {{"arg0", "void *"}}, "security/security.c", 400,
+                             Linkage::kGlobal, InlineHint::kNever);
+    spec.is_lsm_hook = true;
+    f.stages.push_back({{kV44, kEnd}, std::move(spec)});
+    cat.AddFunc(std::move(f));
+  }
+  {
+    ScriptedFunc f;  // security_task_alloc added in v4.15 era
+    FuncSpec spec = MakeFunc("security_task_alloc", "int",
+                             {{"task", "struct task_struct *"}, {"clone_flags", "unsigned long"}},
+                             "security/security.c", 410, Linkage::kGlobal, InlineHint::kNever);
+    spec.is_lsm_hook = true;
+    f.stages.push_back({{kV415, kEnd}, std::move(spec)});
+    cat.AddFunc(std::move(f));
+  }
+  // kfuncs: no signature changes observed, but removals/renames happen.
+  for (const char* name : {"bpf_task_acquire", "bpf_task_release"}) {
+    ScriptedFunc f;
+    FuncSpec spec = MakeFunc(name, "struct task_struct *", {{"p", "struct task_struct *"}},
+                             "kernel/bpf/helpers.c", 2100, Linkage::kGlobal, InlineHint::kNever);
+    spec.is_kfunc = true;
+    f.stages.push_back({{kV62, kEnd}, std::move(spec)});
+    cat.AddFunc(std::move(f));
+  }
+  {
+    ScriptedFunc f;  // a removed kfunc (f85671c-style)
+    FuncSpec spec = MakeFunc("bpf_ct_set_timeout", "int",
+                             {{"ct", "struct nf_conn *"}, {"timeout", "u32"}},
+                             "net/netfilter/nf_conntrack_bpf.c", 300, Linkage::kGlobal,
+                             InlineHint::kNever);
+    spec.is_kfunc = true;
+    f.stages.push_back({{kV62, kV65}, std::move(spec)});
+    cat.AddFunc(std::move(f));
+  }
+  // Name collisions: destroy_inodecache is defined by many filesystems;
+  // do_readahead by two unrelated files with different signatures.
+  for (const char* file : {"fs/ext4/super.c", "fs/xfs/xfs_super.c", "fs/btrfs/super.c",
+                           "fs/f2fs/super.c"}) {
+    ScriptedFunc f;
+    f.stages.push_back({{kV44, kEnd}, MakeFunc("destroy_inodecache", "void", {}, file, 120,
+                                               Linkage::kStatic, InlineHint::kNever)});
+    cat.AddFunc(std::move(f));
+  }
+  {
+    ScriptedFunc f;
+    f.stages.push_back({{kV44, kEnd},
+                        MakeFunc("do_readahead", "int",
+                                 {{"journal", "struct journal_s *"}, {"start", "unsigned int"}},
+                                 "fs/jbd2/recovery.c", 90, Linkage::kStatic, InlineHint::kNever)});
+    cat.AddFunc(std::move(f));
+  }
+  {
+    ScriptedFunc f;
+    f.stages.push_back({{kV44, kEnd},
+                        MakeFunc("do_readahead", "int",
+                                 {{"mapping", "struct address_space *"}, {"filp", "struct file *"},
+                                  {"index", "unsigned long"}, {"nr", "unsigned long"}},
+                                 "mm/readahead.c", 580, Linkage::kStatic, InlineHint::kNever)});
+    cat.AddFunc(std::move(f));
+  }
+
+  // Core structs.
+  {
+    ScriptedStruct st;  // task_struct: three eras
+    StructSpec era1;
+    era1.name = "task_struct";
+    era1.fields = {{"state", "long"},    {"flags", "unsigned int"}, {"pid", "pid_t"},
+                   {"tgid", "pid_t"},    {"comm", "char[16]"},      {"prio", "int"},
+                   {"utime", "cputime_t"}, {"stime", "cputime_t"}};
+    StructSpec era2 = era1;
+    era2.fields[6] = {"utime", "u64"};  // 5613fda: cputime_t -> u64
+    era2.fields[7] = {"stime", "u64"};
+    StructSpec era3 = era2;
+    era3.fields[0] = {"__state", "unsigned int"};  // 2f064a5
+    st.stages.push_back({{kV44, kV415}, std::move(era1)});
+    st.stages.push_back({{kV415, kV515}, std::move(era2)});
+    st.stages.push_back({{kV515, kEnd}, std::move(era3)});
+    cat.AddStruct(std::move(st));
+  }
+  {
+    ScriptedStruct st;
+    StructSpec spec;
+    spec.name = "filename";
+    spec.fields = {{"name", "const char *"}, {"uptr", "const char *"}, {"refcnt", "int"}};
+    st.stages.push_back({{kV415, kEnd}, std::move(spec)});
+    cat.AddStruct(std::move(st));
+  }
+  {
+    ScriptedStruct st;
+    StructSpec spec;
+    spec.name = "file";
+    spec.fields = {{"f_flags", "unsigned int"}, {"f_mode", "fmode_t"}, {"f_pos", "loff_t"},
+                   {"f_inode", "struct inode *"}};
+    st.stages.push_back({{kV44, kEnd}, std::move(spec)});
+    cat.AddStruct(std::move(st));
+  }
+  {
+    ScriptedStruct st;
+    StructSpec spec;
+    spec.name = "renamedata";
+    spec.fields = {{"old_dir", "struct inode *"}, {"old_dentry", "struct dentry *"},
+                   {"new_dir", "struct inode *"}, {"new_dentry", "struct dentry *"},
+                   {"flags", "unsigned int"}};
+    st.stages.push_back({{kV513, kEnd}, std::move(spec)});
+    cat.AddStruct(std::move(st));
+  }
+  {
+    ScriptedStruct st;  // timespec removed in the y2038 cleanup (9afc5ee era)
+    StructSpec spec;
+    spec.name = "timespec";
+    spec.fields = {{"tv_sec", "__kernel_time_t"}, {"tv_nsec", "long"}};
+    st.stages.push_back({{kV44, kV58}, std::move(spec)});
+    cat.AddStruct(std::move(st));
+  }
+  {
+    ScriptedStruct st;
+    StructSpec spec;
+    spec.name = "sock";
+    spec.fields = {{"sk_state", "unsigned char"}, {"sk_protocol", "u16"},
+                   {"sk_num", "u16"}, {"sk_dport", "u16"}};
+    st.stages.push_back({{kV44, kEnd}, std::move(spec)});
+    cat.AddStruct(std::move(st));
+  }
+
+  // Scheduler/timer/mm tracepoints.
+  {
+    ScriptedTracepoint tp;
+    TracepointSpec spec;
+    spec.event_name = "sched_switch";
+    spec.class_name = "sched_switch";
+    spec.func_params = {{"preempt", "bool"}, {"prev", "struct task_struct *"},
+                        {"next", "struct task_struct *"}};
+    spec.event_fields = {{"prev_comm", "char[16]"}, {"prev_pid", "pid_t"},
+                         {"prev_state", "long"},    {"next_comm", "char[16]"},
+                         {"next_pid", "pid_t"}};
+    spec.fmt = "\"prev_pid=%d next_pid=%d\", REC->prev_pid, REC->next_pid";
+    tp.stages.push_back({{kV44, kEnd}, std::move(spec)});
+    cat.AddTracepoint(std::move(tp));
+  }
+  {
+    ScriptedTracepoint tp;  // itimer_state: value_usec -> value_nsec (bd40a17)
+    TracepointSpec old_spec;
+    old_spec.event_name = "itimer_state";
+    old_spec.class_name = "itimer_state";
+    old_spec.func_params = {{"which", "int"}, {"value", "const struct itimerspec64 *"}};
+    old_spec.event_fields = {{"which", "int"}, {"value_sec", "long"}, {"value_usec", "long"}};
+    old_spec.fmt = "\"which=%d\", REC->which";
+    TracepointSpec new_spec = old_spec;
+    new_spec.event_fields[2] = {"value_nsec", "long"};
+    tp.stages.push_back({{kV44, kV50}, std::move(old_spec)});
+    tp.stages.push_back({{kV50, kEnd}, std::move(new_spec)});
+    cat.AddTracepoint(std::move(tp));
+  }
+  {
+    ScriptedTracepoint tp;  // kmem_alloc absorbs kmem_alloc_node in v6.2 (11e9734)
+    TracepointSpec old_spec;
+    old_spec.event_name = "kmem_alloc";
+    old_spec.class_name = "kmem_alloc";
+    old_spec.func_params = {{"call_site", "unsigned long"}, {"ptr", "const void *"},
+                            {"bytes_req", "size_t"}, {"gfp_flags", "gfp_t"}};
+    old_spec.event_fields = {{"call_site", "unsigned long"}, {"ptr", "const void *"},
+                             {"bytes_req", "size_t"}};
+    old_spec.fmt = "\"call_site=%lx\", REC->call_site";
+    TracepointSpec new_spec = old_spec;
+    new_spec.func_params.push_back({"node", "int"});
+    new_spec.event_fields.push_back({"node", "int"});
+    tp.stages.push_back({{kV44, kV62}, std::move(old_spec)});
+    tp.stages.push_back({{kV62, kEnd}, std::move(new_spec)});
+    cat.AddTracepoint(std::move(tp));
+  }
+  {
+    ScriptedTracepoint tp;  // removed by 11e9734
+    TracepointSpec spec;
+    spec.event_name = "kmem_alloc_node";
+    spec.class_name = "kmem_alloc";
+    spec.func_params = {{"call_site", "unsigned long"}, {"ptr", "const void *"}, {"node", "int"}};
+    spec.event_fields = {{"call_site", "unsigned long"}, {"node", "int"}};
+    spec.fmt = "\"call_site=%lx node=%d\", REC->call_site, REC->node";
+    tp.stages.push_back({{kV44, kV62}, std::move(spec)});
+    cat.AddTracepoint(std::move(tp));
+  }
+  {
+    ScriptedTracepoint tp;  // the artifact-appendix example
+    TracepointSpec spec;
+    spec.event_name = "timer_init";
+    spec.class_name = "timer_class";
+    spec.func_params = {{"timer", "struct timer_list *"}};
+    spec.event_fields = {{"timer", "void *"}};
+    spec.fmt = "\"timer=%p\", REC->timer";
+    tp.stages.push_back({{kV44, kEnd}, std::move(spec)});
+    cat.AddTracepoint(std::move(tp));
+  }
+}
+
+}  // namespace
+
+ScriptedCatalog BuildCuratedCatalog() {
+  ScriptedCatalog cat;
+  AddBlockLayer(cat);
+  AddReadaheadLineage(cat);
+  AddVfsAndMisc(cat);
+  return cat;
+}
+
+}  // namespace depsurf

@@ -1,0 +1,124 @@
+// Scripted constructs: kernel constructs with explicit per-version histories.
+//
+// Two sources feed this catalog:
+//   1. Curated lineages reproducing real kernel evolution the paper analyzes
+//      (the biotop and readahead case studies, vfs examples, block-layer
+//      structs, the block_io_{start,done} tracepoints, ...).
+//   2. Profile constructs: synthesized dependencies for the 53-program
+//      corpus, each with a MismatchProfile saying which mismatch classes it
+//      must exhibit across the study images (used to reproduce Table 7).
+// Scripted constructs are exempt from statistical mutation.
+#ifndef DEPSURF_SRC_KERNELGEN_SCRIPTED_H_
+#define DEPSURF_SRC_KERNELGEN_SCRIPTED_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/kmodel/build_spec.h"
+#include "src/kmodel/kernel_version.h"
+#include "src/kmodel/spec.h"
+
+namespace depsurf {
+
+// Half-open version interval [from, until).
+struct VersionRange {
+  KernelVersion from{0, 0};
+  KernelVersion until{999, 0};
+
+  bool Contains(KernelVersion v) const { return v >= from && v < until; }
+};
+
+// Per-architecture behavior override for a scripted function.
+struct ArchBehavior {
+  bool absent = false;
+  std::optional<InlineHint> inline_hint;
+  bool duplicate_per_tu = false;  // e.g. static-inline-in-header under !NUMA
+};
+
+struct ScriptedFunc {
+  struct Stage {
+    VersionRange range;
+    FuncSpec spec;
+  };
+  std::vector<Stage> stages;
+  std::map<Arch, ArchBehavior> arch_behavior;
+  // Force a compiler transformation suffix within a version range.
+  std::optional<std::string> forced_transform;  // "isra"/"constprop"/...
+  VersionRange forced_transform_range;
+  int forced_transform_min_gcc = 0;
+
+  // The spec in effect at `v`, or nullptr if absent there.
+  const FuncSpec* SpecAt(KernelVersion v) const;
+};
+
+struct ScriptedStruct {
+  struct Stage {
+    VersionRange range;
+    StructSpec spec;
+  };
+  std::vector<Stage> stages;
+  const StructSpec* SpecAt(KernelVersion v) const;
+};
+
+struct ScriptedTracepoint {
+  struct Stage {
+    VersionRange range;
+    TracepointSpec spec;
+  };
+  std::vector<Stage> stages;
+  const TracepointSpec* SpecAt(KernelVersion v) const;
+};
+
+// Which mismatch classes a synthesized program dependency must exhibit
+// across the study images (drives Table 7/8 reproduction).
+struct MismatchProfile {
+  bool absent = false;       // Ø: added at v5.8 (absent on older images)
+  bool changed = false;      // Δ: signature/field change at v5.8
+  bool full_inline = false;  // F: fully inlined from v5.13
+  bool selective = false;    // S: selectively inlined wherever present
+  bool transformed = false;  // T: compiler-suffixed on gcc >= 9 images
+  bool duplicated = false;   // D: header-defined static, multiple instances
+
+  bool Any() const {
+    return absent || changed || full_inline || selective || transformed || duplicated;
+  }
+};
+
+struct ScriptedCatalog {
+  std::vector<ScriptedFunc> funcs;
+  std::vector<ScriptedStruct> structs;
+  std::vector<ScriptedTracepoint> tracepoints;
+
+  // Registration helpers used by the curated catalog and by profile
+  // construct synthesis.
+  ScriptedFunc& AddFunc(ScriptedFunc func);
+  ScriptedStruct& AddStruct(ScriptedStruct st);
+  ScriptedTracepoint& AddTracepoint(ScriptedTracepoint tp);
+
+  // Synthesizes a function with the given mismatch profile (see
+  // MismatchProfile field comments for the version breakpoints used).
+  void AddProfileFunc(const std::string& name, const MismatchProfile& profile);
+  // Synthesizes a struct with `stable_fields` always-present fields plus
+  // one absent-field (added v5.8) per `absent_fields` and one changed-field
+  // (type widened at v5.8) per `changed_fields`. If `struct_absent`, the
+  // whole struct only exists from v5.8.
+  void AddProfileStruct(const std::string& name, int stable_fields, int absent_fields,
+                        int changed_fields, bool struct_absent);
+  void AddProfileTracepoint(const std::string& name, bool absent, bool changed);
+
+  const ScriptedFunc* FindFunc(const std::string& name, KernelVersion v) const;
+
+  // Appends another catalog's constructs (used to merge the program-corpus
+  // additions into the curated catalog).
+  void Merge(ScriptedCatalog other);
+};
+
+// The curated real-kernel lineages (biotop, readahead, vfs, block layer,
+// task_struct, ...). Deterministic; safe to call repeatedly.
+ScriptedCatalog BuildCuratedCatalog();
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_KERNELGEN_SCRIPTED_H_

@@ -1,0 +1,219 @@
+#include "src/kernelgen/syscalls.h"
+
+#include <set>
+
+#include "src/util/prng.h"
+#include "src/util/str_util.h"
+
+namespace depsurf {
+
+namespace {
+
+// The x86_64 table as of the study window (real names; order defines the
+// slot number). 326 entries exist at v4.4; later additions are listed in
+// kAdditions below.
+constexpr const char* kBaseSyscalls[] = {
+    "read", "write", "open", "close", "stat", "fstat", "lstat", "poll", "lseek", "mmap",
+    "mprotect", "munmap", "brk", "rt_sigaction", "rt_sigprocmask", "rt_sigreturn", "ioctl",
+    "pread64", "pwrite64", "readv", "writev", "access", "pipe", "select", "sched_yield",
+    "mremap", "msync", "mincore", "madvise", "shmget", "shmat", "shmctl", "dup", "dup2",
+    "pause", "nanosleep", "getitimer", "alarm", "setitimer", "getpid", "sendfile", "socket",
+    "connect", "accept", "sendto", "recvfrom", "sendmsg", "recvmsg", "shutdown", "bind",
+    "listen", "getsockname", "getpeername", "socketpair", "setsockopt", "getsockopt", "clone",
+    "fork", "vfork", "execve", "exit", "wait4", "kill", "uname", "semget", "semop", "semctl",
+    "shmdt", "msgget", "msgsnd", "msgrcv", "msgctl", "fcntl", "flock", "fsync", "fdatasync",
+    "truncate", "ftruncate", "getdents", "getcwd", "chdir", "fchdir", "rename", "mkdir",
+    "rmdir", "creat", "link", "unlink", "symlink", "readlink", "chmod", "fchmod", "chown",
+    "fchown", "lchown", "umask", "gettimeofday", "getrlimit", "getrusage", "sysinfo", "times",
+    "ptrace", "getuid", "syslog", "getgid", "setuid", "setgid", "geteuid", "getegid",
+    "setpgid", "getppid", "getpgrp", "setsid", "setreuid", "setregid", "getgroups",
+    "setgroups", "setresuid", "getresuid", "setresgid", "getresgid", "getpgid", "setfsuid",
+    "setfsgid", "getsid", "capget", "capset", "rt_sigpending", "rt_sigtimedwait",
+    "rt_sigqueueinfo", "rt_sigsuspend", "sigaltstack", "utime", "mknod", "uselib", "personality",
+    "ustat", "statfs", "fstatfs", "sysfs", "getpriority", "setpriority", "sched_setparam",
+    "sched_getparam", "sched_setscheduler", "sched_getscheduler", "sched_get_priority_max",
+    "sched_get_priority_min", "sched_rr_get_interval", "mlock", "munlock", "mlockall",
+    "munlockall", "vhangup", "modify_ldt", "pivot_root", "sysctl", "prctl", "arch_prctl",
+    "adjtimex", "setrlimit", "chroot", "sync", "acct", "settimeofday", "mount", "umount2",
+    "swapon", "swapoff", "reboot", "sethostname", "setdomainname", "iopl", "ioperm",
+    "create_module", "init_module", "delete_module", "get_kernel_syms", "query_module",
+    "quotactl", "nfsservctl", "getpmsg", "putpmsg", "afs_syscall", "tuxcall", "security",
+    "gettid", "readahead", "setxattr", "lsetxattr", "fsetxattr", "getxattr", "lgetxattr",
+    "fgetxattr", "listxattr", "llistxattr", "flistxattr", "removexattr", "lremovexattr",
+    "fremovexattr", "tkill", "time", "futex", "sched_setaffinity", "sched_getaffinity",
+    "set_thread_area", "io_setup", "io_destroy", "io_getevents", "io_submit", "io_cancel",
+    "get_thread_area", "lookup_dcookie", "epoll_create", "epoll_ctl_old", "epoll_wait_old",
+    "remap_file_pages", "getdents64", "set_tid_address", "restart_syscall", "semtimedop",
+    "fadvise64", "timer_create", "timer_settime", "timer_gettime", "timer_getoverrun",
+    "timer_delete", "clock_settime", "clock_gettime", "clock_getres", "clock_nanosleep",
+    "exit_group", "epoll_wait", "epoll_ctl", "tgkill", "utimes", "vserver", "mbind",
+    "set_mempolicy", "get_mempolicy", "mq_open", "mq_unlink", "mq_timedsend", "mq_timedreceive",
+    "mq_notify", "mq_getsetattr", "kexec_load", "waitid", "add_key", "request_key", "keyctl",
+    "ioprio_set", "ioprio_get", "inotify_init", "inotify_add_watch", "inotify_rm_watch",
+    "migrate_pages", "openat", "mkdirat", "mknodat", "fchownat", "futimesat", "newfstatat",
+    "unlinkat", "renameat", "linkat", "symlinkat", "readlinkat", "fchmodat", "faccessat",
+    "pselect6", "ppoll", "unshare", "set_robust_list", "get_robust_list", "splice", "tee",
+    "sync_file_range", "vmsplice", "move_pages", "utimensat", "epoll_pwait", "signalfd",
+    "timerfd_create", "eventfd", "fallocate", "timerfd_settime", "timerfd_gettime", "accept4",
+    "signalfd4", "eventfd2", "epoll_create1", "dup3", "pipe2", "inotify_init1", "preadv",
+    "pwritev", "rt_tgsigqueueinfo", "perf_event_open", "recvmmsg", "fanotify_init",
+    "fanotify_mark", "prlimit64", "name_to_handle_at", "open_by_handle_at", "clock_adjtime",
+    "syncfs", "sendmmsg", "setns", "getcpu", "process_vm_readv", "process_vm_writev", "kcmp",
+    "finit_module", "sched_setattr", "sched_getattr", "renameat2", "seccomp", "getrandom",
+    "memfd_create", "kexec_file_load", "bpf", "execveat", "userfaultfd", "membarrier",
+    "mlock2", "copy_file_range", "preadv2", "pwritev2",
+};
+constexpr size_t kNumBaseSyscalls = sizeof(kBaseSyscalls) / sizeof(kBaseSyscalls[0]);
+
+struct SyscallAddition {
+  KernelVersion version;
+  const char* name;
+};
+
+constexpr SyscallAddition kAdditions[] = {
+    {{4, 8}, "pkey_mprotect"},   {{4, 8}, "pkey_alloc"},      {{4, 8}, "pkey_free"},
+    {{4, 13}, "statx"},          {{5, 0}, "io_pgetevents"},   {{5, 0}, "rseq"},
+    {{5, 3}, "clone3"},          {{5, 3}, "pidfd_send_signal"}, {{5, 3}, "io_uring_setup"},
+    {{5, 3}, "io_uring_enter"},  {{5, 3}, "io_uring_register"}, {{5, 8}, "openat2"},
+    {{5, 8}, "pidfd_getfd"},     {{5, 8}, "faccessat2"},      {{5, 11}, "close_range"},
+    {{5, 11}, "epoll_pwait2"},   {{5, 11}, "process_madvise"}, {{5, 13}, "landlock_create_ruleset"},
+    {{5, 13}, "landlock_add_rule"}, {{5, 13}, "landlock_restrict_self"}, {{5, 13}, "mount_setattr"},
+    {{5, 15}, "memfd_secret"},   {{5, 15}, "process_mrelease"}, {{5, 19}, "futex_waitv"},
+    {{6, 2}, "set_mempolicy_home_node"}, {{6, 5}, "cachestat"}, {{6, 8}, "fchmodat2"},
+    {{6, 8}, "futex_wake"},      {{6, 8}, "futex_wait"},      {{6, 8}, "map_shadow_stack"},
+};
+
+// Syscalls that newer architectures (arm64/riscv) deliberately omit because
+// *at/clone replacements exist.
+constexpr const char* kLegacyOnly[] = {
+    "open",    "creat",    "link",     "unlink",  "mknod",   "chmod",    "chown",   "lchown",
+    "mkdir",   "rmdir",    "rename",   "symlink", "readlink", "stat",    "lstat",   "access",
+    "pipe",    "dup2",     "pause",    "alarm",   "fork",    "vfork",    "getpgrp", "utime",
+    "utimes",  "futimesat", "select",  "poll",    "epoll_create", "epoll_wait", "inotify_init",
+    "eventfd", "signalfd", "sysfs",    "uselib",  "ustat",   "getdents", "time",
+    "modify_ldt", "arch_prctl", "iopl", "ioperm", "set_thread_area", "get_thread_area",
+};
+constexpr size_t kNumLegacyOnly = sizeof(kLegacyOnly) / sizeof(kLegacyOnly[0]);
+
+// Extra arch-specific syscalls beyond the generic table.
+uint32_t ArchExtraCount(Arch arch) {
+  switch (arch) {
+    case Arch::kX86:
+      return 0;
+    case Arch::kArm64:
+      return 2;  // e.g. arm64-specific memory tagging controls
+    case Arch::kArm32:
+      return 74;  // OABI compatibility calls
+    case Arch::kPpc:
+      return 23;  // spu_run & friends
+    case Arch::kRiscv:
+      return 2;
+  }
+  return 0;
+}
+
+bool IsLegacyOnly(const std::string& name) {
+  for (const char* legacy : kLegacyOnly) {
+    if (name == legacy) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* SyscallSymbolPrefix(Arch arch) {
+  switch (arch) {
+    case Arch::kX86:
+      return "__x64_sys_";
+    case Arch::kArm64:
+      return "__arm64_sys_";
+    case Arch::kArm32:
+      return "sys_";
+    case Arch::kPpc:
+      return "sys_";
+    case Arch::kRiscv:
+      return "__riscv_sys_";
+  }
+  return "sys_";
+}
+
+std::vector<SyscallSpec> SyscallTableFor(KernelVersion version, Arch arch) {
+  std::vector<SyscallSpec> table;
+  int nr = 0;
+  auto add = [&](const std::string& name) {
+    SyscallSpec spec;
+    spec.name = name;
+    spec.nr = nr++;
+    // Most file/process calls have compat shims on 64-bit targets.
+    spec.has_compat = HashString(name) % 100 < 60;
+    table.push_back(std::move(spec));
+  };
+
+  for (size_t i = 0; i < kNumBaseSyscalls; ++i) {
+    std::string name = kBaseSyscalls[i];
+    if (arch == Arch::kArm64 || arch == Arch::kRiscv) {
+      if (IsLegacyOnly(name)) {
+        ++nr;  // slot exists but is wired to sys_ni_syscall
+        continue;
+      }
+    }
+    if (arch == Arch::kPpc || arch == Arch::kArm32) {
+      // A handful of x86-isms are absent elsewhere.
+      if (name == "modify_ldt" || name == "arch_prctl" || name == "iopl" || name == "ioperm" ||
+          name == "set_thread_area" || name == "get_thread_area") {
+        ++nr;
+        continue;
+      }
+      if (arch == Arch::kArm32 &&
+          (name == "pkey_mprotect" || name == "migrate_pages" || name == "move_pages")) {
+        ++nr;
+        continue;
+      }
+    }
+    add(name);
+  }
+  for (const SyscallAddition& addition : kAdditions) {
+    if (version >= addition.version) {
+      if ((arch == Arch::kArm64 || arch == Arch::kRiscv) && IsLegacyOnly(addition.name)) {
+        ++nr;
+        continue;
+      }
+      add(addition.name);
+    }
+  }
+  for (uint32_t i = 0; i < ArchExtraCount(arch); ++i) {
+    add(StrFormat("%s_arch%u", ArchName(arch), i));
+  }
+  return table;
+}
+
+uint32_t CompatSyscallCount(KernelVersion version, Arch arch) {
+  if (arch == Arch::kArm32) {
+    return 0;  // native 32-bit
+  }
+  uint32_t n = 0;
+  for (const SyscallSpec& spec : SyscallTableFor(version, Arch::kX86)) {
+    if (spec.has_compat) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<std::string> AllSyscallNames() {
+  std::set<std::string> names;
+  for (Arch arch : kAllArches) {
+    for (const SyscallSpec& spec : SyscallTableFor(KernelVersion{6, 8}, arch)) {
+      names.insert(spec.name);
+    }
+  }
+  // Legacy calls absent at 6.8 on new arches still exist on x86.
+  for (size_t i = 0; i < kNumBaseSyscalls; ++i) {
+    names.insert(kBaseSyscalls[i]);
+  }
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+}  // namespace depsurf

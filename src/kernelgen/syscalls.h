@@ -1,0 +1,32 @@
+// The system-call universe: real Linux syscall names with per-version
+// introduction and per-architecture availability (Table 5's native-syscall
+// and traceability analysis).
+#ifndef DEPSURF_SRC_KERNELGEN_SYSCALLS_H_
+#define DEPSURF_SRC_KERNELGEN_SYSCALLS_H_
+
+#include <vector>
+
+#include "src/kmodel/build_spec.h"
+#include "src/kmodel/spec.h"
+
+namespace depsurf {
+
+// Native syscall table for one build (name -> slot number), already
+// filtered for the architecture.
+std::vector<SyscallSpec> SyscallTableFor(KernelVersion version, Arch arch);
+
+// Symbol-name prefix of syscall entry points on this architecture
+// ("__x64_sys_", "__arm64_sys_", plain "sys_", ...).
+const char* SyscallSymbolPrefix(Arch arch);
+
+// Number of 32-bit compat entry points present on this build (0 where the
+// architecture has no compat layer).
+uint32_t CompatSyscallCount(KernelVersion version, Arch arch);
+
+// Every syscall name that ever exists in the study window (the union across
+// versions and architectures); used to build program dependency sets.
+std::vector<std::string> AllSyscallNames();
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_KERNELGEN_SYSCALLS_H_

@@ -1,0 +1,103 @@
+#include "src/kmodel/build_spec.h"
+
+#include "src/util/prng.h"
+#include "src/util/str_util.h"
+
+namespace depsurf {
+
+const char* ArchName(Arch arch) {
+  switch (arch) {
+    case Arch::kX86:
+      return "x86";
+    case Arch::kArm64:
+      return "arm64";
+    case Arch::kArm32:
+      return "arm32";
+    case Arch::kPpc:
+      return "ppc";
+    case Arch::kRiscv:
+      return "riscv";
+  }
+  return "?";
+}
+
+const char* FlavorName(Flavor flavor) {
+  switch (flavor) {
+    case Flavor::kGeneric:
+      return "generic";
+    case Flavor::kLowLatency:
+      return "lowlatency";
+    case Flavor::kAws:
+      return "aws";
+    case Flavor::kAzure:
+      return "azure";
+    case Flavor::kGcp:
+      return "gcp";
+  }
+  return "?";
+}
+
+ElfIdent ElfIdentFor(Arch arch) {
+  switch (arch) {
+    case Arch::kX86:
+      return ElfIdent{ElfClass::k64, Endian::kLittle, ElfMachine::kX86_64};
+    case Arch::kArm64:
+      return ElfIdent{ElfClass::k64, Endian::kLittle, ElfMachine::kAarch64};
+    case Arch::kArm32:
+      return ElfIdent{ElfClass::k32, Endian::kLittle, ElfMachine::kArm};
+    case Arch::kPpc:
+      return ElfIdent{ElfClass::k64, Endian::kBig, ElfMachine::kPpc64};
+    case Arch::kRiscv:
+      return ElfIdent{ElfClass::k64, Endian::kLittle, ElfMachine::kRiscv};
+  }
+  return ElfIdent{};
+}
+
+const std::vector<std::string>& ParamRegisters(Arch arch) {
+  static const std::vector<std::string> x86 = {"di", "si", "dx", "cx", "r8", "r9"};
+  static const std::vector<std::string> arm64 = {"regs[0]", "regs[1]", "regs[2]", "regs[3]",
+                                                 "regs[4]", "regs[5]", "regs[6]", "regs[7]"};
+  static const std::vector<std::string> arm32 = {"uregs[0]", "uregs[1]", "uregs[2]", "uregs[3]"};
+  static const std::vector<std::string> ppc = {"gpr[3]", "gpr[4]", "gpr[5]", "gpr[6]",
+                                               "gpr[7]", "gpr[8]", "gpr[9]", "gpr[10]"};
+  static const std::vector<std::string> riscv = {"a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7"};
+  switch (arch) {
+    case Arch::kX86:
+      return x86;
+    case Arch::kArm64:
+      return arm64;
+    case Arch::kArm32:
+      return arm32;
+    case Arch::kPpc:
+      return ppc;
+    case Arch::kRiscv:
+      return riscv;
+  }
+  return x86;
+}
+
+bool CompatSyscallsTraceable(Arch arch) {
+  switch (arch) {
+    case Arch::kX86:
+    case Arch::kArm64:
+    case Arch::kRiscv:
+      return false;  // the blind spot the paper calls out
+    case Arch::kArm32:
+      return true;  // native 32-bit: there is no compat layer
+    case Arch::kPpc:
+      return true;
+  }
+  return false;
+}
+
+std::string BuildSpec::Label() const {
+  return StrFormat("%s-%s-%s-gcc%d", version.Tag().c_str(), ArchName(arch), FlavorName(flavor),
+                   gcc_major);
+}
+
+uint64_t BuildSpec::Key() const {
+  return HashCombine({version.Key(), static_cast<uint64_t>(arch), static_cast<uint64_t>(flavor),
+                      static_cast<uint64_t>(gcc_major)});
+}
+
+}  // namespace depsurf

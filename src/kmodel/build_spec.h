@@ -1,0 +1,54 @@
+// Build configuration of one kernel image: version x architecture x
+// distribution flavor x compiler. Also carries per-architecture ABI facts
+// (ELF identity, pt_regs argument registers) used across the project.
+#ifndef DEPSURF_SRC_KMODEL_BUILD_SPEC_H_
+#define DEPSURF_SRC_KMODEL_BUILD_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/elf/elf.h"
+#include "src/kmodel/kernel_version.h"
+
+namespace depsurf {
+
+enum class Arch : uint8_t { kX86, kArm64, kArm32, kPpc, kRiscv };
+enum class Flavor : uint8_t { kGeneric, kLowLatency, kAws, kAzure, kGcp };
+
+inline constexpr Arch kAllArches[] = {Arch::kX86, Arch::kArm64, Arch::kArm32, Arch::kPpc,
+                                      Arch::kRiscv};
+inline constexpr Flavor kAllFlavors[] = {Flavor::kGeneric, Flavor::kLowLatency, Flavor::kAws,
+                                         Flavor::kAzure, Flavor::kGcp};
+
+const char* ArchName(Arch arch);
+const char* FlavorName(Flavor flavor);
+
+// ELF identity of an image built for `arch`. arm32 is ELF32/LE; ppc is
+// ELF64/BE; the rest are ELF64/LE — deliberately covering both pointer
+// sizes and endiannesses.
+ElfIdent ElfIdentFor(Arch arch);
+
+// pt_regs expressions through which a kprobe reads positional arguments,
+// e.g. x86 {di, si, dx, cx, r8, r9}, arm64 {regs[0] .. regs[7]}.
+const std::vector<std::string>& ParamRegisters(Arch arch);
+
+// Whether the architecture natively supports tracing of 32-bit compat
+// system calls (the paper: x86/arm64/riscv do not).
+bool CompatSyscallsTraceable(Arch arch);
+
+struct BuildSpec {
+  KernelVersion version;
+  Arch arch = Arch::kX86;
+  Flavor flavor = Flavor::kGeneric;
+  int gcc_major = 9;
+
+  // "v5.4-x86-generic-gcc9", the image identity used throughout reports.
+  std::string Label() const;
+  uint64_t Key() const;
+
+  bool operator==(const BuildSpec&) const = default;
+};
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_KMODEL_BUILD_SPEC_H_

@@ -1,0 +1,34 @@
+#include "src/kmodel/kernel_version.h"
+
+#include "src/util/str_util.h"
+
+namespace depsurf {
+
+std::string KernelVersion::ToString() const { return StrFormat("%d.%d", major, minor); }
+
+std::string KernelVersion::Tag() const { return StrFormat("v%d.%d", major, minor); }
+
+Result<KernelVersion> KernelVersion::Parse(std::string_view text) {
+  if (!text.empty() && text.front() == 'v') {
+    text.remove_prefix(1);
+  }
+  size_t dot = text.find('.');
+  if (dot == std::string_view::npos || dot == 0 || dot + 1 >= text.size()) {
+    return Error(ErrorCode::kInvalidArgument, "version must look like 5.15");
+  }
+  KernelVersion v;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (i == dot) {
+      continue;
+    }
+    char c = text[i];
+    if (c < '0' || c > '9') {
+      return Error(ErrorCode::kInvalidArgument, "non-digit in version");
+    }
+    int& part = i < dot ? v.major : v.minor;
+    part = part * 10 + (c - '0');
+  }
+  return v;
+}
+
+}  // namespace depsurf

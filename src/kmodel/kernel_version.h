@@ -1,0 +1,35 @@
+// Kernel version identifiers ("5.15") with ordering.
+#ifndef DEPSURF_SRC_KMODEL_KERNEL_VERSION_H_
+#define DEPSURF_SRC_KMODEL_KERNEL_VERSION_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/error.h"
+
+namespace depsurf {
+
+struct KernelVersion {
+  int major = 0;
+  int minor = 0;
+
+  constexpr KernelVersion() = default;
+  constexpr KernelVersion(int major_in, int minor_in) : major(major_in), minor(minor_in) {}
+
+  auto operator<=>(const KernelVersion&) const = default;
+
+  std::string ToString() const;
+  // "v5.15"
+  std::string Tag() const;
+  // Stable 64-bit key for PRNG derivation.
+  uint64_t Key() const { return (static_cast<uint64_t>(major) << 16) | static_cast<uint64_t>(minor); }
+
+  // Accepts "5.15" or "v5.15".
+  static Result<KernelVersion> Parse(std::string_view text);
+};
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_KMODEL_KERNEL_VERSION_H_

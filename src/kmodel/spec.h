@@ -1,0 +1,100 @@
+// Semantic (source-level) kernel construct specifications.
+//
+// These are the generator-side model of a kernel source tree: what a
+// function/struct/tracepoint/syscall looks like *before* configuration and
+// compilation. The analyzer never sees these; it sees only the binary image
+// they are compiled into.
+#ifndef DEPSURF_SRC_KMODEL_SPEC_H_
+#define DEPSURF_SRC_KMODEL_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace depsurf {
+
+// Types are written in a small C-like language ("int", "struct file *",
+// "const char *", "u64", "char[16]"); see type_lang.h for the grammar and
+// the lowering into BTF.
+using TypeStr = std::string;
+
+enum class Linkage : uint8_t { kStatic, kGlobal };
+
+// How the simulated compiler should treat a function. kAuto lets the
+// compiler decide from linkage/size heuristics; the others force an outcome
+// (used by scripted constructs reproducing real kernel lineages).
+enum class InlineHint : uint8_t {
+  kAuto,
+  kNever,           // always out of line at every call site
+  kForceFull,       // inlined at every call site (no symbol remains)
+  kForceSelective,  // inlined at same-TU call sites, out of line elsewhere
+};
+
+struct ParamSpec {
+  std::string name;
+  TypeStr type;
+
+  bool operator==(const ParamSpec&) const = default;
+};
+
+struct FuncSpec {
+  std::string name;
+  TypeStr return_type = "void";
+  std::vector<ParamSpec> params;
+  Linkage linkage = Linkage::kGlobal;
+  std::string decl_file;  // "fs/sync.c" or a header for header-defined statics
+  uint32_t decl_line = 1;
+  bool defined_in_header = false;  // static-in-header: duplicated per including TU
+  InlineHint inline_hint = InlineHint::kAuto;
+  bool is_lsm_hook = false;
+  bool is_kfunc = false;
+  // Callers, as "file:function" strings; used by the compiler simulator to
+  // materialize inline sites and call-site records.
+  std::vector<std::string> callers;
+  // When non-empty, the compiler applies this transformation suffix
+  // ("isra", "constprop", ...) if its major version is at least
+  // forced_transform_min_gcc (scripted lineages use this).
+  std::string forced_transform;
+  int forced_transform_min_gcc = 0;
+
+  bool operator==(const FuncSpec&) const = default;
+};
+
+struct FieldSpec {
+  std::string name;
+  TypeStr type;
+
+  bool operator==(const FieldSpec&) const = default;
+};
+
+struct StructSpec {
+  std::string name;
+  std::vector<FieldSpec> fields;
+
+  bool operator==(const StructSpec&) const = default;
+};
+
+// A tracepoint has two eBPF-visible components: the tracing function
+// (raw-tracepoint attachment) and the event struct (classic attachment).
+struct TracepointSpec {
+  std::string event_name;             // "block_rq_issue"
+  std::string class_name;             // "block_rq"
+  std::vector<ParamSpec> func_params; // tracing-function parameters
+  std::vector<FieldSpec> event_fields;
+  std::string fmt;                    // printk-style format of the event
+
+  bool operator==(const TracepointSpec&) const = default;
+};
+
+struct SyscallSpec {
+  std::string name;  // "openat"
+  int nr = -1;       // slot in sys_call_table
+  // True when the 32-bit compat entry point exists for this call.
+  bool has_compat = false;
+
+  bool operator==(const SyscallSpec&) const = default;
+};
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_KMODEL_SPEC_H_

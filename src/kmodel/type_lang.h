@@ -1,0 +1,57 @@
+// The small C-like type language used by construct specs, and its lowering
+// into BTF type graphs.
+//
+// Grammar (informal):
+//   type     := "const "? core ("*" | " *")* ("[" digits "]")?
+//   core     := ("struct"|"union"|"enum") " " ident | ident (" " ident)*
+// Examples: "int", "unsigned long", "struct file *", "const char *",
+//           "u64", "char[16]", "struct request **".
+#ifndef DEPSURF_SRC_KMODEL_TYPE_LANG_H_
+#define DEPSURF_SRC_KMODEL_TYPE_LANG_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/btf/btf.h"
+#include "src/kmodel/spec.h"
+#include "src/util/error.h"
+
+namespace depsurf {
+
+// Lowers spec types into one TypeGraph, deduplicating named aggregates.
+// Struct references lower to the registered full definition when one was
+// added via DefineStruct, and to a forward declaration otherwise (kernel
+// pointers are usually opaque at use sites).
+class TypeLowering {
+ public:
+  // `long_size` distinguishes LP64 (8) from ILP32 (4) targets.
+  explicit TypeLowering(TypeGraph& graph, int pointer_size = 8, int long_size = 8)
+      : graph_(graph), pointer_size_(pointer_size), long_size_(long_size) {}
+
+  TypeGraph& graph() { return graph_; }
+
+  // Registers (or replaces) the full definition of a named struct; later
+  // Lower("struct X") calls resolve to it. Field types are lowered
+  // recursively; self references go through FWD nodes.
+  Result<BtfTypeId> DefineStruct(const StructSpec& spec);
+
+  // Lowers a type expression. Unknown bare identifiers are treated as
+  // integer typedefs of width 4 (the common kernel pattern).
+  Result<BtfTypeId> Lower(const TypeStr& type);
+
+  // Computed byte size of a lowered type (0 for void/functions).
+  uint32_t SizeOf(BtfTypeId id) const;
+
+ private:
+  Result<BtfTypeId> LowerCore(std::string_view core);
+
+  TypeGraph& graph_;
+  int pointer_size_;
+  int long_size_;
+  std::map<std::string, BtfTypeId, std::less<>> structs_;
+};
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_KMODEL_TYPE_LANG_H_

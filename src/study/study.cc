@@ -1,0 +1,99 @@
+#include "src/study/study.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <thread>
+
+namespace depsurf {
+
+StudyOptions StudyOptions::FromArgs(int argc, char** argv, double default_scale) {
+  StudyOptions options;
+  options.scale = default_scale;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (strncmp(arg, "--scale=", 8) == 0) {
+      options.scale = atof(arg + 8);
+    } else if (strncmp(arg, "--seed=", 7) == 0) {
+      options.seed = strtoull(arg + 7, nullptr, 10);
+    }
+  }
+  if (options.scale <= 0.0 || options.scale > 4.0) {
+    options.scale = default_scale;
+  }
+  return options;
+}
+
+Study::Study(const StudyOptions& options)
+    : options_(options), programs_(BuildProgramCorpus()) {
+  ScriptedCatalog catalog = BuildCuratedCatalog();
+  ScriptedCatalog additions = programs_.additions;
+  catalog.Merge(std::move(additions));
+  model_ = std::make_unique<KernelModel>(options.seed, options.scale, std::move(catalog));
+}
+
+Result<std::vector<uint8_t>> Study::BuildImage(const BuildSpec& build) const {
+  DEPSURF_ASSIGN_OR_RETURN(kernel, model_->Configure(build));
+  return BuildKernelImage(CompileKernel(options_.seed, std::move(kernel)));
+}
+
+Result<DependencySurface> Study::ExtractSurface(const BuildSpec& build) const {
+  DEPSURF_ASSIGN_OR_RETURN(bytes, BuildImage(build));
+  return DependencySurface::Extract(std::move(bytes));
+}
+
+Result<Dataset> Study::BuildDataset(
+    const std::vector<BuildSpec>& corpus,
+    const std::function<void(const std::string&)>& progress) const {
+  // Extraction is pure, so images run concurrently in a bounded window;
+  // distillation happens serially in corpus order (Dataset interning is
+  // order-sensitive and must stay deterministic).
+  size_t window = std::max<unsigned>(1, std::thread::hardware_concurrency());
+  window = std::min(window, size_t{8});  // surfaces are large; bound memory
+  Dataset dataset;
+  std::deque<std::future<Result<DependencySurface>>> in_flight;
+  size_t next_launch = 0;
+  size_t next_consume = 0;
+  while (next_consume < corpus.size()) {
+    while (next_launch < corpus.size() && in_flight.size() < window) {
+      const BuildSpec& build = corpus[next_launch++];
+      in_flight.push_back(
+          std::async(std::launch::async, [this, build] { return ExtractSurface(build); }));
+    }
+    Result<DependencySurface> surface = in_flight.front().get();
+    in_flight.pop_front();
+    if (!surface.ok()) {
+      for (auto& future : in_flight) {
+        future.wait();  // drain before propagating the error
+      }
+      return surface.TakeError();
+    }
+    if (progress) {
+      progress(corpus[next_consume].Label());
+    }
+    dataset.AddImage(corpus[next_consume].Label(), *surface);
+    ++next_consume;
+  }
+  return dataset;
+}
+
+Result<ProgramReport> Study::Analyze(const Dataset& dataset, const std::string& program) const {
+  for (const BpfObject& object : programs_.objects) {
+    if (object.name == program) {
+      return Analyze(dataset, object);
+    }
+  }
+  return Error(ErrorCode::kNotFound, "no program named " + program);
+}
+
+Result<ProgramReport> Study::Analyze(const Dataset& dataset, const BpfObject& object) {
+  // Round-trip through object bytes: the analyzer sees only what a real
+  // compiled .o would carry.
+  DEPSURF_ASSIGN_OR_RETURN(bytes, WriteBpfObject(object));
+  DEPSURF_ASSIGN_OR_RETURN(parsed, ParseBpfObject(std::move(bytes)));
+  DEPSURF_ASSIGN_OR_RETURN(deps, ExtractDependencySet(parsed));
+  return AnalyzeProgram(dataset, deps);
+}
+
+}  // namespace depsurf

@@ -1,0 +1,62 @@
+// Study harness: ties the synthetic-kernel generator, the program corpus,
+// and the DepSurf analyzer together for the examples and the benchmark
+// binaries that regenerate the paper's tables and figures.
+#ifndef DEPSURF_SRC_STUDY_STUDY_H_
+#define DEPSURF_SRC_STUDY_STUDY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bpfgen/program_corpus.h"
+#include "src/core/depsurf.h"
+#include "src/kernelgen/compiler.h"
+#include "src/kernelgen/configurator.h"
+#include "src/kernelgen/corpus.h"
+#include "src/kernelgen/image_builder.h"
+
+namespace depsurf {
+
+// Shared CLI options: --scale=<f> --seed=<n>. Benches default to paper
+// scale (1.0); examples pass a smaller default for interactivity.
+struct StudyOptions {
+  uint64_t seed = 2025;
+  double scale = 1.0;
+
+  static StudyOptions FromArgs(int argc, char** argv, double default_scale = 1.0);
+};
+
+class Study {
+ public:
+  explicit Study(const StudyOptions& options);
+
+  const StudyOptions& options() const { return options_; }
+  const KernelModel& model() const { return *model_; }
+  const ProgramCorpus& programs() const { return programs_; }
+
+  // Generates the image for one build and extracts its surface (the full
+  // binary round trip). ~1.5 s per image at scale 1.
+  Result<std::vector<uint8_t>> BuildImage(const BuildSpec& build) const;
+  Result<DependencySurface> ExtractSurface(const BuildSpec& build) const;
+
+  // Builds a dataset over the given corpus. Image generation + extraction
+  // run in parallel (they are pure); distillation is serial and in corpus
+  // order, so results are deterministic. `progress` (optional) is called
+  // with each image label as its surface is distilled.
+  Result<Dataset> BuildDataset(const std::vector<BuildSpec>& corpus,
+                               const std::function<void(const std::string&)>& progress = {}) const;
+
+  // Analyzes one program object (by Table 7 name) against a dataset.
+  Result<ProgramReport> Analyze(const Dataset& dataset, const std::string& program) const;
+  static Result<ProgramReport> Analyze(const Dataset& dataset, const BpfObject& object);
+
+ private:
+  StudyOptions options_;
+  ProgramCorpus programs_;
+  std::unique_ptr<KernelModel> model_;
+};
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_STUDY_STUDY_H_

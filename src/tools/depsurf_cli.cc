@@ -1,0 +1,415 @@
+// depsurf: command-line interface to the analysis library.
+//
+//   depsurf gen   --version=5.4 [--arch=x86] [--flavor=generic] [--scale=1.0]
+//                 [--seed=N] --out=IMAGE          generate a kernel image
+//   depsurf surface IMAGE [--func=NAME] [--json]  inspect a dependency surface
+//   depsurf diff    OLD NEW                       diff two images (Table 3/4 style)
+//   depsurf check   OBJECT IMAGE...               report mismatches for an eBPF object
+//   depsurf progs                                 list the bundled 53-program corpus
+//   depsurf emit    PROGRAM --out=OBJ             write a bundled program's .o
+//
+// Images and objects are ordinary files; `gen`/`emit` exist because this
+// reproduction generates its corpus instead of downloading Ubuntu dbgsym
+// packages (see DESIGN.md).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "src/btf/btf_print.h"
+#include "src/core/dataset_io.h"
+#include "src/study/study.h"
+#include "src/util/str_util.h"
+
+using namespace depsurf;
+
+namespace {
+
+int Fail(const std::string& message) {
+  fprintf(stderr, "depsurf: %s\n", message.c_str());
+  return 1;
+}
+
+Result<std::vector<uint8_t>> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Error(ErrorCode::kIoError, "cannot open " + path);
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status(ErrorCode::kIoError, "cannot write " + path);
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return Status::Ok();
+}
+
+std::string FlagValue(int argc, char** argv, const char* name, const char* fallback) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> Positional(int argc, char** argv) {
+  std::vector<std::string> out;
+  for (int i = 2; i < argc; ++i) {
+    if (strncmp(argv[i], "--", 2) != 0) {
+      out.push_back(argv[i]);
+    }
+  }
+  return out;
+}
+
+int CmdGen(int argc, char** argv) {
+  auto version = KernelVersion::Parse(FlagValue(argc, argv, "version", "5.4"));
+  if (!version.ok()) {
+    return Fail(version.error().ToString());
+  }
+  std::string arch_name = FlagValue(argc, argv, "arch", "x86");
+  std::string flavor_name = FlagValue(argc, argv, "flavor", "generic");
+  std::string out = FlagValue(argc, argv, "out", "");
+  if (out.empty()) {
+    return Fail("gen requires --out=FILE");
+  }
+  Arch arch = Arch::kX86;
+  bool arch_ok = false;
+  for (Arch a : kAllArches) {
+    if (arch_name == ArchName(a)) {
+      arch = a;
+      arch_ok = true;
+    }
+  }
+  Flavor flavor = Flavor::kGeneric;
+  bool flavor_ok = false;
+  for (Flavor f : kAllFlavors) {
+    if (flavor_name == FlavorName(f)) {
+      flavor = f;
+      flavor_ok = true;
+    }
+  }
+  if (!arch_ok || !flavor_ok) {
+    return Fail("unknown --arch or --flavor");
+  }
+  Study study(StudyOptions::FromArgs(argc, argv, /*default_scale=*/1.0));
+  auto bytes = study.BuildImage(MakeBuild(*version, arch, flavor));
+  if (!bytes.ok()) {
+    return Fail(bytes.error().ToString());
+  }
+  Status written = WriteFile(out, *bytes);
+  if (!written.ok()) {
+    return Fail(written.ToString());
+  }
+  printf("wrote %s (%zu bytes, %s)\n", out.c_str(), bytes->size(),
+         MakeBuild(*version, arch, flavor).Label().c_str());
+  return 0;
+}
+
+int CmdSurface(int argc, char** argv) {
+  auto positional = Positional(argc, argv);
+  if (positional.empty()) {
+    return Fail("surface requires an IMAGE path");
+  }
+  auto bytes = ReadFile(positional[0]);
+  if (!bytes.ok()) {
+    return Fail(bytes.error().ToString());
+  }
+  auto surface = DependencySurface::Extract(bytes.TakeValue());
+  if (!surface.ok()) {
+    return Fail(surface.error().ToString());
+  }
+  const SurfaceMeta& meta = surface->meta();
+  printf("image: Linux v%d.%d %s/%s gcc%d (%d-bit %s-endian, %u config options)\n",
+         meta.version_major, meta.version_minor, meta.arch.c_str(), meta.flavor.c_str(),
+         meta.gcc_major, meta.pointer_size * 8,
+         meta.endian == Endian::kLittle ? "little" : "big", meta.config_options);
+  size_t attachable = 0;
+  size_t full = 0;
+  size_t selective = 0;
+  size_t transformed = 0;
+  for (const auto& [name, entry] : surface->functions()) {
+    (void)name;
+    attachable += entry.status.has_exact_symbol ? 1 : 0;
+    full += entry.status.fully_inlined ? 1 : 0;
+    selective += entry.status.selectively_inlined ? 1 : 0;
+    transformed += entry.status.transformed ? 1 : 0;
+  }
+  printf("functions:   %zu in debug info; %zu attachable, %zu fully inlined,\n"
+         "             %zu selectively inlined, %zu transformed\n",
+         surface->functions().size(), attachable, full, selective, transformed);
+  printf("structs:     %zu\n", surface->structs().size());
+  printf("tracepoints: %zu\n", surface->tracepoints().size());
+  printf("syscalls:    %zu (compat 32-bit tracing: %s)\n", surface->syscalls().size(),
+         meta.compat_syscalls_traceable ? "supported" : "blind spot");
+
+  std::string func = FlagValue(argc, argv, "func", "");
+  if (!func.empty()) {
+    const FunctionEntry* entry = surface->FindFunction(func);
+    if (entry == nullptr) {
+      return Fail("no function named " + func + " on this surface");
+    }
+    if (HasFlag(argc, argv, "json")) {
+      printf("%s\n", entry->StatusJson().c_str());
+    } else {
+      printf("\n%s\n", entry->btf_id != 0
+                           ? FuncDeclString(surface->btf(), entry->btf_id).c_str()
+                           : func.c_str());
+      printf("  class: %s\n", entry->status.CollisionClass().c_str());
+      printf("  attachable: %s%s%s%s\n", entry->status.has_exact_symbol ? "yes" : "NO",
+             entry->status.fully_inlined ? " (fully inlined)" : "",
+             entry->status.transformed
+                 ? StrFormat(" (transformed%s)", entry->status.transform_suffix.c_str()).c_str()
+                 : "",
+             entry->status.selectively_inlined ? " (selectively inlined)" : "");
+      for (const FunctionInstance& inst : entry->instances) {
+        printf("  instance at %s:%u (%s)\n", inst.decl_file.c_str(), inst.decl_line,
+               inst.HasCode() ? "has code" : "no code");
+        for (const std::string& caller : inst.caller_inline) {
+          printf("    inlined into %s\n", caller.c_str());
+        }
+        for (const std::string& caller : inst.caller_func) {
+          printf("    called from  %s\n", caller.c_str());
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+int CmdDiff(int argc, char** argv) {
+  auto positional = Positional(argc, argv);
+  if (positional.size() < 2) {
+    return Fail("diff requires OLD and NEW image paths");
+  }
+  auto old_bytes = ReadFile(positional[0]);
+  auto new_bytes = ReadFile(positional[1]);
+  if (!old_bytes.ok() || !new_bytes.ok()) {
+    return Fail("cannot read images");
+  }
+  auto old_surface = DependencySurface::Extract(old_bytes.TakeValue());
+  if (!old_surface.ok()) {
+    return Fail("old image: " + old_surface.error().ToString());
+  }
+  auto new_surface = DependencySurface::Extract(new_bytes.TakeValue());
+  if (!new_surface.ok()) {
+    return Fail("new image: " + new_surface.error().ToString());
+  }
+  SurfaceDiff diff = DiffSurfaces(*old_surface, *new_surface);
+  printf("functions:   +%zu -%zu changed %zu\n", diff.funcs.added.size(),
+         diff.funcs.removed.size(), diff.funcs.changed.size());
+  printf("structs:     +%zu -%zu changed %zu\n", diff.structs.added.size(),
+         diff.structs.removed.size(), diff.structs.changed.size());
+  printf("tracepoints: +%zu -%zu changed %zu\n", diff.tracepoints.added.size(),
+         diff.tracepoints.removed.size(), diff.tracepoints.changed.size());
+  printf("syscalls:    +%zu -%zu\n", diff.syscalls.added.size(), diff.syscalls.removed.size());
+  if (HasFlag(argc, argv, "verbose")) {
+    for (const auto& [name, kinds] : diff.funcs.changed) {
+      printf("  func %s:", name.c_str());
+      for (FuncChangeKind kind : kinds) {
+        printf(" [%s]", FuncChangeKindName(kind));
+      }
+      printf("\n");
+    }
+    for (const auto& [name, kinds] : diff.structs.changed) {
+      printf("  struct %s:", name.c_str());
+      for (StructChangeKind kind : kinds) {
+        printf(" [%s]", StructChangeKindName(kind));
+      }
+      printf("\n");
+    }
+  }
+  return 0;
+}
+
+int CmdCheck(int argc, char** argv) {
+  auto positional = Positional(argc, argv);
+  std::string dataset_path = FlagValue(argc, argv, "dataset", "");
+  if (positional.empty() || (positional.size() < 2 && dataset_path.empty())) {
+    return Fail("check requires OBJECT and either IMAGE... or --dataset=FILE");
+  }
+  auto object_bytes = ReadFile(positional[0]);
+  if (!object_bytes.ok()) {
+    return Fail(object_bytes.error().ToString());
+  }
+  auto object = ParseBpfObject(object_bytes.TakeValue());
+  if (!object.ok()) {
+    return Fail("object: " + object.error().ToString());
+  }
+  auto deps = ExtractDependencySet(*object);
+  if (!deps.ok()) {
+    return Fail(deps.error().ToString());
+  }
+  Dataset dataset;
+  if (!dataset_path.empty()) {
+    auto bytes = ReadFile(dataset_path);
+    if (!bytes.ok()) {
+      return Fail(bytes.error().ToString());
+    }
+    auto loaded = LoadDataset(*bytes);
+    if (!loaded.ok()) {
+      return Fail(dataset_path + ": " + loaded.error().ToString());
+    }
+    dataset = loaded.TakeValue();
+  }
+  for (size_t i = 1; i < positional.size(); ++i) {
+    auto bytes = ReadFile(positional[i]);
+    if (!bytes.ok()) {
+      return Fail(bytes.error().ToString());
+    }
+    auto surface = DependencySurface::Extract(bytes.TakeValue());
+    if (!surface.ok()) {
+      return Fail(positional[i] + ": " + surface.error().ToString());
+    }
+    dataset.AddImage(positional[i], *surface);
+  }
+  ProgramReport report = AnalyzeProgram(dataset, *deps);
+  printf("%s\n", report.RenderMatrix().c_str());
+  printf("worst implication: %s\n", ImplicationName(report.WorstImplication()));
+  return report.AnyMismatch() ? 2 : 0;  // like grep: 2 = mismatches found
+}
+
+int CmdDataset(int argc, char** argv) {
+  auto positional = Positional(argc, argv);
+  if (positional.empty()) {
+    return Fail("dataset requires a subcommand: build | info");
+  }
+  if (positional[0] == "build") {
+    std::string out = FlagValue(argc, argv, "out", "");
+    if (positional.size() < 2 || out.empty()) {
+      return Fail("dataset build requires IMAGE... and --out=FILE");
+    }
+    Dataset dataset;
+    for (size_t i = 1; i < positional.size(); ++i) {
+      auto bytes = ReadFile(positional[i]);
+      if (!bytes.ok()) {
+        return Fail(bytes.error().ToString());
+      }
+      auto surface = DependencySurface::Extract(bytes.TakeValue());
+      if (!surface.ok()) {
+        return Fail(positional[i] + ": " + surface.error().ToString());
+      }
+      dataset.AddImage(positional[i], *surface);
+      printf("distilled %s\n", positional[i].c_str());
+    }
+    std::vector<uint8_t> bytes = SaveDataset(dataset);
+    Status written = WriteFile(out, bytes);
+    if (!written.ok()) {
+      return Fail(written.ToString());
+    }
+    printf("wrote %s (%zu images, %zu bytes)\n", out.c_str(), dataset.num_images(),
+           bytes.size());
+    return 0;
+  }
+  if (positional[0] == "info") {
+    if (positional.size() < 2) {
+      return Fail("dataset info requires a FILE");
+    }
+    auto bytes = ReadFile(positional[1]);
+    if (!bytes.ok()) {
+      return Fail(bytes.error().ToString());
+    }
+    auto dataset = LoadDataset(*bytes);
+    if (!dataset.ok()) {
+      return Fail(dataset.error().ToString());
+    }
+    printf("%zu images, %zu interned strings\n", dataset->num_images(), dataset->pool_size());
+    for (const ImageRecord& image : dataset->images()) {
+      printf("  %-28s v%d.%d %s/%s gcc%d: %zu funcs, %zu structs, %zu tracepoints, %zu syscalls\n",
+             image.label.c_str(), image.meta.version_major, image.meta.version_minor,
+             image.meta.arch.c_str(), image.meta.flavor.c_str(), image.meta.gcc_major,
+             image.funcs.size(), image.structs.size(), image.tracepoints.size(),
+             image.syscalls.size());
+    }
+    return 0;
+  }
+  return Fail("unknown dataset subcommand " + positional[0]);
+}
+
+int CmdProgs(Study& study) {
+  for (const BpfObject& object : study.programs().objects) {
+    printf("%s\n", object.name.c_str());
+  }
+  return 0;
+}
+
+int CmdEmit(int argc, char** argv, Study& study) {
+  auto positional = Positional(argc, argv);
+  std::string out = FlagValue(argc, argv, "out", "");
+  if (positional.empty() || out.empty()) {
+    return Fail("emit requires PROGRAM and --out=FILE");
+  }
+  for (const BpfObject& object : study.programs().objects) {
+    if (object.name == positional[0]) {
+      auto bytes = WriteBpfObject(object);
+      if (!bytes.ok()) {
+        return Fail(bytes.error().ToString());
+      }
+      Status written = WriteFile(out, *bytes);
+      if (!written.ok()) {
+        return Fail(written.ToString());
+      }
+      printf("wrote %s (%zu bytes)\n", out.c_str(), bytes->size());
+      return 0;
+    }
+  }
+  return Fail("no bundled program named " + positional[0] + " (see `depsurf progs`)");
+}
+
+constexpr char kUsage[] =
+    "usage: depsurf COMMAND [options]\n"
+    "  gen     --version=5.4 [--arch=A] [--flavor=F] [--scale=S] [--seed=N] --out=IMG\n"
+    "  surface IMG [--func=NAME] [--json]\n"
+    "  diff    OLD NEW [--verbose]\n"
+    "  check   OBJ [IMG...] [--dataset=FILE] (exit 2 when mismatches are found)\n"
+    "  dataset build IMG... --out=FILE | dataset info FILE\n"
+    "  progs\n"
+    "  emit    PROGRAM --out=OBJ\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    fputs(kUsage, stderr);
+    return 1;
+  }
+  std::string command = argv[1];
+  if (command == "gen") {
+    return CmdGen(argc, argv);
+  }
+  if (command == "surface") {
+    return CmdSurface(argc, argv);
+  }
+  if (command == "diff") {
+    return CmdDiff(argc, argv);
+  }
+  if (command == "check") {
+    return CmdCheck(argc, argv);
+  }
+  if (command == "dataset") {
+    return CmdDataset(argc, argv);
+  }
+  if (command == "progs" || command == "emit") {
+    Study study(StudyOptions::FromArgs(argc, argv, /*default_scale=*/0.05));
+    return command == "progs" ? CmdProgs(study) : CmdEmit(argc, argv, study);
+  }
+  fputs(kUsage, stderr);
+  return 1;
+}

@@ -1,0 +1,34 @@
+#include "src/util/error.h"
+
+namespace depsurf {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kOutOfRange:
+      return "out_of_range";
+    case ErrorCode::kMalformedData:
+      return "malformed_data";
+    case ErrorCode::kUnsupported:
+      return "unsupported";
+    case ErrorCode::kNotFound:
+      return "not_found";
+    case ErrorCode::kAlreadyExists:
+      return "already_exists";
+    case ErrorCode::kInternal:
+      return "internal";
+    case ErrorCode::kIoError:
+      return "io_error";
+  }
+  return "unknown";
+}
+
+std::string Error::ToString() const {
+  std::string out = ErrorCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace depsurf

@@ -1,0 +1,128 @@
+// Error handling primitives for the depsurf libraries.
+//
+// Parsing untrusted binary images must not abort the process; every decoder
+// returns Result<T> and propagates structured errors up to the caller.
+#ifndef DEPSURF_SRC_UTIL_ERROR_H_
+#define DEPSURF_SRC_UTIL_ERROR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace depsurf {
+
+// Broad failure categories surfaced by the toolkit.
+enum class ErrorCode : uint8_t {
+  kInvalidArgument,   // caller passed something nonsensical
+  kOutOfRange,        // offset/index beyond a buffer or table
+  kMalformedData,     // bytes violate the format being parsed
+  kUnsupported,       // recognized but deliberately not handled
+  kNotFound,          // lookup failed
+  kAlreadyExists,     // duplicate insertion into a keyed container
+  kInternal,          // invariant violation inside the library
+  kIoError,           // filesystem problem
+};
+
+// Human-readable name of an ErrorCode ("malformed_data", ...).
+const char* ErrorCodeName(ErrorCode code);
+
+// A structured error: code + message. Cheap to move, explicit to construct.
+class Error {
+ public:
+  Error(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "malformed_data: BTF magic mismatch"
+  std::string ToString() const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+// Result<T> is a value-or-error sum type. Usage:
+//
+//   Result<Header> ParseHeader(ByteReader& r);
+//   ...
+//   auto header = ParseHeader(r);
+//   if (!header.ok()) return header.TakeError();
+//   Use(header.value());
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT: implicit by design
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT: implicit by design
+  Result(ErrorCode code, std::string message) : data_(Error(code, std::move(message))) {}
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& TakeValue() { return std::move(std::get<T>(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const { return std::get<Error>(data_); }
+  Error TakeError() { return std::move(std::get<Error>(data_)); }
+
+  // Value if ok, otherwise `fallback`.
+  T ValueOr(T fallback) const {
+    if (ok()) {
+      return value();
+    }
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+// Result specialization for operations without a payload.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT: implicit by design
+  Status(ErrorCode code, std::string message) : error_(Error(code, std::move(message))) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const { return *error_; }
+  Error TakeError() { return std::move(*error_); }
+
+  std::string ToString() const { return ok() ? "ok" : error_->ToString(); }
+
+ private:
+  std::optional<Error> error_;
+};
+
+// Propagation helpers. Expression must be an lvalue-able expression; these
+// macros deliberately mirror absl-style RETURN_IF_ERROR ergonomics.
+#define DEPSURF_RETURN_IF_ERROR(expr)        \
+  do {                                       \
+    auto _depsurf_status = (expr);           \
+    if (!_depsurf_status.ok()) {             \
+      return _depsurf_status.TakeError();    \
+    }                                        \
+  } while (0)
+
+#define DEPSURF_ASSIGN_OR_RETURN(lhs, expr)  \
+  auto lhs##_result = (expr);                \
+  if (!lhs##_result.ok()) {                  \
+    return lhs##_result.TakeError();         \
+  }                                          \
+  auto lhs = lhs##_result.TakeValue()
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_UTIL_ERROR_H_

@@ -1,0 +1,69 @@
+#include "src/util/leb128.h"
+
+namespace depsurf {
+
+namespace {
+constexpr int kMaxLebBytes = 10;  // ceil(64 / 7)
+}  // namespace
+
+void WriteUleb128(ByteWriter& w, uint64_t v) {
+  do {
+    uint8_t byte = v & 0x7f;
+    v >>= 7;
+    if (v != 0) {
+      byte |= 0x80;
+    }
+    w.WriteU8(byte);
+  } while (v != 0);
+}
+
+void WriteSleb128(ByteWriter& w, int64_t v) {
+  bool more = true;
+  while (more) {
+    uint8_t byte = v & 0x7f;
+    v >>= 7;  // arithmetic shift
+    bool sign_bit = (byte & 0x40) != 0;
+    if ((v == 0 && !sign_bit) || (v == -1 && sign_bit)) {
+      more = false;
+    } else {
+      byte |= 0x80;
+    }
+    w.WriteU8(byte);
+  }
+}
+
+Result<uint64_t> ReadUleb128(ByteReader& r) {
+  uint64_t result = 0;
+  int shift = 0;
+  for (int i = 0; i < kMaxLebBytes; ++i) {
+    DEPSURF_ASSIGN_OR_RETURN(byte, r.ReadU8());
+    if (i == kMaxLebBytes - 1 && (byte & 0x7f) > 1) {
+      return Error(ErrorCode::kMalformedData, "ULEB128 overflows 64 bits");
+    }
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      return result;
+    }
+    shift += 7;
+  }
+  return Error(ErrorCode::kMalformedData, "ULEB128 too long");
+}
+
+Result<int64_t> ReadSleb128(ByteReader& r) {
+  int64_t result = 0;
+  int shift = 0;
+  for (int i = 0; i < kMaxLebBytes; ++i) {
+    DEPSURF_ASSIGN_OR_RETURN(byte, r.ReadU8());
+    result |= static_cast<int64_t>(static_cast<uint64_t>(byte & 0x7f) << shift);
+    shift += 7;
+    if ((byte & 0x80) == 0) {
+      if (shift < 64 && (byte & 0x40) != 0) {
+        result |= -(static_cast<int64_t>(1) << shift);  // sign-extend
+      }
+      return result;
+    }
+  }
+  return Error(ErrorCode::kMalformedData, "SLEB128 too long");
+}
+
+}  // namespace depsurf

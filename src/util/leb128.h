@@ -1,0 +1,27 @@
+// LEB128 variable-length integer codec, as used by DWARF.
+#ifndef DEPSURF_SRC_UTIL_LEB128_H_
+#define DEPSURF_SRC_UTIL_LEB128_H_
+
+#include <cstdint>
+
+#include "src/util/byte_buffer.h"
+#include "src/util/error.h"
+
+namespace depsurf {
+
+// Appends an unsigned LEB128 encoding of `v` to `w`.
+void WriteUleb128(ByteWriter& w, uint64_t v);
+
+// Appends a signed LEB128 encoding of `v` to `w`.
+void WriteSleb128(ByteWriter& w, int64_t v);
+
+// Reads an unsigned LEB128 value at the reader's cursor. Rejects encodings
+// longer than 10 bytes (the max for a 64-bit value).
+Result<uint64_t> ReadUleb128(ByteReader& r);
+
+// Reads a signed LEB128 value at the reader's cursor.
+Result<int64_t> ReadSleb128(ByteReader& r);
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_UTIL_LEB128_H_

@@ -1,0 +1,32 @@
+// Small string helpers shared across the project.
+#ifndef DEPSURF_SRC_UTIL_STR_UTIL_H_
+#define DEPSURF_SRC_UTIL_STR_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace depsurf {
+
+// Splits on a single character; empty pieces are preserved.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+// Joins with a separator.
+std::string JoinStrings(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Human-friendly count: 1234 -> "1.2k", 43210 -> "43.2k", 950 -> "950".
+std::string FormatCount(uint64_t n);
+
+// Percentage with adaptive precision: 0.1234 -> "12%", 0.004 -> "0.4%".
+std::string FormatPercent(double fraction);
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_UTIL_STR_UTIL_H_

@@ -1,0 +1,71 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+
+namespace depsurf {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(Row{/*separator=*/false, std::move(cells)});
+}
+
+void TextTable::AddSeparator() { rows_.push_back(Row{/*separator=*/true, {}}); }
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      continue;
+    }
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto render_line = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      size_t pad = widths[c] - cell.size();
+      if (c == 0) {
+        line += cell;
+        line.append(pad, ' ');
+      } else {
+        line.append(pad, ' ');
+        line += cell;
+      }
+      if (c + 1 != widths.size()) {
+        line += "  ";
+      }
+    }
+    // Trim trailing spaces.
+    while (!line.empty() && line.back() == ' ') {
+      line.pop_back();
+    }
+    return line;
+  };
+
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w;
+  }
+  total += 2 * (widths.empty() ? 0 : widths.size() - 1);
+  std::string sep(total, '-');
+
+  std::string out = render_line(header_);
+  out += '\n';
+  out += sep;
+  out += '\n';
+  for (const Row& row : rows_) {
+    out += row.separator ? sep : render_line(row.cells);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace depsurf

@@ -1,0 +1,39 @@
+// ASCII table rendering for the benchmark binaries that regenerate the
+// paper's tables. Deliberately simple: fixed rows/columns, right-padded.
+#ifndef DEPSURF_SRC_UTIL_TABLE_H_
+#define DEPSURF_SRC_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace depsurf {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Adds a row; short rows are padded with empty cells, long rows rejected
+  // at render time.
+  void AddRow(std::vector<std::string> cells);
+  // Adds a horizontal separator at the current position.
+  void AddSeparator();
+
+  size_t num_rows() const { return rows_.size(); }
+
+  // Renders with column alignment; first column left-aligned, the rest
+  // right-aligned (matches the paper's numeric tables).
+  std::string Render() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_UTIL_TABLE_H_

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "src/bpf/bpf_builder.h"
+#include "src/bpf/bpf_object.h"
+
+namespace depsurf {
+namespace {
+
+TEST(HookSectionTest, ParseKnownForms) {
+  auto k = ParseHookSection("kprobe/do_unlinkat");
+  ASSERT_TRUE(k.has_value());
+  EXPECT_EQ(k->kind, HookKind::kKprobe);
+  EXPECT_EQ(k->target, "do_unlinkat");
+
+  auto kr = ParseHookSection("kretprobe/vfs_read");
+  ASSERT_TRUE(kr.has_value());
+  EXPECT_EQ(kr->kind, HookKind::kKretprobe);
+
+  auto tp = ParseHookSection("tracepoint/block/block_rq_issue");
+  ASSERT_TRUE(tp.has_value());
+  EXPECT_EQ(tp->kind, HookKind::kTracepoint);
+  EXPECT_EQ(tp->category, "block");
+  EXPECT_EQ(tp->target, "block_rq_issue");
+
+  auto tp2 = ParseHookSection("tp/sched/sched_switch");
+  ASSERT_TRUE(tp2.has_value());
+  EXPECT_EQ(tp2->target, "sched_switch");
+
+  auto raw = ParseHookSection("raw_tracepoint/sched_switch");
+  ASSERT_TRUE(raw.has_value());
+  EXPECT_EQ(raw->kind, HookKind::kRawTracepoint);
+
+  auto sc = ParseHookSection("tracepoint/syscalls/sys_enter_openat");
+  ASSERT_TRUE(sc.has_value());
+  EXPECT_EQ(sc->kind, HookKind::kSyscallEnter);
+  EXPECT_EQ(sc->target, "openat");
+
+  auto sx = ParseHookSection("tp/syscalls/sys_exit_close");
+  ASSERT_TRUE(sx.has_value());
+  EXPECT_EQ(sx->kind, HookKind::kSyscallExit);
+  EXPECT_EQ(sx->target, "close");
+
+  EXPECT_TRUE(ParseHookSection("lsm/file_open").has_value());
+  EXPECT_TRUE(ParseHookSection("fentry/vfs_fsync").has_value());
+  EXPECT_FALSE(ParseHookSection(".maps").has_value());
+  EXPECT_FALSE(ParseHookSection("license").has_value());
+  EXPECT_FALSE(ParseHookSection("tracepoint/onlyonepart").has_value());
+  EXPECT_FALSE(ParseHookSection("tracepoint/syscalls/unrelated").has_value());
+}
+
+TEST(HookSectionTest, RoundTripNames) {
+  for (const char* name :
+       {"kprobe/do_unlinkat", "kretprobe/vfs_read", "tracepoint/block/block_rq_issue",
+        "raw_tracepoint/sched_switch", "tracepoint/syscalls/sys_enter_openat",
+        "tracepoint/syscalls/sys_exit_close", "fentry/vfs_fsync", "lsm/file_open"}) {
+    auto hook = ParseHookSection(name);
+    ASSERT_TRUE(hook.has_value()) << name;
+    EXPECT_EQ(HookSectionName(*hook), name);
+  }
+}
+
+TEST(BpfBuilderTest, BuildsBiotopLikeObject) {
+  BpfObjectBuilder builder("biotop");
+  builder.AttachKprobe("blk_account_io_start")
+      .AttachKprobe("blk_account_io_done")
+      .AttachKprobe("blk_mq_start_request");
+  ASSERT_TRUE(builder.AccessField("request", "rq_disk", "struct gendisk *").ok());
+  ASSERT_TRUE(builder
+                  .AccessChain({{"request", "rq_disk", "struct gendisk *"},
+                                {"gendisk", "disk_name", "char[32]"}})
+                  .ok());
+  BpfObject object = builder.Build();
+  EXPECT_EQ(object.programs.size(), 3u);
+  EXPECT_EQ(object.relocs.size(), 2u);
+
+  // The chained access resolves to both links.
+  auto chain = ResolveReloc(object.btf, object.relocs[1]);
+  ASSERT_TRUE(chain.ok()) << chain.error().ToString();
+  ASSERT_EQ(chain->size(), 2u);
+  EXPECT_EQ((*chain)[0].struct_name, "request");
+  EXPECT_EQ((*chain)[0].field_name, "rq_disk");
+  EXPECT_EQ((*chain)[0].field_type, "struct gendisk *");
+  EXPECT_EQ((*chain)[1].struct_name, "gendisk");
+  EXPECT_EQ((*chain)[1].field_name, "disk_name");
+}
+
+TEST(BpfBuilderTest, FieldExistsCheck) {
+  BpfObjectBuilder builder("probe");
+  ASSERT_TRUE(builder.CheckFieldExists("request_queue", "disk", "struct gendisk *").ok());
+  BpfObject object = builder.Build();
+  ASSERT_EQ(object.relocs.size(), 1u);
+  EXPECT_EQ(object.relocs[0].kind, CoreRelocKind::kFieldExists);
+  auto access = ResolveReloc(object.btf, object.relocs[0]);
+  ASSERT_TRUE(access.ok());
+  EXPECT_TRUE((*access)[0].exists_check);
+}
+
+TEST(BpfBuilderTest, RepeatedAccessReusesFieldIndex) {
+  BpfObjectBuilder builder("tool");
+  ASSERT_TRUE(builder.AccessField("task_struct", "pid", "pid_t").ok());
+  ASSERT_TRUE(builder.AccessField("task_struct", "comm", "char[16]").ok());
+  ASSERT_TRUE(builder.AccessField("task_struct", "pid", "pid_t").ok());
+  BpfObject object = builder.Build();
+  ASSERT_EQ(object.relocs.size(), 3u);
+  EXPECT_EQ(object.relocs[0].access_str, "0:0");
+  EXPECT_EQ(object.relocs[1].access_str, "0:1");
+  EXPECT_EQ(object.relocs[2].access_str, "0:0");
+}
+
+TEST(BpfCodecTest, ObjectRoundTrip) {
+  BpfObjectBuilder builder("opensnoop");
+  builder.AttachSyscall("openat").AttachSyscall("openat", /*exit=*/true);
+  builder.AttachTracepoint("sched", "sched_process_exit");
+  ASSERT_TRUE(builder.AccessField("task_struct", "pid", "pid_t").ok());
+  BpfObject original = builder.Build();
+
+  auto bytes = WriteBpfObject(original);
+  ASSERT_TRUE(bytes.ok()) << bytes.error().ToString();
+  auto parsed = ParseBpfObject(bytes.TakeValue());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+
+  EXPECT_EQ(parsed->name, "opensnoop");
+  ASSERT_EQ(parsed->programs.size(), original.programs.size());
+  for (size_t i = 0; i < original.programs.size(); ++i) {
+    EXPECT_EQ(parsed->programs[i].hook, original.programs[i].hook);
+    EXPECT_EQ(parsed->programs[i].name, original.programs[i].name);
+  }
+  EXPECT_EQ(parsed->relocs, original.relocs);
+  EXPECT_EQ(parsed->btf.num_types(), original.btf.num_types());
+  auto access = ResolveReloc(parsed->btf, parsed->relocs[0]);
+  ASSERT_TRUE(access.ok());
+  EXPECT_EQ((*access)[0].struct_name, "task_struct");
+}
+
+TEST(BpfCodecTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseBpfObject({1, 2, 3}).ok());
+}
+
+TEST(ResolveRelocTest, ErrorsOnBadAccess) {
+  TypeGraph btf;
+  BtfTypeId i = btf.Int("int", 4);
+  BtfTypeId st = btf.Struct("s", 4, {{"x", i, 0}});
+  CoreReloc reloc{st, "0:7", CoreRelocKind::kFieldByteOffset};
+  EXPECT_FALSE(ResolveReloc(btf, reloc).ok());  // index out of range
+  CoreReloc through_int{st, "0:0:0", CoreRelocKind::kFieldByteOffset};
+  EXPECT_FALSE(ResolveReloc(btf, through_int).ok());  // int is not a struct
+  CoreReloc empty{st, "", CoreRelocKind::kFieldByteOffset};
+  auto result = ResolveReloc(btf, empty);
+  EXPECT_TRUE(!result.ok() || result->empty());
+  CoreReloc bad_index{st, "0:x", CoreRelocKind::kFieldByteOffset};
+  EXPECT_FALSE(ResolveReloc(btf, bad_index).ok());
+}
+
+}  // namespace
+}  // namespace depsurf

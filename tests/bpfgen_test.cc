@@ -1,0 +1,135 @@
+// Tests of the 53-program corpus: Table 7 reproduction end to end, through
+// binary images and binary eBPF objects.
+#include <gtest/gtest.h>
+
+#include "src/bpfgen/program_corpus.h"
+#include "src/bpfgen/table7.h"
+#include "src/core/depsurf.h"
+#include "src/kernelgen/compiler.h"
+#include "src/kernelgen/configurator.h"
+#include "src/kernelgen/corpus.h"
+#include "src/kernelgen/image_builder.h"
+
+namespace depsurf {
+namespace {
+
+constexpr uint64_t kSeed = 2025;
+// Program-corpus tests depend only on scripted constructs, so the
+// background population can be tiny.
+constexpr double kScale = 0.002;
+
+class ProgramCorpusFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new ProgramCorpus(BuildProgramCorpus());
+    KernelModel model(kSeed, kScale, BuildStudyCatalog());
+    dataset_ = new Dataset();
+    for (const BuildSpec& build : DependencyAnalysisCorpus()) {
+      auto kernel = model.Configure(build);
+      ASSERT_TRUE(kernel.ok());
+      auto bytes = BuildKernelImage(CompileKernel(kSeed, kernel.TakeValue()));
+      ASSERT_TRUE(bytes.ok());
+      auto surface = DependencySurface::Extract(bytes.TakeValue());
+      ASSERT_TRUE(surface.ok()) << surface.error().ToString();
+      dataset_->AddImage(build.Label(), *surface);
+    }
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    delete dataset_;
+    corpus_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static ProgramReport Analyze(const BpfObject& object) {
+    // Round-trip through object bytes, as DepSurf does.
+    auto bytes = WriteBpfObject(object);
+    EXPECT_TRUE(bytes.ok());
+    auto parsed = ParseBpfObject(bytes.TakeValue());
+    EXPECT_TRUE(parsed.ok()) << parsed.error().ToString();
+    auto deps = ExtractDependencySet(*parsed);
+    EXPECT_TRUE(deps.ok()) << deps.error().ToString();
+    return AnalyzeProgram(*dataset_, *deps);
+  }
+
+  static ProgramCorpus* corpus_;
+  static Dataset* dataset_;
+};
+
+ProgramCorpus* ProgramCorpusFixture::corpus_ = nullptr;
+Dataset* ProgramCorpusFixture::dataset_ = nullptr;
+
+TEST_F(ProgramCorpusFixture, CorpusShape) {
+  EXPECT_EQ(corpus_->objects.size(), 53u);
+  EXPECT_EQ(Table7Programs().size(), 53u);
+  for (size_t i = 0; i < corpus_->objects.size(); ++i) {
+    EXPECT_EQ(corpus_->objects[i].name, Table7Programs()[i].name);
+  }
+}
+
+TEST_F(ProgramCorpusFixture, DependencyTotalsMatchTable7) {
+  for (size_t i = 0; i < corpus_->objects.size(); ++i) {
+    const ProgramSpec& spec = Table7Programs()[i];
+    auto deps = ExtractDependencySet(corpus_->objects[i]);
+    ASSERT_TRUE(deps.ok()) << spec.name;
+    EXPECT_EQ(static_cast<int>(deps->NumFuncs()), spec.funcs.total) << spec.name;
+    EXPECT_EQ(static_cast<int>(deps->NumStructs()), spec.structs.total) << spec.name;
+    EXPECT_EQ(static_cast<int>(deps->NumFields()), spec.fields.total) << spec.name;
+    EXPECT_EQ(static_cast<int>(deps->NumTracepoints()), spec.tracepoints.total) << spec.name;
+    if (spec.name != "tracee") {
+      EXPECT_EQ(static_cast<int>(deps->NumSyscalls()), spec.syscalls.total) << spec.name;
+    } else {
+      EXPECT_GE(static_cast<int>(deps->NumSyscalls()), 400) << spec.name;
+    }
+  }
+}
+
+TEST_F(ProgramCorpusFixture, MismatchCountsMatchTable7) {
+  int mismatched_programs = 0;
+  for (size_t i = 0; i < corpus_->objects.size(); ++i) {
+    const ProgramSpec& spec = Table7Programs()[i];
+    ProgramReport report = Analyze(corpus_->objects[i]);
+    EXPECT_EQ(report.funcs.absent, spec.funcs.absent) << spec.name;
+    EXPECT_EQ(report.funcs.changed, spec.funcs.changed) << spec.name;
+    EXPECT_EQ(report.funcs.full_inline, spec.funcs.full_inline) << spec.name;
+    EXPECT_EQ(report.funcs.selective, spec.funcs.selective) << spec.name;
+    EXPECT_EQ(report.funcs.transformed, spec.funcs.transformed) << spec.name;
+    EXPECT_EQ(report.funcs.duplicated, spec.funcs.duplicated) << spec.name;
+    EXPECT_EQ(report.structs.absent, spec.structs.absent) << spec.name;
+    EXPECT_EQ(report.fields.absent, spec.fields.absent) << spec.name;
+    EXPECT_EQ(report.fields.changed, spec.fields.changed) << spec.name;
+    EXPECT_EQ(report.tracepoints.absent, spec.tracepoints.absent) << spec.name;
+    EXPECT_EQ(report.tracepoints.changed, spec.tracepoints.changed) << spec.name;
+    if (spec.name != "tracee") {
+      EXPECT_EQ(report.syscalls.absent, spec.syscalls.absent) << spec.name;
+    }
+    if (report.AnyMismatch()) {
+      ++mismatched_programs;
+    }
+    EXPECT_EQ(report.AnyMismatch(), !spec.ExpectClean()) << spec.name;
+  }
+  // The headline claim: 83% of the 53 programs are affected (44/53).
+  EXPECT_EQ(mismatched_programs, 44);
+}
+
+TEST_F(ProgramCorpusFixture, CleanProgramsAreTheNine) {
+  int clean = 0;
+  for (const ProgramSpec& spec : Table7Programs()) {
+    clean += spec.ExpectClean() ? 1 : 0;
+  }
+  EXPECT_EQ(clean, 9);  // "only 9 of the programs are free from mismatches"
+}
+
+TEST_F(ProgramCorpusFixture, BiotopMatrixTellsTheStory) {
+  ProgramReport report = Analyze(corpus_->objects[3]);  // biotop row
+  ASSERT_EQ(report.program, "biotop");
+  std::string matrix = report.RenderMatrix();
+  EXPECT_NE(matrix.find("blk_account_io_start"), std::string::npos);
+  EXPECT_NE(matrix.find("block_io_start"), std::string::npos);
+  EXPECT_NE(matrix.find("request::rq_disk"), std::string::npos);
+  // Implication: missing invocations (selective inline) are the worst case.
+  EXPECT_EQ(report.WorstImplication(), Implication::kIncompleteResult);
+}
+
+}  // namespace
+}  // namespace depsurf

@@ -1,0 +1,167 @@
+// Tests of the CO-RE relocation engine (the load-time half of Compile Once
+// Run Everywhere): offsets must be re-resolved by field name against the
+// target kernel's BTF, guards must degrade gracefully, and missing
+// constructs must fail the load.
+#include <gtest/gtest.h>
+
+#include "src/bpf/bpf_builder.h"
+#include "src/bpf/core_reloc_engine.h"
+#include "src/core/dependency_surface.h"
+#include "src/kernelgen/compiler.h"
+#include "src/kernelgen/configurator.h"
+#include "src/kernelgen/corpus.h"
+#include "src/kernelgen/image_builder.h"
+#include "src/kernelgen/scripted.h"
+#include "src/kmodel/type_lang.h"
+
+namespace depsurf {
+namespace {
+
+// A kernel BTF with struct request { q; rq_disk; __sector; } like old
+// kernels, where the program was compiled against a different layout.
+TypeGraph OldKernelBtf() {
+  TypeGraph graph;
+  TypeLowering lowering(graph);
+  StructSpec request;
+  request.name = "request";
+  request.fields = {{"q", "struct request_queue *"},
+                    {"rq_disk", "struct gendisk *"},
+                    {"__sector", "sector_t"}};
+  EXPECT_TRUE(lowering.DefineStruct(request).ok());
+  StructSpec gendisk;
+  gendisk.name = "gendisk";
+  gendisk.fields = {{"major", "int"}, {"disk_name", "char[32]"}};
+  EXPECT_TRUE(lowering.DefineStruct(gendisk).ok());
+  return graph;
+}
+
+TEST(CoreRelocEngineTest, OffsetsFollowTheTargetKernelLayout) {
+  // Program compiled against a *minimal* local struct: only the fields it
+  // reads, in its own order — the whole point of CO-RE.
+  BpfObjectBuilder builder("probe");
+  ASSERT_TRUE(builder.AccessField("request", "__sector", "sector_t").ok());
+  ASSERT_TRUE(builder.AccessField("request", "rq_disk", "struct gendisk *").ok());
+  BpfObject object = builder.Build();
+
+  TypeGraph kernel = OldKernelBtf();
+  // Local indices: __sector=0, rq_disk=1. Kernel layout: q@0, rq_disk@8,
+  // __sector@16.
+  auto sector = ResolveCoreReloc(object.btf, object.relocs[0], kernel);
+  ASSERT_TRUE(sector.ok()) << sector.error().ToString();
+  EXPECT_EQ(sector->outcome, RelocOutcome::kResolved);
+  EXPECT_EQ(sector->value, 16u);
+  auto disk = ResolveCoreReloc(object.btf, object.relocs[1], kernel);
+  ASSERT_TRUE(disk.ok());
+  EXPECT_EQ(disk->value, 8u);
+}
+
+TEST(CoreRelocEngineTest, MissingFieldFailsUnguardedLoads) {
+  BpfObjectBuilder builder("probe");
+  ASSERT_TRUE(builder.AccessField("request", "part", "struct block_device *").ok());
+  BpfObject object = builder.Build();
+  TypeGraph kernel = OldKernelBtf();  // no `part` before v5.16
+  auto result = ResolveCoreReloc(object.btf, object.relocs[0], kernel);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, RelocOutcome::kFieldMissing);
+
+  LoadResult load = SimulateLoad(object, kernel);
+  EXPECT_FALSE(load.loaded);
+  EXPECT_NE(load.failure.find("part"), std::string::npos);
+}
+
+TEST(CoreRelocEngineTest, GuardedAccessAnswersZeroInsteadOfFailing) {
+  BpfObjectBuilder builder("probe");
+  ASSERT_TRUE(builder.CheckFieldExists("request", "part", "struct block_device *").ok());
+  ASSERT_TRUE(builder.CheckFieldExists("request", "rq_disk", "struct gendisk *").ok());
+  BpfObject object = builder.Build();
+  TypeGraph kernel = OldKernelBtf();
+
+  auto missing = ResolveCoreReloc(object.btf, object.relocs[0], kernel);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->outcome, RelocOutcome::kGuardedAbsent);
+  EXPECT_EQ(missing->value, 0u);
+  auto present = ResolveCoreReloc(object.btf, object.relocs[1], kernel);
+  ASSERT_TRUE(present.ok());
+  EXPECT_EQ(present->outcome, RelocOutcome::kResolved);
+  EXPECT_EQ(present->value, 1u);
+
+  EXPECT_TRUE(SimulateLoad(object, kernel).loaded);
+}
+
+TEST(CoreRelocEngineTest, MissingStructFailsLoad) {
+  BpfObjectBuilder builder("probe");
+  ASSERT_TRUE(builder.AccessField("folio", "flags", "unsigned long").ok());
+  BpfObject object = builder.Build();
+  TypeGraph kernel = OldKernelBtf();  // pre-folio kernel
+  auto result = ResolveCoreReloc(object.btf, object.relocs[0], kernel);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, RelocOutcome::kTypeMissing);
+  EXPECT_FALSE(SimulateLoad(object, kernel).loaded);
+}
+
+TEST(CoreRelocEngineTest, TypeExistsQuery) {
+  BpfObjectBuilder builder("probe");
+  ASSERT_TRUE(builder.TouchStruct("request").ok());
+  ASSERT_TRUE(builder.TouchStruct("folio").ok());
+  BpfObject object = builder.Build();
+  TypeGraph kernel = OldKernelBtf();
+  auto request = ResolveCoreReloc(object.btf, object.relocs[0], kernel);
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->value, 1u);
+  auto folio = ResolveCoreReloc(object.btf, object.relocs[1], kernel);
+  ASSERT_TRUE(folio.ok());
+  EXPECT_EQ(folio->outcome, RelocOutcome::kGuardedAbsent);
+}
+
+TEST(CoreRelocEngineTest, ChainedAccessRestartsOffsetAfterPointerHop) {
+  BpfObjectBuilder builder("probe");
+  ASSERT_TRUE(builder
+                  .AccessChain({{"request", "rq_disk", "struct gendisk *"},
+                                {"gendisk", "disk_name", "char[32]"}})
+                  .ok());
+  BpfObject object = builder.Build();
+  TypeGraph kernel = OldKernelBtf();
+  auto result = ResolveCoreReloc(object.btf, object.relocs[0], kernel);
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  EXPECT_EQ(result->outcome, RelocOutcome::kResolved);
+  // disk_name sits after `major` in gendisk (padded to the 8-byte array
+  // alignment this corpus uses): offset 8, NOT 8 + rq_disk's 8 — the
+  // pointer hop restarts the offset in the pointee.
+  EXPECT_EQ(result->value, 8u);
+}
+
+TEST(CoreRelocEngineTest, FieldSizeRelocation) {
+  BpfObjectBuilder builder("probe");
+  ASSERT_TRUE(builder.AccessField("gendisk", "disk_name", "char[32]").ok());
+  BpfObject object = builder.Build();
+  object.relocs[0].kind = CoreRelocKind::kFieldSize;
+  TypeGraph kernel = OldKernelBtf();
+  auto result = ResolveCoreReloc(object.btf, object.relocs[0], kernel);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->value, 32u);
+}
+
+TEST(CoreRelocEngineTest, EndToEndAgainstGeneratedImages) {
+  // The biotop field reads must load on v5.4 (rq_disk present) and fail on
+  // v6.2 (rq_disk gone) — the classic relocation-error story, through real
+  // image bytes.
+  BpfObjectBuilder builder("probe");
+  ASSERT_TRUE(builder.AccessField("request", "rq_disk", "struct gendisk *").ok());
+  BpfObject object = builder.Build();
+
+  KernelModel model(2025, 0.005, BuildCuratedCatalog());
+  auto load_on = [&](KernelVersion version) {
+    auto kernel = model.Configure(MakeBuild(version));
+    EXPECT_TRUE(kernel.ok());
+    auto bytes = BuildKernelImage(CompileKernel(2025, kernel.TakeValue()));
+    EXPECT_TRUE(bytes.ok());
+    auto surface = DependencySurface::Extract(bytes.TakeValue());
+    EXPECT_TRUE(surface.ok());
+    return SimulateLoad(object, surface->btf());
+  };
+  EXPECT_TRUE(load_on(KernelVersion(5, 4)).loaded);
+  EXPECT_FALSE(load_on(KernelVersion(6, 2)).loaded);
+}
+
+}  // namespace
+}  // namespace depsurf

@@ -1,0 +1,94 @@
+// Round-trip and robustness tests for dataset serialization (the published
+// dataset artifact format).
+#include <gtest/gtest.h>
+
+#include "src/core/dataset_io.h"
+#include "src/core/depsurf.h"
+#include "src/kernelgen/compiler.h"
+#include "src/kernelgen/configurator.h"
+#include "src/kernelgen/corpus.h"
+#include "src/kernelgen/image_builder.h"
+#include "src/kernelgen/scripted.h"
+
+namespace depsurf {
+namespace {
+
+Dataset SmallDataset() {
+  Dataset dataset;
+  KernelModel model(2025, 0.01, BuildCuratedCatalog());
+  for (KernelVersion version : {KernelVersion(5, 4), KernelVersion(6, 2)}) {
+    auto kernel = model.Configure(MakeBuild(version));
+    EXPECT_TRUE(kernel.ok());
+    auto bytes = BuildKernelImage(CompileKernel(2025, kernel.TakeValue()));
+    EXPECT_TRUE(bytes.ok());
+    auto surface = DependencySurface::Extract(bytes.TakeValue());
+    EXPECT_TRUE(surface.ok());
+    dataset.AddImage(version.Tag(), *surface);
+  }
+  return dataset;
+}
+
+TEST(DatasetIoTest, RoundTripPreservesQueries) {
+  Dataset original = SmallDataset();
+  std::vector<uint8_t> bytes = SaveDataset(original);
+  EXPECT_GT(bytes.size(), 1000u);
+  auto loaded = LoadDataset(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().ToString();
+
+  EXPECT_EQ(loaded->num_images(), original.num_images());
+  EXPECT_EQ(loaded->labels(), original.labels());
+  // Query equivalence on scripted constructs with known behavior.
+  for (const char* func : {"blk_account_io_start", "vfs_fsync", "__page_cache_alloc",
+                           "get_order", "no_such_function"}) {
+    EXPECT_EQ(loaded->CheckFunc(func), original.CheckFunc(func)) << func;
+  }
+  EXPECT_EQ(loaded->CheckStruct("request"), original.CheckStruct("request"));
+  EXPECT_EQ(loaded->CheckField("request", "rq_disk", "struct gendisk *", false),
+            original.CheckField("request", "rq_disk", "struct gendisk *", false));
+  EXPECT_EQ(loaded->CheckTracepoint("block_rq_issue"), original.CheckTracepoint("block_rq_issue"));
+  EXPECT_EQ(loaded->CheckSyscall("openat2"), original.CheckSyscall("openat2"));
+  EXPECT_EQ(loaded->CheckRegisters(), original.CheckRegisters());
+
+  // Metadata survives.
+  EXPECT_EQ(loaded->images()[0].meta.version_minor, 4);
+  EXPECT_EQ(loaded->images()[1].meta.gcc_major, 12);
+  EXPECT_EQ(loaded->images()[0].meta.arch, "x86");
+}
+
+TEST(DatasetIoTest, RoundTripIsByteStable) {
+  Dataset original = SmallDataset();
+  std::vector<uint8_t> once = SaveDataset(original);
+  auto loaded = LoadDataset(once);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(SaveDataset(*loaded), once);
+}
+
+TEST(DatasetIoTest, RejectsCorruptedInput) {
+  std::vector<uint8_t> bytes = SaveDataset(SmallDataset());
+  // Bad magic.
+  std::vector<uint8_t> bad_magic = bytes;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(LoadDataset(bad_magic).ok());
+  // Truncations at various points must error, not crash.
+  for (size_t cut : {4ul, 64ul, bytes.size() / 2, bytes.size() - 3}) {
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + cut);
+    EXPECT_FALSE(LoadDataset(truncated).ok()) << cut;
+  }
+  EXPECT_FALSE(LoadDataset({}).ok());
+}
+
+TEST(DatasetIoTest, AnalysisOnLoadedDatasetMatches) {
+  Dataset original = SmallDataset();
+  auto loaded = LoadDataset(SaveDataset(original));
+  ASSERT_TRUE(loaded.ok());
+  DependencySet deps;
+  deps.program = "probe";
+  deps.funcs = {"blk_account_io_start", "blk_mq_start_request"};
+  deps.fields["request"]["rq_disk"] = FieldDep{"struct gendisk *", false};
+  ProgramReport a = AnalyzeProgram(original, deps);
+  ProgramReport b = AnalyzeProgram(*loaded, deps);
+  EXPECT_EQ(a.RenderMatrix(), b.RenderMatrix());
+}
+
+}  // namespace
+}  // namespace depsurf

@@ -1,0 +1,87 @@
+// Determinism and reproducibility guarantees of the corpus generator: the
+// same seed must produce bit-identical images; different seeds must not;
+// scale must change population sizes but not scripted behavior.
+#include <gtest/gtest.h>
+
+#include "src/core/depsurf.h"
+#include "src/kernelgen/compiler.h"
+#include "src/kernelgen/configurator.h"
+#include "src/kernelgen/corpus.h"
+#include "src/kernelgen/image_builder.h"
+#include "src/kernelgen/scripted.h"
+
+namespace depsurf {
+namespace {
+
+std::vector<uint8_t> ImageFor(uint64_t seed, double scale, const BuildSpec& build) {
+  KernelModel model(seed, scale, BuildCuratedCatalog());
+  auto kernel = model.Configure(build);
+  EXPECT_TRUE(kernel.ok());
+  auto bytes = BuildKernelImage(CompileKernel(seed, kernel.TakeValue()));
+  EXPECT_TRUE(bytes.ok());
+  return bytes.TakeValue();
+}
+
+TEST(DeterminismTest, SameSeedBitIdenticalImages) {
+  BuildSpec build = MakeBuild(KernelVersion(5, 4));
+  EXPECT_EQ(ImageFor(42, 0.01, build), ImageFor(42, 0.01, build));
+}
+
+TEST(DeterminismTest, DifferentSeedsDifferentImages) {
+  BuildSpec build = MakeBuild(KernelVersion(5, 4));
+  EXPECT_NE(ImageFor(42, 0.01, build), ImageFor(43, 0.01, build));
+}
+
+TEST(DeterminismTest, DifferentBuildsDifferentImages) {
+  EXPECT_NE(ImageFor(42, 0.01, MakeBuild(KernelVersion(5, 4))),
+            ImageFor(42, 0.01, MakeBuild(KernelVersion(5, 8))));
+  EXPECT_NE(ImageFor(42, 0.01, MakeBuild(KernelVersion(5, 4))),
+            ImageFor(42, 0.01, MakeBuild(KernelVersion(5, 4), Arch::kArm64)));
+}
+
+TEST(DeterminismTest, ScaleGrowsPopulationMonotonically) {
+  BuildSpec build = MakeBuild(KernelVersion(5, 4));
+  size_t prev = 0;
+  for (double scale : {0.005, 0.02, 0.05}) {
+    auto surface = DependencySurface::Extract(ImageFor(42, scale, build));
+    ASSERT_TRUE(surface.ok());
+    EXPECT_GT(surface->functions().size(), prev);
+    prev = surface->functions().size();
+  }
+}
+
+TEST(DeterminismTest, ScriptedConstructsIndependentOfScaleAndSeed) {
+  BuildSpec build = MakeBuild(KernelVersion(5, 4));
+  for (auto [seed, scale] : std::vector<std::pair<uint64_t, double>>{
+           {42, 0.005}, {42, 0.03}, {1234, 0.01}}) {
+    auto surface = DependencySurface::Extract(ImageFor(seed, scale, build));
+    ASSERT_TRUE(surface.ok());
+    const FunctionEntry* fsync = surface->FindFunction("vfs_fsync");
+    ASSERT_NE(fsync, nullptr);
+    EXPECT_TRUE(fsync->status.selectively_inlined);
+    const FunctionEntry* acct = surface->FindFunction("blk_account_io_start");
+    ASSERT_NE(acct, nullptr);
+    EXPECT_TRUE(acct->status.has_exact_symbol);
+    ASSERT_NE(surface->FindTracepoint("block_rq_issue"), nullptr);
+    EXPECT_TRUE(surface->HasSyscall("openat"));
+  }
+}
+
+TEST(DeterminismTest, SurfaceExtractionIsPure) {
+  BuildSpec build = MakeBuild(KernelVersion(5, 15));
+  std::vector<uint8_t> bytes = ImageFor(7, 0.01, build);
+  auto a = DependencySurface::Extract(bytes);
+  auto b = DependencySurface::Extract(bytes);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->functions().size(), b->functions().size());
+  Dataset da;
+  da.AddImage("x", *a);
+  Dataset db;
+  db.AddImage("x", *b);
+  EXPECT_EQ(da.CheckFunc("vfs_fsync"), db.CheckFunc("vfs_fsync"));
+  EXPECT_EQ(da.images()[0].pt_regs_hash, db.images()[0].pt_regs_hash);
+}
+
+}  // namespace
+}  // namespace depsurf

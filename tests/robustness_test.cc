@@ -1,0 +1,141 @@
+// Failure-injection tests: the analyzer consumes untrusted binary images
+// and object files; corruption at any offset must produce a structured
+// error (or a benign parse), never a crash, hang, or sanitizer fault.
+#include <gtest/gtest.h>
+
+#include "src/bpf/bpf_builder.h"
+#include "src/core/depsurf.h"
+#include "src/kernelgen/compiler.h"
+#include "src/kernelgen/configurator.h"
+#include "src/kernelgen/corpus.h"
+#include "src/kernelgen/image_builder.h"
+#include "src/kernelgen/scripted.h"
+#include "src/util/prng.h"
+
+namespace depsurf {
+namespace {
+
+std::vector<uint8_t> SmallImage() {
+  static std::vector<uint8_t> bytes = [] {
+    KernelModel model(7, 0.005, BuildCuratedCatalog());
+    auto kernel = model.Configure(MakeBuild(KernelVersion(5, 4)));
+    auto image = BuildKernelImage(CompileKernel(7, kernel.TakeValue()));
+    return image.TakeValue();
+  }();
+  return bytes;
+}
+
+std::vector<uint8_t> SmallObject() {
+  static std::vector<uint8_t> bytes = [] {
+    BpfObjectBuilder builder("probe");
+    builder.AttachKprobe("vfs_fsync").AttachTracepoint("block", "block_rq_issue");
+    Status ok = builder.AccessField("request", "rq_disk", "struct gendisk *");
+    (void)ok;
+    return WriteBpfObject(builder.Build()).TakeValue();
+  }();
+  return bytes;
+}
+
+class TruncationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TruncationTest, TruncatedImageNeverCrashes) {
+  std::vector<uint8_t> bytes = SmallImage();
+  // Truncate at a pseudo-random fraction derived from the parameter.
+  Prng prng(static_cast<uint64_t>(GetParam()));
+  size_t cut = prng.NextBelow(bytes.size());
+  bytes.resize(cut);
+  auto result = DependencySurface::Extract(std::move(bytes));
+  if (result.ok()) {
+    // A clean prefix parse is acceptable only for near-full cuts.
+    EXPECT_GT(cut, SmallImage().size() / 2);
+  }
+}
+
+TEST_P(TruncationTest, TruncatedObjectNeverCrashes) {
+  std::vector<uint8_t> bytes = SmallObject();
+  Prng prng(static_cast<uint64_t>(GetParam()) ^ 0x0b);
+  bytes.resize(prng.NextBelow(bytes.size()));
+  auto result = ParseBpfObject(std::move(bytes));
+  // ok-or-error; never a crash.
+  (void)result.ok();
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, TruncationTest, ::testing::Range(0, 24));
+
+class CorruptionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorruptionTest, BitFlippedImageNeverCrashes) {
+  std::vector<uint8_t> bytes = SmallImage();
+  Prng prng(static_cast<uint64_t>(GetParam()) * 7919);
+  // Flip a burst of bytes at a random position.
+  size_t pos = prng.NextBelow(bytes.size() - 16);
+  for (size_t i = 0; i < 16; ++i) {
+    bytes[pos + i] ^= static_cast<uint8_t>(prng.NextU64());
+  }
+  auto result = DependencySurface::Extract(std::move(bytes));
+  if (result.ok()) {
+    // Corruption in padding or unused regions can legitimately parse; the
+    // surface must still be internally consistent.
+    for (const auto& [name, entry] : result->functions()) {
+      EXPECT_EQ(name, entry.name);
+    }
+  }
+}
+
+TEST_P(CorruptionTest, BitFlippedObjectNeverCrashes) {
+  std::vector<uint8_t> bytes = SmallObject();
+  Prng prng(static_cast<uint64_t>(GetParam()) * 104729);
+  size_t pos = prng.NextBelow(bytes.size() - 8);
+  for (size_t i = 0; i < 8; ++i) {
+    bytes[pos + i] ^= static_cast<uint8_t>(prng.NextU64());
+  }
+  auto parsed = ParseBpfObject(std::move(bytes));
+  if (parsed.ok()) {
+    auto deps = ExtractDependencySet(*parsed);
+    (void)deps.ok();  // either way, no crash
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Flips, CorruptionTest, ::testing::Range(0, 24));
+
+TEST(RobustnessTest, RelocAgainstForeignBtfIsRejectedNotCrashed) {
+  // A reloc referencing a type id beyond the program's BTF must error.
+  BpfObject object;
+  object.name = "weird";
+  object.relocs.push_back(CoreReloc{999, "0:1", CoreRelocKind::kFieldByteOffset});
+  object.btf.Int("int", 4);
+  EXPECT_FALSE(ExtractDependencySet(object).ok());
+}
+
+TEST(RobustnessTest, DatasetQueriesOnUnknownNamesAreAbsentEverywhere) {
+  Dataset dataset;
+  KernelModel model(7, 0.005, BuildCuratedCatalog());
+  auto kernel = model.Configure(MakeBuild(KernelVersion(5, 4)));
+  auto image = BuildKernelImage(CompileKernel(7, kernel.TakeValue()));
+  auto surface = DependencySurface::Extract(image.TakeValue());
+  ASSERT_TRUE(surface.ok());
+  dataset.AddImage("v5.4", *surface);
+  for (const auto& cells :
+       {dataset.CheckFunc("no_such_function"), dataset.CheckStruct("no_such_struct"),
+        dataset.CheckTracepoint("no_such_event"), dataset.CheckSyscall("no_such_call"),
+        dataset.CheckField("no_such_struct", "f", "int", false)}) {
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_TRUE(cells[0].count(MismatchKind::kAbsent));
+  }
+  // Guarded unknown field: silent.
+  EXPECT_TRUE(dataset.CheckField("no_such_struct", "f", "int", true)[0].empty());
+}
+
+TEST(RobustnessTest, EmptyDatasetAnalysisIsWellFormed) {
+  Dataset dataset;
+  DependencySet deps;
+  deps.program = "empty";
+  deps.funcs.insert("anything");
+  ProgramReport report = AnalyzeProgram(dataset, deps);
+  EXPECT_EQ(report.image_labels.size(), 0u);
+  EXPECT_EQ(report.rows.size(), 1u);
+  EXPECT_FALSE(report.AnyMismatch());  // no images, no mismatch evidence
+}
+
+}  // namespace
+}  // namespace depsurf

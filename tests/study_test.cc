@@ -1,0 +1,53 @@
+#include "src/study/study.h"
+
+#include <gtest/gtest.h>
+
+namespace depsurf {
+namespace {
+
+TEST(StudyOptionsTest, ParsesFlags) {
+  const char* argv[] = {"bench", "--scale=0.25", "--seed=99"};
+  StudyOptions options = StudyOptions::FromArgs(3, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(options.scale, 0.25);
+  EXPECT_EQ(options.seed, 99u);
+}
+
+TEST(StudyOptionsTest, DefaultsAndBadValues) {
+  const char* argv0[] = {"bench"};
+  EXPECT_DOUBLE_EQ(StudyOptions::FromArgs(1, const_cast<char**>(argv0), 0.5).scale, 0.5);
+  const char* argv1[] = {"bench", "--scale=-3"};
+  EXPECT_DOUBLE_EQ(StudyOptions::FromArgs(2, const_cast<char**>(argv1), 0.5).scale, 0.5);
+  const char* argv2[] = {"bench", "--scale=99"};
+  EXPECT_DOUBLE_EQ(StudyOptions::FromArgs(2, const_cast<char**>(argv2), 0.5).scale, 0.5);
+}
+
+TEST(StudyTest, EndToEndSmallCorpus) {
+  Study study(StudyOptions{2025, 0.005});
+  std::vector<BuildSpec> corpus = {MakeBuild(KernelVersion(5, 4)),
+                                   MakeBuild(KernelVersion(6, 2))};
+  std::vector<std::string> seen;
+  auto dataset = study.BuildDataset(corpus, [&](const std::string& label) {
+    seen.push_back(label);
+  });
+  ASSERT_TRUE(dataset.ok()) << dataset.error().ToString();
+  EXPECT_EQ(dataset->num_images(), 2u);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "v5.4-x86-generic-gcc9");
+
+  auto report = study.Analyze(*dataset, "biotop");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->program, "biotop");
+  EXPECT_TRUE(report->AnyMismatch());  // v6.2 breaks the accounting pair
+
+  EXPECT_FALSE(study.Analyze(*dataset, "no_such_tool").ok());
+}
+
+TEST(StudyTest, RejectsNonStudyVersionInDataset) {
+  Study study(StudyOptions{2025, 0.005});
+  BuildSpec bad = MakeBuild(KernelVersion(5, 4));
+  bad.version = KernelVersion(4, 20);
+  EXPECT_FALSE(study.BuildDataset({bad}).ok());
+}
+
+}  // namespace
+}  // namespace depsurf

@@ -1,0 +1,131 @@
+#include "src/util/byte_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace depsurf {
+namespace {
+
+TEST(ByteWriterTest, LittleEndianLayout) {
+  ByteWriter w(Endian::kLittle);
+  w.WriteU16(0x1234);
+  w.WriteU32(0xdeadbeef);
+  const auto& b = w.bytes();
+  ASSERT_EQ(b.size(), 6u);
+  EXPECT_EQ(b[0], 0x34);
+  EXPECT_EQ(b[1], 0x12);
+  EXPECT_EQ(b[2], 0xef);
+  EXPECT_EQ(b[3], 0xbe);
+  EXPECT_EQ(b[4], 0xad);
+  EXPECT_EQ(b[5], 0xde);
+}
+
+TEST(ByteWriterTest, BigEndianLayout) {
+  ByteWriter w(Endian::kBig);
+  w.WriteU32(0x01020304);
+  const auto& b = w.bytes();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 0x01);
+  EXPECT_EQ(b[3], 0x04);
+}
+
+TEST(ByteWriterTest, AlignTo) {
+  ByteWriter w;
+  w.WriteU8(1);
+  w.AlignTo(4);
+  EXPECT_EQ(w.size(), 4u);
+  w.AlignTo(4);
+  EXPECT_EQ(w.size(), 4u);  // already aligned, no change
+}
+
+TEST(ByteWriterTest, PatchU32) {
+  ByteWriter w;
+  w.WriteU32(0);
+  w.WriteU32(7);
+  ASSERT_TRUE(w.PatchU32(0, 0xabcd).ok());
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.ReadU32().value(), 0xabcdu);
+  EXPECT_EQ(r.ReadU32().value(), 7u);
+}
+
+TEST(ByteWriterTest, PatchOutOfRangeFails) {
+  ByteWriter w;
+  w.WriteU16(1);
+  EXPECT_FALSE(w.PatchU32(0, 1).ok());
+}
+
+TEST(ByteReaderTest, RoundTripMixed) {
+  for (Endian e : {Endian::kLittle, Endian::kBig}) {
+    ByteWriter w(e);
+    w.WriteU8(0xff);
+    w.WriteU16(0xbeef);
+    w.WriteU32(0x12345678);
+    w.WriteU64(0xfedcba9876543210ull);
+    w.WriteCString("vfs_fsync");
+
+    ByteReader r(w.bytes(), e);
+    EXPECT_EQ(r.ReadU8().value(), 0xff);
+    EXPECT_EQ(r.ReadU16().value(), 0xbeef);
+    EXPECT_EQ(r.ReadU32().value(), 0x12345678u);
+    EXPECT_EQ(r.ReadU64().value(), 0xfedcba9876543210ull);
+    EXPECT_EQ(r.ReadCString().value(), "vfs_fsync");
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(ByteReaderTest, AddrWidths) {
+  ByteWriter w(Endian::kBig);
+  w.WriteAddr(0x11223344, 4);
+  w.WriteAddr(0x1122334455667788ull, 8);
+  ByteReader r(w.bytes(), Endian::kBig);
+  EXPECT_EQ(r.ReadAddr(4).value(), 0x11223344u);
+  EXPECT_EQ(r.ReadAddr(8).value(), 0x1122334455667788ull);
+  EXPECT_FALSE(ByteReader(w.bytes()).ReadAddr(3).ok());
+}
+
+TEST(ByteReaderTest, OutOfRangeReads) {
+  std::vector<uint8_t> two = {1, 2};
+  ByteReader r(two);
+  EXPECT_TRUE(r.ReadU16().ok());
+  EXPECT_FALSE(r.ReadU8().ok());
+  EXPECT_FALSE(r.ReadU32().ok());
+}
+
+TEST(ByteReaderTest, UnterminatedString) {
+  std::vector<uint8_t> bytes = {'a', 'b', 'c'};
+  ByteReader r(bytes);
+  EXPECT_FALSE(r.ReadCString().ok());
+}
+
+TEST(ByteReaderTest, CStringAtDoesNotMoveCursor) {
+  ByteWriter w;
+  w.WriteCString("first");
+  w.WriteCString("second");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.ReadCStringAt(6).value(), "second");
+  EXPECT_EQ(r.offset(), 0u);
+  EXPECT_FALSE(r.ReadCStringAt(100).ok());
+}
+
+TEST(ByteReaderTest, SliceBounds) {
+  ByteWriter w;
+  w.WriteU32(0xaabbccdd);
+  ByteReader r(w.bytes());
+  auto slice = r.Slice(1, 2);
+  ASSERT_TRUE(slice.ok());
+  EXPECT_EQ(slice->size(), 2u);
+  EXPECT_FALSE(r.Slice(3, 2).ok());
+  EXPECT_FALSE(r.Slice(5, 0).ok());
+}
+
+TEST(ByteReaderTest, SeekSkip) {
+  std::vector<uint8_t> bytes(10, 0);
+  ByteReader r(bytes);
+  EXPECT_TRUE(r.Seek(10).ok());
+  EXPECT_FALSE(r.Seek(11).ok());
+  ASSERT_TRUE(r.Seek(2).ok());
+  EXPECT_TRUE(r.Skip(8).ok());
+  EXPECT_FALSE(r.Skip(1).ok());
+}
+
+}  // namespace
+}  // namespace depsurf

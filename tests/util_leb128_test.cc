@@ -1,0 +1,95 @@
+#include "src/util/leb128.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace depsurf {
+namespace {
+
+TEST(Uleb128Test, KnownEncodings) {
+  ByteWriter w;
+  WriteUleb128(w, 624485);  // classic DWARF example: e5 8e 26
+  const auto& b = w.bytes();
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0], 0xe5);
+  EXPECT_EQ(b[1], 0x8e);
+  EXPECT_EQ(b[2], 0x26);
+}
+
+TEST(Sleb128Test, KnownEncodings) {
+  ByteWriter w;
+  WriteSleb128(w, -123456);  // c0 bb 78
+  const auto& b = w.bytes();
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0], 0xc0);
+  EXPECT_EQ(b[1], 0xbb);
+  EXPECT_EQ(b[2], 0x78);
+}
+
+class LebRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LebRoundTripTest, Unsigned) {
+  uint64_t v = GetParam();
+  ByteWriter w;
+  WriteUleb128(w, v);
+  ByteReader r(w.bytes());
+  auto decoded = ReadUleb128(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), v);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST_P(LebRoundTripTest, SignedBothSigns) {
+  for (int64_t v : {static_cast<int64_t>(GetParam()), -static_cast<int64_t>(GetParam())}) {
+    ByteWriter w;
+    WriteSleb128(w, v);
+    ByteReader r(w.bytes());
+    auto decoded = ReadSleb128(r);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, LebRoundTripTest,
+                         ::testing::Values(0ull, 1ull, 63ull, 64ull, 127ull, 128ull, 129ull,
+                                           255ull, 300ull, 16383ull, 16384ull, 0xffffffffull,
+                                           0x7fffffffffffffffull));
+
+TEST(Sleb128Test, ExtremesRoundTrip) {
+  for (int64_t v : {std::numeric_limits<int64_t>::min(), std::numeric_limits<int64_t>::max()}) {
+    ByteWriter w;
+    WriteSleb128(w, v);
+    ByteReader r(w.bytes());
+    EXPECT_EQ(ReadSleb128(r).value(), v);
+  }
+  ByteWriter w;
+  WriteUleb128(w, std::numeric_limits<uint64_t>::max());
+  ByteReader r(w.bytes());
+  EXPECT_EQ(ReadUleb128(r).value(), std::numeric_limits<uint64_t>::max());
+}
+
+TEST(Uleb128Test, RejectsOverlongEncoding) {
+  // 11 continuation bytes: too long for 64 bits.
+  std::vector<uint8_t> bytes(11, 0x80);
+  bytes.push_back(0x00);
+  ByteReader r(bytes);
+  EXPECT_FALSE(ReadUleb128(r).ok());
+}
+
+TEST(Uleb128Test, RejectsOverflowInTenthByte) {
+  // 9 continuation bytes then a final byte with more than 1 significant bit.
+  std::vector<uint8_t> bytes(9, 0x80);
+  bytes.push_back(0x02);
+  ByteReader r(bytes);
+  EXPECT_FALSE(ReadUleb128(r).ok());
+}
+
+TEST(Uleb128Test, TruncatedInputFails) {
+  std::vector<uint8_t> bytes = {0x80, 0x80};
+  ByteReader r(bytes);
+  EXPECT_FALSE(ReadUleb128(r).ok());
+}
+
+}  // namespace
+}  // namespace depsurf
