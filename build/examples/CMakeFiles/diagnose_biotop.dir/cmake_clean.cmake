@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnose_biotop.dir/diagnose_biotop.cc.o"
+  "CMakeFiles/diagnose_biotop.dir/diagnose_biotop.cc.o.d"
+  "diagnose_biotop"
+  "diagnose_biotop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnose_biotop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fix_readahead.dir/fix_readahead.cc.o"
+  "CMakeFiles/fix_readahead.dir/fix_readahead.cc.o.d"
+  "fix_readahead"
+  "fix_readahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fix_readahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survey_corpus.dir/survey_corpus.cc.o"
+  "CMakeFiles/survey_corpus.dir/survey_corpus.cc.o.d"
+  "survey_corpus"
+  "survey_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survey_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

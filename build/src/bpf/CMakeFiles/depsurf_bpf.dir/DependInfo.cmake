@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bpf/bpf_builder.cc" "src/bpf/CMakeFiles/depsurf_bpf.dir/bpf_builder.cc.o" "gcc" "src/bpf/CMakeFiles/depsurf_bpf.dir/bpf_builder.cc.o.d"
+  "/root/repo/src/bpf/bpf_codec.cc" "src/bpf/CMakeFiles/depsurf_bpf.dir/bpf_codec.cc.o" "gcc" "src/bpf/CMakeFiles/depsurf_bpf.dir/bpf_codec.cc.o.d"
+  "/root/repo/src/bpf/bpf_object.cc" "src/bpf/CMakeFiles/depsurf_bpf.dir/bpf_object.cc.o" "gcc" "src/bpf/CMakeFiles/depsurf_bpf.dir/bpf_object.cc.o.d"
+  "/root/repo/src/bpf/core_reloc_engine.cc" "src/bpf/CMakeFiles/depsurf_bpf.dir/core_reloc_engine.cc.o" "gcc" "src/bpf/CMakeFiles/depsurf_bpf.dir/core_reloc_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kmodel/CMakeFiles/depsurf_kmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/btf/CMakeFiles/depsurf_btf.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/depsurf_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/depsurf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

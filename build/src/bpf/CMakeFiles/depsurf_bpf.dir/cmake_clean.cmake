@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depsurf_bpf.dir/bpf_builder.cc.o"
+  "CMakeFiles/depsurf_bpf.dir/bpf_builder.cc.o.d"
+  "CMakeFiles/depsurf_bpf.dir/bpf_codec.cc.o"
+  "CMakeFiles/depsurf_bpf.dir/bpf_codec.cc.o.d"
+  "CMakeFiles/depsurf_bpf.dir/bpf_object.cc.o"
+  "CMakeFiles/depsurf_bpf.dir/bpf_object.cc.o.d"
+  "CMakeFiles/depsurf_bpf.dir/core_reloc_engine.cc.o"
+  "CMakeFiles/depsurf_bpf.dir/core_reloc_engine.cc.o.d"
+  "libdepsurf_bpf.a"
+  "libdepsurf_bpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depsurf_bpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

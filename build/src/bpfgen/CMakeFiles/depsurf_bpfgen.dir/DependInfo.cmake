@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bpfgen/dep_pools.cc" "src/bpfgen/CMakeFiles/depsurf_bpfgen.dir/dep_pools.cc.o" "gcc" "src/bpfgen/CMakeFiles/depsurf_bpfgen.dir/dep_pools.cc.o.d"
+  "/root/repo/src/bpfgen/program_corpus.cc" "src/bpfgen/CMakeFiles/depsurf_bpfgen.dir/program_corpus.cc.o" "gcc" "src/bpfgen/CMakeFiles/depsurf_bpfgen.dir/program_corpus.cc.o.d"
+  "/root/repo/src/bpfgen/table7.cc" "src/bpfgen/CMakeFiles/depsurf_bpfgen.dir/table7.cc.o" "gcc" "src/bpfgen/CMakeFiles/depsurf_bpfgen.dir/table7.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bpf/CMakeFiles/depsurf_bpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelgen/CMakeFiles/depsurf_kernelgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/kmodel/CMakeFiles/depsurf_kmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/depsurf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/btf/CMakeFiles/depsurf_btf.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/depsurf_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dwarf/CMakeFiles/depsurf_dwarf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

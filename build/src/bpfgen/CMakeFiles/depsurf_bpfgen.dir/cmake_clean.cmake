@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depsurf_bpfgen.dir/dep_pools.cc.o"
+  "CMakeFiles/depsurf_bpfgen.dir/dep_pools.cc.o.d"
+  "CMakeFiles/depsurf_bpfgen.dir/program_corpus.cc.o"
+  "CMakeFiles/depsurf_bpfgen.dir/program_corpus.cc.o.d"
+  "CMakeFiles/depsurf_bpfgen.dir/table7.cc.o"
+  "CMakeFiles/depsurf_bpfgen.dir/table7.cc.o.d"
+  "libdepsurf_bpfgen.a"
+  "libdepsurf_bpfgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depsurf_bpfgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for depsurf_bpfgen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/btf/btf.cc" "src/btf/CMakeFiles/depsurf_btf.dir/btf.cc.o" "gcc" "src/btf/CMakeFiles/depsurf_btf.dir/btf.cc.o.d"
+  "/root/repo/src/btf/btf_codec.cc" "src/btf/CMakeFiles/depsurf_btf.dir/btf_codec.cc.o" "gcc" "src/btf/CMakeFiles/depsurf_btf.dir/btf_codec.cc.o.d"
+  "/root/repo/src/btf/btf_compare.cc" "src/btf/CMakeFiles/depsurf_btf.dir/btf_compare.cc.o" "gcc" "src/btf/CMakeFiles/depsurf_btf.dir/btf_compare.cc.o.d"
+  "/root/repo/src/btf/btf_print.cc" "src/btf/CMakeFiles/depsurf_btf.dir/btf_print.cc.o" "gcc" "src/btf/CMakeFiles/depsurf_btf.dir/btf_print.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/depsurf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depsurf_btf.dir/btf.cc.o"
+  "CMakeFiles/depsurf_btf.dir/btf.cc.o.d"
+  "CMakeFiles/depsurf_btf.dir/btf_codec.cc.o"
+  "CMakeFiles/depsurf_btf.dir/btf_codec.cc.o.d"
+  "CMakeFiles/depsurf_btf.dir/btf_compare.cc.o"
+  "CMakeFiles/depsurf_btf.dir/btf_compare.cc.o.d"
+  "CMakeFiles/depsurf_btf.dir/btf_print.cc.o"
+  "CMakeFiles/depsurf_btf.dir/btf_print.cc.o.d"
+  "libdepsurf_btf.a"
+  "libdepsurf_btf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depsurf_btf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dataset.cc" "src/core/CMakeFiles/depsurf.dir/dataset.cc.o" "gcc" "src/core/CMakeFiles/depsurf.dir/dataset.cc.o.d"
+  "/root/repo/src/core/dataset_io.cc" "src/core/CMakeFiles/depsurf.dir/dataset_io.cc.o" "gcc" "src/core/CMakeFiles/depsurf.dir/dataset_io.cc.o.d"
+  "/root/repo/src/core/dependency_set.cc" "src/core/CMakeFiles/depsurf.dir/dependency_set.cc.o" "gcc" "src/core/CMakeFiles/depsurf.dir/dependency_set.cc.o.d"
+  "/root/repo/src/core/dependency_surface.cc" "src/core/CMakeFiles/depsurf.dir/dependency_surface.cc.o" "gcc" "src/core/CMakeFiles/depsurf.dir/dependency_surface.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/depsurf.dir/report.cc.o" "gcc" "src/core/CMakeFiles/depsurf.dir/report.cc.o.d"
+  "/root/repo/src/core/surface_diff.cc" "src/core/CMakeFiles/depsurf.dir/surface_diff.cc.o" "gcc" "src/core/CMakeFiles/depsurf.dir/surface_diff.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bpf/CMakeFiles/depsurf_bpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dwarf/CMakeFiles/depsurf_dwarf.dir/DependInfo.cmake"
+  "/root/repo/build/src/btf/CMakeFiles/depsurf_btf.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/depsurf_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/depsurf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/kmodel/CMakeFiles/depsurf_kmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

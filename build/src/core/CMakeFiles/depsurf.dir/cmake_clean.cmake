@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depsurf.dir/dataset.cc.o"
+  "CMakeFiles/depsurf.dir/dataset.cc.o.d"
+  "CMakeFiles/depsurf.dir/dataset_io.cc.o"
+  "CMakeFiles/depsurf.dir/dataset_io.cc.o.d"
+  "CMakeFiles/depsurf.dir/dependency_set.cc.o"
+  "CMakeFiles/depsurf.dir/dependency_set.cc.o.d"
+  "CMakeFiles/depsurf.dir/dependency_surface.cc.o"
+  "CMakeFiles/depsurf.dir/dependency_surface.cc.o.d"
+  "CMakeFiles/depsurf.dir/report.cc.o"
+  "CMakeFiles/depsurf.dir/report.cc.o.d"
+  "CMakeFiles/depsurf.dir/surface_diff.cc.o"
+  "CMakeFiles/depsurf.dir/surface_diff.cc.o.d"
+  "libdepsurf.a"
+  "libdepsurf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depsurf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dwarf/dwarf.cc" "src/dwarf/CMakeFiles/depsurf_dwarf.dir/dwarf.cc.o" "gcc" "src/dwarf/CMakeFiles/depsurf_dwarf.dir/dwarf.cc.o.d"
+  "/root/repo/src/dwarf/dwarf_codec.cc" "src/dwarf/CMakeFiles/depsurf_dwarf.dir/dwarf_codec.cc.o" "gcc" "src/dwarf/CMakeFiles/depsurf_dwarf.dir/dwarf_codec.cc.o.d"
+  "/root/repo/src/dwarf/function_view.cc" "src/dwarf/CMakeFiles/depsurf_dwarf.dir/function_view.cc.o" "gcc" "src/dwarf/CMakeFiles/depsurf_dwarf.dir/function_view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/depsurf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

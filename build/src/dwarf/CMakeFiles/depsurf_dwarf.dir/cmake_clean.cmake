@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depsurf_dwarf.dir/dwarf.cc.o"
+  "CMakeFiles/depsurf_dwarf.dir/dwarf.cc.o.d"
+  "CMakeFiles/depsurf_dwarf.dir/dwarf_codec.cc.o"
+  "CMakeFiles/depsurf_dwarf.dir/dwarf_codec.cc.o.d"
+  "CMakeFiles/depsurf_dwarf.dir/function_view.cc.o"
+  "CMakeFiles/depsurf_dwarf.dir/function_view.cc.o.d"
+  "libdepsurf_dwarf.a"
+  "libdepsurf_dwarf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depsurf_dwarf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

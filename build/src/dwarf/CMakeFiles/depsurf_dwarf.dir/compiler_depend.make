@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for depsurf_dwarf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for depsurf_dwarf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depsurf_elf.dir/elf_reader.cc.o"
+  "CMakeFiles/depsurf_elf.dir/elf_reader.cc.o.d"
+  "CMakeFiles/depsurf_elf.dir/elf_writer.cc.o"
+  "CMakeFiles/depsurf_elf.dir/elf_writer.cc.o.d"
+  "libdepsurf_elf.a"
+  "libdepsurf_elf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depsurf_elf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

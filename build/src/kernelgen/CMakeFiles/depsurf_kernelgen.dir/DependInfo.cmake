@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernelgen/compiler.cc" "src/kernelgen/CMakeFiles/depsurf_kernelgen.dir/compiler.cc.o" "gcc" "src/kernelgen/CMakeFiles/depsurf_kernelgen.dir/compiler.cc.o.d"
+  "/root/repo/src/kernelgen/configurator.cc" "src/kernelgen/CMakeFiles/depsurf_kernelgen.dir/configurator.cc.o" "gcc" "src/kernelgen/CMakeFiles/depsurf_kernelgen.dir/configurator.cc.o.d"
+  "/root/repo/src/kernelgen/corpus.cc" "src/kernelgen/CMakeFiles/depsurf_kernelgen.dir/corpus.cc.o" "gcc" "src/kernelgen/CMakeFiles/depsurf_kernelgen.dir/corpus.cc.o.d"
+  "/root/repo/src/kernelgen/evolution.cc" "src/kernelgen/CMakeFiles/depsurf_kernelgen.dir/evolution.cc.o" "gcc" "src/kernelgen/CMakeFiles/depsurf_kernelgen.dir/evolution.cc.o.d"
+  "/root/repo/src/kernelgen/image_builder.cc" "src/kernelgen/CMakeFiles/depsurf_kernelgen.dir/image_builder.cc.o" "gcc" "src/kernelgen/CMakeFiles/depsurf_kernelgen.dir/image_builder.cc.o.d"
+  "/root/repo/src/kernelgen/name_corpus.cc" "src/kernelgen/CMakeFiles/depsurf_kernelgen.dir/name_corpus.cc.o" "gcc" "src/kernelgen/CMakeFiles/depsurf_kernelgen.dir/name_corpus.cc.o.d"
+  "/root/repo/src/kernelgen/rates.cc" "src/kernelgen/CMakeFiles/depsurf_kernelgen.dir/rates.cc.o" "gcc" "src/kernelgen/CMakeFiles/depsurf_kernelgen.dir/rates.cc.o.d"
+  "/root/repo/src/kernelgen/scripted.cc" "src/kernelgen/CMakeFiles/depsurf_kernelgen.dir/scripted.cc.o" "gcc" "src/kernelgen/CMakeFiles/depsurf_kernelgen.dir/scripted.cc.o.d"
+  "/root/repo/src/kernelgen/syscalls.cc" "src/kernelgen/CMakeFiles/depsurf_kernelgen.dir/syscalls.cc.o" "gcc" "src/kernelgen/CMakeFiles/depsurf_kernelgen.dir/syscalls.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kmodel/CMakeFiles/depsurf_kmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dwarf/CMakeFiles/depsurf_dwarf.dir/DependInfo.cmake"
+  "/root/repo/build/src/btf/CMakeFiles/depsurf_btf.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/depsurf_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/depsurf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

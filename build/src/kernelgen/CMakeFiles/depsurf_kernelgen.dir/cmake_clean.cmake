@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depsurf_kernelgen.dir/compiler.cc.o"
+  "CMakeFiles/depsurf_kernelgen.dir/compiler.cc.o.d"
+  "CMakeFiles/depsurf_kernelgen.dir/configurator.cc.o"
+  "CMakeFiles/depsurf_kernelgen.dir/configurator.cc.o.d"
+  "CMakeFiles/depsurf_kernelgen.dir/corpus.cc.o"
+  "CMakeFiles/depsurf_kernelgen.dir/corpus.cc.o.d"
+  "CMakeFiles/depsurf_kernelgen.dir/evolution.cc.o"
+  "CMakeFiles/depsurf_kernelgen.dir/evolution.cc.o.d"
+  "CMakeFiles/depsurf_kernelgen.dir/image_builder.cc.o"
+  "CMakeFiles/depsurf_kernelgen.dir/image_builder.cc.o.d"
+  "CMakeFiles/depsurf_kernelgen.dir/name_corpus.cc.o"
+  "CMakeFiles/depsurf_kernelgen.dir/name_corpus.cc.o.d"
+  "CMakeFiles/depsurf_kernelgen.dir/rates.cc.o"
+  "CMakeFiles/depsurf_kernelgen.dir/rates.cc.o.d"
+  "CMakeFiles/depsurf_kernelgen.dir/scripted.cc.o"
+  "CMakeFiles/depsurf_kernelgen.dir/scripted.cc.o.d"
+  "CMakeFiles/depsurf_kernelgen.dir/syscalls.cc.o"
+  "CMakeFiles/depsurf_kernelgen.dir/syscalls.cc.o.d"
+  "libdepsurf_kernelgen.a"
+  "libdepsurf_kernelgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depsurf_kernelgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for depsurf_kernelgen.
+# This may be replaced when dependencies are built.

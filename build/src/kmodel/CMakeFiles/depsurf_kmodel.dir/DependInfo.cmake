@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kmodel/build_spec.cc" "src/kmodel/CMakeFiles/depsurf_kmodel.dir/build_spec.cc.o" "gcc" "src/kmodel/CMakeFiles/depsurf_kmodel.dir/build_spec.cc.o.d"
+  "/root/repo/src/kmodel/kernel_version.cc" "src/kmodel/CMakeFiles/depsurf_kmodel.dir/kernel_version.cc.o" "gcc" "src/kmodel/CMakeFiles/depsurf_kmodel.dir/kernel_version.cc.o.d"
+  "/root/repo/src/kmodel/type_lang.cc" "src/kmodel/CMakeFiles/depsurf_kmodel.dir/type_lang.cc.o" "gcc" "src/kmodel/CMakeFiles/depsurf_kmodel.dir/type_lang.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/depsurf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/depsurf_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/btf/CMakeFiles/depsurf_btf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depsurf_kmodel.dir/build_spec.cc.o"
+  "CMakeFiles/depsurf_kmodel.dir/build_spec.cc.o.d"
+  "CMakeFiles/depsurf_kmodel.dir/kernel_version.cc.o"
+  "CMakeFiles/depsurf_kmodel.dir/kernel_version.cc.o.d"
+  "CMakeFiles/depsurf_kmodel.dir/type_lang.cc.o"
+  "CMakeFiles/depsurf_kmodel.dir/type_lang.cc.o.d"
+  "libdepsurf_kmodel.a"
+  "libdepsurf_kmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depsurf_kmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

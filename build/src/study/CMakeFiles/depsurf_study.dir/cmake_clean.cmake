@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depsurf_study.dir/study.cc.o"
+  "CMakeFiles/depsurf_study.dir/study.cc.o.d"
+  "libdepsurf_study.a"
+  "libdepsurf_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depsurf_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depsurf_cli.dir/depsurf_cli.cc.o"
+  "CMakeFiles/depsurf_cli.dir/depsurf_cli.cc.o.d"
+  "depsurf"
+  "depsurf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depsurf_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

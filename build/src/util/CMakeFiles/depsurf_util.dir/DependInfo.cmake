@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/byte_buffer.cc" "src/util/CMakeFiles/depsurf_util.dir/byte_buffer.cc.o" "gcc" "src/util/CMakeFiles/depsurf_util.dir/byte_buffer.cc.o.d"
+  "/root/repo/src/util/error.cc" "src/util/CMakeFiles/depsurf_util.dir/error.cc.o" "gcc" "src/util/CMakeFiles/depsurf_util.dir/error.cc.o.d"
+  "/root/repo/src/util/leb128.cc" "src/util/CMakeFiles/depsurf_util.dir/leb128.cc.o" "gcc" "src/util/CMakeFiles/depsurf_util.dir/leb128.cc.o.d"
+  "/root/repo/src/util/prng.cc" "src/util/CMakeFiles/depsurf_util.dir/prng.cc.o" "gcc" "src/util/CMakeFiles/depsurf_util.dir/prng.cc.o.d"
+  "/root/repo/src/util/str_util.cc" "src/util/CMakeFiles/depsurf_util.dir/str_util.cc.o" "gcc" "src/util/CMakeFiles/depsurf_util.dir/str_util.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/util/CMakeFiles/depsurf_util.dir/table.cc.o" "gcc" "src/util/CMakeFiles/depsurf_util.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depsurf_util.dir/byte_buffer.cc.o"
+  "CMakeFiles/depsurf_util.dir/byte_buffer.cc.o.d"
+  "CMakeFiles/depsurf_util.dir/error.cc.o"
+  "CMakeFiles/depsurf_util.dir/error.cc.o.d"
+  "CMakeFiles/depsurf_util.dir/leb128.cc.o"
+  "CMakeFiles/depsurf_util.dir/leb128.cc.o.d"
+  "CMakeFiles/depsurf_util.dir/prng.cc.o"
+  "CMakeFiles/depsurf_util.dir/prng.cc.o.d"
+  "CMakeFiles/depsurf_util.dir/str_util.cc.o"
+  "CMakeFiles/depsurf_util.dir/str_util.cc.o.d"
+  "CMakeFiles/depsurf_util.dir/table.cc.o"
+  "CMakeFiles/depsurf_util.dir/table.cc.o.d"
+  "libdepsurf_util.a"
+  "libdepsurf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depsurf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpfgen_test.dir/bpfgen_test.cc.o"
+  "CMakeFiles/bpfgen_test.dir/bpfgen_test.cc.o.d"
+  "bpfgen_test"
+  "bpfgen_test.pdb"
+  "bpfgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpfgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btf_test.dir/btf_test.cc.o"
+  "CMakeFiles/btf_test.dir/btf_test.cc.o.d"
+  "btf_test"
+  "btf_test.pdb"
+  "btf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

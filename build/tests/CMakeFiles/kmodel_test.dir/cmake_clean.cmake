@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmodel_test.dir/kmodel_test.cc.o"
+  "CMakeFiles/kmodel_test.dir/kmodel_test.cc.o.d"
+  "kmodel_test"
+  "kmodel_test.pdb"
+  "kmodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_codec_test.dir/property_codec_test.cc.o"
+  "CMakeFiles/property_codec_test.dir/property_codec_test.cc.o.d"
+  "property_codec_test"
+  "property_codec_test.pdb"
+  "property_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

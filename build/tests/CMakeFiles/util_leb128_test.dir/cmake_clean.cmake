@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_leb128_test.dir/util_leb128_test.cc.o"
+  "CMakeFiles/util_leb128_test.dir/util_leb128_test.cc.o.d"
+  "util_leb128_test"
+  "util_leb128_test.pdb"
+  "util_leb128_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_leb128_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

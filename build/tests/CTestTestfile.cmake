@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_byte_buffer_test[1]_include.cmake")
+include("/root/repo/build/tests/util_leb128_test[1]_include.cmake")
+include("/root/repo/build/tests/util_prng_test[1]_include.cmake")
+include("/root/repo/build/tests/util_str_table_test[1]_include.cmake")
+include("/root/repo/build/tests/elf_test[1]_include.cmake")
+include("/root/repo/build/tests/btf_test[1]_include.cmake")
+include("/root/repo/build/tests/dwarf_test[1]_include.cmake")
+include("/root/repo/build/tests/kmodel_test[1]_include.cmake")
+include("/root/repo/build/tests/kernelgen_test[1]_include.cmake")
+include("/root/repo/build/tests/bpf_test[1]_include.cmake")
+include("/root/repo/build/tests/core_surface_test[1]_include.cmake")
+include("/root/repo/build/tests/core_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/bpfgen_test[1]_include.cmake")
+include("/root/repo/build/tests/property_codec_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
+include("/root/repo/build/tests/study_test[1]_include.cmake")
+include("/root/repo/build/tests/core_reloc_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/dataset_io_test[1]_include.cmake")
