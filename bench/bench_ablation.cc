@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "src/bpf/bpf_builder.h"
+#include "src/obs/bench_report.h"
 #include "src/study/study.h"
 #include "src/util/str_util.h"
 #include "src/util/table.h"
@@ -31,6 +32,8 @@ Result<DependencySurface> SurfaceWithRates(const Study& study, const BuildSpec& 
 
 int main(int argc, char** argv) {
   Study study(StudyOptions::FromArgs(argc, argv, /*default_scale=*/0.25));
+  obs::BenchReporter bench("ablation");
+  bench.AddNote("scale", StrFormat("%.2f", study.options().scale));
   printf("ablations (scale %.2f)\n\n", study.options().scale);
   constexpr KernelVersion kV54{5, 4};
 
@@ -38,25 +41,29 @@ int main(int argc, char** argv) {
   printf("A. inline aggressiveness sweep (full_inline_static rate):\n");
   TextTable sweep({"full-inline rate", "#funcs (debug info)", "attachable", "fully inlined",
                    "selectively inlined"});
-  for (double rate : {0.0, 0.25, 0.52, 0.75, 1.0}) {
-    CompilationRates rates;  // defaults
-    rates.full_inline_static = rate;
-    auto surface = SurfaceWithRates(study, MakeBuild(kV54), rates);
-    if (!surface.ok()) {
-      fprintf(stderr, "%s\n", surface.error().ToString().c_str());
-      return 1;
+  {
+    auto stage = bench.Stage("inline_sweep");
+    for (double rate : {0.0, 0.25, 0.52, 0.75, 1.0}) {
+      CompilationRates rates;  // defaults
+      rates.full_inline_static = rate;
+      auto surface = SurfaceWithRates(study, MakeBuild(kV54), rates);
+      if (!surface.ok()) {
+        fprintf(stderr, "%s\n", surface.error().ToString().c_str());
+        return 1;
+      }
+      stage.add_items();
+      size_t total = surface->functions().size();
+      size_t attachable = 0, full = 0, selective = 0;
+      for (const auto& [name, entry] : surface->functions()) {
+        (void)name;
+        attachable += entry.status.has_exact_symbol ? 1 : 0;
+        full += entry.status.fully_inlined ? 1 : 0;
+        selective += entry.status.selectively_inlined ? 1 : 0;
+      }
+      sweep.AddRow({StrFormat("%.2f", rate), FormatCount(total), FormatCount(attachable),
+                    FormatPercent(static_cast<double>(full) / total),
+                    FormatPercent(static_cast<double>(selective) / total)});
     }
-    size_t total = surface->functions().size();
-    size_t attachable = 0, full = 0, selective = 0;
-    for (const auto& [name, entry] : surface->functions()) {
-      (void)name;
-      attachable += entry.status.has_exact_symbol ? 1 : 0;
-      full += entry.status.fully_inlined ? 1 : 0;
-      selective += entry.status.selectively_inlined ? 1 : 0;
-    }
-    sweep.AddRow({StrFormat("%.2f", rate), FormatCount(total), FormatCount(attachable),
-                  FormatPercent(static_cast<double>(full) / total),
-                  FormatPercent(static_cast<double>(selective) / total)});
   }
   printf("%s\n", sweep.Render().c_str());
   printf("takeaway: every extra point of inline aggressiveness directly shrinks the\n"
@@ -64,7 +71,13 @@ int main(int argc, char** argv) {
 
   // ---- B: guarded vs unguarded field access.
   printf("B. CO-RE field-exists guards (request_queue::disk across the x86 series):\n");
-  auto dataset = study.BuildDataset(X86GenericSeries());
+  std::vector<BuildSpec> series = X86GenericSeries();
+  Result<Dataset> dataset = Error(ErrorCode::kInternal, "unbuilt");
+  {
+    auto stage = bench.Stage("build_dataset");
+    stage.set_items(series.size());
+    dataset = study.BuildDataset(series);
+  }
   if (!dataset.ok()) {
     fprintf(stderr, "dataset: %s\n", dataset.error().ToString().c_str());
     return 1;
@@ -104,11 +117,13 @@ int main(int argc, char** argv) {
   printf("C. symbol-table-only analysis vs DWARF call-site analysis:\n");
   int with_sites = 0;
   int symbol_only = 0;
+  auto analyze_stage = bench.Stage("analyze_programs");
   for (const BpfObject& object : study.programs().objects) {
     auto report = Study::Analyze(*dataset, object);
     if (!report.ok()) {
       continue;
     }
+    analyze_stage.add_items();
     bool selective_only = report->funcs.selective > 0 && report->funcs.absent == 0 &&
                           report->funcs.changed == 0 && report->funcs.full_inline == 0 &&
                           report->funcs.transformed == 0 && report->structs.absent == 0 &&

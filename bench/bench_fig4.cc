@@ -4,28 +4,42 @@
 //   $ bench_fig4 [--scale=1.0]
 #include <cstdio>
 
+#include "src/obs/bench_report.h"
 #include "src/study/study.h"
+#include "src/util/str_util.h"
 
 using namespace depsurf;
 
 int main(int argc, char** argv) {
   Study study(StudyOptions::FromArgs(argc, argv));
+  obs::BenchReporter bench("fig4");
+  bench.AddNote("scale", StrFormat("%.2f", study.options().scale));
   printf("Figure 4: dependency set analysis of biotop and readahead (scale %.2f)\n",
          study.options().scale);
   printf("building the 21-image corpus...\n\n");
 
-  auto dataset = study.BuildDataset(DependencyAnalysisCorpus());
+  std::vector<BuildSpec> corpus = DependencyAnalysisCorpus();
+  Result<Dataset> dataset = Error(ErrorCode::kInternal, "unbuilt");
+  {
+    auto build_stage = bench.Stage("build_dataset");
+    build_stage.set_items(corpus.size());
+    dataset = study.BuildDataset(corpus);
+  }
   if (!dataset.ok()) {
     fprintf(stderr, "dataset: %s\n", dataset.error().ToString().c_str());
     return 1;
   }
-  for (const char* program : {"biotop", "readahead"}) {
-    auto report = study.Analyze(*dataset, program);
-    if (!report.ok()) {
-      fprintf(stderr, "%s: %s\n", program, report.error().ToString().c_str());
-      return 1;
+  {
+    auto analyze_stage = bench.Stage("analyze");
+    for (const char* program : {"biotop", "readahead"}) {
+      auto report = study.Analyze(*dataset, program);
+      if (!report.ok()) {
+        fprintf(stderr, "%s: %s\n", program, report.error().ToString().c_str());
+        return 1;
+      }
+      analyze_stage.add_items();
+      printf("%s\n", report->RenderMatrix().c_str());
     }
-    printf("%s\n", report->RenderMatrix().c_str());
   }
   printf(
       "paper reference (shape): biotop's accounting pair reads wrong data from v5.8\n"

@@ -5,6 +5,7 @@
 //   $ bench_fig5 [--scale=1.0]
 #include <cstdio>
 
+#include "src/obs/bench_report.h"
 #include "src/study/study.h"
 #include "src/util/str_util.h"
 #include "src/util/table.h"
@@ -40,24 +41,34 @@ int main(int argc, char** argv) {
   printf("paper reference: 32-36%% fully inlined, 9-11%% selectively inlined, with only\n"
          "a few percent variation across versions and architectures\n\n");
 
+  obs::BenchReporter bench("fig5");
+  bench.AddNote("scale", StrFormat("%.2f", study.options().scale));
   TextTable table({"image", "#funcs (debug info)", "fully inlined", "selectively inlined"});
-  for (KernelVersion version : kStudyVersions) {
-    auto surface = study.ExtractSurface(MakeBuild(version));
-    if (!surface.ok()) {
-      fprintf(stderr, "extract: %s\n", surface.error().ToString().c_str());
-      return 1;
+  {
+    auto stage = bench.Stage("extract_versions");
+    for (KernelVersion version : kStudyVersions) {
+      auto surface = study.ExtractSurface(MakeBuild(version));
+      if (!surface.ok()) {
+        fprintf(stderr, "extract: %s\n", surface.error().ToString().c_str());
+        return 1;
+      }
+      stage.add_items();
+      MeasureRow(table, version.Tag(), *surface);
     }
-    MeasureRow(table, version.Tag(), *surface);
   }
   table.AddSeparator();
   constexpr KernelVersion kV54{5, 4};
-  for (Arch arch : {Arch::kArm64, Arch::kArm32, Arch::kPpc, Arch::kRiscv}) {
-    auto surface = study.ExtractSurface(MakeBuild(kV54, arch));
-    if (!surface.ok()) {
-      fprintf(stderr, "extract: %s\n", surface.error().ToString().c_str());
-      return 1;
+  {
+    auto stage = bench.Stage("extract_arches");
+    for (Arch arch : {Arch::kArm64, Arch::kArm32, Arch::kPpc, Arch::kRiscv}) {
+      auto surface = study.ExtractSurface(MakeBuild(kV54, arch));
+      if (!surface.ok()) {
+        fprintf(stderr, "extract: %s\n", surface.error().ToString().c_str());
+        return 1;
+      }
+      stage.add_items();
+      MeasureRow(table, StrFormat("v5.4-%s", ArchName(arch)), *surface);
     }
-    MeasureRow(table, StrFormat("v5.4-%s", ArchName(arch)), *surface);
   }
   printf("%s", table.Render().c_str());
   return 0;

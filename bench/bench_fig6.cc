@@ -4,6 +4,7 @@
 //   $ bench_fig6 [--scale=1.0]
 #include <cstdio>
 
+#include "src/obs/bench_report.h"
 #include "src/study/study.h"
 #include "src/util/str_util.h"
 #include "src/util/table.h"
@@ -56,24 +57,34 @@ int main(int argc, char** argv) {
   printf("paper reference: up to 16%% of symbol-table functions transformed; '.cold'\n"
          "appears with GCC >= 8; arm32 has no '.isra' (disabled, a077224)\n\n");
 
+  obs::BenchReporter bench("fig6");
+  bench.AddNote("scale", StrFormat("%.2f", study.options().scale));
   TextTable table({"image", "gcc", "#syms", "isra", "constprop", "part", "cold", "total"});
-  for (KernelVersion version : kStudyVersions) {
-    auto surface = study.ExtractSurface(MakeBuild(version));
-    if (!surface.ok()) {
-      fprintf(stderr, "extract: %s\n", surface.error().ToString().c_str());
-      return 1;
+  {
+    auto stage = bench.Stage("extract_versions");
+    for (KernelVersion version : kStudyVersions) {
+      auto surface = study.ExtractSurface(MakeBuild(version));
+      if (!surface.ok()) {
+        fprintf(stderr, "extract: %s\n", surface.error().ToString().c_str());
+        return 1;
+      }
+      stage.add_items();
+      MeasureRow(table, version.Tag(), GccMajorFor(version), *surface);
     }
-    MeasureRow(table, version.Tag(), GccMajorFor(version), *surface);
   }
   table.AddSeparator();
   constexpr KernelVersion kV54{5, 4};
-  for (Arch arch : {Arch::kArm64, Arch::kArm32, Arch::kPpc, Arch::kRiscv}) {
-    auto surface = study.ExtractSurface(MakeBuild(kV54, arch));
-    if (!surface.ok()) {
-      fprintf(stderr, "extract: %s\n", surface.error().ToString().c_str());
-      return 1;
+  {
+    auto stage = bench.Stage("extract_arches");
+    for (Arch arch : {Arch::kArm64, Arch::kArm32, Arch::kPpc, Arch::kRiscv}) {
+      auto surface = study.ExtractSurface(MakeBuild(kV54, arch));
+      if (!surface.ok()) {
+        fprintf(stderr, "extract: %s\n", surface.error().ToString().c_str());
+        return 1;
+      }
+      stage.add_items();
+      MeasureRow(table, StrFormat("v5.4-%s", ArchName(arch)), GccMajorFor(kV54), *surface);
     }
-    MeasureRow(table, StrFormat("v5.4-%s", ArchName(arch)), GccMajorFor(kV54), *surface);
   }
   printf("%s", table.Render().c_str());
   return 0;

@@ -9,13 +9,36 @@
 
 #include <cstring>
 
+#include "src/obs/bench_report.h"
 #include "src/study/study.h"
+#include "src/util/str_util.h"
 
 using namespace depsurf;
 
 namespace {
 
 double g_scale = 0.1;
+
+// Console reporter that additionally folds every benchmark run into the
+// shared BENCH_perf.json report (per-run wall time + iteration count).
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(obs::BenchReporter* bench) : bench_(bench) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      obs::BenchStage stage;
+      stage.name = run.benchmark_name();
+      stage.seconds = run.real_accumulated_time;
+      stage.items = static_cast<uint64_t>(run.iterations);
+      bench_->AddStage(stage);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  obs::BenchReporter* bench_;
+};
 
 Study& SharedStudy() {
   static Study study(StudyOptions{2025, g_scale});
@@ -113,7 +136,10 @@ int main(int argc, char** argv) {
   printf("analysis performance at scale %.2f (paper, at scale 1.0 in Python:\n"
          "extraction 104 s/image, 17-image diff 3 s, per-program analysis <1 s)\n",
          g_scale);
+  obs::BenchReporter bench("perf");
+  bench.AddNote("scale", StrFormat("%.2f", g_scale));
+  JsonTeeReporter reporter(&bench);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   return 0;
 }

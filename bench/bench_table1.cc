@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <optional>
 
+#include "src/obs/bench_report.h"
 #include "src/study/study.h"
 #include "src/util/str_util.h"
 #include "src/util/table.h"
@@ -48,47 +49,59 @@ struct MaxRates {
 
 int main(int argc, char** argv) {
   Study study(StudyOptions::FromArgs(argc, argv));
+  obs::BenchReporter bench("table1");
+  bench.AddNote("scale", StrFormat("%.2f", study.options().scale));
   printf("Table 1: summary of dependency mismatches (scale %.2f)\n", study.options().scale);
   printf("frequencies: source = max diff between consecutive LTS versions; configuration\n"
          "= max diff vs generic x86 v5.4; compilation = affected fraction at v5.4\n\n");
 
   // ---- Source evolution: max over LTS transitions.
   MaxRates source;
-  std::optional<DependencySurface> prev;
-  for (KernelVersion version : kLtsVersions) {
-    auto surface = study.ExtractSurface(MakeBuild(version));
-    if (!surface.ok()) {
-      fprintf(stderr, "extract: %s\n", surface.error().ToString().c_str());
-      return 1;
+  {
+    auto stage = bench.Stage("source_evolution");
+    std::optional<DependencySurface> prev;
+    for (KernelVersion version : kLtsVersions) {
+      auto surface = study.ExtractSurface(MakeBuild(version));
+      if (!surface.ok()) {
+        fprintf(stderr, "extract: %s\n", surface.error().ToString().c_str());
+        return 1;
+      }
+      stage.add_items();
+      if (prev.has_value()) {
+        source.Update(*prev, DiffSurfaces(*prev, *surface));
+      }
+      prev = surface.TakeValue();
     }
-    if (prev.has_value()) {
-      source.Update(*prev, DiffSurfaces(*prev, *surface));
-    }
-    prev = surface.TakeValue();
   }
 
   // ---- Configuration: max over the 8 non-generic builds.
   constexpr KernelVersion kV54{5, 4};
-  auto baseline = study.ExtractSurface(MakeBuild(kV54));
-  if (!baseline.ok()) {
-    fprintf(stderr, "baseline: %s\n", baseline.error().ToString().c_str());
-    return 1;
-  }
+  Result<DependencySurface> baseline = Error(ErrorCode::kInternal, "unbuilt");
   MaxRates config;
-  std::vector<BuildSpec> others;
-  for (Arch arch : {Arch::kArm64, Arch::kArm32, Arch::kPpc, Arch::kRiscv}) {
-    others.push_back(MakeBuild(kV54, arch));
-  }
-  for (Flavor flavor : {Flavor::kAws, Flavor::kAzure, Flavor::kGcp, Flavor::kLowLatency}) {
-    others.push_back(MakeBuild(kV54, Arch::kX86, flavor));
-  }
-  for (const BuildSpec& build : others) {
-    auto surface = study.ExtractSurface(build);
-    if (!surface.ok()) {
-      fprintf(stderr, "extract: %s\n", surface.error().ToString().c_str());
+  {
+    auto stage = bench.Stage("configuration");
+    baseline = study.ExtractSurface(MakeBuild(kV54));
+    if (!baseline.ok()) {
+      fprintf(stderr, "baseline: %s\n", baseline.error().ToString().c_str());
       return 1;
     }
-    config.Update(*baseline, DiffSurfaces(*baseline, *surface));
+    stage.add_items();
+    std::vector<BuildSpec> others;
+    for (Arch arch : {Arch::kArm64, Arch::kArm32, Arch::kPpc, Arch::kRiscv}) {
+      others.push_back(MakeBuild(kV54, arch));
+    }
+    for (Flavor flavor : {Flavor::kAws, Flavor::kAzure, Flavor::kGcp, Flavor::kLowLatency}) {
+      others.push_back(MakeBuild(kV54, Arch::kX86, flavor));
+    }
+    for (const BuildSpec& build : others) {
+      auto surface = study.ExtractSurface(build);
+      if (!surface.ok()) {
+        fprintf(stderr, "extract: %s\n", surface.error().ToString().c_str());
+        return 1;
+      }
+      stage.add_items();
+      config.Update(*baseline, DiffSurfaces(*baseline, *surface));
+    }
   }
 
   // ---- Compilation effects at v5.4.

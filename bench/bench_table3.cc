@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <optional>
 
+#include "src/obs/bench_report.h"
 #include "src/study/study.h"
 #include "src/util/str_util.h"
 #include "src/util/table.h"
@@ -79,12 +80,15 @@ void PrintBlock(const char* title, const std::vector<Row>& rows) {
 
 int main(int argc, char** argv) {
   Study study(StudyOptions::FromArgs(argc, argv));
+  obs::BenchReporter bench("table3");
+  bench.AddNote("scale", StrFormat("%.2f", study.options().scale));
   printf("Table 3: kernel source code differences (scale %.2f)\n", study.options().scale);
   printf("paper reference, LTS block: funcs 36k->62k with +21..24%% / -7..10%% / d4..6%%;\n"
          "structs 6.2k->10.5k with +16..24%% / -4..6%% / d15..18%%; tracepoints 502->932\n"
          "with +14..39%% / -3..5%% / d8..16%%\n");
 
-  auto run_series = [&](const std::vector<KernelVersion>& versions) {
+  auto run_series = [&](const char* stage_name, const std::vector<KernelVersion>& versions) {
+    auto stage = bench.Stage(stage_name);
     std::vector<Row> rows;
     std::optional<DependencySurface> prev;
     for (KernelVersion version : versions) {
@@ -94,6 +98,7 @@ int main(int argc, char** argv) {
                 surface.error().ToString().c_str());
         exit(1);
       }
+      stage.add_items();
       rows.push_back(MeasureRow(*surface, prev.has_value() ? &*prev : nullptr));
       prev = surface.TakeValue();
     }
@@ -101,22 +106,24 @@ int main(int argc, char** argv) {
   };
 
   std::vector<KernelVersion> lts(kLtsVersions.begin(), kLtsVersions.end());
-  PrintBlock("-- LTS versions (Ubuntu 16.04 .. 24.04) --", run_series(lts));
+  PrintBlock("-- LTS versions (Ubuntu 16.04 .. 24.04) --", run_series("lts_series", lts));
 
   std::vector<KernelVersion> all(kStudyVersions.begin(), kStudyVersions.end());
-  PrintBlock("-- all 17 versions --", run_series(all));
+  PrintBlock("-- all 17 versions --", run_series("all_versions", all));
 
   // §4.1 "special kernel functions": LSM hooks (~150, ~9% added / 2%
   // removed per LTS) and kfuncs (~100 by v6.8; removed/renamed but never
   // re-typed).
   printf("\n-- special functions (LSM hooks, kfuncs) --\n");
   TextTable special({"ver", "#lsm hooks", "#kfuncs"});
+  auto special_stage = bench.Stage("special_functions");
   for (KernelVersion version : kLtsVersions) {
     auto surface = study.ExtractSurface(MakeBuild(version));
     if (!surface.ok()) {
       fprintf(stderr, "extract: %s\n", surface.error().ToString().c_str());
       return 1;
     }
+    special_stage.add_items();
     size_t lsm = 0;
     for (const auto& [name, entry] : surface->functions()) {
       (void)entry;

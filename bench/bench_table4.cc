@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <optional>
 
+#include "src/obs/bench_report.h"
 #include "src/study/study.h"
 #include "src/util/str_util.h"
 #include "src/util/table.h"
@@ -98,18 +99,24 @@ int main(int argc, char** argv) {
          "type 23-26%%, return 13-21%% | field added 72-75%%, removed 40-42%%, type\n"
          "32-37%% | tracepoint event 81-95%%, func 32-54%%\n\n");
 
+  obs::BenchReporter bench("table4");
+  bench.AddNote("scale", StrFormat("%.2f", study.options().scale));
   std::vector<Breakdown> rows;
-  std::optional<DependencySurface> prev;
-  for (KernelVersion version : kLtsVersions) {
-    auto surface = study.ExtractSurface(MakeBuild(version));
-    if (!surface.ok()) {
-      fprintf(stderr, "extract: %s\n", surface.error().ToString().c_str());
-      return 1;
+  {
+    auto stage = bench.Stage("extract_and_diff_lts");
+    std::optional<DependencySurface> prev;
+    for (KernelVersion version : kLtsVersions) {
+      auto surface = study.ExtractSurface(MakeBuild(version));
+      if (!surface.ok()) {
+        fprintf(stderr, "extract: %s\n", surface.error().ToString().c_str());
+        return 1;
+      }
+      stage.add_items();
+      if (prev.has_value()) {
+        rows.push_back(Measure(*prev, *surface));
+      }
+      prev = surface.TakeValue();
     }
-    if (prev.has_value()) {
-      rows.push_back(Measure(*prev, *surface));
-    }
-    prev = surface.TakeValue();
   }
 
   TextTable funcs({"span", "no. changed", "param added", "param removed", "param reordered",

@@ -4,6 +4,7 @@
 //   $ bench_table5 [--scale=1.0]
 #include <cstdio>
 
+#include "src/obs/bench_report.h"
 #include "src/study/study.h"
 #include "src/util/str_util.h"
 #include "src/util/table.h"
@@ -32,12 +33,16 @@ int main(int argc, char** argv) {
   printf("paper reference: arm64 +9.2k/-7.9k funcs; arm32 +12.6k/-11.8k; ppc +5.4k/-10.6k;\n"
          "riscv +2.1k/-13.5k; aws -1.8k; azure -3.5k; gcp -319; lowlat -41\n\n");
 
+  obs::BenchReporter bench("table5");
+  bench.AddNote("scale", StrFormat("%.2f", study.options().scale));
+  auto stage = bench.Stage("extract_and_compare");
   constexpr KernelVersion kV54{5, 4};
   auto baseline = study.ExtractSurface(MakeBuild(kV54));
   if (!baseline.ok()) {
     fprintf(stderr, "baseline: %s\n", baseline.error().ToString().c_str());
     return 1;
   }
+  stage.add_items();
 
   TextTable table({"build", "config", "#func", "+", "-", "d", "#struct", "+", "-", "d",
                    "#tracept", "+", "-", "#syscall", "+", "-", "reg d", "compat32"});
@@ -69,6 +74,7 @@ int main(int argc, char** argv) {
       fprintf(stderr, "%s: %s\n", ArchName(arch), surface.error().ToString().c_str());
       return 1;
     }
+    stage.add_items();
     add_row(ArchName(arch), *surface, false);
   }
   for (Flavor flavor : {Flavor::kAws, Flavor::kAzure, Flavor::kGcp, Flavor::kLowLatency}) {
@@ -77,6 +83,7 @@ int main(int argc, char** argv) {
       fprintf(stderr, "%s: %s\n", FlavorName(flavor), surface.error().ToString().c_str());
       return 1;
     }
+    stage.add_items();
     add_row(FlavorName(flavor), *surface, false);
   }
   printf("%s", table.Render().c_str());

@@ -4,6 +4,7 @@
 //   $ bench_table6 [--scale=1.0]
 #include <cstdio>
 
+#include "src/obs/bench_report.h"
 #include "src/study/study.h"
 #include "src/util/str_util.h"
 #include "src/util/table.h"
@@ -26,12 +27,16 @@ int main(int argc, char** argv) {
     rows[i].push_back(kClasses[i]);
   }
 
+  obs::BenchReporter bench("table6");
+  bench.AddNote("scale", StrFormat("%.2f", study.options().scale));
+  auto stage = bench.Stage("extract_lts");
   for (KernelVersion version : kLtsVersions) {
     auto surface = study.ExtractSurface(MakeBuild(version));
     if (!surface.ok()) {
       fprintf(stderr, "extract: %s\n", surface.error().ToString().c_str());
       return 1;
     }
+    stage.add_items();
     size_t counts[5] = {0, 0, 0, 0, 0};
     for (const auto& [name, entry] : surface->functions()) {
       (void)name;

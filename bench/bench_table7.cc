@@ -4,7 +4,9 @@
 //   $ bench_table7 [--scale=1.0]
 #include <cstdio>
 
+#include "src/obs/bench_report.h"
 #include "src/study/study.h"
+#include "src/util/str_util.h"
 #include "src/util/table.h"
 
 using namespace depsurf;
@@ -23,7 +25,15 @@ int main(int argc, char** argv) {
          "selective(S) / transformed(T) / duplicated(D); '*' marks mismatch-free tools\n");
   printf("building the 21-image corpus...\n\n");
 
-  auto dataset = study.BuildDataset(DependencyAnalysisCorpus());
+  obs::BenchReporter bench("table7");
+  bench.AddNote("scale", StrFormat("%.2f", study.options().scale));
+  std::vector<BuildSpec> corpus = DependencyAnalysisCorpus();
+  Result<Dataset> dataset = Error(ErrorCode::kInternal, "unbuilt");
+  {
+    auto stage = bench.Stage("build_dataset");
+    stage.set_items(corpus.size());
+    dataset = study.BuildDataset(corpus);
+  }
   if (!dataset.ok()) {
     fprintf(stderr, "dataset: %s\n", dataset.error().ToString().c_str());
     return 1;
@@ -32,12 +42,14 @@ int main(int argc, char** argv) {
   TextTable table({"program", "fn", "O", "C", "F", "S", "T", "D", "st", "O", "fld", "O", "C",
                    "tp", "O", "C", "sys", "O"});
   int affected = 0;
+  auto analyze_stage = bench.Stage("analyze_programs");
   for (const BpfObject& object : study.programs().objects) {
     auto report = Study::Analyze(*dataset, object);
     if (!report.ok()) {
       fprintf(stderr, "%s: %s\n", object.name.c_str(), report.error().ToString().c_str());
       return 1;
     }
+    analyze_stage.add_items();
     bool any = report->AnyMismatch();
     affected += any ? 1 : 0;
     table.AddRow({(any ? "" : "*") + object.name, N(report->funcs.total),

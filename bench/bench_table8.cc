@@ -6,7 +6,9 @@
 #include <cstdio>
 #include <set>
 
+#include "src/obs/bench_report.h"
 #include "src/study/study.h"
+#include "src/util/str_util.h"
 #include "src/util/table.h"
 
 using namespace depsurf;
@@ -36,19 +38,29 @@ int main(int argc, char** argv) {
          "(15 absent, 23 changed), 448 syscalls (204 absent)\n");
   printf("building the 21-image corpus...\n\n");
 
-  auto dataset = study.BuildDataset(DependencyAnalysisCorpus());
+  obs::BenchReporter bench("table8");
+  bench.AddNote("scale", StrFormat("%.2f", study.options().scale));
+  std::vector<BuildSpec> corpus = DependencyAnalysisCorpus();
+  Result<Dataset> dataset = Error(ErrorCode::kInternal, "unbuilt");
+  {
+    auto stage = bench.Stage("build_dataset");
+    stage.set_items(corpus.size());
+    dataset = study.BuildDataset(corpus);
+  }
   if (!dataset.ok()) {
     fprintf(stderr, "dataset: %s\n", dataset.error().ToString().c_str());
     return 1;
   }
 
   KindSummary funcs, structs, fields, tracepts, syscalls;
+  auto analyze_stage = bench.Stage("analyze_programs");
   for (const BpfObject& object : study.programs().objects) {
     auto report = Study::Analyze(*dataset, object);
     if (!report.ok()) {
       fprintf(stderr, "%s\n", report.error().ToString().c_str());
       return 1;
     }
+    analyze_stage.add_items();
     bool has[5] = {};
     bool affected[5][7] = {};
     for (const ReportRow& row : report->rows) {

@@ -38,8 +38,9 @@ int main(int argc, char** argv) {
   }
   printf("\nbuilding %zu kernel images (scale %.2f)...\n", corpus.size(),
          study.options().scale);
-  auto dataset = study.BuildDataset(corpus, [](const std::string& label) {
-    printf("  %s\n", label.c_str());
+  auto dataset = study.BuildDataset(corpus, [](const Study::ImageProgress& image) {
+    printf("  [%zu/%zu] %s (%.2fs)\n", image.index + 1, image.total, image.label.c_str(),
+           image.seconds);
   });
   if (!dataset.ok()) {
     fprintf(stderr, "dataset: %s\n", dataset.error().ToString().c_str());

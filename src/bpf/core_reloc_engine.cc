@@ -1,5 +1,7 @@
 #include "src/bpf/core_reloc_engine.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/util/str_util.h"
 
 namespace depsurf {
@@ -172,6 +174,9 @@ Result<RelocResult> ResolveCoreReloc(const TypeGraph& local_btf, const CoreReloc
 }
 
 LoadResult SimulateLoad(const BpfObject& object, const TypeGraph& kernel_btf) {
+  obs::ScopedSpan span("reloc.simulate_load");
+  span.AddAttr("program", object.name);
+  span.AddAttr("relocs", static_cast<uint64_t>(object.relocs.size()));
   LoadResult load;
   load.loaded = true;
   load.relocs.reserve(object.relocs.size());
@@ -192,6 +197,33 @@ LoadResult SimulateLoad(const BpfObject& object, const TypeGraph& kernel_btf) {
     }
     load.relocs.push_back(result.TakeValue());
   }
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.Incr("reloc.loads_simulated");
+  uint64_t resolved = 0, field_missing = 0, type_missing = 0, guarded_absent = 0;
+  for (const RelocResult& r : load.relocs) {
+    switch (r.outcome) {
+      case RelocOutcome::kResolved:
+        ++resolved;
+        break;
+      case RelocOutcome::kFieldMissing:
+        ++field_missing;
+        break;
+      case RelocOutcome::kTypeMissing:
+        ++type_missing;
+        break;
+      case RelocOutcome::kGuardedAbsent:
+        ++guarded_absent;
+        break;
+    }
+  }
+  metrics.Incr("reloc.resolved", resolved);
+  metrics.Incr("reloc.field_missing", field_missing);
+  metrics.Incr("reloc.type_missing", type_missing);
+  metrics.Incr("reloc.guarded_absent", guarded_absent);
+  span.AddAttr("resolved", resolved);
+  span.AddAttr("missed", field_missing + type_missing);
+  span.AddAttr("loaded", load.loaded ? "true" : "false");
   return load;
 }
 

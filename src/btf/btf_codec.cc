@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/util/str_util.h"
 
 namespace depsurf {
@@ -132,6 +134,8 @@ Result<TypeGraph> DecodeBtf(const std::vector<uint8_t>& bytes, Endian endian) {
 }
 
 Result<TypeGraph> DecodeBtf(ByteReader reader) {
+  obs::ScopedSpan span("btf.decode");
+  span.AddAttr("bytes", static_cast<uint64_t>(reader.size()));
   DEPSURF_ASSIGN_OR_RETURN(magic, reader.ReadU16());
   if (magic != kBtfMagic) {
     return Error(ErrorCode::kMalformedData, "BTF magic mismatch");
@@ -249,6 +253,14 @@ Result<TypeGraph> DecodeBtf(ByteReader reader) {
     graph.Add(std::move(t));
   }
   DEPSURF_RETURN_IF_ERROR(graph.Validate());
+  span.AddAttr("types", static_cast<uint64_t>(graph.num_types()));
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  static std::atomic<uint64_t>* sections = metrics.Counter("btf.sections_decoded");
+  static std::atomic<uint64_t>* types_decoded = metrics.Counter("btf.types_decoded");
+  static std::atomic<uint64_t>* bytes_decoded = metrics.Counter("btf.bytes_decoded");
+  sections->fetch_add(1, std::memory_order_relaxed);
+  types_decoded->fetch_add(graph.num_types(), std::memory_order_relaxed);
+  bytes_decoded->fetch_add(reader.size(), std::memory_order_relaxed);
   return graph;
 }
 

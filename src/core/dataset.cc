@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/btf/btf_print.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/util/prng.h"
 
 namespace depsurf {
@@ -61,10 +63,16 @@ const StrId* StructRecord::FindField(StrId name) const {
 }
 
 StrId Dataset::Intern(const std::string& s) {
+  static std::atomic<uint64_t>* hits =
+      obs::MetricsRegistry::Global().Counter("dataset.intern_hits");
+  static std::atomic<uint64_t>* misses =
+      obs::MetricsRegistry::Global().Counter("dataset.intern_misses");
   auto it = pool_index_.find(s);
   if (it != pool_index_.end()) {
+    hits->fetch_add(1, std::memory_order_relaxed);
     return it->second;
   }
+  misses->fetch_add(1, std::memory_order_relaxed);
   StrId id = static_cast<StrId>(pool_.size());
   pool_.push_back(s);
   pool_index_.emplace(s, id);
@@ -77,6 +85,8 @@ StrId Dataset::Lookup(const std::string& s) const {
 }
 
 void Dataset::AddImage(const std::string& label, const DependencySurface& surface) {
+  obs::ScopedSpan span("dataset.distill");
+  span.AddAttr("image", label);
   ImageRecord record;
   record.label = label;
   record.meta = surface.meta();
@@ -154,6 +164,14 @@ void Dataset::AddImage(const std::string& label, const DependencySurface& surfac
     }
     record.pt_regs_hash = h;
   }
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.Incr("dataset.images_distilled");
+  metrics.Incr("dataset.funcs_distilled", record.funcs.size());
+  metrics.Incr("dataset.structs_distilled", record.structs.size());
+  metrics.Set("dataset.pool_strings", static_cast<int64_t>(pool_.size()));
+  span.AddAttr("funcs", static_cast<uint64_t>(record.funcs.size()));
+  span.AddAttr("structs", static_cast<uint64_t>(record.structs.size()));
+  span.AddAttr("pool_strings", static_cast<uint64_t>(pool_.size()));
   images_.push_back(std::move(record));
 }
 

@@ -1,5 +1,8 @@
 #include "src/core/dependency_set.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
+
 namespace depsurf {
 
 size_t DependencySet::NumFields() const {
@@ -11,6 +14,8 @@ size_t DependencySet::NumFields() const {
 }
 
 Result<DependencySet> ExtractDependencySet(const BpfObject& object) {
+  obs::ScopedSpan span("deps.extract");
+  span.AddAttr("program", object.name);
   DependencySet set;
   set.program = object.name;
   for (const BpfProgram& program : object.programs) {
@@ -56,6 +61,15 @@ Result<DependencySet> ExtractDependencySet(const BpfObject& object) {
       }
     }
   }
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.Incr("deps.sets_extracted");
+  metrics.Incr("deps.funcs", set.NumFuncs());
+  metrics.Incr("deps.structs", set.NumStructs());
+  metrics.Incr("deps.fields", set.NumFields());
+  metrics.Incr("deps.tracepoints", set.NumTracepoints());
+  metrics.Incr("deps.syscalls", set.NumSyscalls());
+  span.AddAttr("funcs", static_cast<uint64_t>(set.NumFuncs()));
+  span.AddAttr("fields", static_cast<uint64_t>(set.NumFields()));
   return set;
 }
 

@@ -7,6 +7,8 @@
 #include "src/btf/btf_codec.h"
 #include "src/dwarf/dwarf_codec.h"
 #include "src/elf/elf_reader.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/util/str_util.h"
 
 namespace depsurf {
@@ -120,6 +122,8 @@ std::string FunctionEntry::StatusJson() const {
 }
 
 Result<DependencySurface> DependencySurface::Extract(std::vector<uint8_t> image_bytes) {
+  obs::ScopedSpan span("surface.extract");
+  span.AddAttr("image_bytes", static_cast<uint64_t>(image_bytes.size()));
   DEPSURF_ASSIGN_OR_RETURN(reader, ElfReader::Parse(std::move(image_bytes)));
   DependencySurface surface;
   DEPSURF_ASSIGN_OR_RETURN(meta, ParseBanner(reader));
@@ -141,19 +145,24 @@ Result<DependencySurface> DependencySurface::Extract(std::vector<uint8_t> image_
   }
 
   // ---- BTF: declarations of functions and structs.
-  DEPSURF_ASSIGN_OR_RETURN(btf_data, reader.SectionDataByName(kBtfSection));
-  DEPSURF_ASSIGN_OR_RETURN(graph, DecodeBtf(btf_data));
-  surface.btf_ = std::move(graph);
   std::map<std::string, BtfTypeId> btf_funcs;
-  for (BtfTypeId id = 1; id <= surface.btf_.num_types(); ++id) {
-    const BtfType* t = surface.btf_.Get(id);
-    if (t->kind == BtfKind::kStruct && !t->name.empty()) {
-      if (!StartsWith(t->name, kTraceStructPrefix)) {
-        surface.structs_.emplace(t->name, id);
+  {
+    obs::ScopedSpan btf_span("surface.btf");
+    DEPSURF_ASSIGN_OR_RETURN(btf_data, reader.SectionDataByName(kBtfSection));
+    DEPSURF_ASSIGN_OR_RETURN(graph, DecodeBtf(btf_data));
+    surface.btf_ = std::move(graph);
+    for (BtfTypeId id = 1; id <= surface.btf_.num_types(); ++id) {
+      const BtfType* t = surface.btf_.Get(id);
+      if (t->kind == BtfKind::kStruct && !t->name.empty()) {
+        if (!StartsWith(t->name, kTraceStructPrefix)) {
+          surface.structs_.emplace(t->name, id);
+        }
+      } else if (t->kind == BtfKind::kFunc) {
+        btf_funcs.emplace(t->name, id);  // first wins (collisions share names)
       }
-    } else if (t->kind == BtfKind::kFunc) {
-      btf_funcs.emplace(t->name, id);  // first wins (collisions share names)
     }
+    btf_span.AddAttr("structs", static_cast<uint64_t>(surface.structs_.size()));
+    btf_span.AddAttr("funcs", static_cast<uint64_t>(btf_funcs.size()));
   }
 
   // ---- DWARF: function instances and inline structure. Absent debug
@@ -162,29 +171,38 @@ Result<DependencySurface> DependencySurface::Extract(std::vector<uint8_t> image_
   std::map<std::string, std::vector<FunctionInstance>> instances;
   surface.meta_.has_debug_info = reader.SectionByName(kDwarfInfoSection) != nullptr &&
                                  reader.SectionByName(kDwarfAbbrevSection) != nullptr;
-  if (surface.meta_.has_debug_info) {
-    DEPSURF_ASSIGN_OR_RETURN(abbrev_reader, reader.SectionDataByName(kDwarfAbbrevSection));
-    DEPSURF_ASSIGN_OR_RETURN(info_reader, reader.SectionDataByName(kDwarfInfoSection));
-    DEPSURF_ASSIGN_OR_RETURN(abbrev_bytes, abbrev_reader.ReadBytes(abbrev_reader.size()));
-    DEPSURF_ASSIGN_OR_RETURN(info_bytes, info_reader.ReadBytes(info_reader.size()));
-    DEPSURF_ASSIGN_OR_RETURN(document, DecodeDwarf(abbrev_bytes, info_bytes, reader.endian()));
-    DEPSURF_ASSIGN_OR_RETURN(collected, CollectFunctionInstances(document));
-    instances = std::move(collected);
-  } else {
-    // Seed the function table from BTF FUNC declarations; instances stay
-    // empty and the status classifier sees only the symbol table.
-    for (BtfTypeId id = 1; id <= surface.btf_.num_types(); ++id) {
-      const BtfType* t = surface.btf_.Get(id);
-      if (t->kind == BtfKind::kFunc && !StartsWith(t->name, kTraceFuncPrefix)) {
-        instances.try_emplace(t->name);
+  {
+    obs::ScopedSpan dwarf_span("surface.dwarf");
+    dwarf_span.AddAttr("has_debug_info", surface.meta_.has_debug_info ? "true" : "false");
+    if (surface.meta_.has_debug_info) {
+      DEPSURF_ASSIGN_OR_RETURN(abbrev_reader, reader.SectionDataByName(kDwarfAbbrevSection));
+      DEPSURF_ASSIGN_OR_RETURN(info_reader, reader.SectionDataByName(kDwarfInfoSection));
+      DEPSURF_ASSIGN_OR_RETURN(abbrev_bytes, abbrev_reader.ReadBytes(abbrev_reader.size()));
+      DEPSURF_ASSIGN_OR_RETURN(info_bytes, info_reader.ReadBytes(info_reader.size()));
+      DEPSURF_ASSIGN_OR_RETURN(document,
+                               DecodeDwarf(abbrev_bytes, info_bytes, reader.endian()));
+      DEPSURF_ASSIGN_OR_RETURN(collected, CollectFunctionInstances(document));
+      instances = std::move(collected);
+    } else {
+      // Seed the function table from BTF FUNC declarations; instances stay
+      // empty and the status classifier sees only the symbol table.
+      for (BtfTypeId id = 1; id <= surface.btf_.num_types(); ++id) {
+        const BtfType* t = surface.btf_.Get(id);
+        if (t->kind == BtfKind::kFunc && !StartsWith(t->name, kTraceFuncPrefix)) {
+          instances.try_emplace(t->name);
+        }
       }
     }
+    dwarf_span.AddAttr("function_instances", static_cast<uint64_t>(instances.size()));
   }
 
   // Symbol indexes: by base name (strips transformation suffixes) and by
   // address (for tracepoint/syscall reverse lookup).
   std::map<std::string, std::vector<ElfSymbol>> symbols_by_base;
   std::map<uint64_t, const ElfSymbol*> func_sym_at;
+  {
+  obs::ScopedSpan classify_span("surface.classify_functions");
+  classify_span.AddAttr("instances", static_cast<uint64_t>(instances.size()));
   for (const ElfSymbol& sym : reader.symbols()) {
     if (sym.type != SymType::kFunc) {
       continue;
@@ -242,9 +260,12 @@ Result<DependencySurface> DependencySurface::Extract(std::vector<uint8_t> image_
     }
     surface.functions_.emplace(name, std::move(entry));
   }
+  }
 
   // ---- Tracepoints: walk the __start/__stop_ftrace_events pointer array,
   // dereferencing records and strings through the data sections.
+  {
+  obs::ScopedSpan tp_span("surface.tracepoints");
   auto start_sym = reader.FindSymbol(kStartFtrace);
   auto stop_sym = reader.FindSymbol(kStopFtrace);
   if (start_sym.has_value() && stop_sym.has_value()) {
@@ -288,8 +309,12 @@ Result<DependencySurface> DependencySurface::Extract(std::vector<uint8_t> image_
       surface.tracepoints_.emplace(tp.event_name, std::move(tp));
     }
   }
+  tp_span.AddAttr("records", static_cast<uint64_t>(surface.tracepoints_.size()));
+  }
 
   // ---- System calls: read sys_call_table, reverse-map entry addresses.
+  {
+  obs::ScopedSpan sys_span("surface.syscalls");
   auto table_sym = reader.FindSymbol(kSyscallTable);
   if (table_sym.has_value()) {
     int ptr = reader.pointer_size();
@@ -319,6 +344,8 @@ Result<DependencySurface> DependencySurface::Extract(std::vector<uint8_t> image_
       }
     }
   }
+  sys_span.AddAttr("entries", static_cast<uint64_t>(surface.syscalls_.size()));
+  }
 
   // ---- kfuncs: registered via BTF id sets in .BTF_ids.
   if (const ElfSectionView* ids_section = reader.SectionByName(".BTF_ids")) {
@@ -346,6 +373,35 @@ Result<DependencySurface> DependencySurface::Extract(std::vector<uint8_t> image_
     }
   }
 
+  uint64_t fully_inlined = 0;
+  uint64_t selectively_inlined = 0;
+  uint64_t transformed = 0;
+  uint64_t duplicated = 0;
+  uint64_t collided = 0;
+  for (const auto& [name, entry] : surface.functions_) {
+    (void)name;
+    fully_inlined += entry.status.fully_inlined ? 1 : 0;
+    selectively_inlined += entry.status.selectively_inlined ? 1 : 0;
+    transformed += entry.status.transformed ? 1 : 0;
+    duplicated += entry.status.duplicated ? 1 : 0;
+    collided += entry.status.collided ? 1 : 0;
+  }
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.Incr("surface.extracted");
+  metrics.Incr("surface.functions", surface.functions_.size());
+  metrics.Incr("surface.structs", surface.structs_.size());
+  metrics.Incr("surface.tracepoints", surface.tracepoints_.size());
+  metrics.Incr("surface.syscalls", surface.syscalls_.size());
+  metrics.Incr("surface.kfuncs", surface.kfuncs_.size());
+  metrics.Incr("surface.funcs_fully_inlined", fully_inlined);
+  metrics.Incr("surface.funcs_selectively_inlined", selectively_inlined);
+  metrics.Incr("surface.funcs_transformed", transformed);
+  metrics.Incr("surface.funcs_duplicated", duplicated);
+  metrics.Incr("surface.funcs_collided", collided);
+  span.AddAttr("functions", static_cast<uint64_t>(surface.functions_.size()));
+  span.AddAttr("structs", static_cast<uint64_t>(surface.structs_.size()));
+  span.AddAttr("tracepoints", static_cast<uint64_t>(surface.tracepoints_.size()));
+  span.AddAttr("syscalls", static_cast<uint64_t>(surface.syscalls_.size()));
   return surface;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/util/str_util.h"
 
 namespace depsurf {
@@ -301,6 +303,9 @@ std::string ExplainReport(const Dataset& dataset, const ProgramReport& report) {
 }
 
 ProgramReport AnalyzeProgram(const Dataset& dataset, const DependencySet& deps) {
+  obs::ScopedSpan span("analyze.program");
+  span.AddAttr("program", deps.program);
+  span.AddAttr("images", static_cast<uint64_t>(dataset.num_images()));
   ProgramReport report;
   report.program = deps.program;
   report.image_labels = dataset.labels();
@@ -343,6 +348,16 @@ ProgramReport AnalyzeProgram(const Dataset& dataset, const DependencySet& deps) 
     Tally(report.syscalls, row);
     report.rows.push_back(std::move(row));
   }
+  uint64_t mismatching = 0;
+  for (const ReportRow& row : report.rows) {
+    mismatching += row.AnyMismatch() ? 1 : 0;
+  }
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.Incr("analyze.programs_analyzed");
+  metrics.Incr("analyze.rows_checked", report.rows.size());
+  metrics.Incr("analyze.rows_mismatching", mismatching);
+  span.AddAttr("rows", static_cast<uint64_t>(report.rows.size()));
+  span.AddAttr("rows_mismatching", mismatching);
   return report;
 }
 

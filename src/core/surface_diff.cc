@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/btf/btf_compare.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 
 namespace depsurf {
 
@@ -164,6 +166,7 @@ std::vector<StructChangeKind> CompareStructDecls(const TypeGraph& old_graph, Btf
 }
 
 SurfaceDiff DiffSurfaces(const DependencySurface& older, const DependencySurface& newer) {
+  obs::ScopedSpan span("diff.surfaces");
   SurfaceDiff diff;
 
   // ---- Functions. The population compared is the *attachable* surface
@@ -253,6 +256,18 @@ SurfaceDiff DiffSurfaces(const DependencySurface& older, const DependencySurface
       diff.syscalls.added.push_back(name);
     }
   }
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.Incr("diff.pairs_diffed");
+  metrics.Incr("diff.funcs_compared", older.functions().size());
+  metrics.Incr("diff.structs_compared", older.structs().size());
+  metrics.Incr("diff.tracepoints_compared", older.tracepoints().size());
+  metrics.Incr("diff.funcs_changed", diff.funcs.changed.size());
+  metrics.Incr("diff.structs_changed", diff.structs.changed.size());
+  span.AddAttr("funcs_changed", static_cast<uint64_t>(diff.funcs.changed.size()));
+  span.AddAttr("structs_changed", static_cast<uint64_t>(diff.structs.changed.size()));
+  span.AddAttr("tracepoints_changed",
+               static_cast<uint64_t>(diff.tracepoints.changed.size()));
   return diff;
 }
 

@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/util/leb128.h"
 #include "src/util/str_util.h"
 
@@ -122,6 +124,9 @@ DwarfSections EncodeDwarf(const DwarfDocument& document, Endian endian) {
 
 Result<DwarfDocument> DecodeDwarf(const std::vector<uint8_t>& abbrev,
                                   const std::vector<uint8_t>& info, Endian endian) {
+  obs::ScopedSpan span("dwarf.decode");
+  span.AddAttr("abbrev_bytes", static_cast<uint64_t>(abbrev.size()));
+  span.AddAttr("info_bytes", static_cast<uint64_t>(info.size()));
   struct AbbrevEntry {
     uint16_t tag = 0;
     bool has_children = false;
@@ -226,6 +231,17 @@ Result<DwarfDocument> DecodeDwarf(const std::vector<uint8_t>& abbrev,
     }
   });
   DEPSURF_RETURN_IF_ERROR(ref_status);
+  span.AddAttr("abbrevs", static_cast<uint64_t>(entries.size()));
+  span.AddAttr("dies", static_cast<uint64_t>(document.num_dies()));
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  static std::atomic<uint64_t>* documents = metrics.Counter("dwarf.documents_decoded");
+  static std::atomic<uint64_t>* abbrevs = metrics.Counter("dwarf.abbrevs_decoded");
+  static std::atomic<uint64_t>* dies = metrics.Counter("dwarf.dies_decoded");
+  static std::atomic<uint64_t>* bytes_decoded = metrics.Counter("dwarf.bytes_decoded");
+  documents->fetch_add(1, std::memory_order_relaxed);
+  abbrevs->fetch_add(entries.size(), std::memory_order_relaxed);
+  dies->fetch_add(document.num_dies(), std::memory_order_relaxed);
+  bytes_decoded->fetch_add(abbrev.size() + info.size(), std::memory_order_relaxed);
   return document;
 }
 

@@ -1,5 +1,8 @@
 #include "src/elf/elf_reader.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
+
 namespace depsurf {
 
 const char* ElfMachineName(ElfMachine machine) {
@@ -19,6 +22,8 @@ const char* ElfMachineName(ElfMachine machine) {
 }
 
 Result<ElfReader> ElfReader::Parse(std::vector<uint8_t> bytes) {
+  obs::ScopedSpan span("elf.parse");
+  span.AddAttr("bytes", static_cast<uint64_t>(bytes.size()));
   ElfReader reader;
   reader.bytes_ = std::move(bytes);
   if (reader.bytes_.size() < 52) {
@@ -64,6 +69,21 @@ Result<ElfReader> ElfReader::Parse(std::vector<uint8_t> bytes) {
 
   DEPSURF_RETURN_IF_ERROR(reader.ParseSections());
   DEPSURF_RETURN_IF_ERROR(reader.ParseSymbols());
+  span.AddAttr("sections", static_cast<uint64_t>(reader.sections_.size()));
+  span.AddAttr("symbols", static_cast<uint64_t>(reader.symbols_.size()));
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  static std::atomic<uint64_t>* files = metrics.Counter("elf.files_parsed");
+  static std::atomic<uint64_t>* bytes_parsed = metrics.Counter("elf.bytes_parsed");
+  static std::atomic<uint64_t>* sections = metrics.Counter("elf.sections_parsed");
+  static std::atomic<uint64_t>* symbols = metrics.Counter("elf.symbols_parsed");
+  files->fetch_add(1, std::memory_order_relaxed);
+  bytes_parsed->fetch_add(reader.bytes_.size(), std::memory_order_relaxed);
+  sections->fetch_add(reader.sections_.size(), std::memory_order_relaxed);
+  symbols->fetch_add(reader.symbols_.size(), std::memory_order_relaxed);
+  obs::Histogram* section_bytes = metrics.GetHistogram("elf.section_bytes");
+  for (const ElfSectionView& s : reader.sections_) {
+    section_bytes->Record(s.size);
+  }
   return reader;
 }
 

@@ -9,6 +9,8 @@
 #include "src/elf/elf_writer.h"
 #include "src/kernelgen/syscalls.h"
 #include "src/kmodel/type_lang.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/util/str_util.h"
 
 namespace depsurf {
@@ -42,6 +44,8 @@ class StringPool {
 }  // namespace
 
 Result<std::vector<uint8_t>> BuildKernelImage(const CompiledImage& image) {
+  obs::ScopedSpan span("kernelgen.build_image");
+  span.AddAttr("build", image.kernel.build.Label());
   const ConfiguredKernel& kernel = image.kernel;
   const BuildSpec& build = kernel.build;
   const ElfIdent ident = ElfIdentFor(build.arch);
@@ -405,12 +409,29 @@ Result<std::vector<uint8_t>> BuildKernelImage(const CompiledImage& image) {
 
   // ---- Debug sections.
   DwarfSections dwarf_sections = EncodeDwarf(dwarf, endian);
+  const uint64_t dwarf_abbrev_bytes = dwarf_sections.abbrev.size();
+  const uint64_t dwarf_info_bytes = dwarf_sections.info.size();
   writer.AddSection(kSectionDwarfAbbrev, SectionType::kProgbits,
                     std::move(dwarf_sections.abbrev));
   writer.AddSection(kSectionDwarfInfo, SectionType::kProgbits, std::move(dwarf_sections.info));
-  writer.AddSection(kSectionBtf, SectionType::kProgbits, EncodeBtf(graph, endian));
+  std::vector<uint8_t> btf_bytes = EncodeBtf(graph, endian);
+  const uint64_t btf_section_bytes = btf_bytes.size();
+  writer.AddSection(kSectionBtf, SectionType::kProgbits, std::move(btf_bytes));
 
-  return writer.Finish();
+  auto finished = writer.Finish();
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.Incr("kernelgen.images_built");
+  metrics.Incr("kernelgen.btf_bytes", btf_section_bytes);
+  metrics.Incr("kernelgen.dwarf_bytes", dwarf_abbrev_bytes + dwarf_info_bytes);
+  span.AddAttr("btf_bytes", btf_section_bytes);
+  span.AddAttr("dwarf_abbrev_bytes", dwarf_abbrev_bytes);
+  span.AddAttr("dwarf_info_bytes", dwarf_info_bytes);
+  if (finished.ok()) {
+    metrics.Incr("kernelgen.image_bytes", finished->size());
+    metrics.GetHistogram("kernelgen.image_bytes_hist")->Record(finished->size());
+    span.AddAttr("image_bytes", static_cast<uint64_t>(finished->size()));
+  }
+  return finished;
 }
 
 }  // namespace depsurf

@@ -1,0 +1,93 @@
+// BenchReporter: the shared helper every bench_* binary uses to emit a
+// machine-readable BENCH_<name>.json next to its human tables, seeding the
+// repo's perf trajectory (stage wall times + throughput, tracked PR over
+// PR).
+//
+// Schema (depsurf.bench_report.v1):
+//   {
+//     "schema": "depsurf.bench_report.v1",
+//     "bench": "table1",
+//     "notes": {"scale": "1.00", ...},
+//     "stages": [ {"name": "extract_lts", "seconds": 1.23,
+//                  "items": 5, "items_per_sec": 4.07,
+//                  "bytes": 0, "bytes_per_sec": 0.0}, ... ]
+//   }
+//
+// The file lands in $DEPSURF_BENCH_DIR when set, else the working
+// directory. The report auto-writes on destruction if WriteJson() was not
+// called explicitly, so early returns still leave a trajectory point.
+#ifndef DEPSURF_SRC_OBS_BENCH_REPORT_H_
+#define DEPSURF_SRC_OBS_BENCH_REPORT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/error.h"
+
+namespace depsurf {
+namespace obs {
+
+inline constexpr char kBenchReportSchema[] = "depsurf.bench_report.v1";
+
+struct BenchStage {
+  std::string name;
+  double seconds = 0;
+  uint64_t items = 0;  // stage-defined unit: images, diffs, programs, ...
+  uint64_t bytes = 0;
+};
+
+class BenchReporter;
+
+// RAII stage timer: records wall time from construction to destruction and
+// appends the stage to its reporter.
+class StageTimer {
+ public:
+  StageTimer(BenchReporter* reporter, std::string name);
+  ~StageTimer();
+  StageTimer(StageTimer&& other) noexcept;
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+  StageTimer& operator=(StageTimer&&) = delete;
+
+  void set_items(uint64_t items) { items_ = items; }
+  void set_bytes(uint64_t bytes) { bytes_ = bytes; }
+  void add_items(uint64_t n = 1) { items_ += n; }
+  void add_bytes(uint64_t n) { bytes_ += n; }
+
+ private:
+  BenchReporter* reporter_;
+  std::string name_;
+  uint64_t items_ = 0;
+  uint64_t bytes_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+class BenchReporter {
+ public:
+  // `name` is the bench identity: "table1" writes BENCH_table1.json.
+  explicit BenchReporter(std::string name);
+  ~BenchReporter();
+
+  void AddNote(const std::string& key, const std::string& value);
+  void AddStage(BenchStage stage);
+  StageTimer Stage(std::string name) { return StageTimer(this, std::move(name)); }
+
+  // Emits the JSON file; prints a diag warning on failure (benches should
+  // not turn an unwritable report into a failed table regeneration).
+  Status WriteJson();
+
+  std::string path() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> notes_;
+  std::vector<BenchStage> stages_;
+  bool written_ = false;
+};
+
+}  // namespace obs
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_OBS_BENCH_REPORT_H_

@@ -1,0 +1,47 @@
+#include "src/obs/diag.h"
+
+#include <cstdio>
+
+namespace depsurf {
+namespace obs {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kTrace:
+      return "trace";
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+void Diag(Severity severity, const std::string& message) {
+  fprintf(stderr, "depsurf: %s: %s\n", SeverityName(severity), message.c_str());
+}
+
+void Diag(Severity severity, const std::string& message, const Error& error) {
+  fprintf(stderr, "depsurf: %s: %s: %s\n", SeverityName(severity), message.c_str(),
+          error.ToString().c_str());
+}
+
+int DiagError(const std::string& message) {
+  Diag(Severity::kError, message);
+  return 1;
+}
+
+int DiagError(const Error& error) {
+  Diag(Severity::kError, error.ToString());
+  return 1;
+}
+
+int DiagError(const std::string& context, const Error& error) {
+  Diag(Severity::kError, context, error);
+  return 1;
+}
+
+}  // namespace obs
+}  // namespace depsurf

@@ -1,0 +1,38 @@
+// Diagnostics helper shared by the CLI and the live span trace: one place
+// that formats "depsurf: <severity>: message" lines to stderr, with an
+// optional structured Error appended. Replaces the bare Fail()/fprintf
+// pattern the CLI started with.
+#ifndef DEPSURF_SRC_OBS_DIAG_H_
+#define DEPSURF_SRC_OBS_DIAG_H_
+
+#include <string>
+
+#include "src/util/error.h"
+
+namespace depsurf {
+namespace obs {
+
+enum class Severity : uint8_t {
+  kTrace,    // live span output (only with --trace)
+  kInfo,
+  kWarning,
+  kError,
+};
+
+const char* SeverityName(Severity severity);
+
+// Prints "depsurf: <severity>: <message>[: <error>]" to stderr.
+void Diag(Severity severity, const std::string& message);
+void Diag(Severity severity, const std::string& message, const Error& error);
+
+// Error-and-exit-code helper for CLI command functions:
+//   return DiagError("cannot open " + path);           -> 1
+//   return DiagError(result.error());                  -> 1
+int DiagError(const std::string& message);
+int DiagError(const Error& error);
+int DiagError(const std::string& context, const Error& error);
+
+}  // namespace obs
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_OBS_DIAG_H_

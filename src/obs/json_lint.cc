@@ -1,0 +1,399 @@
+#include "src/obs/json_lint.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "src/obs/metrics.h"
+#include "src/obs/run_report.h"
+#include "src/util/str_util.h"
+
+namespace depsurf {
+namespace obs {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    DEPSURF_ASSIGN_OR_RETURN(value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after document");
+    }
+    return value;
+  }
+
+ private:
+  Error Fail(const std::string& what) {
+    return Error(ErrorCode::kMalformedData,
+                 StrFormat("JSON: %s at offset %zu", what.c_str(), pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject();
+    }
+    if (c == '[') {
+      return ParseArray();
+    }
+    if (c == '"') {
+      return ParseString();
+    }
+    if (c == 't' || c == 'f') {
+      return ParseKeyword(c == 't' ? "true" : "false", JsonValue::Kind::kBool, c == 't');
+    }
+    if (c == 'n') {
+      return ParseKeyword("null", JsonValue::Kind::kNull, false);
+    }
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseKeyword(std::string_view keyword, JsonValue::Kind kind, bool value) {
+    if (text_.substr(pos_, keyword.size()) != keyword) {
+      return Fail("bad keyword");
+    }
+    pos_ += keyword.size();
+    JsonValue out;
+    out.kind = kind;
+    out.boolean = value;
+    return out;
+  }
+
+  Result<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Fail("expected a value");
+    }
+    std::string digits(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = strtod(digits.c_str(), &end);
+    if (end != digits.c_str() + digits.size()) {
+      return Fail("malformed number");
+    }
+    JsonValue out;
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = value;
+    return out;
+  }
+
+  Result<JsonValue> ParseString() {
+    ++pos_;  // opening quote
+    JsonValue out;
+    out.kind = JsonValue::Kind::kString;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out.string += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return Fail("truncated escape");
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out.string += esc;
+          break;
+        case 'n':
+          out.string += '\n';
+          break;
+        case 't':
+          out.string += '\t';
+          break;
+        case 'r':
+          out.string += '\r';
+          break;
+        case 'b':
+          out.string += '\b';
+          break;
+        case 'f':
+          out.string += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Fail("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad \\u escape");
+            }
+          }
+          // Control-plane strings are ASCII; wider code points round-trip
+          // as '?' which is fine for validation purposes.
+          out.string += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    if (pos_ >= text_.size()) {
+      return Fail("unterminated string");
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  Result<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    JsonValue out;
+    out.kind = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) {
+      return out;
+    }
+    while (true) {
+      DEPSURF_ASSIGN_OR_RETURN(element, ParseValue());
+      out.array.push_back(std::move(element));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return out;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  Result<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    JsonValue out;
+    out.kind = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) {
+      return out;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      DEPSURF_ASSIGN_OR_RETURN(key, ParseString());
+      if (!Consume(':')) {
+        return Fail("expected ':'");
+      }
+      DEPSURF_ASSIGN_OR_RETURN(value, ParseValue());
+      out.object.emplace_back(std::move(key.string), std::move(value));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return out;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+void CollectSpanNamesFrom(const JsonValue& span, std::set<std::string>& out) {
+  const JsonValue* name = span.Find("name");
+  if (name != nullptr && name->kind == JsonValue::Kind::kString) {
+    out.insert(name->string);
+  }
+  const JsonValue* children = span.Find("children");
+  if (children != nullptr && children->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& child : children->array) {
+      CollectSpanNamesFrom(child, out);
+    }
+  }
+}
+
+std::string CanonicalNumber(double v) {
+  if (std::floor(v) == v && std::fabs(v) < 9.0e15) {
+    return StrFormat("%lld", (long long)v);
+  }
+  return StrFormat("%.17g", v);
+}
+
+// Zeroes a value in place of a timing field: numbers become 0, strings "0",
+// arrays empty, objects keep their keys with every member zeroed.
+void AppendMaskedValue(std::string& out, const JsonValue& value) {
+  switch (value.kind) {
+    case JsonValue::Kind::kNumber:
+      out += "0";
+      break;
+    case JsonValue::Kind::kString:
+      out += "\"0\"";
+      break;
+    case JsonValue::Kind::kArray:
+      out += "[]";
+      break;
+    case JsonValue::Kind::kObject: {
+      out += "{";
+      for (size_t i = 0; i < value.object.size(); ++i) {
+        if (i != 0) {
+          out += ",";
+        }
+        out += "\"" + JsonEscape(value.object[i].first) + "\":";
+        AppendMaskedValue(out, value.object[i].second);
+      }
+      out += "}";
+      break;
+    }
+    case JsonValue::Kind::kBool:
+      out += value.boolean ? "true" : "false";
+      break;
+    case JsonValue::Kind::kNull:
+      out += "null";
+      break;
+  }
+}
+
+void AppendCanonical(std::string& out, const JsonValue& value) {
+  switch (value.kind) {
+    case JsonValue::Kind::kNull:
+      out += "null";
+      break;
+    case JsonValue::Kind::kBool:
+      out += value.boolean ? "true" : "false";
+      break;
+    case JsonValue::Kind::kNumber:
+      out += CanonicalNumber(value.number);
+      break;
+    case JsonValue::Kind::kString:
+      out += "\"" + JsonEscape(value.string) + "\"";
+      break;
+    case JsonValue::Kind::kArray:
+      out += "[";
+      for (size_t i = 0; i < value.array.size(); ++i) {
+        if (i != 0) {
+          out += ",";
+        }
+        AppendCanonical(out, value.array[i]);
+      }
+      out += "]";
+      break;
+    case JsonValue::Kind::kObject:
+      out += "{";
+      for (size_t i = 0; i < value.object.size(); ++i) {
+        if (i != 0) {
+          out += ",";
+        }
+        const auto& [key, member] = value.object[i];
+        out += "\"" + JsonEscape(key) + "\":";
+        if (key == "dur_ns" || IsTimingMetricName(key)) {
+          AppendMaskedValue(out, member);
+        } else {
+          AppendCanonical(out, member);
+        }
+      }
+      out += "}";
+      break;
+  }
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : object) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+Result<JsonValue> ParseJson(std::string_view text) { return Parser(text).Parse(); }
+
+std::set<std::string> CollectSpanNames(const JsonValue& report) {
+  std::set<std::string> names;
+  const JsonValue* spans = report.Find("spans");
+  if (spans != nullptr && spans->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& span : spans->array) {
+      CollectSpanNamesFrom(span, names);
+    }
+  }
+  return names;
+}
+
+Status ValidateRunReport(std::string_view json, size_t min_distinct_spans,
+                         const std::vector<std::string>& required_counters) {
+  auto parsed = ParseJson(json);
+  if (!parsed.ok()) {
+    return parsed.TakeError();
+  }
+  const JsonValue& report = *parsed;
+  const JsonValue* schema = report.Find("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::kString ||
+      schema->string != kRunReportSchema) {
+    return Status(ErrorCode::kMalformedData,
+                  StrFormat("missing or wrong schema marker (want %s)", kRunReportSchema));
+  }
+  for (const char* section : {"spans", "counters", "gauges", "histograms"}) {
+    if (report.Find(section) == nullptr) {
+      return Status(ErrorCode::kMalformedData, StrFormat("missing section %s", section));
+    }
+  }
+  std::set<std::string> names = CollectSpanNames(report);
+  if (names.size() < min_distinct_spans) {
+    return Status(ErrorCode::kMalformedData,
+                  StrFormat("only %zu distinct span names, need %zu", names.size(),
+                            min_distinct_spans));
+  }
+  const JsonValue* counters = report.Find("counters");
+  for (const std::string& required : required_counters) {
+    if (counters->Find(required) == nullptr) {
+      return Status(ErrorCode::kMalformedData, "missing counter " + required);
+    }
+  }
+  return Status::Ok();
+}
+
+std::string CanonicalMaskedJson(const JsonValue& value) {
+  std::string out;
+  AppendCanonical(out, value);
+  out += "\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace depsurf

@@ -1,0 +1,57 @@
+// Minimal JSON parser used to validate run reports without external
+// dependencies: full object/array/string/number/bool/null grammar, parsed
+// into a small DOM that preserves object key order. Powers the golden-schema
+// test, `depsurf metrics lint`, and the obs-smoke determinism check.
+#ifndef DEPSURF_SRC_OBS_JSON_LINT_H_
+#define DEPSURF_SRC_OBS_JSON_LINT_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/error.h"
+
+namespace depsurf {
+namespace obs {
+
+struct JsonValue {
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  // Insertion-ordered (objects keep the order keys appear in the document).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  // First member with the given key; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+Result<JsonValue> ParseJson(std::string_view text);
+
+// Validates a depsurf.run_report.v1 document:
+//   - parses as JSON, has the schema marker and the four sections
+//   - at least `min_distinct_spans` distinct span names (tree-wide)
+//   - every name in `required_counters` is present under "counters"
+// Returns Ok or a message naming the first violation.
+Status ValidateRunReport(std::string_view json, size_t min_distinct_spans = 0,
+                         const std::vector<std::string>& required_counters = {});
+
+// Distinct span names in a parsed report (empty if not a report).
+std::set<std::string> CollectSpanNames(const JsonValue& report);
+
+// Re-emits a parsed JSON document in canonical compact form with timing
+// fields masked ("dur_ns" members and members/attr keys with timing
+// suffixes zeroed, timing histograms emptied). Two runs over identical
+// inputs canonicalize to identical bytes.
+std::string CanonicalMaskedJson(const JsonValue& value);
+
+}  // namespace obs
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_OBS_JSON_LINT_H_

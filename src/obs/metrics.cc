@@ -1,0 +1,137 @@
+#include "src/obs/metrics.h"
+
+namespace depsurf {
+namespace obs {
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value == 0) {
+    return 0;
+  }
+  size_t log2 = 0;
+  while (value >>= 1) {
+    ++log2;
+  }
+  return log2 + 1;
+}
+
+uint64_t Histogram::BucketLowerBound(size_t bucket) {
+  if (bucket == 0) {
+    return 0;
+  }
+  return uint64_t{1} << (bucket - 1);
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
+std::atomic<uint64_t>* MetricsRegistry::Counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<std::atomic<uint64_t>>(0)).first;
+  }
+  return it->second.get();
+}
+
+std::atomic<int64_t>* MetricsRegistry::Gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<std::atomic<int64_t>>(0)).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::Incr(std::string_view name, uint64_t delta) {
+  Counter(name)->fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Set(std::string_view name, int64_t value) {
+  Gauge(name)->store(value, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Record(std::string_view name, uint64_t value) {
+  GetHistogram(name)->Record(value);
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
+  }
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricsRegistry::GaugeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge->load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>> MetricsRegistry::HistogramSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.emplace_back(name, histogram.get());
+  }
+  return out;
+}
+
+bool IsTimingMetricName(std::string_view name) {
+  for (std::string_view suffix : {"_ns", "_us", "_ms", "_seconds"}) {
+    if (name.size() >= suffix.size() &&
+        name.substr(name.size() - suffix.size()) == suffix) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace obs
+}  // namespace depsurf

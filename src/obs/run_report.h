@@ -1,0 +1,54 @@
+// Machine-readable run reports: one JSON (or human text) document combining
+// the finished span tree and the metrics registry.
+//
+// Schema (depsurf.run_report.v1):
+//   {
+//     "schema": "depsurf.run_report.v1",
+//     "spans": [ {"name": "...", "dur_ns": N,
+//                 "attrs": {"k": "v", ...}, "children": [...]}, ... ],
+//     "counters": {"btf.types_decoded": N, ...},
+//     "gauges": {"study.build_dataset.wall_ms": N, ...},
+//     "histograms": {"elf.section_bytes":
+//         {"count": N, "sum": N, "buckets": [[lower_bound, count], ...]}, ...}
+//   }
+//
+// Key order is deterministic (maps are sorted, span attrs keep insertion
+// order). Timing values — span "dur_ns" fields plus any metric or attribute
+// whose key has a timing suffix (_ns/_us/_ms/_seconds) — are the only
+// nondeterministic fields; serializing with mask_timings zeroes them, after
+// which two runs over the same inputs are byte-identical.
+#ifndef DEPSURF_SRC_OBS_RUN_REPORT_H_
+#define DEPSURF_SRC_OBS_RUN_REPORT_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
+#include "src/util/error.h"
+
+namespace depsurf {
+namespace obs {
+
+inline constexpr char kRunReportSchema[] = "depsurf.run_report.v1";
+
+struct RunReportOptions {
+  bool mask_timings = false;  // zero dur_ns and *_ns/_us/_ms/_seconds fields
+};
+
+// Serializes the given collector + registry.
+std::string RunReportJson(const SpanCollector& spans, const MetricsRegistry& metrics,
+                          const RunReportOptions& options = {});
+std::string RunReportText(const SpanCollector& spans, const MetricsRegistry& metrics);
+
+// Globals convenience (what the CLI and benches use).
+std::string GlobalRunReportJson(const RunReportOptions& options = {});
+std::string GlobalRunReportText();
+Status WriteGlobalRunReport(const std::string& path, const RunReportOptions& options = {});
+
+// Escapes a string for embedding in a JSON document (no surrounding quotes).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace obs
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_OBS_RUN_REPORT_H_

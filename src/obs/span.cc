@@ -1,0 +1,85 @@
+#include "src/obs/span.h"
+
+#include "src/obs/diag.h"
+#include "src/util/str_util.h"
+
+namespace depsurf {
+namespace obs {
+
+namespace {
+
+thread_local ScopedSpan* tls_current_span = nullptr;
+
+}  // namespace
+
+SpanCollector& SpanCollector::Global() {
+  static SpanCollector* collector = new SpanCollector;
+  return *collector;
+}
+
+void SpanCollector::AddRoot(SpanNode node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  roots_.push_back(std::move(node));
+}
+
+std::vector<SpanNode> SpanCollector::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return roots_;
+}
+
+void SpanCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  roots_.clear();
+}
+
+ScopedSpan::ScopedSpan(std::string name)
+    : parent_(tls_current_span), start_(std::chrono::steady_clock::now()) {
+  node_.name = std::move(name);
+  tls_current_span = this;
+}
+
+ScopedSpan::~ScopedSpan() {
+  node_.dur_ns = static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                           std::chrono::steady_clock::now() - start_)
+                                           .count());
+  SpanCollector& collector = SpanCollector::Global();
+  if (collector.live_trace()) {
+    std::string line(static_cast<size_t>(depth()) * 2, ' ');
+    line += node_.name;
+    line += StrFormat(" %.3f ms", static_cast<double>(node_.dur_ns) / 1e6);
+    for (const auto& [key, value] : node_.attrs) {
+      line += " " + key + "=" + value;
+    }
+    Diag(Severity::kTrace, line);
+  }
+  tls_current_span = parent_;
+  if (parent_ != nullptr) {
+    parent_->node_.children.push_back(std::move(node_));
+  } else {
+    collector.AddRoot(std::move(node_));
+  }
+}
+
+void ScopedSpan::AddAttr(std::string key, std::string value) {
+  node_.attrs.emplace_back(std::move(key), std::move(value));
+}
+
+void ScopedSpan::AddAttr(std::string key, const char* value) {
+  node_.attrs.emplace_back(std::move(key), std::string(value));
+}
+
+void ScopedSpan::AddAttr(std::string key, uint64_t value) {
+  node_.attrs.emplace_back(std::move(key),
+                           StrFormat("%llu", static_cast<unsigned long long>(value)));
+}
+
+int ScopedSpan::depth() const {
+  int depth = 0;
+  for (const ScopedSpan* span = parent_; span != nullptr; span = span->parent_) {
+    ++depth;
+  }
+  return depth;
+}
+
+}  // namespace obs
+}  // namespace depsurf

@@ -1,0 +1,76 @@
+// ScopedSpan: an RAII tracer producing a nested span tree over the analysis
+// pipeline. Each thread maintains its own stack of active spans; a span
+// opened while another is active on the same thread becomes its child, and
+// a span that finishes with no parent is handed to the process-wide
+// SpanCollector. Durations come from the monotonic clock.
+//
+// Span names follow the metric convention ("surface.extract"); attributes
+// carry small facts like the image label, section name, or record counts.
+// Attribute keys with timing suffixes (_ns/_us/_ms/_seconds) are masked by
+// deterministic serialization, everything else must be reproducible.
+#ifndef DEPSURF_SRC_OBS_SPAN_H_
+#define DEPSURF_SRC_OBS_SPAN_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace depsurf {
+namespace obs {
+
+struct SpanNode {
+  std::string name;
+  uint64_t dur_ns = 0;
+  std::vector<std::pair<std::string, std::string>> attrs;  // insertion order
+  std::vector<SpanNode> children;
+};
+
+// Collects finished root spans, in finish order. Thread-safe.
+class SpanCollector {
+ public:
+  static SpanCollector& Global();
+
+  void AddRoot(SpanNode node);
+  std::vector<SpanNode> Snapshot() const;
+  void Clear();
+
+  // When enabled, every span prints one line to stderr as it finishes
+  // (leaf-first, indented by nesting depth) via the diag helper.
+  void SetLiveTrace(bool enabled) { live_trace_.store(enabled, std::memory_order_relaxed); }
+  bool live_trace() const { return live_trace_.load(std::memory_order_relaxed); }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanNode> roots_;
+  std::atomic<bool> live_trace_{false};
+};
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void AddAttr(std::string key, std::string value);
+  void AddAttr(std::string key, const char* value);
+  void AddAttr(std::string key, uint64_t value);
+
+  // Nesting depth of this span on its thread (0 for a root).
+  int depth() const;
+
+ private:
+  SpanNode node_;
+  ScopedSpan* parent_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_OBS_SPAN_H_

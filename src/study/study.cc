@@ -1,10 +1,16 @@
 #include "src/study/study.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <deque>
 #include <future>
 #include <thread>
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 
 namespace depsurf {
 
@@ -45,23 +51,33 @@ Result<DependencySurface> Study::ExtractSurface(const BuildSpec& build) const {
 
 Result<Dataset> Study::BuildDataset(
     const std::vector<BuildSpec>& corpus,
-    const std::function<void(const std::string&)>& progress) const {
+    const std::function<void(const ImageProgress&)>& progress) const {
+  obs::ScopedSpan span("study.build_dataset");
+  span.AddAttr("images", static_cast<uint64_t>(corpus.size()));
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::clock_t cpu_start = std::clock();
+
   // Extraction is pure, so images run concurrently in a bounded window;
   // distillation happens serially in corpus order (Dataset interning is
   // order-sensitive and must stay deterministic).
   size_t window = std::max<unsigned>(1, std::thread::hardware_concurrency());
   window = std::min(window, size_t{8});  // surfaces are large; bound memory
   Dataset dataset;
-  std::deque<std::future<Result<DependencySurface>>> in_flight;
+  using TimedSurface = std::pair<Result<DependencySurface>, double>;
+  std::deque<std::future<TimedSurface>> in_flight;
   size_t next_launch = 0;
   size_t next_consume = 0;
   while (next_consume < corpus.size()) {
     while (next_launch < corpus.size() && in_flight.size() < window) {
       const BuildSpec& build = corpus[next_launch++];
-      in_flight.push_back(
-          std::async(std::launch::async, [this, build] { return ExtractSurface(build); }));
+      in_flight.push_back(std::async(std::launch::async, [this, build] {
+        const auto start = std::chrono::steady_clock::now();
+        Result<DependencySurface> surface = ExtractSurface(build);
+        const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+        return TimedSurface{std::move(surface), elapsed.count()};
+      }));
     }
-    Result<DependencySurface> surface = in_flight.front().get();
+    auto [surface, seconds] = in_flight.front().get();
     in_flight.pop_front();
     if (!surface.ok()) {
       for (auto& future : in_flight) {
@@ -69,12 +85,28 @@ Result<Dataset> Study::BuildDataset(
       }
       return surface.TakeError();
     }
+    obs::MetricsRegistry::Global().GetHistogram("study.image_extract_ms")
+        ->Record(static_cast<uint64_t>(seconds * 1e3));
     if (progress) {
-      progress(corpus[next_consume].Label());
+      ImageProgress report;
+      report.label = corpus[next_consume].Label();
+      report.seconds = seconds;
+      report.index = next_consume;
+      report.total = corpus.size();
+      progress(report);
     }
     dataset.AddImage(corpus[next_consume].Label(), *surface);
     ++next_consume;
   }
+
+  const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - wall_start;
+  const double cpu_seconds =
+      static_cast<double>(std::clock() - cpu_start) / static_cast<double>(CLOCKS_PER_SEC);
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.Incr("study.datasets_built");
+  metrics.Set("study.build_dataset.wall_ms", static_cast<uint64_t>(wall.count() * 1e3));
+  metrics.Set("study.build_dataset.cpu_ms", static_cast<uint64_t>(cpu_seconds * 1e3));
+  span.AddAttr("window", static_cast<uint64_t>(window));
   return dataset;
 }
 

@@ -40,12 +40,23 @@ class Study {
   Result<std::vector<uint8_t>> BuildImage(const BuildSpec& build) const;
   Result<DependencySurface> ExtractSurface(const BuildSpec& build) const;
 
+  // Per-image progress report for BuildDataset: which image just finished,
+  // how long its generate+extract round trip took, and where the build
+  // stands in the corpus. `seconds` is wall time inside the worker, so with
+  // parallel extraction the sum exceeds the dataset wall time.
+  struct ImageProgress {
+    std::string label;
+    double seconds = 0.0;
+    size_t index = 0;  // 0-based position in the corpus
+    size_t total = 0;
+  };
+
   // Builds a dataset over the given corpus. Image generation + extraction
   // run in parallel (they are pure); distillation is serial and in corpus
   // order, so results are deterministic. `progress` (optional) is called
-  // with each image label as its surface is distilled.
+  // once per image as its surface is distilled.
   Result<Dataset> BuildDataset(const std::vector<BuildSpec>& corpus,
-                               const std::function<void(const std::string&)>& progress = {}) const;
+                               const std::function<void(const ImageProgress&)>& progress = {}) const;
 
   // Analyzes one program object (by Table 7 name) against a dataset.
   Result<ProgramReport> Analyze(const Dataset& dataset, const std::string& program) const;

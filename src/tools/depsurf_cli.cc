@@ -3,10 +3,15 @@
 //   depsurf gen   --version=5.4 [--arch=x86] [--flavor=generic] [--scale=1.0]
 //                 [--seed=N] --out=IMAGE          generate a kernel image
 //   depsurf surface IMAGE [--func=NAME] [--json]  inspect a dependency surface
+//   depsurf stats   IMAGE [--json]                decode an image, report pipeline metrics
 //   depsurf diff    OLD NEW                       diff two images (Table 3/4 style)
 //   depsurf check   OBJECT IMAGE...               report mismatches for an eBPF object
 //   depsurf progs                                 list the bundled 53-program corpus
 //   depsurf emit    PROGRAM --out=OBJ             write a bundled program's .o
+//   depsurf metrics lint|canon FILE               validate / canonicalize a run report
+//
+// Every command accepts --metrics-out=FILE (write a depsurf.run_report.v1
+// JSON document on exit) and --trace (stream spans to stderr as they close).
 //
 // Images and objects are ordinary files; `gen`/`emit` exist because this
 // reproduction generates its corpus instead of downloading Ubuntu dbgsym
@@ -15,19 +20,19 @@
 #include <cstring>
 #include <fstream>
 
+#include "src/bpf/core_reloc_engine.h"
 #include "src/btf/btf_print.h"
 #include "src/core/dataset_io.h"
+#include "src/obs/diag.h"
+#include "src/obs/json_lint.h"
+#include "src/obs/run_report.h"
 #include "src/study/study.h"
 #include "src/util/str_util.h"
 
 using namespace depsurf;
+using obs::DiagError;
 
 namespace {
-
-int Fail(const std::string& message) {
-  fprintf(stderr, "depsurf: %s\n", message.c_str());
-  return 1;
-}
 
 Result<std::vector<uint8_t>> ReadFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -82,13 +87,13 @@ std::vector<std::string> Positional(int argc, char** argv) {
 int CmdGen(int argc, char** argv) {
   auto version = KernelVersion::Parse(FlagValue(argc, argv, "version", "5.4"));
   if (!version.ok()) {
-    return Fail(version.error().ToString());
+    return DiagError(version.error().ToString());
   }
   std::string arch_name = FlagValue(argc, argv, "arch", "x86");
   std::string flavor_name = FlagValue(argc, argv, "flavor", "generic");
   std::string out = FlagValue(argc, argv, "out", "");
   if (out.empty()) {
-    return Fail("gen requires --out=FILE");
+    return DiagError("gen requires --out=FILE");
   }
   Arch arch = Arch::kX86;
   bool arch_ok = false;
@@ -107,16 +112,16 @@ int CmdGen(int argc, char** argv) {
     }
   }
   if (!arch_ok || !flavor_ok) {
-    return Fail("unknown --arch or --flavor");
+    return DiagError("unknown --arch or --flavor");
   }
   Study study(StudyOptions::FromArgs(argc, argv, /*default_scale=*/1.0));
   auto bytes = study.BuildImage(MakeBuild(*version, arch, flavor));
   if (!bytes.ok()) {
-    return Fail(bytes.error().ToString());
+    return DiagError(bytes.error().ToString());
   }
   Status written = WriteFile(out, *bytes);
   if (!written.ok()) {
-    return Fail(written.ToString());
+    return DiagError(written.ToString());
   }
   printf("wrote %s (%zu bytes, %s)\n", out.c_str(), bytes->size(),
          MakeBuild(*version, arch, flavor).Label().c_str());
@@ -126,15 +131,15 @@ int CmdGen(int argc, char** argv) {
 int CmdSurface(int argc, char** argv) {
   auto positional = Positional(argc, argv);
   if (positional.empty()) {
-    return Fail("surface requires an IMAGE path");
+    return DiagError("surface requires an IMAGE path");
   }
   auto bytes = ReadFile(positional[0]);
   if (!bytes.ok()) {
-    return Fail(bytes.error().ToString());
+    return DiagError(bytes.error().ToString());
   }
   auto surface = DependencySurface::Extract(bytes.TakeValue());
   if (!surface.ok()) {
-    return Fail(surface.error().ToString());
+    return DiagError(surface.error().ToString());
   }
   const SurfaceMeta& meta = surface->meta();
   printf("image: Linux v%d.%d %s/%s gcc%d (%d-bit %s-endian, %u config options)\n",
@@ -164,7 +169,7 @@ int CmdSurface(int argc, char** argv) {
   if (!func.empty()) {
     const FunctionEntry* entry = surface->FindFunction(func);
     if (entry == nullptr) {
-      return Fail("no function named " + func + " on this surface");
+      return DiagError("no function named " + func + " on this surface");
     }
     if (HasFlag(argc, argv, "json")) {
       printf("%s\n", entry->StatusJson().c_str());
@@ -194,23 +199,86 @@ int CmdSurface(int argc, char** argv) {
   return 0;
 }
 
+// Decodes an image end to end (ELF, BTF, DWARF, surface extraction) and
+// prints the metrics the pipeline collected along the way. The JSON form is
+// the same document --metrics-out writes.
+int CmdStats(int argc, char** argv) {
+  auto positional = Positional(argc, argv);
+  if (positional.empty()) {
+    return DiagError("stats requires an IMAGE path");
+  }
+  auto bytes = ReadFile(positional[0]);
+  if (!bytes.ok()) {
+    return DiagError(bytes.error());
+  }
+  auto surface = DependencySurface::Extract(bytes.TakeValue());
+  if (!surface.ok()) {
+    return DiagError(positional[0], surface.error());
+  }
+  if (HasFlag(argc, argv, "json")) {
+    printf("%s\n", obs::GlobalRunReportJson().c_str());
+  } else {
+    printf("%s", obs::GlobalRunReportText().c_str());
+  }
+  return 0;
+}
+
+// Validates or canonicalizes a run-report JSON file written by
+// --metrics-out. `lint` checks schema + span/counter coverage; `canon`
+// re-emits the document in compact form with timing fields masked, so two
+// runs over the same inputs can be compared byte for byte.
+int CmdMetrics(int argc, char** argv) {
+  auto positional = Positional(argc, argv);
+  if (positional.size() < 2 || (positional[0] != "lint" && positional[0] != "canon")) {
+    return DiagError("metrics requires a subcommand: lint FILE | canon FILE");
+  }
+  auto bytes = ReadFile(positional[1]);
+  if (!bytes.ok()) {
+    return DiagError(bytes.error());
+  }
+  std::string text(bytes->begin(), bytes->end());
+  if (positional[0] == "canon") {
+    auto json = obs::ParseJson(text);
+    if (!json.ok()) {
+      return DiagError(positional[1], json.error());
+    }
+    printf("%s\n", obs::CanonicalMaskedJson(*json).c_str());
+    return 0;
+  }
+  size_t min_spans = strtoull(FlagValue(argc, argv, "min-spans", "0").c_str(), nullptr, 10);
+  std::vector<std::string> required;
+  for (const std::string& name : SplitString(FlagValue(argc, argv, "require", ""), ',')) {
+    if (!name.empty()) {
+      required.push_back(name);
+    }
+  }
+  Status valid = obs::ValidateRunReport(text, min_spans, required);
+  if (!valid.ok()) {
+    return DiagError(positional[1], valid.error());
+  }
+  auto json = obs::ParseJson(text);
+  printf("%s: valid %s (%zu distinct spans)\n", positional[1].c_str(), obs::kRunReportSchema,
+         obs::CollectSpanNames(*json).size());
+  return 0;
+}
+
 int CmdDiff(int argc, char** argv) {
   auto positional = Positional(argc, argv);
   if (positional.size() < 2) {
-    return Fail("diff requires OLD and NEW image paths");
+    return DiagError("diff requires OLD and NEW image paths");
   }
   auto old_bytes = ReadFile(positional[0]);
   auto new_bytes = ReadFile(positional[1]);
   if (!old_bytes.ok() || !new_bytes.ok()) {
-    return Fail("cannot read images");
+    return DiagError("cannot read images");
   }
   auto old_surface = DependencySurface::Extract(old_bytes.TakeValue());
   if (!old_surface.ok()) {
-    return Fail("old image: " + old_surface.error().ToString());
+    return DiagError("old image: " + old_surface.error().ToString());
   }
   auto new_surface = DependencySurface::Extract(new_bytes.TakeValue());
   if (!new_surface.ok()) {
-    return Fail("new image: " + new_surface.error().ToString());
+    return DiagError("new image: " + new_surface.error().ToString());
   }
   SurfaceDiff diff = DiffSurfaces(*old_surface, *new_surface);
   printf("functions:   +%zu -%zu changed %zu\n", diff.funcs.added.size(),
@@ -243,41 +311,51 @@ int CmdCheck(int argc, char** argv) {
   auto positional = Positional(argc, argv);
   std::string dataset_path = FlagValue(argc, argv, "dataset", "");
   if (positional.empty() || (positional.size() < 2 && dataset_path.empty())) {
-    return Fail("check requires OBJECT and either IMAGE... or --dataset=FILE");
+    return DiagError("check requires OBJECT and either IMAGE... or --dataset=FILE");
   }
   auto object_bytes = ReadFile(positional[0]);
   if (!object_bytes.ok()) {
-    return Fail(object_bytes.error().ToString());
+    return DiagError(object_bytes.error().ToString());
   }
   auto object = ParseBpfObject(object_bytes.TakeValue());
   if (!object.ok()) {
-    return Fail("object: " + object.error().ToString());
+    return DiagError("object: " + object.error().ToString());
   }
   auto deps = ExtractDependencySet(*object);
   if (!deps.ok()) {
-    return Fail(deps.error().ToString());
+    return DiagError(deps.error().ToString());
   }
   Dataset dataset;
   if (!dataset_path.empty()) {
     auto bytes = ReadFile(dataset_path);
     if (!bytes.ok()) {
-      return Fail(bytes.error().ToString());
+      return DiagError(bytes.error().ToString());
     }
     auto loaded = LoadDataset(*bytes);
     if (!loaded.ok()) {
-      return Fail(dataset_path + ": " + loaded.error().ToString());
+      return DiagError(dataset_path + ": " + loaded.error().ToString());
     }
     dataset = loaded.TakeValue();
   }
   for (size_t i = 1; i < positional.size(); ++i) {
     auto bytes = ReadFile(positional[i]);
     if (!bytes.ok()) {
-      return Fail(bytes.error().ToString());
+      return DiagError(bytes.error().ToString());
     }
     auto surface = DependencySurface::Extract(bytes.TakeValue());
     if (!surface.ok()) {
-      return Fail(positional[i] + ": " + surface.error().ToString());
+      return DiagError(positional[i] + ": " + surface.error().ToString());
     }
+    // Full images carry kernel BTF, so beyond the dataset row check we can
+    // replay the object's CO-RE relocations against each one.
+    LoadResult load = SimulateLoad(*object, surface->btf());
+    size_t resolved = 0;
+    for (const RelocResult& r : load.relocs) {
+      resolved += r.outcome == RelocOutcome::kResolved ? 1 : 0;
+    }
+    printf("load %-28s %s (%zu/%zu relocs resolved%s%s)\n", positional[i].c_str(),
+           load.loaded ? "ok" : "FAILS", resolved, load.relocs.size(),
+           load.loaded ? "" : ": ", load.failure.c_str());
     dataset.AddImage(positional[i], *surface);
   }
   ProgramReport report = AnalyzeProgram(dataset, *deps);
@@ -289,22 +367,22 @@ int CmdCheck(int argc, char** argv) {
 int CmdDataset(int argc, char** argv) {
   auto positional = Positional(argc, argv);
   if (positional.empty()) {
-    return Fail("dataset requires a subcommand: build | info");
+    return DiagError("dataset requires a subcommand: build | info");
   }
   if (positional[0] == "build") {
     std::string out = FlagValue(argc, argv, "out", "");
     if (positional.size() < 2 || out.empty()) {
-      return Fail("dataset build requires IMAGE... and --out=FILE");
+      return DiagError("dataset build requires IMAGE... and --out=FILE");
     }
     Dataset dataset;
     for (size_t i = 1; i < positional.size(); ++i) {
       auto bytes = ReadFile(positional[i]);
       if (!bytes.ok()) {
-        return Fail(bytes.error().ToString());
+        return DiagError(bytes.error().ToString());
       }
       auto surface = DependencySurface::Extract(bytes.TakeValue());
       if (!surface.ok()) {
-        return Fail(positional[i] + ": " + surface.error().ToString());
+        return DiagError(positional[i] + ": " + surface.error().ToString());
       }
       dataset.AddImage(positional[i], *surface);
       printf("distilled %s\n", positional[i].c_str());
@@ -312,7 +390,7 @@ int CmdDataset(int argc, char** argv) {
     std::vector<uint8_t> bytes = SaveDataset(dataset);
     Status written = WriteFile(out, bytes);
     if (!written.ok()) {
-      return Fail(written.ToString());
+      return DiagError(written.ToString());
     }
     printf("wrote %s (%zu images, %zu bytes)\n", out.c_str(), dataset.num_images(),
            bytes.size());
@@ -320,15 +398,15 @@ int CmdDataset(int argc, char** argv) {
   }
   if (positional[0] == "info") {
     if (positional.size() < 2) {
-      return Fail("dataset info requires a FILE");
+      return DiagError("dataset info requires a FILE");
     }
     auto bytes = ReadFile(positional[1]);
     if (!bytes.ok()) {
-      return Fail(bytes.error().ToString());
+      return DiagError(bytes.error().ToString());
     }
     auto dataset = LoadDataset(*bytes);
     if (!dataset.ok()) {
-      return Fail(dataset.error().ToString());
+      return DiagError(dataset.error().ToString());
     }
     printf("%zu images, %zu interned strings\n", dataset->num_images(), dataset->pool_size());
     for (const ImageRecord& image : dataset->images()) {
@@ -340,7 +418,7 @@ int CmdDataset(int argc, char** argv) {
     }
     return 0;
   }
-  return Fail("unknown dataset subcommand " + positional[0]);
+  return DiagError("unknown dataset subcommand " + positional[0]);
 }
 
 int CmdProgs(Study& study) {
@@ -354,48 +432,47 @@ int CmdEmit(int argc, char** argv, Study& study) {
   auto positional = Positional(argc, argv);
   std::string out = FlagValue(argc, argv, "out", "");
   if (positional.empty() || out.empty()) {
-    return Fail("emit requires PROGRAM and --out=FILE");
+    return DiagError("emit requires PROGRAM and --out=FILE");
   }
   for (const BpfObject& object : study.programs().objects) {
     if (object.name == positional[0]) {
       auto bytes = WriteBpfObject(object);
       if (!bytes.ok()) {
-        return Fail(bytes.error().ToString());
+        return DiagError(bytes.error().ToString());
       }
       Status written = WriteFile(out, *bytes);
       if (!written.ok()) {
-        return Fail(written.ToString());
+        return DiagError(written.ToString());
       }
       printf("wrote %s (%zu bytes)\n", out.c_str(), bytes->size());
       return 0;
     }
   }
-  return Fail("no bundled program named " + positional[0] + " (see `depsurf progs`)");
+  return DiagError("no bundled program named " + positional[0] + " (see `depsurf progs`)");
 }
 
 constexpr char kUsage[] =
     "usage: depsurf COMMAND [options]\n"
     "  gen     --version=5.4 [--arch=A] [--flavor=F] [--scale=S] [--seed=N] --out=IMG\n"
     "  surface IMG [--func=NAME] [--json]\n"
+    "  stats   IMG [--json]\n"
     "  diff    OLD NEW [--verbose]\n"
     "  check   OBJ [IMG...] [--dataset=FILE] (exit 2 when mismatches are found)\n"
     "  dataset build IMG... --out=FILE | dataset info FILE\n"
     "  progs\n"
-    "  emit    PROGRAM --out=OBJ\n";
+    "  emit    PROGRAM --out=OBJ\n"
+    "  metrics lint FILE [--min-spans=N] [--require=a,b,c] | metrics canon FILE\n"
+    "global options: --metrics-out=FILE  --trace\n";
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    fputs(kUsage, stderr);
-    return 1;
-  }
-  std::string command = argv[1];
+int Dispatch(int argc, char** argv, const std::string& command) {
   if (command == "gen") {
     return CmdGen(argc, argv);
   }
   if (command == "surface") {
     return CmdSurface(argc, argv);
+  }
+  if (command == "stats") {
+    return CmdStats(argc, argv);
   }
   if (command == "diff") {
     return CmdDiff(argc, argv);
@@ -406,10 +483,39 @@ int main(int argc, char** argv) {
   if (command == "dataset") {
     return CmdDataset(argc, argv);
   }
+  if (command == "metrics") {
+    return CmdMetrics(argc, argv);
+  }
   if (command == "progs" || command == "emit") {
     Study study(StudyOptions::FromArgs(argc, argv, /*default_scale=*/0.05));
     return command == "progs" ? CmdProgs(study) : CmdEmit(argc, argv, study);
   }
   fputs(kUsage, stderr);
   return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    fputs(kUsage, stderr);
+    return 1;
+  }
+  if (HasFlag(argc, argv, "trace")) {
+    obs::SpanCollector::Global().SetLiveTrace(true);
+  }
+  int code = Dispatch(argc, argv, argv[1]);
+  std::string metrics_out = FlagValue(argc, argv, "metrics-out", "");
+  if (!metrics_out.empty()) {
+    // Preserve the command's exit code (check uses 2 for "mismatches
+    // found"); a report that cannot be written is its own failure.
+    Status written = obs::WriteGlobalRunReport(metrics_out);
+    if (!written.ok()) {
+      obs::Diag(obs::Severity::kError, "metrics report not written", written.error());
+      if (code == 0) {
+        code = 1;
+      }
+    }
+  }
+  return code;
 }

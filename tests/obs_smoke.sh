@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the observability layer, registered with ctest
+# as `obs-smoke`. Drives the depsurf CLI through gen + stats + emit + check
+# with --metrics-out, validates the emitted run reports with `metrics lint`,
+# and proves determinism: two identical check runs canonicalize (timings
+# masked) to byte-identical JSON.
+set -eu
+
+DEPSURF=${1:?usage: obs_smoke.sh /path/to/depsurf}
+WORKDIR=$(mktemp -d)
+trap 'rm -rf "$WORKDIR"' EXIT
+cd "$WORKDIR"
+
+fail() {
+  echo "obs_smoke: FAIL: $*" >&2
+  exit 1
+}
+
+# ---- gen: image generation writes a valid report.
+"$DEPSURF" gen --version=5.4 --scale=0.02 --out=img54 --metrics-out=gen.json \
+  || fail "gen exited $?"
+"$DEPSURF" gen --version=6.2 --scale=0.02 --out=img62 \
+  || fail "gen v6.2 exited $?"
+"$DEPSURF" metrics lint gen.json --min-spans=1 --require=kernelgen.images_built \
+  || fail "gen report invalid"
+
+# ---- stats: full image decode, human text to stdout, JSON report on disk.
+"$DEPSURF" stats img54 --metrics-out=stats.json > stats.txt \
+  || fail "stats exited $?"
+grep -q "surface.extract" stats.txt || fail "stats output is missing spans"
+"$DEPSURF" metrics lint stats.json --min-spans=8 \
+  --require=elf.symbols_parsed,btf.types_decoded,dwarf.dies_decoded,surface.functions \
+  || fail "stats report invalid"
+
+# ---- check: analysis + relocation replay; exit 2 (mismatches) is expected.
+"$DEPSURF" emit biotop --out=biotop.o || fail "emit exited $?"
+set +e
+"$DEPSURF" check biotop.o img54 img62 --metrics-out=check1.json > check1.txt
+code=$?
+set -e
+[ "$code" -eq 0 ] || [ "$code" -eq 2 ] || fail "check exited $code"
+"$DEPSURF" metrics lint check1.json --min-spans=8 \
+  --require=elf.symbols_parsed,btf.types_decoded,dwarf.dies_decoded,reloc.loads_simulated,deps.sets_extracted,analyze.programs_analyzed \
+  || fail "check report invalid"
+
+# ---- determinism: a second identical run must canonicalize identically.
+set +e
+"$DEPSURF" check biotop.o img54 img62 --metrics-out=check2.json > check2.txt
+code2=$?
+set -e
+[ "$code2" -eq "$code" ] || fail "check exit codes differ ($code vs $code2)"
+cmp -s check1.txt check2.txt || fail "check stdout differs between runs"
+"$DEPSURF" metrics canon check1.json > canon1.json || fail "canon run 1"
+"$DEPSURF" metrics canon check2.json > canon2.json || fail "canon run 2"
+cmp -s canon1.json canon2.json \
+  || fail "masked run reports differ between identical runs"
+
+echo "obs_smoke: PASS"

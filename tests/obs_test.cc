@@ -1,0 +1,302 @@
+// Tests for the observability layer: span nesting and ordering, histogram
+// bucket boundaries, counter thread-safety (raw and under a concurrent
+// BuildDataset), and the golden run-report schema with timings masked.
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/json_lint.h"
+#include "src/obs/metrics.h"
+#include "src/obs/run_report.h"
+#include "src/obs/span.h"
+#include "src/study/study.h"
+
+namespace depsurf {
+namespace {
+
+TEST(HistogramTest, BucketBoundaries) {
+  EXPECT_EQ(obs::Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(8), 4u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1024), 11u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(~uint64_t{0}), 64u);
+
+  EXPECT_EQ(obs::Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(obs::Histogram::BucketLowerBound(1), 1u);
+  EXPECT_EQ(obs::Histogram::BucketLowerBound(2), 2u);
+  EXPECT_EQ(obs::Histogram::BucketLowerBound(3), 4u);
+  EXPECT_EQ(obs::Histogram::BucketLowerBound(11), 1024u);
+
+  // Every bucket's lower bound must land back in that bucket.
+  for (size_t i = 0; i < obs::Histogram::kNumBuckets; ++i) {
+    EXPECT_EQ(obs::Histogram::BucketIndex(obs::Histogram::BucketLowerBound(i)), i) << i;
+  }
+}
+
+TEST(HistogramTest, RecordAccumulates) {
+  obs::Histogram h;
+  for (uint64_t v : {0, 1, 2, 3, 4, 1000}) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 1010u);
+  EXPECT_EQ(h.bucket(0), 1u);  // 0
+  EXPECT_EQ(h.bucket(1), 1u);  // 1
+  EXPECT_EQ(h.bucket(2), 2u);  // 2, 3
+  EXPECT_EQ(h.bucket(3), 1u);  // 4
+  EXPECT_EQ(h.bucket(10), 1u);  // 1000
+}
+
+TEST(MetricsRegistryTest, CountersGaugesHistograms) {
+  obs::MetricsRegistry registry;
+  registry.Incr("a.count");
+  registry.Incr("a.count", 4);
+  registry.Set("a.gauge", -7);
+  registry.Record("a.hist", 9);
+  EXPECT_EQ(registry.Counter("a.count")->load(), 5u);
+  EXPECT_EQ(registry.Gauge("a.gauge")->load(), -7);
+  EXPECT_EQ(registry.GetHistogram("a.hist")->count(), 1u);
+
+  // Reset zeroes values but keeps entries and pointer identity.
+  std::atomic<uint64_t>* counter = registry.Counter("a.count");
+  registry.Reset();
+  EXPECT_EQ(counter, registry.Counter("a.count"));
+  EXPECT_EQ(counter->load(), 0u);
+  auto counters = registry.CounterSnapshot();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].first, "a.count");
+}
+
+TEST(MetricsRegistryTest, SnapshotsAreSorted) {
+  obs::MetricsRegistry registry;
+  registry.Incr("z.last");
+  registry.Incr("a.first");
+  registry.Incr("m.middle");
+  auto counters = registry.CounterSnapshot();
+  ASSERT_EQ(counters.size(), 3u);
+  EXPECT_EQ(counters[0].first, "a.first");
+  EXPECT_EQ(counters[1].first, "m.middle");
+  EXPECT_EQ(counters[2].first, "z.last");
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsDontLose) {
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrs = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kIncrs; ++i) {
+        registry.Incr("contended.counter");
+        registry.Record("contended.hist", static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(registry.Counter("contended.counter")->load(),
+            static_cast<uint64_t>(kThreads) * kIncrs);
+  EXPECT_EQ(registry.GetHistogram("contended.hist")->count(),
+            static_cast<uint64_t>(kThreads) * kIncrs);
+}
+
+TEST(MetricsRegistryTest, TimingNameConvention) {
+  EXPECT_TRUE(obs::IsTimingMetricName("study.build_dataset.wall_ms"));
+  EXPECT_TRUE(obs::IsTimingMetricName("x.dur_ns"));
+  EXPECT_TRUE(obs::IsTimingMetricName("stage_us"));
+  EXPECT_TRUE(obs::IsTimingMetricName("total_seconds"));
+  EXPECT_FALSE(obs::IsTimingMetricName("elf.bytes_parsed"));
+  EXPECT_FALSE(obs::IsTimingMetricName("ms"));
+  EXPECT_FALSE(obs::IsTimingMetricName("surface.functions"));
+}
+
+TEST(SpanTest, NestingAndOrdering) {
+  obs::SpanCollector::Global().Clear();
+  {
+    obs::ScopedSpan root("test.root");
+    root.AddAttr("k", "v");
+    EXPECT_EQ(root.depth(), 0);
+    {
+      obs::ScopedSpan child1("test.child1");
+      EXPECT_EQ(child1.depth(), 1);
+      obs::ScopedSpan grandchild("test.grandchild");
+      EXPECT_EQ(grandchild.depth(), 2);
+    }
+    { obs::ScopedSpan child2("test.child2"); }
+  }
+  std::vector<obs::SpanNode> roots = obs::SpanCollector::Global().Snapshot();
+  ASSERT_EQ(roots.size(), 1u);
+  const obs::SpanNode& root = roots[0];
+  EXPECT_EQ(root.name, "test.root");
+  ASSERT_EQ(root.attrs.size(), 1u);
+  EXPECT_EQ(root.attrs[0].first, "k");
+  ASSERT_EQ(root.children.size(), 2u);  // finish order: child1 then child2
+  EXPECT_EQ(root.children[0].name, "test.child1");
+  EXPECT_EQ(root.children[1].name, "test.child2");
+  ASSERT_EQ(root.children[0].children.size(), 1u);
+  EXPECT_EQ(root.children[0].children[0].name, "test.grandchild");
+  EXPECT_TRUE(root.children[1].children.empty());
+  obs::SpanCollector::Global().Clear();
+}
+
+TEST(SpanTest, SiblingRootsCollectInFinishOrder) {
+  obs::SpanCollector::Global().Clear();
+  { obs::ScopedSpan a("test.a"); }
+  { obs::ScopedSpan b("test.b"); }
+  std::vector<obs::SpanNode> roots = obs::SpanCollector::Global().Snapshot();
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_EQ(roots[0].name, "test.a");
+  EXPECT_EQ(roots[1].name, "test.b");
+  obs::SpanCollector::Global().Clear();
+}
+
+TEST(SpanTest, ThreadsKeepIndependentStacks) {
+  obs::SpanCollector::Global().Clear();
+  obs::ScopedSpan main_span("test.main");
+  std::thread worker([] {
+    // Opened on another thread: not a child of test.main, becomes a root.
+    obs::ScopedSpan worker_span("test.worker");
+    EXPECT_EQ(worker_span.depth(), 0);
+  });
+  worker.join();
+  std::vector<obs::SpanNode> roots = obs::SpanCollector::Global().Snapshot();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0].name, "test.worker");
+  obs::SpanCollector::Global().Clear();
+}
+
+// The golden-schema test: a run report serialized with mask_timings is
+// byte-stable — parses as JSON, carries exactly the four sections in order,
+// and masks every timing field to zero.
+TEST(RunReportTest, GoldenSchemaWithMaskedTimings) {
+  obs::SpanCollector collector;
+  obs::MetricsRegistry registry;
+  obs::SpanNode root;
+  root.name = "golden.root";
+  root.dur_ns = 123456;
+  root.attrs = {{"label", "v5.4"}, {"wall_ms", "42"}};
+  obs::SpanNode child;
+  child.name = "golden.child";
+  child.dur_ns = 999;
+  root.children.push_back(child);
+  collector.AddRoot(root);
+  registry.Incr("golden.counter", 7);
+  registry.Set("golden.gauge", -3);
+  registry.Set("golden.wall_ms", 1234);
+  registry.Record("golden.hist", 5);
+
+  obs::RunReportOptions masked;
+  masked.mask_timings = true;
+  std::string json = RunReportJson(collector, registry, masked);
+
+  EXPECT_EQ(json,
+            "{\n"
+            "\"schema\": \"depsurf.run_report.v1\",\n"
+            "\"spans\": [{\"name\": \"golden.root\", \"dur_ns\": 0, "
+            "\"attrs\": {\"label\": \"v5.4\", \"wall_ms\": \"0\"}, \"children\": "
+            "[{\"name\": \"golden.child\", \"dur_ns\": 0, \"attrs\": {}, "
+            "\"children\": []}]}],\n"
+            "\"counters\": {\"golden.counter\": 7},\n"
+            "\"gauges\": {\"golden.gauge\": -3, \"golden.wall_ms\": 0},\n"
+            "\"histograms\": {\"golden.hist\": {\"count\": 1, \"sum\": 5, "
+            "\"buckets\": [[4, 1]]}}\n"
+            "}\n");
+
+  // The masked document is identical across serializations and validates.
+  EXPECT_EQ(json, RunReportJson(collector, registry, masked));
+  EXPECT_TRUE(obs::ValidateRunReport(json, 2, {"golden.counter"}).ok());
+  EXPECT_FALSE(obs::ValidateRunReport(json, 3).ok());  // only 2 distinct names
+  EXPECT_FALSE(obs::ValidateRunReport(json, 0, {"missing.counter"}).ok());
+
+  auto parsed = obs::ParseJson(json);
+  ASSERT_TRUE(parsed.ok());
+  auto names = obs::CollectSpanNames(*parsed);
+  EXPECT_EQ(names.size(), 2u);
+  EXPECT_TRUE(names.count("golden.root"));
+  EXPECT_TRUE(names.count("golden.child"));
+}
+
+TEST(RunReportTest, UnmaskedKeepsTimingsAndCanonMasksThem) {
+  obs::SpanCollector collector;
+  obs::MetricsRegistry registry;
+  obs::SpanNode root;
+  root.name = "t.root";
+  root.dur_ns = 777;
+  collector.AddRoot(root);
+  registry.Set("t.wall_ms", 55);
+
+  std::string unmasked = RunReportJson(collector, registry);
+  EXPECT_NE(unmasked.find("\"dur_ns\": 777"), std::string::npos);
+  EXPECT_NE(unmasked.find("\"t.wall_ms\": 55"), std::string::npos);
+
+  // Canonicalization masks the same fields masked serialization does.
+  auto parsed = obs::ParseJson(unmasked);
+  ASSERT_TRUE(parsed.ok());
+  obs::RunReportOptions masked_options;
+  masked_options.mask_timings = true;
+  auto masked_parsed = obs::ParseJson(RunReportJson(collector, registry, masked_options));
+  ASSERT_TRUE(masked_parsed.ok());
+  EXPECT_EQ(obs::CanonicalMaskedJson(*parsed), obs::CanonicalMaskedJson(*masked_parsed));
+}
+
+TEST(JsonLintTest, ParsesAndRejects) {
+  auto ok = obs::ParseJson("{\"a\": [1, 2.5, -3], \"b\": {\"c\": true, \"d\": null}}");
+  ASSERT_TRUE(ok.ok());
+  const obs::JsonValue* a = ok->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[1].number, 2.5);
+  EXPECT_FALSE(obs::ParseJson("{\"a\": }").ok());
+  EXPECT_FALSE(obs::ParseJson("{\"a\": 1} trailing").ok());
+  EXPECT_FALSE(obs::ParseJson("[1, 2,]").ok());
+}
+
+// End to end across threads: the global metrics stay consistent when
+// BuildDataset runs its extraction workers concurrently.
+TEST(ObsIntegrationTest, ConcurrentBuildDatasetCountsConsistently) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::SpanCollector::Global().Clear();
+  metrics.Reset();
+
+  Study study(StudyOptions{2025, 0.005});
+  std::vector<BuildSpec> corpus = {MakeBuild(KernelVersion(5, 4)),
+                                   MakeBuild(KernelVersion(5, 15)),
+                                   MakeBuild(KernelVersion(6, 2)),
+                                   MakeBuild(KernelVersion(6, 8))};
+  auto dataset = study.BuildDataset(corpus);
+  ASSERT_TRUE(dataset.ok()) << dataset.error().ToString();
+
+  EXPECT_EQ(metrics.Counter("surface.extracted")->load(), corpus.size());
+  EXPECT_EQ(metrics.Counter("elf.files_parsed")->load(), corpus.size());
+  EXPECT_EQ(metrics.Counter("kernelgen.images_built")->load(), corpus.size());
+  EXPECT_EQ(metrics.Counter("dataset.images_distilled")->load(), corpus.size());
+  EXPECT_EQ(metrics.Counter("study.datasets_built")->load(), 1u);
+  EXPECT_GT(metrics.Counter("btf.types_decoded")->load(), 0u);
+  EXPECT_GT(metrics.Counter("dwarf.dies_decoded")->load(), 0u);
+  EXPECT_EQ(metrics.GetHistogram("study.image_extract_ms")->count(), corpus.size());
+
+  // Worker-thread surface.extract spans are roots of their own; the
+  // main-thread study.build_dataset root holds the distillation children.
+  std::vector<obs::SpanNode> roots = obs::SpanCollector::Global().Snapshot();
+  size_t extract_roots = 0;
+  size_t dataset_roots = 0;
+  for (const obs::SpanNode& root : roots) {
+    extract_roots += root.name == "surface.extract" ? 1 : 0;
+    dataset_roots += root.name == "study.build_dataset" ? 1 : 0;
+  }
+  EXPECT_EQ(extract_roots, corpus.size());
+  EXPECT_EQ(dataset_roots, 1u);
+
+  obs::SpanCollector::Global().Clear();
+  metrics.Reset();
+}
+
+}  // namespace
+}  // namespace depsurf

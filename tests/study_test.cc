@@ -25,14 +25,18 @@ TEST(StudyTest, EndToEndSmallCorpus) {
   Study study(StudyOptions{2025, 0.005});
   std::vector<BuildSpec> corpus = {MakeBuild(KernelVersion(5, 4)),
                                    MakeBuild(KernelVersion(6, 2))};
-  std::vector<std::string> seen;
-  auto dataset = study.BuildDataset(corpus, [&](const std::string& label) {
-    seen.push_back(label);
+  std::vector<Study::ImageProgress> seen;
+  auto dataset = study.BuildDataset(corpus, [&](const Study::ImageProgress& image) {
+    seen.push_back(image);
   });
   ASSERT_TRUE(dataset.ok()) << dataset.error().ToString();
   EXPECT_EQ(dataset->num_images(), 2u);
   ASSERT_EQ(seen.size(), 2u);
-  EXPECT_EQ(seen[0], "v5.4-x86-generic-gcc9");
+  EXPECT_EQ(seen[0].label, "v5.4-x86-generic-gcc9");
+  EXPECT_EQ(seen[0].index, 0u);
+  EXPECT_EQ(seen[1].index, 1u);
+  EXPECT_EQ(seen[0].total, 2u);
+  EXPECT_GE(seen[0].seconds, 0.0);
 
   auto report = study.Analyze(*dataset, "biotop");
   ASSERT_TRUE(report.ok());
