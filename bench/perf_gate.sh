@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Perf regression gate driver, registered with ctest as `perf-gate`. Runs
+# the bench_perf suite twice at a small scale (base, then head), lints every
+# BENCH_*.json it emits, and smoke-tests `depsurf perf compare`: identical
+# inputs must pass, back-to-back runs must pass under a generous threshold
+# (machine noise is not a regression), and a deliberately inflated stage
+# must trip the gate with exit code 3. The --json output must round-trip
+# through `metrics lint --kind=perf`.
+set -eu
+
+DEPSURF=${1:?usage: perf_gate.sh /path/to/depsurf /path/to/bench_perf}
+BENCH=${2:?usage: perf_gate.sh /path/to/depsurf /path/to/bench_perf}
+WORKDIR=$(mktemp -d)
+trap 'rm -rf "$WORKDIR"' EXIT
+cd "$WORKDIR"
+
+fail() {
+  echo "perf_gate: FAIL: $*" >&2
+  exit 1
+}
+
+# ---- run the suite twice: a base and a head measurement of the same code.
+for side in base head; do
+  mkdir -p "$side"
+  DEPSURF_BENCH_DIR="$WORKDIR/$side" \
+    "$BENCH" --scale=0.02 --benchmark_min_time=0.05s > "$side.log" 2>&1 \
+    || fail "bench_perf ($side) exited $?"
+done
+
+# ---- every emitted trajectory file must lint as a bench report.
+for report in base/BENCH_*.json head/BENCH_*.json; do
+  [ -f "$report" ] || fail "bench_perf wrote no BENCH_*.json"
+  "$DEPSURF" metrics lint "$report" --kind=bench || fail "$report invalid"
+done
+
+# ---- identical inputs never trip the gate.
+"$DEPSURF" perf compare base/BENCH_perf.json base/BENCH_perf.json \
+  || fail "identical inputs tripped the gate ($?)"
+
+# ---- back-to-back runs of the same build pass under a generous threshold.
+"$DEPSURF" perf compare base/BENCH_perf.json head/BENCH_perf.json \
+  --max-regress=400% --noise-floor=0.010 > compare.txt \
+  || fail "back-to-back runs tripped the 400% gate: $(cat compare.txt)"
+
+# ---- the JSON form lints as a perf comparison.
+"$DEPSURF" perf compare base/BENCH_perf.json head/BENCH_perf.json \
+  --max-regress=400% --noise-floor=0.010 --json > compare.json \
+  || fail "json compare exited $?"
+"$DEPSURF" metrics lint compare.json --kind=perf || fail "compare.json invalid"
+
+# ---- a 3x slowdown of a real stage must exit 3 (not a generic error).
+cat > slow_base.json <<'EOF'
+{"schema": "depsurf.bench_report.v1", "bench": "gate", "notes": {}, "stages": [
+ {"name": "extract", "seconds": 1.0, "items": 5, "items_per_sec": 5.0,
+  "bytes": 0, "bytes_per_sec": 0.0}]}
+EOF
+sed 's/"seconds": 1.0/"seconds": 3.0/' slow_base.json > slow_head.json
+set +e
+"$DEPSURF" perf compare slow_base.json slow_head.json > gate.txt
+code=$?
+set -e
+[ "$code" -eq 3 ] || fail "inflated stage exited $code, want 3: $(cat gate.txt)"
+grep -q "regressed" gate.txt || fail "gate output does not name the regression"
+
+echo "perf_gate: PASS"

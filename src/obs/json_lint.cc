@@ -1,5 +1,6 @@
 #include "src/obs/json_lint.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 
@@ -231,6 +232,17 @@ class Parser {
   size_t pos_ = 0;
 };
 
+size_t CountSpanNodesFrom(const JsonValue& span) {
+  size_t n = 1;
+  const JsonValue* children = span.Find("children");
+  if (children != nullptr && children->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& child : children->array) {
+      n += CountSpanNodesFrom(child);
+    }
+  }
+  return n;
+}
+
 void CollectSpanNamesFrom(const JsonValue& span, std::set<std::string>& out) {
   const JsonValue* name = span.Find("name");
   if (name != nullptr && name->kind == JsonValue::Kind::kString) {
@@ -243,6 +255,56 @@ void CollectSpanNamesFrom(const JsonValue& span, std::set<std::string>& out) {
     }
   }
 }
+
+}  // namespace
+
+// Mirror of CompareSpanNodesMasked (span.h) over parsed span objects: name,
+// then attrs with timing values ignored, then children recursively. Both
+// orderings must agree so a masked-serialized report and a canonicalized
+// unmasked report of the same run sort their roots identically.
+int CompareReportSpans(const JsonValue& a, const JsonValue& b) {
+  const JsonValue* a_name = a.Find("name");
+  const JsonValue* b_name = b.Find("name");
+  std::string_view an = a_name != nullptr ? std::string_view(a_name->string) : std::string_view();
+  std::string_view bn = b_name != nullptr ? std::string_view(b_name->string) : std::string_view();
+  if (int c = an.compare(bn); c != 0) {
+    return c;
+  }
+  const JsonValue* a_attrs = a.Find("attrs");
+  const JsonValue* b_attrs = b.Find("attrs");
+  size_t a_n = a_attrs != nullptr ? a_attrs->object.size() : 0;
+  size_t b_n = b_attrs != nullptr ? b_attrs->object.size() : 0;
+  for (size_t i = 0; i < std::min(a_n, b_n); ++i) {
+    const auto& [ak, av] = a_attrs->object[i];
+    const auto& [bk, bv] = b_attrs->object[i];
+    if (int c = ak.compare(bk); c != 0) {
+      return c;
+    }
+    if (!IsTimingMetricName(ak)) {
+      if (int c = av.string.compare(bv.string); c != 0) {
+        return c;
+      }
+    }
+  }
+  if (a_n != b_n) {
+    return a_n < b_n ? -1 : 1;
+  }
+  const JsonValue* a_kids = a.Find("children");
+  const JsonValue* b_kids = b.Find("children");
+  size_t a_k = a_kids != nullptr ? a_kids->array.size() : 0;
+  size_t b_k = b_kids != nullptr ? b_kids->array.size() : 0;
+  for (size_t i = 0; i < std::min(a_k, b_k); ++i) {
+    if (int c = CompareReportSpans(a_kids->array[i], b_kids->array[i]); c != 0) {
+      return c;
+    }
+  }
+  if (a_k != b_k) {
+    return a_k < b_k ? -1 : 1;
+  }
+  return 0;
+}
+
+namespace {
 
 std::string CanonicalNumber(double v) {
   if (std::floor(v) == v && std::fabs(v) < 9.0e15) {
@@ -355,6 +417,17 @@ std::set<std::string> CollectSpanNames(const JsonValue& report) {
   return names;
 }
 
+size_t CountReportSpanNodes(const JsonValue& report) {
+  size_t n = 0;
+  const JsonValue* spans = report.Find("spans");
+  if (spans != nullptr && spans->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& span : spans->array) {
+      n += CountSpanNodesFrom(span);
+    }
+  }
+  return n;
+}
+
 Status ValidateRunReport(std::string_view json, size_t min_distinct_spans,
                          const std::vector<std::string>& required_counters) {
   auto parsed = ParseJson(json);
@@ -389,6 +462,23 @@ Status ValidateRunReport(std::string_view json, size_t min_distinct_spans,
 }
 
 std::string CanonicalMaskedJson(const JsonValue& value) {
+  const JsonValue* schema = value.Find("schema");
+  if (schema != nullptr && schema->kind == JsonValue::Kind::kString &&
+      (schema->string == kRunReportSchema || schema->string == kRunReportAggSchema)) {
+    JsonValue sorted = value;
+    for (auto& [key, member] : sorted.object) {
+      if (key == "spans" && member.kind == JsonValue::Kind::kArray) {
+        std::sort(member.array.begin(), member.array.end(),
+                  [](const JsonValue& a, const JsonValue& b) {
+                    return CompareReportSpans(a, b) < 0;
+                  });
+      }
+    }
+    std::string out;
+    AppendCanonical(out, sorted);
+    out += "\n";
+    return out;
+  }
   std::string out;
   AppendCanonical(out, value);
   out += "\n";

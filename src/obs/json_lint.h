@@ -45,10 +45,24 @@ Status ValidateRunReport(std::string_view json, size_t min_distinct_spans = 0,
 // Distinct span names in a parsed report (empty if not a report).
 std::set<std::string> CollectSpanNames(const JsonValue& report);
 
+// Total span nodes (roots + all descendants) under a report's "spans"
+// section; 0 if not a report. A trace export of the same run must carry
+// exactly this many events (see trace_export.h).
+size_t CountReportSpanNodes(const JsonValue& report);
+
+// Total order over parsed span objects ignoring timing fields — the
+// JsonValue mirror of CompareSpanNodesMasked (span.h). Canonicalization and
+// report merging both sort roots with it so multi-threaded finish order
+// never leaks into deterministic output.
+int CompareReportSpans(const JsonValue& a, const JsonValue& b);
+
 // Re-emits a parsed JSON document in canonical compact form with timing
 // fields masked ("dur_ns" members and members/attr keys with timing
-// suffixes zeroed, timing histograms emptied). Two runs over identical
-// inputs canonicalize to identical bytes.
+// suffixes zeroed, timing histograms emptied). Run-report documents
+// (run_report.v1 / run_report_agg.v1) additionally get their root spans
+// sorted into the deterministic masked order, since multi-threaded runs
+// collect roots in racy finish order. Two runs over identical inputs
+// canonicalize to identical bytes.
 std::string CanonicalMaskedJson(const JsonValue& value);
 
 }  // namespace obs

@@ -27,6 +27,39 @@ uint64_t Histogram::BucketLowerBound(size_t bucket) {
   return uint64_t{1} << (bucket - 1);
 }
 
+double Histogram::Percentile(double q) const {
+  uint64_t total = count();
+  if (total == 0) {
+    return 0;
+  }
+  if (q < 0) {
+    q = 0;
+  }
+  if (q > 1) {
+    q = 1;
+  }
+  double target = q * static_cast<double>(total);
+  double cumulative = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    double n = static_cast<double>(bucket(b));
+    if (n == 0) {
+      continue;
+    }
+    if (cumulative + n >= target) {
+      if (b == 0) {
+        return 0;
+      }
+      double lower = static_cast<double>(BucketLowerBound(b));
+      double fraction = (target - cumulative) / n;
+      return lower + fraction * lower;  // bucket width equals its lower bound
+    }
+    cumulative += n;
+  }
+  // Unreachable when the atomics are quiescent (target <= count); under a
+  // racing writer fall back to the largest representable bound.
+  return static_cast<double>(BucketLowerBound(kNumBuckets - 1));
+}
+
 void Histogram::Reset() {
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);

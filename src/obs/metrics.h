@@ -41,6 +41,12 @@ class Histogram {
   uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   uint64_t bucket(size_t i) const { return buckets_[i].load(std::memory_order_relaxed); }
 
+  // Estimated q-quantile (q in [0, 1]) by linear interpolation within the
+  // log2 bucket holding rank q*count: bucket 0 is exactly 0; bucket i >= 1
+  // interpolates across [2^(i-1), 2^i), so Percentile(1.0) lands on the
+  // bucket's exclusive upper bound. Returns 0 for an empty histogram.
+  double Percentile(double q) const;
+
   void Reset();
 
  private:

@@ -1,0 +1,284 @@
+#include "src/obs/perf_gate.h"
+
+#include <cmath>
+#include <map>
+
+#include "src/obs/bench_report.h"
+#include "src/obs/run_report.h"
+#include "src/util/str_util.h"
+
+namespace depsurf {
+namespace obs {
+
+namespace {
+
+// Walks a run report's root spans, summing dur_ns per distinct name (a
+// parallel dataset build has one surface.extract root per image).
+void AccumulateRootSpans(const JsonValue& doc, std::vector<StageTiming>& out) {
+  const JsonValue* spans = doc.Find("spans");
+  if (spans == nullptr || spans->kind != JsonValue::Kind::kArray) {
+    return;
+  }
+  std::map<std::string, size_t> index_by_name;
+  for (const JsonValue& span : spans->array) {
+    const JsonValue* name = span.Find("name");
+    const JsonValue* dur = span.Find("dur_ns");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString) {
+      continue;
+    }
+    auto it = index_by_name.find(name->string);
+    if (it == index_by_name.end()) {
+      it = index_by_name.emplace(name->string, out.size()).first;
+      out.push_back(StageTiming{name->string, 0, 0});
+    }
+    out[it->second].seconds += (dur != nullptr ? dur->number : 0) / 1e9;
+    out[it->second].items += 1;
+  }
+}
+
+}  // namespace
+
+const char* StageClassName(StageClass c) {
+  switch (c) {
+    case StageClass::kImproved:
+      return "improved";
+    case StageClass::kFlat:
+      return "flat";
+    case StageClass::kRegressed:
+      return "regressed";
+    case StageClass::kAdded:
+      return "added";
+    case StageClass::kRemoved:
+      return "removed";
+  }
+  return "?";
+}
+
+Result<std::vector<StageTiming>> LoadStageTimings(const JsonValue& doc) {
+  const JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::kString) {
+    return Error(ErrorCode::kMalformedData, "document has no schema marker");
+  }
+  std::vector<StageTiming> out;
+  if (schema->string == kBenchReportSchema) {
+    const JsonValue* stages = doc.Find("stages");
+    if (stages == nullptr || stages->kind != JsonValue::Kind::kArray) {
+      return Error(ErrorCode::kMalformedData, "bench report has no stages array");
+    }
+    for (const JsonValue& stage : stages->array) {
+      const JsonValue* name = stage.Find("name");
+      const JsonValue* seconds = stage.Find("seconds");
+      const JsonValue* items = stage.Find("items");
+      if (name == nullptr || name->kind != JsonValue::Kind::kString ||
+          seconds == nullptr || seconds->kind != JsonValue::Kind::kNumber) {
+        return Error(ErrorCode::kMalformedData, "stage missing name or seconds");
+      }
+      out.push_back(StageTiming{
+          name->string, seconds->number,
+          items != nullptr ? static_cast<uint64_t>(items->number) : uint64_t{0}});
+    }
+    return out;
+  }
+  if (schema->string == kRunReportSchema || schema->string == kRunReportAggSchema) {
+    AccumulateRootSpans(doc, out);
+    if (out.empty()) {
+      return Error(ErrorCode::kMalformedData, "run report has no root spans to time");
+    }
+    return out;
+  }
+  return Error(ErrorCode::kMalformedData,
+               "unsupported schema for perf comparison: " + schema->string);
+}
+
+PerfComparison ComparePerf(const std::vector<StageTiming>& base,
+                           const std::vector<StageTiming>& head,
+                           const PerfGateOptions& options) {
+  PerfComparison comparison;
+  std::map<std::string, const StageTiming*> head_by_name;
+  for (const StageTiming& stage : head) {
+    head_by_name.emplace(stage.name, &stage);
+  }
+  std::map<std::string, const StageTiming*> base_by_name;
+  for (const StageTiming& stage : base) {
+    base_by_name.emplace(stage.name, &stage);
+  }
+
+  for (const StageTiming& b : base) {
+    StageDelta delta;
+    delta.name = b.name;
+    delta.base_seconds = b.seconds;
+    auto it = head_by_name.find(b.name);
+    if (it == head_by_name.end()) {
+      delta.cls = StageClass::kRemoved;
+      comparison.stages.push_back(std::move(delta));
+      continue;
+    }
+    const StageTiming& h = *it->second;
+    delta.head_seconds = h.seconds;
+    if (b.seconds > 0) {
+      delta.delta_pct = (h.seconds - b.seconds) / b.seconds * 100.0;
+    }
+    bool under_floor = b.seconds < options.noise_floor_seconds &&
+                       h.seconds < options.noise_floor_seconds;
+    if (under_floor) {
+      delta.cls = StageClass::kFlat;
+    } else if (h.seconds > b.seconds * (1.0 + options.max_regress)) {
+      delta.cls = StageClass::kRegressed;
+      ++comparison.regressed;
+    } else if (b.seconds > h.seconds * (1.0 + options.max_regress)) {
+      delta.cls = StageClass::kImproved;
+      ++comparison.improved;
+    } else {
+      delta.cls = StageClass::kFlat;
+    }
+    comparison.stages.push_back(std::move(delta));
+  }
+  for (const StageTiming& h : head) {
+    if (base_by_name.find(h.name) == base_by_name.end()) {
+      StageDelta delta;
+      delta.name = h.name;
+      delta.head_seconds = h.seconds;
+      delta.cls = StageClass::kAdded;
+      comparison.stages.push_back(std::move(delta));
+    }
+  }
+  return comparison;
+}
+
+std::string PerfComparisonText(const PerfComparison& comparison) {
+  std::string out;
+  out += StrFormat("%-36s %12s %12s %8s  %s\n", "stage", "base (s)", "head (s)", "delta",
+                   "class");
+  for (const StageDelta& delta : comparison.stages) {
+    std::string delta_str =
+        delta.cls == StageClass::kAdded || delta.cls == StageClass::kRemoved
+            ? std::string("-")
+            : StrFormat("%+.1f%%", delta.delta_pct);
+    out += StrFormat("%-36s %12.6f %12.6f %8s  %s\n", delta.name.c_str(),
+                     delta.base_seconds, delta.head_seconds, delta_str.c_str(),
+                     StageClassName(delta.cls));
+  }
+  out += StrFormat("%zu improved, %zu regressed of %zu stages\n", comparison.improved,
+                   comparison.regressed, comparison.stages.size());
+  return out;
+}
+
+std::string PerfComparisonJson(const PerfComparison& comparison,
+                               const PerfGateOptions& options) {
+  size_t flat = 0;
+  size_t added = 0;
+  size_t removed = 0;
+  for (const StageDelta& delta : comparison.stages) {
+    flat += delta.cls == StageClass::kFlat ? 1 : 0;
+    added += delta.cls == StageClass::kAdded ? 1 : 0;
+    removed += delta.cls == StageClass::kRemoved ? 1 : 0;
+  }
+  std::string out = "{\n\"schema\": \"";
+  out += kPerfCompareSchema;
+  out += "\",\n";
+  out += StrFormat("\"max_regress\": %.6f, \"noise_floor_seconds\": %.6f,\n",
+                   options.max_regress, options.noise_floor_seconds);
+  out += StrFormat(
+      "\"improved\": %zu, \"flat\": %zu, \"regressed\": %zu, \"added\": %zu, "
+      "\"removed\": %zu,\n",
+      comparison.improved, flat, comparison.regressed, added, removed);
+  out += "\"stages\": [";
+  for (size_t i = 0; i < comparison.stages.size(); ++i) {
+    const StageDelta& delta = comparison.stages[i];
+    if (i != 0) {
+      out += ",";
+    }
+    out += StrFormat(
+        "\n  {\"name\": \"%s\", \"class\": \"%s\", \"base_seconds\": %.6f, "
+        "\"head_seconds\": %.6f, \"delta_pct\": %.2f}",
+        JsonEscape(delta.name).c_str(), StageClassName(delta.cls), delta.base_seconds,
+        delta.head_seconds, delta.delta_pct);
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+Status ValidateBenchReport(std::string_view json) {
+  auto parsed = ParseJson(json);
+  if (!parsed.ok()) {
+    return parsed.TakeError();
+  }
+  const JsonValue& doc = *parsed;
+  const JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::kString ||
+      schema->string != kBenchReportSchema) {
+    return Status(ErrorCode::kMalformedData,
+                  StrFormat("missing or wrong schema marker (want %s)", kBenchReportSchema));
+  }
+  const JsonValue* bench = doc.Find("bench");
+  if (bench == nullptr || bench->kind != JsonValue::Kind::kString || bench->string.empty()) {
+    return Status(ErrorCode::kMalformedData, "missing bench name");
+  }
+  const JsonValue* stages = doc.Find("stages");
+  if (stages == nullptr || stages->kind != JsonValue::Kind::kArray) {
+    return Status(ErrorCode::kMalformedData, "missing stages array");
+  }
+  for (size_t i = 0; i < stages->array.size(); ++i) {
+    const JsonValue& stage = stages->array[i];
+    const JsonValue* name = stage.Find("name");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString || name->string.empty()) {
+      return Status(ErrorCode::kMalformedData, StrFormat("stage %zu: missing name", i));
+    }
+    for (const char* field : {"seconds", "items", "items_per_sec", "bytes", "bytes_per_sec"}) {
+      const JsonValue* member = stage.Find(field);
+      if (member == nullptr || member->kind != JsonValue::Kind::kNumber ||
+          !std::isfinite(member->number) || member->number < 0) {
+        return Status(ErrorCode::kMalformedData,
+                      StrFormat("stage %zu (%s): %s must be a nonnegative number", i,
+                                name->string.c_str(), field));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidatePerfCompare(std::string_view json) {
+  auto parsed = ParseJson(json);
+  if (!parsed.ok()) {
+    return parsed.TakeError();
+  }
+  const JsonValue& doc = *parsed;
+  const JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::kString ||
+      schema->string != kPerfCompareSchema) {
+    return Status(ErrorCode::kMalformedData,
+                  StrFormat("missing or wrong schema marker (want %s)", kPerfCompareSchema));
+  }
+  for (const char* field : {"max_regress", "improved", "flat", "regressed", "added",
+                            "removed"}) {
+    const JsonValue* member = doc.Find(field);
+    if (member == nullptr || member->kind != JsonValue::Kind::kNumber) {
+      return Status(ErrorCode::kMalformedData, StrFormat("missing numeric %s", field));
+    }
+  }
+  const JsonValue* stages = doc.Find("stages");
+  if (stages == nullptr || stages->kind != JsonValue::Kind::kArray) {
+    return Status(ErrorCode::kMalformedData, "missing stages array");
+  }
+  for (size_t i = 0; i < stages->array.size(); ++i) {
+    const JsonValue& stage = stages->array[i];
+    const JsonValue* name = stage.Find("name");
+    const JsonValue* cls = stage.Find("class");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString || name->string.empty()) {
+      return Status(ErrorCode::kMalformedData, StrFormat("stage %zu: missing name", i));
+    }
+    bool known = false;
+    for (StageClass c : {StageClass::kImproved, StageClass::kFlat, StageClass::kRegressed,
+                         StageClass::kAdded, StageClass::kRemoved}) {
+      known = known || (cls != nullptr && cls->string == StageClassName(c));
+    }
+    if (!known) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("stage %zu (%s): unknown class", i, name->string.c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace obs
+}  // namespace depsurf

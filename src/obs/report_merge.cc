@@ -1,0 +1,248 @@
+#include "src/obs/report_merge.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/obs/json_lint.h"
+#include "src/obs/run_report.h"
+#include "src/util/str_util.h"
+
+namespace depsurf {
+namespace obs {
+
+namespace {
+
+std::string U64(double v) { return StrFormat("%llu", (unsigned long long)(v + 0.5)); }
+std::string I64(double v) {
+  return StrFormat("%lld", (long long)(v < 0 ? v - 0.5 : v + 0.5));
+}
+
+struct HistogramAcc {
+  double count = 0;
+  double sum = 0;
+  std::map<uint64_t, double> buckets;  // lower bound -> count
+};
+
+// Re-emits a parsed span subtree in run-report span form, normalizing to
+// the four known members (name, dur_ns, attrs, children).
+void AppendSpanValue(std::string& out, const JsonValue& span) {
+  const JsonValue* name = span.Find("name");
+  const JsonValue* dur = span.Find("dur_ns");
+  out += "{\"name\": \"" + JsonEscape(name != nullptr ? name->string : "") + "\"";
+  out += ", \"dur_ns\": " + U64(dur != nullptr ? dur->number : 0);
+  out += ", \"attrs\": {";
+  const JsonValue* attrs = span.Find("attrs");
+  if (attrs != nullptr && attrs->kind == JsonValue::Kind::kObject) {
+    for (size_t i = 0; i < attrs->object.size(); ++i) {
+      if (i != 0) {
+        out += ", ";
+      }
+      out += "\"" + JsonEscape(attrs->object[i].first) + "\": \"" +
+             JsonEscape(attrs->object[i].second.string) + "\"";
+    }
+  }
+  out += "}, \"children\": [";
+  const JsonValue* children = span.Find("children");
+  if (children != nullptr && children->kind == JsonValue::Kind::kArray) {
+    for (size_t i = 0; i < children->array.size(); ++i) {
+      if (i != 0) {
+        out += ", ";
+      }
+      AppendSpanValue(out, children->array[i]);
+    }
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+Result<std::string> MergeRunReports(const std::vector<LabeledReport>& reports) {
+  if (reports.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "nothing to merge");
+  }
+  uint64_t total_reports = 0;
+  std::vector<std::string> sources;       // pre-serialized provenance entries
+  std::vector<JsonValue> spans;           // all root spans across inputs
+  std::map<std::string, double> counters; // summed
+  std::map<std::string, double> gauges;   // last write wins
+  std::map<std::string, HistogramAcc> histograms;
+
+  for (const LabeledReport& report : reports) {
+    auto parsed = ParseJson(report.json);
+    if (!parsed.ok()) {
+      return Error(parsed.error().code(), report.label + ": " + parsed.error().message());
+    }
+    const JsonValue& doc = *parsed;
+    const JsonValue* schema = doc.Find("schema");
+    bool is_agg = schema != nullptr && schema->string == kRunReportAggSchema;
+    if (schema == nullptr || schema->kind != JsonValue::Kind::kString ||
+        (schema->string != kRunReportSchema && !is_agg)) {
+      return Error(ErrorCode::kMalformedData,
+                   report.label + ": not a run report or aggregate");
+    }
+
+    if (is_agg) {
+      const JsonValue* nested = doc.Find("reports");
+      total_reports += nested != nullptr ? static_cast<uint64_t>(nested->number) : 0;
+      const JsonValue* nested_sources = doc.Find("sources");
+      if (nested_sources != nullptr && nested_sources->kind == JsonValue::Kind::kArray) {
+        for (const JsonValue& source : nested_sources->array) {
+          const JsonValue* label = source.Find("label");
+          const JsonValue* source_spans = source.Find("spans");
+          const JsonValue* source_counters = source.Find("counters");
+          sources.push_back(StrFormat(
+              "{\"label\": \"%s\", \"spans\": %s, \"counters\": %s}",
+              JsonEscape(label != nullptr ? label->string : "").c_str(),
+              U64(source_spans != nullptr ? source_spans->number : 0).c_str(),
+              U64(source_counters != nullptr ? source_counters->number : 0).c_str()));
+        }
+      }
+    } else {
+      total_reports += 1;
+      const JsonValue* doc_counters = doc.Find("counters");
+      sources.push_back(StrFormat(
+          "{\"label\": \"%s\", \"spans\": %zu, \"counters\": %zu}",
+          JsonEscape(report.label).c_str(), CountReportSpanNodes(doc),
+          doc_counters != nullptr ? doc_counters->object.size() : size_t{0}));
+    }
+
+    const JsonValue* doc_spans = doc.Find("spans");
+    if (doc_spans != nullptr && doc_spans->kind == JsonValue::Kind::kArray) {
+      for (const JsonValue& span : doc_spans->array) {
+        spans.push_back(span);
+      }
+    }
+    const JsonValue* doc_counters = doc.Find("counters");
+    if (doc_counters != nullptr) {
+      for (const auto& [name, value] : doc_counters->object) {
+        counters[name] += value.number;
+      }
+    }
+    const JsonValue* doc_gauges = doc.Find("gauges");
+    if (doc_gauges != nullptr) {
+      for (const auto& [name, value] : doc_gauges->object) {
+        gauges[name] = value.number;
+      }
+    }
+    const JsonValue* doc_histograms = doc.Find("histograms");
+    if (doc_histograms != nullptr) {
+      for (const auto& [name, histogram] : doc_histograms->object) {
+        HistogramAcc& acc = histograms[name];
+        const JsonValue* count = histogram.Find("count");
+        const JsonValue* sum = histogram.Find("sum");
+        acc.count += count != nullptr ? count->number : 0;
+        acc.sum += sum != nullptr ? sum->number : 0;
+        const JsonValue* buckets = histogram.Find("buckets");
+        if (buckets != nullptr && buckets->kind == JsonValue::Kind::kArray) {
+          for (const JsonValue& bucket : buckets->array) {
+            if (bucket.array.size() == 2) {
+              acc.buckets[static_cast<uint64_t>(bucket.array[0].number)] +=
+                  bucket.array[1].number;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::sort(spans.begin(), spans.end(), [](const JsonValue& a, const JsonValue& b) {
+    return CompareReportSpans(a, b) < 0;
+  });
+  // Provenance entries are serialized with the label first, so sorting the
+  // strings sorts by label — merge output is independent of input order.
+  std::sort(sources.begin(), sources.end());
+
+  std::string out = "{\n\"schema\": \"";
+  out += kRunReportAggSchema;
+  out += "\",\n";
+  out += StrFormat("\"reports\": %llu,\n", (unsigned long long)total_reports);
+  out += "\"sources\": [";
+  for (size_t i = 0; i < sources.size(); ++i) {
+    if (i != 0) {
+      out += ", ";
+    }
+    out += sources[i];
+  }
+  out += "],\n\"spans\": [";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (i != 0) {
+      out += ", ";
+    }
+    AppendSpanValue(out, spans[i]);
+  }
+  out += "],\n\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += "\"" + JsonEscape(name) + "\": " + U64(value);
+  }
+  out += "},\n\"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += "\"" + JsonEscape(name) + "\": " + I64(value);
+  }
+  out += "},\n\"histograms\": {";
+  first = true;
+  for (const auto& [name, acc] : histograms) {
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += "\"" + JsonEscape(name) + "\": {\"count\": " + U64(acc.count);
+    out += ", \"sum\": " + U64(acc.sum);
+    out += ", \"buckets\": [";
+    bool first_bucket = true;
+    for (const auto& [lower, count] : acc.buckets) {
+      if (count <= 0) {
+        continue;
+      }
+      if (!first_bucket) {
+        out += ", ";
+      }
+      first_bucket = false;
+      out += "[" + StrFormat("%llu", (unsigned long long)lower) + ", " + U64(count) + "]";
+    }
+    out += "]}";
+  }
+  out += "}\n}\n";
+  return out;
+}
+
+Status ValidateAggReport(std::string_view json) {
+  auto parsed = ParseJson(json);
+  if (!parsed.ok()) {
+    return parsed.TakeError();
+  }
+  const JsonValue& doc = *parsed;
+  const JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::kString ||
+      schema->string != kRunReportAggSchema) {
+    return Status(ErrorCode::kMalformedData,
+                  StrFormat("missing or wrong schema marker (want %s)", kRunReportAggSchema));
+  }
+  const JsonValue* reports = doc.Find("reports");
+  if (reports == nullptr || reports->kind != JsonValue::Kind::kNumber ||
+      reports->number < 1) {
+    return Status(ErrorCode::kMalformedData, "missing or empty \"reports\" count");
+  }
+  const JsonValue* sources = doc.Find("sources");
+  if (sources == nullptr || sources->kind != JsonValue::Kind::kArray) {
+    return Status(ErrorCode::kMalformedData, "missing \"sources\" array");
+  }
+  for (const char* section : {"spans", "counters", "gauges", "histograms"}) {
+    if (doc.Find(section) == nullptr) {
+      return Status(ErrorCode::kMalformedData, StrFormat("missing section %s", section));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace obs
+}  // namespace depsurf

@@ -1,5 +1,6 @@
 #include "src/obs/run_report.h"
 
+#include <algorithm>
 #include <fstream>
 
 #include "src/util/str_util.h"
@@ -89,6 +90,14 @@ std::string RunReportJson(const SpanCollector& spans, const MetricsRegistry& met
 
   out += "\"spans\": [";
   std::vector<SpanNode> roots = spans.Snapshot();
+  if (options.mask_timings) {
+    // Root finish order is racy when BuildDataset workers close their
+    // surface.extract spans concurrently; the masked (deterministic) form
+    // sorts it away. Unmasked reports keep real finish order.
+    std::sort(roots.begin(), roots.end(), [](const SpanNode& a, const SpanNode& b) {
+      return CompareSpanNodesMasked(a, b) < 0;
+    });
+  }
   for (size_t i = 0; i < roots.size(); ++i) {
     if (i != 0) {
       out += ", ";
@@ -177,9 +186,10 @@ std::string RunReportText(const SpanCollector& spans, const MetricsRegistry& met
   if (!histograms.empty()) {
     out += "histograms:\n";
     for (const auto& [name, histogram] : histograms) {
-      out += StrFormat("  %-40s count=%llu sum=%llu\n", name.c_str(),
-                       (unsigned long long)histogram->count(),
-                       (unsigned long long)histogram->sum());
+      out += StrFormat("  %-40s count=%llu sum=%llu p50=%.1f p95=%.1f p99=%.1f\n",
+                       name.c_str(), (unsigned long long)histogram->count(),
+                       (unsigned long long)histogram->sum(), histogram->Percentile(0.50),
+                       histogram->Percentile(0.95), histogram->Percentile(0.99));
       for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
         uint64_t n = histogram->bucket(b);
         if (n != 0) {

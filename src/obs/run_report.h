@@ -30,6 +30,8 @@ namespace depsurf {
 namespace obs {
 
 inline constexpr char kRunReportSchema[] = "depsurf.run_report.v1";
+// N merged run reports (see report_merge.h for the schema).
+inline constexpr char kRunReportAggSchema[] = "depsurf.run_report_agg.v1";
 
 struct RunReportOptions {
   bool mask_timings = false;  // zero dur_ns and *_ns/_us/_ms/_seconds fields

@@ -1,6 +1,7 @@
 #include "src/obs/span.h"
 
 #include "src/obs/diag.h"
+#include "src/obs/metrics.h"
 #include "src/util/str_util.h"
 
 namespace depsurf {
@@ -11,6 +12,42 @@ namespace {
 thread_local ScopedSpan* tls_current_span = nullptr;
 
 }  // namespace
+
+uint32_t ThreadTraceId() {
+  static std::atomic<uint32_t> next_id{1};
+  thread_local uint32_t id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+int CompareSpanNodesMasked(const SpanNode& a, const SpanNode& b) {
+  if (int c = a.name.compare(b.name); c != 0) {
+    return c;
+  }
+  size_t attrs = std::min(a.attrs.size(), b.attrs.size());
+  for (size_t i = 0; i < attrs; ++i) {
+    if (int c = a.attrs[i].first.compare(b.attrs[i].first); c != 0) {
+      return c;
+    }
+    if (!IsTimingMetricName(a.attrs[i].first)) {
+      if (int c = a.attrs[i].second.compare(b.attrs[i].second); c != 0) {
+        return c;
+      }
+    }
+  }
+  if (a.attrs.size() != b.attrs.size()) {
+    return a.attrs.size() < b.attrs.size() ? -1 : 1;
+  }
+  size_t children = std::min(a.children.size(), b.children.size());
+  for (size_t i = 0; i < children; ++i) {
+    if (int c = CompareSpanNodesMasked(a.children[i], b.children[i]); c != 0) {
+      return c;
+    }
+  }
+  if (a.children.size() != b.children.size()) {
+    return a.children.size() < b.children.size() ? -1 : 1;
+  }
+  return 0;
+}
 
 SpanCollector& SpanCollector::Global() {
   static SpanCollector* collector = new SpanCollector;
@@ -35,6 +72,9 @@ void SpanCollector::Clear() {
 ScopedSpan::ScopedSpan(std::string name)
     : parent_(tls_current_span), start_(std::chrono::steady_clock::now()) {
   node_.name = std::move(name);
+  node_.start_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(start_.time_since_epoch()).count());
+  node_.tid = ThreadTraceId();
   tls_current_span = this;
 }
 

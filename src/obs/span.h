@@ -24,10 +24,24 @@ namespace obs {
 
 struct SpanNode {
   std::string name;
+  uint64_t start_ns = 0;  // monotonic clock at open (steady_clock epoch)
   uint64_t dur_ns = 0;
+  uint32_t tid = 0;  // small per-thread trace id (1, 2, ...), see ThreadTraceId
   std::vector<std::pair<std::string, std::string>> attrs;  // insertion order
   std::vector<SpanNode> children;
 };
+
+// Stable small integer identifying the calling thread in trace output:
+// assigned on first use, 1-based, never reused within the process. Which
+// thread gets which id depends on scheduling, so trace ids are
+// nondeterministic across runs (like every timing field).
+uint32_t ThreadTraceId();
+
+// Total order over span trees ignoring every nondeterministic field
+// (start_ns, dur_ns, tid, timing-suffixed attr values): name first, then
+// attrs, then children recursively. Used to sort racy multi-threaded root
+// finish order into a deterministic sequence for masked serialization.
+int CompareSpanNodesMasked(const SpanNode& a, const SpanNode& b);
 
 // Collects finished root spans, in finish order. Thread-safe.
 class SpanCollector {

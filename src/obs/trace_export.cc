@@ -1,0 +1,152 @@
+#include "src/obs/trace_export.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+#include "src/obs/run_report.h"
+#include "src/util/str_util.h"
+
+namespace depsurf {
+namespace obs {
+
+namespace {
+
+struct FlatEvent {
+  const SpanNode* span;
+  uint64_t start_ns;
+};
+
+void Flatten(const SpanNode& span, uint64_t parent_start_ns, std::vector<FlatEvent>& out,
+             uint64_t& min_start_ns) {
+  // Children recorded before start_ns existed (or clock quirks) inherit the
+  // parent's start so the timeline stays well-formed.
+  uint64_t start = span.start_ns != 0 ? span.start_ns : parent_start_ns;
+  min_start_ns = std::min(min_start_ns, start);
+  out.push_back(FlatEvent{&span, start});
+  for (const SpanNode& child : span.children) {
+    Flatten(child, start, out, min_start_ns);
+  }
+}
+
+std::string Us(uint64_t ns) {
+  // Microseconds with nanosecond precision; trailing precision is exact
+  // because the value is ns/1000 with a 3-digit fraction.
+  return StrFormat("%llu.%03llu", (unsigned long long)(ns / 1000),
+                   (unsigned long long)(ns % 1000));
+}
+
+}  // namespace
+
+size_t CountSpanNodes(const std::vector<SpanNode>& roots) {
+  size_t n = 0;
+  for (const SpanNode& root : roots) {
+    n += 1;
+    n += CountSpanNodes(root.children);
+  }
+  return n;
+}
+
+std::string TraceEventJson(const std::vector<SpanNode>& roots) {
+  std::vector<FlatEvent> events;
+  uint64_t min_start_ns = std::numeric_limits<uint64_t>::max();
+  for (const SpanNode& root : roots) {
+    Flatten(root, root.start_ns, events, min_start_ns);
+  }
+  if (events.empty()) {
+    min_start_ns = 0;
+  }
+  std::stable_sort(events.begin(), events.end(), [](const FlatEvent& a, const FlatEvent& b) {
+    if (a.start_ns != b.start_ns) {
+      return a.start_ns < b.start_ns;
+    }
+    // Same instant: parents before children (longer spans first) keeps the
+    // nesting readable in viewers.
+    return a.span->dur_ns > b.span->dur_ns;
+  });
+
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const SpanNode& span = *events[i].span;
+    if (i != 0) {
+      out += ",";
+    }
+    out += "\n  {\"name\": \"" + JsonEscape(span.name) + "\", \"ph\": \"X\"";
+    out += ", \"ts\": " + Us(events[i].start_ns - min_start_ns);
+    out += ", \"dur\": " + Us(span.dur_ns);
+    out += ", \"pid\": 1, \"tid\": " + StrFormat("%u", span.tid);
+    out += ", \"args\": {";
+    for (size_t a = 0; a < span.attrs.size(); ++a) {
+      if (a != 0) {
+        out += ", ";
+      }
+      out += "\"" + JsonEscape(span.attrs[a].first) + "\": \"" +
+             JsonEscape(span.attrs[a].second) + "\"";
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status WriteGlobalTrace(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status(ErrorCode::kIoError, "cannot write " + path);
+  }
+  std::string json = TraceEventJson(SpanCollector::Global().Snapshot());
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  if (!out) {
+    return Status(ErrorCode::kIoError, "short write to " + path);
+  }
+  return Status::Ok();
+}
+
+Status ValidateTrace(const JsonValue& trace, int64_t expect_events) {
+  const JsonValue* events = trace.Find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    return Status(ErrorCode::kMalformedData, "missing traceEvents array");
+  }
+  double prev_ts = -1;
+  for (size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& event = events->array[i];
+    const JsonValue* name = event.Find("name");
+    const JsonValue* ph = event.Find("ph");
+    const JsonValue* ts = event.Find("ts");
+    const JsonValue* dur = event.Find("dur");
+    const JsonValue* pid = event.Find("pid");
+    const JsonValue* tid = event.Find("tid");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString || name->string.empty()) {
+      return Status(ErrorCode::kMalformedData, StrFormat("event %zu: missing name", i));
+    }
+    if (ph == nullptr || ph->kind != JsonValue::Kind::kString || ph->string != "X") {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("event %zu: phase must be \"X\"", i));
+    }
+    const std::pair<const char*, const JsonValue*> numeric_fields[] = {
+        {"ts", ts}, {"dur", dur}, {"pid", pid}, {"tid", tid}};
+    for (const auto& [field, member] : numeric_fields) {
+      if (member == nullptr || member->kind != JsonValue::Kind::kNumber ||
+          !std::isfinite(member->number) || member->number < 0) {
+        return Status(ErrorCode::kMalformedData,
+                      StrFormat("event %zu: %s must be a nonnegative number", i, field));
+      }
+    }
+    if (ts->number < prev_ts) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("event %zu: ts not monotonic (%.3f after %.3f)", i, ts->number,
+                              prev_ts));
+    }
+    prev_ts = ts->number;
+  }
+  if (expect_events >= 0 && static_cast<int64_t>(events->array.size()) != expect_events) {
+    return Status(ErrorCode::kMalformedData,
+                  StrFormat("trace has %zu events, span tree has %lld nodes",
+                            events->array.size(), (long long)expect_events));
+  }
+  return Status::Ok();
+}
+
+}  // namespace obs
+}  // namespace depsurf

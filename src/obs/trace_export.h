@@ -1,0 +1,46 @@
+// Timeline trace export: serializes a finished span forest to the Chrome
+// trace_event JSON format (the "JSON object format" with a "traceEvents"
+// array of "X" complete-duration events), directly loadable in
+// ui.perfetto.dev or chrome://tracing.
+//
+// Every SpanNode becomes exactly one event — event count == span-node
+// count, an invariant `depsurf metrics lint --kind=trace` enforces against
+// the run report of the same run. Timestamps are rebased so the earliest
+// span starts at ts=0 and are emitted in nondecreasing order; `tid` is the
+// small per-thread trace id spans record at open, so the worker threads of
+// a parallel Study::BuildDataset show up as separate timeline tracks.
+#ifndef DEPSURF_SRC_OBS_TRACE_EXPORT_H_
+#define DEPSURF_SRC_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/json_lint.h"
+#include "src/obs/span.h"
+#include "src/util/error.h"
+
+namespace depsurf {
+namespace obs {
+
+// Total nodes in a span forest (roots plus all descendants).
+size_t CountSpanNodes(const std::vector<SpanNode>& roots);
+
+// Chrome trace_event JSON for the given forest. Timestamps ("ts") and
+// durations ("dur") are microseconds with nanosecond precision; span
+// attributes become the event's "args".
+std::string TraceEventJson(const std::vector<SpanNode>& roots);
+
+// Serializes the global SpanCollector to `path` (what --trace-out does).
+Status WriteGlobalTrace(const std::string& path);
+
+// Validates a parsed trace document: a "traceEvents" array whose members
+// are "X" events with a name, nonnegative numeric ts/dur, and pid/tid;
+// ts must be nondecreasing across the array. When `expect_events` is
+// nonnegative the event count must match it exactly (cross-check against
+// CountReportSpanNodes of the run report from the same run).
+Status ValidateTrace(const JsonValue& trace, int64_t expect_events = -1);
+
+}  // namespace obs
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_OBS_TRACE_EXPORT_H_

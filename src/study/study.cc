@@ -5,11 +5,14 @@
 #include <cstring>
 #include <ctime>
 #include <deque>
+#include <fstream>
 #include <future>
 #include <thread>
 #include <utility>
 
 #include "src/obs/metrics.h"
+#include "src/obs/report_merge.h"
+#include "src/obs/run_report.h"
 #include "src/obs/span.h"
 
 namespace depsurf {
@@ -107,6 +110,80 @@ Result<Dataset> Study::BuildDataset(
   metrics.Set("study.build_dataset.wall_ms", static_cast<uint64_t>(wall.count() * 1e3));
   metrics.Set("study.build_dataset.cpu_ms", static_cast<uint64_t>(cpu_seconds * 1e3));
   span.AddAttr("window", static_cast<uint64_t>(window));
+  return dataset;
+}
+
+Result<Dataset> Study::BuildDatasetWithReports(
+    const std::vector<BuildSpec>& corpus, const std::string& report_dir,
+    DatasetReportFiles* files,
+    const std::function<void(const ImageProgress&)>& progress) const {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::SpanCollector& spans = obs::SpanCollector::Global();
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  Dataset dataset;
+  std::vector<obs::LabeledReport> reports;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    const BuildSpec& build = corpus[i];
+    // Per-image isolation: everything the global registry collects between
+    // here and serialization belongs to this image alone.
+    spans.Clear();
+    metrics.Reset();
+    const auto start = std::chrono::steady_clock::now();
+    auto surface = ExtractSurface(build);
+    if (!surface.ok()) {
+      return surface.TakeError();
+    }
+    dataset.AddImage(build.Label(), *surface);
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+    std::string json = obs::GlobalRunReportJson();
+    std::string path = report_dir + "/report_" + build.Label() + ".json";
+    {
+      std::ofstream out(path, std::ios::binary);
+      if (!out) {
+        return Error(ErrorCode::kIoError, "cannot write " + path);
+      }
+      out.write(json.data(), static_cast<std::streamsize>(json.size()));
+      if (!out) {
+        return Error(ErrorCode::kIoError, "short write to " + path);
+      }
+    }
+    reports.push_back(obs::LabeledReport{build.Label(), std::move(json)});
+    if (files != nullptr) {
+      files->per_image.push_back(path);
+    }
+    if (progress) {
+      progress(ImageProgress{build.Label(), elapsed.count(), i, corpus.size()});
+    }
+  }
+
+  auto aggregate = obs::MergeRunReports(reports);
+  if (!aggregate.ok()) {
+    return aggregate.TakeError();
+  }
+  std::string agg_path = report_dir + "/report_agg.json";
+  {
+    std::ofstream out(agg_path, std::ios::binary);
+    if (!out) {
+      return Error(ErrorCode::kIoError, "cannot write " + agg_path);
+    }
+    out.write(aggregate->data(), static_cast<std::streamsize>(aggregate->size()));
+    if (!out) {
+      return Error(ErrorCode::kIoError, "short write to " + agg_path);
+    }
+  }
+  if (files != nullptr) {
+    files->aggregate = agg_path;
+  }
+
+  // Leave the global state describing the whole build, not the last image:
+  // callers using --metrics-out after this still get a meaningful report.
+  spans.Clear();
+  metrics.Reset();
+  const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - wall_start;
+  metrics.Incr("study.datasets_built");
+  metrics.Incr("study.reports_written", corpus.size() + 1);
+  metrics.Set("study.build_dataset.wall_ms", static_cast<int64_t>(wall.count() * 1e3));
   return dataset;
 }
 

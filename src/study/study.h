@@ -58,6 +58,22 @@ class Study {
   Result<Dataset> BuildDataset(const std::vector<BuildSpec>& corpus,
                                const std::function<void(const ImageProgress&)>& progress = {}) const;
 
+  // Like BuildDataset, but additionally writes one depsurf.run_report.v1
+  // per image into `report_dir` (report_<label>.json) plus their merged
+  // depsurf.run_report_agg.v1 (report_agg.json). Per-image reports need
+  // per-image metric isolation, so this variant processes the corpus
+  // serially, resetting the global registry and span collector around each
+  // image — use it for corpus studies, not for raw build throughput. The
+  // paths written land in `files` when non-null.
+  struct DatasetReportFiles {
+    std::vector<std::string> per_image;
+    std::string aggregate;
+  };
+  Result<Dataset> BuildDatasetWithReports(
+      const std::vector<BuildSpec>& corpus, const std::string& report_dir,
+      DatasetReportFiles* files = nullptr,
+      const std::function<void(const ImageProgress&)>& progress = {}) const;
+
   // Analyzes one program object (by Table 7 name) against a dataset.
   Result<ProgramReport> Analyze(const Dataset& dataset, const std::string& program) const;
   static Result<ProgramReport> Analyze(const Dataset& dataset, const BpfObject& object);

@@ -8,24 +8,35 @@
 //   depsurf check   OBJECT IMAGE...               report mismatches for an eBPF object
 //   depsurf progs                                 list the bundled 53-program corpus
 //   depsurf emit    PROGRAM --out=OBJ             write a bundled program's .o
-//   depsurf metrics lint|canon FILE               validate / canonicalize a run report
+//   depsurf metrics lint|canon FILE               validate / canonicalize a report
+//   depsurf report  merge OUT IN...               merge run reports into an aggregate
+//   depsurf perf    compare BASE HEAD             perf regression gate over stage timings
+//   depsurf study   build [--versions=..]         build a dataset corpus, with reports
 //
 // Every command accepts --metrics-out=FILE (write a depsurf.run_report.v1
-// JSON document on exit) and --trace (stream spans to stderr as they close).
+// JSON document on exit), --trace-out=FILE (write a Chrome/Perfetto
+// trace_event timeline of the span tree, for ui.perfetto.dev), and --trace
+// (stream spans to stderr as they close).
 //
 // Images and objects are ordinary files; `gen`/`emit` exist because this
 // reproduction generates its corpus instead of downloading Ubuntu dbgsym
 // packages (see DESIGN.md).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 
 #include "src/bpf/core_reloc_engine.h"
 #include "src/btf/btf_print.h"
 #include "src/core/dataset_io.h"
+#include "src/kernelgen/rates.h"
+#include "src/obs/bench_report.h"
 #include "src/obs/diag.h"
 #include "src/obs/json_lint.h"
+#include "src/obs/perf_gate.h"
+#include "src/obs/report_merge.h"
 #include "src/obs/run_report.h"
+#include "src/obs/trace_export.h"
 #include "src/study/study.h"
 #include "src/util/str_util.h"
 
@@ -84,34 +95,39 @@ std::vector<std::string> Positional(int argc, char** argv) {
   return out;
 }
 
+// Parses --arch/--flavor flags into enums; false on an unknown name.
+bool ParseArchFlavor(int argc, char** argv, Arch* arch, Flavor* flavor) {
+  std::string arch_name = FlagValue(argc, argv, "arch", "x86");
+  std::string flavor_name = FlagValue(argc, argv, "flavor", "generic");
+  bool arch_ok = false;
+  for (Arch a : kAllArches) {
+    if (arch_name == ArchName(a)) {
+      *arch = a;
+      arch_ok = true;
+    }
+  }
+  bool flavor_ok = false;
+  for (Flavor f : kAllFlavors) {
+    if (flavor_name == FlavorName(f)) {
+      *flavor = f;
+      flavor_ok = true;
+    }
+  }
+  return arch_ok && flavor_ok;
+}
+
 int CmdGen(int argc, char** argv) {
   auto version = KernelVersion::Parse(FlagValue(argc, argv, "version", "5.4"));
   if (!version.ok()) {
     return DiagError(version.error().ToString());
   }
-  std::string arch_name = FlagValue(argc, argv, "arch", "x86");
-  std::string flavor_name = FlagValue(argc, argv, "flavor", "generic");
   std::string out = FlagValue(argc, argv, "out", "");
   if (out.empty()) {
     return DiagError("gen requires --out=FILE");
   }
   Arch arch = Arch::kX86;
-  bool arch_ok = false;
-  for (Arch a : kAllArches) {
-    if (arch_name == ArchName(a)) {
-      arch = a;
-      arch_ok = true;
-    }
-  }
   Flavor flavor = Flavor::kGeneric;
-  bool flavor_ok = false;
-  for (Flavor f : kAllFlavors) {
-    if (flavor_name == FlavorName(f)) {
-      flavor = f;
-      flavor_ok = true;
-    }
-  }
-  if (!arch_ok || !flavor_ok) {
+  if (!ParseArchFlavor(argc, argv, &arch, &flavor)) {
     return DiagError("unknown --arch or --flavor");
   }
   Study study(StudyOptions::FromArgs(argc, argv, /*default_scale=*/1.0));
@@ -223,10 +239,10 @@ int CmdStats(int argc, char** argv) {
   return 0;
 }
 
-// Validates or canonicalizes a run-report JSON file written by
-// --metrics-out. `lint` checks schema + span/counter coverage; `canon`
-// re-emits the document in compact form with timing fields masked, so two
-// runs over the same inputs can be compared byte for byte.
+// Validates or canonicalizes an observability JSON file. `lint` dispatches
+// on --kind (run report, aggregate, bench report, perf comparison, trace);
+// `canon` re-emits any document in compact form with timing fields masked,
+// so two runs over the same inputs can be compared byte for byte.
 int CmdMetrics(int argc, char** argv) {
   auto positional = Positional(argc, argv);
   if (positional.size() < 2 || (positional[0] != "lint" && positional[0] != "canon")) {
@@ -245,20 +261,220 @@ int CmdMetrics(int argc, char** argv) {
     printf("%s\n", obs::CanonicalMaskedJson(*json).c_str());
     return 0;
   }
-  size_t min_spans = strtoull(FlagValue(argc, argv, "min-spans", "0").c_str(), nullptr, 10);
-  std::vector<std::string> required;
-  for (const std::string& name : SplitString(FlagValue(argc, argv, "require", ""), ',')) {
-    if (!name.empty()) {
-      required.push_back(name);
+  std::string kind = FlagValue(argc, argv, "kind", "report");
+  if (kind == "report") {
+    size_t min_spans = strtoull(FlagValue(argc, argv, "min-spans", "0").c_str(), nullptr, 10);
+    std::vector<std::string> required;
+    for (const std::string& name : SplitString(FlagValue(argc, argv, "require", ""), ',')) {
+      if (!name.empty()) {
+        required.push_back(name);
+      }
+    }
+    Status valid = obs::ValidateRunReport(text, min_spans, required);
+    if (!valid.ok()) {
+      return DiagError(positional[1], valid.error());
+    }
+    auto json = obs::ParseJson(text);
+    printf("%s: valid %s (%zu distinct spans)\n", positional[1].c_str(),
+           obs::kRunReportSchema, obs::CollectSpanNames(*json).size());
+    return 0;
+  }
+  if (kind == "agg") {
+    Status valid = obs::ValidateAggReport(text);
+    if (!valid.ok()) {
+      return DiagError(positional[1], valid.error());
+    }
+    printf("%s: valid %s\n", positional[1].c_str(), obs::kRunReportAggSchema);
+    return 0;
+  }
+  if (kind == "bench") {
+    Status valid = obs::ValidateBenchReport(text);
+    if (!valid.ok()) {
+      return DiagError(positional[1], valid.error());
+    }
+    printf("%s: valid %s\n", positional[1].c_str(), obs::kBenchReportSchema);
+    return 0;
+  }
+  if (kind == "perf") {
+    Status valid = obs::ValidatePerfCompare(text);
+    if (!valid.ok()) {
+      return DiagError(positional[1], valid.error());
+    }
+    printf("%s: valid %s\n", positional[1].c_str(), obs::kPerfCompareSchema);
+    return 0;
+  }
+  if (kind == "trace") {
+    auto json = obs::ParseJson(text);
+    if (!json.ok()) {
+      return DiagError(positional[1], json.error());
+    }
+    int64_t expect_events = -1;
+    std::string report_path = FlagValue(argc, argv, "report", "");
+    if (!report_path.empty()) {
+      auto report_bytes = ReadFile(report_path);
+      if (!report_bytes.ok()) {
+        return DiagError(report_bytes.error());
+      }
+      auto report = obs::ParseJson(std::string(report_bytes->begin(), report_bytes->end()));
+      if (!report.ok()) {
+        return DiagError(report_path, report.error());
+      }
+      expect_events = static_cast<int64_t>(obs::CountReportSpanNodes(*report));
+    }
+    Status valid = obs::ValidateTrace(*json, expect_events);
+    if (!valid.ok()) {
+      return DiagError(positional[1], valid.error());
+    }
+    printf("%s: valid trace_event JSON (%zu events)\n", positional[1].c_str(),
+           json->Find("traceEvents")->array.size());
+    return 0;
+  }
+  return DiagError("unknown --kind=" + kind + " (report|agg|bench|perf|trace)");
+}
+
+// Merges run reports (per-image documents from a study build, or prior
+// aggregates) into one depsurf.run_report_agg.v1 file.
+int CmdReport(int argc, char** argv) {
+  auto positional = Positional(argc, argv);
+  if (positional.size() < 3 || positional[0] != "merge") {
+    return DiagError("report requires a subcommand: merge OUT IN...");
+  }
+  std::vector<obs::LabeledReport> reports;
+  for (size_t i = 2; i < positional.size(); ++i) {
+    auto bytes = ReadFile(positional[i]);
+    if (!bytes.ok()) {
+      return DiagError(bytes.error());
+    }
+    reports.push_back(
+        obs::LabeledReport{positional[i], std::string(bytes->begin(), bytes->end())});
+  }
+  auto merged = obs::MergeRunReports(reports);
+  if (!merged.ok()) {
+    return DiagError(merged.error());
+  }
+  std::ofstream out(positional[1], std::ios::binary);
+  if (!out) {
+    return DiagError("cannot write " + positional[1]);
+  }
+  out.write(merged->data(), static_cast<std::streamsize>(merged->size()));
+  if (!out) {
+    return DiagError("short write to " + positional[1]);
+  }
+  printf("wrote %s (%zu input reports, %zu bytes)\n", positional[1].c_str(), reports.size(),
+         merged->size());
+  return 0;
+}
+
+// Accepts "15%", "15", or "0.15" — all meaning a 15% threshold.
+double ParseRatioFlag(const std::string& text, double fallback) {
+  if (text.empty()) {
+    return fallback;
+  }
+  bool percent = text.back() == '%';
+  double value = atof(percent ? text.substr(0, text.size() - 1).c_str() : text.c_str());
+  if (percent || value > 1.0) {
+    value /= 100.0;
+  }
+  return value > 0 ? value : fallback;
+}
+
+// The perf regression gate: exit 0 when no stage regressed beyond the
+// threshold, 3 when one did (1 stays "could not compare at all").
+int CmdPerf(int argc, char** argv) {
+  auto positional = Positional(argc, argv);
+  if (positional.size() < 3 || positional[0] != "compare") {
+    return DiagError("perf requires a subcommand: compare BASE.json HEAD.json");
+  }
+  obs::PerfGateOptions options;
+  options.max_regress = ParseRatioFlag(FlagValue(argc, argv, "max-regress", ""), 0.15);
+  options.noise_floor_seconds =
+      atof(FlagValue(argc, argv, "noise-floor", "0.005").c_str());
+  std::vector<std::vector<obs::StageTiming>> sides;
+  for (size_t i = 1; i <= 2; ++i) {
+    auto bytes = ReadFile(positional[i]);
+    if (!bytes.ok()) {
+      return DiagError(bytes.error());
+    }
+    auto json = obs::ParseJson(std::string(bytes->begin(), bytes->end()));
+    if (!json.ok()) {
+      return DiagError(positional[i], json.error());
+    }
+    auto timings = obs::LoadStageTimings(*json);
+    if (!timings.ok()) {
+      return DiagError(positional[i], timings.error());
+    }
+    sides.push_back(timings.TakeValue());
+  }
+  obs::PerfComparison comparison = obs::ComparePerf(sides[0], sides[1], options);
+  if (HasFlag(argc, argv, "json")) {
+    printf("%s", obs::PerfComparisonJson(comparison, options).c_str());
+  } else {
+    printf("%s", obs::PerfComparisonText(comparison).c_str());
+  }
+  return comparison.gate_failed() ? 3 : 0;
+}
+
+// Corpus builds from the CLI: generate + extract + distill a whole version
+// corpus, optionally writing per-image run reports and their aggregate.
+int CmdStudy(int argc, char** argv) {
+  auto positional = Positional(argc, argv);
+  if (positional.empty() || positional[0] != "build") {
+    return DiagError("study requires a subcommand: build");
+  }
+  Arch arch = Arch::kX86;
+  Flavor flavor = Flavor::kGeneric;
+  if (!ParseArchFlavor(argc, argv, &arch, &flavor)) {
+    return DiagError("unknown --arch or --flavor");
+  }
+  std::vector<BuildSpec> corpus;
+  std::string versions = FlagValue(argc, argv, "versions", "");
+  if (versions.empty()) {
+    for (KernelVersion version : kLtsVersions) {
+      corpus.push_back(MakeBuild(version, arch, flavor));
+    }
+  } else {
+    for (const std::string& text : SplitString(versions, ',')) {
+      if (text.empty()) {
+        continue;
+      }
+      auto version = KernelVersion::Parse(text);
+      if (!version.ok()) {
+        return DiagError(version.error());
+      }
+      corpus.push_back(MakeBuild(*version, arch, flavor));
     }
   }
-  Status valid = obs::ValidateRunReport(text, min_spans, required);
-  if (!valid.ok()) {
-    return DiagError(positional[1], valid.error());
+  if (corpus.empty()) {
+    return DiagError("study build: empty corpus (check --versions)");
   }
-  auto json = obs::ParseJson(text);
-  printf("%s: valid %s (%zu distinct spans)\n", positional[1].c_str(), obs::kRunReportSchema,
-         obs::CollectSpanNames(*json).size());
+  Study study(StudyOptions::FromArgs(argc, argv, /*default_scale=*/1.0));
+  auto progress = [](const Study::ImageProgress& p) {
+    printf("[%zu/%zu] %-28s %.2f s\n", p.index + 1, p.total, p.label.c_str(), p.seconds);
+  };
+  std::string report_dir = FlagValue(argc, argv, "report-dir", "");
+  Study::DatasetReportFiles files;
+  auto dataset = report_dir.empty()
+                     ? study.BuildDataset(corpus, progress)
+                     : study.BuildDatasetWithReports(corpus, report_dir, &files, progress);
+  if (!dataset.ok()) {
+    return DiagError(dataset.error());
+  }
+  std::string out = FlagValue(argc, argv, "out", "");
+  if (!out.empty()) {
+    std::vector<uint8_t> bytes = SaveDataset(*dataset);
+    Status written = WriteFile(out, bytes);
+    if (!written.ok()) {
+      return DiagError(written.ToString());
+    }
+    printf("wrote %s (%zu images, %zu bytes)\n", out.c_str(), dataset->num_images(),
+           bytes.size());
+  } else {
+    printf("built %zu-image dataset (not saved; pass --out=FILE)\n", dataset->num_images());
+  }
+  if (!report_dir.empty()) {
+    printf("wrote %zu per-image reports and %s\n", files.per_image.size(),
+           files.aggregate.c_str());
+  }
   return 0;
 }
 
@@ -461,8 +677,14 @@ constexpr char kUsage[] =
     "  dataset build IMG... --out=FILE | dataset info FILE\n"
     "  progs\n"
     "  emit    PROGRAM --out=OBJ\n"
-    "  metrics lint FILE [--min-spans=N] [--require=a,b,c] | metrics canon FILE\n"
-    "global options: --metrics-out=FILE  --trace\n";
+    "  metrics lint FILE [--kind=report|agg|bench|perf|trace] [--min-spans=N]\n"
+    "          [--require=a,b,c] [--report=FILE] | metrics canon FILE\n"
+    "  report  merge OUT IN...\n"
+    "  perf    compare BASE.json HEAD.json [--max-regress=15%] [--noise-floor=S] [--json]\n"
+    "          (exit 3 when a stage regressed beyond the threshold)\n"
+    "  study   build [--versions=5.4,6.8] [--arch=A] [--flavor=F] [--scale=S] [--seed=N]\n"
+    "          [--out=DATASET] [--report-dir=DIR]\n"
+    "global options: --metrics-out=FILE  --trace-out=FILE  --trace\n";
 
 int Dispatch(int argc, char** argv, const std::string& command) {
   if (command == "gen") {
@@ -486,6 +708,15 @@ int Dispatch(int argc, char** argv, const std::string& command) {
   if (command == "metrics") {
     return CmdMetrics(argc, argv);
   }
+  if (command == "report") {
+    return CmdReport(argc, argv);
+  }
+  if (command == "perf") {
+    return CmdPerf(argc, argv);
+  }
+  if (command == "study") {
+    return CmdStudy(argc, argv);
+  }
   if (command == "progs" || command == "emit") {
     Study study(StudyOptions::FromArgs(argc, argv, /*default_scale=*/0.05));
     return command == "progs" ? CmdProgs(study) : CmdEmit(argc, argv, study);
@@ -505,6 +736,16 @@ int main(int argc, char** argv) {
     obs::SpanCollector::Global().SetLiveTrace(true);
   }
   int code = Dispatch(argc, argv, argv[1]);
+  std::string trace_out = FlagValue(argc, argv, "trace-out", "");
+  if (!trace_out.empty()) {
+    Status written = obs::WriteGlobalTrace(trace_out);
+    if (!written.ok()) {
+      obs::Diag(obs::Severity::kError, "trace not written", written.error());
+      if (code == 0) {
+        code = 1;
+      }
+    }
+  }
   std::string metrics_out = FlagValue(argc, argv, "metrics-out", "");
   if (!metrics_out.empty()) {
     // Preserve the command's exit code (check uses 2 for "mismatches

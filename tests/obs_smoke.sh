@@ -35,7 +35,8 @@ grep -q "surface.extract" stats.txt || fail "stats output is missing spans"
 # ---- check: analysis + relocation replay; exit 2 (mismatches) is expected.
 "$DEPSURF" emit biotop --out=biotop.o || fail "emit exited $?"
 set +e
-"$DEPSURF" check biotop.o img54 img62 --metrics-out=check1.json > check1.txt
+"$DEPSURF" check biotop.o img54 img62 --metrics-out=check1.json \
+  --trace-out=trace1.json > check1.txt
 code=$?
 set -e
 [ "$code" -eq 0 ] || [ "$code" -eq 2 ] || fail "check exited $code"
@@ -54,5 +55,39 @@ cmp -s check1.txt check2.txt || fail "check stdout differs between runs"
 "$DEPSURF" metrics canon check2.json > canon2.json || fail "canon run 2"
 cmp -s canon1.json canon2.json \
   || fail "masked run reports differ between identical runs"
+
+# ---- trace export: the timeline and the run report describe the same run,
+# so the trace must hold exactly one "X" event per span node (lint enforces
+# the cross-check), with monotonic timestamps.
+"$DEPSURF" metrics lint trace1.json --kind=trace --report=check1.json \
+  || fail "trace does not match its run report"
+grep -q '"displayTimeUnit"' trace1.json || fail "trace missing header"
+
+# ---- study build: a 5-image corpus with per-image reports + an aggregate.
+# Two runs must produce byte-identical masked aggregates and datasets.
+for run in 1 2; do
+  mkdir -p "reps$run"
+  "$DEPSURF" study build --scale=0.02 --out="ds$run" --report-dir="reps$run" \
+    > "study$run.txt" || fail "study build run $run exited $?"
+done
+cmp -s ds1 ds2 || fail "datasets differ between identical study builds"
+[ "$(ls reps1/report_v*.json | wc -l)" -eq 5 ] || fail "expected 5 per-image reports"
+for report in reps1/report_v*.json; do
+  "$DEPSURF" metrics lint "$report" --min-spans=5 --require=surface.extracted \
+    || fail "$report invalid"
+done
+"$DEPSURF" metrics lint reps1/report_agg.json --kind=agg \
+  || fail "aggregate report invalid"
+"$DEPSURF" metrics canon reps1/report_agg.json > agg1.canon || fail "agg canon 1"
+"$DEPSURF" metrics canon reps2/report_agg.json > agg2.canon || fail "agg canon 2"
+cmp -s agg1.canon agg2.canon \
+  || fail "masked aggregates differ between identical study builds"
+
+# ---- report merge: re-merging the per-image reports from the CLI yields
+# the same aggregate the study wrote (sources carry paths vs labels, so the
+# comparison is over the data sections via the merged document itself).
+"$DEPSURF" report merge remerge.json reps1/report_v*.json || fail "merge exited $?"
+"$DEPSURF" metrics lint remerge.json --kind=agg || fail "re-merged aggregate invalid"
+grep -q '"reports": 5' remerge.json || fail "re-merge lost report provenance"
 
 echo "obs_smoke: PASS"

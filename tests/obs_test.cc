@@ -10,6 +10,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/run_report.h"
 #include "src/obs/span.h"
+#include "src/obs/trace_export.h"
 #include "src/study/study.h"
 
 namespace depsurf {
@@ -51,6 +52,37 @@ TEST(HistogramTest, RecordAccumulates) {
   EXPECT_EQ(h.bucket(2), 2u);  // 2, 3
   EXPECT_EQ(h.bucket(3), 1u);  // 4
   EXPECT_EQ(h.bucket(10), 1u);  // 1000
+}
+
+TEST(HistogramTest, PercentileExactBucketZero) {
+  obs::Histogram h;
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);  // empty histogram
+  h.Record(0);
+  h.Record(0);
+  // Everything sits in the zero bucket: every percentile is exactly 0.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.01), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 0.0);
+}
+
+TEST(HistogramTest, PercentileInterpolatesWithinBucket) {
+  obs::Histogram h;
+  h.Record(4);  // bucket [4, 8): a single sample
+  // Linear interpolation across the bucket: p50 is its midpoint, p100 its
+  // exclusive upper bound.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 6.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 8.0);
+
+  obs::Histogram mixed;
+  mixed.Record(0);
+  mixed.Record(0);
+  mixed.Record(1);
+  mixed.Record(1);
+  // Half the mass is at 0; the rest interpolates through [1, 2).
+  EXPECT_DOUBLE_EQ(mixed.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(mixed.Percentile(0.75), 1.5);
+  // Out-of-range quantiles clamp instead of misbehaving.
+  EXPECT_DOUBLE_EQ(mixed.Percentile(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(mixed.Percentile(2.0), 2.0);
 }
 
 TEST(MetricsRegistryTest, CountersGaugesHistograms) {
@@ -170,6 +202,101 @@ TEST(SpanTest, ThreadsKeepIndependentStacks) {
   ASSERT_EQ(roots.size(), 1u);
   EXPECT_EQ(roots[0].name, "test.worker");
   obs::SpanCollector::Global().Clear();
+}
+
+TEST(SpanTest, ScopedSpanRecordsStartAndThreadId) {
+  obs::SpanCollector::Global().Clear();
+  { obs::ScopedSpan span("test.timed"); }
+  uint32_t worker_tid = 0;
+  std::thread worker([&worker_tid] {
+    obs::ScopedSpan span("test.worker_timed");
+    worker_tid = obs::ThreadTraceId();
+  });
+  worker.join();
+  std::vector<obs::SpanNode> roots = obs::SpanCollector::Global().Snapshot();
+  ASSERT_EQ(roots.size(), 2u);
+  for (const obs::SpanNode& root : roots) {
+    EXPECT_GT(root.start_ns, 0u) << root.name;
+    EXPECT_GT(root.tid, 0u) << root.name;
+  }
+  // The worker thread gets its own trace id, distinct from this thread's.
+  EXPECT_NE(worker_tid, obs::ThreadTraceId());
+  obs::SpanCollector::Global().Clear();
+}
+
+TEST(SpanTest, MaskedCompareOrdersByNameAttrsAndChildren) {
+  obs::SpanNode a;
+  a.name = "alpha";
+  obs::SpanNode b;
+  b.name = "beta";
+  EXPECT_LT(obs::CompareSpanNodesMasked(a, b), 0);
+  EXPECT_GT(obs::CompareSpanNodesMasked(b, a), 0);
+
+  // Timing-named attrs compare by key only: two runs of the same build
+  // differ only in wall time, and must sort identically.
+  obs::SpanNode t1;
+  t1.name = "same";
+  t1.attrs = {{"label", "v5.4"}, {"wall_ms", "10"}};
+  obs::SpanNode t2 = t1;
+  t2.attrs[1].second = "99";
+  EXPECT_EQ(obs::CompareSpanNodesMasked(t1, t2), 0);
+
+  // Non-timing attr values do participate.
+  t2.attrs[0].second = "v6.8";
+  EXPECT_LT(obs::CompareSpanNodesMasked(t1, t2), 0);
+
+  // Children break ties between otherwise identical parents.
+  obs::SpanNode p1;
+  p1.name = "parent";
+  obs::SpanNode p2 = p1;
+  obs::SpanNode child;
+  child.name = "child";
+  p2.children.push_back(child);
+  EXPECT_LT(obs::CompareSpanNodesMasked(p1, p2), 0);  // fewer children first
+  p1.children.push_back(child);
+  EXPECT_EQ(obs::CompareSpanNodesMasked(p1, p2), 0);
+}
+
+TEST(TraceExportTest, EveryNodeBecomesOneOrderedEvent) {
+  obs::SpanNode r1;
+  r1.name = "r1";
+  r1.start_ns = 1000;
+  r1.dur_ns = 5000;
+  r1.tid = 1;
+  r1.attrs = {{"k", "v"}};
+  obs::SpanNode c1;
+  c1.name = "c1";
+  c1.start_ns = 2000;
+  c1.dur_ns = 1000;
+  c1.tid = 1;
+  r1.children.push_back(c1);
+  obs::SpanNode r2;
+  r2.name = "r2";
+  r2.start_ns = 1500;
+  r2.dur_ns = 2000;
+  r2.tid = 2;
+  std::vector<obs::SpanNode> roots = {r1, r2};
+  EXPECT_EQ(obs::CountSpanNodes(roots), 3u);
+
+  auto trace = obs::ParseJson(obs::TraceEventJson(roots));
+  ASSERT_TRUE(trace.ok()) << trace.error().ToString();
+  EXPECT_TRUE(obs::ValidateTrace(*trace, 3).ok());
+  EXPECT_FALSE(obs::ValidateTrace(*trace, 4).ok());  // count cross-check bites
+
+  const obs::JsonValue* events = trace->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 3u);
+  // Events sort by start time, rebased so the earliest is ts=0; tid is the
+  // recording thread's trace id.
+  EXPECT_EQ(events->array[0].Find("name")->string, "r1");
+  EXPECT_DOUBLE_EQ(events->array[0].Find("ts")->number, 0.0);
+  EXPECT_DOUBLE_EQ(events->array[0].Find("dur")->number, 5.0);
+  EXPECT_EQ(events->array[1].Find("name")->string, "r2");
+  EXPECT_DOUBLE_EQ(events->array[1].Find("ts")->number, 0.5);
+  EXPECT_DOUBLE_EQ(events->array[1].Find("tid")->number, 2.0);
+  EXPECT_EQ(events->array[2].Find("name")->string, "c1");
+  EXPECT_EQ(events->array[2].Find("args")->kind, obs::JsonValue::Kind::kObject);
+  EXPECT_EQ(events->array[0].Find("args")->Find("k")->string, "v");
 }
 
 // The golden-schema test: a run report serialized with mask_timings is
@@ -294,6 +421,31 @@ TEST(ObsIntegrationTest, ConcurrentBuildDatasetCountsConsistently) {
   EXPECT_EQ(extract_roots, corpus.size());
   EXPECT_EQ(dataset_roots, 1u);
 
+  obs::SpanCollector::Global().Clear();
+  metrics.Reset();
+}
+
+// The masked run report is byte-identical across two threaded BuildDataset
+// runs: worker roots finish in racy order, but masked serialization sorts
+// them by (name, attrs, children) before emitting.
+TEST(ObsIntegrationTest, ThreadedBuildDatasetMaskedReportIsDeterministic) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  std::vector<BuildSpec> corpus = {MakeBuild(KernelVersion(5, 4)),
+                                   MakeBuild(KernelVersion(5, 15)),
+                                   MakeBuild(KernelVersion(6, 2)),
+                                   MakeBuild(KernelVersion(6, 8))};
+  obs::RunReportOptions masked;
+  masked.mask_timings = true;
+  std::vector<std::string> reports;
+  for (int run = 0; run < 2; ++run) {
+    obs::SpanCollector::Global().Clear();
+    metrics.Reset();
+    Study study(StudyOptions{2025, 0.005});
+    auto dataset = study.BuildDataset(corpus);
+    ASSERT_TRUE(dataset.ok()) << dataset.error().ToString();
+    reports.push_back(obs::GlobalRunReportJson(masked));
+  }
+  EXPECT_EQ(reports[0], reports[1]);
   obs::SpanCollector::Global().Clear();
   metrics.Reset();
 }
