@@ -138,24 +138,26 @@ Result<TypeGraph> DecodeBtf(ByteReader reader) {
   span.AddAttr("bytes", static_cast<uint64_t>(reader.size()));
   DEPSURF_ASSIGN_OR_RETURN(magic, reader.ReadU16());
   if (magic != kBtfMagic) {
-    return Error(ErrorCode::kMalformedData, "BTF magic mismatch");
+    return Error(ErrorCode::kMalformedData, "BTF magic mismatch").WithOffset(0);
   }
   DEPSURF_ASSIGN_OR_RETURN(version, reader.ReadU8());
   if (version != kBtfVersion) {
-    return Error(ErrorCode::kUnsupported, "unsupported BTF version");
+    return Error(ErrorCode::kUnsupported, "unsupported BTF version").WithOffset(2);
   }
   DEPSURF_RETURN_IF_ERROR(reader.Skip(1));  // flags
   DEPSURF_ASSIGN_OR_RETURN(hdr_len, reader.ReadU32());
   if (hdr_len != kBtfHeaderLen) {
-    return Error(ErrorCode::kMalformedData, "unexpected BTF header length");
+    return Error(ErrorCode::kMalformedData, "unexpected BTF header length").WithOffset(4);
   }
   DEPSURF_ASSIGN_OR_RETURN(type_off, reader.ReadU32());
   DEPSURF_ASSIGN_OR_RETURN(type_len, reader.ReadU32());
   DEPSURF_ASSIGN_OR_RETURN(str_off, reader.ReadU32());
   DEPSURF_ASSIGN_OR_RETURN(str_len, reader.ReadU32());
 
-  DEPSURF_ASSIGN_OR_RETURN(types, reader.Slice(hdr_len + type_off, type_len));
-  DEPSURF_ASSIGN_OR_RETURN(strs, reader.Slice(hdr_len + str_off, str_len));
+  DEPSURF_ASSIGN_OR_RETURN(types,
+                           reader.Slice(static_cast<size_t>(hdr_len) + type_off, type_len));
+  DEPSURF_ASSIGN_OR_RETURN(strs,
+                           reader.Slice(static_cast<size_t>(hdr_len) + str_off, str_len));
 
   auto read_name = [&](uint32_t off) -> Result<std::string> {
     if (off == 0) {
@@ -174,7 +176,8 @@ Result<TypeGraph> DecodeBtf(ByteReader reader) {
     uint32_t vlen = info & 0xffff;
     if (kind_raw > static_cast<uint32_t>(BtfKind::kFloat) ||
         kind_raw == 14 || kind_raw == 15) {  // VAR/DATASEC not produced by us
-      return Error(ErrorCode::kUnsupported, StrFormat("BTF kind %u", kind_raw));
+      return Error(ErrorCode::kUnsupported, StrFormat("BTF kind %u", kind_raw))
+          .WithOffset(types.offset() - 8);  // the info word of this entry
     }
     t.kind = static_cast<BtfKind>(kind_raw);
     DEPSURF_ASSIGN_OR_RETURN(name, read_name(name_off));

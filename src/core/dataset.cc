@@ -90,6 +90,7 @@ void Dataset::AddImage(const std::string& label, const DependencySurface& surfac
   ImageRecord record;
   record.label = label;
   record.meta = surface.meta();
+  record.health = surface.health();
   const TypeGraph& graph = surface.btf();
 
   auto decl_hash = [&](BtfTypeId func_id) -> uint64_t {

@@ -68,6 +68,12 @@ struct ImageRecord {
   std::set<StrId> syscalls;
   bool compat_syscalls_traceable = true;
   uint64_t pt_regs_hash = 0;
+  // Salvage provenance, persisted with the record (see dataset_io.cc):
+  // per-subsystem degradation states plus the extraction ledger, so report
+  // consumers can tell which conclusions rest on partial data.
+  SurfaceHealth health;
+
+  bool AnyDegraded() const { return health.AnyDegraded(); }
 };
 
 class Dataset {

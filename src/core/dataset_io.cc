@@ -116,6 +116,24 @@ std::vector<uint8_t> SaveDataset(const Dataset& dataset) {
     for (StrId id : image.syscalls) {
       WriteUleb128(w, id);
     }
+
+    // Salvage provenance: per-subsystem degradation states, then the
+    // diagnostic ledger (messages inline; they are rare and unpooled).
+    w.WriteU8(static_cast<uint8_t>(image.health.elf));
+    w.WriteU8(static_cast<uint8_t>(image.health.dwarf));
+    w.WriteU8(static_cast<uint8_t>(image.health.btf));
+    w.WriteU8(static_cast<uint8_t>(image.health.tracepoint));
+    w.WriteU8(static_cast<uint8_t>(image.health.syscall));
+    const auto& entries = image.health.ledger.entries();
+    WriteUleb128(w, entries.size());
+    for (const DiagnosticEntry& entry : entries) {
+      w.WriteU8(static_cast<uint8_t>(entry.severity));
+      w.WriteU8(static_cast<uint8_t>(entry.subsystem));
+      w.WriteU8(static_cast<uint8_t>(entry.code));
+      w.WriteU8(entry.has_offset ? 1 : 0);
+      w.WriteU64(entry.offset);
+      w.WriteCString(entry.message);
+    }
   }
   return w.TakeBytes();
 }
@@ -228,6 +246,55 @@ Result<Dataset> LoadDataset(const std::vector<uint8_t>& bytes) {
         return Error(ErrorCode::kMalformedData, "syscall id out of range");
       }
       image.syscalls.insert(static_cast<StrId>(id));
+    }
+
+    auto read_state = [&r]() -> Result<DegradationState> {
+      DEPSURF_ASSIGN_OR_RETURN(raw, r.ReadU8());
+      if (raw > static_cast<uint8_t>(DegradationState::kMissing)) {
+        return Error(ErrorCode::kMalformedData, "bad degradation state");
+      }
+      return static_cast<DegradationState>(raw);
+    };
+    DEPSURF_ASSIGN_OR_RETURN(elf_state, read_state());
+    image.health.elf = elf_state;
+    DEPSURF_ASSIGN_OR_RETURN(dwarf_state, read_state());
+    image.health.dwarf = dwarf_state;
+    DEPSURF_ASSIGN_OR_RETURN(btf_state, read_state());
+    image.health.btf = btf_state;
+    DEPSURF_ASSIGN_OR_RETURN(tracepoint_state, read_state());
+    image.health.tracepoint = tracepoint_state;
+    DEPSURF_ASSIGN_OR_RETURN(syscall_state, read_state());
+    image.health.syscall = syscall_state;
+    DEPSURF_ASSIGN_OR_RETURN(num_diags, ReadUleb128(r));
+    if (num_diags > r.remaining()) {
+      return Error(ErrorCode::kMalformedData, "diagnostic count beyond buffer");
+    }
+    for (uint64_t i = 0; i < num_diags; ++i) {
+      DEPSURF_ASSIGN_OR_RETURN(severity, r.ReadU8());
+      if (severity > static_cast<uint8_t>(DiagSeverity::kFatal)) {
+        return Error(ErrorCode::kMalformedData, "bad diagnostic severity");
+      }
+      DEPSURF_ASSIGN_OR_RETURN(subsystem, r.ReadU8());
+      if (subsystem > static_cast<uint8_t>(DiagSubsystem::kBpf)) {
+        return Error(ErrorCode::kMalformedData, "bad diagnostic subsystem");
+      }
+      DEPSURF_ASSIGN_OR_RETURN(code, r.ReadU8());
+      if (code > static_cast<uint8_t>(ErrorCode::kIoError)) {
+        return Error(ErrorCode::kMalformedData, "bad diagnostic error code");
+      }
+      DEPSURF_ASSIGN_OR_RETURN(has_offset, r.ReadU8());
+      DEPSURF_ASSIGN_OR_RETURN(offset, r.ReadU64());
+      DEPSURF_ASSIGN_OR_RETURN(message, r.ReadCString());
+      if (has_offset != 0) {
+        image.health.ledger.AddAt(static_cast<DiagSeverity>(severity),
+                                  static_cast<DiagSubsystem>(subsystem),
+                                  static_cast<ErrorCode>(code), offset,
+                                  std::move(message));
+      } else {
+        image.health.ledger.Add(static_cast<DiagSeverity>(severity),
+                                static_cast<DiagSubsystem>(subsystem),
+                                static_cast<ErrorCode>(code), std::move(message));
+      }
     }
     dataset.RestoreImage(std::move(image));
   }

@@ -7,6 +7,7 @@
 #include "src/btf/btf_codec.h"
 #include "src/dwarf/dwarf_codec.h"
 #include "src/elf/elf_reader.h"
+#include "src/obs/diagnostics.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 #include "src/util/str_util.h"
@@ -43,14 +44,19 @@ std::pair<std::string, std::string> SplitTransformSuffix(const std::string& symb
   return {symbol, ""};
 }
 
-Result<SurfaceMeta> ParseBanner(const ElfReader& reader) {
+// Identity facts that cannot fail once the ELF container parsed.
+SurfaceMeta MetaFromIdent(const ElfReader& reader) {
   SurfaceMeta meta;
   meta.arch = ElfMachineName(reader.ident().machine);
   meta.pointer_size = reader.pointer_size();
   meta.endian = reader.endian();
+  return meta;
+}
+
+Status ParseBanner(const ElfReader& reader, SurfaceMeta& meta) {
   auto banner_sym = reader.FindSymbol("linux_banner");
   if (!banner_sym.has_value()) {
-    return meta;  // tolerated: version/gcc stay unknown
+    return Status::Ok();  // tolerated: version/gcc stay unknown
   }
   DEPSURF_ASSIGN_OR_RETURN(at, reader.ReadAtAddress(banner_sym->value));
   DEPSURF_ASSIGN_OR_RETURN(banner, at.ReadCString());
@@ -66,10 +72,50 @@ Result<SurfaceMeta> ParseBanner(const ElfReader& reader) {
     meta.flavor = flavor;
     meta.gcc_major = gcc;
   }
-  return meta;
+  return Status::Ok();
 }
 
 }  // namespace
+
+const char* DegradationStateName(DegradationState state) {
+  switch (state) {
+    case DegradationState::kClean:
+      return "clean";
+    case DegradationState::kDegraded:
+      return "degraded";
+    case DegradationState::kMissing:
+      return "missing";
+  }
+  return "unknown";
+}
+
+bool SurfaceHealth::AnyDegraded() const {
+  return elf == DegradationState::kDegraded || dwarf == DegradationState::kDegraded ||
+         btf == DegradationState::kDegraded ||
+         tracepoint == DegradationState::kDegraded ||
+         syscall == DegradationState::kDegraded;
+}
+
+std::string SurfaceHealth::Summary() const {
+  std::string out;
+  auto add = [&out](const char* name, DegradationState state) {
+    if (state == DegradationState::kClean) {
+      return;
+    }
+    if (!out.empty()) {
+      out += ' ';
+    }
+    out += name;
+    out += '=';
+    out += DegradationStateName(state);
+  };
+  add("elf", elf);
+  add("dwarf", dwarf);
+  add("btf", btf);
+  add("tracepoint", tracepoint);
+  add("syscall", syscall);
+  return out.empty() ? "clean" : out;
+}
 
 std::string FunctionStatus::CollisionClass() const {
   if (collided) {
@@ -124,33 +170,66 @@ std::string FunctionEntry::StatusJson() const {
 Result<DependencySurface> DependencySurface::Extract(std::vector<uint8_t> image_bytes) {
   obs::ScopedSpan span("surface.extract");
   span.AddAttr("image_bytes", static_cast<uint64_t>(image_bytes.size()));
+  // The ELF container is the one hard requirement: without sections and
+  // symbols there is nothing to salvage from.
   DEPSURF_ASSIGN_OR_RETURN(reader, ElfReader::Parse(std::move(image_bytes)));
   DependencySurface surface;
-  DEPSURF_ASSIGN_OR_RETURN(meta, ParseBanner(reader));
-  surface.meta_ = meta;
+  SurfaceHealth& health = surface.health_;
+  DiagnosticLedger& ledger = health.ledger;
+  surface.meta_ = MetaFromIdent(reader);
+
+  // Banner and .config are metadata; unreadable copies cost version/config
+  // facts but never the surface itself.
+  if (Status st = ParseBanner(reader, surface.meta_); !st.ok()) {
+    ledger.AddError(DiagSeverity::kWarning, DiagSubsystem::kElf,
+                    st.error().Wrap("linux_banner unreadable"));
+  }
   if (const ElfSectionView* config = reader.SectionByName(".config")) {
-    DEPSURF_ASSIGN_OR_RETURN(data, reader.SectionData(*config));
-    DEPSURF_ASSIGN_OR_RETURN(raw, data.ReadBytes(data.size()));
-    std::string text(raw.begin(), raw.end());
-    unsigned options = 0;
-    char traceable = 'y';
-    if (size_t pos = text.find("CONFIG_OPTIONS="); pos != std::string::npos) {
-      sscanf(text.c_str() + pos, "CONFIG_OPTIONS=%u", &options);
+    auto parse_config = [&]() -> Status {
+      DEPSURF_ASSIGN_OR_RETURN(data, reader.SectionData(*config));
+      DEPSURF_ASSIGN_OR_RETURN(raw, data.ReadBytes(data.size()));
+      std::string text(raw.begin(), raw.end());
+      unsigned options = 0;
+      char traceable = 'y';
+      if (size_t pos = text.find("CONFIG_OPTIONS="); pos != std::string::npos) {
+        sscanf(text.c_str() + pos, "CONFIG_OPTIONS=%u", &options);
+      }
+      if (size_t pos = text.find("CONFIG_COMPAT_TRACEABLE="); pos != std::string::npos) {
+        sscanf(text.c_str() + pos, "CONFIG_COMPAT_TRACEABLE=%c", &traceable);
+      }
+      surface.meta_.config_options = options;
+      surface.meta_.compat_syscalls_traceable = traceable == 'y';
+      return Status::Ok();
+    };
+    if (Status st = parse_config(); !st.ok()) {
+      ledger.AddError(DiagSeverity::kWarning, DiagSubsystem::kElf,
+                      st.error().Wrap(".config unreadable"));
     }
-    if (size_t pos = text.find("CONFIG_COMPAT_TRACEABLE="); pos != std::string::npos) {
-      sscanf(text.c_str() + pos, "CONFIG_COMPAT_TRACEABLE=%c", &traceable);
-    }
-    surface.meta_.config_options = options;
-    surface.meta_.compat_syscalls_traceable = traceable == 'y';
   }
 
-  // ---- BTF: declarations of functions and structs.
+  // ---- BTF: declarations of functions and structs. A corrupt .BTF costs
+  // the type graph (declarations, struct layouts) but not the symbol-table,
+  // tracepoint, or syscall views.
   std::map<std::string, BtfTypeId> btf_funcs;
   {
     obs::ScopedSpan btf_span("surface.btf");
-    DEPSURF_ASSIGN_OR_RETURN(btf_data, reader.SectionDataByName(kBtfSection));
-    DEPSURF_ASSIGN_OR_RETURN(graph, DecodeBtf(btf_data));
-    surface.btf_ = std::move(graph);
+    auto decode_btf = [&]() -> Status {
+      DEPSURF_ASSIGN_OR_RETURN(btf_data, reader.SectionDataByName(kBtfSection));
+      DEPSURF_ASSIGN_OR_RETURN(graph, DecodeBtf(btf_data));
+      surface.btf_ = std::move(graph);
+      return Status::Ok();
+    };
+    if (Status st = decode_btf(); !st.ok()) {
+      if (st.error().code() == ErrorCode::kNotFound) {
+        health.btf = DegradationState::kMissing;
+        ledger.AddError(DiagSeverity::kWarning, DiagSubsystem::kBtf, st.error());
+      } else {
+        health.btf = DegradationState::kDegraded;
+        ledger.AddError(DiagSeverity::kDegraded, DiagSubsystem::kBtf,
+                        st.error().Wrap(".BTF decode failed"));
+      }
+      surface.btf_ = TypeGraph();  // queries see an empty, valid graph
+    }
     for (BtfTypeId id = 1; id <= surface.btf_.num_types(); ++id) {
       const BtfType* t = surface.btf_.Get(id);
       if (t->kind == BtfKind::kStruct && !t->name.empty()) {
@@ -174,7 +253,7 @@ Result<DependencySurface> DependencySurface::Extract(std::vector<uint8_t> image_
   {
     obs::ScopedSpan dwarf_span("surface.dwarf");
     dwarf_span.AddAttr("has_debug_info", surface.meta_.has_debug_info ? "true" : "false");
-    if (surface.meta_.has_debug_info) {
+    auto decode_dwarf = [&]() -> Status {
       DEPSURF_ASSIGN_OR_RETURN(abbrev_reader, reader.SectionDataByName(kDwarfAbbrevSection));
       DEPSURF_ASSIGN_OR_RETURN(info_reader, reader.SectionDataByName(kDwarfInfoSection));
       DEPSURF_ASSIGN_OR_RETURN(abbrev_bytes, abbrev_reader.ReadBytes(abbrev_reader.size()));
@@ -183,7 +262,23 @@ Result<DependencySurface> DependencySurface::Extract(std::vector<uint8_t> image_
                                DecodeDwarf(abbrev_bytes, info_bytes, reader.endian()));
       DEPSURF_ASSIGN_OR_RETURN(collected, CollectFunctionInstances(document));
       instances = std::move(collected);
-    } else {
+      return Status::Ok();
+    };
+    if (!surface.meta_.has_debug_info) {
+      health.dwarf = DegradationState::kMissing;
+    } else if (Status st = decode_dwarf(); !st.ok()) {
+      // Broken DWARF costs inline/duplication status, not the surface: fall
+      // back to the same BTF+symtab path used for images without dbgsym.
+      // health records the truth (kDegraded, vs kMissing for absent
+      // sections); meta_.has_debug_info drops to false so the status
+      // classifier below stays consistent with what it can actually see.
+      health.dwarf = DegradationState::kDegraded;
+      ledger.AddError(DiagSeverity::kDegraded, DiagSubsystem::kDwarf,
+                      st.error().Wrap("DWARF decode failed"));
+      surface.meta_.has_debug_info = false;
+      instances.clear();
+    }
+    if (!surface.meta_.has_debug_info) {
       // Seed the function table from BTF FUNC declarations; instances stay
       // empty and the status classifier sees only the symbol table.
       for (BtfTypeId id = 1; id <= surface.btf_.num_types(); ++id) {
@@ -192,8 +287,22 @@ Result<DependencySurface> DependencySurface::Extract(std::vector<uint8_t> image_
           instances.try_emplace(t->name);
         }
       }
+      if (instances.empty()) {
+        // Both DWARF and BTF are gone; the symbol table alone still names
+        // the attachable functions.
+        for (const ElfSymbol& sym : reader.symbols()) {
+          if (sym.type != SymType::kFunc) {
+            continue;
+          }
+          std::string base = SplitTransformSuffix(sym.name).first;
+          if (!base.empty() && !StartsWith(base, kTraceFuncPrefix)) {
+            instances.try_emplace(std::move(base));
+          }
+        }
+      }
     }
     dwarf_span.AddAttr("function_instances", static_cast<uint64_t>(instances.size()));
+    dwarf_span.AddAttr("health", DegradationStateName(health.dwarf));
   }
 
   // Symbol indexes: by base name (strips transformation suffixes) and by
@@ -268,46 +377,74 @@ Result<DependencySurface> DependencySurface::Extract(std::vector<uint8_t> image_
   obs::ScopedSpan tp_span("surface.tracepoints");
   auto start_sym = reader.FindSymbol(kStartFtrace);
   auto stop_sym = reader.FindSymbol(kStopFtrace);
-  if (start_sym.has_value() && stop_sym.has_value()) {
+  if (!start_sym.has_value() || !stop_sym.has_value()) {
+    health.tracepoint = DegradationState::kMissing;
+  } else {
     int ptr = reader.pointer_size();
-    if (stop_sym->value < start_sym->value ||
-        (stop_sym->value - start_sym->value) % ptr != 0) {
-      return Error(ErrorCode::kMalformedData, "bad ftrace_events bounds");
+    uint64_t skipped = 0;
+    auto walk = [&]() -> Status {
+      if (stop_sym->value < start_sym->value ||
+          (stop_sym->value - start_sym->value) % ptr != 0) {
+        return Status(Error(ErrorCode::kMalformedData, "bad ftrace_events bounds")
+                          .WithOffset(start_sym->value));
+      }
+      uint64_t count = (stop_sym->value - start_sym->value) / ptr;
+      DEPSURF_ASSIGN_OR_RETURN(array, reader.ReadAtAddress(start_sym->value));
+      // Each record stands alone: a dangling pointer or unterminated string
+      // skips that tracepoint, not the registry.
+      auto parse_record = [&](uint64_t rec_addr) -> Status {
+        DEPSURF_ASSIGN_OR_RETURN(rec, reader.ReadAtAddress(rec_addr));
+        TracepointEntry tp;
+        DEPSURF_ASSIGN_OR_RETURN(event_addr, rec.ReadAddr(ptr));
+        DEPSURF_ASSIGN_OR_RETURN(class_addr, rec.ReadAddr(ptr));
+        DEPSURF_ASSIGN_OR_RETURN(struct_addr, rec.ReadAddr(ptr));
+        DEPSURF_ASSIGN_OR_RETURN(fmt_addr, rec.ReadAddr(ptr));
+        DEPSURF_ASSIGN_OR_RETURN(func_addr, rec.ReadAddr(ptr));
+        DEPSURF_ASSIGN_OR_RETURN(event_reader, reader.ReadAtAddress(event_addr));
+        DEPSURF_ASSIGN_OR_RETURN(event_name, event_reader.ReadCString());
+        tp.event_name = std::move(event_name);
+        DEPSURF_ASSIGN_OR_RETURN(class_reader, reader.ReadAtAddress(class_addr));
+        DEPSURF_ASSIGN_OR_RETURN(class_name, class_reader.ReadCString());
+        tp.class_name = std::move(class_name);
+        DEPSURF_ASSIGN_OR_RETURN(struct_reader, reader.ReadAtAddress(struct_addr));
+        DEPSURF_ASSIGN_OR_RETURN(struct_name, struct_reader.ReadCString());
+        tp.struct_name = std::move(struct_name);
+        DEPSURF_ASSIGN_OR_RETURN(fmt_reader, reader.ReadAtAddress(fmt_addr));
+        DEPSURF_ASSIGN_OR_RETURN(fmt, fmt_reader.ReadCString());
+        tp.fmt = std::move(fmt);
+        if (auto it = func_sym_at.find(func_addr); it != func_sym_at.end()) {
+          tp.func_name = it->second->name;
+        }
+        if (auto id = surface.btf_.FindByKindAndName(BtfKind::kStruct, tp.struct_name)) {
+          tp.struct_btf_id = *id;
+        }
+        if (auto id = surface.btf_.FindFunc(tp.func_name)) {
+          tp.func_btf_id = *id;
+        }
+        surface.tracepoints_.emplace(tp.event_name, std::move(tp));
+        return Status::Ok();
+      };
+      for (uint64_t i = 0; i < count; ++i) {
+        // Losing the pointer array itself ends the walk; a bad record only
+        // costs the record.
+        DEPSURF_ASSIGN_OR_RETURN(rec_addr, array.ReadAddr(ptr));
+        if (Status st = parse_record(rec_addr); !st.ok()) {
+          health.tracepoint = DegradationState::kDegraded;
+          ledger.AddError(
+              DiagSeverity::kDegraded, DiagSubsystem::kTracepoint,
+              st.error().Wrap(StrFormat("ftrace_events record %llu unreadable",
+                                        (unsigned long long)i)));
+          ++skipped;
+        }
+      }
+      return Status::Ok();
+    };
+    if (Status st = walk(); !st.ok()) {
+      health.tracepoint = DegradationState::kDegraded;
+      ledger.AddError(DiagSeverity::kDegraded, DiagSubsystem::kTracepoint,
+                      st.error().Wrap("ftrace_events walk aborted"));
     }
-    uint64_t count = (stop_sym->value - start_sym->value) / ptr;
-    DEPSURF_ASSIGN_OR_RETURN(array, reader.ReadAtAddress(start_sym->value));
-    for (uint64_t i = 0; i < count; ++i) {
-      DEPSURF_ASSIGN_OR_RETURN(rec_addr, array.ReadAddr(ptr));
-      DEPSURF_ASSIGN_OR_RETURN(rec, reader.ReadAtAddress(rec_addr));
-      TracepointEntry tp;
-      DEPSURF_ASSIGN_OR_RETURN(event_addr, rec.ReadAddr(ptr));
-      DEPSURF_ASSIGN_OR_RETURN(class_addr, rec.ReadAddr(ptr));
-      DEPSURF_ASSIGN_OR_RETURN(struct_addr, rec.ReadAddr(ptr));
-      DEPSURF_ASSIGN_OR_RETURN(fmt_addr, rec.ReadAddr(ptr));
-      DEPSURF_ASSIGN_OR_RETURN(func_addr, rec.ReadAddr(ptr));
-      DEPSURF_ASSIGN_OR_RETURN(event_reader, reader.ReadAtAddress(event_addr));
-      DEPSURF_ASSIGN_OR_RETURN(event_name, event_reader.ReadCString());
-      tp.event_name = std::move(event_name);
-      DEPSURF_ASSIGN_OR_RETURN(class_reader, reader.ReadAtAddress(class_addr));
-      DEPSURF_ASSIGN_OR_RETURN(class_name, class_reader.ReadCString());
-      tp.class_name = std::move(class_name);
-      DEPSURF_ASSIGN_OR_RETURN(struct_reader, reader.ReadAtAddress(struct_addr));
-      DEPSURF_ASSIGN_OR_RETURN(struct_name, struct_reader.ReadCString());
-      tp.struct_name = std::move(struct_name);
-      DEPSURF_ASSIGN_OR_RETURN(fmt_reader, reader.ReadAtAddress(fmt_addr));
-      DEPSURF_ASSIGN_OR_RETURN(fmt, fmt_reader.ReadCString());
-      tp.fmt = std::move(fmt);
-      if (auto it = func_sym_at.find(func_addr); it != func_sym_at.end()) {
-        tp.func_name = it->second->name;
-      }
-      if (auto id = surface.btf_.FindByKindAndName(BtfKind::kStruct, tp.struct_name)) {
-        tp.struct_btf_id = *id;
-      }
-      if (auto id = surface.btf_.FindFunc(tp.func_name)) {
-        tp.func_btf_id = *id;
-      }
-      surface.tracepoints_.emplace(tp.event_name, std::move(tp));
-    }
+    tp_span.AddAttr("skipped", skipped);
   }
   tp_span.AddAttr("records", static_cast<uint64_t>(surface.tracepoints_.size()));
   }
@@ -316,47 +453,77 @@ Result<DependencySurface> DependencySurface::Extract(std::vector<uint8_t> image_
   {
   obs::ScopedSpan sys_span("surface.syscalls");
   auto table_sym = reader.FindSymbol(kSyscallTable);
-  if (table_sym.has_value()) {
-    int ptr = reader.pointer_size();
-    uint64_t slots = table_sym->size / ptr;
-    uint64_t ni_addr = 0;
-    if (auto ni = reader.FindSymbol("sys_ni_syscall"); ni.has_value()) {
-      ni_addr = ni->value;
-    }
-    DEPSURF_ASSIGN_OR_RETURN(table, reader.ReadAtAddress(table_sym->value));
-    for (uint64_t nr = 0; nr < slots; ++nr) {
-      DEPSURF_ASSIGN_OR_RETURN(addr, table.ReadAddr(ptr));
-      if (addr == ni_addr || addr == 0) {
-        continue;
+  if (!table_sym.has_value()) {
+    health.syscall = DegradationState::kMissing;
+  } else {
+    auto walk = [&]() -> Status {
+      int ptr = reader.pointer_size();
+      uint64_t slots = table_sym->size / ptr;
+      uint64_t ni_addr = 0;
+      if (auto ni = reader.FindSymbol("sys_ni_syscall"); ni.has_value()) {
+        ni_addr = ni->value;
       }
-      auto it = func_sym_at.find(addr);
-      if (it == func_sym_at.end()) {
-        continue;
-      }
-      for (const char* prefix : kSyscallPrefixes) {
-        if (StartsWith(it->second->name, prefix)) {
-          SyscallEntry entry;
-          entry.name = it->second->name.substr(strlen(prefix));
-          entry.nr = static_cast<int>(nr);
-          surface.syscalls_.emplace(entry.name, std::move(entry));
-          break;
+      DEPSURF_ASSIGN_OR_RETURN(table, reader.ReadAtAddress(table_sym->value));
+      for (uint64_t nr = 0; nr < slots; ++nr) {
+        DEPSURF_ASSIGN_OR_RETURN(addr, table.ReadAddr(ptr));
+        if (addr == ni_addr || addr == 0) {
+          continue;
+        }
+        auto it = func_sym_at.find(addr);
+        if (it == func_sym_at.end()) {
+          continue;
+        }
+        for (const char* prefix : kSyscallPrefixes) {
+          if (StartsWith(it->second->name, prefix)) {
+            SyscallEntry entry;
+            entry.name = it->second->name.substr(strlen(prefix));
+            entry.nr = static_cast<int>(nr);
+            surface.syscalls_.emplace(entry.name, std::move(entry));
+            break;
+          }
         }
       }
+      return Status::Ok();
+    };
+    if (Status st = walk(); !st.ok()) {
+      // The table reader is sequential, so a truncated table keeps every
+      // entry decoded before the break.
+      health.syscall = DegradationState::kDegraded;
+      ledger.AddError(DiagSeverity::kDegraded, DiagSubsystem::kSyscall,
+                      st.error().Wrap("sys_call_table walk aborted"));
     }
   }
   sys_span.AddAttr("entries", static_cast<uint64_t>(surface.syscalls_.size()));
   }
 
-  // ---- kfuncs: registered via BTF id sets in .BTF_ids.
+  // ---- kfuncs: registered via BTF id sets in .BTF_ids. Entries that do
+  // not resolve to a FUNC (stale ids, or a degraded type graph) are skipped
+  // individually.
   if (const ElfSectionView* ids_section = reader.SectionByName(".BTF_ids")) {
-    DEPSURF_ASSIGN_OR_RETURN(ids, reader.SectionData(*ids_section));
-    while (ids.remaining() >= 4) {
-      DEPSURF_ASSIGN_OR_RETURN(id, ids.ReadU32());
-      const BtfType* t = surface.btf_.Get(id);
-      if (t == nullptr || t->kind != BtfKind::kFunc) {
-        return Error(ErrorCode::kMalformedData, "BTF_ids entry is not a FUNC");
+    auto walk = [&]() -> Status {
+      DEPSURF_ASSIGN_OR_RETURN(ids, reader.SectionData(*ids_section));
+      while (ids.remaining() >= 4) {
+        DEPSURF_ASSIGN_OR_RETURN(id, ids.ReadU32());
+        const BtfType* t = surface.btf_.Get(id);
+        if (t == nullptr || t->kind != BtfKind::kFunc) {
+          if (health.btf == DegradationState::kClean) {
+            health.btf = DegradationState::kDegraded;
+          }
+          ledger.AddAt(DiagSeverity::kDegraded, DiagSubsystem::kBtf,
+                       ErrorCode::kMalformedData, ids.offset() - 4,
+                       StrFormat("BTF_ids entry %u is not a FUNC", id));
+          continue;
+        }
+        surface.kfuncs_.insert(t->name);
       }
-      surface.kfuncs_.insert(t->name);
+      return Status::Ok();
+    };
+    if (Status st = walk(); !st.ok()) {
+      if (health.btf == DegradationState::kClean) {
+        health.btf = DegradationState::kDegraded;
+      }
+      ledger.AddError(DiagSeverity::kDegraded, DiagSubsystem::kBtf,
+                      st.error().Wrap(".BTF_ids unreadable"));
     }
   }
 
@@ -388,6 +555,12 @@ Result<DependencySurface> DependencySurface::Extract(std::vector<uint8_t> image_
   }
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   metrics.Incr("surface.extracted");
+  if (health.AnyDegraded()) {
+    metrics.Incr("surface.salvaged");
+  }
+  if (!ledger.empty()) {
+    metrics.Incr("surface.diagnostics", ledger.size());
+  }
   metrics.Incr("surface.functions", surface.functions_.size());
   metrics.Incr("surface.structs", surface.structs_.size());
   metrics.Incr("surface.tracepoints", surface.tracepoints_.size());
@@ -402,6 +575,11 @@ Result<DependencySurface> DependencySurface::Extract(std::vector<uint8_t> image_
   span.AddAttr("structs", static_cast<uint64_t>(surface.structs_.size()));
   span.AddAttr("tracepoints", static_cast<uint64_t>(surface.tracepoints_.size()));
   span.AddAttr("syscalls", static_cast<uint64_t>(surface.syscalls_.size()));
+  span.AddAttr("health", health.Summary());
+  // Publish the ledger so run reports carry a per-run diagnostics section.
+  if (!ledger.empty()) {
+    obs::DiagnosticsCollector::Global().AddAll(ledger);
+  }
   return surface;
 }
 

@@ -14,9 +14,37 @@
 #include "src/btf/btf.h"
 #include "src/dwarf/function_view.h"
 #include "src/elf/elf.h"
+#include "src/util/diagnostic_ledger.h"
 #include "src/util/error.h"
 
 namespace depsurf {
+
+// Per-subsystem outcome of salvage-mode extraction.
+//   kClean:    decoded completely.
+//   kDegraded: malformed data was skipped; results are partial.
+//   kMissing:  the section/symbols are absent from the image (expected for
+//              e.g. distro kernels without dbgsym DWARF).
+enum class DegradationState : uint8_t { kClean, kDegraded, kMissing };
+
+// "clean" / "degraded" / "missing".
+const char* DegradationStateName(DegradationState state);
+
+// What survived extraction, per subsystem, plus the ledger explaining every
+// salvage decision. A surface with AnyDegraded() still answers queries, but
+// analyses built on it must be flagged (see ProgramReport).
+struct SurfaceHealth {
+  DegradationState elf = DegradationState::kClean;
+  DegradationState dwarf = DegradationState::kClean;
+  DegradationState btf = DegradationState::kClean;
+  DegradationState tracepoint = DegradationState::kClean;
+  DegradationState syscall = DegradationState::kClean;
+  DiagnosticLedger ledger;
+
+  bool AnyDegraded() const;
+  // "dwarf=degraded btf=clean ..." — only non-clean subsystems are listed;
+  // returns "clean" when everything decoded completely.
+  std::string Summary() const;
+};
 
 // How a source function shows up (or fails to) in the compiled image.
 struct FunctionStatus {
@@ -78,12 +106,18 @@ struct SurfaceMeta {
 
 class DependencySurface {
  public:
-  // Full extraction from image bytes. The bytes are released afterwards;
-  // only the surface data is retained.
+  // Salvage-mode extraction from image bytes. Only an unreadable ELF
+  // container is fatal; any malformed subsystem (BTF, DWARF, tracepoint
+  // registry, syscall table) is skipped at section/record granularity,
+  // marked in health(), and explained in health().ledger — a kernel with
+  // broken DWARF still yields symbols, tracepoints, and syscalls. Callers
+  // wanting strict semantics check health().AnyDegraded() themselves.
+  // The bytes are released afterwards; only the surface data is retained.
   static Result<DependencySurface> Extract(std::vector<uint8_t> image_bytes);
 
   const SurfaceMeta& meta() const { return meta_; }
   const TypeGraph& btf() const { return btf_; }
+  const SurfaceHealth& health() const { return health_; }
 
   // Functions keyed by source name; excludes tracepoint machinery and
   // syscall entry stubs.
@@ -105,6 +139,7 @@ class DependencySurface {
 
  private:
   SurfaceMeta meta_;
+  SurfaceHealth health_;
   TypeGraph btf_;
   std::map<std::string, FunctionEntry> functions_;
   std::map<std::string, BtfTypeId> structs_;

@@ -208,9 +208,27 @@ std::string ProgramReport::RenderMatrix() const {
   }
   out += "\ncolumns:\n";
   for (size_t i = 0; i < image_labels.size(); ++i) {
-    out += StrFormat("  %2zu: %s\n", i, image_labels[i].c_str());
+    if (i < image_health.size() && image_health[i] != "clean") {
+      out += StrFormat("  %2zu: %s  [salvaged: %s]\n", i, image_labels[i].c_str(),
+                       image_health[i].c_str());
+    } else {
+      out += StrFormat("  %2zu: %s\n", i, image_labels[i].c_str());
+    }
+  }
+  if (AnyDegradedImage()) {
+    out += "\n!! columns marked [salvaged] were extracted from damaged images;\n"
+           "!! mismatches there may reflect extraction loss, not the kernel.\n";
   }
   return out;
+}
+
+bool ProgramReport::AnyDegradedImage() const {
+  for (const std::string& health : image_health) {
+    if (health != "clean") {
+      return true;
+    }
+  }
+  return false;
 }
 
 Implication ProgramReport::WorstImplication() const {
@@ -230,6 +248,16 @@ Implication ProgramReport::WorstImplication() const {
 
 std::string ExplainReport(const Dataset& dataset, const ProgramReport& report) {
   std::string out;
+  // Conclusions resting on salvaged surfaces get a caveat up front: an
+  // "absent" verdict on an image whose DWARF was skipped may just mean the
+  // construct was lost with the damaged data.
+  for (size_t i = 0; i < report.image_health.size(); ++i) {
+    if (report.image_health[i] != "clean") {
+      out += StrFormat("  caveat: %s was salvaged (%s); verdicts on that image may "
+                       "reflect extraction loss\n",
+                       report.image_labels[i].c_str(), report.image_health[i].c_str());
+    }
+  }
   auto span_note = [&](const ReportRow& row, MismatchKind kind, const char* verb) {
     // First image where the kind appears.
     for (size_t i = 0; i < row.cells.size(); ++i) {
@@ -309,6 +337,9 @@ ProgramReport AnalyzeProgram(const Dataset& dataset, const DependencySet& deps) 
   ProgramReport report;
   report.program = deps.program;
   report.image_labels = dataset.labels();
+  for (const ImageRecord& image : dataset.images()) {
+    report.image_health.push_back(image.health.Summary());
+  }
 
   for (const std::string& func : deps.funcs) {
     ReportRow row{DepKind::kFunc, func, dataset.CheckFunc(func)};

@@ -64,6 +64,11 @@ struct ReportRow {
 struct ProgramReport {
   std::string program;
   std::vector<std::string> image_labels;
+  // Parallel to image_labels: health summary ("clean" or e.g.
+  // "dwarf=degraded") of each image's surface at extraction time.
+  // Mismatches in a degraded column may reflect extraction loss rather
+  // than the kernel, so RenderMatrix and ExplainReport flag them.
+  std::vector<std::string> image_health;
   std::vector<ReportRow> rows;
   CategoryCounts funcs;
   CategoryCounts structs;
@@ -72,6 +77,8 @@ struct ProgramReport {
   CategoryCounts syscalls;
 
   bool AnyMismatch() const;
+  // True when any column's surface was salvaged rather than clean.
+  bool AnyDegradedImage() const;
   // Figure-4 style ASCII matrix (rows = dependencies, columns = images).
   std::string RenderMatrix() const;
   // Worst implication across all cells (for one-line summaries).

@@ -143,7 +143,8 @@ Result<DwarfDocument> DecodeDwarf(const std::vector<uint8_t>& abbrev,
         break;
       }
       if (code != entries.size() + 1) {
-        return Error(ErrorCode::kMalformedData, "abbrev codes not sequential");
+        return Error(ErrorCode::kMalformedData, "abbrev codes not sequential")
+            .WithOffset(r.offset());
       }
       AbbrevEntry entry;
       DEPSURF_ASSIGN_OR_RETURN(tag, ReadUleb128(r));
@@ -161,7 +162,8 @@ Result<DwarfDocument> DecodeDwarf(const std::vector<uint8_t>& abbrev,
         if (parsed_form != FormOf(parsed_attr)) {
           return Error(ErrorCode::kMalformedData,
                        StrFormat("attr 0x%x has unexpected form %u", (unsigned)attr,
-                                 (unsigned)form));
+                                 (unsigned)form))
+              .WithOffset(r.offset());
         }
         entry.attrs.emplace_back(parsed_attr, parsed_form);
       }
@@ -178,13 +180,15 @@ Result<DwarfDocument> DecodeDwarf(const std::vector<uint8_t>& abbrev,
     DEPSURF_ASSIGN_OR_RETURN(code, ReadUleb128(r));
     if (code == 0) {
       if (stack.empty()) {
-        return Error(ErrorCode::kMalformedData, "end-of-children with empty stack");
+        return Error(ErrorCode::kMalformedData, "end-of-children with empty stack")
+            .WithOffset(r.offset());
       }
       stack.pop_back();
       continue;
     }
     if (code > entries.size()) {
-      return Error(ErrorCode::kMalformedData, "abbrev code out of range");
+      return Error(ErrorCode::kMalformedData, "abbrev code out of range")
+          .WithOffset(r.offset());
     }
     const AbbrevEntry& entry = entries[code - 1];
     uint32_t parent = stack.empty() ? 0 : stack.back();
@@ -219,7 +223,8 @@ Result<DwarfDocument> DecodeDwarf(const std::vector<uint8_t>& abbrev,
     }
   }
   if (!stack.empty()) {
-    return Error(ErrorCode::kMalformedData, "unterminated children list");
+    return Error(ErrorCode::kMalformedData, "unterminated children list")
+        .WithOffset(r.offset());
   }
   // Validate references point at real DIEs.
   Status ref_status = Status::Ok();

@@ -92,8 +92,12 @@ Status ElfReader::ParseSections() {
   if (shentsize_ != expected_entsize) {
     return Status(ErrorCode::kMalformedData, "unexpected shentsize");
   }
-  if (shoff_ + static_cast<uint64_t>(shnum_) * shentsize_ > bytes_.size()) {
-    return Status(ErrorCode::kMalformedData, "section header table beyond file");
+  // shoff_ comes straight from the file; the naive `shoff_ + shnum_ *
+  // shentsize_` sum can wrap for hostile headers, so compare subtractively.
+  if (shoff_ > bytes_.size() ||
+      static_cast<uint64_t>(shnum_) * shentsize_ > bytes_.size() - shoff_) {
+    return Status(Error(ErrorCode::kMalformedData, "section header table beyond file")
+                      .WithOffset(shoff_));
   }
   if (shstrndx_ >= shnum_) {
     return Status(ErrorCode::kMalformedData, "shstrndx out of range");
@@ -126,8 +130,9 @@ Status ElfReader::ParseSections() {
     DEPSURF_ASSIGN_OR_RETURN(entsize, r.ReadAddr(ptr));
     s.entsize = entsize;
     if (s.type != SectionType::kNobits && s.type != SectionType::kNull &&
-        s.offset + s.size > bytes_.size()) {
-      return Status(ErrorCode::kMalformedData, "section body beyond file");
+        (s.offset > bytes_.size() || s.size > bytes_.size() - s.offset)) {
+      return Status(
+          Error(ErrorCode::kMalformedData, "section body beyond file").WithOffset(s.offset));
     }
     name_offsets.push_back(name_off);
     sections_.push_back(std::move(s));
@@ -222,8 +227,8 @@ const ElfSectionView* ElfReader::SectionByName(std::string_view name) const {
 }
 
 Result<ByteReader> ElfReader::SectionData(const ElfSectionView& section) const {
-  if (section.offset + section.size > bytes_.size()) {
-    return Error(ErrorCode::kOutOfRange, "section beyond file");
+  if (section.offset > bytes_.size() || section.size > bytes_.size() - section.offset) {
+    return Error(ErrorCode::kOutOfRange, "section beyond file").WithOffset(section.offset);
   }
   return ByteReader(bytes_.data() + section.offset, section.size, ident_.endian);
 }
@@ -241,7 +246,7 @@ Result<ByteReader> ElfReader::ReadAtAddress(uint64_t vaddr) const {
     if ((s.flags & kShfAlloc) == 0 || s.type == SectionType::kNobits) {
       continue;
     }
-    if (vaddr >= s.addr && vaddr < s.addr + s.size) {
+    if (vaddr >= s.addr && vaddr - s.addr < s.size) {
       DEPSURF_ASSIGN_OR_RETURN(reader, SectionData(s));
       DEPSURF_RETURN_IF_ERROR(reader.Seek(vaddr - s.addr));
       return reader;

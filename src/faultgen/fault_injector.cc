@@ -1,0 +1,134 @@
+#include "src/faultgen/fault_injector.h"
+
+#include <algorithm>
+
+#include "src/util/prng.h"
+#include "src/util/str_util.h"
+
+namespace depsurf {
+
+namespace {
+
+// ELF64 header field offsets needed to find the section header table.
+constexpr size_t kShoffOffset = 0x28;
+constexpr size_t kShentsizeOffset = 0x3a;
+constexpr size_t kShnumOffset = 0x3c;
+constexpr size_t kElf64HeaderSize = 0x40;
+
+uint64_t ReadLE(const std::vector<uint8_t>& bytes, size_t offset, int width) {
+  uint64_t v = 0;
+  for (int i = 0; i < width; ++i) {
+    v |= static_cast<uint64_t>(bytes[offset + i]) << (8 * i);
+  }
+  return v;
+}
+
+void WriteLE(std::vector<uint8_t>& bytes, size_t offset, uint64_t v, int width) {
+  for (int i = 0; i < width; ++i) {
+    bytes[offset + i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+std::string ApplyByteFlip(std::vector<uint8_t>& bytes, Prng& prng, uint64_t seed) {
+  const uint64_t flips = prng.NextInRange(1, 8);
+  std::string where;
+  for (uint64_t i = 0; i < flips; ++i) {
+    const uint64_t at = prng.NextBelow(bytes.size());
+    bytes[at] ^= static_cast<uint8_t>(prng.NextInRange(1, 255));
+    where += StrFormat("%s0x%llx", i == 0 ? "" : ",",
+                       static_cast<unsigned long long>(at));
+  }
+  return StrFormat("byte_flip seed=%llu: %llu flips @%s",
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(flips), where.c_str());
+}
+
+std::string ApplyZeroWindow(std::vector<uint8_t>& bytes, Prng& prng, uint64_t seed) {
+  const uint64_t max_len = std::min<uint64_t>(bytes.size(), 512);
+  const uint64_t len = prng.NextInRange(1, max_len);
+  const uint64_t at = prng.NextBelow(bytes.size() - len + 1);
+  for (uint64_t i = 0; i < len; ++i) {
+    bytes[at + i] = 0;
+  }
+  return StrFormat("zero_window seed=%llu: %llu bytes @0x%llx",
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(len),
+                   static_cast<unsigned long long>(at));
+}
+
+std::string ApplySectionHeaderMutation(std::vector<uint8_t>& bytes, Prng& prng,
+                                       uint64_t seed) {
+  if (bytes.size() < kElf64HeaderSize) {
+    return ApplyByteFlip(bytes, prng, seed);
+  }
+  const uint64_t shoff = ReadLE(bytes, kShoffOffset, 8);
+  const uint64_t shentsize = ReadLE(bytes, kShentsizeOffset, 2);
+  const uint64_t shnum = ReadLE(bytes, kShnumOffset, 2);
+  if (shnum == 0 || shentsize < 0x28 || shoff > bytes.size() ||
+      shnum * shentsize > bytes.size() - shoff) {
+    // No usable table to corrupt (maybe a previous fault already ate it).
+    return ApplyByteFlip(bytes, prng, seed);
+  }
+  const uint64_t index = prng.NextBelow(shnum);
+  const size_t header = static_cast<size_t>(shoff + index * shentsize);
+  // Field candidates: sh_type (+0x04, 4 bytes), sh_offset (+0x18, 8),
+  // sh_size (+0x20, 8) — the fields bounds checks and decoders key on.
+  struct Field { const char* name; size_t at; int width; };
+  constexpr Field kFields[] = {
+      {"sh_type", 0x04, 4}, {"sh_offset", 0x18, 8}, {"sh_size", 0x20, 8}};
+  const Field& field = kFields[prng.NextBelow(3)];
+  const uint64_t value = prng.NextU64();
+  WriteLE(bytes, header + field.at, value, field.width);
+  return StrFormat("section_header_mutation seed=%llu: section %llu %s <- 0x%llx",
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(index), field.name,
+                   static_cast<unsigned long long>(value));
+}
+
+std::string ApplyTruncate(std::vector<uint8_t>& bytes, Prng& prng, uint64_t seed) {
+  // Keep at least one byte; a zero-size input exercises nothing.
+  const uint64_t keep = prng.NextInRange(1, bytes.size());
+  bytes.resize(static_cast<size_t>(keep));
+  return StrFormat("truncate seed=%llu: kept %llu bytes",
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(keep));
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kByteFlip: return "byte_flip";
+    case FaultKind::kZeroWindow: return "zero_window";
+    case FaultKind::kSectionHeaderMutation: return "section_header_mutation";
+    case FaultKind::kTruncate: return "truncate";
+  }
+  return "unknown";
+}
+
+FaultKind FaultKindForIndex(uint64_t index) {
+  return static_cast<FaultKind>(index % kNumFaultKinds);
+}
+
+std::string ApplyFault(std::vector<uint8_t>& bytes, FaultKind kind, uint64_t seed) {
+  if (bytes.empty()) {
+    return StrFormat("%s seed=%llu: input empty, nothing to damage",
+                     FaultKindName(kind), static_cast<unsigned long long>(seed));
+  }
+  // Key the stream on (kind, seed, size) so the same seed produces
+  // different-but-deterministic damage per kind and per input.
+  Prng prng = Prng(seed).Fork({static_cast<uint64_t>(kind), bytes.size()});
+  switch (kind) {
+    case FaultKind::kByteFlip:
+      return ApplyByteFlip(bytes, prng, seed);
+    case FaultKind::kZeroWindow:
+      return ApplyZeroWindow(bytes, prng, seed);
+    case FaultKind::kSectionHeaderMutation:
+      return ApplySectionHeaderMutation(bytes, prng, seed);
+    case FaultKind::kTruncate:
+      return ApplyTruncate(bytes, prng, seed);
+  }
+  return "unknown fault kind";
+}
+
+}  // namespace depsurf

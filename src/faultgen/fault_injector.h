@@ -1,0 +1,48 @@
+// Deterministic fault injection for robustness sweeps.
+//
+// Salvage-mode extraction promises "no crash, no hang, ledger populated"
+// on arbitrarily damaged inputs; this engine manufactures that damage
+// reproducibly. Every mutation is a pure function of (kind, seed, input
+// size), keyed through Prng the same way kernelgen keys its decisions, so
+// a failing sweep index can be replayed exactly:
+//
+//   std::vector<uint8_t> bytes = ...;
+//   std::string what = ApplyFault(bytes, FaultKind::kByteFlip, 42);
+//   // -> "byte_flip seed=42: 3 flips @0x1c0,0x88f2,0x9001"
+//
+// Consumers: `depsurf doctor --sweep`, tests/faultgen_test.cc, and the
+// study poisoning hook (Study::SetImageMutator).
+#ifndef DEPSURF_SRC_FAULTGEN_FAULT_INJECTOR_H_
+#define DEPSURF_SRC_FAULTGEN_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace depsurf {
+
+enum class FaultKind : uint8_t {
+  kByteFlip,               // XOR 1..8 bytes at random offsets
+  kZeroWindow,             // zero a contiguous window
+  kSectionHeaderMutation,  // corrupt one field of one ELF section header
+  kTruncate,               // drop the tail of the buffer
+};
+
+inline constexpr int kNumFaultKinds = 4;
+
+// "byte_flip", "zero_window", "section_header_mutation", "truncate".
+const char* FaultKindName(FaultKind kind);
+
+// Round-robin kind assignment for sweeps: index i exercises kind i % 4.
+FaultKind FaultKindForIndex(uint64_t index);
+
+// Mutates `bytes` in place and returns a one-line description of the
+// damage (kind, seed, offsets touched). Deterministic in (kind, seed,
+// bytes.size()). Inputs smaller than an ELF header degrade gracefully:
+// section-header mutation falls back to a byte flip, truncation never
+// empties the buffer entirely.
+std::string ApplyFault(std::vector<uint8_t>& bytes, FaultKind kind, uint64_t seed);
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_FAULTGEN_FAULT_INJECTOR_H_

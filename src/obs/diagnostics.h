@@ -1,0 +1,53 @@
+// Process-wide sink for salvage diagnostics, mirroring MetricsRegistry:
+// decoders record what they survived into the surface's DiagnosticLedger,
+// and extraction publishes those entries here so run reports can carry a
+// "diagnostics" section per image.
+//
+// Serialized entry shape (inside depsurf.run_report.v1):
+//   {"severity": "degraded", "subsystem": "dwarf", "code": "malformed_data",
+//    "offset": 452, "message": "..."}
+// `offset` is -1 when the fault location is unknown. Entries are sorted on
+// serialization so reports stay byte-deterministic across thread schedules.
+#ifndef DEPSURF_SRC_OBS_DIAGNOSTICS_H_
+#define DEPSURF_SRC_OBS_DIAGNOSTICS_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/diagnostic_ledger.h"
+
+namespace depsurf {
+namespace obs {
+
+// Standalone diagnostics document, emitted by `depsurf doctor --json`.
+inline constexpr char kDiagnosticsSchema[] = "depsurf.diagnostics.v1";
+
+class DiagnosticsCollector {
+ public:
+  // The process-wide collector reported by run reports.
+  static DiagnosticsCollector& Global();
+
+  void Add(const DiagnosticEntry& entry);
+  void AddAll(const DiagnosticLedger& ledger);
+
+  std::vector<DiagnosticEntry> Snapshot() const;
+  size_t size() const;
+  // Forgets everything (per-image isolation in study builds, tests).
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<DiagnosticEntry> entries_;
+};
+
+// Serializes entries as a JSON array (sorted, deterministic).
+std::string DiagnosticsJson(std::vector<DiagnosticEntry> entries);
+
+// Stable ordering used by DiagnosticsJson and the report merger.
+bool DiagnosticEntryLess(const DiagnosticEntry& a, const DiagnosticEntry& b);
+
+}  // namespace obs
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_OBS_DIAGNOSTICS_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "src/obs/diagnostics.h"
 #include "src/obs/metrics.h"
 #include "src/obs/run_report.h"
 #include "src/util/str_util.h"
@@ -441,11 +442,12 @@ Status ValidateRunReport(std::string_view json, size_t min_distinct_spans,
     return Status(ErrorCode::kMalformedData,
                   StrFormat("missing or wrong schema marker (want %s)", kRunReportSchema));
   }
-  for (const char* section : {"spans", "counters", "gauges", "histograms"}) {
+  for (const char* section : {"spans", "counters", "gauges", "histograms", "diagnostics"}) {
     if (report.Find(section) == nullptr) {
       return Status(ErrorCode::kMalformedData, StrFormat("missing section %s", section));
     }
   }
+  DEPSURF_RETURN_IF_ERROR(ValidateDiagnosticsArray(*report.Find("diagnostics")));
   std::set<std::string> names = CollectSpanNames(report);
   if (names.size() < min_distinct_spans) {
     return Status(ErrorCode::kMalformedData,
@@ -459,6 +461,104 @@ Status ValidateRunReport(std::string_view json, size_t min_distinct_spans,
     }
   }
   return Status::Ok();
+}
+
+Status ValidateDiagnosticsArray(const JsonValue& array, bool labeled) {
+  if (array.kind != JsonValue::Kind::kArray) {
+    return Status(ErrorCode::kMalformedData, "diagnostics is not an array");
+  }
+  for (size_t i = 0; i < array.array.size(); ++i) {
+    const JsonValue& entry = array.array[i];
+    if (entry.kind != JsonValue::Kind::kObject) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("diagnostics[%zu] is not an object", i));
+    }
+    const JsonValue* severity = entry.Find("severity");
+    if (severity == nullptr || severity->kind != JsonValue::Kind::kString ||
+        (severity->string != "warning" && severity->string != "degraded" &&
+         severity->string != "fatal")) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("diagnostics[%zu] has a bad severity", i));
+    }
+    const JsonValue* subsystem = entry.Find("subsystem");
+    static const char* kSubsystems[] = {"elf", "dwarf", "btf", "tracepoint", "syscall",
+                                        "bpf"};
+    bool subsystem_ok = subsystem != nullptr &&
+                        subsystem->kind == JsonValue::Kind::kString;
+    if (subsystem_ok) {
+      subsystem_ok = false;
+      for (const char* known : kSubsystems) {
+        subsystem_ok |= subsystem->string == known;
+      }
+    }
+    if (!subsystem_ok) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("diagnostics[%zu] has a bad subsystem", i));
+    }
+    const JsonValue* code = entry.Find("code");
+    if (code == nullptr || code->kind != JsonValue::Kind::kString || code->string.empty()) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("diagnostics[%zu] is missing its error code", i));
+    }
+    const JsonValue* offset = entry.Find("offset");
+    if (offset == nullptr || offset->kind != JsonValue::Kind::kNumber) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("diagnostics[%zu] is missing its offset", i));
+    }
+    const JsonValue* message = entry.Find("message");
+    if (message == nullptr || message->kind != JsonValue::Kind::kString) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("diagnostics[%zu] is missing its message", i));
+    }
+    if (labeled) {
+      const JsonValue* label = entry.Find("label");
+      if (label == nullptr || label->kind != JsonValue::Kind::kString) {
+        return Status(ErrorCode::kMalformedData,
+                      StrFormat("diagnostics[%zu] is missing its label", i));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateDiagnosticsDoc(std::string_view json) {
+  auto parsed = ParseJson(json);
+  if (!parsed.ok()) {
+    return parsed.TakeError();
+  }
+  const JsonValue& doc = *parsed;
+  const JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::kString ||
+      schema->string != kDiagnosticsSchema) {
+    return Status(ErrorCode::kMalformedData,
+                  StrFormat("missing or wrong schema marker (want %s)", kDiagnosticsSchema));
+  }
+  const JsonValue* image = doc.Find("image");
+  if (image == nullptr || image->kind != JsonValue::Kind::kString) {
+    return Status(ErrorCode::kMalformedData, "missing \"image\" string");
+  }
+  const JsonValue* health = doc.Find("health");
+  if (health == nullptr || health->kind != JsonValue::Kind::kObject) {
+    return Status(ErrorCode::kMalformedData, "missing \"health\" object");
+  }
+  for (const char* subsystem : {"elf", "dwarf", "btf", "tracepoint", "syscall"}) {
+    const JsonValue* state = health->Find(subsystem);
+    if (state == nullptr || state->kind != JsonValue::Kind::kString ||
+        (state->string != "clean" && state->string != "degraded" &&
+         state->string != "missing")) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("health.%s is not clean/degraded/missing", subsystem));
+    }
+  }
+  const JsonValue* fatal = doc.Find("fatal");
+  if (fatal == nullptr || fatal->kind != JsonValue::Kind::kBool) {
+    return Status(ErrorCode::kMalformedData, "missing \"fatal\" bool");
+  }
+  const JsonValue* entries = doc.Find("entries");
+  if (entries == nullptr) {
+    return Status(ErrorCode::kMalformedData, "missing \"entries\" array");
+  }
+  return ValidateDiagnosticsArray(*entries);
 }
 
 std::string CanonicalMaskedJson(const JsonValue& value) {

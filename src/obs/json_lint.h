@@ -35,12 +35,26 @@ struct JsonValue {
 Result<JsonValue> ParseJson(std::string_view text);
 
 // Validates a depsurf.run_report.v1 document:
-//   - parses as JSON, has the schema marker and the four sections
+//   - parses as JSON, has the schema marker and the five sections
+//     (spans/counters/gauges/histograms/diagnostics)
+//   - the diagnostics section is a well-formed entry array
 //   - at least `min_distinct_spans` distinct span names (tree-wide)
 //   - every name in `required_counters` is present under "counters"
 // Returns Ok or a message naming the first violation.
 Status ValidateRunReport(std::string_view json, size_t min_distinct_spans = 0,
                          const std::vector<std::string>& required_counters = {});
+
+// Validates a parsed diagnostics entry array (the "diagnostics" section of
+// run reports, or the "entries" array of a depsurf.diagnostics.v1 doc):
+// every entry must carry severity/subsystem/code/message strings drawn from
+// the known enumerations plus a numeric offset (-1 = unknown). When
+// `labeled` is set, entries must also carry a "label" string (aggregates).
+Status ValidateDiagnosticsArray(const JsonValue& array, bool labeled = false);
+
+// Validates a depsurf.diagnostics.v1 document (`depsurf doctor --json`):
+// schema marker, "image" string, "health" object mapping subsystems to
+// clean/degraded/missing, "fatal" bool, and a valid "entries" array.
+Status ValidateDiagnosticsDoc(std::string_view json);
 
 // Distinct span names in a parsed report (empty if not a report).
 std::set<std::string> CollectSpanNames(const JsonValue& report);

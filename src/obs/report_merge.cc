@@ -54,6 +54,25 @@ void AppendSpanValue(std::string& out, const JsonValue& span) {
   out += "]}";
 }
 
+// Pre-serializes a parsed diagnostics entry with its source label first, so
+// sorting the strings sorts by (label, severity, subsystem, ...).
+std::string LabeledDiagEntry(const std::string& label, const JsonValue& entry) {
+  const JsonValue* severity = entry.Find("severity");
+  const JsonValue* subsystem = entry.Find("subsystem");
+  const JsonValue* code = entry.Find("code");
+  const JsonValue* offset = entry.Find("offset");
+  const JsonValue* message = entry.Find("message");
+  return StrFormat(
+      "{\"label\": \"%s\", \"severity\": \"%s\", \"subsystem\": \"%s\", "
+      "\"code\": \"%s\", \"offset\": %s, \"message\": \"%s\"}",
+      JsonEscape(label).c_str(),
+      JsonEscape(severity != nullptr ? severity->string : "").c_str(),
+      JsonEscape(subsystem != nullptr ? subsystem->string : "").c_str(),
+      JsonEscape(code != nullptr ? code->string : "").c_str(),
+      I64(offset != nullptr ? offset->number : -1).c_str(),
+      JsonEscape(message != nullptr ? message->string : "").c_str());
+}
+
 }  // namespace
 
 Result<std::string> MergeRunReports(const std::vector<LabeledReport>& reports) {
@@ -62,6 +81,7 @@ Result<std::string> MergeRunReports(const std::vector<LabeledReport>& reports) {
   }
   uint64_t total_reports = 0;
   std::vector<std::string> sources;       // pre-serialized provenance entries
+  std::vector<std::string> diagnostics;   // pre-serialized labeled entries
   std::vector<JsonValue> spans;           // all root spans across inputs
   std::map<std::string, double> counters; // summed
   std::map<std::string, double> gauges;   // last write wins
@@ -81,6 +101,11 @@ Result<std::string> MergeRunReports(const std::vector<LabeledReport>& reports) {
                    report.label + ": not a run report or aggregate");
     }
 
+    const JsonValue* doc_diags = doc.Find("diagnostics");
+    size_t doc_diag_count =
+        doc_diags != nullptr && doc_diags->kind == JsonValue::Kind::kArray
+            ? doc_diags->array.size()
+            : 0;
     if (is_agg) {
       const JsonValue* nested = doc.Find("reports");
       total_reports += nested != nullptr ? static_cast<uint64_t>(nested->number) : 0;
@@ -90,20 +115,36 @@ Result<std::string> MergeRunReports(const std::vector<LabeledReport>& reports) {
           const JsonValue* label = source.Find("label");
           const JsonValue* source_spans = source.Find("spans");
           const JsonValue* source_counters = source.Find("counters");
+          const JsonValue* source_diags = source.Find("diags");
           sources.push_back(StrFormat(
-              "{\"label\": \"%s\", \"spans\": %s, \"counters\": %s}",
+              "{\"label\": \"%s\", \"spans\": %s, \"counters\": %s, \"diags\": %s}",
               JsonEscape(label != nullptr ? label->string : "").c_str(),
               U64(source_spans != nullptr ? source_spans->number : 0).c_str(),
-              U64(source_counters != nullptr ? source_counters->number : 0).c_str()));
+              U64(source_counters != nullptr ? source_counters->number : 0).c_str(),
+              U64(source_diags != nullptr ? source_diags->number : 0).c_str()));
+        }
+      }
+      if (doc_diags != nullptr && doc_diags->kind == JsonValue::Kind::kArray) {
+        // Aggregate entries already carry their source label.
+        for (const JsonValue& entry : doc_diags->array) {
+          const JsonValue* label = entry.Find("label");
+          diagnostics.push_back(
+              LabeledDiagEntry(label != nullptr ? label->string : "", entry));
         }
       }
     } else {
       total_reports += 1;
       const JsonValue* doc_counters = doc.Find("counters");
       sources.push_back(StrFormat(
-          "{\"label\": \"%s\", \"spans\": %zu, \"counters\": %zu}",
+          "{\"label\": \"%s\", \"spans\": %zu, \"counters\": %zu, \"diags\": %zu}",
           JsonEscape(report.label).c_str(), CountReportSpanNodes(doc),
-          doc_counters != nullptr ? doc_counters->object.size() : size_t{0}));
+          doc_counters != nullptr ? doc_counters->object.size() : size_t{0},
+          doc_diag_count));
+      if (doc_diags != nullptr && doc_diags->kind == JsonValue::Kind::kArray) {
+        for (const JsonValue& entry : doc_diags->array) {
+          diagnostics.push_back(LabeledDiagEntry(report.label, entry));
+        }
+      }
     }
 
     const JsonValue* doc_spans = doc.Find("spans");
@@ -151,6 +192,7 @@ Result<std::string> MergeRunReports(const std::vector<LabeledReport>& reports) {
   // Provenance entries are serialized with the label first, so sorting the
   // strings sorts by label — merge output is independent of input order.
   std::sort(sources.begin(), sources.end());
+  std::sort(diagnostics.begin(), diagnostics.end());
 
   std::string out = "{\n\"schema\": \"";
   out += kRunReportAggSchema;
@@ -211,7 +253,14 @@ Result<std::string> MergeRunReports(const std::vector<LabeledReport>& reports) {
     }
     out += "]}";
   }
-  out += "}\n}\n";
+  out += "},\n\"diagnostics\": [";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    if (i != 0) {
+      out += ", ";
+    }
+    out += diagnostics[i];
+  }
+  out += "]\n}\n";
   return out;
 }
 
@@ -236,12 +285,12 @@ Status ValidateAggReport(std::string_view json) {
   if (sources == nullptr || sources->kind != JsonValue::Kind::kArray) {
     return Status(ErrorCode::kMalformedData, "missing \"sources\" array");
   }
-  for (const char* section : {"spans", "counters", "gauges", "histograms"}) {
+  for (const char* section : {"spans", "counters", "gauges", "histograms", "diagnostics"}) {
     if (doc.Find(section) == nullptr) {
       return Status(ErrorCode::kMalformedData, StrFormat("missing section %s", section));
     }
   }
-  return Status::Ok();
+  return ValidateDiagnosticsArray(*doc.Find("diagnostics"), /*labeled=*/true);
 }
 
 }  // namespace obs

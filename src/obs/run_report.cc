@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 
+#include "src/obs/diagnostics.h"
 #include "src/util/str_util.h"
 
 namespace depsurf {
@@ -82,7 +83,8 @@ std::string JsonEscape(const std::string& s) {
 }
 
 std::string RunReportJson(const SpanCollector& spans, const MetricsRegistry& metrics,
-                          const RunReportOptions& options) {
+                          const RunReportOptions& options,
+                          const std::vector<DiagnosticEntry>* diagnostics) {
   std::string out = "{\n";
   out += "\"schema\": \"";
   out += kRunReportSchema;
@@ -155,7 +157,12 @@ std::string RunReportJson(const SpanCollector& spans, const MetricsRegistry& met
     }
     out += "]}";
   }
-  out += "}\n}\n";
+  out += "},\n";
+
+  out += "\"diagnostics\": ";
+  out += DiagnosticsJson(diagnostics != nullptr ? *diagnostics
+                                                : std::vector<DiagnosticEntry>());
+  out += "\n}\n";
   return out;
 }
 
@@ -204,7 +211,9 @@ std::string RunReportText(const SpanCollector& spans, const MetricsRegistry& met
 }
 
 std::string GlobalRunReportJson(const RunReportOptions& options) {
-  return RunReportJson(SpanCollector::Global(), MetricsRegistry::Global(), options);
+  std::vector<DiagnosticEntry> diagnostics = DiagnosticsCollector::Global().Snapshot();
+  return RunReportJson(SpanCollector::Global(), MetricsRegistry::Global(), options,
+                       &diagnostics);
 }
 
 std::string GlobalRunReportText() {

@@ -9,7 +9,10 @@
 //     "counters": {"btf.types_decoded": N, ...},
 //     "gauges": {"study.build_dataset.wall_ms": N, ...},
 //     "histograms": {"elf.section_bytes":
-//         {"count": N, "sum": N, "buckets": [[lower_bound, count], ...]}, ...}
+//         {"count": N, "sum": N, "buckets": [[lower_bound, count], ...]}, ...},
+//     "diagnostics": [ {"severity": "degraded", "subsystem": "dwarf",
+//                       "code": "malformed_data", "offset": N,
+//                       "message": "..."}, ... ]
 //   }
 //
 // Key order is deterministic (maps are sorted, span attrs keep insertion
@@ -21,9 +24,11 @@
 #define DEPSURF_SRC_OBS_RUN_REPORT_H_
 
 #include <string>
+#include <vector>
 
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
+#include "src/util/diagnostic_ledger.h"
 #include "src/util/error.h"
 
 namespace depsurf {
@@ -37,9 +42,13 @@ struct RunReportOptions {
   bool mask_timings = false;  // zero dur_ns and *_ns/_us/_ms/_seconds fields
 };
 
-// Serializes the given collector + registry.
+// Serializes the given collector + registry. `diagnostics` fills the
+// report's "diagnostics" section (sorted on output); pass nullptr for an
+// empty section. The Global* helpers below supply the process-wide
+// DiagnosticsCollector automatically.
 std::string RunReportJson(const SpanCollector& spans, const MetricsRegistry& metrics,
-                          const RunReportOptions& options = {});
+                          const RunReportOptions& options = {},
+                          const std::vector<DiagnosticEntry>* diagnostics = nullptr);
 std::string RunReportText(const SpanCollector& spans, const MetricsRegistry& metrics);
 
 // Globals convenience (what the CLI and benches use).

@@ -10,6 +10,7 @@
 #include <thread>
 #include <utility>
 
+#include "src/obs/diagnostics.h"
 #include "src/obs/metrics.h"
 #include "src/obs/report_merge.h"
 #include "src/obs/run_report.h"
@@ -44,7 +45,11 @@ Study::Study(const StudyOptions& options)
 
 Result<std::vector<uint8_t>> Study::BuildImage(const BuildSpec& build) const {
   DEPSURF_ASSIGN_OR_RETURN(kernel, model_->Configure(build));
-  return BuildKernelImage(CompileKernel(options_.seed, std::move(kernel)));
+  DEPSURF_ASSIGN_OR_RETURN(bytes, BuildKernelImage(CompileKernel(options_.seed, std::move(kernel))));
+  if (image_mutator_) {
+    image_mutator_(build, bytes);
+  }
+  return bytes;
 }
 
 Result<DependencySurface> Study::ExtractSurface(const BuildSpec& build) const {
@@ -54,7 +59,9 @@ Result<DependencySurface> Study::ExtractSurface(const BuildSpec& build) const {
 
 Result<Dataset> Study::BuildDataset(
     const std::vector<BuildSpec>& corpus,
-    const std::function<void(const ImageProgress&)>& progress) const {
+    const std::function<void(const ImageProgress&)>& progress,
+    const BuildPolicy& policy,
+    std::vector<QuarantinedImage>* quarantined) const {
   obs::ScopedSpan span("study.build_dataset");
   span.AddAttr("images", static_cast<uint64_t>(corpus.size()));
   const auto wall_start = std::chrono::steady_clock::now();
@@ -82,23 +89,33 @@ Result<Dataset> Study::BuildDataset(
     }
     auto [surface, seconds] = in_flight.front().get();
     in_flight.pop_front();
+    const std::string label = corpus[next_consume].Label();
     if (!surface.ok()) {
-      for (auto& future : in_flight) {
-        future.wait();  // drain before propagating the error
+      if (!policy.keep_going) {
+        for (auto& future : in_flight) {
+          future.wait();  // drain before propagating the error
+        }
+        return surface.TakeError().Wrap("image " + label);
       }
-      return surface.TakeError();
+      // Quarantine: the image stays out of the dataset, the build goes on.
+      obs::MetricsRegistry::Global().Incr("study.images_quarantined");
+      if (quarantined != nullptr) {
+        quarantined->push_back(QuarantinedImage{label, surface.TakeError()});
+      }
+      ++next_consume;
+      continue;
     }
     obs::MetricsRegistry::Global().GetHistogram("study.image_extract_ms")
         ->Record(static_cast<uint64_t>(seconds * 1e3));
     if (progress) {
       ImageProgress report;
-      report.label = corpus[next_consume].Label();
+      report.label = label;
       report.seconds = seconds;
       report.index = next_consume;
       report.total = corpus.size();
       progress(report);
     }
-    dataset.AddImage(corpus[next_consume].Label(), *surface);
+    dataset.AddImage(label, *surface);
     ++next_consume;
   }
 
@@ -116,9 +133,12 @@ Result<Dataset> Study::BuildDataset(
 Result<Dataset> Study::BuildDatasetWithReports(
     const std::vector<BuildSpec>& corpus, const std::string& report_dir,
     DatasetReportFiles* files,
-    const std::function<void(const ImageProgress&)>& progress) const {
+    const std::function<void(const ImageProgress&)>& progress,
+    const BuildPolicy& policy,
+    std::vector<QuarantinedImage>* quarantined) const {
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   obs::SpanCollector& spans = obs::SpanCollector::Global();
+  obs::DiagnosticsCollector& diags = obs::DiagnosticsCollector::Global();
   const auto wall_start = std::chrono::steady_clock::now();
 
   Dataset dataset;
@@ -129,12 +149,34 @@ Result<Dataset> Study::BuildDatasetWithReports(
     // here and serialization belongs to this image alone.
     spans.Clear();
     metrics.Reset();
+    diags.Clear();
     const auto start = std::chrono::steady_clock::now();
     auto surface = ExtractSurface(build);
     if (!surface.ok()) {
-      return surface.TakeError();
+      if (!policy.keep_going) {
+        return surface.TakeError().Wrap("image " + build.Label());
+      }
+      // Quarantined images still leave a trace in the report set: one
+      // fatal ledger entry explaining why extraction died, so the
+      // aggregate lists the image alongside the survivors.
+      Error error = surface.TakeError();
+      DiagnosticEntry fatal;
+      fatal.severity = DiagSeverity::kFatal;
+      fatal.subsystem = DiagSubsystem::kElf;
+      fatal.code = error.code();
+      if (error.offset().has_value()) {
+        fatal.offset = *error.offset();
+        fatal.has_offset = true;
+      }
+      fatal.message = error.message();
+      diags.Add(fatal);
+      metrics.Incr("study.images_quarantined");
+      if (quarantined != nullptr) {
+        quarantined->push_back(QuarantinedImage{build.Label(), std::move(error)});
+      }
+    } else {
+      dataset.AddImage(build.Label(), *surface);
     }
-    dataset.AddImage(build.Label(), *surface);
     const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
     std::string json = obs::GlobalRunReportJson();
     std::string path = report_dir + "/report_" + build.Label() + ".json";
@@ -180,6 +222,7 @@ Result<Dataset> Study::BuildDatasetWithReports(
   // callers using --metrics-out after this still get a meaningful report.
   spans.Clear();
   metrics.Reset();
+  diags.Clear();
   const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - wall_start;
   metrics.Incr("study.datasets_built");
   metrics.Incr("study.reports_written", corpus.size() + 1);

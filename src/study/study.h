@@ -27,6 +27,24 @@ struct StudyOptions {
   static StudyOptions FromArgs(int argc, char** argv, double default_scale = 1.0);
 };
 
+// What a corpus build does when one image fails extraction outright.
+// Salvage-mode extraction already downgrades most damage to per-subsystem
+// degradation; this policy covers the residue (unreadable ELF container,
+// image generation failure).
+struct BuildPolicy {
+  // true (the default, `--keep-going`): quarantine the failed image —
+  // record its label + error, keep it out of the dataset, and finish the
+  // rest of the corpus. false (`--strict`): abort the build with the
+  // failed image's error, wrapped with its label.
+  bool keep_going = true;
+};
+
+// One image the build gave up on under BuildPolicy{keep_going}.
+struct QuarantinedImage {
+  std::string label;
+  Error error;
+};
+
 class Study {
  public:
   explicit Study(const StudyOptions& options);
@@ -39,6 +57,12 @@ class Study {
   // binary round trip). ~1.5 s per image at scale 1.
   Result<std::vector<uint8_t>> BuildImage(const BuildSpec& build) const;
   Result<DependencySurface> ExtractSurface(const BuildSpec& build) const;
+
+  // Test/diagnostic hook: runs on every generated image's bytes before
+  // extraction. Fault-injection studies use this to poison one build by
+  // label (see src/faultgen) and watch the quarantine machinery react.
+  using ImageMutator = std::function<void(const BuildSpec&, std::vector<uint8_t>&)>;
+  void SetImageMutator(ImageMutator mutator) { image_mutator_ = std::move(mutator); }
 
   // Per-image progress report for BuildDataset: which image just finished,
   // how long its generate+extract round trip took, and where the build
@@ -54,9 +78,13 @@ class Study {
   // Builds a dataset over the given corpus. Image generation + extraction
   // run in parallel (they are pure); distillation is serial and in corpus
   // order, so results are deterministic. `progress` (optional) is called
-  // once per image as its surface is distilled.
+  // once per image as its surface is distilled. Under the default policy a
+  // failed image is quarantined (appended to `quarantined` when non-null)
+  // and the build continues; under strict the error aborts the build.
   Result<Dataset> BuildDataset(const std::vector<BuildSpec>& corpus,
-                               const std::function<void(const ImageProgress&)>& progress = {}) const;
+                               const std::function<void(const ImageProgress&)>& progress = {},
+                               const BuildPolicy& policy = {},
+                               std::vector<QuarantinedImage>* quarantined = nullptr) const;
 
   // Like BuildDataset, but additionally writes one depsurf.run_report.v1
   // per image into `report_dir` (report_<label>.json) plus their merged
@@ -69,10 +97,15 @@ class Study {
     std::vector<std::string> per_image;
     std::string aggregate;
   };
+  // A quarantined image still gets a per-image report: its diagnostics
+  // block carries one fatal entry describing why extraction died, so the
+  // aggregate report lists the image alongside the survivors.
   Result<Dataset> BuildDatasetWithReports(
       const std::vector<BuildSpec>& corpus, const std::string& report_dir,
       DatasetReportFiles* files = nullptr,
-      const std::function<void(const ImageProgress&)>& progress = {}) const;
+      const std::function<void(const ImageProgress&)>& progress = {},
+      const BuildPolicy& policy = {},
+      std::vector<QuarantinedImage>* quarantined = nullptr) const;
 
   // Analyzes one program object (by Table 7 name) against a dataset.
   Result<ProgramReport> Analyze(const Dataset& dataset, const std::string& program) const;
@@ -82,6 +115,7 @@ class Study {
   StudyOptions options_;
   ProgramCorpus programs_;
   std::unique_ptr<KernelModel> model_;
+  ImageMutator image_mutator_;
 };
 
 }  // namespace depsurf

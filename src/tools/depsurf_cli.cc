@@ -4,6 +4,7 @@
 //                 [--seed=N] --out=IMAGE          generate a kernel image
 //   depsurf surface IMAGE [--func=NAME] [--json]  inspect a dependency surface
 //   depsurf stats   IMAGE [--json]                decode an image, report pipeline metrics
+//   depsurf doctor  IMAGE [--sweep=N] [--json]    triage a damaged image / fault sweep
 //   depsurf diff    OLD NEW                       diff two images (Table 3/4 style)
 //   depsurf check   OBJECT IMAGE...               report mismatches for an eBPF object
 //   depsurf progs                                 list the bundled 53-program corpus
@@ -29,9 +30,11 @@
 #include "src/bpf/core_reloc_engine.h"
 #include "src/btf/btf_print.h"
 #include "src/core/dataset_io.h"
+#include "src/faultgen/fault_injector.h"
 #include "src/kernelgen/rates.h"
 #include "src/obs/bench_report.h"
 #include "src/obs/diag.h"
+#include "src/obs/diagnostics.h"
 #include "src/obs/json_lint.h"
 #include "src/obs/perf_gate.h"
 #include "src/obs/report_merge.h"
@@ -239,6 +242,111 @@ int CmdStats(int argc, char** argv) {
   return 0;
 }
 
+// depsurf.diagnostics.v1: the standalone document `doctor --json` emits.
+std::string DiagnosticsDocJson(const std::string& image, const SurfaceHealth& health,
+                               const Error* fatal_error) {
+  std::vector<DiagnosticEntry> entries = health.ledger.entries();
+  if (fatal_error != nullptr) {
+    DiagnosticEntry fatal;
+    fatal.severity = DiagSeverity::kFatal;
+    fatal.subsystem = DiagSubsystem::kElf;
+    fatal.code = fatal_error->code();
+    if (fatal_error->offset().has_value()) {
+      fatal.offset = *fatal_error->offset();
+      fatal.has_offset = true;
+    }
+    fatal.message = fatal_error->message();
+    entries.push_back(fatal);
+  }
+  std::string out = "{\n";
+  out += StrFormat("\"schema\": \"%s\",\n", obs::kDiagnosticsSchema);
+  out += StrFormat("\"image\": \"%s\",\n", obs::JsonEscape(image).c_str());
+  out += StrFormat(
+      "\"health\": {\"elf\": \"%s\", \"dwarf\": \"%s\", \"btf\": \"%s\", "
+      "\"tracepoint\": \"%s\", \"syscall\": \"%s\"},\n",
+      DegradationStateName(health.elf), DegradationStateName(health.dwarf),
+      DegradationStateName(health.btf), DegradationStateName(health.tracepoint),
+      DegradationStateName(health.syscall));
+  out += StrFormat("\"fatal\": %s,\n", fatal_error != nullptr ? "true" : "false");
+  out += "\"entries\": " + obs::DiagnosticsJson(std::move(entries));
+  out += "\n}\n";
+  return out;
+}
+
+// Triage for damaged inputs: extract once and report what salvage-mode
+// extraction survived, or sweep N seeded mutations over the image and
+// assert the crash-free contract corpus-wide. Exit codes mirror `check`:
+// 0 clean, 2 salvaged (degraded subsystems), 1 unreadable container.
+int CmdDoctor(int argc, char** argv) {
+  auto positional = Positional(argc, argv);
+  if (positional.empty()) {
+    return DiagError("doctor requires an IMAGE path");
+  }
+  auto bytes = ReadFile(positional[0]);
+  if (!bytes.ok()) {
+    return DiagError(bytes.error());
+  }
+  const bool json = HasFlag(argc, argv, "json");
+  const uint64_t sweep =
+      strtoull(FlagValue(argc, argv, "sweep", "0").c_str(), nullptr, 10);
+  const uint64_t seed =
+      strtoull(FlagValue(argc, argv, "seed", "2025").c_str(), nullptr, 10);
+
+  if (sweep == 0) {
+    auto surface = DependencySurface::Extract(*bytes);
+    if (!surface.ok()) {
+      if (json) {
+        printf("%s", DiagnosticsDocJson(positional[0], SurfaceHealth{}, &surface.error()).c_str());
+      } else {
+        printf("%s: unreadable (%s)\n", positional[0].c_str(),
+               surface.error().ToString().c_str());
+      }
+      return 1;
+    }
+    const SurfaceHealth& health = surface->health();
+    if (json) {
+      printf("%s", DiagnosticsDocJson(positional[0], health, nullptr).c_str());
+    } else {
+      printf("%s: %s\n", positional[0].c_str(), health.Summary().c_str());
+      for (const DiagnosticEntry& entry : health.ledger.entries()) {
+        printf("  %s\n", entry.ToString().c_str());
+      }
+    }
+    return health.AnyDegraded() ? 2 : 0;
+  }
+
+  // Sweep mode: every mutation must extract without crashing, and damage
+  // must never pass silently — a non-clean outcome without ledger entries
+  // (or a fatal error) would mean salvage lost the diagnosis.
+  size_t clean = 0;
+  size_t salvaged = 0;
+  size_t fatal = 0;
+  for (uint64_t i = 0; i < sweep; ++i) {
+    std::vector<uint8_t> damaged = *bytes;
+    FaultKind kind = FaultKindForIndex(i);
+    std::string what = ApplyFault(damaged, kind, seed + i);
+    auto surface = DependencySurface::Extract(std::move(damaged));
+    const char* outcome;
+    if (!surface.ok()) {
+      outcome = "fatal";
+      ++fatal;
+    } else if (surface->health().AnyDegraded()) {
+      outcome = "salvaged";
+      ++salvaged;
+    } else {
+      outcome = "clean";
+      ++clean;
+    }
+    if (!json) {
+      printf("[%3llu] %-8s %s\n", static_cast<unsigned long long>(i), outcome, what.c_str());
+    }
+  }
+  printf("sweep: %llu mutations over %s: %zu clean, %zu salvaged, %zu fatal, 0 crashes\n",
+         static_cast<unsigned long long>(sweep), positional[0].c_str(), clean, salvaged,
+         fatal);
+  return 0;
+}
+
 // Validates or canonicalizes an observability JSON file. `lint` dispatches
 // on --kind (run report, aggregate, bench report, perf comparison, trace);
 // `canon` re-emits any document in compact form with timing fields masked,
@@ -303,6 +411,14 @@ int CmdMetrics(int argc, char** argv) {
     printf("%s: valid %s\n", positional[1].c_str(), obs::kPerfCompareSchema);
     return 0;
   }
+  if (kind == "diag") {
+    Status valid = obs::ValidateDiagnosticsDoc(text);
+    if (!valid.ok()) {
+      return DiagError(positional[1], valid.error());
+    }
+    printf("%s: valid %s\n", positional[1].c_str(), obs::kDiagnosticsSchema);
+    return 0;
+  }
   if (kind == "trace") {
     auto json = obs::ParseJson(text);
     if (!json.ok()) {
@@ -329,7 +445,7 @@ int CmdMetrics(int argc, char** argv) {
            json->Find("traceEvents")->array.size());
     return 0;
   }
-  return DiagError("unknown --kind=" + kind + " (report|agg|bench|perf|trace)");
+  return DiagError("unknown --kind=" + kind + " (report|agg|bench|perf|trace|diag)");
 }
 
 // Merges run reports (per-image documents from a study build, or prior
@@ -448,16 +564,36 @@ int CmdStudy(int argc, char** argv) {
     return DiagError("study build: empty corpus (check --versions)");
   }
   Study study(StudyOptions::FromArgs(argc, argv, /*default_scale=*/1.0));
+  // Failure policy: --keep-going (the default) quarantines images whose
+  // extraction dies outright; --strict aborts the whole build instead.
+  BuildPolicy policy;
+  policy.keep_going = !HasFlag(argc, argv, "strict");
+  // --poison=LABEL (testing aid): truncate the named image below the ELF
+  // header before extraction, guaranteeing a fatal failure on exactly that
+  // image so the quarantine path can be demonstrated end to end.
+  std::string poison = FlagValue(argc, argv, "poison", "");
+  if (!poison.empty()) {
+    study.SetImageMutator([poison](const BuildSpec& build, std::vector<uint8_t>& bytes) {
+      if (build.Label() == poison && bytes.size() > 16) {
+        bytes.resize(16);
+      }
+    });
+  }
   auto progress = [](const Study::ImageProgress& p) {
     printf("[%zu/%zu] %-28s %.2f s\n", p.index + 1, p.total, p.label.c_str(), p.seconds);
   };
   std::string report_dir = FlagValue(argc, argv, "report-dir", "");
   Study::DatasetReportFiles files;
+  std::vector<QuarantinedImage> quarantined;
   auto dataset = report_dir.empty()
-                     ? study.BuildDataset(corpus, progress)
-                     : study.BuildDatasetWithReports(corpus, report_dir, &files, progress);
+                     ? study.BuildDataset(corpus, progress, policy, &quarantined)
+                     : study.BuildDatasetWithReports(corpus, report_dir, &files, progress,
+                                                     policy, &quarantined);
   if (!dataset.ok()) {
     return DiagError(dataset.error());
+  }
+  for (const QuarantinedImage& image : quarantined) {
+    printf("quarantined %s: %s\n", image.label.c_str(), image.error.ToString().c_str());
   }
   std::string out = FlagValue(argc, argv, "out", "");
   if (!out.empty()) {
@@ -677,13 +813,15 @@ constexpr char kUsage[] =
     "  dataset build IMG... --out=FILE | dataset info FILE\n"
     "  progs\n"
     "  emit    PROGRAM --out=OBJ\n"
-    "  metrics lint FILE [--kind=report|agg|bench|perf|trace] [--min-spans=N]\n"
+    "  doctor  IMG [--sweep=N] [--seed=S] [--json]\n"
+    "          (exit 2 when the image needed salvage, 1 when unreadable)\n"
+    "  metrics lint FILE [--kind=report|agg|bench|perf|trace|diag] [--min-spans=N]\n"
     "          [--require=a,b,c] [--report=FILE] | metrics canon FILE\n"
     "  report  merge OUT IN...\n"
     "  perf    compare BASE.json HEAD.json [--max-regress=15%] [--noise-floor=S] [--json]\n"
     "          (exit 3 when a stage regressed beyond the threshold)\n"
     "  study   build [--versions=5.4,6.8] [--arch=A] [--flavor=F] [--scale=S] [--seed=N]\n"
-    "          [--out=DATASET] [--report-dir=DIR]\n"
+    "          [--out=DATASET] [--report-dir=DIR] [--strict] [--poison=LABEL]\n"
     "global options: --metrics-out=FILE  --trace-out=FILE  --trace\n";
 
 int Dispatch(int argc, char** argv, const std::string& command) {
@@ -695,6 +833,9 @@ int Dispatch(int argc, char** argv, const std::string& command) {
   }
   if (command == "stats") {
     return CmdStats(argc, argv);
+  }
+  if (command == "doctor") {
+    return CmdDoctor(argc, argv);
   }
   if (command == "diff") {
     return CmdDiff(argc, argv);

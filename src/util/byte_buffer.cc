@@ -35,8 +35,9 @@ void ByteWriter::AlignTo(size_t alignment) {
 void ByteWriter::WriteZeros(size_t count) { bytes_.insert(bytes_.end(), count, 0); }
 
 Status ByteWriter::PatchU32(size_t offset, uint32_t v) {
-  if (offset + 4 > bytes_.size()) {
-    return Status(ErrorCode::kOutOfRange, "PatchU32 beyond buffer");
+  // Overflow-safe form: `offset + 4` wraps for offsets near SIZE_MAX.
+  if (offset > bytes_.size() || bytes_.size() - offset < 4) {
+    return Status(Error(ErrorCode::kOutOfRange, "PatchU32 beyond buffer").WithOffset(offset));
   }
   for (int i = 0; i < 4; ++i) {
     int shift = (endian_ == Endian::kLittle) ? 8 * i : 8 * (3 - i);
@@ -47,7 +48,7 @@ Status ByteWriter::PatchU32(size_t offset, uint32_t v) {
 
 Status ByteReader::Seek(size_t offset) {
   if (offset > size_) {
-    return Status(ErrorCode::kOutOfRange, "seek beyond buffer");
+    return Status(Error(ErrorCode::kOutOfRange, "seek beyond buffer").WithOffset(offset));
   }
   offset_ = offset;
   return Status::Ok();
@@ -55,15 +56,18 @@ Status ByteReader::Seek(size_t offset) {
 
 Status ByteReader::Skip(size_t count) {
   if (count > remaining()) {
-    return Status(ErrorCode::kOutOfRange, "skip beyond buffer");
+    return Status(Error(ErrorCode::kOutOfRange, "skip beyond buffer").WithOffset(offset_));
   }
   offset_ += count;
   return Status::Ok();
 }
 
 Result<uint64_t> ByteReader::ReadUint(int width) {
+  if (width < 1 || width > 8) {
+    return Error(ErrorCode::kInvalidArgument, "read width must be 1..8").WithOffset(offset_);
+  }
   if (static_cast<size_t>(width) > remaining()) {
-    return Error(ErrorCode::kOutOfRange, "read beyond buffer");
+    return Error(ErrorCode::kOutOfRange, "read beyond buffer").WithOffset(offset_);
   }
   uint64_t v = 0;
   if (endian_ == Endian::kLittle) {
@@ -110,7 +114,7 @@ Result<uint64_t> ByteReader::ReadAddr(int pointer_size) {
 
 Result<std::vector<uint8_t>> ByteReader::ReadBytes(size_t len) {
   if (len > remaining()) {
-    return Error(ErrorCode::kOutOfRange, "ReadBytes beyond buffer");
+    return Error(ErrorCode::kOutOfRange, "ReadBytes beyond buffer").WithOffset(offset_);
   }
   std::vector<uint8_t> out(data_ + offset_, data_ + offset_ + len);
   offset_ += len;
@@ -118,35 +122,37 @@ Result<std::vector<uint8_t>> ByteReader::ReadBytes(size_t len) {
 }
 
 Result<std::string> ByteReader::ReadCString() {
-  size_t start = offset_;
-  while (offset_ < size_ && data_[offset_] != 0) {
-    ++offset_;
+  // Scan without touching the cursor so a failed read leaves the reader
+  // where it was (callers may salvage by skipping the bad record).
+  size_t end = offset_;
+  while (end < size_ && data_[end] != 0) {
+    ++end;
   }
-  if (offset_ >= size_) {
-    return Error(ErrorCode::kMalformedData, "unterminated string");
+  if (end >= size_) {
+    return Error(ErrorCode::kMalformedData, "unterminated string").WithOffset(offset_);
   }
-  std::string out(reinterpret_cast<const char*>(data_ + start), offset_ - start);
-  ++offset_;  // consume NUL
+  std::string out(reinterpret_cast<const char*>(data_ + offset_), end - offset_);
+  offset_ = end + 1;  // consume NUL
   return out;
 }
 
 Result<std::string> ByteReader::ReadCStringAt(size_t offset) const {
   if (offset >= size_) {
-    return Error(ErrorCode::kOutOfRange, "string offset beyond buffer");
+    return Error(ErrorCode::kOutOfRange, "string offset beyond buffer").WithOffset(offset);
   }
   size_t end = offset;
   while (end < size_ && data_[end] != 0) {
     ++end;
   }
   if (end >= size_) {
-    return Error(ErrorCode::kMalformedData, "unterminated string");
+    return Error(ErrorCode::kMalformedData, "unterminated string").WithOffset(offset);
   }
   return std::string(reinterpret_cast<const char*>(data_ + offset), end - offset);
 }
 
 Result<ByteReader> ByteReader::Slice(size_t offset, size_t len) const {
   if (offset > size_ || len > size_ - offset) {
-    return Error(ErrorCode::kOutOfRange, "slice beyond buffer");
+    return Error(ErrorCode::kOutOfRange, "slice beyond buffer").WithOffset(offset);
   }
   return ByteReader(data_ + offset, len, endian_);
 }

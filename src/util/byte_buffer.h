@@ -83,6 +83,9 @@ class ByteReader {
   Result<int64_t> ReadI64();
   // Pointer-sized read (4 or 8 bytes).
   Result<uint64_t> ReadAddr(int pointer_size);
+  // Arbitrary-width read, 1..8 bytes; kInvalidArgument outside that range
+  // (format decoders pass widths parsed from untrusted headers).
+  Result<uint64_t> ReadUint(int width);
 
   // Copies `len` bytes at the cursor.
   Result<std::vector<uint8_t>> ReadBytes(size_t len);
@@ -96,8 +99,6 @@ class ByteReader {
   Result<ByteReader> Slice(size_t offset, size_t len) const;
 
  private:
-  Result<uint64_t> ReadUint(int width);
-
   const uint8_t* data_;
   size_t size_;
   Endian endian_;

@@ -1,0 +1,104 @@
+#include "src/util/diagnostic_ledger.h"
+
+#include <cstdio>
+
+namespace depsurf {
+
+const char* DiagSeverityName(DiagSeverity severity) {
+  switch (severity) {
+    case DiagSeverity::kWarning:
+      return "warning";
+    case DiagSeverity::kDegraded:
+      return "degraded";
+    case DiagSeverity::kFatal:
+      return "fatal";
+  }
+  return "unknown";
+}
+
+const char* DiagSubsystemName(DiagSubsystem subsystem) {
+  switch (subsystem) {
+    case DiagSubsystem::kElf:
+      return "elf";
+    case DiagSubsystem::kDwarf:
+      return "dwarf";
+    case DiagSubsystem::kBtf:
+      return "btf";
+    case DiagSubsystem::kTracepoint:
+      return "tracepoint";
+    case DiagSubsystem::kSyscall:
+      return "syscall";
+    case DiagSubsystem::kBpf:
+      return "bpf";
+  }
+  return "unknown";
+}
+
+std::string DiagnosticEntry::ToString() const {
+  std::string out = DiagSeverityName(severity);
+  out += ' ';
+  out += DiagSubsystemName(subsystem);
+  out += ' ';
+  out += ErrorCodeName(code);
+  if (has_offset) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), " @0x%llx", static_cast<unsigned long long>(offset));
+    out += buf;
+  }
+  out += ": ";
+  out += message;
+  return out;
+}
+
+void DiagnosticLedger::Add(DiagSeverity severity, DiagSubsystem subsystem,
+                           ErrorCode code, std::string message) {
+  DiagnosticEntry entry;
+  entry.severity = severity;
+  entry.subsystem = subsystem;
+  entry.code = code;
+  entry.message = std::move(message);
+  entries_.push_back(std::move(entry));
+}
+
+void DiagnosticLedger::AddAt(DiagSeverity severity, DiagSubsystem subsystem,
+                             ErrorCode code, uint64_t offset, std::string message) {
+  DiagnosticEntry entry;
+  entry.severity = severity;
+  entry.subsystem = subsystem;
+  entry.code = code;
+  entry.offset = offset;
+  entry.has_offset = true;
+  entry.message = std::move(message);
+  entries_.push_back(std::move(entry));
+}
+
+void DiagnosticLedger::AddError(DiagSeverity severity, DiagSubsystem subsystem,
+                                const Error& error) {
+  if (error.offset().has_value()) {
+    AddAt(severity, subsystem, error.code(), *error.offset(), error.message());
+  } else {
+    Add(severity, subsystem, error.code(), error.message());
+  }
+}
+
+size_t DiagnosticLedger::CountSeverity(DiagSeverity severity) const {
+  size_t n = 0;
+  for (const DiagnosticEntry& entry : entries_) {
+    n += entry.severity == severity ? 1 : 0;
+  }
+  return n;
+}
+
+size_t DiagnosticLedger::CountSubsystem(DiagSubsystem subsystem) const {
+  size_t n = 0;
+  for (const DiagnosticEntry& entry : entries_) {
+    n += entry.subsystem == subsystem ? 1 : 0;
+  }
+  return n;
+}
+
+void DiagnosticLedger::Merge(const DiagnosticLedger& other) {
+  entries_.insert(entries_.end(), other.entries_.begin(), other.entries_.end());
+}
+
+}  // namespace depsurf

@@ -1,0 +1,85 @@
+// Structured diagnostics for salvage-mode extraction.
+//
+// Real kernel images are untrusted inputs: truncated DWARF, stripped
+// sections, vendor quirks. When a decoder survives a malformed region
+// instead of failing the whole image, it records what it lost here so the
+// caller (and the run report) can explain exactly which conclusions rest on
+// degraded data. The ledger is a plain value type — no global state, no
+// locking — owned by the surface being extracted.
+#ifndef DEPSURF_SRC_UTIL_DIAGNOSTIC_LEDGER_H_
+#define DEPSURF_SRC_UTIL_DIAGNOSTIC_LEDGER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/error.h"
+
+namespace depsurf {
+
+// How bad a recorded event is.
+//   kWarning:  cosmetic or expected gap (missing .config banner, say);
+//              results are complete.
+//   kDegraded: a subsystem lost data but extraction continued; results from
+//              that subsystem are incomplete and flagged as such.
+//   kFatal:    the image was unusable; nothing was salvaged.
+enum class DiagSeverity : uint8_t { kWarning, kDegraded, kFatal };
+
+// Which extraction layer reported the event.
+enum class DiagSubsystem : uint8_t {
+  kElf,
+  kDwarf,
+  kBtf,
+  kTracepoint,
+  kSyscall,
+  kBpf,
+};
+
+// "warning" / "degraded" / "fatal".
+const char* DiagSeverityName(DiagSeverity severity);
+// "elf" / "dwarf" / "btf" / "tracepoint" / "syscall" / "bpf".
+const char* DiagSubsystemName(DiagSubsystem subsystem);
+
+// One recorded event: what broke, where, and how bad it is.
+struct DiagnosticEntry {
+  DiagSeverity severity = DiagSeverity::kWarning;
+  DiagSubsystem subsystem = DiagSubsystem::kElf;
+  ErrorCode code = ErrorCode::kMalformedData;
+  uint64_t offset = 0;       // byte offset into the decoded buffer
+  bool has_offset = false;   // offset is only meaningful when true
+  std::string message;
+
+  // "degraded dwarf malformed_data @0x1c4: ran off the end of .sdwarf_info"
+  std::string ToString() const;
+};
+
+// Append-only record of everything a salvage-mode pass survived.
+class DiagnosticLedger {
+ public:
+  void Add(DiagSeverity severity, DiagSubsystem subsystem, ErrorCode code,
+           std::string message);
+  void AddAt(DiagSeverity severity, DiagSubsystem subsystem, ErrorCode code,
+             uint64_t offset, std::string message);
+  // Records an Error verbatim, lifting its offset annotation when present.
+  void AddError(DiagSeverity severity, DiagSubsystem subsystem, const Error& error);
+
+  const std::vector<DiagnosticEntry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  size_t CountSeverity(DiagSeverity severity) const;
+  size_t CountSubsystem(DiagSubsystem subsystem) const;
+
+  // Appends every entry of `other` (merging a sub-pass's ledger).
+  void Merge(const DiagnosticLedger& other);
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::vector<DiagnosticEntry> entries_;
+};
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_UTIL_DIAGNOSTIC_LEDGER_H_

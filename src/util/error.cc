@@ -1,5 +1,7 @@
 #include "src/util/error.h"
 
+#include <cstdio>
+
 namespace depsurf {
 
 const char* ErrorCodeName(ErrorCode code) {
@@ -28,6 +30,12 @@ std::string Error::ToString() const {
   std::string out = ErrorCodeName(code_);
   out += ": ";
   out += message_;
+  if (offset_.has_value()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " (at byte 0x%llx)",
+                  static_cast<unsigned long long>(*offset_));
+    out += buf;
+  }
   return out;
 }
 

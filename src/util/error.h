@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <variant>
 
@@ -28,7 +29,8 @@ enum class ErrorCode : uint8_t {
 // Human-readable name of an ErrorCode ("malformed_data", ...).
 const char* ErrorCodeName(ErrorCode code);
 
-// A structured error: code + message. Cheap to move, explicit to construct.
+// A structured error: code + message, optionally annotated with the byte
+// offset where parsing died. Cheap to move, explicit to construct.
 class Error {
  public:
   Error(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
@@ -36,12 +38,38 @@ class Error {
   ErrorCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
-  // "malformed_data: BTF magic mismatch"
+  // Byte offset into the buffer being decoded, when known. Decoders attach
+  // this so salvage-mode diagnostics can report *where* a section broke.
+  const std::optional<uint64_t>& offset() const { return offset_; }
+
+  // Returns a copy annotated with the byte offset where decoding failed.
+  // The first (innermost) offset wins: by the time an error has crossed a
+  // few layers, the outer offsets describe containers, not the fault.
+  Error WithOffset(uint64_t offset) && {
+    if (!offset_.has_value()) {
+      offset_ = offset;
+    }
+    return std::move(*this);
+  }
+  Error WithOffset(uint64_t offset) const& { return Error(*this).WithOffset(offset); }
+
+  // Returns a copy with "context: " prefixed to the message, preserving the
+  // code and offset: Wrap("CU 3") -> "CU 3: abbrev code out of range".
+  Error Wrap(std::string_view context) && {
+    message_.insert(0, ": ");
+    message_.insert(0, context);
+    return std::move(*this);
+  }
+  Error Wrap(std::string_view context) const& { return Error(*this).Wrap(context); }
+
+  // "malformed_data: BTF magic mismatch" or, with an offset,
+  // "malformed_data: BTF magic mismatch (at byte 0x24)"
   std::string ToString() const;
 
  private:
   ErrorCode code_;
   std::string message_;
+  std::optional<uint64_t> offset_;
 };
 
 // Result<T> is a value-or-error sum type. Usage:

@@ -38,7 +38,8 @@ Result<uint64_t> ReadUleb128(ByteReader& r) {
   for (int i = 0; i < kMaxLebBytes; ++i) {
     DEPSURF_ASSIGN_OR_RETURN(byte, r.ReadU8());
     if (i == kMaxLebBytes - 1 && (byte & 0x7f) > 1) {
-      return Error(ErrorCode::kMalformedData, "ULEB128 overflows 64 bits");
+      return Error(ErrorCode::kMalformedData, "ULEB128 overflows 64 bits")
+          .WithOffset(r.offset());
     }
     result |= static_cast<uint64_t>(byte & 0x7f) << shift;
     if ((byte & 0x80) == 0) {
@@ -46,7 +47,7 @@ Result<uint64_t> ReadUleb128(ByteReader& r) {
     }
     shift += 7;
   }
-  return Error(ErrorCode::kMalformedData, "ULEB128 too long");
+  return Error(ErrorCode::kMalformedData, "ULEB128 too long").WithOffset(r.offset());
 }
 
 Result<int64_t> ReadSleb128(ByteReader& r) {
@@ -63,7 +64,7 @@ Result<int64_t> ReadSleb128(ByteReader& r) {
       return result;
     }
   }
-  return Error(ErrorCode::kMalformedData, "SLEB128 too long");
+  return Error(ErrorCode::kMalformedData, "SLEB128 too long").WithOffset(r.offset());
 }
 
 }  // namespace depsurf

@@ -4,6 +4,7 @@
 
 #include "src/core/dataset_io.h"
 #include "src/core/depsurf.h"
+#include "src/elf/elf_reader.h"
 #include "src/kernelgen/compiler.h"
 #include "src/kernelgen/configurator.h"
 #include "src/kernelgen/corpus.h"
@@ -53,6 +54,55 @@ TEST(DatasetIoTest, RoundTripPreservesQueries) {
   EXPECT_EQ(loaded->images()[0].meta.version_minor, 4);
   EXPECT_EQ(loaded->images()[1].meta.gcc_major, 12);
   EXPECT_EQ(loaded->images()[0].meta.arch, "x86");
+}
+
+TEST(DatasetIoTest, HealthAndLedgerSurviveRoundTrip) {
+  // Distill one clean image and one whose DWARF was corrupted, and check
+  // the degradation provenance (states + ledger entries) round-trips.
+  Dataset dataset;
+  KernelModel model(2025, 0.01, BuildCuratedCatalog());
+  auto kernel = model.Configure(MakeBuild(KernelVersion(5, 4)));
+  ASSERT_TRUE(kernel.ok());
+  auto bytes = BuildKernelImage(CompileKernel(2025, kernel.TakeValue()));
+  ASSERT_TRUE(bytes.ok());
+
+  auto clean = DependencySurface::Extract(*bytes);
+  ASSERT_TRUE(clean.ok());
+  dataset.AddImage("clean", *clean);
+
+  std::vector<uint8_t> damaged = bytes.TakeValue();
+  auto elf = ElfReader::Parse(damaged);
+  ASSERT_TRUE(elf.ok());
+  const ElfSectionView* info = elf->SectionByName(".sdwarf_info");
+  ASSERT_NE(info, nullptr);
+  for (size_t i = 0; i < 16 && i < info->size; ++i) {
+    damaged[static_cast<size_t>(info->offset) + i] = 0xff;
+  }
+  auto salvaged = DependencySurface::Extract(std::move(damaged));
+  ASSERT_TRUE(salvaged.ok());
+  ASSERT_EQ(salvaged->health().dwarf, DegradationState::kDegraded);
+  dataset.AddImage("salvaged", *salvaged);
+
+  auto loaded = LoadDataset(SaveDataset(dataset));
+  ASSERT_TRUE(loaded.ok()) << loaded.error().ToString();
+  ASSERT_EQ(loaded->num_images(), 2u);
+  const ImageRecord& a = loaded->images()[0];
+  const ImageRecord& b = loaded->images()[1];
+  EXPECT_FALSE(a.AnyDegraded());
+  EXPECT_EQ(a.health.ledger.size(), 0u);
+  EXPECT_TRUE(b.AnyDegraded());
+  EXPECT_EQ(b.health.dwarf, DegradationState::kDegraded);
+  ASSERT_EQ(b.health.ledger.size(), salvaged->health().ledger.size());
+  for (size_t i = 0; i < b.health.ledger.size(); ++i) {
+    const DiagnosticEntry& got = b.health.ledger.entries()[i];
+    const DiagnosticEntry& want = salvaged->health().ledger.entries()[i];
+    EXPECT_EQ(got.severity, want.severity);
+    EXPECT_EQ(got.subsystem, want.subsystem);
+    EXPECT_EQ(got.code, want.code);
+    EXPECT_EQ(got.has_offset, want.has_offset);
+    EXPECT_EQ(got.offset, want.offset);
+    EXPECT_EQ(got.message, want.message);
+  }
 }
 
 TEST(DatasetIoTest, RoundTripIsByteStable) {

@@ -1,0 +1,109 @@
+// Unit tests for the deterministic fault-injection engine: mutations must
+// be reproducible from (kind, seed, size), always change or shrink the
+// buffer, and degrade gracefully on inputs too small to target precisely.
+#include <gtest/gtest.h>
+
+#include "src/faultgen/fault_injector.h"
+#include "src/util/prng.h"
+
+namespace depsurf {
+namespace {
+
+std::vector<uint8_t> PatternedBuffer(size_t size) {
+  std::vector<uint8_t> bytes(size);
+  Prng prng(99);
+  for (size_t i = 0; i < size; ++i) {
+    bytes[i] = static_cast<uint8_t>(prng.NextU64());
+  }
+  return bytes;
+}
+
+TEST(FaultGenTest, KindNamesAndRoundRobin) {
+  EXPECT_STREQ(FaultKindName(FaultKind::kByteFlip), "byte_flip");
+  EXPECT_STREQ(FaultKindName(FaultKind::kZeroWindow), "zero_window");
+  EXPECT_STREQ(FaultKindName(FaultKind::kSectionHeaderMutation), "section_header_mutation");
+  EXPECT_STREQ(FaultKindName(FaultKind::kTruncate), "truncate");
+  for (uint64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(FaultKindForIndex(i), static_cast<FaultKind>(i % kNumFaultKinds));
+  }
+}
+
+TEST(FaultGenTest, SameSeedSameDamage) {
+  for (int k = 0; k < kNumFaultKinds; ++k) {
+    FaultKind kind = static_cast<FaultKind>(k);
+    std::vector<uint8_t> a = PatternedBuffer(4096);
+    std::vector<uint8_t> b = PatternedBuffer(4096);
+    std::string da = ApplyFault(a, kind, 42);
+    std::string db = ApplyFault(b, kind, 42);
+    EXPECT_EQ(a, b) << FaultKindName(kind);
+    EXPECT_EQ(da, db) << FaultKindName(kind);
+  }
+}
+
+TEST(FaultGenTest, DifferentSeedsDiversify) {
+  // Across a handful of seeds, at least two must damage differently.
+  for (int k = 0; k < kNumFaultKinds; ++k) {
+    FaultKind kind = static_cast<FaultKind>(k);
+    std::vector<std::vector<uint8_t>> outcomes;
+    for (uint64_t seed = 0; seed < 6; ++seed) {
+      std::vector<uint8_t> bytes = PatternedBuffer(4096);
+      ApplyFault(bytes, kind, seed);
+      outcomes.push_back(std::move(bytes));
+    }
+    bool any_differ = false;
+    for (size_t i = 1; i < outcomes.size(); ++i) {
+      any_differ = any_differ || outcomes[i] != outcomes[0];
+    }
+    EXPECT_TRUE(any_differ) << FaultKindName(kind);
+  }
+}
+
+TEST(FaultGenTest, EveryFaultActuallyDamages) {
+  // Sweep well past the acceptance floor: for every (kind, seed) pair the
+  // buffer must end up different (or shorter), never silently untouched.
+  const std::vector<uint8_t> original = PatternedBuffer(8192);
+  int mutations = 0;
+  for (uint64_t seed = 0; seed < 24; ++seed) {
+    for (int k = 0; k < kNumFaultKinds; ++k) {
+      std::vector<uint8_t> bytes = original;
+      std::string what = ApplyFault(bytes, static_cast<FaultKind>(k), seed);
+      SCOPED_TRACE(what);
+      EXPECT_FALSE(what.empty());
+      EXPECT_TRUE(bytes != original || bytes.size() != original.size());
+      EXPECT_FALSE(bytes.empty());  // truncation keeps at least one byte
+      ++mutations;
+    }
+  }
+  EXPECT_GE(mutations, 64);
+}
+
+TEST(FaultGenTest, TinyBuffersDegradeGracefully) {
+  // Too small for an ELF header: section mutation falls back to a flip.
+  std::vector<uint8_t> tiny = {0x7f, 'E', 'L', 'F'};
+  std::string what = ApplyFault(tiny, FaultKind::kSectionHeaderMutation, 3);
+  EXPECT_EQ(tiny.size(), 4u);
+  EXPECT_NE(what.find("byte_flip"), std::string::npos);
+
+  std::vector<uint8_t> one = {0xab};
+  ApplyFault(one, FaultKind::kTruncate, 5);
+  EXPECT_EQ(one.size(), 1u);
+
+  std::vector<uint8_t> empty;
+  std::string on_empty = ApplyFault(empty, FaultKind::kByteFlip, 1);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_NE(on_empty.find("nothing to damage"), std::string::npos);
+}
+
+TEST(FaultGenTest, ZeroWindowZeroesAWindow) {
+  std::vector<uint8_t> bytes(1024, 0xff);
+  ApplyFault(bytes, FaultKind::kZeroWindow, 11);
+  size_t zeroed = 0;
+  for (uint8_t b : bytes) {
+    zeroed += b == 0 ? 1 : 0;
+  }
+  EXPECT_GT(zeroed, 0u);
+  EXPECT_LE(zeroed, 512u);
+}
+
+}  // namespace
+}  // namespace depsurf

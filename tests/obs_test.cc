@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/obs/diagnostics.h"
 #include "src/obs/json_lint.h"
 #include "src/obs/metrics.h"
 #include "src/obs/run_report.h"
@@ -300,7 +301,7 @@ TEST(TraceExportTest, EveryNodeBecomesOneOrderedEvent) {
 }
 
 // The golden-schema test: a run report serialized with mask_timings is
-// byte-stable — parses as JSON, carries exactly the four sections in order,
+// byte-stable — parses as JSON, carries exactly the five sections in order,
 // and masks every timing field to zero.
 TEST(RunReportTest, GoldenSchemaWithMaskedTimings) {
   obs::SpanCollector collector;
@@ -333,7 +334,8 @@ TEST(RunReportTest, GoldenSchemaWithMaskedTimings) {
             "\"counters\": {\"golden.counter\": 7},\n"
             "\"gauges\": {\"golden.gauge\": -3, \"golden.wall_ms\": 0},\n"
             "\"histograms\": {\"golden.hist\": {\"count\": 1, \"sum\": 5, "
-            "\"buckets\": [[4, 1]]}}\n"
+            "\"buckets\": [[4, 1]]}},\n"
+            "\"diagnostics\": []\n"
             "}\n");
 
   // The masked document is identical across serializations and validates.
@@ -371,6 +373,83 @@ TEST(RunReportTest, UnmaskedKeepsTimingsAndCanonMasksThem) {
   auto masked_parsed = obs::ParseJson(RunReportJson(collector, registry, masked_options));
   ASSERT_TRUE(masked_parsed.ok());
   EXPECT_EQ(obs::CanonicalMaskedJson(*parsed), obs::CanonicalMaskedJson(*masked_parsed));
+}
+
+// Golden serialization of the diagnostics block: entries sort by
+// (severity, subsystem, code, offset, message) ascending, and an unknown
+// offset renders as -1.
+TEST(DiagnosticsTest, GoldenEntrySerialization) {
+  std::vector<DiagnosticEntry> entries;
+  DiagnosticEntry warning;
+  warning.severity = DiagSeverity::kWarning;
+  warning.subsystem = DiagSubsystem::kElf;
+  warning.code = ErrorCode::kNotFound;
+  warning.message = "no banner";
+  DiagnosticEntry degraded;
+  degraded.severity = DiagSeverity::kDegraded;
+  degraded.subsystem = DiagSubsystem::kDwarf;
+  degraded.code = ErrorCode::kMalformedData;
+  degraded.offset = 0x1c4;
+  degraded.has_offset = true;
+  degraded.message = "DWARF decode failed";
+  // Inserted out of order on purpose; serialization must sort.
+  entries.push_back(degraded);
+  entries.push_back(warning);
+  EXPECT_EQ(obs::DiagnosticsJson(entries),
+            "[{\"severity\": \"warning\", \"subsystem\": \"elf\", "
+            "\"code\": \"not_found\", \"offset\": -1, "
+            "\"message\": \"no banner\"}, "
+            "{\"severity\": \"degraded\", \"subsystem\": \"dwarf\", "
+            "\"code\": \"malformed_data\", \"offset\": 452, "
+            "\"message\": \"DWARF decode failed\"}]");
+}
+
+TEST(DiagnosticsTest, CollectorIsolatesAndClears) {
+  obs::DiagnosticsCollector& diags = obs::DiagnosticsCollector::Global();
+  diags.Clear();
+  DiagnosticLedger ledger;
+  ledger.Add(DiagSeverity::kDegraded, DiagSubsystem::kBtf, ErrorCode::kMalformedData,
+             "bad chain");
+  diags.AddAll(ledger);
+  EXPECT_EQ(diags.size(), 1u);
+  std::string report = obs::GlobalRunReportJson();
+  EXPECT_NE(report.find("\"diagnostics\": [{\"severity\": \"degraded\""), std::string::npos);
+  diags.Clear();
+  EXPECT_EQ(diags.size(), 0u);
+  EXPECT_NE(obs::GlobalRunReportJson().find("\"diagnostics\": []"), std::string::npos);
+}
+
+// Golden schema checks for the standalone depsurf.diagnostics.v1 document
+// (what `depsurf doctor --json` emits), alongside the other validators.
+TEST(DiagnosticsTest, DoctorDocValidation) {
+  const char* good =
+      "{\"schema\": \"depsurf.diagnostics.v1\", \"image\": \"img.bin\", "
+      "\"health\": {\"elf\": \"clean\", \"dwarf\": \"degraded\", \"btf\": \"clean\", "
+      "\"tracepoint\": \"clean\", \"syscall\": \"missing\"}, \"fatal\": false, "
+      "\"entries\": [{\"severity\": \"degraded\", \"subsystem\": \"dwarf\", "
+      "\"code\": \"malformed_data\", \"offset\": 452, \"message\": \"boom\"}]}";
+  EXPECT_TRUE(obs::ValidateDiagnosticsDoc(good).ok());
+
+  // Wrong schema string.
+  EXPECT_FALSE(obs::ValidateDiagnosticsDoc(
+                   "{\"schema\": \"depsurf.run_report.v1\", \"image\": \"x\", "
+                   "\"health\": {}, \"fatal\": false, \"entries\": []}")
+                   .ok());
+  // Health state outside the enum.
+  EXPECT_FALSE(obs::ValidateDiagnosticsDoc(
+                   "{\"schema\": \"depsurf.diagnostics.v1\", \"image\": \"x\", "
+                   "\"health\": {\"elf\": \"fine\", \"dwarf\": \"clean\", \"btf\": \"clean\", "
+                   "\"tracepoint\": \"clean\", \"syscall\": \"clean\"}, "
+                   "\"fatal\": false, \"entries\": []}")
+                   .ok());
+  // Entry missing a required field (no message).
+  EXPECT_FALSE(obs::ValidateDiagnosticsDoc(
+                   "{\"schema\": \"depsurf.diagnostics.v1\", \"image\": \"x\", "
+                   "\"health\": {\"elf\": \"clean\", \"dwarf\": \"clean\", \"btf\": \"clean\", "
+                   "\"tracepoint\": \"clean\", \"syscall\": \"clean\"}, \"fatal\": true, "
+                   "\"entries\": [{\"severity\": \"fatal\", \"subsystem\": \"elf\", "
+                   "\"code\": \"malformed_data\", \"offset\": -1}]}")
+                   .ok());
 }
 
 TEST(JsonLintTest, ParsesAndRejects) {

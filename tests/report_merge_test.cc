@@ -65,15 +65,16 @@ TEST(ReportMergeTest, GoldenAggSchema) {
             "{\n"
             "\"schema\": \"depsurf.run_report_agg.v1\",\n"
             "\"reports\": 2,\n"
-            "\"sources\": [{\"label\": \"a\", \"spans\": 1, \"counters\": 1}, "
-            "{\"label\": \"b\", \"spans\": 1, \"counters\": 1}],\n"
+            "\"sources\": [{\"label\": \"a\", \"spans\": 1, \"counters\": 1, \"diags\": 0}, "
+            "{\"label\": \"b\", \"spans\": 1, \"counters\": 1, \"diags\": 0}],\n"
             "\"spans\": [{\"name\": \"a.root\", \"dur_ns\": 0, \"attrs\": {}, "
             "\"children\": []}, {\"name\": \"b.root\", \"dur_ns\": 0, "
             "\"attrs\": {}, \"children\": []}],\n"
             "\"counters\": {\"m.count\": 5},\n"
             "\"gauges\": {},\n"
             "\"histograms\": {\"m.hist\": {\"count\": 2, \"sum\": 8, "
-            "\"buckets\": [[2, 1], [4, 1]]}}\n"
+            "\"buckets\": [[2, 1], [4, 1]]}},\n"
+            "\"diagnostics\": []\n"
             "}\n");
   EXPECT_TRUE(obs::ValidateAggReport(*merged).ok());
   EXPECT_FALSE(obs::ValidateAggReport(MakeReport("x", 1, 1)).ok());  // wrong schema

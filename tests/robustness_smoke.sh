@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# End-to-end robustness smoke, registered with ctest as `robustness-smoke`
+# (labeled `robustness`, so it also runs under DEPSURF_SANITIZE builds).
+# Drives `depsurf doctor` over a clean image, a hand-poisoned one, and a
+# seeded fault-injection sweep, then walks the quarantine path of
+# `study build` end to end: --keep-going must finish with the poisoned
+# image quarantined and listed in the aggregate report; --strict must fail.
+set -eu
+
+DEPSURF=${1:?usage: robustness_smoke.sh /path/to/depsurf}
+WORKDIR=$(mktemp -d)
+trap 'rm -rf "$WORKDIR"' EXIT
+cd "$WORKDIR"
+
+fail() {
+  echo "robustness_smoke: FAIL: $*" >&2
+  exit 1
+}
+
+# ---- doctor on a clean image: exit 0, clean health, valid JSON document.
+"$DEPSURF" gen --version=5.4 --scale=0.02 --out=img || fail "gen exited $?"
+"$DEPSURF" doctor img > doctor.txt || fail "doctor on clean image exited $?"
+grep -q "clean" doctor.txt || fail "clean image not reported clean"
+"$DEPSURF" doctor img --json > doctor.json || fail "doctor --json exited $?"
+"$DEPSURF" metrics lint doctor.json --kind=diag || fail "diagnostics doc invalid"
+
+# ---- doctor on a salvaged image: damage the image body, expect exit 2
+# and ledger entries in the JSON document.
+python3 - <<'EOF'
+bytes = bytearray(open('img', 'rb').read())
+# Clobber a window in the middle of the file: hits section bodies, not the
+# ELF container, so extraction salvages instead of dying.
+mid = len(bytes) // 2
+bytes[mid:mid + 256] = b'\xff' * 256
+open('damaged', 'wb').write(bytes)
+EOF
+set +e
+"$DEPSURF" doctor damaged --json > damaged.json
+code=$?
+set -e
+[ "$code" -eq 0 ] || [ "$code" -eq 2 ] || fail "doctor on damaged image exited $code"
+"$DEPSURF" metrics lint damaged.json --kind=diag || fail "damaged diagnostics doc invalid"
+
+# ---- seeded sweep: 64 mutations, no crash, deterministic across reruns.
+"$DEPSURF" doctor img --sweep=64 --seed=11 > sweep1.txt || fail "sweep exited $?"
+grep -q "0 crashes" sweep1.txt || fail "sweep summary missing"
+"$DEPSURF" doctor img --sweep=64 --seed=11 > sweep2.txt || fail "sweep rerun exited $?"
+cmp -s sweep1.txt sweep2.txt || fail "sweep is not deterministic"
+
+# ---- study build --keep-going with one poisoned image: completes, the
+# poisoned image is quarantined, and the aggregate lists its fatal entry.
+mkdir -p reps
+"$DEPSURF" study build --versions=5.4,5.8 --scale=0.02 \
+  --poison=v5.8-x86-generic-gcc10 --report-dir=reps --out=ds > study.txt \
+  || fail "keep-going study build exited $?"
+grep -q "quarantined v5.8-x86-generic-gcc10" study.txt || fail "no quarantine line"
+grep -q "1 images" study.txt || fail "dataset should hold only the survivor"
+"$DEPSURF" metrics lint reps/report_agg.json --kind=agg || fail "aggregate invalid"
+grep -q '"severity": "fatal"' reps/report_agg.json \
+  || fail "aggregate is missing the quarantined image's fatal diagnostic"
+grep -q '"label": "v5.8-x86-generic-gcc10"' reps/report_agg.json \
+  || fail "aggregate diagnostic is not attributed to the poisoned image"
+
+# ---- the same corpus under --strict must fail.
+set +e
+"$DEPSURF" study build --versions=5.4,5.8 --scale=0.02 \
+  --poison=v5.8-x86-generic-gcc10 --strict > strict.txt 2> strict.err
+code=$?
+set -e
+[ "$code" -ne 0 ] || fail "strict build succeeded over a poisoned corpus"
+grep -q "v5.8-x86-generic-gcc10" strict.err || fail "strict error does not name the image"
+
+echo "robustness_smoke: PASS"

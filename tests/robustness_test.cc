@@ -5,6 +5,8 @@
 
 #include "src/bpf/bpf_builder.h"
 #include "src/core/depsurf.h"
+#include "src/elf/elf_reader.h"
+#include "src/faultgen/fault_injector.h"
 #include "src/kernelgen/compiler.h"
 #include "src/kernelgen/configurator.h"
 #include "src/kernelgen/corpus.h"
@@ -46,8 +48,14 @@ TEST_P(TruncationTest, TruncatedImageNeverCrashes) {
   bytes.resize(cut);
   auto result = DependencySurface::Extract(std::move(bytes));
   if (result.ok()) {
-    // A clean prefix parse is acceptable only for near-full cuts.
-    EXPECT_GT(cut, SmallImage().size() / 2);
+    if (result->health().AnyDegraded()) {
+      // Salvage mode may recover a partial surface, but never silently:
+      // anything lost must be on the ledger.
+      EXPECT_FALSE(result->health().ledger.empty());
+    } else {
+      // A fully clean prefix parse is acceptable only for near-full cuts.
+      EXPECT_GT(cut, SmallImage().size() / 2);
+    }
   }
 }
 
@@ -97,6 +105,95 @@ TEST_P(CorruptionTest, BitFlippedObjectNeverCrashes) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Flips, CorruptionTest, ::testing::Range(0, 24));
+
+// Seeded faultgen sweeps, cycling through all four fault kinds (byte flip,
+// zero window, section-header mutation, truncation) over both the kernel
+// image and the BPF object. The contract under every mutation: no crash,
+// no hang, and any degradation lands on the ledger.
+class FaultSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultSweepTest, MutatedImageSalvagesOrFailsLoudly) {
+  std::vector<uint8_t> bytes = SmallImage();
+  const uint64_t index = static_cast<uint64_t>(GetParam());
+  std::string what = ApplyFault(bytes, FaultKindForIndex(index), 1000 + index);
+  SCOPED_TRACE(what);
+  auto result = DependencySurface::Extract(std::move(bytes));
+  if (result.ok() && result->health().AnyDegraded()) {
+    const DiagnosticLedger& ledger = result->health().ledger;
+    ASSERT_FALSE(ledger.empty());
+    for (const DiagnosticEntry& entry : ledger.entries()) {
+      EXPECT_FALSE(entry.message.empty());
+    }
+  }
+}
+
+TEST_P(FaultSweepTest, MutatedObjectNeverCrashes) {
+  std::vector<uint8_t> bytes = SmallObject();
+  const uint64_t index = static_cast<uint64_t>(GetParam());
+  std::string what = ApplyFault(bytes, FaultKindForIndex(index), 2000 + index);
+  SCOPED_TRACE(what);
+  auto parsed = ParseBpfObject(std::move(bytes));
+  if (parsed.ok()) {
+    (void)ExtractDependencySet(*parsed);  // either way, no crash
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FaultSweepTest, ::testing::Range(0, 32));
+
+// The headline salvage guarantee: an image whose DWARF is malformed still
+// yields symbols, tracepoints, and syscalls; the dwarf subsystem is marked
+// degraded and the ledger pinpoints the damage (subsystem, code, offset).
+TEST(SalvageTest, CorruptDwarfStillYieldsSymbolsTracepointsSyscalls) {
+  std::vector<uint8_t> bytes = SmallImage();
+  auto elf = ElfReader::Parse(bytes);
+  ASSERT_TRUE(elf.ok());
+  const ElfSectionView* info = elf->SectionByName(".sdwarf_info");
+  ASSERT_NE(info, nullptr);
+  ASSERT_GT(info->size, 16u);
+  // 0xff over the CU header: an oversized unit length no reader accepts.
+  for (size_t i = 0; i < 16; ++i) {
+    bytes[static_cast<size_t>(info->offset) + i] = 0xff;
+  }
+  auto surface = DependencySurface::Extract(std::move(bytes));
+  ASSERT_TRUE(surface.ok());
+  const SurfaceHealth& health = surface->health();
+  EXPECT_EQ(health.dwarf, DegradationState::kDegraded);
+  ASSERT_GE(health.ledger.size(), 1u);
+  bool found = false;
+  for (const DiagnosticEntry& entry : health.ledger.entries()) {
+    if (entry.subsystem == DiagSubsystem::kDwarf) {
+      found = true;
+      EXPECT_EQ(entry.severity, DiagSeverity::kDegraded);
+      EXPECT_TRUE(entry.has_offset);
+      EXPECT_FALSE(entry.message.empty());
+    }
+  }
+  EXPECT_TRUE(found);
+  // Broken DWARF must not take the rest of the surface with it.
+  EXPECT_FALSE(surface->functions().empty());
+  EXPECT_FALSE(surface->tracepoints().empty());
+  EXPECT_FALSE(surface->syscalls().empty());
+}
+
+// Same idea for BTF: a clobbered .BTF section degrades the btf subsystem
+// while ELF symbols, tracepoints, and syscalls survive.
+TEST(SalvageTest, CorruptBtfDegradesOnlyBtf) {
+  std::vector<uint8_t> bytes = SmallImage();
+  auto elf = ElfReader::Parse(bytes);
+  ASSERT_TRUE(elf.ok());
+  const ElfSectionView* btf = elf->SectionByName(".BTF");
+  ASSERT_NE(btf, nullptr);
+  ASSERT_GT(btf->size, 8u);
+  for (size_t i = 0; i < 8; ++i) {
+    bytes[static_cast<size_t>(btf->offset) + i] = 0xa5;
+  }
+  auto surface = DependencySurface::Extract(std::move(bytes));
+  ASSERT_TRUE(surface.ok());
+  EXPECT_EQ(surface->health().btf, DegradationState::kDegraded);
+  EXPECT_GE(surface->health().ledger.CountSubsystem(DiagSubsystem::kBtf), 1u);
+  EXPECT_FALSE(surface->tracepoints().empty());
+  EXPECT_FALSE(surface->syscalls().empty());
+}
 
 TEST(RobustnessTest, RelocAgainstForeignBtfIsRejectedNotCrashed) {
   // A reloc referencing a type id beyond the program's BTF must error.

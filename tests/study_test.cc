@@ -46,11 +46,45 @@ TEST(StudyTest, EndToEndSmallCorpus) {
   EXPECT_FALSE(study.Analyze(*dataset, "no_such_tool").ok());
 }
 
-TEST(StudyTest, RejectsNonStudyVersionInDataset) {
+TEST(StudyTest, NonStudyVersionQuarantinedByDefaultRejectedUnderStrict) {
   Study study(StudyOptions{2025, 0.005});
   BuildSpec bad = MakeBuild(KernelVersion(5, 4));
   bad.version = KernelVersion(4, 20);
-  EXPECT_FALSE(study.BuildDataset({bad}).ok());
+
+  // Default policy: the unbuildable image is quarantined, not fatal.
+  std::vector<QuarantinedImage> quarantined;
+  auto dataset = study.BuildDataset({bad}, {}, BuildPolicy{}, &quarantined);
+  ASSERT_TRUE(dataset.ok()) << dataset.error().ToString();
+  EXPECT_EQ(dataset->num_images(), 0u);
+  ASSERT_EQ(quarantined.size(), 1u);
+  EXPECT_EQ(quarantined[0].label, bad.Label());
+
+  // Strict policy: the same corpus aborts the build, error naming the image.
+  BuildPolicy strict;
+  strict.keep_going = false;
+  auto failed = study.BuildDataset({bad}, {}, strict);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_NE(failed.error().message().find(bad.Label()), std::string::npos);
+}
+
+TEST(StudyTest, PoisonedImageQuarantinedOthersSurvive) {
+  Study study(StudyOptions{2025, 0.005});
+  std::vector<BuildSpec> corpus = {MakeBuild(KernelVersion(5, 4)),
+                                   MakeBuild(KernelVersion(6, 2))};
+  const std::string victim = corpus[1].Label();
+  study.SetImageMutator([&victim](const BuildSpec& build, std::vector<uint8_t>& bytes) {
+    if (build.Label() == victim && bytes.size() > 16) {
+      bytes.resize(16);  // below the ELF header: guaranteed fatal
+    }
+  });
+  std::vector<QuarantinedImage> quarantined;
+  auto dataset = study.BuildDataset(corpus, {}, BuildPolicy{}, &quarantined);
+  ASSERT_TRUE(dataset.ok()) << dataset.error().ToString();
+  EXPECT_EQ(dataset->num_images(), 1u);
+  EXPECT_EQ(dataset->images()[0].label, corpus[0].Label());
+  ASSERT_EQ(quarantined.size(), 1u);
+  EXPECT_EQ(quarantined[0].label, victim);
+  EXPECT_EQ(quarantined[0].error.code(), ErrorCode::kMalformedData);
 }
 
 }  // namespace

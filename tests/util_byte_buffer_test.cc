@@ -127,5 +127,76 @@ TEST(ByteReaderTest, SeekSkip) {
   EXPECT_FALSE(r.Skip(1).ok());
 }
 
+// ---- Bounds audit: the adversarial cases salvage-mode extraction leans
+// on. Every failure must carry the byte offset where parsing died, and
+// must leave the reader in a usable state.
+
+TEST(ByteReaderTest, ErrorsCarryByteOffsets) {
+  std::vector<uint8_t> bytes = {'a', 'b', 'c'};
+  ByteReader r(bytes);
+  ASSERT_TRUE(r.Skip(1).ok());
+  Result<std::string> unterminated = r.ReadCString();
+  ASSERT_FALSE(unterminated.ok());
+  ASSERT_TRUE(unterminated.error().offset().has_value());
+  EXPECT_EQ(*unterminated.error().offset(), 1u);
+
+  ByteReader r2(bytes);
+  ASSERT_TRUE(r2.Skip(2).ok());
+  Result<uint32_t> past_end = r2.ReadU32();
+  ASSERT_FALSE(past_end.ok());
+  ASSERT_TRUE(past_end.error().offset().has_value());
+  EXPECT_EQ(*past_end.error().offset(), 2u);
+}
+
+TEST(ByteReaderTest, FailedCStringDoesNotMoveCursor) {
+  // A failed read must not corrupt the cursor: salvage loops skip the bad
+  // record and keep going from a known position.
+  std::vector<uint8_t> bytes = {'x', 'y', 'z'};
+  ByteReader r(bytes);
+  EXPECT_FALSE(r.ReadCString().ok());
+  EXPECT_EQ(r.offset(), 0u);
+}
+
+TEST(ByteReaderTest, ReadUintRejectsInvalidWidths) {
+  std::vector<uint8_t> bytes(16, 0x7f);
+  ByteReader r(bytes);
+  EXPECT_FALSE(r.ReadUint(0).ok());
+  EXPECT_FALSE(r.ReadUint(9).ok());
+  EXPECT_FALSE(r.ReadUint(-1).ok());
+  EXPECT_TRUE(r.ReadUint(1).ok());
+  EXPECT_TRUE(r.ReadUint(8).ok());
+}
+
+TEST(ByteReaderTest, SliceOverflowDoesNotWrap) {
+  // offset + len computed naively wraps on hostile 64-bit values; the
+  // check must reject, not wrap into an in-bounds read.
+  std::vector<uint8_t> bytes(8, 0);
+  ByteReader r(bytes);
+  EXPECT_FALSE(r.Slice(4, UINT64_MAX).ok());
+  EXPECT_FALSE(r.Slice(UINT64_MAX, 4).ok());
+  EXPECT_FALSE(r.Slice(UINT64_MAX, UINT64_MAX).ok());
+}
+
+TEST(ByteReaderTest, OverlappingSlicesAreIndependent) {
+  std::vector<uint8_t> bytes = {0, 1, 2, 3, 4, 5, 6, 7};
+  ByteReader r(bytes);
+  auto a = r.Slice(0, 6);
+  auto b = r.Slice(4, 4);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(a->Skip(4).ok());
+  EXPECT_EQ(a->ReadU8().value(), 4u);
+  EXPECT_EQ(b->ReadU8().value(), 4u);  // b's cursor unaffected by a's
+  EXPECT_EQ(b->ReadU8().value(), 5u);
+}
+
+TEST(ByteWriterTest, PatchU32OutOfRangeRejected) {
+  ByteWriter w;
+  w.WriteU32(0);
+  EXPECT_TRUE(w.PatchU32(0, 42).ok());
+  EXPECT_FALSE(w.PatchU32(1, 42).ok());  // straddles the end
+  EXPECT_FALSE(w.PatchU32(UINT64_MAX - 2, 42).ok());  // offset+4 wraps
+}
+
 }  // namespace
 }  // namespace depsurf
