@@ -7,6 +7,7 @@
 // below the Python implementation's 104 s).
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <cstring>
 
 #include "src/obs/bench_report.h"
@@ -110,6 +111,33 @@ void BM_AnalyzeProgram(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AnalyzeProgram)->Unit(benchmark::kMicrosecond);
+
+// Report-mode corpus build at jobs=1 vs jobs=8: the ratio of the two rows
+// is the parallel speedup bought by context-scoped observability (the old
+// report path was serial by construction, so its "speedup" was fixed at 1).
+void BM_BuildDatasetReports(benchmark::State& state) {
+  static const std::string report_dir = [] {
+    char tmpl[] = "/tmp/depsurf_bench_reports_XXXXXX";
+    const char* dir = mkdtemp(tmpl);
+    return std::string(dir != nullptr ? dir : ".");
+  }();
+  std::vector<BuildSpec> corpus;
+  for (KernelVersion version : kLtsVersions) {
+    corpus.push_back(MakeBuild(version));
+  }
+  BuildPolicy policy;
+  policy.jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto dataset =
+        SharedStudy().BuildDatasetWithReports(corpus, report_dir, nullptr, {}, policy);
+    benchmark::DoNotOptimize(dataset.ok());
+  }
+}
+BENCHMARK(BM_BuildDatasetReports)
+    ->ArgName("jobs")
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_DatasetQuery(benchmark::State& state) {
   static Dataset dataset = [] {

@@ -1,5 +1,6 @@
 #include "src/bpf/core_reloc_engine.h"
 
+#include "src/obs/context.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 #include "src/util/str_util.h"
@@ -198,7 +199,7 @@ LoadResult SimulateLoad(const BpfObject& object, const TypeGraph& kernel_btf) {
     load.relocs.push_back(result.TakeValue());
   }
 
-  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::MetricsRegistry& metrics = obs::Context::Current().metrics();
   metrics.Incr("reloc.loads_simulated");
   uint64_t resolved = 0, field_missing = 0, type_missing = 0, guarded_absent = 0;
   for (const RelocResult& r : load.relocs) {

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "src/obs/context.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 #include "src/util/str_util.h"
@@ -257,13 +258,13 @@ Result<TypeGraph> DecodeBtf(ByteReader reader) {
   }
   DEPSURF_RETURN_IF_ERROR(graph.Validate());
   span.AddAttr("types", static_cast<uint64_t>(graph.num_types()));
-  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
-  static std::atomic<uint64_t>* sections = metrics.Counter("btf.sections_decoded");
-  static std::atomic<uint64_t>* types_decoded = metrics.Counter("btf.types_decoded");
-  static std::atomic<uint64_t>* bytes_decoded = metrics.Counter("btf.bytes_decoded");
-  sections->fetch_add(1, std::memory_order_relaxed);
-  types_decoded->fetch_add(graph.num_types(), std::memory_order_relaxed);
-  bytes_decoded->fetch_add(reader.size(), std::memory_order_relaxed);
+  // No static counter caching: the current context differs per image in
+  // report-mode builds, so pointers must be re-resolved each decode.
+  obs::MetricsRegistry& metrics = obs::Context::Current().metrics();
+  metrics.Counter("btf.sections_decoded")->fetch_add(1, std::memory_order_relaxed);
+  metrics.Counter("btf.types_decoded")
+      ->fetch_add(graph.num_types(), std::memory_order_relaxed);
+  metrics.Counter("btf.bytes_decoded")->fetch_add(reader.size(), std::memory_order_relaxed);
   return graph;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/btf/btf_print.h"
+#include "src/obs/context.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 #include "src/util/prng.h"
@@ -63,20 +64,28 @@ const StrId* StructRecord::FindField(StrId name) const {
 }
 
 StrId Dataset::Intern(const std::string& s) {
-  static std::atomic<uint64_t>* hits =
-      obs::MetricsRegistry::Global().Counter("dataset.intern_hits");
-  static std::atomic<uint64_t>* misses =
-      obs::MetricsRegistry::Global().Counter("dataset.intern_misses");
   auto it = pool_index_.find(s);
   if (it != pool_index_.end()) {
-    hits->fetch_add(1, std::memory_order_relaxed);
+    ++intern_hits_;
     return it->second;
   }
-  misses->fetch_add(1, std::memory_order_relaxed);
+  ++intern_misses_;
   StrId id = static_cast<StrId>(pool_.size());
   pool_.push_back(s);
   pool_index_.emplace(s, id);
   return id;
+}
+
+void Dataset::FlushInternMetrics() {
+  obs::MetricsRegistry& metrics = obs::Context::Current().metrics();
+  if (intern_hits_ > intern_hits_flushed_) {
+    metrics.Incr("dataset.intern_hits", intern_hits_ - intern_hits_flushed_);
+    intern_hits_flushed_ = intern_hits_;
+  }
+  if (intern_misses_ > intern_misses_flushed_) {
+    metrics.Incr("dataset.intern_misses", intern_misses_ - intern_misses_flushed_);
+    intern_misses_flushed_ = intern_misses_;
+  }
 }
 
 StrId Dataset::Lookup(const std::string& s) const {
@@ -165,7 +174,8 @@ void Dataset::AddImage(const std::string& label, const DependencySurface& surfac
     }
     record.pt_regs_hash = h;
   }
-  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  FlushInternMetrics();
+  obs::MetricsRegistry& metrics = obs::Context::Current().metrics();
   metrics.Incr("dataset.images_distilled");
   metrics.Incr("dataset.funcs_distilled", record.funcs.size());
   metrics.Incr("dataset.structs_distilled", record.structs.size());

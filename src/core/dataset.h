@@ -119,10 +119,21 @@ class Dataset {
   StrId Lookup(const std::string& s) const;
   const std::string& StringAt(StrId id) const { return pool_[id]; }
 
+  // Publishes intern hit/miss counts accumulated since the last flush to the
+  // current obs::Context. Intern() itself only bumps plain members — it is
+  // the hot path of distillation, and resolving a registry counter per string
+  // (or caching one across per-image contexts) would be wrong or slow.
+  // AddImage flushes automatically; LoadDataset flushes after the pool read.
+  void FlushInternMetrics();
+
  private:
   std::vector<ImageRecord> images_;
   std::vector<std::string> pool_;
   std::unordered_map<std::string, StrId> pool_index_;
+  uint64_t intern_hits_ = 0;
+  uint64_t intern_misses_ = 0;
+  uint64_t intern_hits_flushed_ = 0;
+  uint64_t intern_misses_flushed_ = 0;
 };
 
 }  // namespace depsurf

@@ -158,6 +158,7 @@ Result<Dataset> LoadDataset(const std::vector<uint8_t>& bytes) {
       return Error(ErrorCode::kMalformedData, "duplicate string in pool");
     }
   }
+  dataset.FlushInternMetrics();
   for (uint64_t image_index = 0; image_index < num_images; ++image_index) {
     ImageRecord image;
     DEPSURF_ASSIGN_OR_RETURN(label, r.ReadCString());

@@ -1,5 +1,6 @@
 #include "src/core/dependency_set.h"
 
+#include "src/obs/context.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 
@@ -61,7 +62,7 @@ Result<DependencySet> ExtractDependencySet(const BpfObject& object) {
       }
     }
   }
-  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::MetricsRegistry& metrics = obs::Context::Current().metrics();
   metrics.Incr("deps.sets_extracted");
   metrics.Incr("deps.funcs", set.NumFuncs());
   metrics.Incr("deps.structs", set.NumStructs());

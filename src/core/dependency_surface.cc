@@ -8,6 +8,7 @@
 #include "src/dwarf/dwarf_codec.h"
 #include "src/elf/elf_reader.h"
 #include "src/obs/diagnostics.h"
+#include "src/obs/context.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 #include "src/util/str_util.h"
@@ -553,7 +554,7 @@ Result<DependencySurface> DependencySurface::Extract(std::vector<uint8_t> image_
     duplicated += entry.status.duplicated ? 1 : 0;
     collided += entry.status.collided ? 1 : 0;
   }
-  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::MetricsRegistry& metrics = obs::Context::Current().metrics();
   metrics.Incr("surface.extracted");
   if (health.AnyDegraded()) {
     metrics.Incr("surface.salvaged");
@@ -578,7 +579,7 @@ Result<DependencySurface> DependencySurface::Extract(std::vector<uint8_t> image_
   span.AddAttr("health", health.Summary());
   // Publish the ledger so run reports carry a per-run diagnostics section.
   if (!ledger.empty()) {
-    obs::DiagnosticsCollector::Global().AddAll(ledger);
+    obs::Context::Current().diagnostics().AddAll(ledger);
   }
   return surface;
 }

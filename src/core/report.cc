@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/context.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 #include "src/util/str_util.h"
@@ -383,7 +384,7 @@ ProgramReport AnalyzeProgram(const Dataset& dataset, const DependencySet& deps) 
   for (const ReportRow& row : report.rows) {
     mismatching += row.AnyMismatch() ? 1 : 0;
   }
-  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::MetricsRegistry& metrics = obs::Context::Current().metrics();
   metrics.Incr("analyze.programs_analyzed");
   metrics.Incr("analyze.rows_checked", report.rows.size());
   metrics.Incr("analyze.rows_mismatching", mismatching);

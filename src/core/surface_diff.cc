@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/btf/btf_compare.h"
+#include "src/obs/context.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 
@@ -257,7 +258,7 @@ SurfaceDiff DiffSurfaces(const DependencySurface& older, const DependencySurface
     }
   }
 
-  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::MetricsRegistry& metrics = obs::Context::Current().metrics();
   metrics.Incr("diff.pairs_diffed");
   metrics.Incr("diff.funcs_compared", older.functions().size());
   metrics.Incr("diff.structs_compared", older.structs().size());

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "src/obs/context.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 #include "src/util/leb128.h"
@@ -238,15 +239,16 @@ Result<DwarfDocument> DecodeDwarf(const std::vector<uint8_t>& abbrev,
   DEPSURF_RETURN_IF_ERROR(ref_status);
   span.AddAttr("abbrevs", static_cast<uint64_t>(entries.size()));
   span.AddAttr("dies", static_cast<uint64_t>(document.num_dies()));
-  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
-  static std::atomic<uint64_t>* documents = metrics.Counter("dwarf.documents_decoded");
-  static std::atomic<uint64_t>* abbrevs = metrics.Counter("dwarf.abbrevs_decoded");
-  static std::atomic<uint64_t>* dies = metrics.Counter("dwarf.dies_decoded");
-  static std::atomic<uint64_t>* bytes_decoded = metrics.Counter("dwarf.bytes_decoded");
-  documents->fetch_add(1, std::memory_order_relaxed);
-  abbrevs->fetch_add(entries.size(), std::memory_order_relaxed);
-  dies->fetch_add(document.num_dies(), std::memory_order_relaxed);
-  bytes_decoded->fetch_add(abbrev.size() + info.size(), std::memory_order_relaxed);
+  // No static counter caching: the current context differs per image in
+  // report-mode builds, so pointers must be re-resolved each decode.
+  obs::MetricsRegistry& metrics = obs::Context::Current().metrics();
+  metrics.Counter("dwarf.documents_decoded")->fetch_add(1, std::memory_order_relaxed);
+  metrics.Counter("dwarf.abbrevs_decoded")
+      ->fetch_add(entries.size(), std::memory_order_relaxed);
+  metrics.Counter("dwarf.dies_decoded")
+      ->fetch_add(document.num_dies(), std::memory_order_relaxed);
+  metrics.Counter("dwarf.bytes_decoded")
+      ->fetch_add(abbrev.size() + info.size(), std::memory_order_relaxed);
   return document;
 }
 

@@ -1,9 +1,28 @@
 #include "src/elf/elf_reader.h"
 
+#include "src/obs/context.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
+#include "src/util/diagnostic_ledger.h"
 
 namespace depsurf {
+
+namespace {
+
+// Attributes a broken section body to the extraction layer that owns the
+// section, so a poisoned .sdwarf_info reads as a DWARF failure in the
+// quarantine diagnostics rather than a generic ELF one.
+DiagSubsystem SubsystemForSection(std::string_view name) {
+  if (name.rfind(".sdwarf", 0) == 0) {
+    return DiagSubsystem::kDwarf;
+  }
+  if (name.rfind(".BTF", 0) == 0) {  // .BTF and .BTF_ids
+    return DiagSubsystem::kBtf;
+  }
+  return DiagSubsystem::kElf;
+}
+
+}  // namespace
 
 const char* ElfMachineName(ElfMachine machine) {
   switch (machine) {
@@ -71,15 +90,17 @@ Result<ElfReader> ElfReader::Parse(std::vector<uint8_t> bytes) {
   DEPSURF_RETURN_IF_ERROR(reader.ParseSymbols());
   span.AddAttr("sections", static_cast<uint64_t>(reader.sections_.size()));
   span.AddAttr("symbols", static_cast<uint64_t>(reader.symbols_.size()));
-  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
-  static std::atomic<uint64_t>* files = metrics.Counter("elf.files_parsed");
-  static std::atomic<uint64_t>* bytes_parsed = metrics.Counter("elf.bytes_parsed");
-  static std::atomic<uint64_t>* sections = metrics.Counter("elf.sections_parsed");
-  static std::atomic<uint64_t>* symbols = metrics.Counter("elf.symbols_parsed");
-  files->fetch_add(1, std::memory_order_relaxed);
-  bytes_parsed->fetch_add(reader.bytes_.size(), std::memory_order_relaxed);
-  sections->fetch_add(reader.sections_.size(), std::memory_order_relaxed);
-  symbols->fetch_add(reader.symbols_.size(), std::memory_order_relaxed);
+  // Counters resolve through the current obs::Context every call — no static
+  // pointer caching, which would bind to whichever per-image context parsed
+  // the first file and pollute every later one.
+  obs::MetricsRegistry& metrics = obs::Context::Current().metrics();
+  metrics.Counter("elf.files_parsed")->fetch_add(1, std::memory_order_relaxed);
+  metrics.Counter("elf.bytes_parsed")
+      ->fetch_add(reader.bytes_.size(), std::memory_order_relaxed);
+  metrics.Counter("elf.sections_parsed")
+      ->fetch_add(reader.sections_.size(), std::memory_order_relaxed);
+  metrics.Counter("elf.symbols_parsed")
+      ->fetch_add(reader.symbols_.size(), std::memory_order_relaxed);
   obs::Histogram* section_bytes = metrics.GetHistogram("elf.section_bytes");
   for (const ElfSectionView& s : reader.sections_) {
     section_bytes->Record(s.size);
@@ -129,18 +150,22 @@ Status ElfReader::ParseSections() {
     DEPSURF_RETURN_IF_ERROR(r.Skip(ptr));  // sh_addralign
     DEPSURF_ASSIGN_OR_RETURN(entsize, r.ReadAddr(ptr));
     s.entsize = entsize;
-    if (s.type != SectionType::kNobits && s.type != SectionType::kNull &&
-        (s.offset > bytes_.size() || s.size > bytes_.size() - s.offset)) {
-      return Status(
-          Error(ErrorCode::kMalformedData, "section body beyond file").WithOffset(s.offset));
-    }
     name_offsets.push_back(name_off);
     sections_.push_back(std::move(s));
   }
 
+  // Section names are resolved before body-bounds validation so that a
+  // broken body can be attributed to the subsystem that owns the section.
+  // The shstrtab body itself must be validated first — it is the one section
+  // read before names exist, and it is always the ELF layer's problem.
   const ElfSectionView& shstr = sections_[shstrndx_];
   if (shstr.type != SectionType::kStrtab) {
     return Status(ErrorCode::kMalformedData, "shstrtab is not a STRTAB");
+  }
+  if (shstr.offset > bytes_.size() || shstr.size > bytes_.size() - shstr.offset) {
+    return Status(Error(ErrorCode::kMalformedData, "section body beyond file")
+                      .WithOffset(shstr.offset)
+                      .WithSubsystem(DiagSubsystem::kElf));
   }
   ByteReader names(bytes_.data() + shstr.offset, shstr.size, ident_.endian);
   for (size_t i = 0; i < sections_.size(); ++i) {
@@ -150,6 +175,16 @@ Status ElfReader::ParseSections() {
     }
     DEPSURF_ASSIGN_OR_RETURN(nm, names.ReadCStringAt(off));
     sections_[i].name = nm;
+  }
+
+  for (const ElfSectionView& s : sections_) {
+    if (s.type != SectionType::kNobits && s.type != SectionType::kNull &&
+        (s.offset > bytes_.size() || s.size > bytes_.size() - s.offset)) {
+      return Status(Error(ErrorCode::kMalformedData,
+                          "section body beyond file: " + std::string(s.name))
+                        .WithOffset(s.offset)
+                        .WithSubsystem(SubsystemForSection(s.name)));
+    }
   }
   return Status::Ok();
 }

@@ -13,7 +13,12 @@ namespace {
 constexpr size_t kShoffOffset = 0x28;
 constexpr size_t kShentsizeOffset = 0x3a;
 constexpr size_t kShnumOffset = 0x3c;
+constexpr size_t kShstrndxOffset = 0x3e;
 constexpr size_t kElf64HeaderSize = 0x40;
+// ELF64 section header field offsets.
+constexpr size_t kShNameOffset = 0x00;
+constexpr size_t kShOffsetOffset = 0x18;
+constexpr size_t kShSizeOffset = 0x20;
 
 uint64_t ReadLE(const std::vector<uint8_t>& bytes, size_t offset, int width) {
   uint64_t v = 0;
@@ -108,6 +113,48 @@ const char* FaultKindName(FaultKind kind) {
 
 FaultKind FaultKindForIndex(uint64_t index) {
   return static_cast<FaultKind>(index % kNumFaultKinds);
+}
+
+bool PoisonSectionHeader(std::vector<uint8_t>& bytes, std::string_view section_name) {
+  if (bytes.size() < kElf64HeaderSize || bytes[0] != 0x7f || bytes[1] != 'E' ||
+      bytes[2] != 'L' || bytes[3] != 'F' || bytes[4] != 2 /* ELFCLASS64 */ ||
+      bytes[5] != 1 /* little-endian */) {
+    return false;
+  }
+  const uint64_t shoff = ReadLE(bytes, kShoffOffset, 8);
+  const uint64_t shentsize = ReadLE(bytes, kShentsizeOffset, 2);
+  const uint64_t shnum = ReadLE(bytes, kShnumOffset, 2);
+  const uint64_t shstrndx = ReadLE(bytes, kShstrndxOffset, 2);
+  if (shnum == 0 || shentsize < kElf64HeaderSize || shoff > bytes.size() ||
+      shnum * shentsize > bytes.size() - shoff || shstrndx >= shnum) {
+    return false;
+  }
+  const size_t strtab_header = static_cast<size_t>(shoff + shstrndx * shentsize);
+  const uint64_t str_off = ReadLE(bytes, strtab_header + kShOffsetOffset, 8);
+  const uint64_t str_size = ReadLE(bytes, strtab_header + kShSizeOffset, 8);
+  if (str_off > bytes.size() || str_size > bytes.size() - str_off) {
+    return false;
+  }
+  for (uint64_t i = 0; i < shnum; ++i) {
+    const size_t header = static_cast<size_t>(shoff + i * shentsize);
+    const uint64_t name_off = ReadLE(bytes, header + kShNameOffset, 4);
+    if (name_off >= str_size) {
+      continue;
+    }
+    const char* name = reinterpret_cast<const char*>(bytes.data() + str_off + name_off);
+    size_t len = 0;
+    while (name_off + len < str_size && name[len] != '\0') {
+      ++len;
+    }
+    if (std::string_view(name, len) != section_name) {
+      continue;
+    }
+    // Point the body past end-of-file; ElfReader::ParseSections rejects the
+    // image with a fatal error tagged with this section's subsystem.
+    WriteLE(bytes, header + kShOffsetOffset, bytes.size() + 0x1000, 8);
+    return true;
+  }
+  return false;
 }
 
 std::string ApplyFault(std::vector<uint8_t>& bytes, FaultKind kind, uint64_t seed) {

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace depsurf {
@@ -42,6 +43,16 @@ FaultKind FaultKindForIndex(uint64_t index);
 // section-header mutation falls back to a byte flip, truncation never
 // empties the buffer entirely.
 std::string ApplyFault(std::vector<uint8_t>& bytes, FaultKind kind, uint64_t seed);
+
+// Targeted poison: points the named section's sh_offset past end-of-file in
+// a 64-bit little-endian ELF, guaranteeing a fatal "section body beyond
+// file" on exactly that section. Unlike ApplyFault this is surgical, not
+// random — tests use it to prove fatal errors are attributed to the
+// subsystem owning the section (poisoning .sdwarf_info must read as a DWARF
+// failure, not an ELF one). Returns false when the input is not a 64-bit LE
+// ELF with a readable section table containing `section_name`; the buffer
+// is unmodified in that case.
+bool PoisonSectionHeader(std::vector<uint8_t>& bytes, std::string_view section_name);
 
 }  // namespace depsurf
 

@@ -9,6 +9,7 @@
 #include "src/elf/elf_writer.h"
 #include "src/kernelgen/syscalls.h"
 #include "src/kmodel/type_lang.h"
+#include "src/obs/context.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 #include "src/util/str_util.h"
@@ -419,7 +420,7 @@ Result<std::vector<uint8_t>> BuildKernelImage(const CompiledImage& image) {
   writer.AddSection(kSectionBtf, SectionType::kProgbits, std::move(btf_bytes));
 
   auto finished = writer.Finish();
-  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::MetricsRegistry& metrics = obs::Context::Current().metrics();
   metrics.Incr("kernelgen.images_built");
   metrics.Incr("kernelgen.btf_bytes", btf_section_bytes);
   metrics.Incr("kernelgen.dwarf_bytes", dwarf_abbrev_bytes + dwarf_info_bytes);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 
+#include "src/obs/context.h"
 #include "src/obs/diagnostics.h"
 #include "src/util/str_util.h"
 
@@ -208,6 +209,11 @@ std::string RunReportText(const SpanCollector& spans, const MetricsRegistry& met
     }
   }
   return out;
+}
+
+std::string ContextRunReportJson(const Context& context, const RunReportOptions& options) {
+  std::vector<DiagnosticEntry> diagnostics = context.diagnostics().Snapshot();
+  return RunReportJson(context.spans(), context.metrics(), options, &diagnostics);
 }
 
 std::string GlobalRunReportJson(const RunReportOptions& options) {

@@ -34,6 +34,8 @@
 namespace depsurf {
 namespace obs {
 
+class Context;
+
 inline constexpr char kRunReportSchema[] = "depsurf.run_report.v1";
 // N merged run reports (see report_merge.h for the schema).
 inline constexpr char kRunReportAggSchema[] = "depsurf.run_report_agg.v1";
@@ -51,7 +53,13 @@ std::string RunReportJson(const SpanCollector& spans, const MetricsRegistry& met
                           const std::vector<DiagnosticEntry>* diagnostics = nullptr);
 std::string RunReportText(const SpanCollector& spans, const MetricsRegistry& metrics);
 
-// Globals convenience (what the CLI and benches use).
+// Serializes one obs::Context — the spans, metrics, and diagnostics it
+// collected — as a run_report.v1 document. This is how report-mode corpus
+// builds turn each image's scoped context into its per-image report.
+std::string ContextRunReportJson(const Context& context, const RunReportOptions& options = {});
+
+// Globals convenience (what the CLI and benches use); equivalent to
+// serializing Context::Root().
 std::string GlobalRunReportJson(const RunReportOptions& options = {});
 std::string GlobalRunReportText();
 Status WriteGlobalRunReport(const std::string& path, const RunReportOptions& options = {});

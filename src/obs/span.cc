@@ -1,5 +1,6 @@
 #include "src/obs/span.h"
 
+#include "src/obs/context.h"
 #include "src/obs/diag.h"
 #include "src/obs/metrics.h"
 #include "src/util/str_util.h"
@@ -82,7 +83,10 @@ ScopedSpan::~ScopedSpan() {
   node_.dur_ns = static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
                                            std::chrono::steady_clock::now() - start_)
                                            .count());
-  SpanCollector& collector = SpanCollector::Global();
+  // Resolved at finish time: a span belongs to whatever context its thread
+  // is running under (per-image contexts in report-mode corpus builds, the
+  // root/global collector everywhere else).
+  SpanCollector& collector = Context::Current().spans();
   if (collector.live_trace()) {
     std::string line(static_cast<size_t>(depth()) * 2, ' ');
     line += node_.name;

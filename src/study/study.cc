@@ -7,9 +7,11 @@
 #include <deque>
 #include <fstream>
 #include <future>
+#include <memory>
 #include <thread>
 #include <utility>
 
+#include "src/obs/context.h"
 #include "src/obs/diagnostics.h"
 #include "src/obs/metrics.h"
 #include "src/obs/report_merge.h"
@@ -17,6 +19,46 @@
 #include "src/obs/span.h"
 
 namespace depsurf {
+
+namespace {
+
+// CPU time consumed by the whole process, all threads summed. std::clock()
+// reports the same quantity but overflows 32-bit clock_t in under an hour
+// at CLOCKS_PER_SEC=1e6; CLOCK_PROCESS_CPUTIME_ID has nanosecond range.
+// Published as `cpu_total_ms` — with a parallel window this legitimately
+// exceeds wall_ms, which is why the old `cpu_ms` name was retired (see
+// docs/OBSERVABILITY.md).
+uint64_t ProcessCpuNs() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) {
+    return 0;
+  }
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+// Width of the concurrent generate+extract window.
+size_t EffectiveWindow(const BuildPolicy& policy) {
+  if (policy.jobs > 0) {
+    return static_cast<size_t>(policy.jobs);
+  }
+  size_t window = std::max<unsigned>(1, std::thread::hardware_concurrency());
+  return std::min(window, size_t{8});  // surfaces are large; bound memory
+}
+
+Status WriteFileBytes(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status(ErrorCode::kIoError, "cannot write " + path);
+  }
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  if (!out) {
+    return Status(ErrorCode::kIoError, "short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 StudyOptions StudyOptions::FromArgs(int argc, char** argv, double default_scale) {
   StudyOptions options;
@@ -65,13 +107,12 @@ Result<Dataset> Study::BuildDataset(
   obs::ScopedSpan span("study.build_dataset");
   span.AddAttr("images", static_cast<uint64_t>(corpus.size()));
   const auto wall_start = std::chrono::steady_clock::now();
-  const std::clock_t cpu_start = std::clock();
+  const uint64_t cpu_start_ns = ProcessCpuNs();
 
   // Extraction is pure, so images run concurrently in a bounded window;
   // distillation happens serially in corpus order (Dataset interning is
   // order-sensitive and must stay deterministic).
-  size_t window = std::max<unsigned>(1, std::thread::hardware_concurrency());
-  window = std::min(window, size_t{8});  // surfaces are large; bound memory
+  const size_t window = EffectiveWindow(policy);
   Dataset dataset;
   using TimedSurface = std::pair<Result<DependencySurface>, double>;
   std::deque<std::future<TimedSurface>> in_flight;
@@ -98,14 +139,25 @@ Result<Dataset> Study::BuildDataset(
         return surface.TakeError().Wrap("image " + label);
       }
       // Quarantine: the image stays out of the dataset, the build goes on.
-      obs::MetricsRegistry::Global().Incr("study.images_quarantined");
+      // Progress still fires — callers counting callbacks see every corpus
+      // slot exactly once, with the quarantine flagged.
+      obs::Context::Current().metrics().Incr("study.images_quarantined");
       if (quarantined != nullptr) {
         quarantined->push_back(QuarantinedImage{label, surface.TakeError()});
+      }
+      if (progress) {
+        ImageProgress report;
+        report.label = label;
+        report.seconds = seconds;
+        report.index = next_consume;
+        report.total = corpus.size();
+        report.quarantined = true;
+        progress(report);
       }
       ++next_consume;
       continue;
     }
-    obs::MetricsRegistry::Global().GetHistogram("study.image_extract_ms")
+    obs::Context::Current().metrics().GetHistogram("study.image_extract_ms")
         ->Record(static_cast<uint64_t>(seconds * 1e3));
     if (progress) {
       ImageProgress report;
@@ -120,12 +172,12 @@ Result<Dataset> Study::BuildDataset(
   }
 
   const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - wall_start;
-  const double cpu_seconds =
-      static_cast<double>(std::clock() - cpu_start) / static_cast<double>(CLOCKS_PER_SEC);
-  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  const uint64_t cpu_ns = ProcessCpuNs() - cpu_start_ns;
+  obs::MetricsRegistry& metrics = obs::Context::Current().metrics();
   metrics.Incr("study.datasets_built");
   metrics.Set("study.build_dataset.wall_ms", static_cast<uint64_t>(wall.count() * 1e3));
-  metrics.Set("study.build_dataset.cpu_ms", static_cast<uint64_t>(cpu_seconds * 1e3));
+  metrics.Set("study.build_dataset.cpu_total_ms", static_cast<int64_t>(cpu_ns / 1000000));
+  metrics.Set("study.build_dataset.window", static_cast<int64_t>(window));
   span.AddAttr("window", static_cast<uint64_t>(window));
   return dataset;
 }
@@ -136,25 +188,57 @@ Result<Dataset> Study::BuildDatasetWithReports(
     const std::function<void(const ImageProgress&)>& progress,
     const BuildPolicy& policy,
     std::vector<QuarantinedImage>* quarantined) const {
-  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
-  obs::SpanCollector& spans = obs::SpanCollector::Global();
-  obs::DiagnosticsCollector& diags = obs::DiagnosticsCollector::Global();
   const auto wall_start = std::chrono::steady_clock::now();
+  const uint64_t cpu_start_ns = ProcessCpuNs();
+  const size_t window = EffectiveWindow(policy);
+
+  // Per-image isolation comes from obs::Context, not from clearing the
+  // globals: each in-flight image owns a fresh context, and the worker
+  // pushes it on its own thread (the TLS stack does not cross std::async
+  // boundaries). Everything BuildImage + Extract collect — spans, metrics,
+  // the salvage ledger — lands in that context. The main thread consumes in
+  // corpus order, distills under the same context, and serializes it as the
+  // per-image report, so report contents match the old serial build while
+  // generate+extract overlap across the window.
+  struct InFlight {
+    std::shared_ptr<obs::Context> context;
+    std::future<std::pair<Result<DependencySurface>, double>> future;
+  };
 
   Dataset dataset;
   std::vector<obs::LabeledReport> reports;
-  for (size_t i = 0; i < corpus.size(); ++i) {
-    const BuildSpec& build = corpus[i];
-    // Per-image isolation: everything the global registry collects between
-    // here and serialization belongs to this image alone.
-    spans.Clear();
-    metrics.Reset();
-    diags.Clear();
-    const auto start = std::chrono::steady_clock::now();
-    auto surface = ExtractSurface(build);
-    if (!surface.ok()) {
+  std::deque<InFlight> in_flight;
+  size_t next_launch = 0;
+  size_t next_consume = 0;
+  while (next_consume < corpus.size()) {
+    while (next_launch < corpus.size() && in_flight.size() < window) {
+      const BuildSpec& build = corpus[next_launch++];
+      auto context = std::make_shared<obs::Context>();
+      InFlight entry;
+      entry.context = context;
+      entry.future = std::async(std::launch::async, [this, build, context] {
+        obs::ScopedContext scope(*context);
+        const auto start = std::chrono::steady_clock::now();
+        Result<DependencySurface> surface = ExtractSurface(build);
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        return std::pair<Result<DependencySurface>, double>{std::move(surface),
+                                                            elapsed.count()};
+      });
+      in_flight.push_back(std::move(entry));
+    }
+    InFlight entry = std::move(in_flight.front());
+    in_flight.pop_front();
+    auto [surface, seconds] = entry.future.get();
+    obs::Context& context = *entry.context;
+    const std::string label = corpus[next_consume].Label();
+    const bool image_ok = surface.ok();
+    if (!image_ok) {
       if (!policy.keep_going) {
-        return surface.TakeError().Wrap("image " + build.Label());
+        for (auto& pending : in_flight) {
+          pending.future.wait();  // drain before propagating the error
+        }
+        return surface.TakeError().Wrap("image " + label);
       }
       // Quarantined images still leave a trace in the report set: one
       // fatal ledger entry explaining why extraction died, so the
@@ -162,41 +246,44 @@ Result<Dataset> Study::BuildDatasetWithReports(
       Error error = surface.TakeError();
       DiagnosticEntry fatal;
       fatal.severity = DiagSeverity::kFatal;
-      fatal.subsystem = DiagSubsystem::kElf;
+      // The layer closest to the fault tags the error (a poisoned DWARF
+      // section reads as a dwarf failure); untagged errors — generator
+      // failures, unreadable containers — default to the ELF layer.
+      fatal.subsystem = error.subsystem().value_or(DiagSubsystem::kElf);
       fatal.code = error.code();
       if (error.offset().has_value()) {
         fatal.offset = *error.offset();
         fatal.has_offset = true;
       }
       fatal.message = error.message();
-      diags.Add(fatal);
-      metrics.Incr("study.images_quarantined");
+      context.diagnostics().Add(fatal);
+      context.metrics().Incr("study.images_quarantined");
       if (quarantined != nullptr) {
-        quarantined->push_back(QuarantinedImage{build.Label(), std::move(error)});
+        quarantined->push_back(QuarantinedImage{label, std::move(error)});
       }
     } else {
-      dataset.AddImage(build.Label(), *surface);
+      // Distill under the image's context so dataset.distill spans and
+      // intern metrics land in its report, exactly as in the serial build.
+      obs::ScopedContext scope(context);
+      dataset.AddImage(label, *surface);
     }
-    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
-    std::string json = obs::GlobalRunReportJson();
-    std::string path = report_dir + "/report_" + build.Label() + ".json";
-    {
-      std::ofstream out(path, std::ios::binary);
-      if (!out) {
-        return Error(ErrorCode::kIoError, "cannot write " + path);
-      }
-      out.write(json.data(), static_cast<std::streamsize>(json.size()));
-      if (!out) {
-        return Error(ErrorCode::kIoError, "short write to " + path);
-      }
-    }
-    reports.push_back(obs::LabeledReport{build.Label(), std::move(json)});
+    std::string json = obs::ContextRunReportJson(context);
+    std::string path = report_dir + "/report_" + label + ".json";
+    DEPSURF_RETURN_IF_ERROR(WriteFileBytes(path, json));
+    reports.push_back(obs::LabeledReport{label, std::move(json)});
     if (files != nullptr) {
       files->per_image.push_back(path);
     }
     if (progress) {
-      progress(ImageProgress{build.Label(), elapsed.count(), i, corpus.size()});
+      ImageProgress report;
+      report.label = label;
+      report.seconds = seconds;
+      report.index = next_consume;
+      report.total = corpus.size();
+      report.quarantined = !image_ok;
+      progress(report);
     }
+    ++next_consume;
   }
 
   auto aggregate = obs::MergeRunReports(reports);
@@ -204,29 +291,26 @@ Result<Dataset> Study::BuildDatasetWithReports(
     return aggregate.TakeError();
   }
   std::string agg_path = report_dir + "/report_agg.json";
-  {
-    std::ofstream out(agg_path, std::ios::binary);
-    if (!out) {
-      return Error(ErrorCode::kIoError, "cannot write " + agg_path);
-    }
-    out.write(aggregate->data(), static_cast<std::streamsize>(aggregate->size()));
-    if (!out) {
-      return Error(ErrorCode::kIoError, "short write to " + agg_path);
-    }
-  }
+  DEPSURF_RETURN_IF_ERROR(WriteFileBytes(agg_path, *aggregate));
   if (files != nullptr) {
     files->aggregate = agg_path;
   }
 
-  // Leave the global state describing the whole build, not the last image:
-  // callers using --metrics-out after this still get a meaningful report.
-  spans.Clear();
-  metrics.Reset();
-  diags.Clear();
+  // Leave the global state describing the whole build, not stray collection
+  // from before it: callers using --metrics-out after this still get a
+  // meaningful report.
+  obs::Context& root = obs::Context::Root();
+  root.spans().Clear();
+  root.metrics().Reset();
+  root.diagnostics().Clear();
   const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - wall_start;
+  const uint64_t cpu_ns = ProcessCpuNs() - cpu_start_ns;
+  obs::MetricsRegistry& metrics = root.metrics();
   metrics.Incr("study.datasets_built");
   metrics.Incr("study.reports_written", corpus.size() + 1);
   metrics.Set("study.build_dataset.wall_ms", static_cast<int64_t>(wall.count() * 1e3));
+  metrics.Set("study.build_dataset.cpu_total_ms", static_cast<int64_t>(cpu_ns / 1000000));
+  metrics.Set("study.build_dataset.window", static_cast<int64_t>(window));
   return dataset;
 }
 

@@ -37,6 +37,11 @@ struct BuildPolicy {
   // rest of the corpus. false (`--strict`): abort the build with the
   // failed image's error, wrapped with its label.
   bool keep_going = true;
+  // Width of the concurrent generate+extract window (`--jobs=N`). 0 (the
+  // default) auto-sizes to min(hardware_concurrency, 8). Results are
+  // byte-identical for any value: distillation and report serialization
+  // stay serial in corpus order.
+  int jobs = 0;
 };
 
 // One image the build gave up on under BuildPolicy{keep_going}.
@@ -67,12 +72,16 @@ class Study {
   // Per-image progress report for BuildDataset: which image just finished,
   // how long its generate+extract round trip took, and where the build
   // stands in the corpus. `seconds` is wall time inside the worker, so with
-  // parallel extraction the sum exceeds the dataset wall time.
+  // parallel extraction the sum exceeds the dataset wall time. Every corpus
+  // entry fires exactly once, in corpus order with contiguous indices —
+  // quarantined images included, flagged so callers can render them
+  // distinctly instead of silently skipping a slot.
   struct ImageProgress {
     std::string label;
     double seconds = 0.0;
     size_t index = 0;  // 0-based position in the corpus
     size_t total = 0;
+    bool quarantined = false;
   };
 
   // Builds a dataset over the given corpus. Image generation + extraction
@@ -88,11 +97,14 @@ class Study {
 
   // Like BuildDataset, but additionally writes one depsurf.run_report.v1
   // per image into `report_dir` (report_<label>.json) plus their merged
-  // depsurf.run_report_agg.v1 (report_agg.json). Per-image reports need
-  // per-image metric isolation, so this variant processes the corpus
-  // serially, resetting the global registry and span collector around each
-  // image — use it for corpus studies, not for raw build throughput. The
-  // paths written land in `files` when non-null.
+  // depsurf.run_report_agg.v1 (report_agg.json). Per-image isolation comes
+  // from obs::Context: each in-flight image generates + extracts under its
+  // own context on a worker thread, so report mode runs in the same bounded
+  // concurrent window as BuildDataset. Distillation and report
+  // serialization stay serial in corpus order — the dataset, the per-image
+  // reports (modulo live timings), and the masked aggregate are
+  // byte-identical for any BuildPolicy::jobs. The paths written land in
+  // `files` when non-null.
   struct DatasetReportFiles {
     std::vector<std::string> per_image;
     std::string aggregate;

@@ -249,7 +249,9 @@ std::string DiagnosticsDocJson(const std::string& image, const SurfaceHealth& he
   if (fatal_error != nullptr) {
     DiagnosticEntry fatal;
     fatal.severity = DiagSeverity::kFatal;
-    fatal.subsystem = DiagSubsystem::kElf;
+    // Errors tagged by an inner layer keep that attribution; untagged ones
+    // (unreadable container) are the ELF layer's.
+    fatal.subsystem = fatal_error->subsystem().value_or(DiagSubsystem::kElf);
     fatal.code = fatal_error->code();
     if (fatal_error->offset().has_value()) {
       fatal.offset = *fatal_error->offset();
@@ -383,6 +385,18 @@ int CmdMetrics(int argc, char** argv) {
       return DiagError(positional[1], valid.error());
     }
     auto json = obs::ParseJson(text);
+    // Schema note: reports written before the parallel report-mode build
+    // carried `study.build_dataset.cpu_ms`, measured with std::clock() —
+    // process CPU time that exceeds wall_ms whenever extraction overlaps.
+    // The honest name is cpu_total_ms; flag the old one so stale corpora
+    // aren't misread as single-thread CPU cost.
+    if (const obs::JsonValue* gauges = json->Find("gauges");
+        gauges != nullptr && gauges->Find("study.build_dataset.cpu_ms") != nullptr) {
+      printf("note: %s uses deprecated gauge study.build_dataset.cpu_ms "
+             "(process CPU summed across threads); newer reports name it "
+             "study.build_dataset.cpu_total_ms\n",
+             positional[1].c_str());
+    }
     printf("%s: valid %s (%zu distinct spans)\n", positional[1].c_str(),
            obs::kRunReportSchema, obs::CollectSpanNames(*json).size());
     return 0;
@@ -568,6 +582,11 @@ int CmdStudy(int argc, char** argv) {
   // extraction dies outright; --strict aborts the whole build instead.
   BuildPolicy policy;
   policy.keep_going = !HasFlag(argc, argv, "strict");
+  // --jobs=N: width of the concurrent generate+extract window (0 = auto).
+  policy.jobs = atoi(FlagValue(argc, argv, "jobs", "0").c_str());
+  if (policy.jobs < 0 || policy.jobs > 256) {
+    return DiagError("--jobs must be between 0 (auto) and 256");
+  }
   // --poison=LABEL (testing aid): truncate the named image below the ELF
   // header before extraction, guaranteeing a fatal failure on exactly that
   // image so the quarantine path can be demonstrated end to end.
@@ -580,7 +599,8 @@ int CmdStudy(int argc, char** argv) {
     });
   }
   auto progress = [](const Study::ImageProgress& p) {
-    printf("[%zu/%zu] %-28s %.2f s\n", p.index + 1, p.total, p.label.c_str(), p.seconds);
+    printf("[%zu/%zu] %-28s %.2f s%s\n", p.index + 1, p.total, p.label.c_str(), p.seconds,
+           p.quarantined ? "  (quarantined)" : "");
   };
   std::string report_dir = FlagValue(argc, argv, "report-dir", "");
   Study::DatasetReportFiles files;
@@ -821,7 +841,7 @@ constexpr char kUsage[] =
     "  perf    compare BASE.json HEAD.json [--max-regress=15%] [--noise-floor=S] [--json]\n"
     "          (exit 3 when a stage regressed beyond the threshold)\n"
     "  study   build [--versions=5.4,6.8] [--arch=A] [--flavor=F] [--scale=S] [--seed=N]\n"
-    "          [--out=DATASET] [--report-dir=DIR] [--strict] [--poison=LABEL]\n"
+    "          [--out=DATASET] [--report-dir=DIR] [--jobs=N] [--strict] [--poison=LABEL]\n"
     "global options: --metrics-out=FILE  --trace-out=FILE  --trace\n";
 
 int Dispatch(int argc, char** argv, const std::string& command) {

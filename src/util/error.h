@@ -29,8 +29,14 @@ enum class ErrorCode : uint8_t {
 // Human-readable name of an ErrorCode ("malformed_data", ...).
 const char* ErrorCodeName(ErrorCode code);
 
+// Which extraction layer an error originated in. The enumerators live in
+// diagnostic_ledger.h; the opaque declaration here lets Error carry the tag
+// without a circular include (diagnostic_ledger.h includes this header).
+enum class DiagSubsystem : uint8_t;
+
 // A structured error: code + message, optionally annotated with the byte
-// offset where parsing died. Cheap to move, explicit to construct.
+// offset where parsing died and/or the subsystem that raised it. Cheap to
+// move, explicit to construct.
 class Error {
  public:
   Error(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
@@ -53,6 +59,23 @@ class Error {
   }
   Error WithOffset(uint64_t offset) const& { return Error(*this).WithOffset(offset); }
 
+  // Extraction layer that raised the error, when tagged. Salvage-mode
+  // quarantine paths use this to attribute fatal diagnostics to the right
+  // subsystem instead of blaming the outermost (ELF) layer.
+  const std::optional<DiagSubsystem>& subsystem() const { return subsystem_; }
+
+  // Returns a copy tagged with the originating subsystem. Innermost wins,
+  // same as WithOffset: the layer closest to the fault knows best.
+  Error WithSubsystem(DiagSubsystem subsystem) && {
+    if (!subsystem_.has_value()) {
+      subsystem_ = subsystem;
+    }
+    return std::move(*this);
+  }
+  Error WithSubsystem(DiagSubsystem subsystem) const& {
+    return Error(*this).WithSubsystem(subsystem);
+  }
+
   // Returns a copy with "context: " prefixed to the message, preserving the
   // code and offset: Wrap("CU 3") -> "CU 3: abbrev code out of range".
   Error Wrap(std::string_view context) && {
@@ -70,6 +93,7 @@ class Error {
   ErrorCode code_;
   std::string message_;
   std::optional<uint64_t> offset_;
+  std::optional<DiagSubsystem> subsystem_;
 };
 
 // Result<T> is a value-or-error sum type. Usage:

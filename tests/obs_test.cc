@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/obs/context.h"
 #include "src/obs/diagnostics.h"
 #include "src/obs/json_lint.h"
 #include "src/obs/metrics.h"
@@ -462,6 +463,92 @@ TEST(JsonLintTest, ParsesAndRejects) {
   EXPECT_FALSE(obs::ParseJson("{\"a\": }").ok());
   EXPECT_FALSE(obs::ParseJson("{\"a\": 1} trailing").ok());
   EXPECT_FALSE(obs::ParseJson("[1, 2,]").ok());
+}
+
+TEST(ContextTest, CurrentFallsBackToRootWrappingTheGlobals) {
+  EXPECT_TRUE(obs::Context::Root().is_root());
+  EXPECT_EQ(&obs::Context::Current(), &obs::Context::Root());
+  EXPECT_EQ(&obs::Context::Current().metrics(), &obs::MetricsRegistry::Global());
+  EXPECT_EQ(&obs::Context::Current().spans(), &obs::SpanCollector::Global());
+  EXPECT_EQ(&obs::Context::Current().diagnostics(), &obs::DiagnosticsCollector::Global());
+}
+
+TEST(ContextTest, ScopedContextIsolatesCollectionAndNestsRestoring) {
+  obs::MetricsRegistry::Global().Reset();
+  obs::SpanCollector::Global().Clear();
+  obs::Context ctx;
+  EXPECT_FALSE(ctx.is_root());
+  {
+    obs::ScopedContext scope(ctx);
+    EXPECT_EQ(&obs::Context::Current(), &ctx);
+    obs::Context::Current().metrics().Incr("ctx.test");
+    { obs::ScopedSpan span("ctx.span"); }
+    obs::Context inner;
+    {
+      obs::ScopedContext inner_scope(inner);
+      EXPECT_EQ(&obs::Context::Current(), &inner);
+      obs::Context::Current().metrics().Incr("ctx.inner");
+    }
+    // Popping the inner scope restores the previous top, not the root.
+    EXPECT_EQ(&obs::Context::Current(), &ctx);
+    EXPECT_EQ(inner.metrics().Counter("ctx.inner")->load(), 1u);
+    EXPECT_EQ(ctx.metrics().Counter("ctx.inner")->load(), 0u);
+  }
+  EXPECT_EQ(&obs::Context::Current(), &obs::Context::Root());
+  EXPECT_EQ(ctx.metrics().Counter("ctx.test")->load(), 1u);
+  ASSERT_EQ(ctx.spans().Snapshot().size(), 1u);
+  EXPECT_EQ(ctx.spans().Snapshot()[0].name, "ctx.span");
+  // Nothing leaked into the globals.
+  EXPECT_EQ(obs::MetricsRegistry::Global().Counter("ctx.test")->load(), 0u);
+  EXPECT_TRUE(obs::SpanCollector::Global().Snapshot().empty());
+}
+
+TEST(ContextTest, WorkerThreadsDoNotInheritTheStack) {
+  obs::SpanCollector::Global().Clear();
+  obs::Context ctx;
+  obs::ScopedContext scope(ctx);
+  std::thread unscoped_worker([] {
+    // The context stack is thread-local: this thread never pushed one, so
+    // its spans land in the root despite the parent's active scope.
+    obs::ScopedSpan span("ctx.worker_root");
+  });
+  unscoped_worker.join();
+  EXPECT_TRUE(ctx.spans().Snapshot().empty());
+  ASSERT_EQ(obs::SpanCollector::Global().Snapshot().size(), 1u);
+  EXPECT_EQ(obs::SpanCollector::Global().Snapshot()[0].name, "ctx.worker_root");
+  obs::SpanCollector::Global().Clear();
+
+  // Pushing the context inside the worker routes collection into it — the
+  // pattern BuildDatasetWithReports workers use.
+  std::thread scoped_worker([&ctx] {
+    obs::ScopedContext worker_scope(ctx);
+    obs::ScopedSpan span("ctx.worker_scoped");
+  });
+  scoped_worker.join();
+  ASSERT_EQ(ctx.spans().Snapshot().size(), 1u);
+  EXPECT_EQ(ctx.spans().Snapshot()[0].name, "ctx.worker_scoped");
+  EXPECT_TRUE(obs::SpanCollector::Global().Snapshot().empty());
+}
+
+TEST(ContextTest, ContextRunReportSerializesOwnCollectors) {
+  obs::Context ctx;
+  {
+    obs::ScopedContext scope(ctx);
+    obs::ScopedSpan span("ctx.report_span");
+    obs::Context::Current().metrics().Incr("ctx.report_counter", 3);
+  }
+  DiagnosticEntry entry;
+  entry.severity = DiagSeverity::kDegraded;
+  entry.subsystem = DiagSubsystem::kDwarf;
+  entry.code = ErrorCode::kMalformedData;
+  entry.message = "ctx boom";
+  ctx.diagnostics().Add(entry);
+
+  std::string json = obs::ContextRunReportJson(ctx);
+  EXPECT_TRUE(obs::ValidateRunReport(json, 1, {"ctx.report_counter"}).ok());
+  EXPECT_NE(json.find("ctx.report_span"), std::string::npos);
+  EXPECT_NE(json.find("\"ctx.report_counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("ctx boom"), std::string::npos);
 }
 
 // End to end across threads: the global metrics stay consistent when

@@ -2,8 +2,29 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/faultgen/fault_injector.h"
+#include "src/util/diagnostic_ledger.h"
+
 namespace depsurf {
 namespace {
+
+std::string MakeReportDir() {
+  char tmpl[] = "/tmp/depsurf_study_test_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return std::string(dir != nullptr ? dir : ".");
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
 
 TEST(StudyOptionsTest, ParsesFlags) {
   const char* argv[] = {"bench", "--scale=0.25", "--seed=99"};
@@ -85,6 +106,74 @@ TEST(StudyTest, PoisonedImageQuarantinedOthersSurvive) {
   ASSERT_EQ(quarantined.size(), 1u);
   EXPECT_EQ(quarantined[0].label, victim);
   EXPECT_EQ(quarantined[0].error.code(), ErrorCode::kMalformedData);
+}
+
+// Regression: quarantined images used to vanish from the progress stream,
+// leaving callers with a gap in the indices. Every corpus entry must fire
+// exactly once, in order, with the quarantined flag set only on the victim.
+TEST(StudyTest, QuarantinedImagesFireProgressWithContiguousIndices) {
+  Study study(StudyOptions{2025, 0.005});
+  std::vector<BuildSpec> corpus = {MakeBuild(KernelVersion(5, 4)),
+                                   MakeBuild(KernelVersion(5, 15)),
+                                   MakeBuild(KernelVersion(6, 2))};
+  const std::string victim = corpus[1].Label();
+  study.SetImageMutator([&victim](const BuildSpec& build, std::vector<uint8_t>& bytes) {
+    if (build.Label() == victim && bytes.size() > 16) {
+      bytes.resize(16);  // below the ELF header: guaranteed fatal
+    }
+  });
+
+  for (bool with_reports : {false, true}) {
+    SCOPED_TRACE(with_reports ? "BuildDatasetWithReports" : "BuildDataset");
+    std::vector<Study::ImageProgress> seen;
+    auto progress = [&](const Study::ImageProgress& image) { seen.push_back(image); };
+    std::vector<QuarantinedImage> quarantined;
+    Result<Dataset> dataset =
+        with_reports ? study.BuildDatasetWithReports(corpus, MakeReportDir(), nullptr,
+                                                     progress, {}, &quarantined)
+                     : study.BuildDataset(corpus, progress, {}, &quarantined);
+    ASSERT_TRUE(dataset.ok()) << dataset.error().ToString();
+    EXPECT_EQ(dataset->num_images(), 2u);
+    ASSERT_EQ(quarantined.size(), 1u);
+    EXPECT_EQ(quarantined[0].label, victim);
+    ASSERT_EQ(seen.size(), corpus.size());
+    for (size_t i = 0; i < seen.size(); ++i) {
+      EXPECT_EQ(seen[i].index, i);
+      EXPECT_EQ(seen[i].total, corpus.size());
+      EXPECT_EQ(seen[i].label, corpus[i].Label());
+      EXPECT_EQ(seen[i].quarantined, seen[i].label == victim);
+    }
+  }
+}
+
+// Regression: quarantine diagnostics hardcoded DiagSubsystem::kElf, so a
+// fatal inside the DWARF payload read as an ELF failure in the reports.
+// Poisoning .sdwarf_info's section header must attribute to kDwarf, both on
+// the QuarantinedImage error and in the per-image run report JSON.
+TEST(StudyTest, QuarantineAttributesFatalToOwningSubsystem) {
+  Study study(StudyOptions{2025, 0.005});
+  std::vector<BuildSpec> corpus = {MakeBuild(KernelVersion(5, 4))};
+  study.SetImageMutator([](const BuildSpec&, std::vector<uint8_t>& bytes) {
+    EXPECT_TRUE(PoisonSectionHeader(bytes, ".sdwarf_info"));
+  });
+
+  const std::string report_dir = MakeReportDir();
+  Study::DatasetReportFiles files;
+  std::vector<QuarantinedImage> quarantined;
+  auto dataset =
+      study.BuildDatasetWithReports(corpus, report_dir, &files, {}, {}, &quarantined);
+  ASSERT_TRUE(dataset.ok()) << dataset.error().ToString();
+  EXPECT_EQ(dataset->num_images(), 0u);
+  ASSERT_EQ(quarantined.size(), 1u);
+  EXPECT_EQ(quarantined[0].error.code(), ErrorCode::kMalformedData);
+  ASSERT_TRUE(quarantined[0].error.subsystem().has_value());
+  EXPECT_EQ(*quarantined[0].error.subsystem(), DiagSubsystem::kDwarf);
+
+  ASSERT_EQ(files.per_image.size(), 1u);
+  const std::string report = ReadFileOrEmpty(files.per_image[0]);
+  EXPECT_NE(report.find("\"severity\": \"fatal\""), std::string::npos) << report;
+  EXPECT_NE(report.find("\"subsystem\": \"dwarf\""), std::string::npos) << report;
+  EXPECT_EQ(report.find("\"subsystem\": \"elf\""), std::string::npos) << report;
 }
 
 }  // namespace
