@@ -10,6 +10,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/analyzer/analyzer.h"
+#include "src/bpfgen/program_corpus.h"
 #include "src/obs/bench_report.h"
 #include "src/study/study.h"
 #include "src/util/str_util.h"
@@ -138,6 +140,26 @@ BENCHMARK(BM_BuildDatasetReports)
     ->Arg(1)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+// Static analysis (CFG + abstract interpretation) over the full 53-program
+// corpus plus the two analyzer showcase objects, one pass per iteration.
+void BM_AnalyzeCorpus(benchmark::State& state) {
+  static const std::vector<BpfObject> objects = [] {
+    std::vector<BpfObject> out = BuildProgramCorpus().objects;
+    out.push_back(BuildGuardedProbe());
+    out.push_back(BuildRawOffsetProbe());
+    return out;
+  }();
+  size_t findings = 0;
+  for (auto _ : state) {
+    for (const BpfObject& object : objects) {
+      ObjectAnalysis analysis = AnalyzeObject(object);
+      findings += analysis.findings.size();
+    }
+    benchmark::DoNotOptimize(findings);
+  }
+}
+BENCHMARK(BM_AnalyzeCorpus)->Unit(benchmark::kMillisecond);
 
 void BM_DatasetQuery(benchmark::State& state) {
   static Dataset dataset = [] {

@@ -33,6 +33,11 @@ for report in base/BENCH_*.json head/BENCH_*.json; do
   "$DEPSURF" metrics lint "$report" --kind=bench || fail "$report invalid"
 done
 
+# ---- the analyzer bench is part of the gated suite: a static-analysis
+# slowdown must trip `perf compare` like any extraction stage.
+grep -q 'BM_AnalyzeCorpus' base/BENCH_perf.json \
+  || fail "BENCH_perf.json is missing the BM_AnalyzeCorpus stage"
+
 # ---- identical inputs never trip the gate.
 "$DEPSURF" perf compare base/BENCH_perf.json base/BENCH_perf.json \
   || fail "identical inputs tripped the gate ($?)"

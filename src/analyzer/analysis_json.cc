@@ -1,0 +1,92 @@
+// Deterministic depsurf.analysis.v1 serialization. Key order is fixed and
+// every collection is pre-sorted by AnalyzeObject, so two runs over the
+// same object produce byte-identical documents (golden-testable).
+#include "src/analyzer/analyzer.h"
+#include "src/obs/run_report.h"
+#include "src/util/str_util.h"
+
+namespace depsurf {
+
+namespace {
+
+std::string Quoted(const std::string& s) { return "\"" + obs::JsonEscape(s) + "\""; }
+
+std::string Bool(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+std::string AnalysisToJson(const ObjectAnalysis& analysis) {
+  std::string out;
+  out += "{\n";
+  out += StrFormat("  \"schema\": \"%s\",\n", kAnalysisSchema);
+  out += "  \"object\": " + Quoted(analysis.object_name) + ",\n";
+  if (analysis.against_dataset) {
+    out += StrFormat("  \"against\": {\"images\": %zu},\n", analysis.against_images);
+  } else {
+    out += "  \"against\": null,\n";
+  }
+
+  out += "  \"programs\": [";
+  for (size_t i = 0; i < analysis.programs.size(); ++i) {
+    const ProgramAnalysis& pa = analysis.programs[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": " + Quoted(pa.name) + ", \"section\": " + Quoted(pa.section);
+    out += StrFormat(", \"insns\": %zu, \"blocks\": %zu, \"reachable_insns\": %zu"
+                     ", \"helper_calls\": %zu}",
+                     pa.insn_count, pa.block_count, pa.reachable_insns, pa.helper_calls);
+  }
+  out += analysis.programs.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"relocs\": [";
+  for (size_t i = 0; i < analysis.relocs.size(); ++i) {
+    const RelocVerdict& verdict = analysis.relocs[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += StrFormat("    {\"index\": %zu, \"kind\": \"%s\"", verdict.index,
+                     CoreRelocKindName(verdict.kind));
+    out += ", \"struct\": " + Quoted(verdict.struct_name);
+    out += ", \"field\": " + Quoted(verdict.field_name);
+    if (verdict.bound) {
+      out += ", \"program\": " + Quoted(verdict.program);
+      out += StrFormat(", \"insn_off\": %u", verdict.insn_off);
+    } else {
+      out += ", \"program\": null";
+    }
+    out += ", \"reachable\": " + std::string(Bool(verdict.reachable));
+    out += ", \"unguarded\": " + std::string(Bool(verdict.unguarded));
+    if (analysis.against_dataset) {
+      out += ", \"consequence\": " + Quoted(verdict.consequence);
+    }
+    out += "}";
+  }
+  out += analysis.relocs.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"findings\": [";
+  for (size_t i = 0; i < analysis.findings.size(); ++i) {
+    const Finding& finding = analysis.findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += StrFormat("    {\"kind\": \"%s\", \"program\": %s, \"insn_off\": %u",
+                     FindingKindName(finding.kind), Quoted(finding.program).c_str(),
+                     finding.insn_off);
+    if (finding.reloc_index >= 0) {
+      out += StrFormat(", \"reloc\": %d", finding.reloc_index);
+    }
+    out += ", \"detail\": " + Quoted(finding.detail) + "}";
+  }
+  out += analysis.findings.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"summary\": {";
+  out += StrFormat("\"findings\": %zu", analysis.findings.size());
+  out += StrFormat(", \"raw_offset_deref\": %zu",
+                   analysis.CountKind(FindingKind::kRawOffsetDeref));
+  out += StrFormat(", \"unguarded_reloc\": %zu",
+                   analysis.CountKind(FindingKind::kUnguardedReloc));
+  out += StrFormat(", \"unknown_helper\": %zu",
+                   analysis.CountKind(FindingKind::kUnknownHelper));
+  out += StrFormat(", \"unreachable_reloc\": %zu",
+                   analysis.CountKind(FindingKind::kUnreachableReloc));
+  out += "}\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace depsurf

@@ -1,0 +1,138 @@
+#include "src/analyzer/cfg.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+namespace depsurf {
+
+namespace {
+
+// Slot index of each instruction (LD_IMM64 occupies two slots), plus the
+// reverse map from slot to instruction index.
+struct SlotMap {
+  std::vector<size_t> insn_slot;        // insn index -> first slot
+  std::map<size_t, size_t> slot_insn;   // first slot -> insn index
+  size_t total_slots = 0;
+};
+
+SlotMap BuildSlotMap(const std::vector<BpfInsn>& insns) {
+  SlotMap map;
+  size_t slot = 0;
+  for (size_t i = 0; i < insns.size(); ++i) {
+    map.insn_slot.push_back(slot);
+    map.slot_insn[slot] = i;
+    slot += insns[i].Slots();
+  }
+  map.total_slots = slot;
+  return map;
+}
+
+}  // namespace
+
+Cfg BuildCfg(const std::vector<BpfInsn>& insns) {
+  Cfg cfg;
+  if (insns.empty()) {
+    return cfg;
+  }
+  SlotMap slots = BuildSlotMap(insns);
+  cfg.insn_byte_off.reserve(insns.size());
+  for (size_t i = 0; i < insns.size(); ++i) {
+    cfg.insn_byte_off.push_back(static_cast<uint32_t>(slots.insn_slot[i] * 8));
+  }
+
+  // Jump target (insn index) of a branch at insn i, if it lands on an
+  // instruction boundary inside the stream.
+  auto target_of = [&](size_t i) -> std::optional<size_t> {
+    size_t next_slot = slots.insn_slot[i] + insns[i].Slots();
+    int64_t target = static_cast<int64_t>(next_slot) + insns[i].offset;
+    if (target < 0 || target >= static_cast<int64_t>(slots.total_slots)) {
+      return std::nullopt;
+    }
+    auto it = slots.slot_insn.find(static_cast<size_t>(target));
+    if (it == slots.slot_insn.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  };
+
+  // Leaders: entry, every jump target, every instruction after a
+  // terminator (jump or exit).
+  std::vector<bool> leader(insns.size(), false);
+  leader[0] = true;
+  for (size_t i = 0; i < insns.size(); ++i) {
+    const BpfInsn& insn = insns[i];
+    if (insn.IsJump()) {
+      if (auto t = target_of(i); t.has_value()) {
+        leader[*t] = true;
+      } else {
+        ++cfg.dangling_edges;
+      }
+    }
+    if ((insn.IsJump() || insn.IsExit()) && i + 1 < insns.size()) {
+      leader[i + 1] = true;
+    }
+  }
+
+  cfg.insn_block.assign(insns.size(), 0);
+  for (size_t i = 0; i < insns.size(); ++i) {
+    if (leader[i]) {
+      CfgBlock block;
+      block.first = i;
+      cfg.blocks.push_back(block);
+    }
+    cfg.insn_block[i] = cfg.blocks.size() - 1;
+    cfg.blocks.back().last = i;
+  }
+
+  for (CfgBlock& block : cfg.blocks) {
+    const BpfInsn& term = insns[block.last];
+    if (term.IsExit()) {
+      continue;
+    }
+    if (term.IsJump()) {
+      if (auto t = target_of(block.last); t.has_value()) {
+        block.succs.push_back(cfg.insn_block[*t]);
+      }
+      if (term.IsCondJump() && block.last + 1 < insns.size()) {
+        block.succs.push_back(cfg.insn_block[block.last + 1]);
+      }
+    } else if (block.last + 1 < insns.size()) {
+      block.succs.push_back(cfg.insn_block[block.last + 1]);
+    }
+  }
+  return cfg;
+}
+
+std::vector<bool> ReachableInsns(
+    const Cfg& cfg, const std::vector<BpfInsn>& insns,
+    const std::function<bool(size_t block, size_t succ_pos)>& dead_edge) {
+  std::vector<bool> insn_reachable(insns.size(), false);
+  if (cfg.blocks.empty()) {
+    return insn_reachable;
+  }
+  std::vector<bool> block_seen(cfg.blocks.size(), false);
+  std::vector<size_t> work{0};
+  block_seen[0] = true;
+  while (!work.empty()) {
+    size_t b = work.back();
+    work.pop_back();
+    const CfgBlock& block = cfg.blocks[b];
+    for (size_t i = block.first; i <= block.last; ++i) {
+      insn_reachable[i] = true;
+    }
+    for (size_t pos = 0; pos < block.succs.size(); ++pos) {
+      if (dead_edge && dead_edge(b, pos)) {
+        continue;
+      }
+      size_t succ = block.succs[pos];
+      if (!block_seen[succ]) {
+        block_seen[succ] = true;
+        work.push_back(succ);
+      }
+    }
+  }
+  return insn_reachable;
+}
+
+}  // namespace depsurf

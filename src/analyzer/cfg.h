@@ -1,0 +1,50 @@
+// Per-program control-flow graph over a BPF instruction stream.
+//
+// Blocks are maximal straight-line runs; edges follow the ISA's jump
+// semantics (deltas are in 8-byte slots, relative to the slot after the
+// branch). The graph is the substrate for the analyzer's reachability and
+// abstract-interpretation passes.
+#ifndef DEPSURF_SRC_ANALYZER_CFG_H_
+#define DEPSURF_SRC_ANALYZER_CFG_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/bpf/bpf_insn.h"
+
+namespace depsurf {
+
+struct CfgBlock {
+  size_t first = 0;  // insn index of the block leader
+  size_t last = 0;   // insn index of the terminator (inclusive)
+  // Successor block ids. For a conditional branch, index 0 is the taken
+  // edge and index 1 the fall-through (the order guard analysis relies on).
+  std::vector<size_t> succs;
+};
+
+struct Cfg {
+  std::vector<CfgBlock> blocks;       // block 0 is the entry
+  std::vector<size_t> insn_block;     // insn index -> owning block id
+  std::vector<uint32_t> insn_byte_off;  // insn index -> byte offset in section
+  // Branch targets that did not land on an instruction boundary (decoded
+  // stream ends early, or a corrupt delta); edges to them are dropped.
+  size_t dangling_edges = 0;
+};
+
+// Builds the CFG. Well-defined for any decoded stream, including one
+// salvaged to a prefix: jumps past the end simply produce no edge (counted
+// in dangling_edges).
+Cfg BuildCfg(const std::vector<BpfInsn>& insns);
+
+// Instruction reachability from the entry block. `dead_edge(block, succ_pos)`
+// returns true to suppress the edge at position `succ_pos` of `block`
+// (guard-pruned reachability); pass an empty function for plain
+// reachability.
+std::vector<bool> ReachableInsns(
+    const Cfg& cfg, const std::vector<BpfInsn>& insns,
+    const std::function<bool(size_t block, size_t succ_pos)>& dead_edge = {});
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_ANALYZER_CFG_H_

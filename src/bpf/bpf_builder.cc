@@ -26,6 +26,12 @@ BpfObjectBuilder& BpfObjectBuilder::AttachFentry(const std::string& func) {
   return *this;
 }
 
+BpfObjectBuilder& BpfObjectBuilder::AttachFexit(const std::string& func) {
+  object_.programs.push_back(
+      BpfProgram{StrFormat("fexit_%s", func.c_str()), Hook{HookKind::kFexit, func, ""}});
+  return *this;
+}
+
 BpfObjectBuilder& BpfObjectBuilder::AttachTracepoint(const std::string& category,
                                                      const std::string& event) {
   object_.programs.push_back(BpfProgram{StrFormat("tp_%s", event.c_str()),
@@ -50,6 +56,78 @@ BpfObjectBuilder& BpfObjectBuilder::AttachLsm(const std::string& hook) {
   object_.programs.push_back(
       BpfProgram{StrFormat("lsm_%s", hook.c_str()), Hook{HookKind::kLsm, hook, ""}});
   return *this;
+}
+
+void BpfObjectBuilder::Emit(BpfInsn insn) {
+  if (object_.programs.empty()) {
+    return;
+  }
+  object_.programs.back().insns.push_back(insn);
+}
+
+uint32_t BpfObjectBuilder::NextInsnOffset() const {
+  if (object_.programs.empty()) {
+    return 0;
+  }
+  return static_cast<uint32_t>(EncodedSize(object_.programs.back().insns));
+}
+
+void BpfObjectBuilder::BindReloc(CoreReloc& reloc) const {
+  if (object_.programs.empty()) {
+    return;
+  }
+  reloc.prog_index = static_cast<uint32_t>(object_.programs.size() - 1);
+  reloc.insn_off = NextInsnOffset();
+}
+
+BpfObjectBuilder& BpfObjectBuilder::CallHelper(uint32_t helper_id) {
+  Emit(CallHelperInsn(static_cast<int32_t>(helper_id)));
+  return *this;
+}
+
+BpfObjectBuilder& BpfObjectBuilder::RawOffsetDeref(int16_t offset) {
+  // Deliberately no relocation: the displacement is frozen at compile time,
+  // exactly the non-CO-RE pattern the analyzer reports.
+  Emit(LoadField(/*dst=*/4, /*src=*/1, offset));
+  return *this;
+}
+
+Status BpfObjectBuilder::BeginGuard(const std::string& struct_name,
+                                    const std::string& field_name, const TypeStr& field_type) {
+  DEPSURF_RETURN_IF_ERROR(CheckFieldExists(struct_name, field_name, field_type));
+  if (object_.programs.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "guard requires an attached program");
+  }
+  // The exists check materialized r3 (1 when present, 0 after patching on a
+  // kernel without the field); branch over the guarded body when absent.
+  // The jump delta is patched by EndGuard once the body length is known.
+  Emit(JumpEqImm(/*dst=*/3, 0, /*delta=*/0));
+  guard_stack_.push_back(OpenGuard{object_.programs.size() - 1,
+                                   object_.programs.back().insns.size() - 1});
+  return Status::Ok();
+}
+
+Status BpfObjectBuilder::EndGuard() {
+  if (guard_stack_.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "EndGuard without BeginGuard");
+  }
+  OpenGuard guard = guard_stack_.back();
+  guard_stack_.pop_back();
+  if (guard.prog_index != object_.programs.size() - 1) {
+    return Status(ErrorCode::kInvalidArgument, "guard crosses program boundary");
+  }
+  std::vector<BpfInsn>& insns = object_.programs.back().insns;
+  // BPF jump semantics: pc += delta relative to the *next* slot.
+  size_t branch_slot = 0;
+  for (size_t i = 0; i < guard.branch_insn; ++i) {
+    branch_slot += insns[i].Slots();
+  }
+  size_t end_slot = branch_slot;
+  for (size_t i = guard.branch_insn; i < insns.size(); ++i) {
+    end_slot += insns[i].Slots();
+  }
+  insns[guard.branch_insn].offset = static_cast<int16_t>(end_slot - branch_slot - 1);
+  return Status::Ok();
 }
 
 Result<size_t> BpfObjectBuilder::EnsureField(const std::string& struct_name,
@@ -82,6 +160,15 @@ Status BpfObjectBuilder::Access(const std::string& struct_name, const std::strin
   reloc.root_type_id = *root;
   reloc.access_str = StrFormat("0:%zu", index);
   reloc.kind = kind;
+  BindReloc(reloc);
+  // Field reads compile to a ctx-relative load whose displacement the
+  // loader patches via the relocation; presence checks materialize a
+  // scalar the loader rewrites to 0/1.
+  if (kind == CoreRelocKind::kFieldByteOffset) {
+    Emit(LoadField(/*dst=*/2, /*src=*/1, 0));
+  } else {
+    Emit(LoadImm64(/*dst=*/3, 1));
+  }
   object_.relocs.push_back(std::move(reloc));
   return Status::Ok();
 }
@@ -113,6 +200,8 @@ Status BpfObjectBuilder::TouchStruct(const std::string& struct_name) {
   reloc.root_type_id = *root;
   reloc.access_str = "0";
   reloc.kind = CoreRelocKind::kTypeExists;
+  BindReloc(reloc);
+  Emit(LoadImm64(/*dst=*/3, 1));
   object_.relocs.push_back(std::move(reloc));
   return Status::Ok();
 }
@@ -135,10 +224,21 @@ Status BpfObjectBuilder::AccessChain(const std::vector<ChainLink>& chain) {
   reloc.root_type_id = *root;
   reloc.access_str = access;
   reloc.kind = CoreRelocKind::kFieldByteOffset;
+  BindReloc(reloc);
+  Emit(LoadField(/*dst=*/2, /*src=*/1, 0));
   object_.relocs.push_back(std::move(reloc));
   return Status::Ok();
 }
 
-BpfObject BpfObjectBuilder::Build() { return std::move(object_); }
+BpfObject BpfObjectBuilder::Build() {
+  // Close every program with an explicit exit so the streams are
+  // verifier-shaped even for hook-only programs.
+  for (BpfProgram& program : object_.programs) {
+    if (program.insns.empty() || !program.insns.back().IsExit()) {
+      program.insns.push_back(ExitInsn());
+    }
+  }
+  return std::move(object_);
+}
 
 }  // namespace depsurf

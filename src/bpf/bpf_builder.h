@@ -21,6 +21,7 @@ class BpfObjectBuilder {
   BpfObjectBuilder& AttachKprobe(const std::string& func);
   BpfObjectBuilder& AttachKretprobe(const std::string& func);
   BpfObjectBuilder& AttachFentry(const std::string& func);
+  BpfObjectBuilder& AttachFexit(const std::string& func);
   BpfObjectBuilder& AttachTracepoint(const std::string& category, const std::string& event);
   BpfObjectBuilder& AttachRawTracepoint(const std::string& event);
   BpfObjectBuilder& AttachSyscall(const std::string& name, bool exit = false);
@@ -48,6 +49,25 @@ class BpfObjectBuilder {
   };
   Status AccessChain(const std::vector<ChainLink>& chain);
 
+  // ---- Instruction stream. Accesses emit instructions into the most
+  // recently attached program (relocations record the prog_index/insn_off
+  // binding); with no program attached yet, relocations stay unbound.
+
+  // Emits `call helper_id` (no relocation; the analyzer checks the id
+  // against the kernel's helper availability table).
+  BpfObjectBuilder& CallHelper(uint32_t helper_id);
+  // Emits a load at a hardcoded displacement with NO CO-RE relocation —
+  // the implicit struct-layout dependency the analyzer flags as
+  // raw-offset-deref.
+  BpfObjectBuilder& RawOffsetDeref(int16_t offset);
+  // Opens a bpf_core_field_exists guard: emits the exists relocation plus a
+  // conditional branch that skips the guarded region when the field is
+  // absent. Every access emitted before the matching EndGuard() is
+  // dominated by the check. Guards nest.
+  Status BeginGuard(const std::string& struct_name, const std::string& field_name,
+                    const TypeStr& field_type);
+  Status EndGuard();
+
   BpfObject Build();
 
  private:
@@ -56,12 +76,24 @@ class BpfObjectBuilder {
   // Index of `field_name` in `struct_name`, adding the field if absent.
   Result<size_t> EnsureField(const std::string& struct_name, const std::string& field_name,
                              const TypeStr& field_type);
+  // Appends to the current (last attached) program; no-op without one.
+  void Emit(BpfInsn insn);
+  // Byte offset the next emitted instruction will land at, and the binding
+  // for a relocation that patches it (kRelocUnbound without a program).
+  uint32_t NextInsnOffset() const;
+  void BindReloc(CoreReloc& reloc) const;
 
   BpfObject object_;
   TypeLowering lowering_;
   int next_program_ = 0;
   // struct name -> ordered field specs (program-side expectations).
   std::map<std::string, std::vector<FieldSpec>> struct_fields_;
+  // Open guards: (program index, index of the branch insn to patch).
+  struct OpenGuard {
+    size_t prog_index;
+    size_t branch_insn;
+  };
+  std::vector<OpenGuard> guard_stack_;
 };
 
 }  // namespace depsurf

@@ -1,6 +1,7 @@
 // ELF serialization of BpfObject (WriteBpfObject / ParseBpfObject).
 #include <map>
 
+#include "src/bpf/bpf_insn.h"
 #include "src/bpf/bpf_object.h"
 #include "src/btf/btf_codec.h"
 #include "src/elf/elf_reader.h"
@@ -13,7 +14,11 @@ namespace {
 
 // .BTF.ext layout (simplified but binary): u32 magic, u32 reloc count,
 // u32 string-section length, then per record {u32 type_id, u32 kind,
-// u32 access offset}, then the string section.
+// u32 access offset, u32 prog_index, u32 insn_off}, then the string
+// section. prog_index/insn_off bind the record to the instruction it
+// patches (kRelocUnbound when the record has no instruction).
+constexpr size_t kBtfExtRecordSize = 20;
+
 std::vector<uint8_t> EncodeBtfExt(const std::vector<CoreReloc>& relocs) {
   ByteWriter strings(Endian::kLittle);
   strings.WriteU8(0);
@@ -33,6 +38,8 @@ std::vector<uint8_t> EncodeBtfExt(const std::vector<CoreReloc>& relocs) {
     records.WriteU32(reloc.root_type_id);
     records.WriteU32(static_cast<uint32_t>(reloc.kind));
     records.WriteU32(intern(reloc.access_str));
+    records.WriteU32(reloc.prog_index);
+    records.WriteU32(reloc.insn_off);
   }
   ByteWriter out(Endian::kLittle);
   out.WriteU32(kBtfExtMagic);
@@ -52,7 +59,7 @@ Result<std::vector<CoreReloc>> DecodeBtfExt(ByteReader reader) {
   }
   DEPSURF_ASSIGN_OR_RETURN(count, reader.ReadU32());
   DEPSURF_ASSIGN_OR_RETURN(str_len, reader.ReadU32());
-  uint64_t records_size = static_cast<uint64_t>(count) * 12;
+  uint64_t records_size = static_cast<uint64_t>(count) * kBtfExtRecordSize;
   if (records_size + str_len + 12 > reader.size()) {
     return Error(ErrorCode::kMalformedData, "BTF.ext truncated");
   }
@@ -71,6 +78,10 @@ Result<std::vector<CoreReloc>> DecodeBtfExt(ByteReader reader) {
     DEPSURF_ASSIGN_OR_RETURN(str_off, reader.ReadU32());
     DEPSURF_ASSIGN_OR_RETURN(access, strings.ReadCStringAt(str_off));
     reloc.access_str = std::move(access);
+    DEPSURF_ASSIGN_OR_RETURN(prog_index, reader.ReadU32());
+    reloc.prog_index = prog_index;
+    DEPSURF_ASSIGN_OR_RETURN(insn_off, reader.ReadU32());
+    reloc.insn_off = insn_off;
     out.push_back(std::move(reloc));
   }
   return out;
@@ -83,8 +94,10 @@ Result<std::vector<uint8_t>> WriteBpfObject(const BpfObject& object) {
   // the dev machine; CO-RE is what makes them portable).
   ElfWriter writer(ElfIdent{ElfClass::k64, Endian::kLittle, ElfMachine::kX86_64});
   for (const BpfProgram& program : object.programs) {
-    // Eight bytes of placeholder "bytecode" per program.
-    std::vector<uint8_t> insns(8, 0x95);  // BPF_EXIT opcode value, repeated
+    // A program with no recorded stream still gets a well-formed body: a
+    // single exit so the section decodes cleanly.
+    std::vector<uint8_t> insns = program.insns.empty() ? EncodeInsns({ExitInsn()})
+                                                       : EncodeInsns(program.insns);
     uint32_t section = writer.AddSection(HookSectionName(program.hook), SectionType::kProgbits,
                                          std::move(insns), 0, kShfAlloc | kShfExecinstr);
     ElfSymbol sym;
@@ -101,7 +114,7 @@ Result<std::vector<uint8_t>> WriteBpfObject(const BpfObject& object) {
   return writer.Finish();
 }
 
-Result<BpfObject> ParseBpfObject(std::vector<uint8_t> bytes) {
+Result<BpfObject> ParseBpfObject(std::vector<uint8_t> bytes, DiagnosticLedger* ledger) {
   DEPSURF_ASSIGN_OR_RETURN(reader, ElfReader::Parse(std::move(bytes)));
   BpfObject object;
   // Program sections -> hooks; the section's FUNC symbol names the program.
@@ -119,6 +132,14 @@ Result<BpfObject> ParseBpfObject(std::vector<uint8_t> bytes) {
         break;
       }
     }
+    // Decode the instruction stream. A garbage stream degrades this one
+    // program (keeping its decoded prefix) rather than failing the object.
+    Result<ByteReader> data = reader.SectionData(section);
+    if (data.ok()) {
+      program.insns = DecodeInsns(*data, ledger);
+    } else if (ledger != nullptr) {
+      ledger->AddError(DiagSeverity::kDegraded, DiagSubsystem::kBpf, data.error());
+    }
     object.programs.push_back(std::move(program));
   }
   if (const ElfSectionView* name_sec = reader.SectionByName(".rodata.name")) {
@@ -132,6 +153,19 @@ Result<BpfObject> ParseBpfObject(std::vector<uint8_t> bytes) {
   DEPSURF_ASSIGN_OR_RETURN(ext_data, reader.SectionDataByName(kBtfExtSection));
   DEPSURF_ASSIGN_OR_RETURN(relocs, DecodeBtfExt(ext_data));
   object.relocs = std::move(relocs);
+  // Clamp dangling program bindings (written by a different tool or mangled
+  // in transit) back to "unbound" so downstream indexing stays safe.
+  for (CoreReloc& reloc : object.relocs) {
+    if (reloc.prog_index != kRelocUnbound && reloc.prog_index >= object.programs.size()) {
+      if (ledger != nullptr) {
+        ledger->Add(DiagSeverity::kWarning, DiagSubsystem::kBpf, ErrorCode::kMalformedData,
+                    StrFormat("reloc bound to missing program %u; treating as unbound",
+                              reloc.prog_index));
+      }
+      reloc.prog_index = kRelocUnbound;
+      reloc.insn_off = 0;
+    }
+  }
   return object;
 }
 

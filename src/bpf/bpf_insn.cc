@@ -1,0 +1,208 @@
+#include "src/bpf/bpf_insn.h"
+
+#include "src/util/str_util.h"
+
+namespace depsurf {
+
+namespace {
+
+const char* LoadSizeName(uint8_t opcode) {
+  switch (opcode) {
+    case kOpLdxMemB:
+      return "u8";
+    case kOpLdxMemH:
+      return "u16";
+    case kOpLdxMemW:
+      return "u32";
+    case kOpLdxMemDw:
+      return "u64";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+std::string BpfInsn::ToString() const {
+  switch (opcode) {
+    case kOpLdImm64:
+      return StrFormat("r%u = %lld ll", dst_reg, static_cast<long long>(Imm64()));
+    case kOpLdxMemB:
+    case kOpLdxMemH:
+    case kOpLdxMemW:
+    case kOpLdxMemDw:
+      return StrFormat("r%u = *(%s *)(r%u %+d)", dst_reg, LoadSizeName(opcode), src_reg, offset);
+    case kOpStxMemW:
+      return StrFormat("*(u32 *)(r%u %+d) = r%u", dst_reg, offset, src_reg);
+    case kOpStxMemDw:
+      return StrFormat("*(u64 *)(r%u %+d) = r%u", dst_reg, offset, src_reg);
+    case kOpMov64Imm:
+      return StrFormat("r%u = %d", dst_reg, imm);
+    case kOpJa:
+      return StrFormat("goto %+d", offset);
+    case kOpJeqImm:
+      return StrFormat("if r%u == %d goto %+d", dst_reg, imm, offset);
+    case kOpJneImm:
+      return StrFormat("if r%u != %d goto %+d", dst_reg, imm, offset);
+    case kOpCall:
+      return StrFormat("call %d", imm);
+    case kOpExit:
+      return "exit";
+    default:
+      return StrFormat("op 0x%02x", opcode);
+  }
+}
+
+BpfInsn LoadField(uint8_t dst, uint8_t src, int16_t offset, uint8_t size_op) {
+  BpfInsn insn;
+  insn.opcode = size_op;
+  insn.dst_reg = dst;
+  insn.src_reg = src;
+  insn.offset = offset;
+  return insn;
+}
+
+BpfInsn LoadImm64(uint8_t dst, int64_t value) {
+  BpfInsn insn;
+  insn.opcode = kOpLdImm64;
+  insn.dst_reg = dst;
+  insn.imm = static_cast<int32_t>(static_cast<uint64_t>(value) & 0xffffffffull);
+  insn.imm_hi = static_cast<int32_t>(static_cast<uint64_t>(value) >> 32);
+  return insn;
+}
+
+BpfInsn MovImm(uint8_t dst, int32_t value) {
+  BpfInsn insn;
+  insn.opcode = kOpMov64Imm;
+  insn.dst_reg = dst;
+  insn.imm = value;
+  return insn;
+}
+
+BpfInsn CallHelperInsn(int32_t helper_id) {
+  BpfInsn insn;
+  insn.opcode = kOpCall;
+  insn.imm = helper_id;
+  return insn;
+}
+
+BpfInsn JumpAlways(int16_t delta) {
+  BpfInsn insn;
+  insn.opcode = kOpJa;
+  insn.offset = delta;
+  return insn;
+}
+
+BpfInsn JumpEqImm(uint8_t dst, int32_t value, int16_t delta) {
+  BpfInsn insn;
+  insn.opcode = kOpJeqImm;
+  insn.dst_reg = dst;
+  insn.imm = value;
+  insn.offset = delta;
+  return insn;
+}
+
+BpfInsn JumpNeImm(uint8_t dst, int32_t value, int16_t delta) {
+  BpfInsn insn;
+  insn.opcode = kOpJneImm;
+  insn.dst_reg = dst;
+  insn.imm = value;
+  insn.offset = delta;
+  return insn;
+}
+
+BpfInsn ExitInsn() {
+  BpfInsn insn;
+  insn.opcode = kOpExit;
+  return insn;
+}
+
+bool IsKnownOpcode(uint8_t opcode) {
+  switch (opcode) {
+    case kOpLdImm64:
+    case kOpLdxMemB:
+    case kOpLdxMemH:
+    case kOpLdxMemW:
+    case kOpLdxMemDw:
+    case kOpStxMemW:
+    case kOpStxMemDw:
+    case kOpMov64Imm:
+    case kOpJa:
+    case kOpJeqImm:
+    case kOpJneImm:
+    case kOpCall:
+    case kOpExit:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<uint8_t> EncodeInsns(const std::vector<BpfInsn>& insns) {
+  ByteWriter writer(Endian::kLittle);
+  for (const BpfInsn& insn : insns) {
+    writer.WriteU8(insn.opcode);
+    writer.WriteU8(static_cast<uint8_t>((insn.dst_reg & 0x0f) | (insn.src_reg << 4)));
+    writer.WriteU16(static_cast<uint16_t>(insn.offset));
+    writer.WriteU32(static_cast<uint32_t>(insn.imm));
+    if (insn.IsWide()) {
+      writer.WriteU8(0);
+      writer.WriteU8(0);
+      writer.WriteU16(0);
+      writer.WriteU32(static_cast<uint32_t>(insn.imm_hi));
+    }
+  }
+  return writer.TakeBytes();
+}
+
+size_t EncodedSize(const std::vector<BpfInsn>& insns) {
+  size_t slots = 0;
+  for (const BpfInsn& insn : insns) {
+    slots += insn.Slots();
+  }
+  return slots * 8;
+}
+
+std::vector<BpfInsn> DecodeInsns(ByteReader reader, DiagnosticLedger* ledger) {
+  std::vector<BpfInsn> out;
+  auto degrade = [&](size_t offset, std::string message) {
+    if (ledger != nullptr) {
+      ledger->AddAt(DiagSeverity::kDegraded, DiagSubsystem::kBpf, ErrorCode::kMalformedData,
+                    offset, std::move(message));
+    }
+  };
+  while (!reader.AtEnd()) {
+    size_t insn_off = reader.offset();
+    if (reader.remaining() < 8) {
+      degrade(insn_off, StrFormat("trailing partial instruction slot (%zu bytes)",
+                                  reader.remaining()));
+      break;
+    }
+    BpfInsn insn;
+    insn.opcode = *reader.ReadU8();
+    uint8_t regs = *reader.ReadU8();
+    insn.dst_reg = regs & 0x0f;
+    insn.src_reg = regs >> 4;
+    insn.offset = static_cast<int16_t>(*reader.ReadU16());
+    insn.imm = static_cast<int32_t>(*reader.ReadU32());
+    if (!IsKnownOpcode(insn.opcode)) {
+      degrade(insn_off, StrFormat("unknown opcode 0x%02x; kept %zu decoded instruction(s)",
+                                  insn.opcode, out.size()));
+      break;
+    }
+    if (insn.IsWide()) {
+      if (reader.remaining() < 8) {
+        degrade(insn_off, "ld_imm64 missing its second slot");
+        break;
+      }
+      (void)*reader.ReadU8();
+      (void)*reader.ReadU8();
+      (void)*reader.ReadU16();
+      insn.imm_hi = static_cast<int32_t>(*reader.ReadU32());
+    }
+    out.push_back(insn);
+  }
+  return out;
+}
+
+}  // namespace depsurf

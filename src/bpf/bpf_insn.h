@@ -1,0 +1,114 @@
+// Minimal BPF ISA: the 8-byte instruction format and the opcode subset the
+// corpus emits and the analyzer reasons about (memory loads/stores with
+// offsets, helper calls, conditional/unconditional jumps, exit, and the
+// two-slot 64-bit immediate load).
+//
+// Wire layout of one slot (little-endian, matching the kernel's
+// struct bpf_insn):
+//   u8  opcode
+//   u8  registers (dst in the low nibble, src in the high nibble)
+//   s16 offset    (memory displacement or jump target, in slots)
+//   s32 imm
+// BPF_LD_IMM64 occupies two consecutive slots; the second slot carries the
+// upper 32 immediate bits and must otherwise be zero.
+#ifndef DEPSURF_SRC_BPF_BPF_INSN_H_
+#define DEPSURF_SRC_BPF_BPF_INSN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/byte_buffer.h"
+#include "src/util/diagnostic_ledger.h"
+#include "src/util/error.h"
+
+namespace depsurf {
+
+// Instruction classes (low three opcode bits).
+inline constexpr uint8_t kBpfClassLd = 0x00;
+inline constexpr uint8_t kBpfClassLdx = 0x01;
+inline constexpr uint8_t kBpfClassSt = 0x02;
+inline constexpr uint8_t kBpfClassStx = 0x03;
+inline constexpr uint8_t kBpfClassAlu = 0x04;
+inline constexpr uint8_t kBpfClassJmp = 0x05;
+inline constexpr uint8_t kBpfClassJmp32 = 0x06;
+inline constexpr uint8_t kBpfClassAlu64 = 0x07;
+
+// The opcodes the encoder emits (values match the kernel ISA).
+inline constexpr uint8_t kOpLdImm64 = 0x18;   // dst = imm64 (two slots)
+inline constexpr uint8_t kOpLdxMemB = 0x71;   // dst = *(u8*)(src + off)
+inline constexpr uint8_t kOpLdxMemH = 0x69;   // dst = *(u16*)(src + off)
+inline constexpr uint8_t kOpLdxMemW = 0x61;   // dst = *(u32*)(src + off)
+inline constexpr uint8_t kOpLdxMemDw = 0x79;  // dst = *(u64*)(src + off)
+inline constexpr uint8_t kOpStxMemW = 0x63;   // *(u32*)(dst + off) = src
+inline constexpr uint8_t kOpStxMemDw = 0x7b;  // *(u64*)(dst + off) = src
+inline constexpr uint8_t kOpMov64Imm = 0xb7;  // dst = imm
+inline constexpr uint8_t kOpJa = 0x05;        // pc += off
+inline constexpr uint8_t kOpJeqImm = 0x15;    // if dst == imm: pc += off
+inline constexpr uint8_t kOpJneImm = 0x55;    // if dst != imm: pc += off
+inline constexpr uint8_t kOpCall = 0x85;      // call helper imm
+inline constexpr uint8_t kOpExit = 0x95;
+
+struct BpfInsn {
+  uint8_t opcode = 0;
+  uint8_t dst_reg = 0;  // r0..r10
+  uint8_t src_reg = 0;
+  int16_t offset = 0;  // memory displacement, or jump delta in slots
+  int32_t imm = 0;
+  int32_t imm_hi = 0;  // upper immediate half; only meaningful for LD_IMM64
+
+  bool operator==(const BpfInsn&) const = default;
+
+  uint8_t cls() const { return opcode & 0x07; }
+  // LD_IMM64 occupies two 8-byte slots on the wire.
+  bool IsWide() const { return opcode == kOpLdImm64; }
+  bool IsLoad() const {
+    return opcode == kOpLdxMemB || opcode == kOpLdxMemH || opcode == kOpLdxMemW ||
+           opcode == kOpLdxMemDw;
+  }
+  bool IsStore() const { return opcode == kOpStxMemW || opcode == kOpStxMemDw; }
+  bool IsCall() const { return opcode == kOpCall; }
+  bool IsExit() const { return opcode == kOpExit; }
+  bool IsCondJump() const { return opcode == kOpJeqImm || opcode == kOpJneImm; }
+  bool IsUncondJump() const { return opcode == kOpJa; }
+  bool IsJump() const { return IsCondJump() || IsUncondJump(); }
+  int64_t Imm64() const {
+    return static_cast<int64_t>((static_cast<uint64_t>(static_cast<uint32_t>(imm_hi)) << 32) |
+                                static_cast<uint32_t>(imm));
+  }
+  // Number of 8-byte slots this instruction occupies (1 or 2).
+  size_t Slots() const { return IsWide() ? 2 : 1; }
+
+  // Human-readable one-liner ("r2 = *(u64 *)(r1 +0)"); used by findings.
+  std::string ToString() const;
+};
+
+// Convenience constructors matching the emitter's needs.
+BpfInsn LoadField(uint8_t dst, uint8_t src, int16_t offset, uint8_t size_op = kOpLdxMemDw);
+BpfInsn LoadImm64(uint8_t dst, int64_t value);
+BpfInsn MovImm(uint8_t dst, int32_t value);
+BpfInsn CallHelperInsn(int32_t helper_id);
+BpfInsn JumpAlways(int16_t delta);
+BpfInsn JumpEqImm(uint8_t dst, int32_t value, int16_t delta);
+BpfInsn JumpNeImm(uint8_t dst, int32_t value, int16_t delta);
+BpfInsn ExitInsn();
+
+// True when `opcode` is one this codec understands.
+bool IsKnownOpcode(uint8_t opcode);
+
+// Serializes instructions to wire bytes (8 bytes per slot, little-endian).
+std::vector<uint8_t> EncodeInsns(const std::vector<BpfInsn>& insns);
+
+// Decodes a program section's instruction stream. Malformed input (trailing
+// partial slot, unknown opcode, LD_IMM64 missing its second slot) degrades:
+// the well-formed prefix is kept, one kBpf ledger entry records the byte
+// offset of the first bad slot, and decoding stops. With a null ledger the
+// event is silently dropped (the prefix is still returned).
+std::vector<BpfInsn> DecodeInsns(ByteReader reader, DiagnosticLedger* ledger);
+
+// Total wire size in bytes once encoded.
+size_t EncodedSize(const std::vector<BpfInsn>& insns);
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_BPF_BPF_INSN_H_

@@ -31,6 +31,20 @@ const char* HookKindName(HookKind kind) {
   return "?";
 }
 
+const char* CoreRelocKindName(CoreRelocKind kind) {
+  switch (kind) {
+    case CoreRelocKind::kFieldByteOffset:
+      return "field_byte_offset";
+    case CoreRelocKind::kFieldSize:
+      return "field_size";
+    case CoreRelocKind::kFieldExists:
+      return "field_exists";
+    case CoreRelocKind::kTypeExists:
+      return "type_exists";
+  }
+  return "?";
+}
+
 std::optional<Hook> ParseHookSection(const std::string& section_name) {
   auto after = [&](std::string_view prefix) {
     return section_name.substr(prefix.size());
@@ -38,17 +52,33 @@ std::optional<Hook> ParseHookSection(const std::string& section_name) {
   if (StartsWith(section_name, "kprobe/")) {
     return Hook{HookKind::kKprobe, after("kprobe/"), ""};
   }
+  // libbpf's multi-attach variant targets the same functions.
+  if (StartsWith(section_name, "kprobe.multi/")) {
+    return Hook{HookKind::kKprobe, after("kprobe.multi/"), ""};
+  }
   if (StartsWith(section_name, "kretprobe/")) {
     return Hook{HookKind::kKretprobe, after("kretprobe/"), ""};
   }
   if (StartsWith(section_name, "fentry/")) {
     return Hook{HookKind::kFentry, after("fentry/"), ""};
   }
+  // Sleepable variant: same attach point, different program flags.
+  if (StartsWith(section_name, "fentry.s/")) {
+    return Hook{HookKind::kFentry, after("fentry.s/"), ""};
+  }
+  // fmod_ret shares fentry's attachment mechanism (function entry via the
+  // BPF trampoline); for dependency purposes it is a function hook.
+  if (StartsWith(section_name, "fmod_ret/")) {
+    return Hook{HookKind::kFentry, after("fmod_ret/"), ""};
+  }
   if (StartsWith(section_name, "fexit/")) {
     return Hook{HookKind::kFexit, after("fexit/"), ""};
   }
   if (StartsWith(section_name, "lsm/")) {
     return Hook{HookKind::kLsm, after("lsm/"), ""};
+  }
+  if (StartsWith(section_name, "lsm.s/")) {
+    return Hook{HookKind::kLsm, after("lsm.s/"), ""};
   }
   if (StartsWith(section_name, "raw_tracepoint/") || StartsWith(section_name, "raw_tp/") ||
       StartsWith(section_name, "tp_btf/")) {

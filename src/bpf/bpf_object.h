@@ -14,7 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "src/bpf/bpf_insn.h"
 #include "src/btf/btf.h"
+#include "src/util/diagnostic_ledger.h"
 #include "src/util/error.h"
 
 namespace depsurf {
@@ -58,10 +60,21 @@ enum class CoreRelocKind : uint32_t {
   kTypeExists = 8,  // struct referenced without field access
 };
 
+// "field_byte_offset" / "field_size" / "field_exists" / "type_exists".
+const char* CoreRelocKindName(CoreRelocKind kind);
+
+// prog_index value for a relocation not bound to any instruction (legacy
+// objects written before instruction streams existed, or synthetic records).
+inline constexpr uint32_t kRelocUnbound = 0xffffffffu;
+
 struct CoreReloc {
   BtfTypeId root_type_id = 0;  // in the program's own BTF
   std::string access_str;      // "0:1:2": deref, then member indices
   CoreRelocKind kind = CoreRelocKind::kFieldByteOffset;
+  // Instruction binding: which program, and the byte offset (into that
+  // program's section) of the instruction this record patches.
+  uint32_t prog_index = kRelocUnbound;
+  uint32_t insn_off = 0;
 
   bool operator==(const CoreReloc&) const = default;
 };
@@ -69,6 +82,7 @@ struct CoreReloc {
 struct BpfProgram {
   std::string name;  // program (function) name
   Hook hook;
+  std::vector<BpfInsn> insns;  // the program's instruction stream
 };
 
 struct BpfObject {
@@ -101,7 +115,12 @@ inline constexpr char kBtfExtSection[] = ".BTF.ext";
 inline constexpr uint32_t kBtfExtMagic = 0xeBF1;
 
 Result<std::vector<uint8_t>> WriteBpfObject(const BpfObject& object);
-Result<BpfObject> ParseBpfObject(std::vector<uint8_t> bytes);
+// Parses an object from ELF bytes. With a non-null `ledger`, malformed
+// instruction streams degrade per program (the well-formed prefix is kept
+// and a kBpf entry records the failing byte offset) instead of failing the
+// whole object; .BTF / .BTF.ext problems remain fatal either way.
+Result<BpfObject> ParseBpfObject(std::vector<uint8_t> bytes,
+                                 DiagnosticLedger* ledger = nullptr);
 
 }  // namespace depsurf
 

@@ -153,6 +153,30 @@ BpfObject BuildReadahead() {
 
 }  // namespace
 
+BpfObject BuildGuardedProbe() {
+  BpfObjectBuilder builder("guarded_probe");
+  builder.AttachKprobe("blk_account_io_start");
+  // perf_event_output (v4.4) is available corpus-wide; ringbuf_output
+  // (v5.8) trips the availability lint on older images.
+  builder.CallHelper(25);
+  Status ok = builder.BeginGuard("request", "rq_disk", "struct gendisk *");
+  ok = builder.AccessField("request", "rq_disk", "struct gendisk *");
+  ok = builder.EndGuard();
+  (void)ok;
+  builder.CallHelper(133);
+  return builder.Build();
+}
+
+BpfObject BuildRawOffsetProbe() {
+  BpfObjectBuilder builder("rawoffset_probe");
+  builder.AttachKprobe("blk_account_io_start");
+  // The non-CO-RE pattern: request->rq_disk read at the offset the author's
+  // build machine happened to have.
+  builder.RawOffsetDeref(104);
+  builder.CallHelper(6);
+  return builder.Build();
+}
+
 ProgramCorpus BuildProgramCorpus() {
   ProgramCorpus corpus;
   size_t func_cursor = 0;

@@ -28,6 +28,15 @@ struct ProgramCorpus {
 // Deterministic; safe to call repeatedly.
 ProgramCorpus BuildProgramCorpus();
 
+// Analyzer showcase objects (not Table 7 rows; dependencies use the
+// curated real-kernel lineages, so they check meaningfully against study
+// datasets). BuildGuardedProbe wraps its request::rq_disk access in a
+// bpf_core_field_exists guard; BuildRawOffsetProbe reads the same field
+// through a hardcoded offset with no relocation instead — the pair the
+// analyzer's guard/raw-offset lints are locked against.
+BpfObject BuildGuardedProbe();
+BpfObject BuildRawOffsetProbe();
+
 // Curated catalog + corpus additions: the catalog the study images use.
 ScriptedCatalog BuildStudyCatalog();
 

@@ -62,6 +62,29 @@ Result<DependencySet> ExtractDependencySet(const BpfObject& object) {
       }
     }
   }
+  // Instruction-stream entries: helper ids from call sites, and loads
+  // whose (program, insn_off) no relocation claims — implicit layout
+  // dependencies a CO-RE loader cannot repair. Stack access (r10) is not a
+  // kernel dependency.
+  for (size_t p = 0; p < object.programs.size(); ++p) {
+    const BpfProgram& program = object.programs[p];
+    std::set<uint32_t> bound_offsets;
+    for (const CoreReloc& reloc : object.relocs) {
+      if (reloc.prog_index == p) {
+        bound_offsets.insert(reloc.insn_off);
+      }
+    }
+    uint32_t byte_off = 0;
+    for (const BpfInsn& insn : program.insns) {
+      if (insn.IsCall()) {
+        set.helper_ids.insert(static_cast<uint32_t>(insn.imm));
+      }
+      if (insn.IsLoad() && insn.src_reg != 10 && bound_offsets.count(byte_off) == 0) {
+        set.raw_offsets.insert(RawOffsetDep{program.name, byte_off, insn.offset});
+      }
+      byte_off += static_cast<uint32_t>(insn.Slots() * 8);
+    }
+  }
   obs::MetricsRegistry& metrics = obs::Context::Current().metrics();
   metrics.Incr("deps.sets_extracted");
   metrics.Incr("deps.funcs", set.NumFuncs());
@@ -69,6 +92,8 @@ Result<DependencySet> ExtractDependencySet(const BpfObject& object) {
   metrics.Incr("deps.fields", set.NumFields());
   metrics.Incr("deps.tracepoints", set.NumTracepoints());
   metrics.Incr("deps.syscalls", set.NumSyscalls());
+  metrics.Incr("deps.helpers", set.NumHelpers());
+  metrics.Incr("deps.raw_offsets", set.NumRawOffsets());
   span.AddAttr("funcs", static_cast<uint64_t>(set.NumFuncs()));
   span.AddAttr("fields", static_cast<uint64_t>(set.NumFields()));
   return set;

@@ -18,6 +18,17 @@ struct FieldDep {
   bool guarded = false;       // behind a bpf_core_field_exists check
 };
 
+// An implicit struct-layout dependency: a load at a displacement frozen at
+// compile time, with no CO-RE relocation to repair it. Invisible to the
+// reloc-based extraction above; recovered from the instruction stream.
+struct RawOffsetDep {
+  std::string program;      // program (function) name
+  uint32_t insn_off = 0;    // byte offset of the load in its section
+  int16_t displacement = 0;  // the hardcoded offset
+
+  auto operator<=>(const RawOffsetDep&) const = default;
+};
+
 struct DependencySet {
   std::string program;
   // kprobe/kretprobe/fentry/fexit targets.
@@ -29,12 +40,19 @@ struct DependencySet {
   // struct -> field -> expectation. Structs with no direct field reads
   // still appear with an empty field map.
   std::map<std::string, std::map<std::string, FieldDep>> fields;
+  // Helper ids hardwired into call instructions (checked against the
+  // kernel's availability table by the analyzer).
+  std::set<uint32_t> helper_ids;
+  // Implicit layout dependencies from unrelocated loads.
+  std::set<RawOffsetDep> raw_offsets;
 
   size_t NumFuncs() const { return funcs.size(); }
   size_t NumStructs() const { return fields.size(); }
   size_t NumFields() const;
   size_t NumTracepoints() const { return tracepoints.size(); }
   size_t NumSyscalls() const { return syscalls.size(); }
+  size_t NumHelpers() const { return helper_ids.size(); }
+  size_t NumRawOffsets() const { return raw_offsets.size(); }
 };
 
 Result<DependencySet> ExtractDependencySet(const BpfObject& object);

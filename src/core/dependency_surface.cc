@@ -528,6 +528,27 @@ Result<DependencySurface> DependencySurface::Extract(std::vector<uint8_t> image_
     }
   }
 
+  // ---- BPF helper ids (.bpf_helpers, written by kernelgen; name kept in
+  // sync with kBpfHelpersSection there). A truncated table keeps every id
+  // decoded before the break.
+  if (const ElfSectionView* helpers_section = reader.SectionByName(".bpf_helpers")) {
+    auto walk = [&]() -> Status {
+      DEPSURF_ASSIGN_OR_RETURN(ids, reader.SectionData(*helpers_section));
+      while (ids.remaining() >= 4) {
+        DEPSURF_ASSIGN_OR_RETURN(id, ids.ReadU32());
+        surface.helpers_.insert(id);
+      }
+      return Status::Ok();
+    };
+    if (Status st = walk(); !st.ok()) {
+      if (health.btf == DegradationState::kClean) {
+        health.btf = DegradationState::kDegraded;
+      }
+      ledger.AddError(DiagSeverity::kDegraded, DiagSubsystem::kBtf,
+                      st.error().Wrap(".bpf_helpers unreadable"));
+    }
+  }
+
   // Functions that are really tracepoint machinery or syscall stubs must
   // not pollute the function surface (they are reachable through their own
   // tables above). Our DWARF only covers source functions, but scripted
@@ -567,6 +588,7 @@ Result<DependencySurface> DependencySurface::Extract(std::vector<uint8_t> image_
   metrics.Incr("surface.tracepoints", surface.tracepoints_.size());
   metrics.Incr("surface.syscalls", surface.syscalls_.size());
   metrics.Incr("surface.kfuncs", surface.kfuncs_.size());
+  metrics.Incr("surface.helpers", surface.helpers_.size());
   metrics.Incr("surface.funcs_fully_inlined", fully_inlined);
   metrics.Incr("surface.funcs_selectively_inlined", selectively_inlined);
   metrics.Incr("surface.funcs_transformed", transformed);

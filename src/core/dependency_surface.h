@@ -129,6 +129,9 @@ class DependencySurface {
 
   // kfunc names (from the image's .BTF_ids registration section).
   const std::set<std::string>& kfuncs() const { return kfuncs_; }
+  // BPF helper ids this kernel exports (from the .bpf_helpers section
+  // kernelgen embeds). Empty on images without the section.
+  const std::set<uint32_t>& helpers() const { return helpers_; }
   // LSM hooks are identified by the security_ prefix, as in the paper.
   static bool IsLsmHook(const std::string& name);
 
@@ -146,6 +149,7 @@ class DependencySurface {
   std::map<std::string, TracepointEntry> tracepoints_;
   std::map<std::string, SyscallEntry> syscalls_;
   std::set<std::string> kfuncs_;
+  std::set<uint32_t> helpers_;
 };
 
 }  // namespace depsurf

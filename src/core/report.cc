@@ -39,6 +39,8 @@ const char* ConsequenceName(Consequence consequence) {
       return "stray read";
     case Consequence::kMissingInvocation:
       return "missing invocation";
+    case Consequence::kHandledByProgram:
+      return "handled by program";
   }
   return "?";
 }
@@ -106,6 +108,14 @@ Consequence ConsequenceOf(DepKind kind, MismatchKind mismatch) {
   return Consequence::kNone;
 }
 
+Consequence ConsequenceOf(DepKind kind, MismatchKind mismatch, bool guarded) {
+  if (guarded && (kind == DepKind::kField || kind == DepKind::kStruct) &&
+      mismatch == MismatchKind::kAbsent) {
+    return Consequence::kHandledByProgram;
+  }
+  return ConsequenceOf(kind, mismatch);
+}
+
 Implication ImplicationOf(Consequence consequence) {
   switch (consequence) {
     case Consequence::kCompilationError:
@@ -117,6 +127,7 @@ Implication ImplicationOf(Consequence consequence) {
     case Consequence::kMissingInvocation:
       return Implication::kIncompleteResult;
     case Consequence::kNone:
+    case Consequence::kHandledByProgram:
       return Implication::kNone;
   }
   return Implication::kNone;

@@ -21,6 +21,11 @@ enum class Consequence : uint8_t {
   kAttachmentError,
   kStrayRead,
   kMissingInvocation,
+  // A field-missing mismatch whose access the program itself guards with a
+  // bpf_core_field_exists branch: the load never executes on kernels
+  // without the field, so the mismatch is benign. Assigned only via the
+  // guard-aware ConsequenceOf overload (the analyzer supplies the facts).
+  kHandledByProgram,
 };
 const char* ConsequenceName(Consequence consequence);
 
@@ -35,6 +40,10 @@ const char* ImplicationName(Implication implication);
 // Table 1's mapping from (construct kind, mismatch) to consequence, and
 // Table 2's mapping from consequence to implication.
 Consequence ConsequenceOf(DepKind kind, MismatchKind mismatch);
+// Guard-aware refinement: a field-absent mismatch dominated by an
+// exists-guard downgrades from load failure to kHandledByProgram; every
+// other (kind, mismatch) pair is unaffected by `guarded`.
+Consequence ConsequenceOf(DepKind kind, MismatchKind mismatch, bool guarded);
 Implication ImplicationOf(Consequence consequence);
 
 // Per-construct-kind unique-dependency counts (one Table 7 row segment).

@@ -1,0 +1,71 @@
+#include "src/kernelgen/helpers.h"
+
+namespace depsurf {
+
+const std::vector<HelperSpec>& HelperCatalog() {
+  // Ids and introduction points follow the kernel's enum bpf_func_id /
+  // bpf-helpers(7). Curated to the helpers tracing tools actually call;
+  // the corpus spans v4.4..v6.x, so the interesting breakpoints are the
+  // post-4.4 entries.
+  static const std::vector<HelperSpec> kCatalog = {
+      {1, "bpf_map_lookup_elem", {3, 19}},
+      {2, "bpf_map_update_elem", {3, 19}},
+      {3, "bpf_map_delete_elem", {3, 19}},
+      {4, "bpf_probe_read", {4, 1}},
+      {5, "bpf_ktime_get_ns", {4, 1}},
+      {6, "bpf_trace_printk", {4, 1}},
+      {8, "bpf_get_smp_processor_id", {4, 1}},
+      {14, "bpf_get_current_pid_tgid", {4, 2}},
+      {15, "bpf_get_current_uid_gid", {4, 2}},
+      {16, "bpf_get_current_comm", {4, 2}},
+      {22, "bpf_perf_event_read", {4, 3}},
+      {25, "bpf_perf_event_output", {4, 4}},
+      {27, "bpf_get_stackid", {4, 6}},
+      {35, "bpf_get_current_task", {4, 8}},
+      {36, "bpf_probe_write_user", {4, 8}},
+      {45, "bpf_probe_read_str", {4, 11}},
+      {67, "bpf_get_stack", {4, 18}},
+      {93, "bpf_spin_lock", {5, 1}},
+      {94, "bpf_spin_unlock", {5, 1}},
+      {112, "bpf_probe_read_user", {5, 5}},
+      {113, "bpf_probe_read_kernel", {5, 5}},
+      {114, "bpf_probe_read_user_str", {5, 5}},
+      {115, "bpf_probe_read_kernel_str", {5, 5}},
+      {125, "bpf_ktime_get_boot_ns", {5, 7}},
+      {130, "bpf_ringbuf_reserve", {5, 8}},
+      {131, "bpf_ringbuf_submit", {5, 8}},
+      {132, "bpf_ringbuf_discard", {5, 8}},
+      {133, "bpf_ringbuf_output", {5, 8}},
+      {141, "bpf_snprintf_btf", {5, 10}},
+      {158, "bpf_task_storage_get", {5, 11}},
+      {176, "bpf_kallsyms_lookup_name", {5, 16}},
+      {211, "bpf_cgrp_storage_get", {6, 2}},
+  };
+  return kCatalog;
+}
+
+const HelperSpec* FindHelper(uint32_t id) {
+  for (const HelperSpec& spec : HelperCatalog()) {
+    if (spec.id == id) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+bool HelperAvailable(uint32_t id, KernelVersion version) {
+  const HelperSpec* spec = FindHelper(id);
+  return spec != nullptr && spec->introduced <= version;
+}
+
+std::vector<uint32_t> AvailableHelperIds(KernelVersion version) {
+  std::vector<uint32_t> out;
+  for (const HelperSpec& spec : HelperCatalog()) {
+    if (spec.introduced <= version) {
+      out.push_back(spec.id);
+    }
+  }
+  return out;
+}
+
+}  // namespace depsurf

@@ -1,0 +1,46 @@
+// Per-kernel-version BPF helper availability.
+//
+// Helper functions are the other half of the kernel interface an eBPF
+// program depends on ("The eBPF Runtime in the Linux Kernel" catalogs
+// them): each helper id is hardwired into `call` instructions at compile
+// time, and loading fails on kernels that predate the helper. The table
+// below is a curated slice of the real uapi helper list (ids match
+// enum bpf_func_id) with the release that introduced each one; kernelgen
+// embeds the available subset into every synthesized image as a
+// `.bpf_helpers` section, and the analyzer checks call sites against it.
+#ifndef DEPSURF_SRC_KERNELGEN_HELPERS_H_
+#define DEPSURF_SRC_KERNELGEN_HELPERS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/kmodel/kernel_version.h"
+
+namespace depsurf {
+
+struct HelperSpec {
+  uint32_t id = 0;
+  const char* name = "";
+  KernelVersion introduced;
+};
+
+// The full curated catalog, ordered by id.
+const std::vector<HelperSpec>& HelperCatalog();
+
+// nullptr when the id is not in the catalog.
+const HelperSpec* FindHelper(uint32_t id);
+
+// False for unknown ids or helpers introduced after `version`.
+bool HelperAvailable(uint32_t id, KernelVersion version);
+
+// Ids of every helper available at `version`, ascending (what kernelgen
+// writes into the image's .bpf_helpers section).
+std::vector<uint32_t> AvailableHelperIds(KernelVersion version);
+
+// Section name kernelgen writes and the surface extractor reads.
+inline constexpr char kBpfHelpersSection[] = ".bpf_helpers";
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_KERNELGEN_HELPERS_H_

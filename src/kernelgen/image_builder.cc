@@ -7,6 +7,7 @@
 #include "src/btf/btf_codec.h"
 #include "src/dwarf/dwarf_codec.h"
 #include "src/elf/elf_writer.h"
+#include "src/kernelgen/helpers.h"
 #include "src/kernelgen/syscalls.h"
 #include "src/kmodel/type_lang.h"
 #include "src/obs/context.h"
@@ -393,6 +394,18 @@ Result<std::vector<uint8_t>> BuildKernelImage(const CompiledImage& image) {
       }
     }
     writer.AddSection(".BTF_ids", SectionType::kProgbits, ids.TakeBytes());
+  }
+
+  // ---- .bpf_helpers: the BPF helper ids this kernel version exports
+  // (stand-in for the real kernel's bpf_tracing_func_proto switch). The
+  // surface extractor reads this into helpers(); the analyzer checks call
+  // sites against it.
+  {
+    ByteWriter ids(endian);
+    for (uint32_t id : AvailableHelperIds(build.version)) {
+      ids.WriteU32(id);
+    }
+    writer.AddSection(kBpfHelpersSection, SectionType::kProgbits, ids.TakeBytes());
   }
 
   // ---- Embedded configuration summary (like Ubuntu's /boot config or the

@@ -561,6 +561,155 @@ Status ValidateDiagnosticsDoc(std::string_view json) {
   return ValidateDiagnosticsArray(*entries);
 }
 
+Status ValidateAnalysisDoc(std::string_view json) {
+  auto parsed = ParseJson(json);
+  if (!parsed.ok()) {
+    return parsed.TakeError();
+  }
+  const JsonValue& doc = *parsed;
+  // Mirrors kAnalysisSchema (src/analyzer/analyzer.h); obs cannot depend on
+  // the analyzer layer, so the marker is checked by value.
+  constexpr char kWantSchema[] = "depsurf.analysis.v1";
+  const JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::kString ||
+      schema->string != kWantSchema) {
+    return Status(ErrorCode::kMalformedData,
+                  StrFormat("missing or wrong schema marker (want %s)", kWantSchema));
+  }
+  const JsonValue* object = doc.Find("object");
+  if (object == nullptr || object->kind != JsonValue::Kind::kString) {
+    return Status(ErrorCode::kMalformedData, "missing \"object\" string");
+  }
+  const JsonValue* against = doc.Find("against");
+  if (against == nullptr ||
+      (against->kind != JsonValue::Kind::kNull &&
+       against->kind != JsonValue::Kind::kObject)) {
+    return Status(ErrorCode::kMalformedData, "\"against\" must be null or an object");
+  }
+  if (against->kind == JsonValue::Kind::kObject) {
+    const JsonValue* images = against->Find("images");
+    if (images == nullptr || images->kind != JsonValue::Kind::kNumber) {
+      return Status(ErrorCode::kMalformedData, "against.images is not a number");
+    }
+  }
+  const JsonValue* programs = doc.Find("programs");
+  if (programs == nullptr || programs->kind != JsonValue::Kind::kArray) {
+    return Status(ErrorCode::kMalformedData, "missing \"programs\" array");
+  }
+  for (size_t i = 0; i < programs->array.size(); ++i) {
+    const JsonValue& program = programs->array[i];
+    for (const char* key : {"name", "section"}) {
+      const JsonValue* member = program.Find(key);
+      if (member == nullptr || member->kind != JsonValue::Kind::kString) {
+        return Status(ErrorCode::kMalformedData,
+                      StrFormat("programs[%zu].%s is not a string", i, key));
+      }
+    }
+    for (const char* key : {"insns", "blocks", "reachable_insns", "helper_calls"}) {
+      const JsonValue* member = program.Find(key);
+      if (member == nullptr || member->kind != JsonValue::Kind::kNumber) {
+        return Status(ErrorCode::kMalformedData,
+                      StrFormat("programs[%zu].%s is not a number", i, key));
+      }
+    }
+  }
+  const JsonValue* relocs = doc.Find("relocs");
+  if (relocs == nullptr || relocs->kind != JsonValue::Kind::kArray) {
+    return Status(ErrorCode::kMalformedData, "missing \"relocs\" array");
+  }
+  for (size_t i = 0; i < relocs->array.size(); ++i) {
+    const JsonValue& reloc = relocs->array[i];
+    const JsonValue* index = reloc.Find("index");
+    if (index == nullptr || index->kind != JsonValue::Kind::kNumber) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("relocs[%zu].index is not a number", i));
+    }
+    const JsonValue* kind = reloc.Find("kind");
+    if (kind == nullptr || kind->kind != JsonValue::Kind::kString) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("relocs[%zu].kind is not a string", i));
+    }
+    for (const char* key : {"reachable", "unguarded"}) {
+      const JsonValue* member = reloc.Find(key);
+      if (member == nullptr || member->kind != JsonValue::Kind::kBool) {
+        return Status(ErrorCode::kMalformedData,
+                      StrFormat("relocs[%zu].%s is not a bool", i, key));
+      }
+    }
+    if (against->kind == JsonValue::Kind::kObject) {
+      const JsonValue* consequence = reloc.Find("consequence");
+      if (consequence == nullptr || consequence->kind != JsonValue::Kind::kString) {
+        return Status(ErrorCode::kMalformedData,
+                      StrFormat("relocs[%zu].consequence is not a string "
+                                "(required with \"against\")",
+                                i));
+      }
+    }
+  }
+  const JsonValue* findings = doc.Find("findings");
+  if (findings == nullptr || findings->kind != JsonValue::Kind::kArray) {
+    return Status(ErrorCode::kMalformedData, "missing \"findings\" array");
+  }
+  constexpr const char* kFindingKinds[] = {"raw-offset-deref", "unguarded-reloc",
+                                           "unknown-helper", "unreachable-reloc"};
+  for (size_t i = 0; i < findings->array.size(); ++i) {
+    const JsonValue& finding = findings->array[i];
+    const JsonValue* kind = finding.Find("kind");
+    bool known = false;
+    if (kind != nullptr && kind->kind == JsonValue::Kind::kString) {
+      for (const char* name : kFindingKinds) {
+        known = known || kind->string == name;
+      }
+    }
+    if (!known) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("findings[%zu].kind is not a known finding kind", i));
+    }
+    const JsonValue* program = finding.Find("program");
+    if (program == nullptr || program->kind != JsonValue::Kind::kString) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("findings[%zu].program is not a string", i));
+    }
+    const JsonValue* insn_off = finding.Find("insn_off");
+    if (insn_off == nullptr || insn_off->kind != JsonValue::Kind::kNumber) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("findings[%zu].insn_off is not a number", i));
+    }
+    const JsonValue* detail = finding.Find("detail");
+    if (detail == nullptr || detail->kind != JsonValue::Kind::kString) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("findings[%zu].detail is not a string", i));
+    }
+  }
+  const JsonValue* summary = doc.Find("summary");
+  if (summary == nullptr || summary->kind != JsonValue::Kind::kObject) {
+    return Status(ErrorCode::kMalformedData, "missing \"summary\" object");
+  }
+  const JsonValue* total = summary->Find("findings");
+  if (total == nullptr || total->kind != JsonValue::Kind::kNumber) {
+    return Status(ErrorCode::kMalformedData, "summary.findings is not a number");
+  }
+  double sum = 0;
+  for (const char* key :
+       {"raw_offset_deref", "unguarded_reloc", "unknown_helper", "unreachable_reloc"}) {
+    const JsonValue* count = summary->Find(key);
+    if (count == nullptr || count->kind != JsonValue::Kind::kNumber) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("summary.%s is not a number", key));
+    }
+    sum += count->number;
+  }
+  if (sum != total->number) {
+    return Status(ErrorCode::kMalformedData,
+                  "summary per-kind counts do not sum to summary.findings");
+  }
+  if (total->number != static_cast<double>(findings->array.size())) {
+    return Status(ErrorCode::kMalformedData,
+                  "summary.findings does not match the findings array length");
+  }
+  return Status::Ok();
+}
+
 std::string CanonicalMaskedJson(const JsonValue& value) {
   const JsonValue* schema = value.Find("schema");
   if (schema != nullptr && schema->kind == JsonValue::Kind::kString &&

@@ -56,6 +56,14 @@ Status ValidateDiagnosticsArray(const JsonValue& array, bool labeled = false);
 // clean/degraded/missing, "fatal" bool, and a valid "entries" array.
 Status ValidateDiagnosticsDoc(std::string_view json);
 
+// Validates a depsurf.analysis.v1 document (`depsurf analyze --json`):
+// schema marker, "object" string, "against" (null or an object with an
+// "images" count), "programs"/"relocs"/"findings" arrays whose entries
+// carry their required members, and a "summary" whose per-kind counts sum
+// to its "findings" total. The schema is defined by the analyzer layer;
+// this checks structure only, so the obs library stays dependency-free.
+Status ValidateAnalysisDoc(std::string_view json);
+
 // Distinct span names in a parsed report (empty if not a report).
 std::set<std::string> CollectSpanNames(const JsonValue& report);
 

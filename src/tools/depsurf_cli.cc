@@ -7,6 +7,7 @@
 //   depsurf doctor  IMAGE [--sweep=N] [--json]    triage a damaged image / fault sweep
 //   depsurf diff    OLD NEW                       diff two images (Table 3/4 style)
 //   depsurf check   OBJECT IMAGE...               report mismatches for an eBPF object
+//   depsurf analyze OBJECT [--against=DATASET]    static analysis of the insn stream
 //   depsurf progs                                 list the bundled 53-program corpus
 //   depsurf emit    PROGRAM --out=OBJ             write a bundled program's .o
 //   depsurf metrics lint|canon FILE               validate / canonicalize a report
@@ -27,6 +28,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "src/analyzer/analyzer.h"
 #include "src/bpf/core_reloc_engine.h"
 #include "src/btf/btf_print.h"
 #include "src/core/dataset_io.h"
@@ -433,6 +435,14 @@ int CmdMetrics(int argc, char** argv) {
     printf("%s: valid %s\n", positional[1].c_str(), obs::kDiagnosticsSchema);
     return 0;
   }
+  if (kind == "analysis") {
+    Status valid = obs::ValidateAnalysisDoc(text);
+    if (!valid.ok()) {
+      return DiagError(positional[1], valid.error());
+    }
+    printf("%s: valid depsurf.analysis.v1\n", positional[1].c_str());
+    return 0;
+  }
   if (kind == "trace") {
     auto json = obs::ParseJson(text);
     if (!json.ok()) {
@@ -459,7 +469,8 @@ int CmdMetrics(int argc, char** argv) {
            json->Find("traceEvents")->array.size());
     return 0;
   }
-  return DiagError("unknown --kind=" + kind + " (report|agg|bench|perf|trace|diag)");
+  return DiagError("unknown --kind=" + kind +
+                   " (report|agg|bench|perf|trace|diag|analysis)");
 }
 
 // Merges run reports (per-image documents from a study build, or prior
@@ -736,6 +747,76 @@ int CmdCheck(int argc, char** argv) {
   return report.AnyMismatch() ? 2 : 0;  // like grep: 2 = mismatches found
 }
 
+// Static analysis of a compiled object's instruction streams (CFG,
+// reachability, register provenance, guard dominance). Exit 0 when clean,
+// 2 when the analyzer reports findings, 1 when the object is unreadable.
+int CmdAnalyze(int argc, char** argv) {
+  auto positional = Positional(argc, argv);
+  if (positional.empty()) {
+    return DiagError("analyze requires an OBJECT path");
+  }
+  auto bytes = ReadFile(positional[0]);
+  if (!bytes.ok()) {
+    return DiagError(bytes.error());
+  }
+  DiagnosticLedger ledger;
+  auto object = ParseBpfObject(bytes.TakeValue(), &ledger);
+  if (!object.ok()) {
+    return DiagError(positional[0] + ": " + object.error().ToString());
+  }
+  Dataset dataset;
+  AnalyzeOptions opts;
+  std::string dataset_path = FlagValue(argc, argv, "against", "");
+  if (!dataset_path.empty()) {
+    auto dataset_bytes = ReadFile(dataset_path);
+    if (!dataset_bytes.ok()) {
+      return DiagError(dataset_bytes.error());
+    }
+    auto loaded = LoadDataset(*dataset_bytes);
+    if (!loaded.ok()) {
+      return DiagError(dataset_path + ": " + loaded.error().ToString());
+    }
+    dataset = loaded.TakeValue();
+    opts.against = &dataset;
+  }
+  ObjectAnalysis analysis = AnalyzeObject(*object, opts);
+  if (HasFlag(argc, argv, "json")) {
+    printf("%s", AnalysisToJson(analysis).c_str());
+  } else {
+    printf("object %s: %zu programs, %zu relocs%s\n", analysis.object_name.c_str(),
+           analysis.programs.size(), analysis.relocs.size(),
+           analysis.against_dataset
+               ? StrFormat(" (against %zu images)", analysis.against_images).c_str()
+               : "");
+    for (const ProgramAnalysis& program : analysis.programs) {
+      printf("  %-28s %s: %zu insns, %zu blocks, %zu reachable, %zu helper calls\n",
+             program.name.c_str(), program.section.c_str(), program.insn_count,
+             program.block_count, program.reachable_insns, program.helper_calls);
+    }
+    for (const RelocVerdict& verdict : analysis.relocs) {
+      printf("  reloc [%zu] %s %s%s%s %s%s%s\n", verdict.index,
+             CoreRelocKindName(verdict.kind), verdict.struct_name.c_str(),
+             verdict.field_name.empty() ? "" : "::",
+             verdict.field_name.c_str(),
+             verdict.bound
+                 ? StrFormat("%s+%u", verdict.program.c_str(), verdict.insn_off).c_str()
+                 : "(unbound)",
+             verdict.unguarded ? "" : " [guarded]",
+             verdict.consequence.empty() ? "" : (" -> " + verdict.consequence).c_str());
+    }
+    for (const Finding& finding : analysis.findings) {
+      printf("  %s %s+%u: %s\n", FindingKindName(finding.kind),
+             finding.program.c_str(), finding.insn_off, finding.detail.c_str());
+    }
+    printf("%zu findings\n", analysis.findings.size());
+  }
+  // Salvage notes go to stderr so --json output stays machine-clean.
+  for (const DiagnosticEntry& entry : ledger.entries()) {
+    fprintf(stderr, "note: %s\n", entry.ToString().c_str());
+  }
+  return analysis.findings.empty() ? 0 : 2;
+}
+
 int CmdDataset(int argc, char** argv) {
   auto positional = Positional(argc, argv);
   if (positional.empty()) {
@@ -830,12 +911,14 @@ constexpr char kUsage[] =
     "  stats   IMG [--json]\n"
     "  diff    OLD NEW [--verbose]\n"
     "  check   OBJ [IMG...] [--dataset=FILE] (exit 2 when mismatches are found)\n"
+    "  analyze OBJ [--against=DATASET] [--json] (exit 2 on findings, 1 if unreadable)\n"
     "  dataset build IMG... --out=FILE | dataset info FILE\n"
     "  progs\n"
     "  emit    PROGRAM --out=OBJ\n"
     "  doctor  IMG [--sweep=N] [--seed=S] [--json]\n"
     "          (exit 2 when the image needed salvage, 1 when unreadable)\n"
-    "  metrics lint FILE [--kind=report|agg|bench|perf|trace|diag] [--min-spans=N]\n"
+    "  metrics lint FILE [--kind=report|agg|bench|perf|trace|diag|analysis]\n"
+    "          [--min-spans=N]\n"
     "          [--require=a,b,c] [--report=FILE] | metrics canon FILE\n"
     "  report  merge OUT IN...\n"
     "  perf    compare BASE.json HEAD.json [--max-regress=15%] [--noise-floor=S] [--json]\n"
@@ -862,6 +945,9 @@ int Dispatch(int argc, char** argv, const std::string& command) {
   }
   if (command == "check") {
     return CmdCheck(argc, argv);
+  }
+  if (command == "analyze") {
+    return CmdAnalyze(argc, argv);
   }
   if (command == "dataset") {
     return CmdDataset(argc, argv);

@@ -48,6 +48,47 @@ TEST(HookSectionTest, ParseKnownForms) {
   EXPECT_FALSE(ParseHookSection("tracepoint/syscalls/unrelated").has_value());
 }
 
+TEST(HookSectionTest, ParseModernSpellings) {
+  // libbpf section spellings newer tools emit: multi-attach kprobes,
+  // sleepable fentry/lsm variants, and fmod_ret (which attaches at function
+  // entry via the same trampoline as fentry).
+  auto multi = ParseHookSection("kprobe.multi/vfs_*");
+  ASSERT_TRUE(multi.has_value());
+  EXPECT_EQ(multi->kind, HookKind::kKprobe);
+  EXPECT_EQ(multi->target, "vfs_*");
+
+  auto sleepable = ParseHookSection("fentry.s/vfs_fsync");
+  ASSERT_TRUE(sleepable.has_value());
+  EXPECT_EQ(sleepable->kind, HookKind::kFentry);
+  EXPECT_EQ(sleepable->target, "vfs_fsync");
+
+  auto fmod = ParseHookSection("fmod_ret/security_file_open");
+  ASSERT_TRUE(fmod.has_value());
+  EXPECT_EQ(fmod->kind, HookKind::kFentry);
+  EXPECT_EQ(fmod->target, "security_file_open");
+
+  auto lsm_s = ParseHookSection("lsm.s/bprm_check_security");
+  ASSERT_TRUE(lsm_s.has_value());
+  EXPECT_EQ(lsm_s->kind, HookKind::kLsm);
+  EXPECT_EQ(lsm_s->target, "bprm_check_security");
+}
+
+TEST(HookSectionTest, FexitObjectRoundTrip) {
+  BpfObjectBuilder builder("exitprobe");
+  builder.AttachFexit("vfs_read");
+  BpfObject original = builder.Build();
+  ASSERT_EQ(original.programs.size(), 1u);
+  EXPECT_EQ(HookSectionName(original.programs[0].hook), "fexit/vfs_read");
+
+  auto bytes = WriteBpfObject(original);
+  ASSERT_TRUE(bytes.ok()) << bytes.error().ToString();
+  auto parsed = ParseBpfObject(bytes.TakeValue());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  ASSERT_EQ(parsed->programs.size(), 1u);
+  EXPECT_EQ(parsed->programs[0].hook.kind, HookKind::kFexit);
+  EXPECT_EQ(parsed->programs[0].hook.target, "vfs_read");
+}
+
 TEST(HookSectionTest, RoundTripNames) {
   for (const char* name :
        {"kprobe/do_unlinkat", "kretprobe/vfs_read", "tracepoint/block/block_rq_issue",
@@ -134,6 +175,155 @@ TEST(BpfCodecTest, ObjectRoundTrip) {
 
 TEST(BpfCodecTest, ParseRejectsGarbage) {
   EXPECT_FALSE(ParseBpfObject({1, 2, 3}).ok());
+}
+
+TEST(BpfInsnTest, EncodeDecodeRoundTrip) {
+  std::vector<BpfInsn> insns = {
+      LoadImm64(3, 0x1122334455667788),
+      LoadField(2, 1, 0),
+      LoadField(4, 1, 104, kOpLdxMemW),
+      MovImm(0, -1),
+      JumpEqImm(3, 0, 2),
+      CallHelperInsn(25),
+      JumpAlways(-3),
+      ExitInsn(),
+  };
+  std::vector<uint8_t> bytes = EncodeInsns(insns);
+  EXPECT_EQ(bytes.size(), EncodedSize(insns));
+  // ld_imm64 occupies two 8-byte slots.
+  EXPECT_EQ(bytes.size(), (insns.size() + 1) * 8);
+
+  ByteReader reader(bytes, Endian::kLittle);
+  std::vector<BpfInsn> decoded = DecodeInsns(reader, nullptr);
+  ASSERT_EQ(decoded.size(), insns.size());
+  for (size_t i = 0; i < insns.size(); ++i) {
+    EXPECT_EQ(decoded[i], insns[i]) << "insn " << i << ": " << insns[i].ToString();
+  }
+  EXPECT_EQ(decoded[0].Imm64(), 0x1122334455667788);
+}
+
+TEST(BpfInsnTest, DecodeSalvagesTruncatedStream) {
+  std::vector<BpfInsn> insns = {LoadField(2, 1, 0), ExitInsn()};
+  std::vector<uint8_t> bytes = EncodeInsns(insns);
+  bytes.resize(bytes.size() - 3);  // cut mid-slot
+
+  DiagnosticLedger ledger;
+  ByteReader reader(bytes, Endian::kLittle);
+  std::vector<BpfInsn> decoded = DecodeInsns(reader, &ledger);
+  ASSERT_EQ(decoded.size(), 1u);  // prefix survives
+  EXPECT_EQ(decoded[0], insns[0]);
+  ASSERT_EQ(ledger.size(), 1u);
+  EXPECT_EQ(ledger.entries()[0].subsystem, DiagSubsystem::kBpf);
+  EXPECT_TRUE(ledger.entries()[0].has_offset);
+  EXPECT_EQ(ledger.entries()[0].offset, 8u);
+}
+
+TEST(BpfInsnTest, DecodeSalvagesUnknownOpcode) {
+  std::vector<BpfInsn> insns = {MovImm(0, 0), ExitInsn()};
+  std::vector<uint8_t> bytes = EncodeInsns(insns);
+  bytes[8] = 0xff;  // clobber the second opcode
+
+  DiagnosticLedger ledger;
+  ByteReader reader(bytes, Endian::kLittle);
+  std::vector<BpfInsn> decoded = DecodeInsns(reader, &ledger);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0], insns[0]);
+  ASSERT_EQ(ledger.size(), 1u);
+  EXPECT_EQ(ledger.entries()[0].offset, 8u);
+}
+
+TEST(BpfInsnTest, DecodeSalvagesWideInsnMissingSecondSlot) {
+  std::vector<BpfInsn> insns = {ExitInsn(), LoadImm64(1, 42)};
+  std::vector<uint8_t> bytes = EncodeInsns(insns);
+  bytes.resize(16);  // keep exit + the first slot of the ld_imm64 only
+
+  DiagnosticLedger ledger;
+  ByteReader reader(bytes, Endian::kLittle);
+  std::vector<BpfInsn> decoded = DecodeInsns(reader, &ledger);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_TRUE(decoded[0].IsExit());
+  EXPECT_EQ(ledger.size(), 1u);
+}
+
+TEST(BpfBuilderTest, EmitsInsnStreamWithRelocBindings) {
+  BpfObjectBuilder builder("probe");
+  builder.AttachKprobe("vfs_fsync");
+  ASSERT_TRUE(builder.AccessField("request", "rq_disk", "struct gendisk *").ok());
+  builder.CallHelper(6);
+  BpfObject object = builder.Build();
+
+  ASSERT_EQ(object.programs.size(), 1u);
+  const std::vector<BpfInsn>& insns = object.programs[0].insns;
+  // load (reloc), call, synthesized exit
+  ASSERT_EQ(insns.size(), 3u);
+  EXPECT_TRUE(insns[0].IsLoad());
+  EXPECT_TRUE(insns[1].IsCall());
+  EXPECT_TRUE(insns[2].IsExit());
+
+  ASSERT_EQ(object.relocs.size(), 1u);
+  EXPECT_EQ(object.relocs[0].prog_index, 0u);
+  EXPECT_EQ(object.relocs[0].insn_off, 0u);
+}
+
+TEST(BpfBuilderTest, GuardEmitsPatchedBranch) {
+  BpfObjectBuilder builder("probe");
+  builder.AttachKprobe("vfs_fsync");
+  ASSERT_TRUE(builder.BeginGuard("request", "rq_disk", "struct gendisk *").ok());
+  ASSERT_TRUE(builder.AccessField("request", "rq_disk", "struct gendisk *").ok());
+  ASSERT_TRUE(builder.EndGuard().ok());
+  BpfObject object = builder.Build();
+
+  const std::vector<BpfInsn>& insns = object.programs[0].insns;
+  // ld_imm64 (exists probe), jeq, load, exit
+  ASSERT_EQ(insns.size(), 4u);
+  EXPECT_EQ(insns[0].opcode, kOpLdImm64);
+  EXPECT_EQ(insns[1].opcode, kOpJeqImm);
+  // The branch skips the guarded body: from the slot after the jeq (slot 3,
+  // since ld_imm64 is two slots) to the end-of-guard slot (4).
+  EXPECT_EQ(insns[1].offset, 1);
+  EXPECT_TRUE(insns[2].IsLoad());
+
+  // Both relocs bound; the exists probe binds at byte 0, the load after the
+  // two-slot ld_imm64 + jeq at byte 24.
+  ASSERT_EQ(object.relocs.size(), 2u);
+  EXPECT_EQ(object.relocs[0].kind, CoreRelocKind::kFieldExists);
+  EXPECT_EQ(object.relocs[0].insn_off, 0u);
+  EXPECT_EQ(object.relocs[1].kind, CoreRelocKind::kFieldByteOffset);
+  EXPECT_EQ(object.relocs[1].insn_off, 24u);
+}
+
+TEST(BpfCodecTest, InsnStreamRoundTrip) {
+  BpfObjectBuilder builder("probe");
+  builder.AttachKprobe("vfs_fsync");
+  ASSERT_TRUE(builder.BeginGuard("request", "rq_disk", "struct gendisk *").ok());
+  ASSERT_TRUE(builder.AccessField("request", "rq_disk", "struct gendisk *").ok());
+  ASSERT_TRUE(builder.EndGuard().ok());
+  builder.CallHelper(25).RawOffsetDeref(104);
+  BpfObject original = builder.Build();
+
+  auto bytes = WriteBpfObject(original);
+  ASSERT_TRUE(bytes.ok());
+  auto parsed = ParseBpfObject(bytes.TakeValue());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  ASSERT_EQ(parsed->programs.size(), 1u);
+  EXPECT_EQ(parsed->programs[0].insns, original.programs[0].insns);
+  EXPECT_EQ(parsed->relocs, original.relocs);
+}
+
+TEST(BpfCodecTest, DanglingProgIndexClampedToUnbound) {
+  BpfObjectBuilder builder("probe");
+  builder.AttachKprobe("vfs_fsync");
+  ASSERT_TRUE(builder.AccessField("request", "rq_disk", "struct gendisk *").ok());
+  BpfObject object = builder.Build();
+  object.relocs[0].prog_index = 7;  // no such program
+
+  auto bytes = WriteBpfObject(object);
+  ASSERT_TRUE(bytes.ok());
+  DiagnosticLedger ledger;
+  auto parsed = ParseBpfObject(bytes.TakeValue(), &ledger);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->relocs[0].prog_index, kRelocUnbound);
+  EXPECT_FALSE(ledger.empty());
 }
 
 TEST(ResolveRelocTest, ErrorsOnBadAccess) {

@@ -3,6 +3,7 @@
 // error (or a benign parse), never a crash, hang, or sanitizer fault.
 #include <gtest/gtest.h>
 
+#include "src/analyzer/analyzer.h"
 #include "src/bpf/bpf_builder.h"
 #include "src/core/depsurf.h"
 #include "src/elf/elf_reader.h"
@@ -135,6 +136,47 @@ TEST_P(FaultSweepTest, MutatedObjectNeverCrashes) {
   auto parsed = ParseBpfObject(std::move(bytes));
   if (parsed.ok()) {
     (void)ExtractDependencySet(*parsed);  // either way, no crash
+  }
+}
+
+// Mutations aimed squarely at the instruction stream. The insn decoder is
+// salvage-mode: whatever prefix survives is analyzable, the static
+// analyzer must never crash on it, and every degradation lands on the
+// ledger as a bpf entry carrying the failing byte offset.
+TEST_P(FaultSweepTest, MutatedInsnStreamDegradesToSalvage) {
+  std::vector<uint8_t> bytes = SmallObject();
+  auto elf = ElfReader::Parse(bytes);
+  ASSERT_TRUE(elf.ok());
+  const ElfSectionView* section = elf->SectionByName("kprobe/vfs_fsync");
+  ASSERT_NE(section, nullptr);
+  ASSERT_GT(section->size, 0u);
+  const uint64_t index = static_cast<uint64_t>(GetParam());
+  Prng prng(3000 + index);
+  // Half the sweep scribbles over instruction bytes, half truncates the
+  // section mid-slot (both classic loader-fuzzing shapes).
+  if (index % 2 == 0) {
+    size_t pos = section->offset + prng.NextBelow(section->size);
+    for (size_t i = 0; i < 4 && pos + i < bytes.size(); ++i) {
+      bytes[pos + i] ^= static_cast<uint8_t>(prng.NextU64() | 1);
+    }
+  } else {
+    size_t keep = prng.NextBelow(section->size);
+    bytes.resize(section->offset + keep);
+  }
+  DiagnosticLedger ledger;
+  auto parsed = ParseBpfObject(std::move(bytes), &ledger);
+  if (parsed.ok()) {
+    ObjectAnalysis analysis = AnalyzeObject(*parsed);
+    // Per-program salvage: analysis covers exactly the decoded programs.
+    EXPECT_EQ(analysis.programs.size(), parsed->programs.size());
+    (void)ExtractDependencySet(*parsed);
+  }
+  for (const DiagnosticEntry& entry : ledger.entries()) {
+    EXPECT_FALSE(entry.message.empty());
+    if (entry.subsystem == DiagSubsystem::kBpf &&
+        entry.code == ErrorCode::kMalformedData) {
+      EXPECT_TRUE(entry.has_offset) << entry.ToString();
+    }
   }
 }
 
