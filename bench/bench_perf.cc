@@ -9,10 +9,12 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 
 #include "src/analyzer/analyzer.h"
 #include "src/bpfgen/program_corpus.h"
 #include "src/obs/bench_report.h"
+#include "src/obs/profile.h"
 #include "src/study/study.h"
 #include "src/util/str_util.h"
 
@@ -114,6 +116,28 @@ void BM_AnalyzeProgram(benchmark::State& state) {
 }
 BENCHMARK(BM_AnalyzeProgram)->Unit(benchmark::kMicrosecond);
 
+// Emits PROFILE_build_reports_jobs<N>.json (depsurf.profile.v1) from the
+// aggregate report of the last BM_BuildDatasetReports iteration, into
+// $DEPSURF_BENCH_DIR (or the working directory), so perf_gate.sh can lint
+// the self-profile schema alongside the bench trajectories.
+void WriteBuildProfile(const std::string& aggregate_path, int jobs) {
+  std::ifstream in(aggregate_path, std::ios::binary);
+  if (!in) {
+    return;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  auto profile = obs::ProfileFromReportJson(text);
+  if (!profile.ok()) {
+    return;
+  }
+  obs::FillExecutorStats(*profile, obs::MetricsRegistry::Global());
+  const char* dir = getenv("DEPSURF_BENCH_DIR");
+  std::string path = std::string(dir != nullptr ? dir : ".") +
+                     StrFormat("/PROFILE_build_reports_jobs%d.json", jobs);
+  std::ofstream out(path, std::ios::binary);
+  out << obs::ProfileJson(*profile);
+}
+
 // Report-mode corpus build at jobs=1 vs jobs=8: the ratio of the two rows
 // is the parallel speedup bought by context-scoped observability (the old
 // report path was serial by construction, so its "speedup" was fixed at 1).
@@ -129,11 +153,13 @@ void BM_BuildDatasetReports(benchmark::State& state) {
   }
   BuildPolicy policy;
   policy.jobs = static_cast<int>(state.range(0));
+  Study::DatasetReportFiles files;
   for (auto _ : state) {
     auto dataset =
-        SharedStudy().BuildDatasetWithReports(corpus, report_dir, nullptr, {}, policy);
+        SharedStudy().BuildDatasetWithReports(corpus, report_dir, &files, {}, policy);
     benchmark::DoNotOptimize(dataset.ok());
   }
+  WriteBuildProfile(files.aggregate, policy.jobs);
 }
 BENCHMARK(BM_BuildDatasetReports)
     ->ArgName("jobs")

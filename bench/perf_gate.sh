@@ -33,6 +33,15 @@ for report in base/BENCH_*.json head/BENCH_*.json; do
   "$DEPSURF" metrics lint "$report" --kind=bench || fail "$report invalid"
 done
 
+# ---- the report-mode build benchmark emits a self-profile next to the
+# trajectories; it must lint as depsurf.profile.v1 and carry the
+# critical-path section the profile analysis is for.
+for profile in base/PROFILE_*.json head/PROFILE_*.json; do
+  [ -f "$profile" ] || fail "bench_perf wrote no PROFILE_*.json"
+  "$DEPSURF" metrics lint "$profile" --kind=profile || fail "$profile invalid"
+  grep -q '"critical_path"' "$profile" || fail "$profile missing critical_path"
+done
+
 # ---- the analyzer bench is part of the gated suite: a static-analysis
 # slowdown must trip `perf compare` like any extraction stage.
 grep -q 'BM_AnalyzeCorpus' base/BENCH_perf.json \

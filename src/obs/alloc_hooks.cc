@@ -1,0 +1,93 @@
+#include "src/obs/alloc_hooks.h"
+
+#ifdef DEPSURF_PROFILE_ALLOC
+
+#include <cstdlib>
+#include <new>
+
+namespace depsurf {
+namespace obs {
+namespace internal {
+
+// Plain PODs with static zero-initialization: safe to bump from operator
+// new even before any dynamic initializer has run.
+thread_local uint64_t tls_alloc_count = 0;
+thread_local uint64_t tls_alloc_bytes = 0;
+
+}  // namespace internal
+
+AllocStats ThreadAllocStats() {
+  return AllocStats{internal::tls_alloc_count, internal::tls_alloc_bytes};
+}
+
+bool AllocHooksEnabled() { return true; }
+
+}  // namespace obs
+}  // namespace depsurf
+
+namespace {
+
+inline void CountAlloc(std::size_t size) {
+  ++depsurf::obs::internal::tls_alloc_count;
+  depsurf::obs::internal::tls_alloc_bytes += size;
+}
+
+inline void* CheckedMalloc(std::size_t size) {
+  // malloc(0) may legally return nullptr; operator new must not.
+  return std::malloc(size != 0 ? size : 1);
+}
+
+}  // namespace
+
+// Only the plain (unaligned) forms are replaced. Over-aligned allocations
+// go through the default aligned new/delete pair, which is internally
+// consistent with itself; mixing is safe because new/delete forms always
+// pair up by alignment.
+void* operator new(std::size_t size) {
+  CountAlloc(size);
+  void* ptr = CheckedMalloc(size);
+  if (ptr == nullptr) {
+    throw std::bad_alloc();
+  }
+  return ptr;
+}
+
+void* operator new[](std::size_t size) {
+  CountAlloc(size);
+  void* ptr = CheckedMalloc(size);
+  if (ptr == nullptr) {
+    throw std::bad_alloc();
+  }
+  return ptr;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  CountAlloc(size);
+  return CheckedMalloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  CountAlloc(size);
+  return CheckedMalloc(size);
+}
+
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, const std::nothrow_t&) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept { std::free(ptr); }
+
+#else  // !DEPSURF_PROFILE_ALLOC
+
+namespace depsurf {
+namespace obs {
+
+AllocStats ThreadAllocStats() { return AllocStats{}; }
+
+bool AllocHooksEnabled() { return false; }
+
+}  // namespace obs
+}  // namespace depsurf
+
+#endif  // DEPSURF_PROFILE_ALLOC

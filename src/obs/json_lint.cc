@@ -380,7 +380,14 @@ void AppendCanonical(std::string& out, const JsonValue& value) {
         }
         const auto& [key, member] = value.object[i];
         out += "\"" + JsonEscape(key) + "\":";
-        if (key == "dur_ns" || IsTimingMetricName(key)) {
+        // Beyond timing-suffixed keys: span alloc fields depend on the
+        // allocator and on whether the hooks were compiled in; a profile's
+        // serial-share percentage, critical_path steps, and executor
+        // section are all timing-derived (the executor window also varies
+        // with --jobs), so they mask wholesale.
+        if (key == "dur_ns" || key == "alloc_count" || key == "alloc_bytes" ||
+            key == "serial_share_pct" || key == "critical_path" || key == "executor" ||
+            IsTimingMetricName(key)) {
           AppendMaskedValue(out, member);
         } else {
           AppendCanonical(out, member);
@@ -406,6 +413,31 @@ const JsonValue* JsonValue::Find(std::string_view key) const {
 }
 
 Result<JsonValue> ParseJson(std::string_view text) { return Parser(text).Parse(); }
+
+std::vector<std::string> RunReportLintNotes(const JsonValue& report) {
+  // Gauges renamed across schema revisions: old documents still lint clean,
+  // but readers should know which name current builds emit.
+  static constexpr struct {
+    const char* name;
+    const char* replacement;
+    const char* why;
+  } kDeprecatedGauges[] = {
+      {"study.build_dataset.cpu_ms", "study.build_dataset.cpu_total_ms",
+       "process CPU is summed across worker threads"},
+  };
+  std::vector<std::string> notes;
+  const JsonValue* gauges = report.Find("gauges");
+  if (gauges == nullptr || gauges->kind != JsonValue::Kind::kObject) {
+    return notes;
+  }
+  for (const auto& gauge : kDeprecatedGauges) {
+    if (gauges->Find(gauge.name) != nullptr) {
+      notes.push_back(StrFormat("deprecated gauge %s: %s; current builds emit %s",
+                                gauge.name, gauge.why, gauge.replacement));
+    }
+  }
+  return notes;
+}
 
 std::set<std::string> CollectSpanNames(const JsonValue& report) {
   std::set<std::string> names;

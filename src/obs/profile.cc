@@ -1,0 +1,498 @@
+#include "src/obs/profile.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/obs/json_lint.h"
+#include "src/obs/run_report.h"
+#include "src/util/str_util.h"
+
+namespace depsurf {
+namespace obs {
+
+namespace {
+
+std::string U64(uint64_t v) { return StrFormat("%llu", (unsigned long long)v); }
+std::string I64(int64_t v) { return StrFormat("%lld", (long long)v); }
+
+// Self time: inclusive duration minus the summed durations of direct
+// children. Children open and close on the parent's thread strictly inside
+// its interval, so the subtraction never underflows in practice; clamp
+// anyway so a hand-built forest cannot produce wrapped values.
+uint64_t SelfNs(const SpanNode& span) {
+  uint64_t children = 0;
+  for (const SpanNode& child : span.children) {
+    children += child.dur_ns;
+  }
+  return span.dur_ns > children ? span.dur_ns - children : 0;
+}
+
+void AccumulateNode(const SpanNode& span, std::map<std::string, ProfileNameRow>& rows,
+                    uint64_t& nodes) {
+  ++nodes;
+  ProfileNameRow& row = rows[span.name];
+  row.name = span.name;
+  row.count += 1;
+  row.dur_ns += span.dur_ns;
+  row.self_ns += SelfNs(span);
+  row.cpu_ns += span.cpu_ns;
+  row.alloc_count += span.alloc_count;
+  row.alloc_bytes += span.alloc_bytes;
+  for (const SpanNode& child : span.children) {
+    AccumulateNode(child, rows, nodes);
+  }
+}
+
+// The dominant span among siblings: largest duration, ties broken by
+// lexicographically smallest name, then first occurrence. Deterministic
+// for the masked case (all durations 0) because the tie-break is stable.
+const SpanNode* DominantSpan(const std::vector<SpanNode>& spans) {
+  const SpanNode* best = nullptr;
+  for (const SpanNode& span : spans) {
+    if (best == nullptr || span.dur_ns > best->dur_ns ||
+        (span.dur_ns == best->dur_ns && span.name < best->name)) {
+      best = &span;
+    }
+  }
+  return best;
+}
+
+void FoldNode(const SpanNode& span, std::string& stack,
+              std::map<std::string, uint64_t>& folded) {
+  const size_t prefix = stack.size();
+  if (!stack.empty()) {
+    stack += ";";
+  }
+  stack += span.name;
+  folded[stack] += SelfNs(span);
+  for (const SpanNode& child : span.children) {
+    FoldNode(child, stack, folded);
+  }
+  stack.resize(prefix);
+}
+
+uint64_t NodeU64(const JsonValue& span, const char* key) {
+  const JsonValue* value = span.Find(key);
+  return value != nullptr && value->kind == JsonValue::Kind::kNumber && value->number > 0
+             ? static_cast<uint64_t>(value->number)
+             : 0;
+}
+
+// Rebuilds a SpanNode subtree from a parsed run-report span object.
+// Resource fields missing from older reports default to 0.
+SpanNode SpanFromValue(const JsonValue& value) {
+  SpanNode node;
+  const JsonValue* name = value.Find("name");
+  node.name = name != nullptr ? name->string : "";
+  node.dur_ns = NodeU64(value, "dur_ns");
+  node.cpu_ns = NodeU64(value, "cpu_ns");
+  node.alloc_count = NodeU64(value, "alloc_count");
+  node.alloc_bytes = NodeU64(value, "alloc_bytes");
+  const JsonValue* children = value.Find("children");
+  if (children != nullptr && children->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& child : children->array) {
+      node.children.push_back(SpanFromValue(child));
+    }
+  }
+  return node;
+}
+
+Result<std::vector<SpanNode>> ReportSpanForest(std::string_view json, const JsonValue** doc_out,
+                                               JsonValue& storage) {
+  auto parsed = ParseJson(json);
+  if (!parsed.ok()) {
+    return parsed.TakeError();
+  }
+  storage = std::move(*parsed);
+  const JsonValue* schema = storage.Find("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::kString ||
+      (schema->string != kRunReportSchema && schema->string != kRunReportAggSchema)) {
+    return Error(ErrorCode::kMalformedData,
+                 StrFormat("not a %s or %s document", kRunReportSchema, kRunReportAggSchema));
+  }
+  std::vector<SpanNode> roots;
+  const JsonValue* spans = storage.Find("spans");
+  if (spans != nullptr && spans->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& span : spans->array) {
+      roots.push_back(SpanFromValue(span));
+    }
+  }
+  if (doc_out != nullptr) {
+    *doc_out = &storage;
+  }
+  return roots;
+}
+
+// Lane index for a study.executor.worker<i>.busy_ms gauge name, or -1.
+int64_t WorkerLane(const std::string& name) {
+  constexpr std::string_view kPrefix = "study.executor.worker";
+  constexpr std::string_view kSuffix = ".busy_ms";
+  if (name.size() <= kPrefix.size() + kSuffix.size() ||
+      name.compare(0, kPrefix.size(), kPrefix) != 0 ||
+      name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) != 0) {
+    return -1;
+  }
+  int64_t lane = 0;
+  for (size_t i = kPrefix.size(); i < name.size() - kSuffix.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') {
+      return -1;
+    }
+    lane = lane * 10 + (name[i] - '0');
+  }
+  return lane;
+}
+
+void FillExecutorFromDoc(Profile& profile, const JsonValue& doc) {
+  ExecutorStats& executor = profile.executor;
+  const JsonValue* gauges = doc.Find("gauges");
+  if (gauges != nullptr && gauges->kind == JsonValue::Kind::kObject) {
+    for (const auto& [name, value] : gauges->object) {
+      if (name == "study.build_dataset.window") {
+        executor.window = static_cast<int64_t>(value.number);
+        executor.present = true;
+      } else if (name == "study.build_dataset.wall_ms") {
+        executor.wall_ms = static_cast<int64_t>(value.number);
+      } else if (int64_t lane = WorkerLane(name); lane >= 0) {
+        executor.worker_busy_ms.emplace_back(lane, static_cast<int64_t>(value.number));
+        executor.present = true;
+      }
+    }
+  }
+  const JsonValue* counters = doc.Find("counters");
+  if (counters != nullptr) {
+    const JsonValue* stall = counters->Find("study.executor.serialize_stall_us");
+    if (stall != nullptr) {
+      executor.serialize_stall_us = static_cast<uint64_t>(stall->number);
+      executor.present = true;
+    }
+  }
+  const JsonValue* histograms = doc.Find("histograms");
+  if (histograms != nullptr) {
+    const JsonValue* queue_wait = histograms->Find("study.executor.queue_wait_us");
+    if (queue_wait != nullptr) {
+      const JsonValue* count = queue_wait->Find("count");
+      executor.queue_waits = count != nullptr ? static_cast<uint64_t>(count->number) : 0;
+      executor.present = true;
+    }
+  }
+  std::sort(executor.worker_busy_ms.begin(), executor.worker_busy_ms.end());
+}
+
+Status NumberMember(const JsonValue& object, const char* key, double* out) {
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr || value->kind != JsonValue::Kind::kNumber || value->number < 0) {
+    return Status(ErrorCode::kMalformedData,
+                  StrFormat("missing or negative number \"%s\"", key));
+  }
+  if (out != nullptr) {
+    *out = value->number;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+double SerialSharePct(const Profile& profile) {
+  if (profile.wall_ns == 0) {
+    return 0;
+  }
+  return static_cast<double>(profile.serial_self_ns) * 100.0 /
+         static_cast<double>(profile.wall_ns);
+}
+
+Profile BuildProfile(const std::vector<SpanNode>& roots) {
+  Profile profile;
+  std::map<std::string, ProfileNameRow> rows;
+  for (const SpanNode& root : roots) {
+    AccumulateNode(root, rows, profile.span_nodes);
+  }
+  profile.names.reserve(rows.size());
+  for (auto& [name, row] : rows) {
+    profile.names.push_back(std::move(row));
+  }
+  // Critical path: start at the dominant root, descend through the
+  // dominant child at every level.
+  const SpanNode* node = DominantSpan(roots);
+  if (node != nullptr) {
+    profile.wall_ns = node->dur_ns;
+    while (node != nullptr) {
+      const uint64_t self = SelfNs(*node);
+      profile.critical_path.push_back(CriticalPathStep{node->name, node->dur_ns, self});
+      profile.serial_self_ns += self;
+      node = DominantSpan(node->children);
+    }
+  }
+  return profile;
+}
+
+void FillExecutorStats(Profile& profile, const MetricsRegistry& metrics) {
+  ExecutorStats& executor = profile.executor;
+  for (const auto& [name, value] : metrics.GaugeSnapshot()) {
+    if (name == "study.build_dataset.window") {
+      executor.window = value;
+      executor.present = true;
+    } else if (name == "study.build_dataset.wall_ms") {
+      executor.wall_ms = value;
+    } else if (int64_t lane = WorkerLane(name); lane >= 0) {
+      executor.worker_busy_ms.emplace_back(lane, value);
+      executor.present = true;
+    }
+  }
+  for (const auto& [name, value] : metrics.CounterSnapshot()) {
+    if (name == "study.executor.serialize_stall_us") {
+      executor.serialize_stall_us = value;
+      executor.present = true;
+    }
+  }
+  for (const auto& [name, histogram] : metrics.HistogramSnapshot()) {
+    if (name == "study.executor.queue_wait_us") {
+      executor.queue_waits = histogram->count();
+      executor.present = true;
+    }
+  }
+  std::sort(executor.worker_busy_ms.begin(), executor.worker_busy_ms.end());
+}
+
+Result<Profile> ProfileFromReportJson(std::string_view json) {
+  JsonValue storage;
+  const JsonValue* doc = nullptr;
+  auto roots = ReportSpanForest(json, &doc, storage);
+  if (!roots.ok()) {
+    return roots.TakeError();
+  }
+  Profile profile = BuildProfile(*roots);
+  FillExecutorFromDoc(profile, *doc);
+  return profile;
+}
+
+std::string ProfileJson(const Profile& profile) {
+  std::string out = "{\n\"schema\": \"";
+  out += kProfileSchema;
+  out += "\",\n";
+  out += "\"span_nodes\": " + U64(profile.span_nodes) + ",\n";
+  out += "\"names\": [";
+  for (size_t i = 0; i < profile.names.size(); ++i) {
+    if (i != 0) {
+      out += ", ";
+    }
+    const ProfileNameRow& row = profile.names[i];
+    out += "{\"name\": \"" + JsonEscape(row.name) + "\"";
+    out += ", \"count\": " + U64(row.count);
+    out += ", \"dur_ns\": " + U64(row.dur_ns);
+    out += ", \"self_ns\": " + U64(row.self_ns);
+    out += ", \"cpu_ns\": " + U64(row.cpu_ns);
+    out += ", \"alloc_count\": " + U64(row.alloc_count);
+    out += ", \"alloc_bytes\": " + U64(row.alloc_bytes);
+    out += "}";
+  }
+  out += "],\n";
+  out += "\"critical_path\": {\"wall_ns\": " + U64(profile.wall_ns);
+  out += ", \"serial_self_ns\": " + U64(profile.serial_self_ns);
+  out += StrFormat(", \"serial_share_pct\": %.2f", SerialSharePct(profile));
+  out += ", \"steps\": [";
+  for (size_t i = 0; i < profile.critical_path.size(); ++i) {
+    if (i != 0) {
+      out += ", ";
+    }
+    const CriticalPathStep& step = profile.critical_path[i];
+    out += "{\"name\": \"" + JsonEscape(step.name) + "\"";
+    out += ", \"dur_ns\": " + U64(step.dur_ns);
+    out += ", \"self_ns\": " + U64(step.self_ns);
+    out += "}";
+  }
+  out += "]},\n";
+  const ExecutorStats& executor = profile.executor;
+  out += "\"executor\": {\"window\": " + I64(executor.window);
+  out += ", \"wall_ms\": " + I64(executor.wall_ms);
+  out += ", \"serialize_stall_us\": " + U64(executor.serialize_stall_us);
+  out += ", \"queue_waits\": " + U64(executor.queue_waits);
+  out += ", \"workers\": [";
+  for (size_t i = 0; i < executor.worker_busy_ms.size(); ++i) {
+    if (i != 0) {
+      out += ", ";
+    }
+    out += "{\"lane\": " + I64(executor.worker_busy_ms[i].first);
+    out += ", \"busy_ms\": " + I64(executor.worker_busy_ms[i].second);
+    out += "}";
+  }
+  out += "]}\n}\n";
+  return out;
+}
+
+std::string ProfileText(const Profile& profile) {
+  std::string out = StrFormat("profile: %llu span nodes, %zu names\n",
+                              (unsigned long long)profile.span_nodes, profile.names.size());
+  std::vector<const ProfileNameRow*> rows;
+  rows.reserve(profile.names.size());
+  for (const ProfileNameRow& row : profile.names) {
+    rows.push_back(&row);
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const ProfileNameRow* a, const ProfileNameRow* b) {
+    return a->self_ns > b->self_ns;
+  });
+  out += StrFormat("  %-40s %8s %12s %12s %12s %10s %12s\n", "name", "count", "total_ms",
+                   "self_ms", "cpu_ms", "allocs", "alloc_bytes");
+  for (const ProfileNameRow* row : rows) {
+    out += StrFormat("  %-40s %8llu %12.3f %12.3f %12.3f %10llu %12llu\n", row->name.c_str(),
+                     (unsigned long long)row->count, static_cast<double>(row->dur_ns) / 1e6,
+                     static_cast<double>(row->self_ns) / 1e6,
+                     static_cast<double>(row->cpu_ns) / 1e6,
+                     (unsigned long long)row->alloc_count,
+                     (unsigned long long)row->alloc_bytes);
+  }
+  out += StrFormat("critical path: wall %.3f ms, serial self %.3f ms (%.2f%% of wall)\n",
+                   static_cast<double>(profile.wall_ns) / 1e6,
+                   static_cast<double>(profile.serial_self_ns) / 1e6, SerialSharePct(profile));
+  for (const CriticalPathStep& step : profile.critical_path) {
+    out += StrFormat("  %-40s %12.3f ms  self %12.3f ms\n", step.name.c_str(),
+                     static_cast<double>(step.dur_ns) / 1e6,
+                     static_cast<double>(step.self_ns) / 1e6);
+  }
+  const ExecutorStats& executor = profile.executor;
+  if (executor.present) {
+    out += StrFormat(
+        "executor: window %lld, wall %lld ms, serialize stall %llu us, queue waits %llu\n",
+        (long long)executor.window, (long long)executor.wall_ms,
+        (unsigned long long)executor.serialize_stall_us,
+        (unsigned long long)executor.queue_waits);
+    for (const auto& [lane, busy_ms] : executor.worker_busy_ms) {
+      double util = executor.wall_ms > 0
+                        ? static_cast<double>(busy_ms) * 100.0 /
+                              static_cast<double>(executor.wall_ms)
+                        : 0;
+      out += StrFormat("  lane %lld: busy %lld ms (%.1f%% of wall)\n", (long long)lane,
+                       (long long)busy_ms, util);
+    }
+  }
+  return out;
+}
+
+std::string FoldedStacks(const std::vector<SpanNode>& roots) {
+  std::map<std::string, uint64_t> folded;
+  std::string stack;
+  for (const SpanNode& root : roots) {
+    FoldNode(root, stack, folded);
+  }
+  std::string out;
+  for (const auto& [frames, self_ns] : folded) {
+    out += frames + " " + U64(self_ns) + "\n";
+  }
+  return out;
+}
+
+Result<std::string> FoldedStacksFromReportJson(std::string_view json) {
+  JsonValue storage;
+  auto roots = ReportSpanForest(json, nullptr, storage);
+  if (!roots.ok()) {
+    return roots.TakeError();
+  }
+  return FoldedStacks(*roots);
+}
+
+Status ValidateProfileDoc(std::string_view json) {
+  auto parsed = ParseJson(json);
+  if (!parsed.ok()) {
+    return parsed.TakeError();
+  }
+  const JsonValue& doc = *parsed;
+  const JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::kString ||
+      schema->string != kProfileSchema) {
+    return Status(ErrorCode::kMalformedData,
+                  StrFormat("missing or wrong schema marker (want %s)", kProfileSchema));
+  }
+  if (Status s = NumberMember(doc, "span_nodes", nullptr); !s.ok()) {
+    return s;
+  }
+  const JsonValue* names = doc.Find("names");
+  if (names == nullptr || names->kind != JsonValue::Kind::kArray) {
+    return Status(ErrorCode::kMalformedData, "missing \"names\" array");
+  }
+  for (const JsonValue& row : names->array) {
+    const JsonValue* name = row.Find("name");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString || name->string.empty()) {
+      return Status(ErrorCode::kMalformedData, "names entry without a \"name\" string");
+    }
+    double dur = 0;
+    double self = 0;
+    for (const char* key : {"count", "cpu_ns", "alloc_count", "alloc_bytes"}) {
+      if (Status s = NumberMember(row, key, nullptr); !s.ok()) {
+        return Status(ErrorCode::kMalformedData, name->string + ": " + s.error().message());
+      }
+    }
+    if (Status s = NumberMember(row, "dur_ns", &dur); !s.ok()) {
+      return Status(ErrorCode::kMalformedData, name->string + ": " + s.error().message());
+    }
+    if (Status s = NumberMember(row, "self_ns", &self); !s.ok()) {
+      return Status(ErrorCode::kMalformedData, name->string + ": " + s.error().message());
+    }
+    if (self > dur) {
+      return Status(ErrorCode::kMalformedData,
+                    name->string + ": self_ns exceeds dur_ns");
+    }
+  }
+  const JsonValue* critical = doc.Find("critical_path");
+  if (critical == nullptr || critical->kind != JsonValue::Kind::kObject) {
+    return Status(ErrorCode::kMalformedData, "missing \"critical_path\" object");
+  }
+  double wall = 0;
+  double serial_self = 0;
+  if (Status s = NumberMember(*critical, "wall_ns", &wall); !s.ok()) {
+    return s;
+  }
+  if (Status s = NumberMember(*critical, "serial_self_ns", &serial_self); !s.ok()) {
+    return s;
+  }
+  if (Status s = NumberMember(*critical, "serial_share_pct", nullptr); !s.ok()) {
+    return s;
+  }
+  if (serial_self > wall) {
+    return Status(ErrorCode::kMalformedData, "serial_self_ns exceeds wall_ns");
+  }
+  const JsonValue* steps = critical->Find("steps");
+  if (steps == nullptr || steps->kind != JsonValue::Kind::kArray) {
+    return Status(ErrorCode::kMalformedData, "critical_path without a \"steps\" array");
+  }
+  for (const JsonValue& step : steps->array) {
+    const JsonValue* name = step.Find("name");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString || name->string.empty()) {
+      return Status(ErrorCode::kMalformedData, "critical_path step without a \"name\"");
+    }
+    double dur = 0;
+    double self = 0;
+    if (Status s = NumberMember(step, "dur_ns", &dur); !s.ok()) {
+      return s;
+    }
+    if (Status s = NumberMember(step, "self_ns", &self); !s.ok()) {
+      return s;
+    }
+    if (self > dur) {
+      return Status(ErrorCode::kMalformedData,
+                    "critical_path step " + name->string + ": self_ns exceeds dur_ns");
+    }
+  }
+  const JsonValue* executor = doc.Find("executor");
+  if (executor == nullptr || executor->kind != JsonValue::Kind::kObject) {
+    return Status(ErrorCode::kMalformedData, "missing \"executor\" object");
+  }
+  for (const char* key : {"window", "wall_ms", "serialize_stall_us", "queue_waits"}) {
+    if (Status s = NumberMember(*executor, key, nullptr); !s.ok()) {
+      return s;
+    }
+  }
+  const JsonValue* workers = executor->Find("workers");
+  if (workers == nullptr || workers->kind != JsonValue::Kind::kArray) {
+    return Status(ErrorCode::kMalformedData, "executor without a \"workers\" array");
+  }
+  for (const JsonValue& worker : workers->array) {
+    for (const char* key : {"lane", "busy_ms"}) {
+      if (Status s = NumberMember(worker, key, nullptr); !s.ok()) {
+        return s;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace obs
+}  // namespace depsurf

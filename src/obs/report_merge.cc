@@ -24,12 +24,20 @@ struct HistogramAcc {
 };
 
 // Re-emits a parsed span subtree in run-report span form, normalizing to
-// the four known members (name, dur_ns, attrs, children).
+// the known members (name, dur_ns, cpu_ns, alloc_count, alloc_bytes,
+// attrs, children). Resource fields default to 0 for reports written
+// before they existed.
 void AppendSpanValue(std::string& out, const JsonValue& span) {
   const JsonValue* name = span.Find("name");
   const JsonValue* dur = span.Find("dur_ns");
+  const JsonValue* cpu = span.Find("cpu_ns");
+  const JsonValue* alloc_count = span.Find("alloc_count");
+  const JsonValue* alloc_bytes = span.Find("alloc_bytes");
   out += "{\"name\": \"" + JsonEscape(name != nullptr ? name->string : "") + "\"";
   out += ", \"dur_ns\": " + U64(dur != nullptr ? dur->number : 0);
+  out += ", \"cpu_ns\": " + U64(cpu != nullptr ? cpu->number : 0);
+  out += ", \"alloc_count\": " + U64(alloc_count != nullptr ? alloc_count->number : 0);
+  out += ", \"alloc_bytes\": " + U64(alloc_bytes != nullptr ? alloc_bytes->number : 0);
   out += ", \"attrs\": {";
   const JsonValue* attrs = span.Find("attrs");
   if (attrs != nullptr && attrs->kind == JsonValue::Kind::kObject) {

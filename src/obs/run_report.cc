@@ -18,6 +18,11 @@ std::string I64(int64_t v) { return StrFormat("%lld", (long long)v); }
 void AppendSpanJson(std::string& out, const SpanNode& span, const RunReportOptions& options) {
   out += "{\"name\": \"" + JsonEscape(span.name) + "\"";
   out += ", \"dur_ns\": " + U64(options.mask_timings ? 0 : span.dur_ns);
+  out += ", \"cpu_ns\": " + U64(options.mask_timings ? 0 : span.cpu_ns);
+  // Allocation figures vary with the allocator, libstdc++ version, and
+  // whether the alloc hooks are compiled in, so masking zeroes them too.
+  out += ", \"alloc_count\": " + U64(options.mask_timings ? 0 : span.alloc_count);
+  out += ", \"alloc_bytes\": " + U64(options.mask_timings ? 0 : span.alloc_bytes);
   out += ", \"attrs\": {";
   for (size_t i = 0; i < span.attrs.size(); ++i) {
     if (i != 0) {
@@ -41,6 +46,13 @@ void AppendSpanText(std::string& out, const SpanNode& span, int depth) {
   out += std::string(static_cast<size_t>(depth) * 2, ' ');
   out += StrFormat("%-40s %10.3f ms", span.name.c_str(),
                    static_cast<double>(span.dur_ns) / 1e6);
+  if (span.cpu_ns != 0) {
+    out += StrFormat(" cpu=%.3fms", static_cast<double>(span.cpu_ns) / 1e6);
+  }
+  if (span.alloc_count != 0) {
+    out += StrFormat(" allocs=%llu/%lluB", (unsigned long long)span.alloc_count,
+                     (unsigned long long)span.alloc_bytes);
+  }
   for (const auto& [key, value] : span.attrs) {
     out += "  " + key + "=" + value;
   }

@@ -4,7 +4,8 @@
 // Schema (depsurf.run_report.v1):
 //   {
 //     "schema": "depsurf.run_report.v1",
-//     "spans": [ {"name": "...", "dur_ns": N,
+//     "spans": [ {"name": "...", "dur_ns": N, "cpu_ns": N,
+//                 "alloc_count": N, "alloc_bytes": N,
 //                 "attrs": {"k": "v", ...}, "children": [...]}, ... ],
 //     "counters": {"btf.types_decoded": N, ...},
 //     "gauges": {"study.build_dataset.wall_ms": N, ...},
@@ -16,10 +17,11 @@
 //   }
 //
 // Key order is deterministic (maps are sorted, span attrs keep insertion
-// order). Timing values — span "dur_ns" fields plus any metric or attribute
-// whose key has a timing suffix (_ns/_us/_ms/_seconds) — are the only
-// nondeterministic fields; serializing with mask_timings zeroes them, after
-// which two runs over the same inputs are byte-identical.
+// order). Nondeterministic values — span "dur_ns"/"cpu_ns" fields, the
+// allocator-dependent "alloc_count"/"alloc_bytes" fields, plus any metric
+// or attribute whose key has a timing suffix (_ns/_us/_ms/_seconds) — are
+// zeroed by serializing with mask_timings, after which two runs over the
+// same inputs are byte-identical.
 #ifndef DEPSURF_SRC_OBS_RUN_REPORT_H_
 #define DEPSURF_SRC_OBS_RUN_REPORT_H_
 
@@ -41,7 +43,7 @@ inline constexpr char kRunReportSchema[] = "depsurf.run_report.v1";
 inline constexpr char kRunReportAggSchema[] = "depsurf.run_report_agg.v1";
 
 struct RunReportOptions {
-  bool mask_timings = false;  // zero dur_ns and *_ns/_us/_ms/_seconds fields
+  bool mask_timings = false;  // zero dur/cpu/alloc and *_ns/_us/_ms/_seconds fields
 };
 
 // Serializes the given collector + registry. `diagnostics` fills the

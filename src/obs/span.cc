@@ -1,5 +1,7 @@
 #include "src/obs/span.h"
 
+#include <ctime>
+
 #include "src/obs/context.h"
 #include "src/obs/diag.h"
 #include "src/obs/metrics.h"
@@ -11,6 +13,15 @@ namespace obs {
 namespace {
 
 thread_local ScopedSpan* tls_current_span = nullptr;
+
+// CPU time consumed by the calling thread, for per-span attribution.
+uint64_t ThreadCpuNs() {
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) {
+    return 0;
+  }
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull + static_cast<uint64_t>(ts.tv_nsec);
+}
 
 }  // namespace
 
@@ -71,11 +82,16 @@ void SpanCollector::Clear() {
 }
 
 ScopedSpan::ScopedSpan(std::string name)
-    : parent_(tls_current_span), start_(std::chrono::steady_clock::now()) {
+    : parent_(tls_current_span),
+      start_(std::chrono::steady_clock::now()),
+      cpu_start_ns_(ThreadCpuNs()) {
   node_.name = std::move(name);
   node_.start_ns = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(start_.time_since_epoch()).count());
   node_.tid = ThreadTraceId();
+#ifdef DEPSURF_PROFILE_ALLOC
+  alloc_start_ = ThreadAllocStats();
+#endif
   tls_current_span = this;
 }
 
@@ -83,6 +99,19 @@ ScopedSpan::~ScopedSpan() {
   node_.dur_ns = static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
                                            std::chrono::steady_clock::now() - start_)
                                            .count());
+  // The thread CPU clock and the monotonic clock tick at different
+  // granularities; clamp so cpu_ns <= dur_ns is a hard invariant for
+  // single-threaded spans.
+  const uint64_t cpu_now = ThreadCpuNs();
+  node_.cpu_ns = cpu_now > cpu_start_ns_ ? cpu_now - cpu_start_ns_ : 0;
+  if (node_.cpu_ns > node_.dur_ns) {
+    node_.cpu_ns = node_.dur_ns;
+  }
+#ifdef DEPSURF_PROFILE_ALLOC
+  const AllocStats alloc_now = ThreadAllocStats();
+  node_.alloc_count = alloc_now.count - alloc_start_.count;
+  node_.alloc_bytes = alloc_now.bytes - alloc_start_.bytes;
+#endif
   // Resolved at finish time: a span belongs to whatever context its thread
   // is running under (per-image contexts in report-mode corpus builds, the
   // root/global collector everywhere else).

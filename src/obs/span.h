@@ -2,7 +2,10 @@
 // pipeline. Each thread maintains its own stack of active spans; a span
 // opened while another is active on the same thread becomes its child, and
 // a span that finishes with no parent is handed to the process-wide
-// SpanCollector. Durations come from the monotonic clock.
+// SpanCollector. Durations come from the monotonic clock; each span also
+// carries its thread CPU time and (when DEPSURF_PROFILE_ALLOC is on) the
+// allocation count/bytes charged to its thread while it was open, feeding
+// the profile analyzer in src/obs/profile.h.
 //
 // Span names follow the metric convention ("surface.extract"); attributes
 // carry small facts like the image label, section name, or record counts.
@@ -19,6 +22,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/alloc_hooks.h"
+
 namespace depsurf {
 namespace obs {
 
@@ -26,6 +31,16 @@ struct SpanNode {
   std::string name;
   uint64_t start_ns = 0;  // monotonic clock at open (steady_clock epoch)
   uint64_t dur_ns = 0;
+  // Thread CPU time (CLOCK_THREAD_CPUTIME_ID delta) consumed between open
+  // and close on the opening thread, clamped to dur_ns so the invariant
+  // cpu_ns <= dur_ns holds for single-threaded spans despite clock
+  // granularity skew. Inclusive of same-thread children.
+  uint64_t cpu_ns = 0;
+  // Allocation delta on the opening thread (see alloc_hooks.h). Always 0
+  // unless the build was configured with -DDEPSURF_PROFILE_ALLOC=ON.
+  // Inclusive of same-thread children, like cpu_ns.
+  uint64_t alloc_count = 0;
+  uint64_t alloc_bytes = 0;
   uint32_t tid = 0;  // small per-thread trace id (1, 2, ...), see ThreadTraceId
   std::vector<std::pair<std::string, std::string>> attrs;  // insertion order
   std::vector<SpanNode> children;
@@ -82,6 +97,8 @@ class ScopedSpan {
   SpanNode node_;
   ScopedSpan* parent_;
   std::chrono::steady_clock::time_point start_;
+  uint64_t cpu_start_ns_;
+  [[maybe_unused]] AllocStats alloc_start_;  // only read under DEPSURF_PROFILE_ALLOC
 };
 
 }  // namespace obs

@@ -3,12 +3,15 @@
 // array of "X" complete-duration events), directly loadable in
 // ui.perfetto.dev or chrome://tracing.
 //
-// Every SpanNode becomes exactly one event — event count == span-node
-// count, an invariant `depsurf metrics lint --kind=trace` enforces against
-// the run report of the same run. Timestamps are rebased so the earliest
-// span starts at ts=0 and are emitted in nondecreasing order; `tid` is the
-// small per-thread trace id spans record at open, so the worker threads of
-// a parallel Study::BuildDataset show up as separate timeline tracks.
+// Every SpanNode becomes exactly one "X" event — complete-event count ==
+// span-node count, an invariant `depsurf metrics lint --kind=trace`
+// enforces against the run report of the same run. The array additionally
+// leads with one "M" (metadata) thread_name event per distinct tid, naming
+// the lane "worker-<tid>" so viewers group executor tracks by worker lane.
+// Timestamps are rebased so the earliest span starts at ts=0 and "X"
+// events are emitted in nondecreasing ts order; `tid` is the small
+// per-thread trace id spans record at open, so the worker threads of a
+// parallel Study::BuildDataset show up as separate timeline tracks.
 #ifndef DEPSURF_SRC_OBS_TRACE_EXPORT_H_
 #define DEPSURF_SRC_OBS_TRACE_EXPORT_H_
 
@@ -34,10 +37,11 @@ std::string TraceEventJson(const std::vector<SpanNode>& roots);
 Status WriteGlobalTrace(const std::string& path);
 
 // Validates a parsed trace document: a "traceEvents" array whose members
-// are "X" events with a name, nonnegative numeric ts/dur, and pid/tid;
-// ts must be nondecreasing across the array. When `expect_events` is
-// nonnegative the event count must match it exactly (cross-check against
-// CountReportSpanNodes of the run report from the same run).
+// are "X" events (name, nonnegative numeric ts/dur/pid/tid, nondecreasing
+// ts across the array) or "M" metadata events (pid/tid plus args.name).
+// When `expect_events` is nonnegative the "X" event count must match it
+// exactly (cross-check against CountReportSpanNodes of the run report
+// from the same run); metadata events are not counted.
 Status ValidateTrace(const JsonValue& trace, int64_t expect_events = -1);
 
 }  // namespace obs

@@ -17,6 +17,7 @@
 #include "src/obs/report_merge.h"
 #include "src/obs/run_report.h"
 #include "src/obs/span.h"
+#include "src/util/str_util.h"
 
 namespace depsurf {
 
@@ -44,6 +45,74 @@ size_t EffectiveWindow(const BuildPolicy& policy) {
   }
   size_t window = std::max<unsigned>(1, std::thread::hardware_concurrency());
   return std::min(window, size_t{8});  // surfaces are large; bound memory
+}
+
+// What a bounded-window worker hands back to the in-order consume stage:
+// the extracted surface plus the two timings only the worker can measure.
+struct WorkerResult {
+  Result<DependencySurface> surface;
+  double seconds = 0;     // generate+extract wall time inside the worker
+  double queue_wait = 0;  // launch (enqueue) to the worker actually starting
+};
+
+// Telemetry for the bounded-window executor, accumulated locally while the
+// loop runs and published as metrics once the build completes. Report-mode
+// builds reset the root registry mid-flight and scope per-image contexts
+// around the workers, so recording as-you-go would either leak executor
+// noise into per-image reports (breaking their masked determinism
+// guarantee) or be wiped by the reset; batching sidesteps both.
+class ExecutorTelemetry {
+ public:
+  explicit ExecutorTelemetry(size_t window) : lane_busy_seconds_(window, 0.0) {}
+
+  // `index` is the task's position in corpus order; launch and consume
+  // both walk the window round-robin, so index % window names the executor
+  // lane the task occupied.
+  void RecordTask(size_t index, double queue_wait_seconds, double busy_seconds) {
+    queue_wait_us_.push_back(static_cast<uint64_t>(queue_wait_seconds * 1e6));
+    inflight_us_.push_back(static_cast<uint64_t>(busy_seconds * 1e6));
+    lane_busy_seconds_[index % lane_busy_seconds_.size()] += busy_seconds;
+  }
+
+  void AddStall(uint64_t ns) { serialize_stall_ns_ += ns; }
+
+  void Publish(obs::MetricsRegistry& metrics) const {
+    obs::Histogram* queue_wait = metrics.GetHistogram("study.executor.queue_wait_us");
+    for (uint64_t v : queue_wait_us_) {
+      queue_wait->Record(v);
+    }
+    obs::Histogram* inflight = metrics.GetHistogram("study.executor.inflight_us");
+    for (uint64_t v : inflight_us_) {
+      inflight->Record(v);
+    }
+    metrics.Incr("study.executor.serialize_stall_us", serialize_stall_ns_ / 1000);
+    for (size_t lane = 0; lane < lane_busy_seconds_.size(); ++lane) {
+      metrics.Set(StrFormat("study.executor.worker%zu.busy_ms", lane),
+                  static_cast<int64_t>(lane_busy_seconds_[lane] * 1e3));
+    }
+  }
+
+ private:
+  std::vector<uint64_t> queue_wait_us_;
+  std::vector<uint64_t> inflight_us_;
+  std::vector<double> lane_busy_seconds_;  // per executor lane
+  uint64_t serialize_stall_ns_ = 0;
+};
+
+// Wall time the in-order consume stage spends blocked on the window's
+// front future — zero when the front task already finished, i.e. nonzero
+// only when consumption (distill/serialize) has fallen behind extraction
+// or completions arrived out of corpus order.
+template <typename Future>
+uint64_t ConsumeStallNs(Future& future) {
+  if (future.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+    return 0;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  future.wait();
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count());
 }
 
 Status WriteFileBytes(const std::string& path, const std::string& contents) {
@@ -113,23 +182,29 @@ Result<Dataset> Study::BuildDataset(
   // distillation happens serially in corpus order (Dataset interning is
   // order-sensitive and must stay deterministic).
   const size_t window = EffectiveWindow(policy);
+  ExecutorTelemetry telemetry(window);
   Dataset dataset;
-  using TimedSurface = std::pair<Result<DependencySurface>, double>;
-  std::deque<std::future<TimedSurface>> in_flight;
+  std::deque<std::future<WorkerResult>> in_flight;
   size_t next_launch = 0;
   size_t next_consume = 0;
   while (next_consume < corpus.size()) {
     while (next_launch < corpus.size() && in_flight.size() < window) {
       const BuildSpec& build = corpus[next_launch++];
-      in_flight.push_back(std::async(std::launch::async, [this, build] {
+      const auto enqueue = std::chrono::steady_clock::now();
+      in_flight.push_back(std::async(std::launch::async, [this, build, enqueue] {
         const auto start = std::chrono::steady_clock::now();
+        const std::chrono::duration<double> queued = start - enqueue;
         Result<DependencySurface> surface = ExtractSurface(build);
         const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
-        return TimedSurface{std::move(surface), elapsed.count()};
+        return WorkerResult{std::move(surface), elapsed.count(), queued.count()};
       }));
     }
-    auto [surface, seconds] = in_flight.front().get();
+    telemetry.AddStall(ConsumeStallNs(in_flight.front()));
+    WorkerResult result = in_flight.front().get();
     in_flight.pop_front();
+    telemetry.RecordTask(next_consume, result.queue_wait, result.seconds);
+    Result<DependencySurface>& surface = result.surface;
+    const double seconds = result.seconds;
     const std::string label = corpus[next_consume].Label();
     if (!surface.ok()) {
       if (!policy.keep_going) {
@@ -178,6 +253,7 @@ Result<Dataset> Study::BuildDataset(
   metrics.Set("study.build_dataset.wall_ms", static_cast<uint64_t>(wall.count() * 1e3));
   metrics.Set("study.build_dataset.cpu_total_ms", static_cast<int64_t>(cpu_ns / 1000000));
   metrics.Set("study.build_dataset.window", static_cast<int64_t>(window));
+  telemetry.Publish(metrics);
   span.AddAttr("window", static_cast<uint64_t>(window));
   return dataset;
 }
@@ -202,9 +278,10 @@ Result<Dataset> Study::BuildDatasetWithReports(
   // generate+extract overlap across the window.
   struct InFlight {
     std::shared_ptr<obs::Context> context;
-    std::future<std::pair<Result<DependencySurface>, double>> future;
+    std::future<WorkerResult> future;
   };
 
+  ExecutorTelemetry telemetry(window);
   Dataset dataset;
   std::vector<obs::LabeledReport> reports;
   std::deque<InFlight> in_flight;
@@ -216,20 +293,29 @@ Result<Dataset> Study::BuildDatasetWithReports(
       auto context = std::make_shared<obs::Context>();
       InFlight entry;
       entry.context = context;
-      entry.future = std::async(std::launch::async, [this, build, context] {
+      const auto enqueue = std::chrono::steady_clock::now();
+      entry.future = std::async(std::launch::async, [this, build, context, enqueue] {
         obs::ScopedContext scope(*context);
         const auto start = std::chrono::steady_clock::now();
+        const std::chrono::duration<double> queued = start - enqueue;
         Result<DependencySurface> surface = ExtractSurface(build);
         const std::chrono::duration<double> elapsed =
             std::chrono::steady_clock::now() - start;
-        return std::pair<Result<DependencySurface>, double>{std::move(surface),
-                                                            elapsed.count()};
+        return WorkerResult{std::move(surface), elapsed.count(), queued.count()};
       });
       in_flight.push_back(std::move(entry));
     }
     InFlight entry = std::move(in_flight.front());
     in_flight.pop_front();
-    auto [surface, seconds] = entry.future.get();
+    // Stall + queue-wait are executor facts, not image facts: they are
+    // measured here on the main thread (or returned by the worker) and
+    // batched outside the per-image context so report contents stay
+    // byte-stable under masking regardless of --jobs.
+    telemetry.AddStall(ConsumeStallNs(entry.future));
+    WorkerResult result = entry.future.get();
+    telemetry.RecordTask(next_consume, result.queue_wait, result.seconds);
+    Result<DependencySurface>& surface = result.surface;
+    const double seconds = result.seconds;
     obs::Context& context = *entry.context;
     const std::string label = corpus[next_consume].Label();
     const bool image_ok = surface.ok();
@@ -311,6 +397,7 @@ Result<Dataset> Study::BuildDatasetWithReports(
   metrics.Set("study.build_dataset.wall_ms", static_cast<int64_t>(wall.count() * 1e3));
   metrics.Set("study.build_dataset.cpu_total_ms", static_cast<int64_t>(cpu_ns / 1000000));
   metrics.Set("study.build_dataset.window", static_cast<int64_t>(window));
+  telemetry.Publish(metrics);
   return dataset;
 }
 

@@ -12,7 +12,9 @@
 //   depsurf emit    PROGRAM --out=OBJ             write a bundled program's .o
 //   depsurf metrics lint|canon FILE               validate / canonicalize a report
 //   depsurf report  merge OUT IN...               merge run reports into an aggregate
+//   depsurf report  flame REPORT.json             folded stacks for flamegraph.pl
 //   depsurf perf    compare BASE HEAD             perf regression gate over stage timings
+//   depsurf profile REPORT.json | --live          self-profile: self-time, critical path
 //   depsurf study   build [--versions=..]         build a dataset corpus, with reports
 //
 // Every command accepts --metrics-out=FILE (write a depsurf.run_report.v1
@@ -39,6 +41,7 @@
 #include "src/obs/diagnostics.h"
 #include "src/obs/json_lint.h"
 #include "src/obs/perf_gate.h"
+#include "src/obs/profile.h"
 #include "src/obs/report_merge.h"
 #include "src/obs/run_report.h"
 #include "src/obs/trace_export.h"
@@ -387,17 +390,8 @@ int CmdMetrics(int argc, char** argv) {
       return DiagError(positional[1], valid.error());
     }
     auto json = obs::ParseJson(text);
-    // Schema note: reports written before the parallel report-mode build
-    // carried `study.build_dataset.cpu_ms`, measured with std::clock() —
-    // process CPU time that exceeds wall_ms whenever extraction overlaps.
-    // The honest name is cpu_total_ms; flag the old one so stale corpora
-    // aren't misread as single-thread CPU cost.
-    if (const obs::JsonValue* gauges = json->Find("gauges");
-        gauges != nullptr && gauges->Find("study.build_dataset.cpu_ms") != nullptr) {
-      printf("note: %s uses deprecated gauge study.build_dataset.cpu_ms "
-             "(process CPU summed across threads); newer reports name it "
-             "study.build_dataset.cpu_total_ms\n",
-             positional[1].c_str());
+    for (const std::string& note : obs::RunReportLintNotes(*json)) {
+      printf("note: %s: %s\n", positional[1].c_str(), note.c_str());
     }
     printf("%s: valid %s (%zu distinct spans)\n", positional[1].c_str(),
            obs::kRunReportSchema, obs::CollectSpanNames(*json).size());
@@ -408,7 +402,20 @@ int CmdMetrics(int argc, char** argv) {
     if (!valid.ok()) {
       return DiagError(positional[1], valid.error());
     }
+    if (auto json = obs::ParseJson(text); json.ok()) {
+      for (const std::string& note : obs::RunReportLintNotes(*json)) {
+        printf("note: %s: %s\n", positional[1].c_str(), note.c_str());
+      }
+    }
     printf("%s: valid %s\n", positional[1].c_str(), obs::kRunReportAggSchema);
+    return 0;
+  }
+  if (kind == "profile") {
+    Status valid = obs::ValidateProfileDoc(text);
+    if (!valid.ok()) {
+      return DiagError(positional[1], valid.error());
+    }
+    printf("%s: valid %s\n", positional[1].c_str(), obs::kProfileSchema);
     return 0;
   }
   if (kind == "bench") {
@@ -470,15 +477,44 @@ int CmdMetrics(int argc, char** argv) {
     return 0;
   }
   return DiagError("unknown --kind=" + kind +
-                   " (report|agg|bench|perf|trace|diag|analysis)");
+                   " (report|agg|bench|perf|trace|diag|analysis|profile)");
 }
 
 // Merges run reports (per-image documents from a study build, or prior
 // aggregates) into one depsurf.run_report_agg.v1 file.
 int CmdReport(int argc, char** argv) {
   auto positional = Positional(argc, argv);
+  // `report flame REPORT.json [--out=FILE]`: folded stacks
+  // (`root;child;leaf self_ns` lines) from a run report or aggregate,
+  // directly consumable by flamegraph.pl / speedscope.
+  if (!positional.empty() && positional[0] == "flame") {
+    if (positional.size() < 2) {
+      return DiagError("report flame requires a REPORT.json path");
+    }
+    auto bytes = ReadFile(positional[1]);
+    if (!bytes.ok()) {
+      return DiagError(bytes.error());
+    }
+    auto folded = obs::FoldedStacksFromReportJson(std::string(bytes->begin(), bytes->end()));
+    if (!folded.ok()) {
+      return DiagError(positional[1], folded.error());
+    }
+    std::string out_path = FlagValue(argc, argv, "out", "");
+    if (out_path.empty()) {
+      printf("%s", folded->c_str());
+      return 0;
+    }
+    std::ofstream out(out_path, std::ios::binary);
+    out.write(folded->data(), static_cast<std::streamsize>(folded->size()));
+    if (!out) {
+      return DiagError("cannot write " + out_path);
+    }
+    printf("wrote %s (%zu bytes)\n", out_path.c_str(), folded->size());
+    return 0;
+  }
   if (positional.size() < 3 || positional[0] != "merge") {
-    return DiagError("report requires a subcommand: merge OUT IN...");
+    return DiagError(
+        "report requires a subcommand: merge OUT IN... | flame REPORT.json [--out=FILE]");
   }
   std::vector<obs::LabeledReport> reports;
   for (size_t i = 2; i < positional.size(); ++i) {
@@ -555,17 +591,13 @@ int CmdPerf(int argc, char** argv) {
   return comparison.gate_failed() ? 3 : 0;
 }
 
-// Corpus builds from the CLI: generate + extract + distill a whole version
-// corpus, optionally writing per-image run reports and their aggregate.
-int CmdStudy(int argc, char** argv) {
-  auto positional = Positional(argc, argv);
-  if (positional.empty() || positional[0] != "build") {
-    return DiagError("study requires a subcommand: build");
-  }
+// Shared by `study build` and `profile --live`: --versions/--arch/--flavor
+// into a build corpus (empty --versions means the bundled LTS set).
+Result<std::vector<BuildSpec>> CorpusFromFlags(int argc, char** argv) {
   Arch arch = Arch::kX86;
   Flavor flavor = Flavor::kGeneric;
   if (!ParseArchFlavor(argc, argv, &arch, &flavor)) {
-    return DiagError("unknown --arch or --flavor");
+    return Error(ErrorCode::kInvalidArgument, "unknown --arch or --flavor");
   }
   std::vector<BuildSpec> corpus;
   std::string versions = FlagValue(argc, argv, "versions", "");
@@ -580,14 +612,29 @@ int CmdStudy(int argc, char** argv) {
       }
       auto version = KernelVersion::Parse(text);
       if (!version.ok()) {
-        return DiagError(version.error());
+        return version.TakeError();
       }
       corpus.push_back(MakeBuild(*version, arch, flavor));
     }
   }
   if (corpus.empty()) {
-    return DiagError("study build: empty corpus (check --versions)");
+    return Error(ErrorCode::kInvalidArgument, "empty corpus (check --versions)");
   }
+  return corpus;
+}
+
+// Corpus builds from the CLI: generate + extract + distill a whole version
+// corpus, optionally writing per-image run reports and their aggregate.
+int CmdStudy(int argc, char** argv) {
+  auto positional = Positional(argc, argv);
+  if (positional.empty() || positional[0] != "build") {
+    return DiagError("study requires a subcommand: build");
+  }
+  auto corpus_or = CorpusFromFlags(argc, argv);
+  if (!corpus_or.ok()) {
+    return DiagError("study build: " + corpus_or.error().message());
+  }
+  std::vector<BuildSpec> corpus = corpus_or.TakeValue();
   Study study(StudyOptions::FromArgs(argc, argv, /*default_scale=*/1.0));
   // Failure policy: --keep-going (the default) quarantines images whose
   // extraction dies outright; --strict aborts the whole build instead.
@@ -641,6 +688,111 @@ int CmdStudy(int argc, char** argv) {
   if (!report_dir.empty()) {
     printf("wrote %zu per-image reports and %s\n", files.per_image.size(),
            files.aggregate.c_str());
+  }
+  // --profile-out=FILE: write a depsurf.profile.v1 self-profile of the
+  // build that just ran (aggregate tables, critical path, executor stats).
+  std::string profile_out = FlagValue(argc, argv, "profile-out", "");
+  if (!profile_out.empty()) {
+    obs::Profile profile;
+    if (!report_dir.empty()) {
+      // Report mode resets the root collectors between images; the
+      // aggregate on disk is the authoritative span record.
+      auto bytes = ReadFile(files.aggregate);
+      if (!bytes.ok()) {
+        return DiagError(bytes.error());
+      }
+      auto parsed = obs::ProfileFromReportJson(std::string(bytes->begin(), bytes->end()));
+      if (!parsed.ok()) {
+        return DiagError(files.aggregate, parsed.error());
+      }
+      profile = parsed.TakeValue();
+    } else {
+      profile = obs::BuildProfile(obs::SpanCollector::Global().Snapshot());
+    }
+    obs::FillExecutorStats(profile, obs::MetricsRegistry::Global());
+    std::string json = obs::ProfileJson(profile);
+    std::ofstream pout(profile_out, std::ios::binary);
+    pout.write(json.data(), static_cast<std::streamsize>(json.size()));
+    if (!pout) {
+      return DiagError("cannot write " + profile_out);
+    }
+    printf("wrote %s (%s)\n", profile_out.c_str(), obs::kProfileSchema);
+  }
+  return 0;
+}
+
+// Self-profile of a run: per-name self-time/CPU/alloc aggregates, the
+// critical path (the serial distill/serialize share of wall time), and
+// executor stats. Input is a run report or aggregate from `study build
+// --report-dir`; --live instead runs a corpus build in-process and
+// profiles the spans it just recorded.
+int CmdProfile(int argc, char** argv) {
+  auto positional = Positional(argc, argv);
+  obs::Profile profile;
+  std::string folded;
+  if (HasFlag(argc, argv, "live")) {
+    auto corpus = CorpusFromFlags(argc, argv);
+    if (!corpus.ok()) {
+      return DiagError("profile --live: " + corpus.error().message());
+    }
+    // Small default scale: --live exists to profile the pipeline's shape,
+    // not to build a production dataset.
+    Study study(StudyOptions::FromArgs(argc, argv, /*default_scale=*/0.25));
+    BuildPolicy policy;
+    policy.jobs = atoi(FlagValue(argc, argv, "jobs", "0").c_str());
+    if (policy.jobs < 0 || policy.jobs > 256) {
+      return DiagError("--jobs must be between 0 (auto) and 256");
+    }
+    auto dataset = study.BuildDataset(*corpus, {}, policy, nullptr);
+    if (!dataset.ok()) {
+      return DiagError(dataset.error());
+    }
+    std::vector<obs::SpanNode> roots = obs::SpanCollector::Global().Snapshot();
+    profile = obs::BuildProfile(roots);
+    obs::FillExecutorStats(profile, obs::MetricsRegistry::Global());
+    folded = obs::FoldedStacks(roots);
+  } else {
+    if (positional.empty()) {
+      return DiagError("profile requires a RUN_REPORT.json path or --live");
+    }
+    auto bytes = ReadFile(positional[0]);
+    if (!bytes.ok()) {
+      return DiagError(bytes.error());
+    }
+    std::string text(bytes->begin(), bytes->end());
+    auto parsed = obs::ProfileFromReportJson(text);
+    if (!parsed.ok()) {
+      return DiagError(positional[0], parsed.error());
+    }
+    profile = parsed.TakeValue();
+    auto folded_or = obs::FoldedStacksFromReportJson(text);
+    if (folded_or.ok()) {
+      folded = folded_or.TakeValue();
+    }
+  }
+  std::string out_path = FlagValue(argc, argv, "out", "");
+  if (!out_path.empty()) {
+    std::string json = obs::ProfileJson(profile);
+    std::ofstream out(out_path, std::ios::binary);
+    out.write(json.data(), static_cast<std::streamsize>(json.size()));
+    if (!out) {
+      return DiagError("cannot write " + out_path);
+    }
+    printf("wrote %s (%s)\n", out_path.c_str(), obs::kProfileSchema);
+  }
+  std::string folded_path = FlagValue(argc, argv, "folded-out", "");
+  if (!folded_path.empty()) {
+    std::ofstream out(folded_path, std::ios::binary);
+    out.write(folded.data(), static_cast<std::streamsize>(folded.size()));
+    if (!out) {
+      return DiagError("cannot write " + folded_path);
+    }
+    printf("wrote %s (%zu bytes folded stacks)\n", folded_path.c_str(), folded.size());
+  }
+  if (HasFlag(argc, argv, "json")) {
+    printf("%s", obs::ProfileJson(profile).c_str());
+  } else if (out_path.empty() && folded_path.empty()) {
+    printf("%s", obs::ProfileText(profile).c_str());
   }
   return 0;
 }
@@ -917,14 +1069,17 @@ constexpr char kUsage[] =
     "  emit    PROGRAM --out=OBJ\n"
     "  doctor  IMG [--sweep=N] [--seed=S] [--json]\n"
     "          (exit 2 when the image needed salvage, 1 when unreadable)\n"
-    "  metrics lint FILE [--kind=report|agg|bench|perf|trace|diag|analysis]\n"
+    "  metrics lint FILE [--kind=report|agg|bench|perf|trace|diag|analysis|profile]\n"
     "          [--min-spans=N]\n"
     "          [--require=a,b,c] [--report=FILE] | metrics canon FILE\n"
-    "  report  merge OUT IN...\n"
+    "  report  merge OUT IN... | report flame REPORT.json [--out=FILE]\n"
     "  perf    compare BASE.json HEAD.json [--max-regress=15%] [--noise-floor=S] [--json]\n"
     "          (exit 3 when a stage regressed beyond the threshold)\n"
+    "  profile RUN_REPORT.json | profile --live [study flags]\n"
+    "          [--json] [--out=PROFILE.json] [--folded-out=FLAME.folded]\n"
     "  study   build [--versions=5.4,6.8] [--arch=A] [--flavor=F] [--scale=S] [--seed=N]\n"
-    "          [--out=DATASET] [--report-dir=DIR] [--jobs=N] [--strict] [--poison=LABEL]\n"
+    "          [--out=DATASET] [--report-dir=DIR] [--profile-out=FILE] [--jobs=N]\n"
+    "          [--strict] [--poison=LABEL]\n"
     "global options: --metrics-out=FILE  --trace-out=FILE  --trace\n";
 
 int Dispatch(int argc, char** argv, const std::string& command) {
@@ -960,6 +1115,9 @@ int Dispatch(int argc, char** argv, const std::string& command) {
   }
   if (command == "perf") {
     return CmdPerf(argc, argv);
+  }
+  if (command == "profile") {
+    return CmdProfile(argc, argv);
   }
   if (command == "study") {
     return CmdStudy(argc, argv);

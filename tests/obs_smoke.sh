@@ -83,6 +83,31 @@ done
 cmp -s agg1.canon agg2.canon \
   || fail "masked aggregates differ between identical study builds"
 
+# ---- profile: the self-profile of a study build is valid, names the
+# critical path, and (masked) is deterministic across identical builds.
+"$DEPSURF" profile reps1/report_agg.json > profile1.txt || fail "profile exited $?"
+grep -q "critical path" profile1.txt || fail "profile text missing critical path"
+grep -q "span nodes" profile1.txt || fail "profile text missing header"
+for run in 1 2; do
+  "$DEPSURF" profile "reps$run/report_agg.json" --out="profile$run.json" \
+    || fail "profile --out run $run exited $?"
+  "$DEPSURF" metrics lint "profile$run.json" --kind=profile \
+    || fail "profile$run.json invalid"
+  "$DEPSURF" metrics canon "profile$run.json" > "profile$run.canon" \
+    || fail "profile canon $run"
+done
+cmp -s profile1.canon profile2.canon \
+  || fail "masked profiles differ between identical study builds"
+
+# ---- flamegraph export: folded stacks, one "name;child;... self_ns" line
+# per distinct stack — the format flamegraph.pl consumes directly.
+"$DEPSURF" report flame reps1/report_agg.json --out=flame.folded \
+  || fail "report flame exited $?"
+[ -s flame.folded ] || fail "flame.folded is empty"
+grep -q ';' flame.folded || fail "folded stacks have no nested frames"
+awk 'NF < 2 || $NF !~ /^[0-9]+$/ { exit 1 }' flame.folded \
+  || fail "folded stacks malformed (want: stack self_ns)"
+
 # ---- report merge: re-merging the per-image reports from the CLI yields
 # the same aggregate the study wrote (sources carry paths vs labels, so the
 # comparison is over the data sections via the merged document itself).

@@ -10,6 +10,7 @@
 #include "src/obs/diagnostics.h"
 #include "src/obs/json_lint.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profile.h"
 #include "src/obs/run_report.h"
 #include "src/obs/span.h"
 #include "src/obs/trace_export.h"
@@ -282,23 +283,31 @@ TEST(TraceExportTest, EveryNodeBecomesOneOrderedEvent) {
 
   auto trace = obs::ParseJson(obs::TraceEventJson(roots));
   ASSERT_TRUE(trace.ok()) << trace.error().ToString();
+  // Metadata (thread_name) events don't count toward the span cross-check.
   EXPECT_TRUE(obs::ValidateTrace(*trace, 3).ok());
   EXPECT_FALSE(obs::ValidateTrace(*trace, 4).ok());  // count cross-check bites
 
   const obs::JsonValue* events = trace->Find("traceEvents");
   ASSERT_NE(events, nullptr);
-  ASSERT_EQ(events->array.size(), 3u);
-  // Events sort by start time, rebased so the earliest is ts=0; tid is the
-  // recording thread's trace id.
-  EXPECT_EQ(events->array[0].Find("name")->string, "r1");
-  EXPECT_DOUBLE_EQ(events->array[0].Find("ts")->number, 0.0);
-  EXPECT_DOUBLE_EQ(events->array[0].Find("dur")->number, 5.0);
-  EXPECT_EQ(events->array[1].Find("name")->string, "r2");
-  EXPECT_DOUBLE_EQ(events->array[1].Find("ts")->number, 0.5);
-  EXPECT_DOUBLE_EQ(events->array[1].Find("tid")->number, 2.0);
-  EXPECT_EQ(events->array[2].Find("name")->string, "c1");
-  EXPECT_EQ(events->array[2].Find("args")->kind, obs::JsonValue::Kind::kObject);
-  EXPECT_EQ(events->array[0].Find("args")->Find("k")->string, "v");
+  // One "M" thread_name event per distinct tid leads the array, then the
+  // three "X" complete events.
+  ASSERT_EQ(events->array.size(), 5u);
+  EXPECT_EQ(events->array[0].Find("ph")->string, "M");
+  EXPECT_DOUBLE_EQ(events->array[0].Find("tid")->number, 1.0);
+  EXPECT_EQ(events->array[0].Find("args")->Find("name")->string, "worker-1");
+  EXPECT_EQ(events->array[1].Find("ph")->string, "M");
+  EXPECT_EQ(events->array[1].Find("args")->Find("name")->string, "worker-2");
+  // X events sort by start time, rebased so the earliest is ts=0; tid is
+  // the recording thread's trace id.
+  EXPECT_EQ(events->array[2].Find("name")->string, "r1");
+  EXPECT_DOUBLE_EQ(events->array[2].Find("ts")->number, 0.0);
+  EXPECT_DOUBLE_EQ(events->array[2].Find("dur")->number, 5.0);
+  EXPECT_EQ(events->array[3].Find("name")->string, "r2");
+  EXPECT_DOUBLE_EQ(events->array[3].Find("ts")->number, 0.5);
+  EXPECT_DOUBLE_EQ(events->array[3].Find("tid")->number, 2.0);
+  EXPECT_EQ(events->array[4].Find("name")->string, "c1");
+  EXPECT_EQ(events->array[4].Find("args")->kind, obs::JsonValue::Kind::kObject);
+  EXPECT_EQ(events->array[2].Find("args")->Find("k")->string, "v");
 }
 
 // The golden-schema test: a run report serialized with mask_timings is
@@ -310,6 +319,9 @@ TEST(RunReportTest, GoldenSchemaWithMaskedTimings) {
   obs::SpanNode root;
   root.name = "golden.root";
   root.dur_ns = 123456;
+  root.cpu_ns = 100000;
+  root.alloc_count = 5;
+  root.alloc_bytes = 320;
   root.attrs = {{"label", "v5.4"}, {"wall_ms", "42"}};
   obs::SpanNode child;
   child.name = "golden.child";
@@ -329,8 +341,10 @@ TEST(RunReportTest, GoldenSchemaWithMaskedTimings) {
             "{\n"
             "\"schema\": \"depsurf.run_report.v1\",\n"
             "\"spans\": [{\"name\": \"golden.root\", \"dur_ns\": 0, "
+            "\"cpu_ns\": 0, \"alloc_count\": 0, \"alloc_bytes\": 0, "
             "\"attrs\": {\"label\": \"v5.4\", \"wall_ms\": \"0\"}, \"children\": "
-            "[{\"name\": \"golden.child\", \"dur_ns\": 0, \"attrs\": {}, "
+            "[{\"name\": \"golden.child\", \"dur_ns\": 0, \"cpu_ns\": 0, "
+            "\"alloc_count\": 0, \"alloc_bytes\": 0, \"attrs\": {}, "
             "\"children\": []}]}],\n"
             "\"counters\": {\"golden.counter\": 7},\n"
             "\"gauges\": {\"golden.gauge\": -3, \"golden.wall_ms\": 0},\n"
@@ -359,11 +373,17 @@ TEST(RunReportTest, UnmaskedKeepsTimingsAndCanonMasksThem) {
   obs::SpanNode root;
   root.name = "t.root";
   root.dur_ns = 777;
+  root.cpu_ns = 555;
+  root.alloc_count = 3;
+  root.alloc_bytes = 96;
   collector.AddRoot(root);
   registry.Set("t.wall_ms", 55);
 
   std::string unmasked = RunReportJson(collector, registry);
   EXPECT_NE(unmasked.find("\"dur_ns\": 777"), std::string::npos);
+  EXPECT_NE(unmasked.find("\"cpu_ns\": 555"), std::string::npos);
+  EXPECT_NE(unmasked.find("\"alloc_count\": 3"), std::string::npos);
+  EXPECT_NE(unmasked.find("\"alloc_bytes\": 96"), std::string::npos);
   EXPECT_NE(unmasked.find("\"t.wall_ms\": 55"), std::string::npos);
 
   // Canonicalization masks the same fields masked serialization does.
@@ -614,6 +634,190 @@ TEST(ObsIntegrationTest, ThreadedBuildDatasetMaskedReportIsDeterministic) {
   EXPECT_EQ(reports[0], reports[1]);
   obs::SpanCollector::Global().Clear();
   metrics.Reset();
+}
+
+// A five-node forest with a known decomposition:
+//   a (10000) -> b (6000) -> d (1000)
+//             -> c (2000)
+//   x (4000)
+// a.self = 10000 - 6000 - 2000 = 2000, b.self = 6000 - 1000 = 5000.
+std::vector<obs::SpanNode> ProfileFixtureForest() {
+  obs::SpanNode d;
+  d.name = "d";
+  d.dur_ns = 1000;
+  d.cpu_ns = 900;
+  obs::SpanNode b;
+  b.name = "b";
+  b.dur_ns = 6000;
+  b.cpu_ns = 5000;
+  b.children.push_back(d);
+  obs::SpanNode c;
+  c.name = "c";
+  c.dur_ns = 2000;
+  c.alloc_count = 4;
+  c.alloc_bytes = 256;
+  obs::SpanNode a;
+  a.name = "a";
+  a.dur_ns = 10000;
+  a.cpu_ns = 8000;
+  a.children.push_back(b);
+  a.children.push_back(c);
+  obs::SpanNode x;
+  x.name = "x";
+  x.dur_ns = 4000;
+  return {a, x};
+}
+
+const obs::ProfileNameRow* FindRow(const obs::Profile& profile, const std::string& name) {
+  for (const obs::ProfileNameRow& row : profile.names) {
+    if (row.name == name) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+TEST(ProfileTest, AggregatesSelfTimeAndCriticalPath) {
+  obs::Profile profile = obs::BuildProfile(ProfileFixtureForest());
+  EXPECT_EQ(profile.span_nodes, 5u);
+  ASSERT_EQ(profile.names.size(), 5u);
+  // Sorted by name.
+  EXPECT_EQ(profile.names[0].name, "a");
+  EXPECT_EQ(profile.names[4].name, "x");
+  const obs::ProfileNameRow* a = FindRow(profile, "a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->count, 1u);
+  EXPECT_EQ(a->dur_ns, 10000u);
+  EXPECT_EQ(a->self_ns, 2000u);
+  EXPECT_EQ(a->cpu_ns, 8000u);
+  EXPECT_EQ(FindRow(profile, "b")->self_ns, 5000u);
+  EXPECT_EQ(FindRow(profile, "c")->alloc_bytes, 256u);
+  EXPECT_EQ(FindRow(profile, "d")->self_ns, 1000u);
+
+  // Self times telescope: summed over a root's tree they equal its dur.
+  uint64_t total_self = 0;
+  for (const obs::ProfileNameRow& row : profile.names) {
+    total_self += row.self_ns;
+  }
+  EXPECT_EQ(total_self, 10000u + 4000u);
+
+  // Critical path descends the dominant chain a -> b -> d.
+  EXPECT_EQ(profile.wall_ns, 10000u);
+  ASSERT_EQ(profile.critical_path.size(), 3u);
+  EXPECT_EQ(profile.critical_path[0].name, "a");
+  EXPECT_EQ(profile.critical_path[1].name, "b");
+  EXPECT_EQ(profile.critical_path[2].name, "d");
+  EXPECT_EQ(profile.serial_self_ns, 2000u + 5000u + 1000u);
+  EXPECT_DOUBLE_EQ(obs::SerialSharePct(profile), 80.0);
+}
+
+TEST(ProfileTest, FoldedStacksSumSelfTimePerStack) {
+  std::string folded = obs::FoldedStacks(ProfileFixtureForest());
+  EXPECT_EQ(folded,
+            "a 2000\n"
+            "a;b 5000\n"
+            "a;b;d 1000\n"
+            "a;c 2000\n"
+            "x 4000\n");
+}
+
+TEST(ProfileTest, JsonValidatesAndRejectsTampering) {
+  obs::Profile profile = obs::BuildProfile(ProfileFixtureForest());
+  std::string json = obs::ProfileJson(profile);
+  EXPECT_TRUE(obs::ValidateProfileDoc(json).ok())
+      << obs::ValidateProfileDoc(json).ToString();
+
+  std::string wrong_schema = json;
+  wrong_schema.replace(wrong_schema.find("depsurf.profile.v1"), 18, "depsurf.profile.v9");
+  EXPECT_FALSE(obs::ValidateProfileDoc(wrong_schema).ok());
+
+  // A row whose self time exceeds its duration is inconsistent.
+  std::string inflated = json;
+  size_t at = inflated.find("\"self_ns\": 2000");
+  ASSERT_NE(at, std::string::npos);
+  inflated.replace(at, 15, "\"self_ns\": 99999999");
+  EXPECT_FALSE(obs::ValidateProfileDoc(inflated).ok());
+}
+
+TEST(ProfileTest, RoundTripsThroughRunReportWithExecutorStats) {
+  obs::SpanCollector collector;
+  obs::MetricsRegistry registry;
+  for (const obs::SpanNode& root : ProfileFixtureForest()) {
+    collector.AddRoot(root);
+  }
+  registry.Set("study.build_dataset.window", 2);
+  registry.Set("study.build_dataset.wall_ms", 120);
+  registry.Incr("study.executor.serialize_stall_us", 5000);
+  registry.Record("study.executor.queue_wait_us", 10);
+  registry.Record("study.executor.queue_wait_us", 20);
+  registry.Set("study.executor.worker0.busy_ms", 91);
+  registry.Set("study.executor.worker1.busy_ms", 112);
+
+  // Executor stats lift identically from the live registry and from the
+  // serialized report of the same registry.
+  obs::Profile live = obs::BuildProfile(collector.Snapshot());
+  obs::FillExecutorStats(live, registry);
+  auto parsed = obs::ProfileFromReportJson(RunReportJson(collector, registry));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+
+  for (const obs::Profile* profile : {&live, &*parsed}) {
+    EXPECT_EQ(profile->span_nodes, 5u);
+    EXPECT_EQ(profile->wall_ns, 10000u);
+    ASSERT_TRUE(profile->executor.present);
+    EXPECT_EQ(profile->executor.window, 2);
+    EXPECT_EQ(profile->executor.wall_ms, 120);
+    EXPECT_EQ(profile->executor.serialize_stall_us, 5000u);
+    EXPECT_EQ(profile->executor.queue_waits, 2u);
+    ASSERT_EQ(profile->executor.worker_busy_ms.size(), 2u);
+    EXPECT_EQ(profile->executor.worker_busy_ms[0].first, 0);
+    EXPECT_EQ(profile->executor.worker_busy_ms[1].second, 112);
+    EXPECT_TRUE(obs::ValidateProfileDoc(obs::ProfileJson(*profile)).ok());
+  }
+}
+
+TEST(ProfileTest, LiveSpansKeepCpuWithinWallAndSelfTelescopes) {
+  obs::SpanCollector::Global().Clear();
+  {
+    obs::ScopedSpan root("p.root");
+    volatile uint64_t sink = 0;
+    {
+      obs::ScopedSpan child("p.child");
+      for (uint64_t i = 0; i < 400000; ++i) {
+        sink = sink + i;
+      }
+    }
+    for (uint64_t i = 0; i < 100000; ++i) {
+      sink = sink + i;
+    }
+  }
+  std::vector<obs::SpanNode> roots = obs::SpanCollector::Global().Snapshot();
+  ASSERT_EQ(roots.size(), 1u);
+  const obs::SpanNode& root = roots[0];
+  ASSERT_EQ(root.children.size(), 1u);
+  // Thread CPU time never exceeds wall time for a single-threaded span.
+  EXPECT_LE(root.cpu_ns, root.dur_ns);
+  EXPECT_LE(root.children[0].cpu_ns, root.children[0].dur_ns);
+  // Self times telescope back to the root duration exactly.
+  obs::Profile profile = obs::BuildProfile(roots);
+  uint64_t total_self = 0;
+  for (const obs::ProfileNameRow& row : profile.names) {
+    total_self += row.self_ns;
+  }
+  EXPECT_EQ(total_self, root.dur_ns);
+  obs::SpanCollector::Global().Clear();
+}
+
+TEST(JsonLintTest, RunReportLintNotesFlagDeprecatedGauges) {
+  auto stale = obs::ParseJson("{\"gauges\": {\"study.build_dataset.cpu_ms\": 5}}");
+  ASSERT_TRUE(stale.ok());
+  auto notes = obs::RunReportLintNotes(*stale);
+  ASSERT_EQ(notes.size(), 1u);
+  EXPECT_NE(notes[0].find("study.build_dataset.cpu_ms"), std::string::npos);
+  EXPECT_NE(notes[0].find("study.build_dataset.cpu_total_ms"), std::string::npos);
+
+  auto current = obs::ParseJson("{\"gauges\": {\"study.build_dataset.cpu_total_ms\": 5}}");
+  ASSERT_TRUE(current.ok());
+  EXPECT_TRUE(obs::RunReportLintNotes(*current).empty());
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include "src/core/dataset_io.h"
 #include "src/faultgen/fault_injector.h"
 #include "src/obs/json_lint.h"
+#include "src/obs/profile.h"
 #include "src/study/study.h"
 
 namespace depsurf {
@@ -44,6 +45,7 @@ struct BuildOutputs {
   std::vector<uint8_t> dataset_bytes;
   std::vector<std::string> masked_reports;
   std::string masked_aggregate;
+  std::string raw_aggregate;
   std::vector<Study::ImageProgress> progress;
 };
 
@@ -66,6 +68,7 @@ BuildOutputs RunBuild(Study& study, const std::vector<BuildSpec>& corpus, int jo
     out.masked_reports.push_back(MaskedFile(path));
   }
   out.masked_aggregate = MaskedFile(files.aggregate);
+  out.raw_aggregate = ReadFileOrEmpty(files.aggregate);
   return out;
 }
 
@@ -96,6 +99,61 @@ TEST(ParallelBuildTest, JobsOneAndEightProduceIdenticalOutputs) {
     EXPECT_EQ(parallel.progress[i].label, corpus[i].Label());
     EXPECT_FALSE(parallel.progress[i].quarantined);
   }
+}
+
+// The self-profile built from a report aggregate is valid at any window
+// width, keeps CPU time within wall time on every span, and — after
+// masking — is byte-identical between jobs=1 and jobs=8 (the critical_path
+// and executor sections are masked wholesale, so only structure remains).
+TEST(ParallelBuildTest, ProfileFromAggregateIsValidAndMaskStable) {
+  Study study(StudyOptions{2025, 0.005});
+  std::vector<BuildSpec> corpus;
+  for (KernelVersion version : kLtsVersions) {
+    corpus.push_back(MakeBuild(version));
+  }
+
+  BuildOutputs serial = RunBuild(study, corpus, 1);
+  BuildOutputs parallel = RunBuild(study, corpus, 8);
+
+  std::vector<std::string> masked_profiles;
+  for (const std::string& aggregate : {serial.raw_aggregate, parallel.raw_aggregate}) {
+    auto profile = obs::ProfileFromReportJson(aggregate);
+    ASSERT_TRUE(profile.ok()) << profile.error().ToString();
+    EXPECT_GT(profile->span_nodes, 0u);
+    EXPECT_FALSE(profile->critical_path.empty());
+    std::string json = obs::ProfileJson(*profile);
+    EXPECT_TRUE(obs::ValidateProfileDoc(json).ok()) << json;
+    auto parsed = obs::ParseJson(json);
+    ASSERT_TRUE(parsed.ok());
+    masked_profiles.push_back(obs::CanonicalMaskedJson(*parsed));
+  }
+  EXPECT_EQ(masked_profiles[0], masked_profiles[1]);
+
+  // Per-span invariant over the aggregate's forest: a span's thread CPU
+  // time never exceeds its wall time.
+  auto aggregate = obs::ParseJson(serial.raw_aggregate);
+  ASSERT_TRUE(aggregate.ok());
+  const obs::JsonValue* spans = aggregate->Find("spans");
+  ASSERT_NE(spans, nullptr);
+  size_t checked = 0;
+  auto check_spans = [&checked](const obs::JsonValue& span, auto&& self) -> void {
+    const obs::JsonValue* dur = span.Find("dur_ns");
+    const obs::JsonValue* cpu = span.Find("cpu_ns");
+    ASSERT_NE(dur, nullptr);
+    ASSERT_NE(cpu, nullptr);
+    EXPECT_LE(cpu->number, dur->number) << span.Find("name")->string;
+    ++checked;
+    const obs::JsonValue* children = span.Find("children");
+    if (children != nullptr) {
+      for (const obs::JsonValue& child : children->array) {
+        self(child, self);
+      }
+    }
+  };
+  for (const obs::JsonValue& span : spans->array) {
+    check_spans(span, check_spans);
+  }
+  EXPECT_GT(checked, 0u);
 }
 
 // Quarantine under a wide window: the poisoned image's fatal diagnostics

@@ -67,8 +67,10 @@ TEST(ReportMergeTest, GoldenAggSchema) {
             "\"reports\": 2,\n"
             "\"sources\": [{\"label\": \"a\", \"spans\": 1, \"counters\": 1, \"diags\": 0}, "
             "{\"label\": \"b\", \"spans\": 1, \"counters\": 1, \"diags\": 0}],\n"
-            "\"spans\": [{\"name\": \"a.root\", \"dur_ns\": 0, \"attrs\": {}, "
+            "\"spans\": [{\"name\": \"a.root\", \"dur_ns\": 0, \"cpu_ns\": 0, "
+            "\"alloc_count\": 0, \"alloc_bytes\": 0, \"attrs\": {}, "
             "\"children\": []}, {\"name\": \"b.root\", \"dur_ns\": 0, "
+            "\"cpu_ns\": 0, \"alloc_count\": 0, \"alloc_bytes\": 0, "
             "\"attrs\": {}, \"children\": []}],\n"
             "\"counters\": {\"m.count\": 5},\n"
             "\"gauges\": {},\n"
