@@ -9,6 +9,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 
 #include "src/analyzer/analyzer.h"
@@ -141,12 +142,28 @@ void WriteBuildProfile(const std::string& aggregate_path, int jobs) {
 // Report-mode corpus build at jobs=1 vs jobs=8: the ratio of the two rows
 // is the parallel speedup bought by context-scoped observability (the old
 // report path was serial by construction, so its "speedup" was fixed at 1).
-void BM_BuildDatasetReports(benchmark::State& state) {
-  static const std::string report_dir = [] {
+// Owns the mkdtemp scratch directory the report-mode benchmark writes
+// into, removing the whole tree when the process exits (the static's
+// destructor is the in-process mirror of perf_gate.sh's EXIT trap; the
+// old code leaked the directory on every run).
+struct ScratchReportDir {
+  ScratchReportDir() {
     char tmpl[] = "/tmp/depsurf_bench_reports_XXXXXX";
     const char* dir = mkdtemp(tmpl);
-    return std::string(dir != nullptr ? dir : ".");
-  }();
+    path = dir != nullptr ? dir : ".";
+  }
+  ~ScratchReportDir() {
+    if (path != ".") {
+      std::error_code ec;  // best effort: never throw during exit
+      std::filesystem::remove_all(path, ec);
+    }
+  }
+  std::string path;
+};
+
+void BM_BuildDatasetReports(benchmark::State& state) {
+  static const ScratchReportDir scratch;
+  const std::string& report_dir = scratch.path;
   std::vector<BuildSpec> corpus;
   for (KernelVersion version : kLtsVersions) {
     corpus.push_back(MakeBuild(version));

@@ -6,6 +6,12 @@
 # (machine noise is not a regression), and a deliberately inflated stage
 # must trip the gate with exit code 3. The --json output must round-trip
 # through `metrics lint --kind=perf`.
+#
+# It then exercises the perf-intelligence loop end to end: `perf record`
+# folds both sides into one NDJSON history store, `perf trend` analyzes it
+# (text and JSON), `perf compare --history` gates with the store's adaptive
+# per-stage floors, `perf diff` attributes the base-vs-head profile delta,
+# and malformed threshold flags must fail loudly instead of parsing to 0.
 set -eu
 
 DEPSURF=${1:?usage: perf_gate.sh /path/to/depsurf /path/to/bench_perf}
@@ -75,5 +81,55 @@ code=$?
 set -e
 [ "$code" -eq 3 ] || fail "inflated stage exited $code, want 3: $(cat gate.txt)"
 grep -q "regressed" gate.txt || fail "gate output does not name the regression"
+
+# ---- perf intelligence: record both sides into one history store, with
+# each side's self-profile summary attached.
+for side in base head; do
+  "$DEPSURF" perf record "$side/BENCH_perf.json" \
+      --history=history.ndjson --label="$side" \
+      --profile="$side/PROFILE_build_reports_jobs1.json" \
+    || fail "perf record ($side) exited $?"
+done
+[ "$(wc -l < history.ndjson)" -eq 2 ] || fail "history store does not hold 2 records"
+"$DEPSURF" metrics lint history.ndjson --kind=history || fail "history.ndjson invalid"
+
+# ---- trend analytics over the store, text and JSON forms.
+"$DEPSURF" perf trend --history=history.ndjson > trend.txt \
+  || fail "perf trend exited $?"
+grep -q "comparable" trend.txt || fail "trend output missing its summary line"
+"$DEPSURF" perf trend --history=history.ndjson --json > trend.json \
+  || fail "perf trend --json exited $?"
+"$DEPSURF" metrics lint trend.json --kind=trend || fail "trend.json invalid"
+
+# ---- adaptive gate: with per-stage floors learned from the history, two
+# back-to-back runs of the same build pass at the default 15% threshold
+# (the floors cover the observed run-to-run spread by construction).
+"$DEPSURF" perf compare base/BENCH_perf.json head/BENCH_perf.json \
+    --history=history.ndjson > adaptive.txt \
+  || fail "adaptive compare tripped the gate: $(cat adaptive.txt)"
+
+# ---- differential profile attribution between the two sides' builds.
+"$DEPSURF" perf diff base/PROFILE_build_reports_jobs1.json \
+    head/PROFILE_build_reports_jobs1.json --json > profile_diff.json \
+  || fail "perf diff exited $?"
+"$DEPSURF" metrics lint profile_diff.json --kind=profile_diff \
+  || fail "profile_diff.json invalid"
+"$DEPSURF" perf diff base/PROFILE_build_reports_jobs1.json \
+    head/PROFILE_build_reports_jobs1.json > profile_diff.txt \
+  || fail "perf diff (text) exited $?"
+grep -q "critical path" profile_diff.txt || fail "profile diff missing critical path"
+
+# ---- malformed thresholds must exit 1 naming the flag, never silently
+# parse to 0 and gate on pure noise.
+for flag in --noise-floor=abc --max-regress=12%%; do
+  set +e
+  "$DEPSURF" perf compare base/BENCH_perf.json head/BENCH_perf.json \
+    "$flag" > flag.txt 2>&1
+  code=$?
+  set -e
+  [ "$code" -eq 1 ] || fail "$flag exited $code, want 1: $(cat flag.txt)"
+  name=${flag#--}; name=${name%%=*}
+  grep -q -- "$name" flag.txt || fail "error for $flag does not name the flag"
+done
 
 echo "perf_gate: PASS"

@@ -120,7 +120,13 @@ PerfComparison ComparePerf(const std::vector<StageTiming>& base,
     }
     bool under_floor = b.seconds < options.noise_floor_seconds &&
                        h.seconds < options.noise_floor_seconds;
-    if (under_floor) {
+    bool under_delta_floor = false;
+    if (auto floor_it = options.stage_delta_floors_seconds.find(b.name);
+        floor_it != options.stage_delta_floors_seconds.end()) {
+      delta.floor_seconds = floor_it->second;
+      under_delta_floor = std::fabs(h.seconds - b.seconds) <= floor_it->second;
+    }
+    if (under_floor || under_delta_floor) {
       delta.cls = StageClass::kFlat;
     } else if (h.seconds > b.seconds * (1.0 + options.max_regress)) {
       delta.cls = StageClass::kRegressed;
@@ -190,9 +196,9 @@ std::string PerfComparisonJson(const PerfComparison& comparison,
     }
     out += StrFormat(
         "\n  {\"name\": \"%s\", \"class\": \"%s\", \"base_seconds\": %.6f, "
-        "\"head_seconds\": %.6f, \"delta_pct\": %.2f}",
+        "\"head_seconds\": %.6f, \"delta_pct\": %.2f, \"floor_seconds\": %.6f}",
         JsonEscape(delta.name).c_str(), StageClassName(delta.cls), delta.base_seconds,
-        delta.head_seconds, delta.delta_pct);
+        delta.head_seconds, delta.delta_pct, delta.floor_seconds);
   }
   out += "\n]\n}\n";
   return out;

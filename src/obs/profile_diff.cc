@@ -1,0 +1,419 @@
+#include "src/obs/profile_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+#include "src/obs/json_lint.h"
+#include "src/obs/run_report.h"
+#include "src/util/str_util.h"
+
+namespace depsurf {
+namespace obs {
+
+namespace {
+
+std::string U64(uint64_t v) { return StrFormat("%llu", (unsigned long long)v); }
+std::string I64(int64_t v) { return StrFormat("%lld", (long long)v); }
+
+int64_t Delta(uint64_t head, uint64_t base) {
+  return static_cast<int64_t>(head) - static_cast<int64_t>(base);
+}
+
+uint64_t MemberU64(const JsonValue& object, const char* key) {
+  const JsonValue* value = object.Find(key);
+  return value != nullptr && value->kind == JsonValue::Kind::kNumber && value->number > 0
+             ? static_cast<uint64_t>(value->number)
+             : 0;
+}
+
+void AppendColumns(std::string& out, const ProfileNameRow& row) {
+  out += "{\"count\": " + U64(row.count);
+  out += ", \"dur_ns\": " + U64(row.dur_ns);
+  out += ", \"self_ns\": " + U64(row.self_ns);
+  out += ", \"cpu_ns\": " + U64(row.cpu_ns);
+  out += ", \"alloc_count\": " + U64(row.alloc_count);
+  out += ", \"alloc_bytes\": " + U64(row.alloc_bytes);
+  out += "}";
+}
+
+void AppendSide(std::string& out, const char* key, uint64_t wall_ns,
+                uint64_t serial_self_ns, double serial_share_pct,
+                const std::vector<CriticalPathStep>& steps) {
+  out += std::string("\"") + key + "\": {\"wall_ns\": " + U64(wall_ns);
+  out += ", \"serial_self_ns\": " + U64(serial_self_ns);
+  out += StrFormat(", \"serial_share_pct\": %.2f", serial_share_pct);
+  out += ", \"steps\": [";
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (i != 0) {
+      out += ", ";
+    }
+    out += "{\"name\": \"" + JsonEscape(steps[i].name) + "\"";
+    out += ", \"dur_ns\": " + U64(steps[i].dur_ns);
+    out += ", \"self_ns\": " + U64(steps[i].self_ns) + "}";
+  }
+  out += "]}";
+}
+
+std::string PathNames(const std::vector<CriticalPathStep>& steps) {
+  std::string out;
+  for (const CriticalPathStep& step : steps) {
+    if (!out.empty()) {
+      out += " > ";
+    }
+    out += step.name;
+  }
+  return out;
+}
+
+Status ColumnsOk(const JsonValue& object, const std::string& label, bool signed_ok) {
+  for (const char* key :
+       {"count", "dur_ns", "self_ns", "cpu_ns", "alloc_count", "alloc_bytes"}) {
+    const JsonValue* value = object.Find(key);
+    if (value == nullptr || value->kind != JsonValue::Kind::kNumber ||
+        !std::isfinite(value->number) || (!signed_ok && value->number < 0)) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("%s: missing%s number \"%s\"", label.c_str(),
+                              signed_ok ? "" : " or negative", key));
+    }
+  }
+  return Status::Ok();
+}
+
+Status PathSideOk(const JsonValue& path, const char* key) {
+  const JsonValue* side = path.Find(key);
+  if (side == nullptr || side->kind != JsonValue::Kind::kObject) {
+    return Status(ErrorCode::kMalformedData,
+                  StrFormat("critical_path without a \"%s\" object", key));
+  }
+  for (const char* member : {"wall_ns", "serial_self_ns", "serial_share_pct"}) {
+    const JsonValue* value = side->Find(member);
+    if (value == nullptr || value->kind != JsonValue::Kind::kNumber ||
+        !std::isfinite(value->number) || value->number < 0) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("critical_path %s: missing or negative \"%s\"", key, member));
+    }
+  }
+  const JsonValue* steps = side->Find("steps");
+  if (steps == nullptr || steps->kind != JsonValue::Kind::kArray) {
+    return Status(ErrorCode::kMalformedData,
+                  StrFormat("critical_path %s: missing \"steps\" array", key));
+  }
+  for (const JsonValue& step : steps->array) {
+    const JsonValue* name = step.Find("name");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString || name->string.empty()) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("critical_path %s: step without a name", key));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+ProfileDiff DiffProfiles(const Profile& base, const Profile& head, size_t top_n) {
+  ProfileDiff diff;
+  diff.base_span_nodes = base.span_nodes;
+  diff.head_span_nodes = head.span_nodes;
+  // Merge-walk the two sorted name tables into their sorted union.
+  size_t bi = 0;
+  size_t hi = 0;
+  while (bi < base.names.size() || hi < head.names.size()) {
+    ProfileDiffRow row;
+    int order;
+    if (bi >= base.names.size()) {
+      order = 1;  // only head rows left
+    } else if (hi >= head.names.size()) {
+      order = -1;  // only base rows left
+    } else {
+      order = base.names[bi].name.compare(head.names[hi].name);
+    }
+    if (order <= 0) {
+      row.in_base = true;
+      row.base = base.names[bi++];
+      row.name = row.base.name;
+    }
+    if (order >= 0) {
+      row.in_head = true;
+      row.head = head.names[hi++];
+      row.name = row.head.name;
+    }
+    row.count_delta = Delta(row.head.count, row.base.count);
+    row.dur_delta_ns = Delta(row.head.dur_ns, row.base.dur_ns);
+    row.self_delta_ns = Delta(row.head.self_ns, row.base.self_ns);
+    row.cpu_delta_ns = Delta(row.head.cpu_ns, row.base.cpu_ns);
+    row.alloc_count_delta = Delta(row.head.alloc_count, row.base.alloc_count);
+    row.alloc_bytes_delta = Delta(row.head.alloc_bytes, row.base.alloc_bytes);
+    diff.names.push_back(std::move(row));
+  }
+  for (size_t i = 0; i < diff.names.size(); ++i) {
+    if (diff.names[i].self_delta_ns != 0) {
+      diff.top_movers.push_back(i);
+    }
+  }
+  std::sort(diff.top_movers.begin(), diff.top_movers.end(), [&](size_t a, size_t b) {
+    int64_t ma = std::llabs(diff.names[a].self_delta_ns);
+    int64_t mb = std::llabs(diff.names[b].self_delta_ns);
+    return ma != mb ? ma > mb : diff.names[a].name < diff.names[b].name;
+  });
+  if (diff.top_movers.size() > top_n) {
+    diff.top_movers.resize(top_n);
+  }
+  diff.base_wall_ns = base.wall_ns;
+  diff.head_wall_ns = head.wall_ns;
+  diff.base_serial_self_ns = base.serial_self_ns;
+  diff.head_serial_self_ns = head.serial_self_ns;
+  diff.base_serial_share_pct = SerialSharePct(base);
+  diff.head_serial_share_pct = SerialSharePct(head);
+  diff.base_path = base.critical_path;
+  diff.head_path = head.critical_path;
+  return diff;
+}
+
+Result<Profile> ParseProfileDoc(std::string_view json) {
+  // Lean on the schema validator first so extraction below can assume
+  // well-formed members.
+  if (Status valid = ValidateProfileDoc(json); !valid.ok()) {
+    return valid.TakeError();
+  }
+  auto parsed = ParseJson(json);
+  if (!parsed.ok()) {
+    return parsed.TakeError();
+  }
+  const JsonValue& doc = *parsed;
+  Profile profile;
+  profile.span_nodes = MemberU64(doc, "span_nodes");
+  const JsonValue* names = doc.Find("names");
+  if (names != nullptr && names->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& entry : names->array) {
+      ProfileNameRow row;
+      const JsonValue* name = entry.Find("name");
+      row.name = name != nullptr ? name->string : "";
+      row.count = MemberU64(entry, "count");
+      row.dur_ns = MemberU64(entry, "dur_ns");
+      row.self_ns = MemberU64(entry, "self_ns");
+      row.cpu_ns = MemberU64(entry, "cpu_ns");
+      row.alloc_count = MemberU64(entry, "alloc_count");
+      row.alloc_bytes = MemberU64(entry, "alloc_bytes");
+      profile.names.push_back(std::move(row));
+    }
+  }
+  const JsonValue* path = doc.Find("critical_path");
+  if (path != nullptr && path->kind == JsonValue::Kind::kObject) {
+    profile.wall_ns = MemberU64(*path, "wall_ns");
+    profile.serial_self_ns = MemberU64(*path, "serial_self_ns");
+    const JsonValue* steps = path->Find("steps");
+    if (steps != nullptr && steps->kind == JsonValue::Kind::kArray) {
+      for (const JsonValue& entry : steps->array) {
+        CriticalPathStep step;
+        const JsonValue* name = entry.Find("name");
+        step.name = name != nullptr ? name->string : "";
+        step.dur_ns = MemberU64(entry, "dur_ns");
+        step.self_ns = MemberU64(entry, "self_ns");
+        profile.critical_path.push_back(std::move(step));
+      }
+    }
+  }
+  const JsonValue* executor = doc.Find("executor");
+  if (executor != nullptr && executor->kind == JsonValue::Kind::kObject) {
+    profile.executor.window = static_cast<int64_t>(MemberU64(*executor, "window"));
+    profile.executor.wall_ms = static_cast<int64_t>(MemberU64(*executor, "wall_ms"));
+    profile.executor.serialize_stall_us = MemberU64(*executor, "serialize_stall_us");
+    profile.executor.queue_waits = MemberU64(*executor, "queue_waits");
+    const JsonValue* workers = executor->Find("workers");
+    if (workers != nullptr && workers->kind == JsonValue::Kind::kArray) {
+      for (const JsonValue& worker : workers->array) {
+        profile.executor.worker_busy_ms.emplace_back(
+            static_cast<int64_t>(MemberU64(worker, "lane")),
+            static_cast<int64_t>(MemberU64(worker, "busy_ms")));
+      }
+    }
+    profile.executor.present = profile.executor.window != 0 ||
+                               !profile.executor.worker_busy_ms.empty() ||
+                               profile.executor.serialize_stall_us != 0 ||
+                               profile.executor.queue_waits != 0;
+  }
+  return profile;
+}
+
+std::string ProfileDiffJson(const ProfileDiff& diff) {
+  std::string out = "{\n\"schema\": \"";
+  out += kProfileDiffSchema;
+  out += "\",\n";
+  out += "\"base_span_nodes\": " + U64(diff.base_span_nodes);
+  out += ", \"head_span_nodes\": " + U64(diff.head_span_nodes) + ",\n";
+  out += "\"names\": [";
+  auto append_row = [&](const ProfileDiffRow& row) {
+    out += "\n  {\"name\": \"" + JsonEscape(row.name) + "\"";
+    out += StrFormat(", \"in_base\": %s, \"in_head\": %s", row.in_base ? "true" : "false",
+                     row.in_head ? "true" : "false");
+    out += ", \"base\": ";
+    AppendColumns(out, row.base);
+    out += ", \"head\": ";
+    AppendColumns(out, row.head);
+    out += ", \"delta\": {\"count\": " + I64(row.count_delta);
+    out += ", \"dur_ns\": " + I64(row.dur_delta_ns);
+    out += ", \"self_ns\": " + I64(row.self_delta_ns);
+    out += ", \"cpu_ns\": " + I64(row.cpu_delta_ns);
+    out += ", \"alloc_count\": " + I64(row.alloc_count_delta);
+    out += ", \"alloc_bytes\": " + I64(row.alloc_bytes_delta);
+    out += "}}";
+  };
+  for (size_t i = 0; i < diff.names.size(); ++i) {
+    if (i != 0) {
+      out += ",";
+    }
+    append_row(diff.names[i]);
+  }
+  out += "\n],\n";
+  out += "\"top_movers\": [";
+  for (size_t i = 0; i < diff.top_movers.size(); ++i) {
+    if (i != 0) {
+      out += ",";
+    }
+    append_row(diff.names[diff.top_movers[i]]);
+  }
+  out += "\n],\n";
+  out += "\"critical_path\": {\n  ";
+  AppendSide(out, "base", diff.base_wall_ns, diff.base_serial_self_ns,
+             diff.base_serial_share_pct, diff.base_path);
+  out += ",\n  ";
+  AppendSide(out, "head", diff.head_wall_ns, diff.head_serial_self_ns,
+             diff.head_serial_share_pct, diff.head_path);
+  out += ",\n  \"delta\": {\"wall_ns\": " + I64(diff.wall_delta_ns());
+  out += ", \"serial_self_ns\": " + I64(diff.serial_self_delta_ns()) + "}\n}\n}\n";
+  return out;
+}
+
+std::string ProfileDiffText(const ProfileDiff& diff) {
+  std::string out = StrFormat("profile diff: %llu -> %llu span nodes, %zu names\n",
+                              (unsigned long long)diff.base_span_nodes,
+                              (unsigned long long)diff.head_span_nodes, diff.names.size());
+  out += StrFormat("  %-40s %12s %12s %12s %12s %10s\n", "top mover", "base_self_ms",
+                   "head_self_ms", "delta_ms", "delta_cpu_ms", "d_allocs");
+  for (size_t index : diff.top_movers) {
+    const ProfileDiffRow& row = diff.names[index];
+    out += StrFormat("  %-40s %12.3f %12.3f %+12.3f %+12.3f %+10lld\n", row.name.c_str(),
+                     static_cast<double>(row.base.self_ns) / 1e6,
+                     static_cast<double>(row.head.self_ns) / 1e6,
+                     static_cast<double>(row.self_delta_ns) / 1e6,
+                     static_cast<double>(row.cpu_delta_ns) / 1e6,
+                     (long long)row.alloc_count_delta);
+  }
+  if (diff.top_movers.empty()) {
+    out += "  (no self-time movement)\n";
+  }
+  out += StrFormat(
+      "critical path: wall %.3f -> %.3f ms (%+.3f), serial self %.3f -> %.3f ms (%+.3f)\n",
+      static_cast<double>(diff.base_wall_ns) / 1e6,
+      static_cast<double>(diff.head_wall_ns) / 1e6,
+      static_cast<double>(diff.wall_delta_ns()) / 1e6,
+      static_cast<double>(diff.base_serial_self_ns) / 1e6,
+      static_cast<double>(diff.head_serial_self_ns) / 1e6,
+      static_cast<double>(diff.serial_self_delta_ns()) / 1e6);
+  out += "  base: " + PathNames(diff.base_path) + "\n";
+  out += "  head: " + PathNames(diff.head_path) + "\n";
+  return out;
+}
+
+Status ValidateProfileDiffDoc(std::string_view json) {
+  auto parsed = ParseJson(json);
+  if (!parsed.ok()) {
+    return parsed.TakeError();
+  }
+  const JsonValue& doc = *parsed;
+  const JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::kString ||
+      schema->string != kProfileDiffSchema) {
+    return Status(ErrorCode::kMalformedData,
+                  StrFormat("missing or wrong schema marker (want %s)", kProfileDiffSchema));
+  }
+  for (const char* key : {"base_span_nodes", "head_span_nodes"}) {
+    const JsonValue* value = doc.Find(key);
+    if (value == nullptr || value->kind != JsonValue::Kind::kNumber || value->number < 0) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("missing or negative number \"%s\"", key));
+    }
+  }
+  auto rows_ok = [&](const char* section) -> Status {
+    const JsonValue* rows = doc.Find(section);
+    if (rows == nullptr || rows->kind != JsonValue::Kind::kArray) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("missing \"%s\" array", section));
+    }
+    for (size_t i = 0; i < rows->array.size(); ++i) {
+      const JsonValue& row = rows->array[i];
+      const JsonValue* name = row.Find("name");
+      if (name == nullptr || name->kind != JsonValue::Kind::kString || name->string.empty()) {
+        return Status(ErrorCode::kMalformedData,
+                      StrFormat("%s entry %zu: missing name", section, i));
+      }
+      const JsonValue* in_base = row.Find("in_base");
+      const JsonValue* in_head = row.Find("in_head");
+      for (const auto& [flag, value] : {std::pair<const char*, const JsonValue*>{
+                                            "in_base", in_base},
+                                        std::pair<const char*, const JsonValue*>{
+                                            "in_head", in_head}}) {
+        if (value == nullptr || value->kind != JsonValue::Kind::kBool) {
+          return Status(ErrorCode::kMalformedData,
+                        StrFormat("%s: missing bool \"%s\"", name->string.c_str(), flag));
+        }
+      }
+      if (!in_base->boolean && !in_head->boolean) {
+        return Status(ErrorCode::kMalformedData,
+                      name->string + ": row in neither base nor head");
+      }
+      for (const char* side : {"base", "head"}) {
+        const JsonValue* columns = row.Find(side);
+        if (columns == nullptr || columns->kind != JsonValue::Kind::kObject) {
+          return Status(ErrorCode::kMalformedData,
+                        StrFormat("%s: missing \"%s\" object", name->string.c_str(), side));
+        }
+        if (Status s = ColumnsOk(*columns, name->string + "." + side, false); !s.ok()) {
+          return s;
+        }
+      }
+      const JsonValue* delta = row.Find("delta");
+      if (delta == nullptr || delta->kind != JsonValue::Kind::kObject) {
+        return Status(ErrorCode::kMalformedData,
+                      name->string + ": missing \"delta\" object");
+      }
+      if (Status s = ColumnsOk(*delta, name->string + ".delta", true); !s.ok()) {
+        return s;
+      }
+    }
+    return Status::Ok();
+  };
+  if (Status s = rows_ok("names"); !s.ok()) {
+    return s;
+  }
+  if (Status s = rows_ok("top_movers"); !s.ok()) {
+    return s;
+  }
+  const JsonValue* path = doc.Find("critical_path");
+  if (path == nullptr || path->kind != JsonValue::Kind::kObject) {
+    return Status(ErrorCode::kMalformedData, "missing \"critical_path\" object");
+  }
+  for (const char* side : {"base", "head"}) {
+    if (Status s = PathSideOk(*path, side); !s.ok()) {
+      return s;
+    }
+  }
+  const JsonValue* delta = path->Find("delta");
+  if (delta == nullptr || delta->kind != JsonValue::Kind::kObject) {
+    return Status(ErrorCode::kMalformedData, "critical_path without a \"delta\" object");
+  }
+  for (const char* key : {"wall_ns", "serial_self_ns"}) {
+    const JsonValue* value = delta->Find(key);
+    if (value == nullptr || value->kind != JsonValue::Kind::kNumber ||
+        !std::isfinite(value->number)) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("critical_path delta: missing number \"%s\"", key));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace obs
+}  // namespace depsurf

@@ -14,6 +14,8 @@
 //   depsurf report  merge OUT IN...               merge run reports into an aggregate
 //   depsurf report  flame REPORT.json             folded stacks for flamegraph.pl
 //   depsurf perf    compare BASE HEAD             perf regression gate over stage timings
+//   depsurf perf    record|trend|diff             run-history store, trend analytics,
+//                                                 differential profile attribution
 //   depsurf profile REPORT.json | --live          self-profile: self-time, critical path
 //   depsurf study   build [--versions=..]         build a dataset corpus, with reports
 //
@@ -25,6 +27,8 @@
 // Images and objects are ordinary files; `gen`/`emit` exist because this
 // reproduction generates its corpus instead of downloading Ubuntu dbgsym
 // packages (see DESIGN.md).
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,7 +45,9 @@
 #include "src/obs/diagnostics.h"
 #include "src/obs/json_lint.h"
 #include "src/obs/perf_gate.h"
+#include "src/obs/perf_history.h"
 #include "src/obs/profile.h"
+#include "src/obs/profile_diff.h"
 #include "src/obs/report_merge.h"
 #include "src/obs/run_report.h"
 #include "src/obs/trace_export.h"
@@ -450,6 +456,32 @@ int CmdMetrics(int argc, char** argv) {
     printf("%s: valid depsurf.analysis.v1\n", positional[1].c_str());
     return 0;
   }
+  if (kind == "history") {
+    size_t records = 0;
+    Status valid = obs::ValidateHistoryNdjson(text, &records);
+    if (!valid.ok()) {
+      return DiagError(positional[1], valid.error());
+    }
+    printf("%s: valid %s (%zu records)\n", positional[1].c_str(), obs::kPerfHistorySchema,
+           records);
+    return 0;
+  }
+  if (kind == "trend") {
+    Status valid = obs::ValidateTrendDoc(text);
+    if (!valid.ok()) {
+      return DiagError(positional[1], valid.error());
+    }
+    printf("%s: valid %s\n", positional[1].c_str(), obs::kPerfTrendSchema);
+    return 0;
+  }
+  if (kind == "profile_diff") {
+    Status valid = obs::ValidateProfileDiffDoc(text);
+    if (!valid.ok()) {
+      return DiagError(positional[1], valid.error());
+    }
+    printf("%s: valid %s\n", positional[1].c_str(), obs::kProfileDiffSchema);
+    return 0;
+  }
   if (kind == "trace") {
     auto json = obs::ParseJson(text);
     if (!json.ok()) {
@@ -477,7 +509,8 @@ int CmdMetrics(int argc, char** argv) {
     return 0;
   }
   return DiagError("unknown --kind=" + kind +
-                   " (report|agg|bench|perf|trace|diag|analysis|profile)");
+                   " (valid kinds: report|agg|bench|perf|trace|diag|analysis|profile|"
+                   "history|trend|profile_diff)");
 }
 
 // Merges run reports (per-image documents from a study build, or prior
@@ -542,37 +575,103 @@ int CmdReport(int argc, char** argv) {
   return 0;
 }
 
-// Accepts "15%", "15", or "0.15" — all meaning a 15% threshold.
-double ParseRatioFlag(const std::string& text, double fallback) {
+// Accepts "15%", "15", or "0.15" — all meaning a 15% threshold; empty
+// means the fallback. Anything non-numeric is an error: the old atof path
+// read "--max-regress=abc" as 0 and turned the gate into a tripwire on
+// pure noise.
+Result<double> ParseRatioFlag(const std::string& text, double fallback) {
   if (text.empty()) {
     return fallback;
   }
   bool percent = text.back() == '%';
-  double value = atof(percent ? text.substr(0, text.size() - 1).c_str() : text.c_str());
+  std::string digits = percent ? text.substr(0, text.size() - 1) : text;
+  char* end = nullptr;
+  double value = digits.empty() ? 0 : strtod(digits.c_str(), &end);
+  if (digits.empty() || end == nullptr || *end != '\0' || !std::isfinite(value) ||
+      value <= 0) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "\"" + text + "\" is not a positive ratio (try 15%, 15, or 0.15)");
+  }
   if (percent || value > 1.0) {
     value /= 100.0;
   }
-  return value > 0 ? value : fallback;
+  return value;
+}
+
+// A nonnegative seconds value; empty means the fallback, anything that does
+// not fully parse as a finite number is an error.
+Result<double> ParseSecondsFlag(const std::string& text, double fallback) {
+  if (text.empty()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  double value = strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || !std::isfinite(value) || value < 0) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "\"" + text + "\" is not a nonnegative number of seconds");
+  }
+  return value;
+}
+
+Result<std::string> ReadTextFile(const std::string& path) {
+  auto bytes = ReadFile(path);
+  if (!bytes.ok()) {
+    return bytes.TakeError();
+  }
+  return std::string(bytes->begin(), bytes->end());
+}
+
+// Loads an NDJSON history store from disk.
+Result<std::vector<obs::HistoryRecord>> LoadHistory(const std::string& path) {
+  auto text = ReadTextFile(path);
+  if (!text.ok()) {
+    return text.TakeError();
+  }
+  auto records = obs::ParseHistoryNdjson(*text);
+  if (!records.ok()) {
+    return Error(ErrorCode::kMalformedData, path + ": " + records.error().message());
+  }
+  return records;
 }
 
 // The perf regression gate: exit 0 when no stage regressed beyond the
-// threshold, 3 when one did (1 stays "could not compare at all").
-int CmdPerf(int argc, char** argv) {
-  auto positional = Positional(argc, argv);
-  if (positional.size() < 3 || positional[0] != "compare") {
-    return DiagError("perf requires a subcommand: compare BASE.json HEAD.json");
+// threshold, 3 when one did (1 stays "could not compare at all"). With
+// --history=FILE, per-stage adaptive noise floors from the run history
+// replace the hardcoded default for every stage the history has seen.
+int CmdPerfCompare(int argc, char** argv, const std::vector<std::string>& positional) {
+  if (positional.size() < 3) {
+    return DiagError("perf compare requires BASE.json and HEAD.json");
   }
   obs::PerfGateOptions options;
-  options.max_regress = ParseRatioFlag(FlagValue(argc, argv, "max-regress", ""), 0.15);
-  options.noise_floor_seconds =
-      atof(FlagValue(argc, argv, "noise-floor", "0.005").c_str());
+  auto ratio = ParseRatioFlag(FlagValue(argc, argv, "max-regress", ""), 0.15);
+  if (!ratio.ok()) {
+    return DiagError("--max-regress: " + ratio.error().message());
+  }
+  options.max_regress = *ratio;
+  auto floor = ParseSecondsFlag(FlagValue(argc, argv, "noise-floor", ""), 0.005);
+  if (!floor.ok()) {
+    return DiagError("--noise-floor: " + floor.error().message());
+  }
+  options.noise_floor_seconds = *floor;
+  std::string history_path = FlagValue(argc, argv, "history", "");
+  if (!history_path.empty()) {
+    auto records = LoadHistory(history_path);
+    if (!records.ok()) {
+      return DiagError(records.error());
+    }
+    obs::TrendOptions trend_options;
+    trend_options.min_floor_seconds = options.noise_floor_seconds;
+    obs::TrendReport trend =
+        obs::AnalyzeTrend(*records, obs::CurrentHostFingerprint(), trend_options);
+    options.stage_delta_floors_seconds = obs::AdaptiveStageFloors(trend);
+  }
   std::vector<std::vector<obs::StageTiming>> sides;
   for (size_t i = 1; i <= 2; ++i) {
-    auto bytes = ReadFile(positional[i]);
-    if (!bytes.ok()) {
-      return DiagError(bytes.error());
+    auto text = ReadTextFile(positional[i]);
+    if (!text.ok()) {
+      return DiagError(text.error());
     }
-    auto json = obs::ParseJson(std::string(bytes->begin(), bytes->end()));
+    auto json = obs::ParseJson(*text);
     if (!json.ok()) {
       return DiagError(positional[i], json.error());
     }
@@ -589,6 +688,142 @@ int CmdPerf(int argc, char** argv) {
     printf("%s", obs::PerfComparisonText(comparison).c_str());
   }
   return comparison.gate_failed() ? 3 : 0;
+}
+
+// Appends one depsurf.perf_history.v1 record (all stages across the given
+// bench/run reports, the optional profile's critical-path summary, host
+// fingerprint, label) to an NDJSON history store.
+int CmdPerfRecord(int argc, char** argv, const std::vector<std::string>& positional) {
+  std::string history_path = FlagValue(argc, argv, "history", "");
+  if (positional.size() < 2 || history_path.empty()) {
+    return DiagError("perf record requires BENCH.json... and --history=FILE");
+  }
+  obs::HistoryRecord record;
+  record.label = FlagValue(argc, argv, "label", "");
+  if (record.label.empty()) {
+    const char* env = getenv("DEPSURF_BUILD_LABEL");
+    record.label = env != nullptr && env[0] != '\0' ? env : "unlabeled";
+  }
+  // Timestamps are injected here at the CLI edge; obs library code never
+  // reads a wall clock, so its outputs stay deterministic.
+  record.recorded_unix_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                std::chrono::system_clock::now().time_since_epoch())
+                                .count();
+  record.host = obs::CurrentHostFingerprint();
+  for (size_t i = 1; i < positional.size(); ++i) {
+    auto text = ReadTextFile(positional[i]);
+    if (!text.ok()) {
+      return DiagError(text.error());
+    }
+    auto json = obs::ParseJson(*text);
+    if (!json.ok()) {
+      return DiagError(positional[i], json.error());
+    }
+    auto timings = obs::LoadStageTimings(*json);
+    if (!timings.ok()) {
+      return DiagError(positional[i], timings.error());
+    }
+    obs::AddStageTimings(record, *timings);
+  }
+  std::string profile_path = FlagValue(argc, argv, "profile", "");
+  if (!profile_path.empty()) {
+    auto text = ReadTextFile(profile_path);
+    if (!text.ok()) {
+      return DiagError(text.error());
+    }
+    auto profile = obs::ParseProfileDoc(*text);
+    if (!profile.ok()) {
+      return DiagError(profile_path, profile.error());
+    }
+    obs::SetProfileSummary(record, *profile);
+  }
+  Status appended = obs::AppendHistoryRecord(history_path, record);
+  if (!appended.ok()) {
+    return DiagError(appended.error());
+  }
+  printf("recorded \"%s\" (%zu stages%s) into %s\n", record.label.c_str(),
+         record.stages.size(), record.profile.present ? " + profile summary" : "",
+         history_path.c_str());
+  return 0;
+}
+
+// Robust per-stage baselines over the history store: median/MAD, the
+// latest run's deviation, change-point flags, and the adaptive floor each
+// stage would gate with.
+int CmdPerfTrend(int argc, char** argv) {
+  std::string history_path = FlagValue(argc, argv, "history", "");
+  if (history_path.empty()) {
+    return DiagError("perf trend requires --history=FILE");
+  }
+  auto records = LoadHistory(history_path);
+  if (!records.ok()) {
+    return DiagError(records.error());
+  }
+  obs::TrendOptions options;
+  options.window = strtoull(FlagValue(argc, argv, "window", "8").c_str(), nullptr, 10);
+  auto min_floor = ParseSecondsFlag(FlagValue(argc, argv, "min-floor", ""),
+                                    options.min_floor_seconds);
+  if (!min_floor.ok()) {
+    return DiagError("--min-floor: " + min_floor.error().message());
+  }
+  options.min_floor_seconds = *min_floor;
+  obs::TrendReport report =
+      obs::AnalyzeTrend(*records, obs::CurrentHostFingerprint(), options);
+  if (HasFlag(argc, argv, "json")) {
+    printf("%s", obs::TrendReportJson(report).c_str());
+  } else {
+    printf("%s", obs::TrendReportText(report).c_str());
+  }
+  return 0;
+}
+
+// Differential profile attribution: which span names and which critical-
+// path chain got slower between two depsurf.profile.v1 documents.
+int CmdPerfDiff(int argc, char** argv, const std::vector<std::string>& positional) {
+  if (positional.size() < 3) {
+    return DiagError("perf diff requires BASE_PROFILE.json and HEAD_PROFILE.json");
+  }
+  std::vector<obs::Profile> profiles;
+  for (size_t i = 1; i <= 2; ++i) {
+    auto text = ReadTextFile(positional[i]);
+    if (!text.ok()) {
+      return DiagError(text.error());
+    }
+    auto profile = obs::ParseProfileDoc(*text);
+    if (!profile.ok()) {
+      return DiagError(positional[i], profile.error());
+    }
+    profiles.push_back(profile.TakeValue());
+  }
+  size_t top = strtoull(FlagValue(argc, argv, "top", "10").c_str(), nullptr, 10);
+  obs::ProfileDiff diff = obs::DiffProfiles(profiles[0], profiles[1], top);
+  if (HasFlag(argc, argv, "json")) {
+    printf("%s", obs::ProfileDiffJson(diff).c_str());
+  } else {
+    printf("%s", obs::ProfileDiffText(diff).c_str());
+  }
+  return 0;
+}
+
+int CmdPerf(int argc, char** argv) {
+  auto positional = Positional(argc, argv);
+  if (positional.empty()) {
+    return DiagError("perf requires a subcommand: compare|record|trend|diff");
+  }
+  if (positional[0] == "compare") {
+    return CmdPerfCompare(argc, argv, positional);
+  }
+  if (positional[0] == "record") {
+    return CmdPerfRecord(argc, argv, positional);
+  }
+  if (positional[0] == "trend") {
+    return CmdPerfTrend(argc, argv);
+  }
+  if (positional[0] == "diff") {
+    return CmdPerfDiff(argc, argv, positional);
+  }
+  return DiagError("unknown perf subcommand " + positional[0] +
+                   " (compare|record|trend|diff)");
 }
 
 // Shared by `study build` and `profile --live`: --versions/--arch/--flavor
@@ -1069,12 +1304,17 @@ constexpr char kUsage[] =
     "  emit    PROGRAM --out=OBJ\n"
     "  doctor  IMG [--sweep=N] [--seed=S] [--json]\n"
     "          (exit 2 when the image needed salvage, 1 when unreadable)\n"
-    "  metrics lint FILE [--kind=report|agg|bench|perf|trace|diag|analysis|profile]\n"
-    "          [--min-spans=N]\n"
+    "  metrics lint FILE [--kind=report|agg|bench|perf|trace|diag|analysis|profile\n"
+    "          |history|trend|profile_diff] [--min-spans=N]\n"
     "          [--require=a,b,c] [--report=FILE] | metrics canon FILE\n"
     "  report  merge OUT IN... | report flame REPORT.json [--out=FILE]\n"
-    "  perf    compare BASE.json HEAD.json [--max-regress=15%] [--noise-floor=S] [--json]\n"
-    "          (exit 3 when a stage regressed beyond the threshold)\n"
+    "  perf    compare BASE.json HEAD.json [--max-regress=15%] [--noise-floor=S]\n"
+    "          [--history=FILE] [--json]\n"
+    "          (exit 3 when a stage regressed beyond the threshold; --history\n"
+    "           replaces the fixed floor with per-stage adaptive floors)\n"
+    "  perf    record BENCH.json... --history=FILE [--label=L] [--profile=P.json]\n"
+    "  perf    trend --history=FILE [--window=K] [--min-floor=S] [--json]\n"
+    "  perf    diff BASE_PROFILE.json HEAD_PROFILE.json [--top=N] [--json]\n"
     "  profile RUN_REPORT.json | profile --live [study flags]\n"
     "          [--json] [--out=PROFILE.json] [--folded-out=FLAME.folded]\n"
     "  study   build [--versions=5.4,6.8] [--arch=A] [--flavor=F] [--scale=S] [--seed=N]\n"
