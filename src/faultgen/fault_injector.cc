@@ -1,6 +1,8 @@
 #include "src/faultgen/fault_injector.h"
 
 #include <algorithm>
+#include <initializer_list>
+#include <optional>
 
 #include "src/util/prng.h"
 #include "src/util/str_util.h"
@@ -19,6 +21,10 @@ constexpr size_t kElf64HeaderSize = 0x40;
 constexpr size_t kShNameOffset = 0x00;
 constexpr size_t kShOffsetOffset = 0x18;
 constexpr size_t kShSizeOffset = 0x20;
+// .BTF.ext layout constants (see src/bpf/bpf_codec.cc): u32 magic, u32
+// record count, u32 string length, then 20-byte records of five u32 fields.
+constexpr size_t kBtfExtHeaderSize = 12;
+constexpr size_t kBtfExtRecordSize = 20;
 
 uint64_t ReadLE(const std::vector<uint8_t>& bytes, size_t offset, int width) {
   uint64_t v = 0;
@@ -32,6 +38,83 @@ void WriteLE(std::vector<uint8_t>& bytes, size_t offset, uint64_t v, int width) 
   for (int i = 0; i < width; ++i) {
     bytes[offset + i] = static_cast<uint8_t>(v >> (8 * i));
   }
+}
+
+// One section located in a 64-bit little-endian ELF: where its header
+// lives and where its body claims to live. The body range is NOT
+// guaranteed to be inside the buffer — callers that mutate body bytes must
+// use FindMutableSection, which filters to in-bounds, non-empty bodies.
+struct SectionRef {
+  size_t header = 0;
+  size_t offset = 0;
+  size_t size = 0;
+};
+
+// Locates `section_name` by walking the section table and its string
+// table. Returns nullopt when the input is not a 64-bit LE ELF with a
+// readable section table containing the name. Shared by the surgical
+// PoisonSectionHeader and the structure-aware fault kinds.
+std::optional<SectionRef> FindSectionByName(const std::vector<uint8_t>& bytes,
+                                            std::string_view section_name) {
+  if (bytes.size() < kElf64HeaderSize || bytes[0] != 0x7f || bytes[1] != 'E' ||
+      bytes[2] != 'L' || bytes[3] != 'F' || bytes[4] != 2 /* ELFCLASS64 */ ||
+      bytes[5] != 1 /* little-endian */) {
+    return std::nullopt;
+  }
+  const uint64_t shoff = ReadLE(bytes, kShoffOffset, 8);
+  const uint64_t shentsize = ReadLE(bytes, kShentsizeOffset, 2);
+  const uint64_t shnum = ReadLE(bytes, kShnumOffset, 2);
+  const uint64_t shstrndx = ReadLE(bytes, kShstrndxOffset, 2);
+  if (shnum == 0 || shentsize < kElf64HeaderSize || shoff > bytes.size() ||
+      shnum * shentsize > bytes.size() - shoff || shstrndx >= shnum) {
+    return std::nullopt;
+  }
+  const size_t strtab_header = static_cast<size_t>(shoff + shstrndx * shentsize);
+  const uint64_t str_off = ReadLE(bytes, strtab_header + kShOffsetOffset, 8);
+  const uint64_t str_size = ReadLE(bytes, strtab_header + kShSizeOffset, 8);
+  if (str_off > bytes.size() || str_size > bytes.size() - str_off) {
+    return std::nullopt;
+  }
+  for (uint64_t i = 0; i < shnum; ++i) {
+    const size_t header = static_cast<size_t>(shoff + i * shentsize);
+    const uint64_t name_off = ReadLE(bytes, header + kShNameOffset, 4);
+    if (name_off >= str_size) {
+      continue;
+    }
+    const char* name = reinterpret_cast<const char*>(bytes.data() + str_off + name_off);
+    size_t len = 0;
+    while (name_off + len < str_size && name[len] != '\0') {
+      ++len;
+    }
+    if (std::string_view(name, len) != section_name) {
+      continue;
+    }
+    SectionRef ref;
+    ref.header = header;
+    ref.offset = static_cast<size_t>(ReadLE(bytes, header + kShOffsetOffset, 8));
+    ref.size = static_cast<size_t>(ReadLE(bytes, header + kShSizeOffset, 8));
+    return ref;
+  }
+  return std::nullopt;
+}
+
+// First name (in the given preference order) whose body is non-empty and
+// fully inside the buffer, so mutators can write through it safely.
+struct NamedSection {
+  const char* name = nullptr;
+  SectionRef ref;
+};
+std::optional<NamedSection> FindMutableSection(const std::vector<uint8_t>& bytes,
+                                               std::initializer_list<const char*> names) {
+  for (const char* name : names) {
+    auto ref = FindSectionByName(bytes, name);
+    if (!ref.has_value() || ref->size == 0 || ref->offset > bytes.size() ||
+        ref->size > bytes.size() - ref->offset) {
+      continue;
+    }
+    return NamedSection{name, *ref};
+  }
+  return std::nullopt;
 }
 
 std::string ApplyByteFlip(std::vector<uint8_t>& bytes, Prng& prng, uint64_t seed) {
@@ -99,6 +182,150 @@ std::string ApplyTruncate(std::vector<uint8_t>& bytes, Prng& prng, uint64_t seed
                    static_cast<unsigned long long>(keep));
 }
 
+// Flips LEB128 continuation bits inside the DWARF-lite sections. A flipped
+// high bit either fuses two encoded values into one oversized one or splits
+// a multi-byte value mid-stream — record-level damage a byte flip at a
+// random file offset almost never lands.
+std::string ApplyLeb128Corrupt(std::vector<uint8_t>& bytes, Prng& prng, uint64_t seed) {
+  auto section = FindMutableSection(bytes, {".sdwarf_info", ".sdwarf_abbrev"});
+  if (!section.has_value()) {
+    return ApplyByteFlip(bytes, prng, seed);
+  }
+  const uint64_t flips = prng.NextInRange(1, 4);
+  std::string where;
+  for (uint64_t i = 0; i < flips; ++i) {
+    const uint64_t at = section->ref.offset + prng.NextBelow(section->ref.size);
+    bytes[at] ^= 0x80;
+    where += StrFormat("%s0x%llx", i == 0 ? "" : ",",
+                       static_cast<unsigned long long>(at));
+  }
+  return StrFormat("leb128_corrupt seed=%llu: %llu continuation flips in %s @%s",
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(flips), section->name, where.c_str());
+}
+
+// Number of .BTF.ext records that are both declared by the header and
+// physically present in the section body.
+uint64_t UsableBtfExtRecords(const std::vector<uint8_t>& bytes, const SectionRef& ref) {
+  if (ref.size < kBtfExtHeaderSize + kBtfExtRecordSize) {
+    return 0;
+  }
+  const uint64_t declared = ReadLE(bytes, ref.offset + 4, 4);
+  const uint64_t present = (ref.size - kBtfExtHeaderSize) / kBtfExtRecordSize;
+  return std::min(declared, present);
+}
+
+// Overwrites one u32 field of one CO-RE relocation record in .BTF.ext.
+// Falls back to an aligned-word overwrite in .tracepoint_rec / .BTF (kernel
+// images have no .BTF.ext), then to a byte flip.
+std::string ApplyRelocRecordMutation(std::vector<uint8_t>& bytes, Prng& prng,
+                                     uint64_t seed) {
+  if (auto section = FindMutableSection(bytes, {".BTF.ext"}); section.has_value()) {
+    const uint64_t usable = UsableBtfExtRecords(bytes, section->ref);
+    if (usable > 0) {
+      static constexpr const char* kFieldNames[] = {"type_id", "kind", "access_off",
+                                                    "prog_index", "insn_off"};
+      const uint64_t record = prng.NextBelow(usable);
+      const uint64_t field = prng.NextBelow(5);
+      const uint64_t value = prng.NextU64() & 0xffffffffull;
+      WriteLE(bytes,
+              section->ref.offset + kBtfExtHeaderSize +
+                  static_cast<size_t>(record * kBtfExtRecordSize + field * 4),
+              value, 4);
+      return StrFormat("reloc_record_mutation seed=%llu: record %llu %s <- 0x%llx",
+                       static_cast<unsigned long long>(seed),
+                       static_cast<unsigned long long>(record), kFieldNames[field],
+                       static_cast<unsigned long long>(value));
+    }
+  }
+  auto fallback = FindMutableSection(bytes, {".tracepoint_rec", ".BTF"});
+  if (fallback.has_value() && fallback->ref.size >= 4) {
+    const uint64_t word = prng.NextBelow(fallback->ref.size / 4);
+    const uint64_t value = prng.NextU64() & 0xffffffffull;
+    const size_t at = fallback->ref.offset + static_cast<size_t>(word * 4);
+    WriteLE(bytes, at, value, 4);
+    return StrFormat("reloc_record_mutation seed=%llu: record word @0x%llx in %s <- 0x%llx",
+                     static_cast<unsigned long long>(seed),
+                     static_cast<unsigned long long>(at), fallback->name,
+                     static_cast<unsigned long long>(value));
+  }
+  return ApplyByteFlip(bytes, prng, seed);
+}
+
+// Scrambles which instruction each .BTF.ext record patches: swaps either
+// two whole records or just their (prog_index, insn_off) bindings, so the
+// record content stays individually well-formed while the binding becomes a
+// lie — exactly the damage the analyzer's unbound/unreachable-reloc paths
+// must survive. Kernel images fall back to scrambling the .BTF header.
+std::string ApplyBtfExtScramble(std::vector<uint8_t>& bytes, Prng& prng, uint64_t seed) {
+  if (auto section = FindMutableSection(bytes, {".BTF.ext"}); section.has_value()) {
+    const uint64_t usable = UsableBtfExtRecords(bytes, section->ref);
+    if (usable >= 2) {
+      uint64_t a = prng.NextBelow(usable);
+      uint64_t b = prng.NextBelow(usable - 1);
+      if (b >= a) {
+        ++b;
+      }
+      const size_t rec_a = section->ref.offset + kBtfExtHeaderSize +
+                           static_cast<size_t>(a * kBtfExtRecordSize);
+      const size_t rec_b = section->ref.offset + kBtfExtHeaderSize +
+                           static_cast<size_t>(b * kBtfExtRecordSize);
+      const bool whole = prng.NextBool(0.5);
+      // Bindings are the last two u32s of the 20-byte record.
+      const size_t at = whole ? 0 : 12;
+      const size_t len = whole ? kBtfExtRecordSize : 8;
+      for (size_t i = 0; i < len; ++i) {
+        std::swap(bytes[rec_a + at + i], bytes[rec_b + at + i]);
+      }
+      return StrFormat("btf_ext_scramble seed=%llu: swapped %s of records %llu<->%llu",
+                       static_cast<unsigned long long>(seed),
+                       whole ? "all fields" : "bindings",
+                       static_cast<unsigned long long>(a),
+                       static_cast<unsigned long long>(b));
+    }
+  }
+  if (auto fallback = FindMutableSection(bytes, {".BTF"});
+      fallback.has_value() && fallback->ref.size >= 24) {
+    const uint64_t word = prng.NextBelow(6);
+    const uint64_t value = prng.NextBelow(0x10000);
+    const size_t at = fallback->ref.offset + static_cast<size_t>(word * 4);
+    WriteLE(bytes, at, value, 4);
+    return StrFormat("btf_ext_scramble seed=%llu: .BTF header word %llu <- 0x%llx",
+                     static_cast<unsigned long long>(seed),
+                     static_cast<unsigned long long>(word),
+                     static_cast<unsigned long long>(value));
+  }
+  return ApplyByteFlip(bytes, prng, seed);
+}
+
+// Splices a window of a string table: NUL terminators become letters
+// (fusing adjacent strings into one long name) and some letters become
+// NULs (truncating names early). Both shapes stress every consumer that
+// walks names — section lookup, symbol resolution, tracepoint registry.
+std::string ApplyStringTableSplice(std::vector<uint8_t>& bytes, Prng& prng,
+                                   uint64_t seed) {
+  auto section = FindMutableSection(
+      bytes, {".strtab", ".tracepoint_str", ".shstrtab", ".rodata.name"});
+  if (!section.has_value()) {
+    return ApplyByteFlip(bytes, prng, seed);
+  }
+  const uint64_t len = prng.NextInRange(1, std::min<uint64_t>(section->ref.size, 32));
+  const uint64_t at = section->ref.offset + prng.NextBelow(section->ref.size - len + 1);
+  for (uint64_t i = 0; i < len; ++i) {
+    uint8_t& b = bytes[at + i];
+    if (b == 0) {
+      b = static_cast<uint8_t>('a' + prng.NextBelow(26));
+    } else if (i == 0 || prng.NextBool(0.3)) {
+      // The first byte always changes so the splice never silently no-ops.
+      b = 0;
+    }
+  }
+  return StrFormat("string_table_splice seed=%llu: %llu bytes @0x%llx in %s",
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(len),
+                   static_cast<unsigned long long>(at), section->name);
+}
+
 }  // namespace
 
 const char* FaultKindName(FaultKind kind) {
@@ -107,6 +334,10 @@ const char* FaultKindName(FaultKind kind) {
     case FaultKind::kZeroWindow: return "zero_window";
     case FaultKind::kSectionHeaderMutation: return "section_header_mutation";
     case FaultKind::kTruncate: return "truncate";
+    case FaultKind::kLeb128Corrupt: return "leb128_corrupt";
+    case FaultKind::kRelocRecordMutation: return "reloc_record_mutation";
+    case FaultKind::kBtfExtScramble: return "btf_ext_scramble";
+    case FaultKind::kStringTableSplice: return "string_table_splice";
   }
   return "unknown";
 }
@@ -116,45 +347,14 @@ FaultKind FaultKindForIndex(uint64_t index) {
 }
 
 bool PoisonSectionHeader(std::vector<uint8_t>& bytes, std::string_view section_name) {
-  if (bytes.size() < kElf64HeaderSize || bytes[0] != 0x7f || bytes[1] != 'E' ||
-      bytes[2] != 'L' || bytes[3] != 'F' || bytes[4] != 2 /* ELFCLASS64 */ ||
-      bytes[5] != 1 /* little-endian */) {
+  auto section = FindSectionByName(bytes, section_name);
+  if (!section.has_value()) {
     return false;
   }
-  const uint64_t shoff = ReadLE(bytes, kShoffOffset, 8);
-  const uint64_t shentsize = ReadLE(bytes, kShentsizeOffset, 2);
-  const uint64_t shnum = ReadLE(bytes, kShnumOffset, 2);
-  const uint64_t shstrndx = ReadLE(bytes, kShstrndxOffset, 2);
-  if (shnum == 0 || shentsize < kElf64HeaderSize || shoff > bytes.size() ||
-      shnum * shentsize > bytes.size() - shoff || shstrndx >= shnum) {
-    return false;
-  }
-  const size_t strtab_header = static_cast<size_t>(shoff + shstrndx * shentsize);
-  const uint64_t str_off = ReadLE(bytes, strtab_header + kShOffsetOffset, 8);
-  const uint64_t str_size = ReadLE(bytes, strtab_header + kShSizeOffset, 8);
-  if (str_off > bytes.size() || str_size > bytes.size() - str_off) {
-    return false;
-  }
-  for (uint64_t i = 0; i < shnum; ++i) {
-    const size_t header = static_cast<size_t>(shoff + i * shentsize);
-    const uint64_t name_off = ReadLE(bytes, header + kShNameOffset, 4);
-    if (name_off >= str_size) {
-      continue;
-    }
-    const char* name = reinterpret_cast<const char*>(bytes.data() + str_off + name_off);
-    size_t len = 0;
-    while (name_off + len < str_size && name[len] != '\0') {
-      ++len;
-    }
-    if (std::string_view(name, len) != section_name) {
-      continue;
-    }
-    // Point the body past end-of-file; ElfReader::ParseSections rejects the
-    // image with a fatal error tagged with this section's subsystem.
-    WriteLE(bytes, header + kShOffsetOffset, bytes.size() + 0x1000, 8);
-    return true;
-  }
-  return false;
+  // Point the body past end-of-file; ElfReader::ParseSections rejects the
+  // image with a fatal error tagged with this section's subsystem.
+  WriteLE(bytes, section->header + kShOffsetOffset, bytes.size() + 0x1000, 8);
+  return true;
 }
 
 std::string ApplyFault(std::vector<uint8_t>& bytes, FaultKind kind, uint64_t seed) {
@@ -174,6 +374,14 @@ std::string ApplyFault(std::vector<uint8_t>& bytes, FaultKind kind, uint64_t see
       return ApplySectionHeaderMutation(bytes, prng, seed);
     case FaultKind::kTruncate:
       return ApplyTruncate(bytes, prng, seed);
+    case FaultKind::kLeb128Corrupt:
+      return ApplyLeb128Corrupt(bytes, prng, seed);
+    case FaultKind::kRelocRecordMutation:
+      return ApplyRelocRecordMutation(bytes, prng, seed);
+    case FaultKind::kBtfExtScramble:
+      return ApplyBtfExtScramble(bytes, prng, seed);
+    case FaultKind::kStringTableSplice:
+      return ApplyStringTableSplice(bytes, prng, seed);
   }
   return "unknown fault kind";
 }

@@ -1,4 +1,4 @@
-// Deterministic fault injection for robustness sweeps.
+// Deterministic fault injection for robustness sweeps and fuzzing.
 //
 // Salvage-mode extraction promises "no crash, no hang, ledger populated"
 // on arbitrarily damaged inputs; this engine manufactures that damage
@@ -10,7 +10,14 @@
 //   std::string what = ApplyFault(bytes, FaultKind::kByteFlip, 42);
 //   // -> "byte_flip seed=42: 3 flips @0x1c0,0x88f2,0x9001"
 //
-// Consumers: `depsurf doctor --sweep`, tests/faultgen_test.cc, and the
+// The first four kinds are blind (they need no knowledge of the input
+// format); the rest are structure-aware: they parse the ELF section table
+// to land damage inside the section a specific decoder consumes, which is
+// what lets the fuzz campaign (src/fuzz) reach deep salvage paths a random
+// byte flip almost never hits. Every structure-aware kind degrades to a
+// byte flip when its target is absent, so any kind applies to any input.
+//
+// Consumers: `depsurf doctor --sweep`, `depsurf fuzz`, tests, and the
 // study poisoning hook (Study::SetImageMutator).
 #ifndef DEPSURF_SRC_FAULTGEN_FAULT_INJECTOR_H_
 #define DEPSURF_SRC_FAULTGEN_FAULT_INJECTOR_H_
@@ -27,21 +34,26 @@ enum class FaultKind : uint8_t {
   kZeroWindow,             // zero a contiguous window
   kSectionHeaderMutation,  // corrupt one field of one ELF section header
   kTruncate,               // drop the tail of the buffer
+  kLeb128Corrupt,          // flip LEB128 continuation bits in DWARF sections
+  kRelocRecordMutation,    // overwrite one field of a .BTF.ext reloc record
+  kBtfExtScramble,         // swap .BTF.ext records or their insn bindings
+  kStringTableSplice,      // splice NULs/letters inside a string table
 };
 
-inline constexpr int kNumFaultKinds = 4;
+inline constexpr int kNumFaultKinds = 8;
 
-// "byte_flip", "zero_window", "section_header_mutation", "truncate".
+// "byte_flip", "zero_window", ..., "string_table_splice".
 const char* FaultKindName(FaultKind kind);
 
-// Round-robin kind assignment for sweeps: index i exercises kind i % 4.
+// Round-robin kind assignment for sweeps: index i exercises kind
+// i % kNumFaultKinds.
 FaultKind FaultKindForIndex(uint64_t index);
 
 // Mutates `bytes` in place and returns a one-line description of the
 // damage (kind, seed, offsets touched). Deterministic in (kind, seed,
-// bytes.size()). Inputs smaller than an ELF header degrade gracefully:
-// section-header mutation falls back to a byte flip, truncation never
-// empties the buffer entirely.
+// bytes.size()). Inputs smaller than an ELF header (or missing the section
+// a structure-aware kind targets) degrade gracefully to a byte flip;
+// truncation never empties the buffer entirely.
 std::string ApplyFault(std::vector<uint8_t>& bytes, FaultKind kind, uint64_t seed);
 
 // Targeted poison: points the named section's sh_offset past end-of-file in

@@ -744,6 +744,210 @@ Status ValidateAnalysisDoc(std::string_view json) {
   return Status::Ok();
 }
 
+Status ValidateFuzzCampaignDoc(std::string_view json) {
+  auto parsed = ParseJson(json);
+  if (!parsed.ok()) {
+    return parsed.TakeError();
+  }
+  const JsonValue& doc = *parsed;
+  // Mirrors kFuzzCampaignSchema (src/fuzz/fuzz_campaign.h); obs cannot
+  // depend on the fuzz layer, so the marker is checked by value.
+  constexpr char kWantSchema[] = "depsurf.fuzz_campaign.v1";
+  const JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::kString ||
+      schema->string != kWantSchema) {
+    return Status(ErrorCode::kMalformedData,
+                  StrFormat("missing or wrong schema marker (want %s)", kWantSchema));
+  }
+  const JsonValue* mode = doc.Find("mode");
+  if (mode == nullptr || mode->kind != JsonValue::Kind::kString ||
+      (mode->string != "image" && mode->string != "object")) {
+    return Status(ErrorCode::kMalformedData,
+                  "\"mode\" is not \"image\" or \"object\"");
+  }
+  const JsonValue* config = doc.Find("config");
+  if (config == nullptr || config->kind != JsonValue::Kind::kObject) {
+    return Status(ErrorCode::kMalformedData, "missing \"config\" object");
+  }
+  for (const char* key : {"rounds", "seed", "time_budget_ms", "max_ledger_entries"}) {
+    const JsonValue* member = config->Find(key);
+    if (member == nullptr || member->kind != JsonValue::Kind::kNumber) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("config.%s is not a number", key));
+    }
+  }
+  const JsonValue* seeds = doc.Find("seeds");
+  if (seeds == nullptr || seeds->kind != JsonValue::Kind::kArray ||
+      seeds->array.empty()) {
+    return Status(ErrorCode::kMalformedData, "missing or empty \"seeds\" array");
+  }
+  for (size_t i = 0; i < seeds->array.size(); ++i) {
+    if (seeds->array[i].kind != JsonValue::Kind::kString) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("seeds[%zu] is not a string", i));
+    }
+  }
+  const JsonValue* candidates = doc.Find("candidates");
+  if (candidates == nullptr || candidates->kind != JsonValue::Kind::kNumber) {
+    return Status(ErrorCode::kMalformedData, "missing \"candidates\" number");
+  }
+  const JsonValue* coverage = doc.Find("coverage");
+  if (coverage == nullptr || coverage->kind != JsonValue::Kind::kObject) {
+    return Status(ErrorCode::kMalformedData, "missing \"coverage\" object");
+  }
+  const JsonValue* tuples = coverage->Find("tuples");
+  const JsonValue* keys = coverage->Find("keys");
+  if (tuples == nullptr || tuples->kind != JsonValue::Kind::kNumber) {
+    return Status(ErrorCode::kMalformedData, "coverage.tuples is not a number");
+  }
+  if (keys == nullptr || keys->kind != JsonValue::Kind::kArray) {
+    return Status(ErrorCode::kMalformedData, "coverage.keys is not an array");
+  }
+  if (tuples->number != static_cast<double>(keys->array.size())) {
+    return Status(ErrorCode::kMalformedData,
+                  "coverage.tuples does not match coverage.keys length");
+  }
+  const JsonValue* growth = doc.Find("growth");
+  if (growth == nullptr || growth->kind != JsonValue::Kind::kArray ||
+      growth->array.empty()) {
+    return Status(ErrorCode::kMalformedData, "missing or empty \"growth\" array");
+  }
+  double prev_round = -1;
+  double prev_tuples = -1;
+  for (size_t i = 0; i < growth->array.size(); ++i) {
+    const JsonValue* round = growth->array[i].Find("round");
+    const JsonValue* count = growth->array[i].Find("tuples");
+    if (round == nullptr || round->kind != JsonValue::Kind::kNumber ||
+        count == nullptr || count->kind != JsonValue::Kind::kNumber) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("growth[%zu] lacks numeric round/tuples", i));
+    }
+    if (round->number < prev_round || count->number < prev_tuples) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("growth[%zu] is not monotonic", i));
+    }
+    prev_round = round->number;
+    prev_tuples = count->number;
+  }
+  if (prev_tuples != tuples->number) {
+    return Status(ErrorCode::kMalformedData,
+                  "growth curve does not end at the coverage total");
+  }
+  const JsonValue* kinds = doc.Find("kinds");
+  if (kinds == nullptr || kinds->kind != JsonValue::Kind::kArray) {
+    return Status(ErrorCode::kMalformedData, "missing \"kinds\" array");
+  }
+  for (size_t i = 0; i < kinds->array.size(); ++i) {
+    const JsonValue* name = kinds->array[i].Find("kind");
+    const JsonValue* attempts = kinds->array[i].Find("attempts");
+    const JsonValue* novel = kinds->array[i].Find("novel");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString ||
+        attempts == nullptr || attempts->kind != JsonValue::Kind::kNumber ||
+        novel == nullptr || novel->kind != JsonValue::Kind::kNumber) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("kinds[%zu] lacks kind/attempts/novel", i));
+    }
+    if (novel->number > attempts->number) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("kinds[%zu].novel exceeds its attempts", i));
+    }
+  }
+  const JsonValue* corpus = doc.Find("corpus");
+  if (corpus == nullptr || corpus->kind != JsonValue::Kind::kArray ||
+      corpus->array.empty()) {
+    return Status(ErrorCode::kMalformedData, "missing or empty \"corpus\" array");
+  }
+  for (size_t i = 0; i < corpus->array.size(); ++i) {
+    const JsonValue& entry = corpus->array[i];
+    for (const char* key :
+         {"index", "round", "fault_seed", "parent", "size", "tuple_count"}) {
+      const JsonValue* member = entry.Find(key);
+      if (member == nullptr || member->kind != JsonValue::Kind::kNumber) {
+        return Status(ErrorCode::kMalformedData,
+                      StrFormat("corpus[%zu].%s is not a number", i, key));
+      }
+    }
+    for (const char* key : {"name", "kind", "description"}) {
+      const JsonValue* member = entry.Find(key);
+      if (member == nullptr || member->kind != JsonValue::Kind::kString) {
+        return Status(ErrorCode::kMalformedData,
+                      StrFormat("corpus[%zu].%s is not a string", i, key));
+      }
+    }
+    const JsonValue* is_seed = entry.Find("seed");
+    if (is_seed == nullptr || is_seed->kind != JsonValue::Kind::kBool) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("corpus[%zu].seed is not a bool", i));
+    }
+    const JsonValue* index = entry.Find("index");
+    if (index->number != static_cast<double>(i)) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("corpus[%zu].index is out of order", i));
+    }
+    const JsonValue* parent = entry.Find("parent");
+    if (parent->number >= static_cast<double>(i) && !is_seed->boolean) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("corpus[%zu].parent is not an earlier entry", i));
+    }
+    const JsonValue* new_tuples = entry.Find("new_tuples");
+    if (new_tuples == nullptr || new_tuples->kind != JsonValue::Kind::kArray) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("corpus[%zu].new_tuples is not an array", i));
+    }
+  }
+  const JsonValue* minimized = doc.Find("minimized");
+  if (minimized == nullptr || minimized->kind != JsonValue::Kind::kArray) {
+    return Status(ErrorCode::kMalformedData, "missing \"minimized\" array");
+  }
+  for (size_t i = 0; i < minimized->array.size(); ++i) {
+    const JsonValue& index = minimized->array[i];
+    if (index.kind != JsonValue::Kind::kNumber ||
+        index.number >= static_cast<double>(corpus->array.size())) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("minimized[%zu] is not a corpus index", i));
+    }
+  }
+  const JsonValue* oracle = doc.Find("oracle");
+  if (oracle == nullptr || oracle->kind != JsonValue::Kind::kObject) {
+    return Status(ErrorCode::kMalformedData, "missing \"oracle\" object");
+  }
+  const JsonValue* disagreements = oracle->Find("disagreements");
+  if (disagreements == nullptr ||
+      disagreements->kind != JsonValue::Kind::kArray) {
+    return Status(ErrorCode::kMalformedData,
+                  "oracle.disagreements is not an array");
+  }
+  for (size_t i = 0; i < disagreements->array.size(); ++i) {
+    const JsonValue* violation = disagreements->array[i].Find("violation");
+    const JsonValue* fault_seed = disagreements->array[i].Find("fault_seed");
+    if (violation == nullptr || violation->kind != JsonValue::Kind::kString ||
+        fault_seed == nullptr || fault_seed->kind != JsonValue::Kind::kNumber) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("oracle.disagreements[%zu] lacks its replay key", i));
+    }
+  }
+  const JsonValue* hangs = doc.Find("hangs");
+  if (hangs == nullptr || hangs->kind != JsonValue::Kind::kArray) {
+    return Status(ErrorCode::kMalformedData, "missing \"hangs\" array");
+  }
+  const JsonValue* exit_code = doc.Find("exit_code");
+  if (exit_code == nullptr || exit_code->kind != JsonValue::Kind::kNumber ||
+      (exit_code->number != 0 && exit_code->number != 1 && exit_code->number != 2)) {
+    return Status(ErrorCode::kMalformedData, "\"exit_code\" is not 0, 1, or 2");
+  }
+  double want_exit = 0;
+  if (!hangs->array.empty()) {
+    want_exit = 1;
+  } else if (!disagreements->array.empty()) {
+    want_exit = 2;
+  }
+  if (exit_code->number != want_exit) {
+    return Status(ErrorCode::kMalformedData,
+                  "exit_code disagrees with the hang/disagreement arrays");
+  }
+  return Status::Ok();
+}
+
 std::string CanonicalMaskedJson(const JsonValue& value) {
   const JsonValue* schema = value.Find("schema");
   if (schema != nullptr && schema->kind == JsonValue::Kind::kString &&

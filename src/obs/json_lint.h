@@ -64,6 +64,17 @@ Status ValidateDiagnosticsDoc(std::string_view json);
 // this checks structure only, so the obs library stays dependency-free.
 Status ValidateAnalysisDoc(std::string_view json);
 
+// Validates a depsurf.fuzz_campaign.v1 document (`depsurf fuzz --json`):
+// schema marker, mode ("image"/"object"), numeric config block, non-empty
+// seeds array, a coverage block whose key list matches its count, a growth
+// curve with non-decreasing rounds and tuple totals ending at the coverage
+// total, per-kind stats with novel <= attempts, a corpus whose entries
+// carry their replay keys (kind, fault_seed, round, parent), minimized
+// indices inside the corpus, oracle/hang arrays, and an exit_code in
+// {0,1,2} consistent with those arrays (hangs -> 1, disagreements -> 2).
+// The schema is defined by the fuzz layer; structure only is checked here.
+Status ValidateFuzzCampaignDoc(std::string_view json);
+
 // Non-fatal lint notes for a parsed run report or aggregate. Currently
 // flags deprecated gauge names (renamed in later schema revisions but
 // still valid in old documents) with their modern replacement. Returns

@@ -419,4 +419,151 @@ Result<ProgramReport> Study::Analyze(const Dataset& dataset, const BpfObject& ob
   return AnalyzeProgram(dataset, deps);
 }
 
+namespace {
+
+// The health state a ledger entry's subsystem ended extraction in. kBpf
+// entries have no surface state; they map to kClean so the silent-salvage
+// check below never fires for them on image inputs.
+DegradationState SubsystemState(const SurfaceHealth& health, DiagSubsystem subsystem) {
+  switch (subsystem) {
+    case DiagSubsystem::kElf: return health.elf;
+    case DiagSubsystem::kDwarf: return health.dwarf;
+    case DiagSubsystem::kBtf: return health.btf;
+    case DiagSubsystem::kTracepoint: return health.tracepoint;
+    case DiagSubsystem::kSyscall: return health.syscall;
+    case DiagSubsystem::kBpf: return DegradationState::kClean;
+  }
+  return DegradationState::kClean;
+}
+
+// Deterministic fingerprint of one extraction run, for the double-run
+// nondeterminism check: outcome, health summary, and every ledger line.
+std::string ExtractionFingerprint(const Result<DependencySurface>& result) {
+  if (!result.ok()) {
+    return "fatal: " + result.error().ToString();
+  }
+  std::string out = "ok " + result->health().Summary();
+  for (const DiagnosticEntry& entry : result->health().ledger.entries()) {
+    out += "\n" + entry.ToString();
+  }
+  return out;
+}
+
+std::string ObjectFingerprint(const Result<BpfObject>& result,
+                              const DiagnosticLedger* ledger) {
+  if (!result.ok()) {
+    return "fatal: " + result.error().ToString();
+  }
+  std::string out = StrFormat("ok programs=%zu relocs=%zu", result->programs.size(),
+                              result->relocs.size());
+  for (const BpfProgram& program : result->programs) {
+    out += StrFormat("\n%s insns=%zu", program.name.c_str(), program.insns.size());
+  }
+  if (ledger != nullptr) {
+    for (const DiagnosticEntry& entry : ledger->entries()) {
+      out += "\n" + entry.ToString();
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Study::OracleOutcome Study::RunSalvageStrictOracle(const std::vector<uint8_t>& bytes) {
+  OracleOutcome out;
+  // Two independent runs over the same bytes: salvage extraction is a pure
+  // function of its input, so any divergence is itself a finding.
+  auto first = DependencySurface::Extract(bytes);
+  auto second = DependencySurface::Extract(bytes);
+  const std::string fp1 = ExtractionFingerprint(first);
+  const std::string fp2 = ExtractionFingerprint(second);
+  if (fp1 != fp2) {
+    out.violations.push_back("non-deterministic extraction: run 1 [" + fp1 +
+                             "] vs run 2 [" + fp2 + "]");
+  }
+  if (!first.ok()) {
+    // Fatal for both policies; the error must still diagnose itself.
+    if (first.error().message().empty()) {
+      out.violations.push_back("fatal extraction with an empty error message");
+    }
+    return out;
+  }
+  out.salvage_ok = true;
+  const SurfaceHealth& health = first->health();
+  out.degraded = health.AnyDegraded();
+  out.ledger_entries = health.ledger.size();
+  out.strict_ok = !out.degraded;
+  // The one allowed disagreement — salvage accepts, strict rejects — must
+  // be explained: a degraded subsystem without a degraded-severity ledger
+  // entry means salvage lost the diagnosis.
+  if (out.degraded &&
+      health.ledger.CountSeverity(DiagSeverity::kDegraded) == 0) {
+    out.violations.push_back("degraded health (" + health.Summary() +
+                             ") with no degraded-severity ledger entry");
+  }
+  for (const DiagnosticEntry& entry : health.ledger.entries()) {
+    if (entry.severity == DiagSeverity::kFatal) {
+      out.violations.push_back("fatal ledger entry on a surviving surface: " +
+                               entry.ToString());
+    }
+    if (entry.severity == DiagSeverity::kDegraded &&
+        SubsystemState(health, entry.subsystem) == DegradationState::kClean) {
+      out.violations.push_back(
+          "ledger reports degradation but health stayed clean: " + entry.ToString());
+    }
+    if (entry.message.empty()) {
+      out.violations.push_back("ledger entry with an empty message");
+    }
+  }
+  return out;
+}
+
+Study::OracleOutcome Study::RunObjectSalvageStrictOracle(const std::vector<uint8_t>& bytes) {
+  OracleOutcome out;
+  DiagnosticLedger ledger1;
+  DiagnosticLedger ledger2;
+  auto salvage1 = ParseBpfObject(bytes, &ledger1);
+  auto salvage2 = ParseBpfObject(bytes, &ledger2);
+  auto strict1 = ParseBpfObject(bytes);
+  auto strict2 = ParseBpfObject(bytes);
+  const std::string sfp1 = ObjectFingerprint(salvage1, &ledger1);
+  const std::string sfp2 = ObjectFingerprint(salvage2, &ledger2);
+  if (sfp1 != sfp2) {
+    out.violations.push_back("non-deterministic salvage parse: run 1 [" + sfp1 +
+                             "] vs run 2 [" + sfp2 + "]");
+  }
+  if (ObjectFingerprint(strict1, nullptr) != ObjectFingerprint(strict2, nullptr)) {
+    out.violations.push_back("non-deterministic strict parse");
+  }
+  out.salvage_ok = salvage1.ok();
+  out.strict_ok = strict1.ok();
+  out.ledger_entries = ledger1.size();
+  out.degraded = !ledger1.empty();
+  if (out.strict_ok && !out.salvage_ok) {
+    out.violations.push_back("strict parse accepted what salvage rejected: " +
+                             salvage1.error().ToString());
+  }
+  if (out.salvage_ok && !out.strict_ok && ledger1.empty()) {
+    out.violations.push_back("salvage diverged from strict (" +
+                             strict1.error().ToString() +
+                             ") without any ledger entry explaining it");
+  }
+  if (out.salvage_ok && out.strict_ok) {
+    // No salvage happened, so both parses must see the same object.
+    if (!ledger1.empty()) {
+      out.violations.push_back(StrFormat(
+          "strict parse succeeded but the salvage ledger has %zu entries", ledger1.size()));
+    }
+    if (ObjectFingerprint(salvage1, nullptr) != ObjectFingerprint(strict1, nullptr)) {
+      out.violations.push_back("salvage and strict parses disagree on a clean object");
+    }
+  }
+  for (const DiagnosticEntry& entry : ledger1.entries()) {
+    if (entry.message.empty()) {
+      out.violations.push_back("ledger entry with an empty message");
+    }
+  }
+  return out;
+}
+
 }  // namespace depsurf

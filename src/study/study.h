@@ -123,6 +123,35 @@ class Study {
   Result<ProgramReport> Analyze(const Dataset& dataset, const std::string& program) const;
   static Result<ProgramReport> Analyze(const Dataset& dataset, const BpfObject& object);
 
+  // ---- Salvage-vs-strict differential oracle ------------------------------
+  //
+  // The quarantine contract (docs/ROBUSTNESS.md) documents exactly one
+  // allowed disagreement between salvage-mode and strict consumers of the
+  // same input: salvage may accept a degraded input that strict rejects,
+  // and then the ledger must explain what was lost. The oracle runs both
+  // interpretations (twice each, to catch nondeterminism) over one
+  // candidate and reports every disagreement beyond that contract. The
+  // fuzz campaign (src/fuzz) runs it per candidate; a violation on any
+  // input — however damaged — is a bug.
+  struct OracleOutcome {
+    bool salvage_ok = false;  // salvage-mode extraction produced a result
+    bool strict_ok = false;   // a degradation-refusing consumer accepts it
+    bool degraded = false;    // salvage flagged lost data
+    size_t ledger_entries = 0;
+    // Contract violations, deterministic and human-readable; empty means
+    // salvage and strict agree modulo the documented quarantine contract.
+    std::vector<std::string> violations;
+  };
+
+  // Kernel images: DependencySurface::Extract under both policies. Strict
+  // here means "reject any surface with a degraded subsystem" (the posture
+  // analyses take when they refuse salvaged columns).
+  static OracleOutcome RunSalvageStrictOracle(const std::vector<uint8_t>& bytes);
+
+  // eBPF objects: ParseBpfObject with a ledger (per-program salvage of the
+  // instruction streams) vs without one (malformed streams are fatal).
+  static OracleOutcome RunObjectSalvageStrictOracle(const std::vector<uint8_t>& bytes);
+
  private:
   StudyOptions options_;
   ProgramCorpus programs_;

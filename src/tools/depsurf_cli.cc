@@ -5,6 +5,7 @@
 //   depsurf surface IMAGE [--func=NAME] [--json]  inspect a dependency surface
 //   depsurf stats   IMAGE [--json]                decode an image, report pipeline metrics
 //   depsurf doctor  IMAGE [--sweep=N] [--json]    triage a damaged image / fault sweep
+//   depsurf fuzz    SEED... [--rounds=N] [--json]  coverage-guided fault fuzzing
 //   depsurf diff    OLD NEW                       diff two images (Table 3/4 style)
 //   depsurf check   OBJECT IMAGE...               report mismatches for an eBPF object
 //   depsurf analyze OBJECT [--against=DATASET]    static analysis of the insn stream
@@ -27,6 +28,7 @@
 // Images and objects are ordinary files; `gen`/`emit` exist because this
 // reproduction generates its corpus instead of downloading Ubuntu dbgsym
 // packages (see DESIGN.md).
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -39,6 +41,7 @@
 #include "src/btf/btf_print.h"
 #include "src/core/dataset_io.h"
 #include "src/faultgen/fault_injector.h"
+#include "src/fuzz/fuzz_campaign.h"
 #include "src/kernelgen/rates.h"
 #include "src/obs/bench_report.h"
 #include "src/obs/diag.h"
@@ -108,6 +111,27 @@ std::vector<std::string> Positional(int argc, char** argv) {
   }
   return out;
 }
+
+// A nonnegative integer flag value; empty means the fallback. Anything that
+// does not fully parse is an error: the old strtoull path read
+// "--sweep=abc" as 0 and silently skipped the sweep (same bug PR 7 fixed
+// for --noise-floor).
+Result<uint64_t> ParseU64Flag(const std::string& text, uint64_t fallback) {
+  if (text.empty()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long value = strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+      text.front() == '-') {
+    return Error(ErrorCode::kInvalidArgument,
+                 "\"" + text + "\" is not a nonnegative integer");
+  }
+  return static_cast<uint64_t>(value);
+}
+
+Result<double> ParseSecondsFlag(const std::string& text, double fallback);
 
 // Parses --arch/--flavor flags into enums; false on an unknown name.
 bool ParseArchFlavor(int argc, char** argv, Arch* arch, Flavor* flavor) {
@@ -300,10 +324,22 @@ int CmdDoctor(int argc, char** argv) {
     return DiagError(bytes.error());
   }
   const bool json = HasFlag(argc, argv, "json");
-  const uint64_t sweep =
-      strtoull(FlagValue(argc, argv, "sweep", "0").c_str(), nullptr, 10);
-  const uint64_t seed =
-      strtoull(FlagValue(argc, argv, "seed", "2025").c_str(), nullptr, 10);
+  auto sweep_flag = ParseU64Flag(FlagValue(argc, argv, "sweep", ""), 0);
+  if (!sweep_flag.ok()) {
+    return DiagError("--sweep: " + sweep_flag.error().message());
+  }
+  auto seed_flag = ParseU64Flag(FlagValue(argc, argv, "seed", ""), 2025);
+  if (!seed_flag.ok()) {
+    return DiagError("--seed: " + seed_flag.error().message());
+  }
+  auto timeout_flag =
+      ParseSecondsFlag(FlagValue(argc, argv, "mutation-timeout", ""), 30.0);
+  if (!timeout_flag.ok()) {
+    return DiagError("--mutation-timeout: " + timeout_flag.error().message());
+  }
+  const uint64_t sweep = *sweep_flag;
+  const uint64_t seed = *seed_flag;
+  const uint64_t budget_ms = static_cast<uint64_t>(*timeout_flag * 1000.0);
 
   if (sweep == 0) {
     auto surface = DependencySurface::Extract(*bytes);
@@ -330,20 +366,33 @@ int CmdDoctor(int argc, char** argv) {
 
   // Sweep mode: every mutation must extract without crashing, and damage
   // must never pass silently — a non-clean outcome without ledger entries
-  // (or a fatal error) would mean salvage lost the diagnosis.
+  // (or a fatal error) would mean salvage lost the diagnosis. Each
+  // extraction runs under the --mutation-timeout wall-clock guard, so a
+  // pathological mutation shows up as a named timeout diagnostic (and exit
+  // 1) instead of stalling CI.
   size_t clean = 0;
   size_t salvaged = 0;
   size_t fatal = 0;
+  size_t timed_out = 0;
   for (uint64_t i = 0; i < sweep; ++i) {
-    std::vector<uint8_t> damaged = *bytes;
+    auto damaged = std::make_shared<std::vector<uint8_t>>(*bytes);
     FaultKind kind = FaultKindForIndex(i);
-    std::string what = ApplyFault(damaged, kind, seed + i);
-    auto surface = DependencySurface::Extract(std::move(damaged));
+    std::string what = ApplyFault(*damaged, kind, seed + i);
+    // Shared state so a timed-out worker never touches freed stack.
+    auto state = std::make_shared<std::pair<bool, bool>>();  // {fatal, degraded}
+    const bool finished = RunWithWallClock(budget_ms, [damaged, state] {
+      auto surface = DependencySurface::Extract(std::move(*damaged));
+      state->first = !surface.ok();
+      state->second = surface.ok() && surface->health().AnyDegraded();
+    });
     const char* outcome;
-    if (!surface.ok()) {
+    if (!finished) {
+      outcome = "TIMEOUT";
+      ++timed_out;
+    } else if (state->first) {
       outcome = "fatal";
       ++fatal;
-    } else if (surface->health().AnyDegraded()) {
+    } else if (state->second) {
       outcome = "salvaged";
       ++salvaged;
     } else {
@@ -353,11 +402,106 @@ int CmdDoctor(int argc, char** argv) {
     if (!json) {
       printf("[%3llu] %-8s %s\n", static_cast<unsigned long long>(i), outcome, what.c_str());
     }
+    if (!finished) {
+      obs::Diag(obs::Severity::kError,
+                StrFormat("sweep mutation %llu exceeded --mutation-timeout "
+                          "(%.1fs): %s",
+                          static_cast<unsigned long long>(i), *timeout_flag,
+                          what.c_str()));
+    }
   }
-  printf("sweep: %llu mutations over %s: %zu clean, %zu salvaged, %zu fatal, 0 crashes\n",
+  printf("sweep: %llu mutations over %s: %zu clean, %zu salvaged, %zu fatal, "
+         "%zu timed out, 0 crashes\n",
          static_cast<unsigned long long>(sweep), positional[0].c_str(), clean, salvaged,
-         fatal);
-  return 0;
+         fatal, timed_out);
+  return timed_out > 0 ? 1 : 0;
+}
+
+// Coverage-guided fault fuzzing over seed images or eBPF objects
+// (src/fuzz): mutate, extract under salvage mode, keep candidates whose
+// diagnostic signature is novel, cross-check every candidate against the
+// salvage-vs-strict oracle. Exit codes: 0 clean campaign, 2 oracle
+// disagreements, 1 hangs or infrastructure failure. Deterministic in
+// (--seed, seed files): two runs emit byte-identical JSON and corpora.
+int CmdFuzz(int argc, char** argv) {
+  auto positional = Positional(argc, argv);
+  if (positional.empty()) {
+    return DiagError("fuzz requires at least one SEED path (image or object)");
+  }
+  FuzzOptions options;
+  auto rounds = ParseU64Flag(FlagValue(argc, argv, "rounds", ""), 64);
+  if (!rounds.ok()) {
+    return DiagError("--rounds: " + rounds.error().message());
+  }
+  options.rounds = *rounds;
+  auto seed = ParseU64Flag(FlagValue(argc, argv, "seed", ""), 2025);
+  if (!seed.ok()) {
+    return DiagError("--seed: " + seed.error().message());
+  }
+  options.seed = *seed;
+  auto timeout =
+      ParseSecondsFlag(FlagValue(argc, argv, "mutation-timeout", ""), 10.0);
+  if (!timeout.ok()) {
+    return DiagError("--mutation-timeout: " + timeout.error().message());
+  }
+  options.time_budget_ms = static_cast<uint64_t>(*timeout * 1000.0);
+  auto max_ledger = ParseU64Flag(FlagValue(argc, argv, "max-ledger", ""), 10000);
+  if (!max_ledger.ok()) {
+    return DiagError("--max-ledger: " + max_ledger.error().message());
+  }
+  options.max_ledger_entries = static_cast<size_t>(*max_ledger);
+
+  std::vector<FuzzSeed> seeds;
+  for (const std::string& path : positional) {
+    auto bytes = ReadFile(path);
+    if (!bytes.ok()) {
+      return DiagError(bytes.error());
+    }
+    FuzzSeed fuzz_seed;
+    // Basename only: the report must not change with the invocation dir.
+    fuzz_seed.name = path.substr(path.find_last_of('/') + 1);
+    fuzz_seed.bytes = bytes.TakeValue();
+    seeds.push_back(std::move(fuzz_seed));
+  }
+
+  auto campaign = RunFuzzCampaign(std::move(seeds), options);
+  if (!campaign.ok()) {
+    return DiagError(campaign.error());
+  }
+  std::string corpus_dir = FlagValue(argc, argv, "corpus-dir", "");
+  if (!corpus_dir.empty()) {
+    auto written = WriteFuzzCorpus(*campaign, corpus_dir);
+    if (!written.ok()) {
+      return DiagError(written.error());
+    }
+  }
+  if (HasFlag(argc, argv, "json")) {
+    printf("%s", RenderFuzzCampaignJson(*campaign).c_str());
+    return campaign->ExitCode();
+  }
+  printf("fuzz: %llu rounds over %zu seed(s) [%s mode]: %zu coverage tuples, "
+         "corpus %zu (minimized to %zu), %zu oracle disagreements, %zu hangs\n",
+         static_cast<unsigned long long>(campaign->rounds),
+         campaign->seed_names.size(), SeedModeName(campaign->mode),
+         campaign->coverage.size(), campaign->corpus.size(),
+         campaign->minimized.size(), campaign->disagreements.size(),
+         campaign->hangs.size());
+  for (const FuzzKindStats& stats : campaign->kinds) {
+    printf("  %-24s attempts=%-4llu novel=%llu\n", stats.kind.c_str(),
+           static_cast<unsigned long long>(stats.attempts),
+           static_cast<unsigned long long>(stats.novel));
+  }
+  for (const FuzzOracleDisagreement& d : campaign->disagreements) {
+    printf("  ORACLE round=%llu kind=%s fault_seed=%llu: %s\n",
+           static_cast<unsigned long long>(d.round), d.kind.c_str(),
+           static_cast<unsigned long long>(d.fault_seed), d.violation.c_str());
+  }
+  for (const FuzzHang& h : campaign->hangs) {
+    printf("  HANG round=%llu kind=%s fault_seed=%llu: %s\n",
+           static_cast<unsigned long long>(h.round), h.kind.c_str(),
+           static_cast<unsigned long long>(h.fault_seed), h.description.c_str());
+  }
+  return campaign->ExitCode();
 }
 
 // Validates or canonicalizes an observability JSON file. `lint` dispatches
@@ -454,6 +598,14 @@ int CmdMetrics(int argc, char** argv) {
       return DiagError(positional[1], valid.error());
     }
     printf("%s: valid depsurf.analysis.v1\n", positional[1].c_str());
+    return 0;
+  }
+  if (kind == "fuzz") {
+    Status valid = obs::ValidateFuzzCampaignDoc(text);
+    if (!valid.ok()) {
+      return DiagError(positional[1], valid.error());
+    }
+    printf("%s: valid %s\n", positional[1].c_str(), kFuzzCampaignSchema);
     return 0;
   }
   if (kind == "history") {
@@ -1302,10 +1454,15 @@ constexpr char kUsage[] =
     "  dataset build IMG... --out=FILE | dataset info FILE\n"
     "  progs\n"
     "  emit    PROGRAM --out=OBJ\n"
-    "  doctor  IMG [--sweep=N] [--seed=S] [--json]\n"
-    "          (exit 2 when the image needed salvage, 1 when unreadable)\n"
+    "  doctor  IMG [--sweep=N] [--seed=S] [--mutation-timeout=SECS] [--json]\n"
+    "          (exit 2 when the image needed salvage, 1 when unreadable\n"
+    "           or a sweep mutation timed out)\n"
+    "  fuzz    SEED... [--rounds=N] [--seed=S] [--corpus-dir=DIR]\n"
+    "          [--mutation-timeout=SECS] [--max-ledger=N] [--json]\n"
+    "          (coverage-guided campaign; exit 2 on oracle disagreements,\n"
+    "           1 on hangs)\n"
     "  metrics lint FILE [--kind=report|agg|bench|perf|trace|diag|analysis|profile\n"
-    "          |history|trend|profile_diff] [--min-spans=N]\n"
+    "          |history|trend|profile_diff|fuzz] [--min-spans=N]\n"
     "          [--require=a,b,c] [--report=FILE] | metrics canon FILE\n"
     "  report  merge OUT IN... | report flame REPORT.json [--out=FILE]\n"
     "  perf    compare BASE.json HEAD.json [--max-regress=15%] [--noise-floor=S]\n"
@@ -1334,6 +1491,9 @@ int Dispatch(int argc, char** argv, const std::string& command) {
   }
   if (command == "doctor") {
     return CmdDoctor(argc, argv);
+  }
+  if (command == "fuzz") {
+    return CmdFuzz(argc, argv);
   }
   if (command == "diff") {
     return CmdDiff(argc, argv);

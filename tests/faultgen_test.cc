@@ -3,6 +3,7 @@
 // buffer, and degrade gracefully on inputs too small to target precisely.
 #include <gtest/gtest.h>
 
+#include "src/elf/elf_writer.h"
 #include "src/faultgen/fault_injector.h"
 #include "src/util/prng.h"
 
@@ -16,6 +17,42 @@ std::vector<uint8_t> PatternedBuffer(size_t size) {
     bytes[i] = static_cast<uint8_t>(prng.NextU64());
   }
   return bytes;
+}
+
+// A minimal 64-bit LE ELF carrying the sections the structure-aware fault
+// kinds target, with recognizable filler so damage is easy to attribute.
+std::vector<uint8_t> SectionedElf() {
+  ElfWriter writer(ElfIdent{ElfClass::k64, Endian::kLittle, ElfMachine::kX86_64});
+  writer.AddSection(".sdwarf_info", SectionType::kProgbits,
+                    std::vector<uint8_t>(256, 0x7f));
+  std::vector<uint8_t> strtab = {0};
+  for (const char* name : {"alpha", "beta", "gamma"}) {
+    for (const char* p = name; *p != '\0'; ++p) {
+      strtab.push_back(static_cast<uint8_t>(*p));
+    }
+    strtab.push_back(0);
+  }
+  writer.AddSection(".strtab", SectionType::kStrtab, strtab);
+  // A .BTF.ext with header {magic, count=3, strlen=0} and three 20-byte
+  // relocation records (five u32 fields each).
+  std::vector<uint8_t> btf_ext;
+  auto push_u32 = [&btf_ext](uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      btf_ext.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  };
+  push_u32(0xeBF1);
+  push_u32(3);
+  push_u32(0);
+  for (uint32_t r = 0; r < 3; ++r) {
+    push_u32(100 + r);  // type_id
+    push_u32(0);        // kind
+    push_u32(8 * r);    // access_off
+    push_u32(r);        // prog_index
+    push_u32(16 * r);   // insn_off
+  }
+  writer.AddSection(".BTF.ext", SectionType::kProgbits, btf_ext);
+  return writer.Finish().TakeValue();
 }
 
 TEST(FaultGenTest, KindNamesAndRoundRobin) {
@@ -92,6 +129,82 @@ TEST(FaultGenTest, TinyBuffersDegradeGracefully) {
   std::string on_empty = ApplyFault(empty, FaultKind::kByteFlip, 1);
   EXPECT_TRUE(empty.empty());
   EXPECT_NE(on_empty.find("nothing to damage"), std::string::npos);
+}
+
+TEST(FaultGenTest, StructureAwareKindsHitTheirSections) {
+  // On an ELF that carries the target sections, each structure-aware kind
+  // must land inside its section (named in the description) instead of
+  // degrading to a blind flip.
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    std::vector<uint8_t> bytes = SectionedElf();
+    std::string what = ApplyFault(bytes, FaultKind::kLeb128Corrupt, seed);
+    EXPECT_NE(what.find("leb128_corrupt"), std::string::npos) << what;
+    EXPECT_NE(what.find(".sdwarf"), std::string::npos) << what;
+
+    bytes = SectionedElf();
+    what = ApplyFault(bytes, FaultKind::kStringTableSplice, seed);
+    EXPECT_NE(what.find("string_table_splice"), std::string::npos) << what;
+    EXPECT_NE(what.find(".strtab"), std::string::npos) << what;
+
+    bytes = SectionedElf();
+    what = ApplyFault(bytes, FaultKind::kRelocRecordMutation, seed);
+    EXPECT_NE(what.find("reloc_record_mutation"), std::string::npos) << what;
+    EXPECT_NE(what.find("record"), std::string::npos) << what;
+
+    bytes = SectionedElf();
+    what = ApplyFault(bytes, FaultKind::kBtfExtScramble, seed);
+    EXPECT_NE(what.find("btf_ext_scramble"), std::string::npos) << what;
+    EXPECT_NE(what.find("records"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultGenTest, StructureAwareKindsFallBackWithoutTargets) {
+  // A non-ELF buffer has no sections to aim at: every structure-aware kind
+  // must degrade to a byte flip rather than no-op or crash.
+  for (FaultKind kind : {FaultKind::kLeb128Corrupt, FaultKind::kRelocRecordMutation,
+                         FaultKind::kBtfExtScramble, FaultKind::kStringTableSplice}) {
+    std::vector<uint8_t> bytes = PatternedBuffer(512);
+    const std::vector<uint8_t> original = bytes;
+    std::string what = ApplyFault(bytes, kind, 9);
+    EXPECT_NE(what.find("byte_flip"), std::string::npos) << what;
+    EXPECT_NE(bytes, original) << FaultKindName(kind);
+  }
+}
+
+TEST(PoisonSectionHeaderTest, PoisonsNamedSection) {
+  std::vector<uint8_t> bytes = SectionedElf();
+  const std::vector<uint8_t> original = bytes;
+  EXPECT_TRUE(PoisonSectionHeader(bytes, ".sdwarf_info"));
+  EXPECT_NE(bytes, original);
+  EXPECT_EQ(bytes.size(), original.size());  // surgical: header field only
+}
+
+TEST(PoisonSectionHeaderTest, RejectsNonElfInput) {
+  std::vector<uint8_t> bytes = PatternedBuffer(1024);
+  const std::vector<uint8_t> original = bytes;
+  EXPECT_FALSE(PoisonSectionHeader(bytes, ".sdwarf_info"));
+  EXPECT_EQ(bytes, original);  // untouched on failure
+
+  std::vector<uint8_t> tiny = {0x7f, 'E', 'L', 'F'};
+  EXPECT_FALSE(PoisonSectionHeader(tiny, ".sdwarf_info"));
+  EXPECT_EQ(tiny.size(), 4u);
+}
+
+TEST(PoisonSectionHeaderTest, RejectsTruncatedSectionTable) {
+  // Cut the file before the section header table (ElfWriter emits it at
+  // the tail): the walk must fail cleanly and leave the prefix unmodified.
+  std::vector<uint8_t> bytes = SectionedElf();
+  bytes.resize(bytes.size() / 2);
+  const std::vector<uint8_t> original = bytes;
+  EXPECT_FALSE(PoisonSectionHeader(bytes, ".sdwarf_info"));
+  EXPECT_EQ(bytes, original);
+}
+
+TEST(PoisonSectionHeaderTest, RejectsMissingSectionName) {
+  std::vector<uint8_t> bytes = SectionedElf();
+  const std::vector<uint8_t> original = bytes;
+  EXPECT_FALSE(PoisonSectionHeader(bytes, ".no_such_section"));
+  EXPECT_EQ(bytes, original);
 }
 
 TEST(FaultGenTest, ZeroWindowZeroesAWindow) {

@@ -2,9 +2,11 @@
 # End-to-end robustness smoke, registered with ctest as `robustness-smoke`
 # (labeled `robustness`, so it also runs under DEPSURF_SANITIZE builds).
 # Drives `depsurf doctor` over a clean image, a hand-poisoned one, and a
-# seeded fault-injection sweep, then walks the quarantine path of
-# `study build` end to end: --keep-going must finish with the poisoned
-# image quarantined and listed in the aggregate report; --strict must fail.
+# seeded fault-injection sweep, runs a short coverage-guided fuzz campaign
+# (deterministic across reruns, lintable fuzz_campaign.v1 document), then
+# walks the quarantine path of `study build` end to end: --keep-going must
+# finish with the poisoned image quarantined and listed in the aggregate
+# report; --strict must fail.
 set -eu
 
 DEPSURF=${1:?usage: robustness_smoke.sh /path/to/depsurf}
@@ -46,6 +48,34 @@ set -e
 grep -q "0 crashes" sweep1.txt || fail "sweep summary missing"
 "$DEPSURF" doctor img --sweep=64 --seed=11 > sweep2.txt || fail "sweep rerun exited $?"
 cmp -s sweep1.txt sweep2.txt || fail "sweep is not deterministic"
+
+# ---- malformed sweep flags must exit 1 and name the offending flag.
+set +e
+"$DEPSURF" doctor img --sweep=abc 2> badsweep.err
+code=$?
+set -e
+[ "$code" -eq 1 ] || fail "doctor --sweep=abc exited $code, want 1"
+grep -q -- "--sweep" badsweep.err || fail "sweep flag error does not name --sweep"
+set +e
+"$DEPSURF" doctor img --sweep=8 --seed=-3 2> badseed.err
+code=$?
+set -e
+[ "$code" -eq 1 ] || fail "doctor --seed=-3 exited $code, want 1"
+grep -q -- "--seed" badseed.err || fail "seed flag error does not name --seed"
+
+# ---- short fuzz campaign: deterministic across reruns (identical JSON and
+# corpus bytes), lintable document, and a minimized corpus on disk.
+"$DEPSURF" fuzz img --rounds=24 --seed=7 --corpus-dir=corpus1 --json > fuzz1.json \
+  || fail "fuzz campaign exited $?"
+"$DEPSURF" fuzz img --rounds=24 --seed=7 --corpus-dir=corpus2 --json > fuzz2.json \
+  || fail "fuzz campaign rerun exited $?"
+cmp -s fuzz1.json fuzz2.json || fail "fuzz campaign is not deterministic"
+for f in corpus1/*; do
+  cmp -s "$f" "corpus2/$(basename "$f")" || fail "corpus file $(basename "$f") differs across reruns"
+done
+"$DEPSURF" metrics lint fuzz1.json --kind=fuzz || fail "fuzz campaign doc invalid"
+"$DEPSURF" metrics lint corpus1/campaign.json --kind=fuzz || fail "corpus campaign.json invalid"
+ls corpus1/fuzz_0000_seed.bin > /dev/null || fail "corpus is missing the seed entry"
 
 # ---- study build --keep-going with one poisoned image: completes, the
 # poisoned image is quarantined, and the aggregate lists its fatal entry.
