@@ -14,8 +14,10 @@
 
 #include "src/analyzer/analyzer.h"
 #include "src/bpfgen/program_corpus.h"
+#include "src/core/dataset_io.h"
 #include "src/obs/bench_report.h"
 #include "src/obs/profile.h"
+#include "src/serve/serve.h"
 #include "src/study/study.h"
 #include "src/util/str_util.h"
 
@@ -26,10 +28,13 @@ namespace {
 double g_scale = 0.1;
 
 // Console reporter that additionally folds every benchmark run into the
-// shared BENCH_perf.json report (per-run wall time + iteration count).
+// shared BENCH_perf.json report (per-run wall time + iteration count). The
+// serve benchmarks are mirrored into BENCH_serve.json as well, so the
+// cached-hit vs v1-reparse ratio can be asserted from one document.
 class JsonTeeReporter : public benchmark::ConsoleReporter {
  public:
-  explicit JsonTeeReporter(obs::BenchReporter* bench) : bench_(bench) {}
+  JsonTeeReporter(obs::BenchReporter* bench, obs::BenchReporter* serve)
+      : bench_(bench), serve_(serve) {}
 
   void ReportRuns(const std::vector<Run>& runs) override {
     for (const Run& run : runs) {
@@ -38,12 +43,17 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
       stage.seconds = run.real_accumulated_time;
       stage.items = static_cast<uint64_t>(run.iterations);
       bench_->AddStage(stage);
+      if (stage.name.rfind("BM_Serve", 0) == 0 ||
+          stage.name.rfind("BM_CheckV1Reparse", 0) == 0) {
+        serve_->AddStage(stage);
+      }
     }
     ConsoleReporter::ReportRuns(runs);
   }
 
  private:
   obs::BenchReporter* bench_;
+  obs::BenchReporter* serve_;
 };
 
 Study& SharedStudy() {
@@ -204,6 +214,100 @@ void BM_AnalyzeCorpus(benchmark::State& state) {
 }
 BENCHMARK(BM_AnalyzeCorpus)->Unit(benchmark::kMillisecond);
 
+// ---- dataset-as-a-service: cached-hit answering vs cold mmap open vs the
+// old one-parse-per-query v1 path. The gate asserts the cached engine is at
+// least 10x faster per query than re-parsing the v1 dataset every time.
+
+struct ServeCorpus {
+  std::string v1_path;
+  std::string v2_path;
+  std::vector<uint8_t> v1_bytes;
+  DependencySet deps;
+};
+
+const ServeCorpus& SharedServeCorpus() {
+  static const ServeCorpus corpus = [] {
+    static const ScratchReportDir scratch;
+    Dataset dataset;
+    for (KernelVersion version : kLtsVersions) {
+      auto surface = DependencySurface::Extract(ImageBytes(version));
+      dataset.AddImage(version.Tag(), *surface);
+    }
+    ServeCorpus out;
+    out.v1_bytes = SaveDataset(dataset);
+    std::vector<uint8_t> v2 = SaveDatasetV2(dataset);
+    out.v1_path = scratch.path + "/serve_v1.dds";
+    out.v2_path = scratch.path + "/serve_v2.dds";
+    for (const auto& [path, bytes] :
+         {std::pair<std::string, const std::vector<uint8_t>*>{out.v1_path, &out.v1_bytes},
+          {out.v2_path, &v2}}) {
+      std::ofstream file(path, std::ios::binary);
+      file.write(reinterpret_cast<const char*>(bytes->data()),
+                 static_cast<std::streamsize>(bytes->size()));
+    }
+    auto programs = BuildProgramCorpus();
+    for (const BpfObject& object : programs.objects) {
+      if (object.name == "biotop") {
+        out.deps = *ExtractDependencySet(object);
+      }
+    }
+    return out;
+  }();
+  return corpus;
+}
+
+constexpr char kServeQueryLine[] =
+    "{\"id\": 1, \"program\": \"biotop\", \"funcs\": [\"vfs_read\", \"blk_account_io_start\"],"
+    " \"fields\": {\"request\": {\"rq_disk\": {\"type\": \"struct gendisk *\","
+    " \"guarded\": false}}}, \"tracepoints\": [\"block_rq_issue\"],"
+    " \"syscalls\": [\"openat\"]}";
+
+// Steady-state serving: the engine is open, the result is in the admission
+// cache, every batch is a pure hit.
+void BM_ServeQueriesCached(benchmark::State& state) {
+  static ServeEngine engine = [] {
+    auto opened = ServeEngine::Open({SharedServeCorpus().v2_path}, ServeOptions{});
+    if (!opened.ok()) {
+      fprintf(stderr, "serve open failed: %s\n", opened.error().ToString().c_str());
+      abort();
+    }
+    ServeEngine result = opened.TakeValue();
+    result.HandleBatch({kServeQueryLine});  // pre-warm: admit the result
+    return result;
+  }();
+  const std::vector<std::string> lines = {kServeQueryLine};
+  for (auto _ : state) {
+    auto responses = engine.HandleBatch(lines);
+    benchmark::DoNotOptimize(responses.size());
+  }
+}
+BENCHMARK(BM_ServeQueriesCached)->Unit(benchmark::kMicrosecond);
+
+// Worst case: a fresh mmap open plus one uncached query per iteration.
+// The v2 layout keeps this cheap — open touches only the header/section
+// table pages, the query only the index pages binary search walks.
+void BM_ServeQueriesColdMmap(benchmark::State& state) {
+  const std::string path = SharedServeCorpus().v2_path;
+  for (auto _ : state) {
+    auto engine = ServeEngine::Open({path}, ServeOptions{});
+    auto responses = engine->HandleBatch({kServeQueryLine});
+    benchmark::DoNotOptimize(responses.size());
+  }
+}
+BENCHMARK(BM_ServeQueriesColdMmap)->Unit(benchmark::kMicrosecond);
+
+// The path `serve` replaces: parse the whole v1 dataset, answer one query,
+// throw the parse away.
+void BM_CheckV1ReparsePerQuery(benchmark::State& state) {
+  const ServeCorpus& corpus = SharedServeCorpus();
+  for (auto _ : state) {
+    auto dataset = LoadDataset(corpus.v1_bytes);
+    ProgramReport report = AnalyzeProgram(*dataset, corpus.deps);
+    benchmark::DoNotOptimize(report.AnyMismatch());
+  }
+}
+BENCHMARK(BM_CheckV1ReparsePerQuery)->Unit(benchmark::kMicrosecond);
+
 void BM_DatasetQuery(benchmark::State& state) {
   static Dataset dataset = [] {
     Dataset d;
@@ -231,7 +335,9 @@ int main(int argc, char** argv) {
          g_scale);
   obs::BenchReporter bench("perf");
   bench.AddNote("scale", StrFormat("%.2f", g_scale));
-  JsonTeeReporter reporter(&bench);
+  obs::BenchReporter serve_bench("serve");
+  serve_bench.AddNote("scale", StrFormat("%.2f", g_scale));
+  JsonTeeReporter reporter(&bench, &serve_bench);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   return 0;

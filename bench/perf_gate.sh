@@ -53,6 +53,32 @@ done
 grep -q 'BM_AnalyzeCorpus' base/BENCH_perf.json \
   || fail "BENCH_perf.json is missing the BM_AnalyzeCorpus stage"
 
+# ---- the serve benchmarks are part of the gated suite too, and are
+# mirrored into BENCH_serve.json for the ratio check below.
+grep -q 'BM_ServeQueries' base/BENCH_perf.json \
+  || fail "BENCH_perf.json is missing the BM_ServeQueries stages"
+[ -f base/BENCH_serve.json ] || fail "bench_perf wrote no BENCH_serve.json"
+
+# ---- dataset-as-a-service contract: answering a cached query must be at
+# least 10x faster than the old load-the-whole-v1-dataset-per-query path.
+awk '
+  /"name": "BM_ServeQueriesCached"/   { cached = $0 }
+  /"name": "BM_CheckV1ReparsePerQuery"/ { reparse = $0 }
+  function per_item(line,   s, n) {
+    match(line, /"seconds": [0-9.]+/); s = substr(line, RSTART + 11, RLENGTH - 11)
+    match(line, /"items": [0-9]+/);    n = substr(line, RSTART + 9, RLENGTH - 9)
+    return n > 0 ? s / n : -1
+  }
+  END {
+    if (cached == "" || reparse == "") { print "missing serve stages"; exit 1 }
+    c = per_item(cached); r = per_item(reparse)
+    if (c <= 0 || r <= 0) { print "bad serve stage timings"; exit 1 }
+    ratio = r / c
+    printf "serve cached-hit speedup over v1 reparse: %.1fx\n", ratio
+    if (ratio < 10) { print "cached serve is not 10x faster than v1 reparse"; exit 1 }
+  }
+' base/BENCH_serve.json || fail "serve cached-vs-reparse ratio check failed"
+
 # ---- identical inputs never trip the gate.
 "$DEPSURF" perf compare base/BENCH_perf.json base/BENCH_perf.json \
   || fail "identical inputs tripped the gate ($?)"

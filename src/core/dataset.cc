@@ -10,6 +10,8 @@
 
 namespace depsurf {
 
+DatasetView::~DatasetView() = default;
+
 const char* MismatchKindName(MismatchKind kind) {
   switch (kind) {
     case MismatchKind::kAbsent:
@@ -331,38 +333,54 @@ std::vector<std::set<MismatchKind>> Dataset::CheckSyscall(const std::string& nam
   return out;
 }
 
-const std::string* Dataset::FuncDeclAt(const std::string& name, size_t image_index) const {
+std::optional<std::string_view> Dataset::FuncDeclAt(const std::string& name,
+                                                    size_t image_index) const {
   if (image_index >= images_.size()) {
-    return nullptr;
+    return std::nullopt;
   }
   StrId id = Lookup(name);
   if (id == kNoStr) {
-    return nullptr;
+    return std::nullopt;
   }
   auto it = images_[image_index].funcs.find(id);
   if (it == images_[image_index].funcs.end() || it->second.decl == kNoStr) {
-    return nullptr;
+    return std::nullopt;
   }
-  return &pool_[it->second.decl];
+  return std::string_view(pool_[it->second.decl]);
 }
 
-const std::string* Dataset::FieldTypeAt(const std::string& struct_name,
-                                        const std::string& field_name,
-                                        size_t image_index) const {
+std::optional<std::string_view> Dataset::FieldTypeAt(const std::string& struct_name,
+                                                     const std::string& field_name,
+                                                     size_t image_index) const {
   if (image_index >= images_.size()) {
-    return nullptr;
+    return std::nullopt;
   }
   StrId sid = Lookup(struct_name);
   StrId fid = Lookup(field_name);
   if (sid == kNoStr || fid == kNoStr) {
-    return nullptr;
+    return std::nullopt;
   }
   auto it = images_[image_index].structs.find(sid);
   if (it == images_[image_index].structs.end()) {
-    return nullptr;
+    return std::nullopt;
   }
   const StrId* type = it->second.FindField(fid);
-  return type == nullptr ? nullptr : &pool_[*type];
+  if (type == nullptr) {
+    return std::nullopt;
+  }
+  return std::string_view(pool_[*type]);
+}
+
+SurfaceMeta Dataset::MetaAt(size_t image_index) const {
+  return image_index < images_.size() ? images_[image_index].meta : SurfaceMeta{};
+}
+
+std::string Dataset::HealthSummaryAt(size_t image_index) const {
+  return image_index < images_.size() ? images_[image_index].health.Summary() : std::string("clean");
+}
+
+bool Dataset::AnyDegradedAt(size_t image_index) const {
+  return image_index < images_.size() && images_[image_index].AnyDegraded();
 }
 
 std::vector<std::set<MismatchKind>> Dataset::CheckRegisters() const {

@@ -12,32 +12,17 @@
 #define DEPSURF_SRC_CORE_DATASET_H_
 
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/dataset_view.h"
 #include "src/core/dependency_surface.h"
 
 namespace depsurf {
-
-// Everything that can go wrong for one dependency on one image.
-enum class MismatchKind : uint8_t {
-  kAbsent,           // Ø  construct not on the surface
-  kChanged,          // Δ  definition differs (vs baseline or expectation)
-  kFullInline,       // F
-  kSelectiveInline,  // S
-  kTransformed,      // T
-  kDuplicated,       // D
-  kCollision,        // C (the paper's "name collision")
-  kNotTraceable,     // 32-bit syscall blind spot
-};
-
-const char* MismatchKindName(MismatchKind kind);
-// One-letter code used in report matrices (Ø rendered as '-').
-char MismatchKindCode(MismatchKind kind);
-
-using StrId = uint32_t;
 
 struct FuncRecord {
   FunctionStatus status;
@@ -76,36 +61,41 @@ struct ImageRecord {
   bool AnyDegraded() const { return health.AnyDegraded(); }
 };
 
-class Dataset {
+class Dataset : public DatasetView {
  public:
   // Distills one surface; images are queried in insertion order.
   void AddImage(const std::string& label, const DependencySurface& surface);
 
-  size_t num_images() const { return images_.size(); }
+  size_t num_images() const override { return images_.size(); }
   const std::vector<ImageRecord>& images() const { return images_; }
-  std::vector<std::string> labels() const;
+  std::vector<std::string> labels() const override;
+  SurfaceMeta MetaAt(size_t image_index) const override;
+  std::string HealthSummaryAt(size_t image_index) const override;
+  bool AnyDegradedAt(size_t image_index) const override;
 
   // All queries return one mismatch set per image, in insertion order.
   // Baselines (for Changed) are the construct's definition on the earliest
   // image where it is present.
-  std::vector<std::set<MismatchKind>> CheckFunc(const std::string& name) const;
-  std::vector<std::set<MismatchKind>> CheckStruct(const std::string& name) const;
+  std::vector<std::set<MismatchKind>> CheckFunc(const std::string& name) const override;
+  std::vector<std::set<MismatchKind>> CheckStruct(const std::string& name) const override;
   // `expected_type` is the program-side expectation (empty: fall back to
   // the baseline image's type). Guarded accesses never report kAbsent.
   std::vector<std::set<MismatchKind>> CheckField(const std::string& struct_name,
                                                  const std::string& field_name,
                                                  const std::string& expected_type,
-                                                 bool guarded) const;
-  std::vector<std::set<MismatchKind>> CheckTracepoint(const std::string& event) const;
-  std::vector<std::set<MismatchKind>> CheckSyscall(const std::string& name) const;
+                                                 bool guarded) const override;
+  std::vector<std::set<MismatchKind>> CheckTracepoint(const std::string& event) const override;
+  std::vector<std::set<MismatchKind>> CheckSyscall(const std::string& name) const override;
   // Register-layout mismatch vs the first image (Table 5's "Register Δ").
-  std::vector<std::set<MismatchKind>> CheckRegisters() const;
+  std::vector<std::set<MismatchKind>> CheckRegisters() const override;
 
-  // Rendered function declaration on one image; nullptr when absent there.
-  const std::string* FuncDeclAt(const std::string& name, size_t image_index) const;
-  // Field type string on one image; nullptr when absent.
-  const std::string* FieldTypeAt(const std::string& struct_name, const std::string& field_name,
-                                 size_t image_index) const;
+  // Rendered function declaration on one image; nullopt when absent there.
+  std::optional<std::string_view> FuncDeclAt(const std::string& name,
+                                             size_t image_index) const override;
+  // Field type string on one image; nullopt when absent.
+  std::optional<std::string_view> FieldTypeAt(const std::string& struct_name,
+                                              const std::string& field_name,
+                                              size_t image_index) const override;
 
   // Appends a pre-built record (deserialization path; see dataset_io.h).
   // String ids inside the record must already be interned in this dataset.

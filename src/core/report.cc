@@ -1,6 +1,8 @@
 #include "src/core/report.h"
 
 #include <algorithm>
+#include <optional>
+#include <string_view>
 
 #include "src/obs/context.h"
 #include "src/obs/metrics.h"
@@ -176,7 +178,9 @@ void Tally(CategoryCounts& counts, const ReportRow& row) {
   counts.collided += collided ? 1 : 0;
 }
 
-std::string CellString(const std::set<MismatchKind>& cell) {
+}  // namespace
+
+std::string MismatchCellString(const std::set<MismatchKind>& cell) {
   if (cell.empty()) {
     return ".";
   }
@@ -189,8 +193,6 @@ std::string CellString(const std::set<MismatchKind>& cell) {
   }
   return out;
 }
-
-}  // namespace
 
 std::string ProgramReport::RenderMatrix() const {
   // Column headers: version tags when available, else indexes.
@@ -213,7 +215,7 @@ std::string ProgramReport::RenderMatrix() const {
     label.resize(name_width, ' ');
     out += label;
     for (const auto& cell : row.cells) {
-      std::string code = CellString(cell);
+      std::string code = MismatchCellString(cell);
       out += StrFormat("%4s", code.c_str());
     }
     out += "\n";
@@ -258,7 +260,7 @@ Implication ProgramReport::WorstImplication() const {
   return worst;
 }
 
-std::string ExplainReport(const Dataset& dataset, const ProgramReport& report) {
+std::string ExplainReport(const DatasetView& dataset, const ProgramReport& report) {
   std::string out;
   // Conclusions resting on salvaged surfaces get a caveat up front: an
   // "absent" verdict on an image whose DWARF was skipped may just mean the
@@ -291,22 +293,23 @@ std::string ExplainReport(const Dataset& dataset, const ProgramReport& report) {
     // first image's arch/flavor; foreign-arch images would read as
     // spurious back-in-time changes.
     auto same_series = [&](size_t i) {
-      const SurfaceMeta& a = dataset.images()[i].meta;
-      const SurfaceMeta& b = dataset.images()[0].meta;
+      SurfaceMeta a = dataset.MetaAt(i);
+      SurfaceMeta b = dataset.MetaAt(0);
       return a.arch == b.arch && a.flavor == b.flavor;
     };
     if (row.kind == DepKind::kFunc) {
-      const std::string* prev = nullptr;
+      std::optional<std::string_view> prev;
       for (size_t i = 0; i < row.cells.size(); ++i) {
         if (!same_series(i)) {
           continue;
         }
-        const std::string* decl = dataset.FuncDeclAt(row.name, i);
-        if (decl != nullptr && prev != nullptr && *decl != *prev) {
-          out += StrFormat("    changed at %s:\n      was: %s\n      now: %s\n",
-                           report.image_labels[i].c_str(), prev->c_str(), decl->c_str());
+        std::optional<std::string_view> decl = dataset.FuncDeclAt(row.name, i);
+        if (decl.has_value() && prev.has_value() && *decl != *prev) {
+          out += StrFormat("    changed at %s:\n      was: %.*s\n      now: %.*s\n",
+                           report.image_labels[i].c_str(), static_cast<int>(prev->size()),
+                           prev->data(), static_cast<int>(decl->size()), decl->data());
         }
-        if (decl != nullptr) {
+        if (decl.has_value()) {
           prev = decl;
         }
       }
@@ -316,17 +319,18 @@ std::string ExplainReport(const Dataset& dataset, const ProgramReport& report) {
       if (sep != std::string::npos) {
         std::string struct_name = row.name.substr(0, sep);
         std::string field_name = row.name.substr(sep + 2);
-        const std::string* prev = nullptr;
+        std::optional<std::string_view> prev;
         for (size_t i = 0; i < row.cells.size(); ++i) {
           if (!same_series(i)) {
             continue;
           }
-          const std::string* type = dataset.FieldTypeAt(struct_name, field_name, i);
-          if (type != nullptr && prev != nullptr && *type != *prev) {
-            out += StrFormat("    type changed at %s: %s -> %s\n",
-                             report.image_labels[i].c_str(), prev->c_str(), type->c_str());
+          std::optional<std::string_view> type = dataset.FieldTypeAt(struct_name, field_name, i);
+          if (type.has_value() && prev.has_value() && *type != *prev) {
+            out += StrFormat("    type changed at %s: %.*s -> %.*s\n",
+                             report.image_labels[i].c_str(), static_cast<int>(prev->size()),
+                             prev->data(), static_cast<int>(type->size()), type->data());
           }
-          if (type != nullptr) {
+          if (type.has_value()) {
             prev = type;
           }
         }
@@ -342,15 +346,15 @@ std::string ExplainReport(const Dataset& dataset, const ProgramReport& report) {
   return out;
 }
 
-ProgramReport AnalyzeProgram(const Dataset& dataset, const DependencySet& deps) {
+ProgramReport AnalyzeProgram(const DatasetView& dataset, const DependencySet& deps) {
   obs::ScopedSpan span("analyze.program");
   span.AddAttr("program", deps.program);
   span.AddAttr("images", static_cast<uint64_t>(dataset.num_images()));
   ProgramReport report;
   report.program = deps.program;
   report.image_labels = dataset.labels();
-  for (const ImageRecord& image : dataset.images()) {
-    report.image_health.push_back(image.health.Summary());
+  for (size_t i = 0; i < dataset.num_images(); ++i) {
+    report.image_health.push_back(dataset.HealthSummaryAt(i));
   }
 
   for (const std::string& func : deps.funcs) {

@@ -94,7 +94,13 @@ struct ProgramReport {
   Implication WorstImplication() const;
 };
 
-ProgramReport AnalyzeProgram(const Dataset& dataset, const DependencySet& deps);
+// Compact cell code used in report matrices and serve responses: "." for a
+// clean cell, "-" when absence dominates, else concatenated mismatch codes.
+std::string MismatchCellString(const std::set<MismatchKind>& cell);
+
+// Analysis runs against the read-side view so both a fully parsed `Dataset`
+// and a zero-copy `MmapDataset` can serve as the corpus.
+ProgramReport AnalyzeProgram(const DatasetView& dataset, const DependencySet& deps);
 
 // Human-readable diagnosis of every mismatching dependency, with rendered
 // declarations pulled from the dataset, e.g.
@@ -103,7 +109,7 @@ ProgramReport AnalyzeProgram(const Dataset& dataset, const DependencySet& deps);
 //       was: void blk_account_io_start(struct request *rq, bool new_io)
 //       now: void blk_account_io_start(struct request *rq)
 //     fully inlined from v5.19-... -> attachment error
-std::string ExplainReport(const Dataset& dataset, const ProgramReport& report);
+std::string ExplainReport(const DatasetView& dataset, const ProgramReport& report);
 
 }  // namespace depsurf
 

@@ -948,6 +948,90 @@ Status ValidateFuzzCampaignDoc(std::string_view json) {
   return Status::Ok();
 }
 
+Status ValidateServeReportDoc(std::string_view json) {
+  auto parsed = ParseJson(json);
+  if (!parsed.ok()) {
+    return parsed.TakeError();
+  }
+  const JsonValue& doc = *parsed;
+  // Mirrors kServeReportSchema (src/serve/serve.h); obs cannot depend on
+  // the serve layer, so the marker is checked by value.
+  constexpr char kWantSchema[] = "depsurf.serve_report.v1";
+  const JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::kString ||
+      schema->string != kWantSchema) {
+    return Status(ErrorCode::kMalformedData,
+                  StrFormat("missing or wrong schema marker (want %s)", kWantSchema));
+  }
+  const JsonValue* jobs = doc.Find("jobs");
+  if (jobs == nullptr || jobs->kind != JsonValue::Kind::kNumber || jobs->number < 0) {
+    return Status(ErrorCode::kMalformedData, "\"jobs\" is not a nonnegative number");
+  }
+  const JsonValue* datasets = doc.Find("datasets");
+  if (datasets == nullptr || datasets->kind != JsonValue::Kind::kArray ||
+      datasets->array.empty()) {
+    return Status(ErrorCode::kMalformedData, "missing or empty \"datasets\" array");
+  }
+  for (size_t i = 0; i < datasets->array.size(); ++i) {
+    const JsonValue& entry = datasets->array[i];
+    const JsonValue* path = entry.Find("path");
+    if (path == nullptr || path->kind != JsonValue::Kind::kString) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("datasets[%zu].path is not a string", i));
+    }
+    const JsonValue* format = entry.Find("format");
+    if (format == nullptr || format->kind != JsonValue::Kind::kString ||
+        (format->string != "v1" && format->string != "v2")) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("datasets[%zu].format is not \"v1\" or \"v2\"", i));
+    }
+    const JsonValue* images = entry.Find("images");
+    if (images == nullptr || images->kind != JsonValue::Kind::kNumber ||
+        images->number < 0) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("datasets[%zu].images is not a count", i));
+    }
+  }
+  const JsonValue* requests = doc.Find("requests");
+  const JsonValue* ok = doc.Find("ok");
+  const JsonValue* errors = doc.Find("errors");
+  for (const auto& [name, member] :
+       {std::pair<const char*, const JsonValue*>{"requests", requests},
+        {"ok", ok},
+        {"errors", errors}}) {
+    if (member == nullptr || member->kind != JsonValue::Kind::kNumber ||
+        member->number < 0) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("\"%s\" is not a nonnegative number", name));
+    }
+  }
+  if (ok->number + errors->number != requests->number) {
+    return Status(ErrorCode::kMalformedData, "ok + errors != requests");
+  }
+  const JsonValue* cache = doc.Find("cache");
+  if (cache == nullptr || cache->kind != JsonValue::Kind::kObject) {
+    return Status(ErrorCode::kMalformedData, "missing \"cache\" object");
+  }
+  for (const char* key : {"hits", "misses", "entries", "capacity"}) {
+    const JsonValue* member = cache->Find(key);
+    if (member == nullptr || member->kind != JsonValue::Kind::kNumber ||
+        member->number < 0) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("cache.%s is not a nonnegative number", key));
+    }
+  }
+  if (cache->Find("hits")->number + cache->Find("misses")->number != ok->number) {
+    return Status(ErrorCode::kMalformedData, "cache hits + misses != ok responses");
+  }
+  if (cache->Find("entries")->number > cache->Find("misses")->number) {
+    return Status(ErrorCode::kMalformedData, "cache entries exceed recorded misses");
+  }
+  if (cache->Find("entries")->number > cache->Find("capacity")->number) {
+    return Status(ErrorCode::kMalformedData, "cache entries exceed the capacity");
+  }
+  return Status::Ok();
+}
+
 std::string CanonicalMaskedJson(const JsonValue& value) {
   const JsonValue* schema = value.Find("schema");
   if (schema != nullptr && schema->kind == JsonValue::Kind::kString &&

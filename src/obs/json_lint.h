@@ -75,6 +75,14 @@ Status ValidateAnalysisDoc(std::string_view json);
 // The schema is defined by the fuzz layer; structure only is checked here.
 Status ValidateFuzzCampaignDoc(std::string_view json);
 
+// Validates a depsurf.serve_report.v1 document (`depsurf serve
+// --report-out`): schema marker, a nonnegative "jobs" number, a non-empty
+// "datasets" array ({path, format v1|v2, images >= 0} each), request
+// counters with ok + errors == requests, and a "cache" block whose
+// hits + misses == ok, entries <= misses, entries <= capacity. The schema
+// is defined by the serve layer; structure only is checked here.
+Status ValidateServeReportDoc(std::string_view json);
+
 // Non-fatal lint notes for a parsed run report or aggregate. Currently
 // flags deprecated gauge names (renamed in later schema revisions but
 // still valid in old documents) with their modern replacement. Returns

@@ -1,6 +1,9 @@
 #include "src/study/study.h"
 
+#include <cerrno>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
@@ -129,21 +132,48 @@ Status WriteFileBytes(const std::string& path, const std::string& contents) {
 
 }  // namespace
 
-StudyOptions StudyOptions::FromArgs(int argc, char** argv, double default_scale) {
+Result<StudyOptions> StudyOptions::Parse(int argc, char** argv, double default_scale) {
   StudyOptions options;
   options.scale = default_scale;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (strncmp(arg, "--scale=", 8) == 0) {
-      options.scale = atof(arg + 8);
+      const char* text = arg + 8;
+      char* end = nullptr;
+      errno = 0;
+      double value = strtod(text, &end);
+      if (*text == '\0' || end == nullptr || *end != '\0' || errno == ERANGE ||
+          !std::isfinite(value)) {
+        return Error(ErrorCode::kInvalidArgument,
+                     StrFormat("--scale: \"%s\" is not a number", text));
+      }
+      if (value <= 0.0 || value > 4.0) {
+        return Error(ErrorCode::kInvalidArgument,
+                     StrFormat("--scale: %s is outside (0, 4]", text));
+      }
+      options.scale = value;
     } else if (strncmp(arg, "--seed=", 7) == 0) {
-      options.seed = strtoull(arg + 7, nullptr, 10);
+      const char* text = arg + 7;
+      char* end = nullptr;
+      errno = 0;
+      unsigned long long value = strtoull(text, &end, 10);
+      if (*text == '\0' || *text == '-' || end == nullptr || *end != '\0' || errno == ERANGE) {
+        return Error(ErrorCode::kInvalidArgument,
+                     StrFormat("--seed: \"%s\" is not an unsigned integer", text));
+      }
+      options.seed = value;
     }
   }
-  if (options.scale <= 0.0 || options.scale > 4.0) {
-    options.scale = default_scale;
-  }
   return options;
+}
+
+StudyOptions StudyOptions::FromArgs(int argc, char** argv, double default_scale) {
+  Result<StudyOptions> options = Parse(argc, argv, default_scale);
+  if (!options.ok()) {
+    std::fprintf(stderr, "depsurf: error: %s\n", options.error().message().c_str());
+    std::exit(1);
+  }
+  return options.TakeValue();
 }
 
 Study::Study(const StudyOptions& options)

@@ -24,6 +24,13 @@ struct StudyOptions {
   uint64_t seed = 2025;
   double scale = 1.0;
 
+  // Strict flag parsing: `--scale=` must be a finite number in (0, 4] and
+  // `--seed=` a full unsigned integer; anything else is an error naming the
+  // offending flag. Unrecognized arguments are ignored (callers own their
+  // other flags).
+  static Result<StudyOptions> Parse(int argc, char** argv, double default_scale = 1.0);
+  // Convenience wrapper for benches/examples: prints the parse error to
+  // stderr and exits 1 instead of propagating it.
   static StudyOptions FromArgs(int argc, char** argv, double default_scale = 1.0);
 };
 

@@ -19,6 +19,8 @@
 //                                                 differential profile attribution
 //   depsurf profile REPORT.json | --live          self-profile: self-time, critical path
 //   depsurf study   build [--versions=..]         build a dataset corpus, with reports
+//   depsurf serve   --against=DS[,DS] --oneshot   batched NDJSON dependency queries
+//   depsurf dataset migrate IN OUT                convert a .dds to the v2 mmap layout
 //
 // Every command accepts --metrics-out=FILE (write a depsurf.run_report.v1
 // JSON document on exit), --trace-out=FILE (write a Chrome/Perfetto
@@ -28,6 +30,10 @@
 // Images and objects are ordinary files; `gen`/`emit` exist because this
 // reproduction generates its corpus instead of downloading Ubuntu dbgsym
 // packages (see DESIGN.md).
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <cerrno>
 #include <chrono>
 #include <cmath>
@@ -35,6 +41,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 
 #include "src/analyzer/analyzer.h"
 #include "src/bpf/core_reloc_engine.h"
@@ -54,6 +61,7 @@
 #include "src/obs/report_merge.h"
 #include "src/obs/run_report.h"
 #include "src/obs/trace_export.h"
+#include "src/serve/serve.h"
 #include "src/study/study.h"
 #include "src/util/str_util.h"
 
@@ -131,6 +139,20 @@ Result<uint64_t> ParseU64Flag(const std::string& text, uint64_t fallback) {
   return static_cast<uint64_t>(value);
 }
 
+// --jobs=N executor-window width: 0 (auto) through 256, strictly parsed.
+// The old atoi path read "--jobs=abc" as 0 and silently went auto-wide.
+Result<int> ParseJobsFlag(const std::string& text) {
+  auto value = ParseU64Flag(text, 0);
+  if (!value.ok()) {
+    return value.TakeError();
+  }
+  if (*value > 256) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "\"" + text + "\" is out of range (0 = auto, max 256)");
+  }
+  return static_cast<int>(*value);
+}
+
 Result<double> ParseSecondsFlag(const std::string& text, double fallback);
 
 // Parses --arch/--flavor flags into enums; false on an unknown name.
@@ -168,7 +190,11 @@ int CmdGen(int argc, char** argv) {
   if (!ParseArchFlavor(argc, argv, &arch, &flavor)) {
     return DiagError("unknown --arch or --flavor");
   }
-  Study study(StudyOptions::FromArgs(argc, argv, /*default_scale=*/1.0));
+  auto options = StudyOptions::Parse(argc, argv, /*default_scale=*/1.0);
+  if (!options.ok()) {
+    return DiagError(options.error());
+  }
+  Study study(options.TakeValue());
   auto bytes = study.BuildImage(MakeBuild(*version, arch, flavor));
   if (!bytes.ok()) {
     return DiagError(bytes.error().ToString());
@@ -528,7 +554,11 @@ int CmdMetrics(int argc, char** argv) {
   }
   std::string kind = FlagValue(argc, argv, "kind", "report");
   if (kind == "report") {
-    size_t min_spans = strtoull(FlagValue(argc, argv, "min-spans", "0").c_str(), nullptr, 10);
+    auto min_spans_flag = ParseU64Flag(FlagValue(argc, argv, "min-spans", ""), 0);
+    if (!min_spans_flag.ok()) {
+      return DiagError("--min-spans: " + min_spans_flag.error().message());
+    }
+    size_t min_spans = static_cast<size_t>(*min_spans_flag);
     std::vector<std::string> required;
     for (const std::string& name : SplitString(FlagValue(argc, argv, "require", ""), ',')) {
       if (!name.empty()) {
@@ -634,6 +664,14 @@ int CmdMetrics(int argc, char** argv) {
     printf("%s: valid %s\n", positional[1].c_str(), obs::kProfileDiffSchema);
     return 0;
   }
+  if (kind == "serve") {
+    Status valid = obs::ValidateServeReportDoc(text);
+    if (!valid.ok()) {
+      return DiagError(positional[1], valid.error());
+    }
+    printf("%s: valid depsurf.serve_report.v1\n", positional[1].c_str());
+    return 0;
+  }
   if (kind == "trace") {
     auto json = obs::ParseJson(text);
     if (!json.ok()) {
@@ -662,7 +700,7 @@ int CmdMetrics(int argc, char** argv) {
   }
   return DiagError("unknown --kind=" + kind +
                    " (valid kinds: report|agg|bench|perf|trace|diag|analysis|profile|"
-                   "history|trend|profile_diff)");
+                   "history|trend|profile_diff|serve)");
 }
 
 // Merges run reports (per-image documents from a study build, or prior
@@ -907,12 +945,22 @@ int CmdPerfTrend(int argc, char** argv) {
   if (history_path.empty()) {
     return DiagError("perf trend requires --history=FILE");
   }
+  obs::TrendOptions options;
+  // A zero window would mean "baseline over no runs" — reject it along with
+  // anything the old unvalidated strtoull silently read as 0. Flags are
+  // checked before the history loads so the error names the flag.
+  auto window = ParseU64Flag(FlagValue(argc, argv, "window", ""), 8);
+  if (!window.ok()) {
+    return DiagError("--window: " + window.error().message());
+  }
+  if (*window == 0) {
+    return DiagError("--window: must be at least 1");
+  }
+  options.window = static_cast<size_t>(*window);
   auto records = LoadHistory(history_path);
   if (!records.ok()) {
     return DiagError(records.error());
   }
-  obs::TrendOptions options;
-  options.window = strtoull(FlagValue(argc, argv, "window", "8").c_str(), nullptr, 10);
   auto min_floor = ParseSecondsFlag(FlagValue(argc, argv, "min-floor", ""),
                                     options.min_floor_seconds);
   if (!min_floor.ok()) {
@@ -935,6 +983,15 @@ int CmdPerfDiff(int argc, char** argv, const std::vector<std::string>& positiona
   if (positional.size() < 3) {
     return DiagError("perf diff requires BASE_PROFILE.json and HEAD_PROFILE.json");
   }
+  // Flags are checked before the profiles load so the error names the flag.
+  auto top_flag = ParseU64Flag(FlagValue(argc, argv, "top", ""), 10);
+  if (!top_flag.ok()) {
+    return DiagError("--top: " + top_flag.error().message());
+  }
+  if (*top_flag == 0) {
+    return DiagError("--top: must be at least 1");
+  }
+  size_t top = static_cast<size_t>(*top_flag);
   std::vector<obs::Profile> profiles;
   for (size_t i = 1; i <= 2; ++i) {
     auto text = ReadTextFile(positional[i]);
@@ -947,7 +1004,6 @@ int CmdPerfDiff(int argc, char** argv, const std::vector<std::string>& positiona
     }
     profiles.push_back(profile.TakeValue());
   }
-  size_t top = strtoull(FlagValue(argc, argv, "top", "10").c_str(), nullptr, 10);
   obs::ProfileDiff diff = obs::DiffProfiles(profiles[0], profiles[1], top);
   if (HasFlag(argc, argv, "json")) {
     printf("%s", obs::ProfileDiffJson(diff).c_str());
@@ -1022,16 +1078,21 @@ int CmdStudy(int argc, char** argv) {
     return DiagError("study build: " + corpus_or.error().message());
   }
   std::vector<BuildSpec> corpus = corpus_or.TakeValue();
-  Study study(StudyOptions::FromArgs(argc, argv, /*default_scale=*/1.0));
+  auto options = StudyOptions::Parse(argc, argv, /*default_scale=*/1.0);
+  if (!options.ok()) {
+    return DiagError(options.error());
+  }
+  Study study(options.TakeValue());
   // Failure policy: --keep-going (the default) quarantines images whose
   // extraction dies outright; --strict aborts the whole build instead.
   BuildPolicy policy;
   policy.keep_going = !HasFlag(argc, argv, "strict");
   // --jobs=N: width of the concurrent generate+extract window (0 = auto).
-  policy.jobs = atoi(FlagValue(argc, argv, "jobs", "0").c_str());
-  if (policy.jobs < 0 || policy.jobs > 256) {
-    return DiagError("--jobs must be between 0 (auto) and 256");
+  auto jobs = ParseJobsFlag(FlagValue(argc, argv, "jobs", ""));
+  if (!jobs.ok()) {
+    return DiagError("--jobs: " + jobs.error().message());
   }
+  policy.jobs = *jobs;
   // --poison=LABEL (testing aid): truncate the named image below the ELF
   // header before extraction, guaranteeing a fatal failure on exactly that
   // image so the quarantine path can be demonstrated end to end.
@@ -1124,12 +1185,17 @@ int CmdProfile(int argc, char** argv) {
     }
     // Small default scale: --live exists to profile the pipeline's shape,
     // not to build a production dataset.
-    Study study(StudyOptions::FromArgs(argc, argv, /*default_scale=*/0.25));
-    BuildPolicy policy;
-    policy.jobs = atoi(FlagValue(argc, argv, "jobs", "0").c_str());
-    if (policy.jobs < 0 || policy.jobs > 256) {
-      return DiagError("--jobs must be between 0 (auto) and 256");
+    auto options = StudyOptions::Parse(argc, argv, /*default_scale=*/0.25);
+    if (!options.ok()) {
+      return DiagError(options.error());
     }
+    Study study(options.TakeValue());
+    BuildPolicy policy;
+    auto jobs = ParseJobsFlag(FlagValue(argc, argv, "jobs", ""));
+    if (!jobs.ok()) {
+      return DiagError("--jobs: " + jobs.error().message());
+    }
+    policy.jobs = *jobs;
     auto dataset = study.BuildDataset(*corpus, {}, policy, nullptr);
     if (!dataset.ok()) {
       return DiagError(dataset.error());
@@ -1253,7 +1319,7 @@ int CmdCheck(int argc, char** argv) {
     if (!bytes.ok()) {
       return DiagError(bytes.error().ToString());
     }
-    auto loaded = LoadDataset(*bytes);
+    auto loaded = LoadAnyDataset(*bytes);
     if (!loaded.ok()) {
       return DiagError(dataset_path + ": " + loaded.error().ToString());
     }
@@ -1311,7 +1377,7 @@ int CmdAnalyze(int argc, char** argv) {
     if (!dataset_bytes.ok()) {
       return DiagError(dataset_bytes.error());
     }
-    auto loaded = LoadDataset(*dataset_bytes);
+    auto loaded = LoadAnyDataset(*dataset_bytes);
     if (!loaded.ok()) {
       return DiagError(dataset_path + ": " + loaded.error().ToString());
     }
@@ -1359,7 +1425,7 @@ int CmdAnalyze(int argc, char** argv) {
 int CmdDataset(int argc, char** argv) {
   auto positional = Positional(argc, argv);
   if (positional.empty()) {
-    return DiagError("dataset requires a subcommand: build | info");
+    return DiagError("dataset requires a subcommand: build | info | migrate");
   }
   if (positional[0] == "build") {
     std::string out = FlagValue(argc, argv, "out", "");
@@ -1388,6 +1454,35 @@ int CmdDataset(int argc, char** argv) {
            bytes.size());
     return 0;
   }
+  // migrate IN OUT: rewrite any .dds (v1 or v2) as the v2 mmap layout.
+  // Byte-deterministic: the same input always produces the same output, and
+  // migrating a v2 file reproduces it exactly.
+  if (positional[0] == "migrate") {
+    if (positional.size() < 3) {
+      return DiagError("dataset migrate requires IN and OUT paths");
+    }
+    auto bytes = ReadFile(positional[1]);
+    if (!bytes.ok()) {
+      return DiagError(bytes.error().ToString());
+    }
+    auto format = DatasetFormatVersion(*bytes);
+    if (!format.ok()) {
+      return DiagError(positional[1] + ": " + format.error().ToString());
+    }
+    auto dataset = LoadAnyDataset(*bytes);
+    if (!dataset.ok()) {
+      return DiagError(positional[1] + ": " + dataset.error().ToString());
+    }
+    std::vector<uint8_t> v2 = SaveDatasetV2(*dataset);
+    Status written = WriteFile(positional[2], v2);
+    if (!written.ok()) {
+      return DiagError(written.ToString());
+    }
+    printf("migrated %s (v%d, %zu bytes) -> %s (v2, %zu images, %zu bytes)\n",
+           positional[1].c_str(), *format, bytes->size(), positional[2].c_str(),
+           dataset->num_images(), v2.size());
+    return 0;
+  }
   if (positional[0] == "info") {
     if (positional.size() < 2) {
       return DiagError("dataset info requires a FILE");
@@ -1396,11 +1491,16 @@ int CmdDataset(int argc, char** argv) {
     if (!bytes.ok()) {
       return DiagError(bytes.error().ToString());
     }
-    auto dataset = LoadDataset(*bytes);
+    auto format = DatasetFormatVersion(*bytes);
+    if (!format.ok()) {
+      return DiagError(positional[1] + ": " + format.error().ToString());
+    }
+    auto dataset = LoadAnyDataset(*bytes);
     if (!dataset.ok()) {
       return DiagError(dataset.error().ToString());
     }
-    printf("%zu images, %zu interned strings\n", dataset->num_images(), dataset->pool_size());
+    printf("format v%d: %zu images, %zu interned strings\n", *format, dataset->num_images(),
+           dataset->pool_size());
     for (const ImageRecord& image : dataset->images()) {
       printf("  %-28s v%d.%d %s/%s gcc%d: %zu funcs, %zu structs, %zu tracepoints, %zu syscalls\n",
              image.label.c_str(), image.meta.version_major, image.meta.version_minor,
@@ -1410,7 +1510,149 @@ int CmdDataset(int argc, char** argv) {
     }
     return 0;
   }
-  return DiagError("unknown dataset subcommand " + positional[0]);
+  return DiagError("unknown dataset subcommand " + positional[0] +
+                   " (build | info | migrate)");
+}
+
+// Dataset-as-a-service: open every --against dataset once (v2 zero-copy
+// mmap, v1 legacy parse), then answer batched NDJSON dependency-set
+// queries. --oneshot reads one batch from stdin and writes one response
+// line per request to stdout, in request order. --socket=PATH listens on a
+// unix stream socket instead: each connection is one batch (client writes
+// request lines then shuts down its write side; the server responds and
+// closes). --report-out=FILE writes a depsurf.serve_report.v1 summary.
+int CmdServe(int argc, char** argv) {
+  std::string against = FlagValue(argc, argv, "against", "");
+  if (against.empty()) {
+    return DiagError("serve requires --against=DATASET[,DATASET...]");
+  }
+  std::vector<std::string> paths;
+  for (const std::string& path : SplitString(against, ',')) {
+    if (!path.empty()) {
+      paths.push_back(path);
+    }
+  }
+  ServeOptions options;
+  auto jobs = ParseJobsFlag(FlagValue(argc, argv, "jobs", ""));
+  if (!jobs.ok()) {
+    return DiagError("--jobs: " + jobs.error().message());
+  }
+  options.jobs = *jobs;
+  auto capacity = ParseU64Flag(FlagValue(argc, argv, "cache-capacity", ""), 4096);
+  if (!capacity.ok()) {
+    return DiagError("--cache-capacity: " + capacity.error().message());
+  }
+  options.cache_capacity = static_cast<size_t>(*capacity);
+  auto max_conns = ParseU64Flag(FlagValue(argc, argv, "max-connections", ""), 0);
+  if (!max_conns.ok()) {
+    return DiagError("--max-connections: " + max_conns.error().message());
+  }
+  std::string socket_path = FlagValue(argc, argv, "socket", "");
+  const bool oneshot = HasFlag(argc, argv, "oneshot");
+  if (oneshot == !socket_path.empty()) {
+    return DiagError("serve requires exactly one of --oneshot or --socket=PATH");
+  }
+
+  auto engine = ServeEngine::Open(paths, options);
+  if (!engine.ok()) {
+    return DiagError(engine.error());
+  }
+
+  if (oneshot) {
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!line.empty()) {
+        lines.push_back(line);
+      }
+    }
+    for (const std::string& response : engine->HandleBatch(lines)) {
+      printf("%s\n", response.c_str());
+    }
+  } else {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+      return DiagError("--socket: path longer than sockaddr_un allows");
+    }
+    memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+    int listener = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listener < 0) {
+      return DiagError(StrFormat("socket: %s", strerror(errno)));
+    }
+    unlink(socket_path.c_str());
+    if (bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        listen(listener, 8) != 0) {
+      int saved = errno;
+      close(listener);
+      return DiagError(StrFormat("cannot listen on %s: %s", socket_path.c_str(),
+                                 strerror(saved)));
+    }
+    fprintf(stderr, "serving %zu dataset(s) on %s%s\n", engine->num_datasets(),
+            socket_path.c_str(),
+            *max_conns > 0
+                ? StrFormat(" (%llu connection(s))",
+                            static_cast<unsigned long long>(*max_conns))
+                      .c_str()
+                : "");
+    for (uint64_t served = 0; *max_conns == 0 || served < *max_conns; ++served) {
+      int conn = accept(listener, nullptr, nullptr);
+      if (conn < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        close(listener);
+        return DiagError(StrFormat("accept: %s", strerror(errno)));
+      }
+      std::string incoming;
+      char buffer[4096];
+      ssize_t n;
+      while ((n = read(conn, buffer, sizeof(buffer))) > 0) {
+        incoming.append(buffer, static_cast<size_t>(n));
+      }
+      std::vector<std::string> lines;
+      for (const std::string& request : SplitString(incoming, '\n')) {
+        if (!request.empty()) {
+          lines.push_back(request);
+        }
+      }
+      std::string out;
+      for (const std::string& response : engine->HandleBatch(lines)) {
+        out += response;
+        out += '\n';
+      }
+      size_t sent = 0;
+      while (sent < out.size()) {
+        ssize_t wrote = write(conn, out.data() + sent, out.size() - sent);
+        if (wrote <= 0) {
+          break;  // client hung up; drop the rest of this batch
+        }
+        sent += static_cast<size_t>(wrote);
+      }
+      close(conn);
+    }
+    close(listener);
+    unlink(socket_path.c_str());
+  }
+
+  std::string report_out = FlagValue(argc, argv, "report-out", "");
+  if (!report_out.empty()) {
+    std::string report = engine->ReportJson();
+    std::ofstream out(report_out, std::ios::binary);
+    out.write(report.data(), static_cast<std::streamsize>(report.size()));
+    if (!out) {
+      return DiagError("cannot write " + report_out);
+    }
+    fprintf(stderr, "wrote %s (%s)\n", report_out.c_str(), kServeReportSchema);
+  }
+  fprintf(stderr,
+          "served %llu request(s): %llu ok, %llu errors, cache %llu hit / %llu miss\n",
+          static_cast<unsigned long long>(engine->requests()),
+          static_cast<unsigned long long>(engine->ok_responses()),
+          static_cast<unsigned long long>(engine->error_responses()),
+          static_cast<unsigned long long>(engine->cache_hits()),
+          static_cast<unsigned long long>(engine->cache_misses()));
+  return 0;
 }
 
 int CmdProgs(Study& study) {
@@ -1452,6 +1694,12 @@ constexpr char kUsage[] =
     "  check   OBJ [IMG...] [--dataset=FILE] (exit 2 when mismatches are found)\n"
     "  analyze OBJ [--against=DATASET] [--json] (exit 2 on findings, 1 if unreadable)\n"
     "  dataset build IMG... --out=FILE | dataset info FILE\n"
+    "  dataset migrate IN OUT (rewrite any .dds as the v2 mmap layout;\n"
+    "          byte-deterministic)\n"
+    "  serve   --against=DS[,DS...] (--oneshot | --socket=PATH) [--jobs=N]\n"
+    "          [--cache-capacity=N] [--max-connections=N] [--report-out=FILE]\n"
+    "          (batched NDJSON dependency-set queries; one response line per\n"
+    "           request, byte-identical at any --jobs)\n"
     "  progs\n"
     "  emit    PROGRAM --out=OBJ\n"
     "  doctor  IMG [--sweep=N] [--seed=S] [--mutation-timeout=SECS] [--json]\n"
@@ -1462,7 +1710,7 @@ constexpr char kUsage[] =
     "          (coverage-guided campaign; exit 2 on oracle disagreements,\n"
     "           1 on hangs)\n"
     "  metrics lint FILE [--kind=report|agg|bench|perf|trace|diag|analysis|profile\n"
-    "          |history|trend|profile_diff|fuzz] [--min-spans=N]\n"
+    "          |history|trend|profile_diff|fuzz|serve] [--min-spans=N]\n"
     "          [--require=a,b,c] [--report=FILE] | metrics canon FILE\n"
     "  report  merge OUT IN... | report flame REPORT.json [--out=FILE]\n"
     "  perf    compare BASE.json HEAD.json [--max-regress=15%] [--noise-floor=S]\n"
@@ -1507,6 +1755,9 @@ int Dispatch(int argc, char** argv, const std::string& command) {
   if (command == "dataset") {
     return CmdDataset(argc, argv);
   }
+  if (command == "serve") {
+    return CmdServe(argc, argv);
+  }
   if (command == "metrics") {
     return CmdMetrics(argc, argv);
   }
@@ -1523,7 +1774,11 @@ int Dispatch(int argc, char** argv, const std::string& command) {
     return CmdStudy(argc, argv);
   }
   if (command == "progs" || command == "emit") {
-    Study study(StudyOptions::FromArgs(argc, argv, /*default_scale=*/0.05));
+    auto options = StudyOptions::Parse(argc, argv, /*default_scale=*/0.05);
+    if (!options.ok()) {
+      return DiagError(options.error());
+    }
+    Study study(options.TakeValue());
     return command == "progs" ? CmdProgs(study) : CmdEmit(argc, argv, study);
   }
   fputs(kUsage, stderr);

@@ -1,6 +1,10 @@
 // Round-trip and robustness tests for dataset serialization (the published
 // dataset artifact format).
 #include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
 
 #include "src/core/dataset_io.h"
 #include "src/core/depsurf.h"
@@ -9,7 +13,9 @@
 #include "src/kernelgen/configurator.h"
 #include "src/kernelgen/corpus.h"
 #include "src/kernelgen/image_builder.h"
+#include "src/kernelgen/rates.h"
 #include "src/kernelgen/scripted.h"
+#include "src/util/prng.h"
 
 namespace depsurf {
 namespace {
@@ -125,6 +131,254 @@ TEST(DatasetIoTest, RejectsCorruptedInput) {
     EXPECT_FALSE(LoadDataset(truncated).ok()) << cut;
   }
   EXPECT_FALSE(LoadDataset({}).ok());
+}
+
+// The full bundled LTS corpus, at a scale small enough for test time.
+const Dataset& LtsDataset() {
+  static const Dataset dataset = [] {
+    Dataset d;
+    KernelModel model(2025, 0.005, BuildCuratedCatalog());
+    for (KernelVersion version : kLtsVersions) {
+      auto kernel = model.Configure(MakeBuild(version));
+      EXPECT_TRUE(kernel.ok());
+      auto bytes = BuildKernelImage(CompileKernel(2025, kernel.TakeValue()));
+      EXPECT_TRUE(bytes.ok());
+      auto surface = DependencySurface::Extract(bytes.TakeValue());
+      EXPECT_TRUE(surface.ok());
+      d.AddImage(version.Tag(), *surface);
+    }
+    return d;
+  }();
+  return dataset;
+}
+
+// Every DatasetView query the two implementations share, compared cell for
+// cell. Used for both v1-load-vs-v2-mmap and v2-reload equivalence.
+void ExpectViewsAgree(const DatasetView& a, const DatasetView& b) {
+  ASSERT_EQ(a.num_images(), b.num_images());
+  EXPECT_EQ(a.labels(), b.labels());
+  for (size_t i = 0; i < a.num_images(); ++i) {
+    SurfaceMeta ma = a.MetaAt(i);
+    SurfaceMeta mb = b.MetaAt(i);
+    EXPECT_EQ(ma.version_major, mb.version_major);
+    EXPECT_EQ(ma.version_minor, mb.version_minor);
+    EXPECT_EQ(ma.arch, mb.arch);
+    EXPECT_EQ(ma.flavor, mb.flavor);
+    EXPECT_EQ(ma.gcc_major, mb.gcc_major);
+    EXPECT_EQ(ma.config_options, mb.config_options);
+    EXPECT_EQ(a.HealthSummaryAt(i), b.HealthSummaryAt(i)) << i;
+    EXPECT_EQ(a.AnyDegradedAt(i), b.AnyDegradedAt(i)) << i;
+  }
+  for (const char* func : {"blk_account_io_start", "vfs_fsync", "__page_cache_alloc",
+                           "get_order", "vfs_read", "no_such_function"}) {
+    EXPECT_EQ(a.CheckFunc(func), b.CheckFunc(func)) << func;
+    EXPECT_EQ(a.FuncDeclAt(func, 0), b.FuncDeclAt(func, 0)) << func;
+  }
+  for (const char* name : {"request", "task_struct", "no_such_struct"}) {
+    EXPECT_EQ(a.CheckStruct(name), b.CheckStruct(name)) << name;
+  }
+  EXPECT_EQ(a.CheckField("request", "rq_disk", "struct gendisk *", false),
+            b.CheckField("request", "rq_disk", "struct gendisk *", false));
+  EXPECT_EQ(a.CheckField("request", "rq_disk", "", false),
+            b.CheckField("request", "rq_disk", "", false));
+  EXPECT_EQ(a.CheckField("request", "rq_disk", "struct gendisk *", true),
+            b.CheckField("request", "rq_disk", "struct gendisk *", true));
+  EXPECT_EQ(a.FieldTypeAt("request", "rq_disk", 0), b.FieldTypeAt("request", "rq_disk", 0));
+  EXPECT_EQ(a.CheckTracepoint("block_rq_issue"), b.CheckTracepoint("block_rq_issue"));
+  EXPECT_EQ(a.CheckTracepoint("no_such_event"), b.CheckTracepoint("no_such_event"));
+  EXPECT_EQ(a.CheckSyscall("openat2"), b.CheckSyscall("openat2"));
+  EXPECT_EQ(a.CheckSyscall("no_such_call"), b.CheckSyscall("no_such_call"));
+  EXPECT_EQ(a.CheckRegisters(), b.CheckRegisters());
+}
+
+TEST(DatasetV2Test, MmapViewMatchesV1LoadOverLtsCorpus) {
+  const Dataset& original = LtsDataset();
+  auto v1 = LoadDataset(SaveDataset(original));
+  ASSERT_TRUE(v1.ok()) << v1.error().ToString();
+  auto v2 = MmapDataset::FromBytes(SaveDatasetV2(original));
+  ASSERT_TRUE(v2.ok()) << v2.error().ToString();
+  ExpectViewsAgree(*v1, *v2);
+
+  // Whole-program analysis over the two views renders identically.
+  DependencySet deps;
+  deps.program = "probe";
+  deps.funcs = {"blk_account_io_start", "vfs_read"};
+  deps.fields["request"]["rq_disk"] = FieldDep{"struct gendisk *", false};
+  deps.tracepoints = {"block_rq_issue"};
+  deps.syscalls = {"openat2"};
+  ProgramReport a = AnalyzeProgram(*v1, deps);
+  ProgramReport b = AnalyzeProgram(*v2, deps);
+  EXPECT_EQ(a.RenderMatrix(), b.RenderMatrix());
+  EXPECT_EQ(a.WorstImplication(), b.WorstImplication());
+}
+
+TEST(DatasetV2Test, MigrateIsByteDeterministic) {
+  const Dataset& original = LtsDataset();
+  std::vector<uint8_t> first = SaveDatasetV2(original);
+  std::vector<uint8_t> second = SaveDatasetV2(original);
+  EXPECT_EQ(first, second);
+
+  // Migrating an already-migrated dataset reproduces it exactly: v2 load
+  // followed by v2 save is the identity on bytes.
+  auto reloaded = LoadDatasetV2(first);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.error().ToString();
+  EXPECT_EQ(SaveDatasetV2(*reloaded), first);
+
+  // The v1 -> v2 path preserves every v1 string id (the v2 pool only
+  // appends the suffix/diagnostic strings v1 stored inline), so migrating
+  // the re-loaded dataset reproduces the same v2 bytes, and the round trip
+  // is query-equivalent with the v1 load.
+  std::vector<uint8_t> v1 = SaveDataset(original);
+  auto v1_loaded = LoadDataset(v1);
+  ASSERT_TRUE(v1_loaded.ok());
+  EXPECT_EQ(SaveDatasetV2(*v1_loaded), first);
+  auto via_v2 = LoadDatasetV2(first);
+  ASSERT_TRUE(via_v2.ok());
+  ExpectViewsAgree(*v1_loaded, *via_v2);
+}
+
+TEST(DatasetV2Test, FormatDetectionAndLoadAny) {
+  Dataset original = SmallDataset();
+  std::vector<uint8_t> v1 = SaveDataset(original);
+  std::vector<uint8_t> v2 = SaveDatasetV2(original);
+  ASSERT_TRUE(DatasetFormatVersion(v1).ok());
+  EXPECT_EQ(*DatasetFormatVersion(v1), 1);
+  ASSERT_TRUE(DatasetFormatVersion(v2).ok());
+  EXPECT_EQ(*DatasetFormatVersion(v2), 2);
+  EXPECT_FALSE(DatasetFormatVersion({0, 1, 2, 3}).ok());
+
+  auto from_v1 = LoadAnyDataset(v1);
+  auto from_v2 = LoadAnyDataset(v2);
+  ASSERT_TRUE(from_v1.ok());
+  ASSERT_TRUE(from_v2.ok()) << from_v2.error().ToString();
+  EXPECT_EQ(from_v1->labels(), from_v2->labels());
+  // Both loads canonicalize to the same v2 bytes. (v1 byte-identity is not
+  // an invariant here: the v2 pool interns the suffix/diagnostic strings
+  // that v1 stores inline, so a v2-loaded pool carries extra entries.)
+  EXPECT_EQ(SaveDatasetV2(*from_v1), SaveDatasetV2(*from_v2));
+}
+
+TEST(DatasetV2Test, HealthAndDiagnosticsSurviveV2) {
+  // Same salvage scenario as the v1 ledger test: a degraded image's states
+  // and diagnostics must survive the v2 round trip and surface through the
+  // mmap view's health summary.
+  Dataset dataset;
+  KernelModel model(2025, 0.01, BuildCuratedCatalog());
+  auto kernel = model.Configure(MakeBuild(KernelVersion(5, 4)));
+  ASSERT_TRUE(kernel.ok());
+  auto bytes = BuildKernelImage(CompileKernel(2025, kernel.TakeValue()));
+  ASSERT_TRUE(bytes.ok());
+  std::vector<uint8_t> damaged = *bytes;
+  auto elf = ElfReader::Parse(damaged);
+  ASSERT_TRUE(elf.ok());
+  const ElfSectionView* info = elf->SectionByName(".sdwarf_info");
+  ASSERT_NE(info, nullptr);
+  for (size_t i = 0; i < 16 && i < info->size; ++i) {
+    damaged[static_cast<size_t>(info->offset) + i] = 0xff;
+  }
+  auto salvaged = DependencySurface::Extract(std::move(damaged));
+  ASSERT_TRUE(salvaged.ok());
+  ASSERT_EQ(salvaged->health().dwarf, DegradationState::kDegraded);
+  dataset.AddImage("salvaged", *salvaged);
+
+  std::vector<uint8_t> v2 = SaveDatasetV2(dataset);
+  auto view = MmapDataset::FromBytes(v2);
+  ASSERT_TRUE(view.ok()) << view.error().ToString();
+  EXPECT_TRUE(view->AnyDegradedAt(0));
+  EXPECT_EQ(view->HealthSummaryAt(0), dataset.HealthSummaryAt(0));
+
+  auto reloaded = LoadDatasetV2(v2);
+  ASSERT_TRUE(reloaded.ok());
+  ASSERT_EQ(reloaded->images()[0].health.ledger.size(),
+            dataset.images()[0].health.ledger.size());
+  EXPECT_EQ(reloaded->images()[0].health.ledger.entries()[0].message,
+            dataset.images()[0].health.ledger.entries()[0].message);
+}
+
+// Runs every query against a possibly-corrupt view; the only contract is
+// "never crash" — results may degrade to absent.
+void PokeAllQueries(const MmapDataset& view) {
+  for (size_t i = 0; i < view.num_images(); ++i) {
+    view.MetaAt(i);
+    view.HealthSummaryAt(i);
+    view.AnyDegradedAt(i);
+  }
+  view.labels();
+  view.CheckFunc("vfs_read");
+  view.FuncDeclAt("vfs_read", 0);
+  view.CheckStruct("request");
+  view.CheckField("request", "rq_disk", "struct gendisk *", false);
+  view.FieldTypeAt("request", "rq_disk", 0);
+  view.CheckTracepoint("block_rq_issue");
+  view.CheckSyscall("openat2");
+  view.CheckRegisters();
+}
+
+TEST(DatasetV2Test, MmapViewSurvivesTruncation) {
+  std::vector<uint8_t> v2 = SaveDatasetV2(SmallDataset());
+  // Truncation anywhere must be rejected at Open (the header records the
+  // exact file size) — and must never crash.
+  for (size_t cut : {0ul, 4ul, 39ul, 40ul, 4095ul, 4096ul, v2.size() / 2, v2.size() - 1}) {
+    std::vector<uint8_t> truncated(v2.begin(), v2.begin() + cut);
+    auto view = MmapDataset::FromBytes(std::move(truncated));
+    EXPECT_FALSE(view.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(DatasetV2Test, MmapViewSurvivesHeaderAndIndexMutations) {
+  std::vector<uint8_t> v2 = SaveDatasetV2(SmallDataset());
+  // Seeded byte flips across the header, section table, and the first
+  // pages of every index. Attach may reject the file; if it accepts,
+  // every query must complete without crashing.
+  Prng prng(2025);
+  const size_t probe_limit = std::min(v2.size(), size_t{64} * 1024);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<uint8_t> mutated = v2;
+    size_t offset = static_cast<size_t>(prng.NextBelow(probe_limit));
+    mutated[offset] ^= static_cast<uint8_t>(1 + prng.NextBelow(255));
+    auto view = MmapDataset::FromBytes(std::move(mutated));
+    if (view.ok()) {
+      PokeAllQueries(*view);
+    }
+  }
+  // Targeted section-table damage: huge offsets/sizes and kind renumbering
+  // must be rejected outright (the table is fully validated at attach).
+  for (size_t entry = 0; entry < 10; ++entry) {
+    std::vector<uint8_t> mutated = v2;
+    size_t base = 40 + entry * 24;
+    for (size_t i = 0; i < 8; ++i) {
+      mutated[base + 8 + i] = 0xff;  // offset -> ~2^64
+    }
+    EXPECT_FALSE(MmapDataset::FromBytes(std::move(mutated)).ok()) << entry;
+  }
+}
+
+TEST(DatasetV2Test, OpenDatasetViewDispatchesOnMagic) {
+  Dataset original = SmallDataset();
+  char tmpl[] = "/tmp/depsurf_dsio_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  ASSERT_NE(dir, nullptr);
+  const std::string v1_path = std::string(dir) + "/a.dds";
+  const std::string v2_path = std::string(dir) + "/b.dds";
+  for (const auto& [path, bytes] :
+       {std::pair<std::string, std::vector<uint8_t>>{v1_path, SaveDataset(original)},
+        {v2_path, SaveDatasetV2(original)}}) {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  auto v1 = OpenDatasetView(v1_path);
+  ASSERT_TRUE(v1.ok()) << v1.error().ToString();
+  EXPECT_EQ(v1->format, 1);
+  auto v2 = OpenDatasetView(v2_path);
+  ASSERT_TRUE(v2.ok()) << v2.error().ToString();
+  EXPECT_EQ(v2->format, 2);
+  EXPECT_EQ(v1->images, v2->images);
+  ExpectViewsAgree(*v1->view, *v2->view);
+  EXPECT_FALSE(OpenDatasetView(std::string(dir) + "/missing.dds").ok());
+  std::remove(v1_path.c_str());
+  std::remove(v2_path.c_str());
+  rmdir(dir);
 }
 
 TEST(DatasetIoTest, AnalysisOnLoadedDatasetMatches) {

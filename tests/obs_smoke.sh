@@ -115,4 +115,58 @@ awk 'NF < 2 || $NF !~ /^[0-9]+$/ { exit 1 }' flame.folded \
 "$DEPSURF" metrics lint remerge.json --kind=agg || fail "re-merged aggregate invalid"
 grep -q '"reports": 5' remerge.json || fail "re-merge lost report provenance"
 
+# ---- dataset-as-a-service: migrate the study dataset to the mmap-friendly
+# v2 layout, answer a batched oneshot query stream against it, and lint the
+# emitted serve report.
+"$DEPSURF" dataset migrate ds1 ds_v2.dds || fail "dataset migrate exited $?"
+"$DEPSURF" dataset info ds_v2.dds | grep -q "format v2" \
+  || fail "migrated dataset does not identify as v2"
+cat > requests.ndjson <<'EOF'
+{"id": 1, "program": "biotop", "funcs": ["vfs_read"], "tracepoints": ["block_rq_issue"], "syscalls": ["openat"]}
+{"id": 2, "program": "biotop", "funcs": ["vfs_read"], "tracepoints": ["block_rq_issue"], "syscalls": ["openat"]}
+{"id": 3, not json
+EOF
+"$DEPSURF" serve --against=ds_v2.dds --oneshot --report-out=serve_report.json \
+  < requests.ndjson > responses1.ndjson || fail "serve --oneshot exited $?"
+[ "$(wc -l < responses1.ndjson)" -eq 3 ] || fail "serve answered wrong line count"
+grep -q '"id": 1, "cache": "miss"' responses1.ndjson || fail "first query not a miss"
+grep -q '"id": 2, "cache": "hit"' responses1.ndjson \
+  || fail "duplicate query did not hit the cache"
+grep -q '"ok": false' responses1.ndjson || fail "malformed request not answered in place"
+"$DEPSURF" metrics lint serve_report.json --kind=serve \
+  || fail "serve report invalid"
+
+# ---- serve determinism: the response stream is byte-identical whether the
+# executor runs serially or with 8 workers.
+"$DEPSURF" serve --against=ds_v2.dds --oneshot --jobs=8 \
+  < requests.ndjson > responses8.ndjson || fail "serve --jobs=8 exited $?"
+cmp -s responses1.ndjson responses8.ndjson \
+  || fail "serve responses differ between --jobs=1 and --jobs=8"
+
+# ---- strict flag parsing: every malformed numeric flag must exit 1 with an
+# error that names the flag, never silently parse to 0 (the atoi family) or
+# to a truncated prefix (the strtoull family).
+check_flag_error() {
+  flag_name=$1; shift
+  set +e
+  "$DEPSURF" "$@" > flagerr.txt 2>&1
+  flag_code=$?
+  set -e
+  [ "$flag_code" -eq 1 ] \
+    || fail "'depsurf $*' exited $flag_code, want 1: $(cat flagerr.txt)"
+  grep -q -- "$flag_name" flagerr.txt \
+    || fail "error for 'depsurf $*' does not name $flag_name: $(cat flagerr.txt)"
+}
+check_flag_error --jobs study build --scale=0.02 --out=dsx --jobs=abc
+check_flag_error --jobs profile reps1/report_agg.json --live --jobs=abc
+check_flag_error --jobs serve --against=ds_v2.dds --oneshot --jobs=999
+check_flag_error --min-spans metrics lint gen.json --min-spans=abc
+check_flag_error --window perf trend --history=none.ndjson --window=0
+check_flag_error --window perf trend --history=none.ndjson --window=abc
+check_flag_error --top perf diff a.json b.json --top=0
+check_flag_error --top perf diff a.json b.json --top=abc
+check_flag_error --scale gen --version=5.4 --out=imgx --scale=abc
+check_flag_error --seed study build --scale=0.02 --out=dsx --seed=-1
+check_flag_error --oneshot serve --against=ds_v2.dds
+
 echo "obs_smoke: PASS"

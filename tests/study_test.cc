@@ -35,11 +35,33 @@ TEST(StudyOptionsTest, ParsesFlags) {
 
 TEST(StudyOptionsTest, DefaultsAndBadValues) {
   const char* argv0[] = {"bench"};
-  EXPECT_DOUBLE_EQ(StudyOptions::FromArgs(1, const_cast<char**>(argv0), 0.5).scale, 0.5);
-  const char* argv1[] = {"bench", "--scale=-3"};
-  EXPECT_DOUBLE_EQ(StudyOptions::FromArgs(2, const_cast<char**>(argv1), 0.5).scale, 0.5);
-  const char* argv2[] = {"bench", "--scale=99"};
-  EXPECT_DOUBLE_EQ(StudyOptions::FromArgs(2, const_cast<char**>(argv2), 0.5).scale, 0.5);
+  Result<StudyOptions> defaults = StudyOptions::Parse(1, const_cast<char**>(argv0), 0.5);
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_DOUBLE_EQ(defaults->scale, 0.5);
+
+  // Regression: out-of-range and unparseable values used to be silently
+  // replaced by the default. They must now be hard errors naming the flag.
+  for (const char* bad : {"--scale=-3", "--scale=0", "--scale=99", "--scale=abc",
+                          "--scale=", "--scale=1.0x", "--scale=nan"}) {
+    const char* argv[] = {"bench", bad};
+    Result<StudyOptions> parsed = StudyOptions::Parse(2, const_cast<char**>(argv), 0.5);
+    ASSERT_FALSE(parsed.ok()) << bad;
+    EXPECT_EQ(parsed.error().code(), ErrorCode::kInvalidArgument) << bad;
+    EXPECT_NE(parsed.error().message().find("--scale"), std::string::npos) << bad;
+  }
+  for (const char* bad : {"--seed=abc", "--seed=", "--seed=-1", "--seed=12x"}) {
+    const char* argv[] = {"bench", bad};
+    Result<StudyOptions> parsed = StudyOptions::Parse(2, const_cast<char**>(argv), 0.5);
+    ASSERT_FALSE(parsed.ok()) << bad;
+    EXPECT_NE(parsed.error().message().find("--seed"), std::string::npos) << bad;
+  }
+
+  // Valid values still parse under the strict path.
+  const char* good[] = {"bench", "--scale=0.25", "--seed=99"};
+  Result<StudyOptions> parsed = StudyOptions::Parse(3, const_cast<char**>(good), 0.5);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->scale, 0.25);
+  EXPECT_EQ(parsed->seed, 99u);
 }
 
 TEST(StudyTest, EndToEndSmallCorpus) {
