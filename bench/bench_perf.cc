@@ -13,6 +13,8 @@
 #include <fstream>
 
 #include "src/analyzer/analyzer.h"
+#include "src/analyzer/remediation.h"
+#include "src/bpf/bpf_rewriter.h"
 #include "src/bpfgen/program_corpus.h"
 #include "src/core/dataset_io.h"
 #include "src/obs/bench_report.h"
@@ -29,12 +31,14 @@ double g_scale = 0.1;
 
 // Console reporter that additionally folds every benchmark run into the
 // shared BENCH_perf.json report (per-run wall time + iteration count). The
-// serve benchmarks are mirrored into BENCH_serve.json as well, so the
-// cached-hit vs v1-reparse ratio can be asserted from one document.
+// serve benchmarks are mirrored into BENCH_serve.json and the analyzer
+// benchmarks (corpus analysis + remediation) into BENCH_analyzer.json, so
+// the perf gate can assert each subsystem from one document.
 class JsonTeeReporter : public benchmark::ConsoleReporter {
  public:
-  JsonTeeReporter(obs::BenchReporter* bench, obs::BenchReporter* serve)
-      : bench_(bench), serve_(serve) {}
+  JsonTeeReporter(obs::BenchReporter* bench, obs::BenchReporter* serve,
+                  obs::BenchReporter* analyzer)
+      : bench_(bench), serve_(serve), analyzer_(analyzer) {}
 
   void ReportRuns(const std::vector<Run>& runs) override {
     for (const Run& run : runs) {
@@ -47,6 +51,10 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
           stage.name.rfind("BM_CheckV1Reparse", 0) == 0) {
         serve_->AddStage(stage);
       }
+      if (stage.name.rfind("BM_AnalyzeCorpus", 0) == 0 ||
+          stage.name.rfind("BM_FixCorpus", 0) == 0) {
+        analyzer_->AddStage(stage);
+      }
     }
     ConsoleReporter::ReportRuns(runs);
   }
@@ -54,6 +62,7 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
  private:
   obs::BenchReporter* bench_;
   obs::BenchReporter* serve_;
+  obs::BenchReporter* analyzer_;
 };
 
 Study& SharedStudy() {
@@ -214,6 +223,38 @@ void BM_AnalyzeCorpus(benchmark::State& state) {
 }
 BENCHMARK(BM_AnalyzeCorpus)->Unit(benchmark::kMillisecond);
 
+// The full remediation pipeline over the same corpus: analyze, plan guard
+// insertions, rewrite the instruction streams, and re-encode to ELF bytes
+// (the `depsurf fix` hot path minus the re-analysis verification).
+void BM_FixCorpus(benchmark::State& state) {
+  static const std::vector<BpfObject> objects = [] {
+    std::vector<BpfObject> out = BuildProgramCorpus().objects;
+    out.push_back(BuildGuardedProbe());
+    out.push_back(BuildRawOffsetProbe());
+    return out;
+  }();
+  size_t bytes_written = 0;
+  for (auto _ : state) {
+    for (const BpfObject& object : objects) {
+      ObjectAnalysis analysis = AnalyzeObject(object);
+      RemediationPlan plan = PlanRemediation(object, analysis);
+      if (plan.FixableCount() == 0) {
+        continue;
+      }
+      BpfObject fixed = object;
+      if (!InsertFieldExistsGuards(fixed, plan.Insertions()).ok()) {
+        continue;
+      }
+      auto encoded = WriteBpfObject(fixed);
+      if (encoded.ok()) {
+        bytes_written += encoded->size();
+      }
+    }
+    benchmark::DoNotOptimize(bytes_written);
+  }
+}
+BENCHMARK(BM_FixCorpus)->Unit(benchmark::kMillisecond);
+
 // ---- dataset-as-a-service: cached-hit answering vs cold mmap open vs the
 // old one-parse-per-query v1 path. The gate asserts the cached engine is at
 // least 10x faster per query than re-parsing the v1 dataset every time.
@@ -337,7 +378,9 @@ int main(int argc, char** argv) {
   bench.AddNote("scale", StrFormat("%.2f", g_scale));
   obs::BenchReporter serve_bench("serve");
   serve_bench.AddNote("scale", StrFormat("%.2f", g_scale));
-  JsonTeeReporter reporter(&bench, &serve_bench);
+  obs::BenchReporter analyzer_bench("analyzer");
+  analyzer_bench.AddNote("scale", StrFormat("%.2f", g_scale));
+  JsonTeeReporter reporter(&bench, &serve_bench, &analyzer_bench);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   return 0;

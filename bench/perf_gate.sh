@@ -53,6 +53,16 @@ done
 grep -q 'BM_AnalyzeCorpus' base/BENCH_perf.json \
   || fail "BENCH_perf.json is missing the BM_AnalyzeCorpus stage"
 
+# ---- the remediation pipeline (plan + rewrite + re-encode) is gated the
+# same way, and both analyzer stages are mirrored into BENCH_analyzer.json.
+grep -q 'BM_FixCorpus' base/BENCH_perf.json \
+  || fail "BENCH_perf.json is missing the BM_FixCorpus stage"
+[ -f base/BENCH_analyzer.json ] || fail "bench_perf wrote no BENCH_analyzer.json"
+grep -q 'BM_AnalyzeCorpus' base/BENCH_analyzer.json \
+  || fail "BENCH_analyzer.json is missing the BM_AnalyzeCorpus stage"
+grep -q 'BM_FixCorpus' base/BENCH_analyzer.json \
+  || fail "BENCH_analyzer.json is missing the BM_FixCorpus stage"
+
 # ---- the serve benchmarks are part of the gated suite too, and are
 # mirrored into BENCH_serve.json for the ratio check below.
 grep -q 'BM_ServeQueries' base/BENCH_perf.json \

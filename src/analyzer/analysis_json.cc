@@ -70,7 +70,8 @@ std::string AnalysisToJson(const ObjectAnalysis& analysis) {
     if (finding.reloc_index >= 0) {
       out += StrFormat(", \"reloc\": %d", finding.reloc_index);
     }
-    out += ", \"detail\": " + Quoted(finding.detail) + "}";
+    out += ", \"detail\": " + Quoted(finding.detail);
+    out += ", \"remediation\": " + Quoted(finding.remediation) + "}";
   }
   out += analysis.findings.empty() ? "],\n" : "\n  ],\n";
 

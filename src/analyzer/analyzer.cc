@@ -6,6 +6,8 @@
 #include <set>
 
 #include "src/analyzer/cfg.h"
+#include "src/analyzer/dominator.h"
+#include "src/analyzer/remediation.h"
 #include "src/core/report.h"
 #include "src/kernelgen/helpers.h"
 #include "src/obs/context.h"
@@ -49,11 +51,12 @@ struct Val {
   }
 };
 
-// Abstract state at a program point: registers r0..r10 plus the set of
-// exists-guard relocations proven true (field present) on every path here.
+// Abstract state at a program point: registers r0..r10. Guard facts are no
+// longer part of the lattice — they are derived from the dominator tree
+// after the fixpoint (a fact holds in exactly the blocks dominated by the
+// guard's exists-edge successor).
 struct AbsState {
   std::array<Val, 11> regs;
-  std::set<size_t> facts;
 
   bool operator==(const AbsState&) const = default;
 
@@ -68,13 +71,6 @@ struct AbsState {
     for (size_t i = 0; i < regs.size(); ++i) {
       regs[i] = Val::Meet(regs[i], other.regs[i]);
     }
-    std::set<size_t> kept;
-    for (size_t f : facts) {
-      if (other.facts.count(f) != 0) {
-        kept.insert(f);
-      }
-    }
-    facts = std::move(kept);
   }
 };
 
@@ -144,28 +140,6 @@ void Transfer(const BpfInsn& insn, size_t reloc_idx, const std::vector<CoreReloc
   // Stores, jumps, exit: no register effects we track.
 }
 
-// Facts added on one CFG edge. Successor position 0 is the taken edge of a
-// two-successor conditional block, position 1 the fall-through.
-std::set<size_t> EdgeFacts(const BpfInsn& term, const AbsState& at_term, size_t succ_count,
-                           size_t succ_pos) {
-  std::set<size_t> added;
-  if (succ_count != 2 || !term.IsCondJump()) {
-    return added;
-  }
-  const Val& v = at_term.regs[term.dst_reg];
-  if (v.prov != Prov::kGuard || term.imm != 0) {
-    return added;
-  }
-  // The guard register is 1 when the field exists, 0 when patched absent.
-  // JEQ r,0: taken edge = absent path, fall-through = exists path.
-  // JNE r,0: taken edge = exists path.
-  bool exists_edge = (term.opcode == kOpJeqImm) ? (succ_pos == 1) : (succ_pos == 0);
-  if (exists_edge) {
-    added.insert(v.guard_reloc);
-  }
-  return added;
-}
-
 struct BlockStates {
   std::vector<AbsState> entry;
   std::vector<bool> seen;
@@ -192,19 +166,14 @@ BlockStates RunDataflow(const Cfg& cfg, const std::vector<BpfInsn>& insns,
       Transfer(insns[i], reloc_at[i], relocs, state);
     }
     for (size_t pos = 0; pos < block.succs.size(); ++pos) {
-      AbsState edge_state = state;
-      for (size_t f :
-           EdgeFacts(insns[block.last], state, block.succs.size(), pos)) {
-        edge_state.facts.insert(f);
-      }
       size_t succ = block.succs[pos];
       if (!states.seen[succ]) {
-        states.entry[succ] = edge_state;
+        states.entry[succ] = state;
         states.seen[succ] = true;
         work.push_back(succ);
       } else {
         AbsState merged = states.entry[succ];
-        merged.MergeFrom(edge_state);
+        merged.MergeFrom(state);
         if (!(merged == states.entry[succ])) {
           states.entry[succ] = merged;
           work.push_back(succ);
@@ -259,8 +228,21 @@ ObjectAnalysis AnalyzeObject(const BpfObject& object, const AnalyzeOptions& opts
   span.AddAttr("object", object.name);
   ObjectAnalysis analysis;
   analysis.object_name = object.name;
-  analysis.against_dataset = opts.against != nullptr;
-  analysis.against_images = opts.against != nullptr ? opts.against->num_images() : 0;
+  // The datasets to check against: `against_all` wins, else `against`.
+  std::vector<const Dataset*> views;
+  for (const Dataset* ds : opts.against_all) {
+    if (ds != nullptr) {
+      views.push_back(ds);
+    }
+  }
+  if (views.empty() && opts.against != nullptr) {
+    views.push_back(opts.against);
+  }
+  analysis.against_dataset = !views.empty();
+  analysis.against_images = 0;
+  for (const Dataset* ds : views) {
+    analysis.against_images += ds->num_images();
+  }
 
   // Resolve every relocation once.
   std::vector<RelocInfo> infos;
@@ -273,18 +255,23 @@ ObjectAnalysis AnalyzeObject(const BpfObject& object, const AnalyzeOptions& opts
   // every dataset image, so the loader patches the probe to 0 everywhere
   // and the exists path can never run.
   std::set<size_t> static_false;
-  if (opts.against != nullptr && opts.against->num_images() > 0) {
+  if (analysis.against_images > 0) {
     for (size_t r = 0; r < object.relocs.size(); ++r) {
       if (object.relocs[r].kind != CoreRelocKind::kFieldExists ||
           infos[r].field_name.empty()) {
         continue;
       }
-      auto cells = opts.against->CheckField(infos[r].struct_name, infos[r].field_name,
-                                            infos[r].expected_type, /*guarded=*/false);
       bool absent_everywhere = true;
-      for (const auto& cell : cells) {
-        if (cell.count(MismatchKind::kAbsent) == 0) {
-          absent_everywhere = false;
+      for (const Dataset* ds : views) {
+        auto cells = ds->CheckField(infos[r].struct_name, infos[r].field_name,
+                                    infos[r].expected_type, /*guarded=*/false);
+        for (const auto& cell : cells) {
+          if (cell.count(MismatchKind::kAbsent) == 0) {
+            absent_everywhere = false;
+            break;
+          }
+        }
+        if (!absent_everywhere) {
           break;
         }
       }
@@ -356,23 +343,58 @@ ObjectAnalysis AnalyzeObject(const BpfObject& object, const AnalyzeOptions& opts
 
     BlockStates states = RunDataflow(cfg, program.insns, reloc_at, object.relocs);
 
+    // Block-end states: which register each block's terminator tests.
+    std::vector<AbsState> end_states(cfg.blocks.size());
+    for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+      if (!states.seen[b]) {
+        continue;
+      }
+      AbsState s = states.entry[b];
+      for (size_t i = cfg.blocks[b].first; i <= cfg.blocks[b].last; ++i) {
+        Transfer(program.insns[i], reloc_at[i], object.relocs, s);
+      }
+      end_states[b] = s;
+    }
+
+    // Guard facts via dominance: a conditional testing a guard register
+    // against 0 proves the field exists on its exists-edge successor E, and
+    // the fact holds in exactly the blocks E dominates — provided E is
+    // reached by no other edge (a side entry would bypass the check) and is
+    // not also the branch's other successor (both arms landing on one block
+    // proves nothing).
+    DominatorTree dom = BuildDominatorTree(cfg);
+    std::vector<std::set<size_t>> facts(cfg.blocks.size());
+    for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+      if (!states.seen[b] || cfg.blocks[b].succs.size() != 2) {
+        continue;
+      }
+      const BpfInsn& term = program.insns[cfg.blocks[b].last];
+      if (!term.IsCondJump() || term.imm != 0) {
+        continue;
+      }
+      const Val& v = end_states[b].regs[term.dst_reg];
+      if (v.prov != Prov::kGuard) {
+        continue;
+      }
+      // The guard register is 1 when the field exists, 0 when patched
+      // absent. JEQ r,0: fall-through = exists path; JNE r,0: taken edge.
+      size_t exists_pos = term.opcode == kOpJeqImm ? 1 : 0;
+      size_t exists_succ = cfg.blocks[b].succs[exists_pos];
+      size_t other_succ = cfg.blocks[b].succs[1 - exists_pos];
+      if (exists_succ == other_succ || dom.pred_edges[exists_succ] != 1) {
+        continue;
+      }
+      for (size_t d = 0; d < cfg.blocks.size(); ++d) {
+        if (dom.Dominates(exists_succ, d)) {
+          facts[d].insert(v.guard_reloc);
+        }
+      }
+    }
+
     // Guard-pruned reachability: drop edges into statically-false guard
     // regions, then see which relocated instructions went dark.
     std::vector<bool> pruned = reachable;
     if (!static_false.empty()) {
-      // Recompute block-end states to know which register each conditional
-      // tests; prune the exists edge of statically-false guards.
-      std::vector<AbsState> end_states(cfg.blocks.size());
-      for (size_t b = 0; b < cfg.blocks.size(); ++b) {
-        if (!states.seen[b]) {
-          continue;
-        }
-        AbsState s = states.entry[b];
-        for (size_t i = cfg.blocks[b].first; i <= cfg.blocks[b].last; ++i) {
-          Transfer(program.insns[i], reloc_at[i], object.relocs, s);
-        }
-        end_states[b] = s;
-      }
       pruned = ReachableInsns(cfg, program.insns, [&](size_t b, size_t pos) {
         const CfgBlock& block = cfg.blocks[b];
         if (block.succs.size() != 2 || !states.seen[b]) {
@@ -425,12 +447,14 @@ ObjectAnalysis AnalyzeObject(const BpfObject& object, const AnalyzeOptions& opts
             finding.insn_off = byte_off;
             finding.detail = StrFormat("call %u: helper id not in the catalog", id);
             analysis.findings.push_back(std::move(finding));
-          } else if (opts.against != nullptr) {
+          } else if (!views.empty()) {
             size_t missing = 0;
-            for (const ImageRecord& image : opts.against->images()) {
-              KernelVersion v{image.meta.version_major, image.meta.version_minor};
-              if (!HelperAvailable(id, v)) {
-                ++missing;
+            for (const Dataset* ds : views) {
+              for (const ImageRecord& image : ds->images()) {
+                KernelVersion v{image.meta.version_major, image.meta.version_minor};
+                if (!HelperAvailable(id, v)) {
+                  ++missing;
+                }
               }
             }
             if (missing > 0) {
@@ -441,7 +465,7 @@ ObjectAnalysis AnalyzeObject(const BpfObject& object, const AnalyzeOptions& opts
               finding.detail = StrFormat(
                   "call %u (%s): introduced in v%d.%d, unavailable on %zu/%zu images", id,
                   spec->name, spec->introduced.major, spec->introduced.minor, missing,
-                  opts.against->num_images());
+                  analysis.against_images);
               analysis.findings.push_back(std::move(finding));
             }
           }
@@ -449,10 +473,10 @@ ObjectAnalysis AnalyzeObject(const BpfObject& object, const AnalyzeOptions& opts
 
         if (reloc_idx != kNoReloc && !infos[reloc_idx].is_guard_kind) {
           RelocVerdict& verdict = analysis.relocs[reloc_idx];
-          // Dominated by a matching exists-guard? Facts are per-block and
-          // constant within it (guards only add facts on edges).
+          // Dominated by a matching exists-guard? Facts are per-block,
+          // derived from the dominator tree above.
           bool guarded = false;
-          for (size_t f : states.entry[b].facts) {
+          for (size_t f : facts[b]) {
             if (infos[f].struct_name == infos[reloc_idx].struct_name &&
                 infos[f].field_name == infos[reloc_idx].field_name) {
               guarded = true;
@@ -495,8 +519,9 @@ ObjectAnalysis AnalyzeObject(const BpfObject& object, const AnalyzeOptions& opts
     analysis.programs.push_back(std::move(pa));
   }
 
-  // ---- Per-reloc consequences against the dataset, guard-refined.
-  if (opts.against != nullptr && opts.against->num_images() > 0) {
+  // ---- Per-reloc consequences against the datasets (worst across all),
+  // guard-refined.
+  if (analysis.against_images > 0) {
     for (RelocVerdict& verdict : analysis.relocs) {
       if (verdict.kind == CoreRelocKind::kFieldExists ||
           verdict.kind == CoreRelocKind::kTypeExists) {
@@ -506,13 +531,15 @@ ObjectAnalysis AnalyzeObject(const BpfObject& object, const AnalyzeOptions& opts
       if (verdict.field_name.empty()) {
         continue;
       }
-      auto cells = opts.against->CheckField(verdict.struct_name, verdict.field_name,
-                                            verdict.expected_type, /*guarded=*/false);
       bool absent = false;
       bool changed = false;
-      for (const auto& cell : cells) {
-        absent = absent || cell.count(MismatchKind::kAbsent) != 0;
-        changed = changed || cell.count(MismatchKind::kChanged) != 0;
+      for (const Dataset* ds : views) {
+        auto cells = ds->CheckField(verdict.struct_name, verdict.field_name,
+                                    verdict.expected_type, /*guarded=*/false);
+        for (const auto& cell : cells) {
+          absent = absent || cell.count(MismatchKind::kAbsent) != 0;
+          changed = changed || cell.count(MismatchKind::kChanged) != 0;
+        }
       }
       Consequence consequence = Consequence::kNone;
       if (absent) {
@@ -539,6 +566,13 @@ ObjectAnalysis AnalyzeObject(const BpfObject& object, const AnalyzeOptions& opts
               }
               return a.detail < b.detail;
             });
+
+  // Attach remediation text to every finding (the planner reads the sorted
+  // findings list and never re-runs the analyzer).
+  RemediationPlan plan = PlanRemediation(object, analysis, opts);
+  for (size_t i = 0; i < analysis.findings.size(); ++i) {
+    analysis.findings[i].remediation = plan.items[i].Text();
+  }
 
   obs::MetricsRegistry& metrics = obs::Context::Current().metrics();
   metrics.Incr("analyzer.objects");

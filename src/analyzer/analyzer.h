@@ -2,9 +2,10 @@
 //
 // The dependency-set extractor reads only section names and CO-RE records;
 // this pass reads the instruction streams. Per program it builds a CFG,
-// computes reachability, and runs an abstract interpretation tracking
-// register provenance (ctx pointer / kernel pointer / scalar / guard
-// result) plus the set of field-exists facts proven on each path. Findings:
+// computes reachability and an immediate-dominator tree, and runs an
+// abstract interpretation tracking register provenance (ctx pointer /
+// kernel pointer / scalar / guard result); field-exists facts hold exactly
+// in the blocks dominated by a guard's exists-edge successor. Findings:
 //
 //   raw-offset-deref   load from a kernel or ctx pointer at a hardcoded
 //                      displacement with no CO-RE relocation — an implicit
@@ -50,6 +51,9 @@ struct Finding {
   uint32_t insn_off = 0;   // byte offset of the instruction in its section
   int32_t reloc_index = -1;  // index into BpfObject::relocs, when bound
   std::string detail;      // deterministic human-readable explanation
+  // One-line remediation: either the concrete guard insertion the planner
+  // synthesized or "not fixable: <reason>" (see src/analyzer/remediation.h).
+  std::string remediation;
 };
 
 // Per-relocation verdicts (every record, finding or not).
@@ -95,6 +99,10 @@ struct AnalyzeOptions {
   // the dataset's images (enables unknown-helper version checks,
   // unreachable-reloc, and per-reloc consequences).
   const Dataset* against = nullptr;
+  // When non-empty, takes precedence over `against`: the object is checked
+  // against every dataset at once and the worst consequence across all of
+  // their images wins (`depsurf analyze --against=DS,DS`).
+  std::vector<const Dataset*> against_all;
 };
 
 ObjectAnalysis AnalyzeObject(const BpfObject& object, const AnalyzeOptions& opts = {});

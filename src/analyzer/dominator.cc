@@ -1,0 +1,115 @@
+#include "src/analyzer/dominator.h"
+
+namespace depsurf {
+
+namespace {
+
+// Iterative depth-first postorder from the entry block (blocks can form
+// cycles: the ISA allows negative jump deltas).
+std::vector<size_t> Postorder(const Cfg& cfg) {
+  std::vector<size_t> order;
+  if (cfg.blocks.empty()) {
+    return order;
+  }
+  std::vector<uint8_t> state(cfg.blocks.size(), 0);  // 0 new, 1 open, 2 done
+  std::vector<std::pair<size_t, size_t>> stack{{0, 0}};  // (block, next succ)
+  state[0] = 1;
+  while (!stack.empty()) {
+    auto& [b, next] = stack.back();
+    const std::vector<size_t>& succs = cfg.blocks[b].succs;
+    if (next < succs.size()) {
+      size_t s = succs[next++];
+      if (state[s] == 0) {
+        state[s] = 1;
+        stack.push_back({s, 0});
+      }
+    } else {
+      state[b] = 2;
+      order.push_back(b);
+      stack.pop_back();
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+bool DominatorTree::Dominates(size_t a, size_t b) const {
+  if (a >= idom.size() || b >= idom.size() || rpo_num[a] == kUnreachable ||
+      rpo_num[b] == kUnreachable) {
+    return false;
+  }
+  // Walk b up the tree; dominators have strictly smaller RPO numbers, so
+  // the walk can stop as soon as it passes a.
+  while (rpo_num[b] > rpo_num[a]) {
+    b = idom[b];
+  }
+  return b == a;
+}
+
+DominatorTree BuildDominatorTree(const Cfg& cfg) {
+  DominatorTree tree;
+  const size_t n = cfg.blocks.size();
+  tree.idom.assign(n, DominatorTree::kUnreachable);
+  tree.rpo_num.assign(n, DominatorTree::kUnreachable);
+  tree.pred_edges.assign(n, 0);
+  if (n == 0) {
+    return tree;
+  }
+
+  std::vector<size_t> postorder = Postorder(cfg);
+  std::vector<size_t> rpo(postorder.rbegin(), postorder.rend());
+  for (size_t i = 0; i < rpo.size(); ++i) {
+    tree.rpo_num[rpo[i]] = i;
+  }
+
+  // Predecessors, reachable blocks only (edges from dead code must not
+  // perturb dominance — a jump out of an unreachable region is no path).
+  std::vector<std::vector<size_t>> preds(n);
+  for (size_t b = 0; b < n; ++b) {
+    if (tree.rpo_num[b] == DominatorTree::kUnreachable) {
+      continue;
+    }
+    for (size_t s : cfg.blocks[b].succs) {
+      preds[s].push_back(b);
+      ++tree.pred_edges[s];
+    }
+  }
+
+  // Cooper-Harvey-Kennedy: iterate to fixpoint in reverse postorder.
+  tree.idom[0] = 0;
+  auto intersect = [&](size_t f1, size_t f2) {
+    while (f1 != f2) {
+      while (tree.rpo_num[f1] > tree.rpo_num[f2]) {
+        f1 = tree.idom[f1];
+      }
+      while (tree.rpo_num[f2] > tree.rpo_num[f1]) {
+        f2 = tree.idom[f2];
+      }
+    }
+    return f1;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t b : rpo) {
+      if (b == 0) {
+        continue;
+      }
+      size_t new_idom = DominatorTree::kUnreachable;
+      for (size_t p : preds[b]) {
+        if (tree.idom[p] == DominatorTree::kUnreachable) {
+          continue;  // not processed yet
+        }
+        new_idom = new_idom == DominatorTree::kUnreachable ? p : intersect(p, new_idom);
+      }
+      if (new_idom != DominatorTree::kUnreachable && tree.idom[b] != new_idom) {
+        tree.idom[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace depsurf

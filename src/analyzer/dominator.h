@@ -1,0 +1,44 @@
+// Immediate-dominator tree over a per-program CFG.
+//
+// The guard-dominance question ("is every path to this relocated access
+// forced through the exists-check?") is exactly block dominance, so the
+// analyzer computes immediate dominators with the Cooper-Harvey-Kennedy
+// algorithm (reverse-postorder iteration + two-finger intersection). CHK
+// is O(blocks^2) worst case but converges in one or two passes on the
+// reducible, mostly-forward graphs eBPF programs compile to — and unlike
+// the earlier path-set dataflow approximation it gives the remediation
+// planner a tree it can insert new guards into with a proof obligation
+// ("the inserted block dominates the access") instead of a heuristic.
+#ifndef DEPSURF_SRC_ANALYZER_DOMINATOR_H_
+#define DEPSURF_SRC_ANALYZER_DOMINATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/analyzer/cfg.h"
+
+namespace depsurf {
+
+struct DominatorTree {
+  static constexpr size_t kUnreachable = static_cast<size_t>(-1);
+
+  // idom[b] is the immediate dominator of block b; the entry block is its
+  // own idom, unreachable blocks carry kUnreachable.
+  std::vector<size_t> idom;
+  // Reverse-postorder number per block (kUnreachable when unreachable);
+  // dominators always have smaller numbers than the blocks they dominate.
+  std::vector<size_t> rpo_num;
+  // Incoming edge count per block (an edge is counted once per successor
+  // slot, so a conditional whose arms both reach b contributes two).
+  std::vector<size_t> pred_edges;
+
+  // Reflexive dominance: does a dominate b? False when either block is
+  // unreachable from the entry.
+  bool Dominates(size_t a, size_t b) const;
+};
+
+DominatorTree BuildDominatorTree(const Cfg& cfg);
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_ANALYZER_DOMINATOR_H_

@@ -1,0 +1,108 @@
+#include "src/analyzer/liveness.h"
+
+namespace depsurf {
+
+namespace {
+
+constexpr LiveMask Bit(uint8_t reg) {
+  return static_cast<LiveMask>(1u << reg);
+}
+
+struct DefUse {
+  LiveMask def = 0;
+  LiveMask use = 0;
+};
+
+DefUse InsnDefUse(const BpfInsn& insn) {
+  DefUse du;
+  if (insn.opcode == kOpLdImm64 || insn.opcode == kOpMov64Imm) {
+    du.def = Bit(insn.dst_reg);
+  } else if (insn.IsLoad()) {
+    du.use = Bit(insn.src_reg);
+    du.def = Bit(insn.dst_reg);
+  } else if (insn.IsStore()) {
+    du.use = static_cast<LiveMask>(Bit(insn.dst_reg) | Bit(insn.src_reg));
+  } else if (insn.IsCondJump()) {
+    du.use = Bit(insn.dst_reg);
+  } else if (insn.IsUncondJump()) {
+    // neither reads nor writes registers
+  } else if (insn.IsCall()) {
+    // BPF calling convention: helpers read their arguments from r1-r5 and
+    // clobber r0-r5 (r0 carries the return value, r1-r5 are caller-saved).
+    du.use = Bit(1) | Bit(2) | Bit(3) | Bit(4) | Bit(5);
+    du.def = Bit(0) | Bit(1) | Bit(2) | Bit(3) | Bit(4) | Bit(5);
+  } else if (insn.IsExit()) {
+    du.use = Bit(0);
+  } else {
+    // Unknown opcode: assume it may read anything and define nothing, the
+    // conservative direction for "is this register dead here?".
+    du.use = kAllRegsLive;
+  }
+  return du;
+}
+
+}  // namespace
+
+std::vector<LiveMask> ComputeLiveness(const Cfg& cfg,
+                                      const std::vector<BpfInsn>& insns) {
+  std::vector<LiveMask> live_in(insns.size(), 0);
+  if (insns.empty()) {
+    return live_in;
+  }
+
+  const size_t nblocks = cfg.blocks.size();
+  std::vector<LiveMask> block_in(nblocks, 0);
+  std::vector<LiveMask> block_exit(nblocks, 0);
+  for (size_t b = 0; b < nblocks; ++b) {
+    const BpfInsn& term = insns[cfg.blocks[b].last];
+    // A block whose control flow escapes the decoded stream (dangling jump
+    // target, truncated fall-through) gets an all-live exit mask: nothing
+    // is provably dead past an edge we cannot follow.
+    bool escapes = false;
+    if (term.IsCondJump()) {
+      escapes = cfg.blocks[b].succs.size() < 2;
+    } else if (term.IsUncondJump()) {
+      escapes = cfg.blocks[b].succs.empty();
+    } else if (!term.IsExit()) {
+      escapes = cfg.blocks[b].succs.empty();  // fell off the end of the stream
+    }
+    if (escapes) {
+      block_exit[b] = kAllRegsLive;
+    }
+  }
+
+  // Backward fixpoint over blocks: live-out = exit mask | union of successor
+  // live-ins; sweep the block bottom-up to get its live-in.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t bi = nblocks; bi-- > 0;) {
+      const CfgBlock& block = cfg.blocks[bi];
+      LiveMask live = block_exit[bi];
+      for (size_t s : block.succs) {
+        live |= block_in[s];
+      }
+      for (size_t i = block.last + 1; i-- > block.first;) {
+        DefUse du = InsnDefUse(insns[i]);
+        live = static_cast<LiveMask>((live & ~du.def) | du.use);
+        live_in[i] = live;
+      }
+      if (block_in[bi] != live) {
+        block_in[bi] = live;
+        changed = true;
+      }
+    }
+  }
+  return live_in;
+}
+
+int PickScratchRegister(LiveMask live) {
+  for (int r = 0; r <= 9; ++r) {
+    if ((live & (1u << r)) == 0) {
+      return r;
+    }
+  }
+  return -1;
+}
+
+}  // namespace depsurf

@@ -1,0 +1,41 @@
+// Backward register-liveness analysis over a per-program CFG.
+//
+// The remediation planner needs a register that is dead at the point where
+// it wants to insert a `field_exists` guard: the synthesized pair
+// (`rX = field_exists(...)`; `if rX == 0 goto skip`) clobbers rX, so rX
+// must not hold a live value there. This pass computes, for every
+// instruction, the set of registers whose current value may still be read
+// before being overwritten — the classic backward may-analysis, with the
+// BPF calling convention baked in (calls read r1-r5 and clobber r0-r5,
+// exit reads r0, r10 is the read-only frame pointer).
+#ifndef DEPSURF_SRC_ANALYZER_LIVENESS_H_
+#define DEPSURF_SRC_ANALYZER_LIVENESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/analyzer/cfg.h"
+#include "src/bpf/bpf_insn.h"
+
+namespace depsurf {
+
+// Bitmask of live registers (bit r set <=> register r live), r0..r10.
+using LiveMask = uint16_t;
+
+inline constexpr LiveMask kAllRegsLive = 0x07ff;  // r0..r10
+
+// live_in[i] for instruction i: registers that may be read on some path
+// starting at i before being redefined. Instructions past the decoded
+// prefix of a salvaged program, and programs with dangling jump edges,
+// are treated conservatively (everything live).
+std::vector<LiveMask> ComputeLiveness(const Cfg& cfg,
+                                      const std::vector<BpfInsn>& insns);
+
+// Lowest-numbered dead general-purpose register (r0..r9) in `live`, or -1
+// when every candidate is live. r10 is never offered: the frame pointer
+// is read-only in the BPF ISA.
+int PickScratchRegister(LiveMask live);
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_ANALYZER_LIVENESS_H_

@@ -1,0 +1,44 @@
+// Instruction-stream rewriter: applies remediation records to a BpfObject.
+//
+// A GuardInsertion asks for the builder's `field_exists` guard shape —
+//   rX = field_exists(struct::field)   (LD_IMM64, patched to 0/1 by CO-RE)
+//   if rX == 0 goto +slots(covered)    (skip the covered access when absent)
+// — to be spliced in front of one instruction. Splicing shifts every later
+// slot, so the rewriter re-patches all crossing jump displacements, shifts
+// every CoreReloc byte offset bound to the program (the in-memory view of
+// the .BTF.ext records), and appends a new kFieldExists relocation bound at
+// the inserted LD_IMM64. The result is a valid object that round-trips
+// through WriteBpfObject/ParseBpfObject.
+#ifndef DEPSURF_SRC_BPF_BPF_REWRITER_H_
+#define DEPSURF_SRC_BPF_BPF_REWRITER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/bpf/bpf_object.h"
+#include "src/util/diagnostic_ledger.h"
+#include "src/util/error.h"
+
+namespace depsurf {
+
+struct GuardInsertion {
+  uint32_t prog_index = 0;  // program receiving the guard
+  uint32_t insn_off = 0;    // byte offset of the instruction to protect
+  uint8_t scratch_reg = 0;  // dead register the guard may clobber (r0..r9)
+  // Relocation whose (root type, access string) names the guarded field;
+  // the appended kFieldExists record copies its target.
+  uint32_t reloc_index = 0;
+};
+
+// Applies every insertion to `object` in place. All-or-nothing: on error
+// (offset not on an instruction boundary, jump displacement overflow,
+// relocation pointing mid-instruction, duplicate insertion point, ...)
+// the object is left untouched, a kBpf entry is recorded in `ledger` when
+// one is given, and the returned Status carries the same message.
+Status InsertFieldExistsGuards(BpfObject& object,
+                               std::vector<GuardInsertion> insertions,
+                               DiagnosticLedger* ledger = nullptr);
+
+}  // namespace depsurf
+
+#endif  // DEPSURF_SRC_BPF_BPF_REWRITER_H_

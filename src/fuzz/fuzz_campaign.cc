@@ -12,7 +12,9 @@
 #include <utility>
 
 #include "src/analyzer/analyzer.h"
+#include "src/analyzer/remediation.h"
 #include "src/bpf/bpf_object.h"
+#include "src/bpf/bpf_rewriter.h"
 #include "src/core/dependency_surface.h"
 #include "src/faultgen/fault_injector.h"
 #include "src/obs/context.h"
@@ -138,6 +140,35 @@ Evaluation EvaluateObject(const std::vector<uint8_t>& bytes, size_t max_ledger,
     for (const Finding& finding : analysis.findings) {
       ev.tuples.push_back(
           StrFormat("object/finding/%s", FindingKindName(finding.kind)));
+    }
+    // Remediation leg: on every parse survivor the planner must either
+    // produce a verified fix or refuse with a ledger entry — never crash.
+    if (analysis.findings.empty()) {
+      ev.tuples.push_back("object/fix/clean");
+    } else {
+      RemediationPlan plan = PlanRemediation(*object, analysis);
+      if (plan.FixableCount() == 0) {
+        ev.tuples.push_back("object/fix/refused");
+      } else {
+        BpfObject fixed = *object;
+        Status applied = InsertFieldExistsGuards(fixed, plan.Insertions(), &ledger);
+        if (!applied.ok()) {
+          ev.tuples.push_back("object/fix/refused");
+        } else {
+          auto encoded = WriteBpfObject(fixed);
+          auto reparsed = encoded.ok()
+                              ? ParseBpfObject(encoded.TakeValue(), &ledger)
+                              : Result<BpfObject>(encoded.error());
+          if (!reparsed.ok()) {
+            ev.tuples.push_back("object/fix/refused");
+          } else {
+            ObjectAnalysis after = AnalyzeObject(*reparsed);
+            RemediationVerification v = VerifyRemediation(analysis, plan, after);
+            ev.tuples.push_back(v.ok ? "object/fix/verified"
+                                     : "object/fix/unverified");
+          }
+        }
+      }
     }
   }
   if (ledger.size() > max_ledger) {

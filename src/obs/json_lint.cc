@@ -714,6 +714,11 @@ Status ValidateAnalysisDoc(std::string_view json) {
       return Status(ErrorCode::kMalformedData,
                     StrFormat("findings[%zu].detail is not a string", i));
     }
+    const JsonValue* remediation = finding.Find("remediation");
+    if (remediation == nullptr || remediation->kind != JsonValue::Kind::kString) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("findings[%zu].remediation is not a string", i));
+    }
   }
   const JsonValue* summary = doc.Find("summary");
   if (summary == nullptr || summary->kind != JsonValue::Kind::kObject) {
@@ -740,6 +745,145 @@ Status ValidateAnalysisDoc(std::string_view json) {
   if (total->number != static_cast<double>(findings->array.size())) {
     return Status(ErrorCode::kMalformedData,
                   "summary.findings does not match the findings array length");
+  }
+  return Status::Ok();
+}
+
+Status ValidateRemediationDoc(std::string_view json) {
+  auto parsed = ParseJson(json);
+  if (!parsed.ok()) {
+    return parsed.TakeError();
+  }
+  const JsonValue& doc = *parsed;
+  // Mirrors kRemediationSchema (src/analyzer/remediation.h); obs cannot
+  // depend on the analyzer layer, so the marker is checked by value.
+  constexpr char kWantSchema[] = "depsurf.remediation.v1";
+  const JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::kString ||
+      schema->string != kWantSchema) {
+    return Status(ErrorCode::kMalformedData,
+                  StrFormat("missing or wrong schema marker (want %s)", kWantSchema));
+  }
+  const JsonValue* object = doc.Find("object");
+  if (object == nullptr || object->kind != JsonValue::Kind::kString) {
+    return Status(ErrorCode::kMalformedData, "missing \"object\" string");
+  }
+  const JsonValue* against = doc.Find("against");
+  if (against == nullptr ||
+      (against->kind != JsonValue::Kind::kNull &&
+       against->kind != JsonValue::Kind::kObject)) {
+    return Status(ErrorCode::kMalformedData, "\"against\" must be null or an object");
+  }
+  if (against->kind == JsonValue::Kind::kObject) {
+    const JsonValue* images = against->Find("images");
+    if (images == nullptr || images->kind != JsonValue::Kind::kNumber) {
+      return Status(ErrorCode::kMalformedData, "against.images is not a number");
+    }
+  }
+  const JsonValue* items = doc.Find("remediations");
+  if (items == nullptr || items->kind != JsonValue::Kind::kArray) {
+    return Status(ErrorCode::kMalformedData, "missing \"remediations\" array");
+  }
+  size_t fixable_count = 0;
+  for (size_t i = 0; i < items->array.size(); ++i) {
+    const JsonValue& item = items->array[i];
+    const JsonValue* finding = item.Find("finding");
+    if (finding == nullptr || finding->kind != JsonValue::Kind::kObject) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("remediations[%zu].finding is not an object", i));
+    }
+    for (const char* key : {"kind", "program", "detail"}) {
+      const JsonValue* member = finding->Find(key);
+      if (member == nullptr || member->kind != JsonValue::Kind::kString) {
+        return Status(ErrorCode::kMalformedData,
+                      StrFormat("remediations[%zu].finding.%s is not a string", i, key));
+      }
+    }
+    const JsonValue* insn_off = finding->Find("insn_off");
+    if (insn_off == nullptr || insn_off->kind != JsonValue::Kind::kNumber) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("remediations[%zu].finding.insn_off is not a number", i));
+    }
+    const JsonValue* fixable = item.Find("fixable");
+    if (fixable == nullptr || fixable->kind != JsonValue::Kind::kBool) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("remediations[%zu].fixable is not a bool", i));
+    }
+    if (fixable->boolean) {
+      ++fixable_count;
+      const JsonValue* off = item.Find("insn_off");
+      if (off == nullptr || off->kind != JsonValue::Kind::kNumber) {
+        return Status(ErrorCode::kMalformedData,
+                      StrFormat("remediations[%zu].insn_off is not a number", i));
+      }
+      const JsonValue* scratch = item.Find("scratch_reg");
+      if (scratch == nullptr || scratch->kind != JsonValue::Kind::kNumber) {
+        return Status(ErrorCode::kMalformedData,
+                      StrFormat("remediations[%zu].scratch_reg is not a number", i));
+      }
+      for (const char* key : {"struct", "field", "guard"}) {
+        const JsonValue* member = item.Find(key);
+        if (member == nullptr || member->kind != JsonValue::Kind::kString) {
+          return Status(ErrorCode::kMalformedData,
+                        StrFormat("remediations[%zu].%s is not a string", i, key));
+        }
+      }
+    } else {
+      const JsonValue* reason = item.Find("reason");
+      if (reason == nullptr || reason->kind != JsonValue::Kind::kString) {
+        return Status(ErrorCode::kMalformedData,
+                      StrFormat("remediations[%zu].reason is not a string", i));
+      }
+    }
+  }
+  const JsonValue* verification = doc.Find("verification");
+  if (verification == nullptr ||
+      (verification->kind != JsonValue::Kind::kNull &&
+       verification->kind != JsonValue::Kind::kObject)) {
+    return Status(ErrorCode::kMalformedData,
+                  "\"verification\" must be null or an object");
+  }
+  if (verification->kind == JsonValue::Kind::kObject) {
+    for (const char* key : {"findings_before", "targeted", "findings_after",
+                            "targeted_remaining", "new_findings"}) {
+      const JsonValue* member = verification->Find(key);
+      if (member == nullptr || member->kind != JsonValue::Kind::kNumber) {
+        return Status(ErrorCode::kMalformedData,
+                      StrFormat("verification.%s is not a number", key));
+      }
+    }
+    const JsonValue* ok = verification->Find("ok");
+    if (ok == nullptr || ok->kind != JsonValue::Kind::kBool) {
+      return Status(ErrorCode::kMalformedData, "verification.ok is not a bool");
+    }
+  }
+  const JsonValue* summary = doc.Find("summary");
+  if (summary == nullptr || summary->kind != JsonValue::Kind::kObject) {
+    return Status(ErrorCode::kMalformedData, "missing \"summary\" object");
+  }
+  const JsonValue* total = summary->Find("findings");
+  const JsonValue* fixable = summary->Find("fixable");
+  const JsonValue* unfixable = summary->Find("unfixable");
+  for (const auto& [name, member] :
+       {std::pair<const char*, const JsonValue*>{"findings", total},
+        {"fixable", fixable},
+        {"unfixable", unfixable}}) {
+    if (member == nullptr || member->kind != JsonValue::Kind::kNumber) {
+      return Status(ErrorCode::kMalformedData,
+                    StrFormat("summary.%s is not a number", name));
+    }
+  }
+  if (fixable->number + unfixable->number != total->number) {
+    return Status(ErrorCode::kMalformedData,
+                  "summary.fixable + summary.unfixable does not equal summary.findings");
+  }
+  if (total->number != static_cast<double>(items->array.size())) {
+    return Status(ErrorCode::kMalformedData,
+                  "summary.findings does not match the remediations array length");
+  }
+  if (fixable->number != static_cast<double>(fixable_count)) {
+    return Status(ErrorCode::kMalformedData,
+                  "summary.fixable does not match the fixable remediations count");
   }
   return Status::Ok();
 }

@@ -64,6 +64,16 @@ Status ValidateDiagnosticsDoc(std::string_view json);
 // this checks structure only, so the obs library stays dependency-free.
 Status ValidateAnalysisDoc(std::string_view json);
 
+// Validates a depsurf.remediation.v1 document (`depsurf fix --json`):
+// schema marker, "object" string, "against" (null or an object with an
+// "images" count), a "remediations" array whose entries carry the finding
+// they target plus either the guard insertion (insn_off, scratch_reg,
+// struct, field, guard) or a refusal reason, a "verification" block (null
+// or the before/after counts with an "ok" bool), and a "summary" whose
+// fixable + unfixable == findings == array length. The schema is defined
+// by the analyzer layer; structure only is checked here.
+Status ValidateRemediationDoc(std::string_view json);
+
 // Validates a depsurf.fuzz_campaign.v1 document (`depsurf fuzz --json`):
 // schema marker, mode ("image"/"object"), numeric config block, non-empty
 // seeds array, a coverage block whose key list matches its count, a growth

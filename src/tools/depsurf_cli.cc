@@ -8,7 +8,8 @@
 //   depsurf fuzz    SEED... [--rounds=N] [--json]  coverage-guided fault fuzzing
 //   depsurf diff    OLD NEW                       diff two images (Table 3/4 style)
 //   depsurf check   OBJECT IMAGE...               report mismatches for an eBPF object
-//   depsurf analyze OBJECT [--against=DATASET]    static analysis of the insn stream
+//   depsurf analyze OBJECT [--against=DS[,DS]]    static analysis of the insn stream
+//   depsurf fix     OBJECT [--against=DS[,DS]]    synthesize + verify exists-guards
 //   depsurf progs                                 list the bundled 53-program corpus
 //   depsurf emit    PROGRAM --out=OBJ             write a bundled program's .o
 //   depsurf metrics lint|canon FILE               validate / canonicalize a report
@@ -44,6 +45,8 @@
 #include <iostream>
 
 #include "src/analyzer/analyzer.h"
+#include "src/analyzer/remediation.h"
+#include "src/bpf/bpf_rewriter.h"
 #include "src/bpf/core_reloc_engine.h"
 #include "src/btf/btf_print.h"
 #include "src/core/dataset_io.h"
@@ -118,6 +121,55 @@ std::vector<std::string> Positional(int argc, char** argv) {
     }
   }
   return out;
+}
+
+// Strict flag parsing: every --flag must be one of `allowed` or a global
+// flag (--metrics-out / --trace-out / --trace); exit 1 naming the flag
+// otherwise, matching the PR 9 sweep (a typo'd flag must never be silently
+// ignored). Returns 0 when all flags are known.
+int RejectUnknownFlags(int argc, char** argv, const char* command,
+                       std::initializer_list<const char*> allowed) {
+  for (int i = 2; i < argc; ++i) {
+    if (strncmp(argv[i], "--", 2) != 0) {
+      continue;
+    }
+    std::string name = argv[i] + 2;
+    if (size_t eq = name.find('='); eq != std::string::npos) {
+      name = name.substr(0, eq);
+    }
+    bool known = name == "metrics-out" || name == "trace-out" || name == "trace";
+    for (const char* a : allowed) {
+      known = known || name == a;
+    }
+    if (!known) {
+      return DiagError(StrFormat("%s: unknown flag --%s", command, name.c_str()));
+    }
+  }
+  return 0;
+}
+
+// Loads every dataset named in a comma-separated --against value.
+Result<std::vector<Dataset>> LoadAgainstDatasets(const std::string& against) {
+  std::vector<std::string> paths;
+  for (const std::string& path : SplitString(against, ',')) {
+    if (!path.empty()) {
+      paths.push_back(path);
+    }
+  }
+  std::vector<Dataset> datasets;
+  datasets.reserve(paths.size());
+  for (const std::string& path : paths) {
+    auto bytes = ReadFile(path);
+    if (!bytes.ok()) {
+      return bytes.TakeError();
+    }
+    auto loaded = LoadAnyDataset(*bytes);
+    if (!loaded.ok()) {
+      return loaded.TakeError().Wrap(path);
+    }
+    datasets.push_back(loaded.TakeValue());
+  }
+  return datasets;
 }
 
 // A nonnegative integer flag value; empty means the fallback. Anything that
@@ -630,6 +682,14 @@ int CmdMetrics(int argc, char** argv) {
     printf("%s: valid depsurf.analysis.v1\n", positional[1].c_str());
     return 0;
   }
+  if (kind == "remediation") {
+    Status valid = obs::ValidateRemediationDoc(text);
+    if (!valid.ok()) {
+      return DiagError(positional[1], valid.error());
+    }
+    printf("%s: valid depsurf.remediation.v1\n", positional[1].c_str());
+    return 0;
+  }
   if (kind == "fuzz") {
     Status valid = obs::ValidateFuzzCampaignDoc(text);
     if (!valid.ok()) {
@@ -699,8 +759,8 @@ int CmdMetrics(int argc, char** argv) {
     return 0;
   }
   return DiagError("unknown --kind=" + kind +
-                   " (valid kinds: report|agg|bench|perf|trace|diag|analysis|profile|"
-                   "history|trend|profile_diff|serve)");
+                   " (valid kinds: report|agg|bench|perf|trace|diag|analysis|"
+                   "remediation|profile|history|trend|profile_diff|fuzz|serve)");
 }
 
 // Merges run reports (per-image documents from a study build, or prior
@@ -1356,6 +1416,9 @@ int CmdCheck(int argc, char** argv) {
 // reachability, register provenance, guard dominance). Exit 0 when clean,
 // 2 when the analyzer reports findings, 1 when the object is unreadable.
 int CmdAnalyze(int argc, char** argv) {
+  if (int rc = RejectUnknownFlags(argc, argv, "analyze", {"against", "json"})) {
+    return rc;
+  }
   auto positional = Positional(argc, argv);
   if (positional.empty()) {
     return DiagError("analyze requires an OBJECT path");
@@ -1369,20 +1432,18 @@ int CmdAnalyze(int argc, char** argv) {
   if (!object.ok()) {
     return DiagError(positional[0] + ": " + object.error().ToString());
   }
-  Dataset dataset;
+  std::vector<Dataset> datasets;
   AnalyzeOptions opts;
-  std::string dataset_path = FlagValue(argc, argv, "against", "");
-  if (!dataset_path.empty()) {
-    auto dataset_bytes = ReadFile(dataset_path);
-    if (!dataset_bytes.ok()) {
-      return DiagError(dataset_bytes.error());
-    }
-    auto loaded = LoadAnyDataset(*dataset_bytes);
+  std::string against = FlagValue(argc, argv, "against", "");
+  if (!against.empty()) {
+    auto loaded = LoadAgainstDatasets(against);
     if (!loaded.ok()) {
-      return DiagError(dataset_path + ": " + loaded.error().ToString());
+      return DiagError(loaded.error());
     }
-    dataset = loaded.TakeValue();
-    opts.against = &dataset;
+    datasets = loaded.TakeValue();
+    for (const Dataset& ds : datasets) {
+      opts.against_all.push_back(&ds);
+    }
   }
   ObjectAnalysis analysis = AnalyzeObject(*object, opts);
   if (HasFlag(argc, argv, "json")) {
@@ -1412,6 +1473,7 @@ int CmdAnalyze(int argc, char** argv) {
     for (const Finding& finding : analysis.findings) {
       printf("  %s %s+%u: %s\n", FindingKindName(finding.kind),
              finding.program.c_str(), finding.insn_off, finding.detail.c_str());
+      printf("      fix: %s\n", finding.remediation.c_str());
     }
     printf("%zu findings\n", analysis.findings.size());
   }
@@ -1420,6 +1482,111 @@ int CmdAnalyze(int argc, char** argv) {
     fprintf(stderr, "note: %s\n", entry.ToString().c_str());
   }
   return analysis.findings.empty() ? 0 : 2;
+}
+
+// Remediation: plan a field_exists guard for every fixable finding, splice
+// the guards into the object, and self-verify by re-analyzing the result.
+// Exit 0 when the fixed object is clean, 2 when unfixable findings remain,
+// 1 on error or when verification fails (a targeted finding survived the
+// rewrite, or the rewrite introduced a new one).
+int CmdFix(int argc, char** argv) {
+  if (int rc = RejectUnknownFlags(argc, argv, "fix", {"against", "out", "json"})) {
+    return rc;
+  }
+  auto positional = Positional(argc, argv);
+  if (positional.empty()) {
+    return DiagError("fix requires an OBJECT path");
+  }
+  auto bytes = ReadFile(positional[0]);
+  if (!bytes.ok()) {
+    return DiagError(bytes.error());
+  }
+  DiagnosticLedger ledger;
+  auto object = ParseBpfObject(bytes.TakeValue(), &ledger);
+  if (!object.ok()) {
+    return DiagError(positional[0] + ": " + object.error().ToString());
+  }
+  std::vector<Dataset> datasets;
+  AnalyzeOptions opts;
+  std::string against = FlagValue(argc, argv, "against", "");
+  if (!against.empty()) {
+    auto loaded = LoadAgainstDatasets(against);
+    if (!loaded.ok()) {
+      return DiagError(loaded.error());
+    }
+    datasets = loaded.TakeValue();
+    for (const Dataset& ds : datasets) {
+      opts.against_all.push_back(&ds);
+    }
+  }
+
+  ObjectAnalysis before = AnalyzeObject(*object, opts);
+  RemediationPlan plan = PlanRemediation(*object, before, opts);
+
+  BpfObject fixed = *object;
+  Status applied = InsertFieldExistsGuards(fixed, plan.Insertions(), &ledger);
+  if (!applied.ok()) {
+    for (const DiagnosticEntry& entry : ledger.entries()) {
+      fprintf(stderr, "note: %s\n", entry.ToString().c_str());
+    }
+    return DiagError(positional[0] + ": " + applied.error().ToString());
+  }
+
+  // The fixed object must round-trip through the salvaging decoder and
+  // re-analyze with every targeted finding gone and nothing new.
+  auto encoded = WriteBpfObject(fixed);
+  if (!encoded.ok()) {
+    return DiagError(positional[0] + ": fixed object does not encode: " +
+                     encoded.error().ToString());
+  }
+  DiagnosticLedger reparse_ledger;
+  auto reparsed = ParseBpfObject(*encoded, &reparse_ledger);
+  if (!reparsed.ok()) {
+    return DiagError(positional[0] + ": fixed object does not re-parse: " +
+                     reparsed.error().ToString());
+  }
+  ledger.Merge(reparse_ledger);
+  ObjectAnalysis after = AnalyzeObject(*reparsed, opts);
+  RemediationVerification verification = VerifyRemediation(before, plan, after);
+
+  std::string out_path = FlagValue(argc, argv, "out", "");
+  if (!out_path.empty()) {
+    Status written = WriteFile(out_path, *encoded);
+    if (!written.ok()) {
+      return DiagError(written.ToString());
+    }
+  }
+  if (HasFlag(argc, argv, "json")) {
+    printf("%s", RemediationToJson(before, plan, &verification).c_str());
+  } else {
+    printf("object %s: %zu findings, %zu fixable%s\n", before.object_name.c_str(),
+           before.findings.size(), plan.FixableCount(),
+           before.against_dataset
+               ? StrFormat(" (against %zu images)", before.against_images).c_str()
+               : "");
+    for (size_t i = 0; i < plan.items.size(); ++i) {
+      const Finding& finding = before.findings[i];
+      printf("  %s %s+%u: %s\n", FindingKindName(finding.kind),
+             finding.program.c_str(), finding.insn_off, plan.items[i].Text().c_str());
+    }
+    printf("after fix: %zu findings (%zu of %zu targeted eliminated, %zu new)\n",
+           after.findings.size(), verification.targeted - verification.targeted_remaining,
+           verification.targeted, verification.new_findings);
+    if (!out_path.empty()) {
+      printf("wrote %s (%zu bytes)\n", out_path.c_str(), encoded->size());
+    }
+  }
+  for (const DiagnosticEntry& entry : ledger.entries()) {
+    fprintf(stderr, "note: %s\n", entry.ToString().c_str());
+  }
+  if (!verification.ok) {
+    fprintf(stderr,
+            "error: fix verification failed: %zu targeted findings remain, "
+            "%zu new findings\n",
+            verification.targeted_remaining, verification.new_findings);
+    return 1;
+  }
+  return after.findings.empty() ? 0 : 2;
 }
 
 int CmdDataset(int argc, char** argv) {
@@ -1692,7 +1859,11 @@ constexpr char kUsage[] =
     "  stats   IMG [--json]\n"
     "  diff    OLD NEW [--verbose]\n"
     "  check   OBJ [IMG...] [--dataset=FILE] (exit 2 when mismatches are found)\n"
-    "  analyze OBJ [--against=DATASET] [--json] (exit 2 on findings, 1 if unreadable)\n"
+    "  analyze OBJ [--against=DS[,DS...]] [--json] (exit 2 on findings, 1 if unreadable;\n"
+    "          worst consequence across all datasets wins)\n"
+    "  fix     OBJ [--against=DS[,DS...]] [--out=FILE] [--json]\n"
+    "          (synthesize field_exists guards for unguarded relocs, verify by\n"
+    "           re-analysis; exit 0 clean, 2 unfixable findings remain, 1 error)\n"
     "  dataset build IMG... --out=FILE | dataset info FILE\n"
     "  dataset migrate IN OUT (rewrite any .dds as the v2 mmap layout;\n"
     "          byte-deterministic)\n"
@@ -1709,8 +1880,8 @@ constexpr char kUsage[] =
     "          [--mutation-timeout=SECS] [--max-ledger=N] [--json]\n"
     "          (coverage-guided campaign; exit 2 on oracle disagreements,\n"
     "           1 on hangs)\n"
-    "  metrics lint FILE [--kind=report|agg|bench|perf|trace|diag|analysis|profile\n"
-    "          |history|trend|profile_diff|fuzz|serve] [--min-spans=N]\n"
+    "  metrics lint FILE [--kind=report|agg|bench|perf|trace|diag|analysis\n"
+    "          |remediation|profile|history|trend|profile_diff|fuzz|serve] [--min-spans=N]\n"
     "          [--require=a,b,c] [--report=FILE] | metrics canon FILE\n"
     "  report  merge OUT IN... | report flame REPORT.json [--out=FILE]\n"
     "  perf    compare BASE.json HEAD.json [--max-regress=15%] [--noise-floor=S]\n"
@@ -1751,6 +1922,9 @@ int Dispatch(int argc, char** argv, const std::string& command) {
   }
   if (command == "analyze") {
     return CmdAnalyze(argc, argv);
+  }
+  if (command == "fix") {
+    return CmdFix(argc, argv);
   }
   if (command == "dataset") {
     return CmdDataset(argc, argv);

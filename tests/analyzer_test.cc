@@ -7,6 +7,8 @@
 
 #include "src/analyzer/analyzer.h"
 #include "src/analyzer/cfg.h"
+#include "src/analyzer/dominator.h"
+#include "src/analyzer/liveness.h"
 #include "src/bpf/bpf_builder.h"
 #include "src/bpfgen/program_corpus.h"
 #include "src/kernelgen/compiler.h"
@@ -64,6 +66,97 @@ TEST(CfgTest, OutOfRangeJumpIsDangling) {
   std::vector<BpfInsn> insns = {JumpAlways(100), ExitInsn()};
   Cfg cfg = BuildCfg(insns);
   EXPECT_EQ(cfg.dangling_edges, 1u);
+}
+
+// ---- Dominator tree ------------------------------------------------------
+
+TEST(DominatorTest, DiamondJoinsAtEntry) {
+  // 0: jeq r3,0,+1   1: ja +1 (then)   2: <else falls into 3>   3: exit
+  //
+  //        B0 (cond)
+  //        /       \
+  //   B2 (else)  B1 (then)
+  //        \       /
+  //         B3 (exit)
+  std::vector<BpfInsn> insns = {JumpEqImm(3, 0, 1), JumpAlways(1),
+                                MovImm(4, 7), ExitInsn()};
+  Cfg cfg = BuildCfg(insns);
+  ASSERT_EQ(cfg.blocks.size(), 4u);
+  DominatorTree dom = BuildDominatorTree(cfg);
+  // Find the block holding the exit: neither branch arm dominates it; the
+  // entry dominates everything.
+  size_t exit_block = DominatorTree::kUnreachable;
+  for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+    if (cfg.blocks[b].first == 3) exit_block = b;
+  }
+  ASSERT_NE(exit_block, DominatorTree::kUnreachable);
+  EXPECT_EQ(dom.idom[exit_block], 0u);
+  EXPECT_TRUE(dom.Dominates(0, exit_block));
+  for (size_t b = 1; b < cfg.blocks.size(); ++b) {
+    if (b == exit_block) continue;
+    EXPECT_FALSE(dom.Dominates(b, exit_block)) << "block " << b;
+  }
+}
+
+TEST(DominatorTest, ChainDominatesTransitively) {
+  // Straight-line split into blocks by two jumps-of-zero.
+  std::vector<BpfInsn> insns = {JumpAlways(0), JumpAlways(0), ExitInsn()};
+  Cfg cfg = BuildCfg(insns);
+  ASSERT_EQ(cfg.blocks.size(), 3u);
+  DominatorTree dom = BuildDominatorTree(cfg);
+  EXPECT_TRUE(dom.Dominates(0, 2));
+  EXPECT_TRUE(dom.Dominates(1, 2));
+  EXPECT_FALSE(dom.Dominates(2, 1));
+  EXPECT_EQ(dom.pred_edges[2], 1u);
+}
+
+TEST(DominatorTest, UnreachableBlockHasNoIdom) {
+  // 0: ja +1   1: <dead>   2: exit
+  std::vector<BpfInsn> insns = {JumpAlways(1), MovImm(4, 7), ExitInsn()};
+  Cfg cfg = BuildCfg(insns);
+  DominatorTree dom = BuildDominatorTree(cfg);
+  size_t dead = DominatorTree::kUnreachable;
+  for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+    if (cfg.blocks[b].first == 1) dead = b;
+  }
+  ASSERT_NE(dead, DominatorTree::kUnreachable);
+  EXPECT_EQ(dom.idom[dead], DominatorTree::kUnreachable);
+  EXPECT_FALSE(dom.Dominates(0, dead));
+}
+
+// ---- Liveness ------------------------------------------------------------
+
+TEST(LivenessTest, CallDefinesCallerSavedRegs) {
+  // r0..r5 are clobbered by a call, so before the exit only r0 is live and
+  // after the call site the helper arguments are dead.
+  std::vector<BpfInsn> insns = {MovImm(1, 7), CallHelperInsn(6), ExitInsn()};
+  Cfg cfg = BuildCfg(insns);
+  std::vector<LiveMask> live = ComputeLiveness(cfg, insns);
+  ASSERT_EQ(live.size(), 3u);
+  EXPECT_EQ(live[2], LiveMask{1} << 0);         // exit reads r0
+  EXPECT_NE(live[1] & (LiveMask{1} << 1), 0u);  // call uses r1
+  EXPECT_EQ(live[0] & (LiveMask{1} << 1), 0u);  // mov defines r1
+}
+
+TEST(LivenessTest, ScratchPicksLowestDeadRegister) {
+  // At insn 0 the call still needs r1..r5 and exit needs r0 via the call's
+  // def, so r0 and r6 are both dead; the picker prefers r0.
+  std::vector<BpfInsn> insns = {MovImm(1, 7), CallHelperInsn(6), ExitInsn()};
+  Cfg cfg = BuildCfg(insns);
+  std::vector<LiveMask> live = ComputeLiveness(cfg, insns);
+  int scratch = PickScratchRegister(live[0]);
+  EXPECT_EQ(scratch, 0);
+  EXPECT_EQ(PickScratchRegister(kAllRegsLive & 0x03ff), -1)
+      << "r10 is never offered even when r0..r9 are live";
+}
+
+TEST(LivenessTest, UnknownOpcodeIsAllLive) {
+  BpfInsn mystery{};
+  mystery.opcode = 0xfe;
+  std::vector<BpfInsn> insns = {mystery, ExitInsn()};
+  Cfg cfg = BuildCfg(insns);
+  std::vector<LiveMask> live = ComputeLiveness(cfg, insns);
+  EXPECT_EQ(live[0], kAllRegsLive);
 }
 
 // ---- Analysis without a dataset -----------------------------------------
@@ -272,6 +365,28 @@ TEST_F(AgainstFixture, HelperAvailabilityCountsImages) {
   EXPECT_NE(helper->detail.find("1/2 images"), std::string::npos);
 }
 
+TEST_F(AgainstFixture, AgainstAllMatchesCombinedDataset) {
+  // Two single-image datasets through against_all behave exactly like the
+  // one mixed dataset: worst consequence across all wins, image counts sum.
+  AnalyzeOptions multi;
+  multi.against_all = {old_dataset_, new_dataset_};
+  ObjectAnalysis analysis = AnalyzeObject(BuildGuardedProbe(), multi);
+  EXPECT_EQ(analysis.against_images, 2u);
+  ASSERT_EQ(analysis.relocs.size(), 2u);
+  EXPECT_EQ(analysis.relocs[1].consequence, "handled by program");
+  const Finding* helper = nullptr;
+  for (const Finding& finding : analysis.findings) {
+    if (finding.kind == FindingKind::kUnknownHelper) helper = &finding;
+  }
+  ASSERT_NE(helper, nullptr);
+  EXPECT_NE(helper->detail.find("1/2 images"), std::string::npos);
+
+  // against_all takes precedence over against when both are set.
+  multi.against = new_dataset_;
+  ObjectAnalysis again = AnalyzeObject(BuildGuardedProbe(), multi);
+  EXPECT_EQ(again.against_images, 2u);
+}
+
 // ---- Deterministic JSON goldens -----------------------------------------
 
 TEST(AnalysisJsonTest, RawOffsetGolden) {
@@ -291,7 +406,9 @@ TEST(AnalysisJsonTest, RawOffsetGolden) {
       "  \"findings\": [\n"
       "    {\"kind\": \"raw-offset-deref\", \"program\": \"kprobe_blk_account_io_start\", "
       "\"insn_off\": 0, \"detail\": \"r4 = *(u64 *)(r1 +104): load from ctx pointer at "
-      "hardcoded offset +104 with no CO-RE relocation\"}\n"
+      "hardcoded offset +104 with no CO-RE relocation\", \"remediation\": \"not fixable: "
+      "no CO-RE relocation; a guard cannot be synthesized without source-level CO-RE "
+      "conversion\"}\n"
       "  ],\n"
       "  \"summary\": {\"findings\": 1, \"raw_offset_deref\": 1, \"unguarded_reloc\": 0, "
       "\"unknown_helper\": 0, \"unreachable_reloc\": 0}\n"

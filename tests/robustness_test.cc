@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include "src/analyzer/analyzer.h"
+#include "src/analyzer/remediation.h"
 #include "src/bpf/bpf_builder.h"
+#include "src/bpf/bpf_rewriter.h"
 #include "src/core/depsurf.h"
 #include "src/elf/elf_reader.h"
 #include "src/faultgen/fault_injector.h"
@@ -178,6 +180,41 @@ TEST_P(FaultSweepTest, MutatedInsnStreamDegradesToSalvage) {
       EXPECT_TRUE(entry.has_offset) << entry.ToString();
     }
   }
+}
+
+// The remediation pipeline rides on salvaged parses: whatever the planner
+// decides on a mutated object — synthesize guards or refuse — applying and
+// re-analyzing the result must never crash, and a rewriter refusal lands
+// on the ledger instead of corrupting the object.
+TEST_P(FaultSweepTest, MutatedObjectRemediationSalvagesOrRefuses) {
+  std::vector<uint8_t> bytes = SmallObject();
+  const uint64_t index = static_cast<uint64_t>(GetParam());
+  std::string what = ApplyFault(bytes, FaultKindForIndex(index), 4000 + index);
+  SCOPED_TRACE(what);
+  DiagnosticLedger ledger;
+  auto parsed = ParseBpfObject(std::move(bytes), &ledger);
+  if (!parsed.ok()) {
+    return;  // loud structured failure is an acceptable outcome
+  }
+  ObjectAnalysis analysis = AnalyzeObject(*parsed);
+  RemediationPlan plan = PlanRemediation(*parsed, analysis);
+  ASSERT_EQ(plan.items.size(), analysis.findings.size());
+  if (plan.FixableCount() == 0) {
+    return;  // refusal: every item carries a reason
+  }
+  BpfObject fixed = *parsed;
+  size_t ledger_before = ledger.entries().size();
+  Status applied = InsertFieldExistsGuards(fixed, plan.Insertions(), &ledger);
+  if (!applied.ok()) {
+    EXPECT_GT(ledger.entries().size(), ledger_before)
+        << "rewriter refusal must leave a ledger entry";
+    return;
+  }
+  auto encoded = WriteBpfObject(fixed);
+  ASSERT_TRUE(encoded.ok()) << encoded.error().ToString();
+  auto reparsed = ParseBpfObject(encoded.TakeValue(), &ledger);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().ToString();
+  (void)AnalyzeObject(*reparsed);  // either way, no crash
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, FaultSweepTest, ::testing::Range(0, 32));
